@@ -1,0 +1,57 @@
+#include "common.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+namespace sre::bench {
+
+BenchConfig BenchConfig::from_env() {
+  BenchConfig cfg;
+  const char* fast = std::getenv("SRE_FAST");
+  if (fast != nullptr && std::string(fast) == "1") {
+    cfg.bf_grid = 500;
+    cfg.mc_samples = 400;
+    cfg.disc_n = 200;
+  }
+  return cfg;
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+void print_table(const std::string& title,
+                 const std::vector<std::string>& header,
+                 const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    widths[c] = header[c].size();
+    for (const auto& row : rows) {
+      if (c < row.size()) widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::cout << "\n== " << title << " ==\n";
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < header.size(); ++c) {
+      const std::string& cell = (c < row.size()) ? row[c] : std::string();
+      std::cout << (c == 0 ? "" : "  ") << std::left
+                << std::setw(static_cast<int>(widths[c])) << cell;
+    }
+    std::cout << "\n";
+  };
+  print_row(header);
+  std::size_t total = header.size() > 0 ? 2 * (header.size() - 1) : 0;
+  for (const auto w : widths) total += w;
+  std::cout << std::string(total, '-') << "\n";
+  for (const auto& row : rows) print_row(row);
+  std::cout.flush();
+}
+
+void print_note(const std::string& note) { std::cout << note << "\n"; }
+
+}  // namespace sre::bench

@@ -1,0 +1,39 @@
+#pragma once
+
+// Shared plumbing for the table/figure reproduction binaries: fixed-width
+// table printing and the evaluation configuration. By default the benches
+// run at the paper's parameters (M = 5000, N = 1000, n = 1000,
+// eps = 1e-7); setting the environment variable SRE_FAST=1 shrinks them for
+// smoke runs.
+
+#include <string>
+#include <vector>
+
+#include "core/heuristics/heuristic.hpp"
+
+namespace sre::bench {
+
+/// Evaluation sizes (Section 5.1 defaults).
+struct BenchConfig {
+  std::size_t bf_grid = 5000;      ///< M
+  std::size_t mc_samples = 1000;   ///< N
+  std::size_t disc_n = 1000;       ///< discretization samples
+  double epsilon = 1e-7;           ///< truncation quantile
+  std::uint64_t seed = 42;
+
+  /// Paper-scale defaults, or reduced sizes when SRE_FAST=1 is set.
+  static BenchConfig from_env();
+};
+
+/// Formats a double with fixed precision ("2.13").
+std::string fmt(double value, int precision = 2);
+
+/// Prints a titled fixed-width table: header row, separator, then rows.
+void print_table(const std::string& title,
+                 const std::vector<std::string>& header,
+                 const std::vector<std::vector<std::string>>& rows);
+
+/// Prints a "key: value" style preamble line.
+void print_note(const std::string& note);
+
+}  // namespace sre::bench

@@ -1,0 +1,61 @@
+// Extension experiment (paper Section 7 future work): checkpointed vs
+// restart-from-scratch reservations. For each law we compare the optimal
+// restart plan (Theorem 5 DP) against the optimal always-checkpoint plan
+// (work-level DP) while sweeping the checkpoint overhead C, locating the
+// crossover where writing checkpoints stops paying off.
+
+#include "common.hpp"
+#include "core/checkpoint.hpp"
+#include "core/expected_cost.hpp"
+#include "core/heuristics/dp_discretization.hpp"
+#include "core/omniscient.hpp"
+#include "dist/factory.hpp"
+#include "sim/discretize.hpp"
+
+using namespace sre;
+
+int main() {
+  const core::CostModel model = core::CostModel::reservation_only();
+  const std::vector<double> overheads = {0.0, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0};
+  const std::size_t n = 400;
+
+  bench::print_note(
+      "Extension -- always-checkpoint DP vs restart DP (RESERVATIONONLY, "
+      "discretized n=400, eps=1e-7). Cells: normalized expected cost of the "
+      "checkpoint plan; 'restart' column: the no-checkpoint optimum. "
+      "R (restart read cost) = C.");
+
+  std::vector<std::string> header = {"Distribution", "restart"};
+  for (const double c : overheads) {
+    header.push_back("C=" + bench::fmt(c, 2));
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& inst : dist::paper_distributions()) {
+    const sim::DiscretizationOptions disc{
+        n, 1e-7, sim::DiscretizationScheme::kEqualProbability};
+    const dist::DiscreteDistribution d = sim::discretize(*inst.dist, disc);
+    const double omniscient = core::omniscient_cost(d, model);
+
+    std::vector<std::string> row = {inst.label};
+    const auto restart = core::dp_optimal_sequence(d, model);
+    row.push_back(bench::fmt(restart.expected_cost / omniscient));
+    for (const double c : overheads) {
+      const auto ckpt =
+          core::checkpoint_dp(d, model, core::CheckpointModel{c, c});
+      row.push_back(bench::fmt(ckpt.expected_cost / omniscient));
+    }
+    rows.push_back(std::move(row));
+  }
+  bench::print_table("Checkpoint extension: normalized cost vs overhead C",
+                     header, rows);
+
+  bench::print_note(
+      "\nReading: at C=0 checkpointing collapses to the omniscient cost "
+      "(failures bank their work, so nothing is ever recomputed); the "
+      "advantage shrinks as C grows and inverts once the per-reservation "
+      "overhead outweighs the saved re-execution. The crossover scales with "
+      "the job-size scale: Beta (support [0,1]) inverts near C~0.05 while "
+      "the wide laws (Lognormal mean ~23) still profit at C=1.");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Extension ablation: the checkpoint work quantum. A fixed-quantum plan
+// (checkpoint every q units of work) sweeps q against the work-level DP
+// optimum, exhibiting the classical interval trade-off: tiny quanta drown
+// in overhead, huge quanta expose work to reservation misses; the DP beats
+// the best fixed quantum by choosing uneven, tail-adapted targets.
+
+#include "common.hpp"
+#include "core/checkpoint.hpp"
+#include "core/omniscient.hpp"
+#include "dist/factory.hpp"
+
+using namespace sre;
+
+int main() {
+  const core::CostModel model = core::CostModel::reservation_only();
+
+  bench::print_note(
+      "Extension ablation -- fixed checkpoint quantum q (in units of the "
+      "mean) vs the work-level DP. Cells: normalized expected cost; "
+      "overheads C = R = 5% of the mean.");
+
+  const std::vector<double> quanta = {0.1, 0.25, 0.5, 1.0, 2.0, 4.0};
+  std::vector<std::string> header = {"Distribution"};
+  for (const double q : quanta) header.push_back("q=" + bench::fmt(q, 2));
+  header.push_back("DP");
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& inst : dist::paper_distributions()) {
+    const auto& d = *inst.dist;
+    const core::CheckpointModel ckpt{0.05 * d.mean(), 0.05 * d.mean()};
+    const double omniscient = core::omniscient_cost(d, model);
+    std::vector<std::string> row = {inst.label};
+    for (const double q : quanta) {
+      const auto plan =
+          core::checkpoint_fixed_quantum(d, ckpt, q * d.mean());
+      row.push_back(
+          bench::fmt(core::checkpoint_expected_cost(plan, d, model) /
+                     omniscient));
+    }
+    const auto dp = core::checkpoint_discretized_dp(
+        d, model, ckpt,
+        sim::DiscretizationOptions{400, 1e-7,
+                                   sim::DiscretizationScheme::kEqualProbability});
+    row.push_back(bench::fmt(
+        core::checkpoint_expected_cost(dp, d, model) / omniscient));
+    rows.push_back(std::move(row));
+  }
+  bench::print_table("Checkpoint quantum ablation", header, rows);
+  bench::print_note(
+      "\nReading: the U-shape in q is the classical checkpoint-interval "
+      "trade-off. The work-level DP wins on most laws but *loses* to a "
+      "well-chosen fixed quantum on heavy tails (Weibull, Pareto): its "
+      "targets are restricted to the discretized support, whose top "
+      "equal-probability bin spans a huge range -- one more reason the "
+      "continuous-position checkpoint problem is interesting follow-up "
+      "work, exactly as the paper's conclusion anticipates.");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Extension experiment: spot-style preemptible reservations. As the
+// interruption rate rises (in units of 1/mean), the achievable normalized
+// cost climbs -- quantifying the discount a spot market must offer -- and
+// the optimized first reservation *grows*: idle reserved time carries no
+// exposure, while a too-short level must complete its entire run
+// uninterrupted before the strategy learns anything (e^{rate*t} expected
+// tries), so over-reservation dodges the compounding. Laws are restricted
+// to those with finite E[e^{rate X}] at the swept rates; for heavy tails
+// the expected cost is genuinely infinite (see core/preemption.hpp).
+
+#include "common.hpp"
+#include "core/heuristics/moment_based.hpp"
+#include "core/omniscient.hpp"
+#include "core/preemption.hpp"
+#include "dist/factory.hpp"
+
+using namespace sre;
+
+int main() {
+  const core::CostModel model = core::CostModel::reservation_only();
+  const std::vector<double> rates = {0.0, 0.2, 0.4, 0.6, 0.8};
+
+  bench::print_note(
+      "Extension -- preemptible (spot) reservations, RESERVATIONONLY. "
+      "Cells: optimized normalized cost (first reservation / mean). "
+      "Rates are per unit of the law's mean.");
+
+  std::vector<std::string> header = {"Distribution"};
+  for (const double r : rates) {
+    header.push_back("rate=" + bench::fmt(r, 1) + "/mean");
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  for (const char* label : {"Exponential", "Uniform", "Beta", "BoundedPareto"}) {
+    const auto inst = dist::paper_distribution(label);
+    const auto& d = *inst->dist;
+    const double omniscient = core::omniscient_cost(d, model);
+    const auto seed = core::MeanDoubling().generate(d, model);
+
+    std::vector<std::string> row = {inst->label};
+    for (const double r : rates) {
+      const core::PreemptionModel p{r / d.mean()};
+      const auto out = core::optimize_preemption_plan(seed, d, model, p);
+      row.push_back(bench::fmt(out.cost_after / omniscient) + " (" +
+                    bench::fmt(out.sequence.first() / d.mean()) + ")");
+    }
+    rows.push_back(std::move(row));
+  }
+  bench::print_table("Preemption: optimized cost vs interruption rate",
+                     header, rows);
+  bench::print_note(
+      "\nReading: the no-preemption column reproduces the Table 2 level; "
+      "each rate step raises the floor and pushes t1 *up* (over-reserving "
+      "dodges the e^{rate t} timeout-retry compounding). The printed "
+      "multiple of the omniscient cost is the minimum spot discount that "
+      "makes preemptible capacity worth taking -- and for heavy-tailed "
+      "laws no discount suffices without checkpoints.");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Extension experiment: spot capacity + checkpoints. Without checkpoints,
+// preemptible execution of heavy-tailed jobs has *infinite* expected cost
+// (E[e^{rate X}] diverges; see ext_preemption). Checkpoints cap the
+// per-level exposure at the slot length, restoring a finite -- and modest
+// -- cost for any law. This table quantifies the rescue.
+
+#include "common.hpp"
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "core/heuristics/moment_based.hpp"
+#include "core/omniscient.hpp"
+#include "core/preemption.hpp"
+#include "dist/factory.hpp"
+
+using namespace sre;
+
+int main() {
+  const core::CostModel model = core::CostModel::reservation_only();
+  const std::vector<double> rates = {0.0, 0.5, 1.0, 2.0};
+
+  bench::print_note(
+      "Extension -- spot + checkpoints (C = R = 5% of the mean). Cells: "
+      "optimized normalized cost, restart model vs always-checkpoint "
+      "model. Restart cells marked 'inf*' have mathematically infinite "
+      "expected cost (heavy tail); the printed floor is "
+      "truncation-limited.");
+
+  std::vector<std::string> header = {"Distribution", "model"};
+  for (const double r : rates) {
+    header.push_back("rate=" + bench::fmt(r, 1) + "/mean");
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  for (const char* label : {"Exponential", "Lognormal", "Weibull"}) {
+    const auto inst = dist::paper_distribution(label);
+    const auto& d = *inst->dist;
+    const double omniscient = core::omniscient_cost(d, model);
+    const bool heavy = std::string(label) != "Exponential";
+    const core::CheckpointModel ckpt{0.05 * d.mean(), 0.05 * d.mean()};
+
+    std::vector<std::string> restart_row = {inst->label, "restart"};
+    std::vector<std::string> ckpt_row = {"", "checkpoint"};
+    const auto restart_seed = core::MeanDoubling().generate(d, model);
+    for (const double r : rates) {
+      const core::PreemptionModel p{r / d.mean()};
+      // Restart: divergent for heavy tails at r > 0 -- report and mark.
+      if (heavy && r > 0.0) {
+        const double floor =
+            core::preemption_expected_cost(restart_seed, d, model, p) /
+            omniscient;
+        restart_row.push_back(((!std::isfinite(floor) || floor > 9999.0) ? std::string(">1e4") : bench::fmt(floor)) +
+                              " inf*");
+      } else {
+        const auto out =
+            core::optimize_preemption_plan(restart_seed, d, model, p);
+        restart_row.push_back(bench::fmt(out.cost_after / omniscient));
+      }
+      // Checkpointed: best fixed work quantum (bounded increments keep the
+      // cost finite for every law; a small 1-D sweep suffices).
+      double best = std::numeric_limits<double>::infinity();
+      for (const double q : {0.1, 0.2, 0.35, 0.5, 0.75, 1.0, 1.5}) {
+        const auto plan =
+            core::checkpoint_fixed_quantum(d, ckpt, q * d.mean());
+        best = std::min(best, core::preemption_checkpoint_expected_cost(
+                                  plan, d, model, p));
+      }
+      ckpt_row.push_back(bench::fmt(best / omniscient));
+    }
+    rows.push_back(std::move(restart_row));
+    rows.push_back(std::move(ckpt_row));
+  }
+  bench::print_table("Spot + checkpoints: normalized cost vs rate", header,
+                     rows);
+  bench::print_note(
+      "\nReading: checkpoints turn the heavy-tail blow-up into a gentle "
+      "slope -- the quantitative core of the 'complicated trade-off' the "
+      "paper's conclusion sketches for reservation+checkpoint strategies.");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 1: trace characterization. The paper fits LogNormal laws to >5000
+// runs of two neuroscience applications. The raw Vanderbilt traces are not
+// redistributable, so we synthesize equivalent traces from the published
+// fitted laws and run the identical pipeline: trace -> MLE fit ->
+// goodness-of-fit -> distribution object (see DESIGN.md, substitutions).
+
+#include "common.hpp"
+#include "platform/trace.hpp"
+
+using namespace sre;
+
+int main() {
+  struct App {
+    const char* name;
+    double mu;
+    double sigma;
+  };
+  // fMRIQA (Fig. 1a) is reported only via its plot; VBMQA (Fig. 1b) is the
+  // law used in Section 5.3. We reproduce both pipeline runs, using the
+  // VBMQA parameters for 1b and plausible fMRIQA-scale parameters for 1a.
+  const std::vector<App> apps = {
+      {"fMRIQA (Fig. 1a, synthetic scale)", 8.4, 0.35},
+      {"VBMQA  (Fig. 1b, paper fit)", platform::kVbmqaMu,
+       platform::kVbmqaSigma},
+  };
+
+  std::vector<std::string> header = {"Application", "runs",
+                                     "true mu",     "true sigma",
+                                     "fit mu",      "fit sigma",
+                                     "mean (s)",    "stdev (s)",
+                                     "KS"};
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& app : apps) {
+    platform::TraceConfig cfg;
+    cfg.truth = {app.mu, app.sigma};
+    cfg.runs = 5000;
+    const auto trace = platform::synthesize_trace(cfg);
+    const auto fit = platform::fit_trace(trace);
+    rows.push_back({app.name, std::to_string(fit.runs), bench::fmt(app.mu, 4),
+                    bench::fmt(app.sigma, 4), bench::fmt(fit.fitted.mu, 4),
+                    bench::fmt(fit.fitted.sigma, 4),
+                    bench::fmt(fit.sample_mean, 1),
+                    bench::fmt(fit.sample_stddev, 1),
+                    bench::fmt(fit.ks_statistic, 4)});
+  }
+  bench::print_note(
+      "Figure 1 reproduction -- synthetic 5000-run traces refit by MLE "
+      "(substitution for the Vanderbilt imaging database).");
+  bench::print_table("Figure 1: trace fits", header, rows);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// google-benchmark: construction throughput of each heuristic and the two
+// cost evaluators on the Lognormal instantiation (the NeuroHPC family).
+
+#include <benchmark/benchmark.h>
+
+#include "core/expected_cost.hpp"
+#include "core/heuristics/brute_force.hpp"
+#include "core/heuristics/dp_discretization.hpp"
+#include "core/heuristics/moment_based.hpp"
+#include "dist/lognormal.hpp"
+
+using namespace sre;
+
+namespace {
+const dist::LogNormal& lognormal() {
+  static const dist::LogNormal d(3.0, 0.5);
+  return d;
+}
+const core::CostModel kModel = core::CostModel::reservation_only();
+}  // namespace
+
+static void BM_MeanByMean(benchmark::State& state) {
+  const core::MeanByMean h;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.generate(lognormal(), kModel));
+  }
+}
+BENCHMARK(BM_MeanByMean);
+
+static void BM_MeanStdev(benchmark::State& state) {
+  const core::MeanStdev h;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.generate(lognormal(), kModel));
+  }
+}
+BENCHMARK(BM_MeanStdev);
+
+static void BM_MedianByMedian(benchmark::State& state) {
+  const core::MedianByMedian h;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.generate(lognormal(), kModel));
+  }
+}
+BENCHMARK(BM_MedianByMedian);
+
+static void BM_RecurrenceFromT1(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::sequence_from_t1(lognormal(), kModel, 30.0));
+  }
+}
+BENCHMARK(BM_RecurrenceFromT1);
+
+static void BM_BruteForce(benchmark::State& state) {
+  core::BruteForceOptions opts;
+  opts.grid_points = static_cast<std::size_t>(state.range(0));
+  opts.mc_samples = 1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::brute_force_search(lognormal(), kModel, opts));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BruteForce)->Arg(100)->Arg(500)->Arg(2000)->Complexity();
+
+static void BM_DiscretizedDp(benchmark::State& state) {
+  const core::DiscretizedDp h(sim::DiscretizationOptions{
+      static_cast<std::size_t>(state.range(0)), 1e-7,
+      sim::DiscretizationScheme::kEqualProbability});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.generate(lognormal(), kModel));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DiscretizedDp)->Arg(100)->Arg(250)->Arg(500)->Complexity();
+
+static void BM_AnalyticExpectedCost(benchmark::State& state) {
+  const auto seq = core::MeanDoubling().generate(lognormal(), kModel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::expected_cost_analytic(seq, lognormal(), kModel));
+  }
+}
+BENCHMARK(BM_AnalyticExpectedCost);
+
+static void BM_MonteCarloExpectedCost(benchmark::State& state) {
+  const auto seq = core::MeanDoubling().generate(lognormal(), kModel);
+  sim::MonteCarloOptions opts;
+  opts.samples = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::expected_cost_monte_carlo(seq, lognormal(), kModel, opts));
+  }
+}
+BENCHMARK(BM_MonteCarloExpectedCost)->Arg(1000)->Arg(10000);

@@ -1,0 +1,62 @@
+// google-benchmark: asymptotic scaling of the substrate pieces -- the
+// Theorem 5 DP is O(n^2) in the number of discrete samples; discretization
+// is O(n) quantile calls; the event simulator is O(attempts) per job.
+
+#include <benchmark/benchmark.h>
+
+#include "core/heuristics/dp_discretization.hpp"
+#include "dist/exponential.hpp"
+#include "sim/discretize.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/rng.hpp"
+
+using namespace sre;
+
+static void BM_DpQuadratic(benchmark::State& state) {
+  const dist::Exponential e(1.0);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto disc = sim::discretize(
+      e, sim::DiscretizationOptions{n, 1e-7,
+                                    sim::DiscretizationScheme::kEqualProbability});
+  const core::CostModel m = core::CostModel::reservation_only();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::dp_optimal_sequence(disc, m));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DpQuadratic)->RangeMultiplier(2)->Range(64, 2048)->Complexity(
+    benchmark::oNSquared);
+
+static void BM_DiscretizeLinear(benchmark::State& state) {
+  const dist::Exponential e(1.0);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::discretize(
+        e, sim::DiscretizationOptions{
+               n, 1e-7, sim::DiscretizationScheme::kEqualTime}));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DiscretizeLinear)->RangeMultiplier(4)->Range(64, 4096)->Complexity(
+    benchmark::oN);
+
+static void BM_EventSimPerJob(benchmark::State& state) {
+  std::vector<double> res{1.0};
+  while (res.size() < 32) res.push_back(res.back() * 1.5);
+  const sim::PlatformSimulator simulator(res, {1.0, 1.0, 0.1});
+  const dist::Exponential e(0.2);
+  sim::Rng rng = sim::make_rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.run_job(e.sample(rng)));
+  }
+}
+BENCHMARK(BM_EventSimPerJob);
+
+static void BM_SampleDraw(benchmark::State& state) {
+  const dist::Exponential e(1.0);
+  sim::Rng rng = sim::make_rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e.sample(rng));
+  }
+}
+BENCHMARK(BM_SampleDraw);

@@ -1,0 +1,40 @@
+// Table 4: normalized expected costs of the two discretization-based DP
+// heuristics as the number of samples n grows.
+
+#include "common.hpp"
+#include "core/heuristics/dp_discretization.hpp"
+#include "dist/factory.hpp"
+
+using namespace sre;
+
+int main() {
+  const bench::BenchConfig cfg = bench::BenchConfig::from_env();
+  const core::CostModel model = core::CostModel::reservation_only();
+  const std::vector<std::size_t> ns = {10, 25, 50, 100, 250, 500, 1000};
+
+  core::EvaluationOptions eval_opts;
+  eval_opts.mc.samples = cfg.mc_samples;
+  eval_opts.mc.seed = cfg.seed;
+
+  for (const auto scheme : {sim::DiscretizationScheme::kEqualTime,
+                            sim::DiscretizationScheme::kEqualProbability}) {
+    std::vector<std::string> header = {"Distribution"};
+    for (const std::size_t n : ns) header.push_back("n=" + std::to_string(n));
+
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& inst : dist::paper_distributions()) {
+      std::vector<std::string> row = {inst.label};
+      for (const std::size_t n : ns) {
+        const core::DiscretizedDp h(
+            sim::DiscretizationOptions{n, cfg.epsilon, scheme});
+        const auto eval = evaluate_heuristic(h, *inst.dist, model, eval_opts);
+        row.push_back(bench::fmt(eval.normalized_mc));
+      }
+      rows.push_back(std::move(row));
+    }
+    bench::print_table(std::string("Table 4: ") + sim::to_string(scheme) +
+                           " normalized costs vs n (eps=1e-7)",
+                       header, rows);
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Checkpoint advisor: given a job law and checkpoint/restart overheads,
+// should reservations carry checkpoints? Compares the optimal restart plan
+// (Theorem 5 DP) against the optimal always-checkpoint plan (work-level DP)
+// and prints the break-even overhead.
+//
+//   checkpoint_advisor [--dist SPEC] [--ckpt C] [--restart R]
+//                      [--alpha A --beta B --gamma G]
+
+#include <cstdio>
+
+#include "core/checkpoint.hpp"
+#include "core/omniscient.hpp"
+#include "platform/cli.hpp"
+
+int main(int argc, char** argv) {
+  const sre::platform::ArgParser args(argc, argv);
+  std::string error;
+  const auto d = sre::platform::parse_distribution_spec(
+      args.value_or("dist", std::string("lognormal")), &error);
+  if (!d) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const sre::core::CostModel model{args.value_or("alpha", 1.0),
+                                   args.value_or("beta", 0.0),
+                                   args.value_or("gamma", 0.0)};
+  const sre::core::CheckpointModel ckpt{
+      args.value_or("ckpt", 0.05 * d->mean()),
+      args.value_or("restart", 0.02 * d->mean())};
+
+  std::printf("law      : %s (mean %.4g)\n", d->describe().c_str(), d->mean());
+  std::printf("cost     : %s\n", model.describe().c_str());
+  std::printf("overheads: checkpoint C = %.4g, restart R = %.4g\n",
+              ckpt.checkpoint_cost, ckpt.restart_cost);
+
+  const auto advice = sre::core::advise_checkpointing(*d, model, ckpt);
+  const double omniscient = sre::core::omniscient_cost(*d, model);
+  std::printf("\nrestart optimum     : %.6g (normalized %.3f)\n",
+              advice.restart_cost, advice.restart_cost / omniscient);
+  std::printf("checkpoint optimum  : %.6g (normalized %.3f)\n",
+              advice.checkpoint_cost, advice.checkpoint_cost / omniscient);
+  std::printf("advice              : %s (%.1f%% %s)\n",
+              advice.use_checkpoints ? "CHECKPOINT" : "RESTART",
+              100.0 * std::abs(advice.savings_fraction),
+              advice.use_checkpoints ? "saved" : "lost by checkpointing");
+
+  // The checkpoint plan itself.
+  const auto plan = sre::core::checkpoint_discretized_dp(*d, model, ckpt);
+  std::printf("\ncheckpoint plan (reservation -> banked work):\n");
+  for (std::size_t i = 0; i < std::min<std::size_t>(plan.size(), 8); ++i) {
+    std::printf("  t%zu = %.4g  ->  W = %.4g\n", i + 1, plan.reservations()[i],
+                plan.banked_work()[i]);
+  }
+  if (plan.size() > 8) std::printf("  ... (%zu reservations)\n", plan.size());
+
+  // Break-even: scan the checkpoint overhead (with R = C) for the largest
+  // C at which checkpointing still wins.
+  std::printf("\nbreak-even sweep (R = C):\n  C/mean: ");
+  for (const double frac : {0.01, 0.02, 0.05, 0.1, 0.2, 0.5}) {
+    const sre::core::CheckpointModel probe{frac * d->mean(),
+                                           frac * d->mean()};
+    const auto a = sre::core::advise_checkpointing(*d, model, probe);
+    std::printf("%.2f:%s ", frac, a.use_checkpoints ? "CKPT" : "rst");
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,26 @@
+#include "core/bounds.hpp"
+
+#include <cassert>
+
+namespace sre::core {
+
+double upper_bound_t1(const dist::Distribution& d, const CostModel& m) {
+  assert(m.valid());
+  const dist::Support s = d.support();
+  if (s.bounded()) return s.upper;
+  const double a = s.lower;
+  const double ex = d.mean();
+  const double ex2 = d.second_moment();
+  return ex + 1.0 + (m.alpha + m.beta) / (2.0 * m.alpha) * (ex2 - a * a) +
+         (m.alpha + m.beta + m.gamma) / m.alpha * (ex - a);
+}
+
+double upper_bound_cost(const dist::Distribution& d, const CostModel& m) {
+  const dist::Support s = d.support();
+  if (s.bounded()) {
+    return m.alpha * s.upper + m.beta * d.mean() + m.gamma;
+  }
+  return m.beta * d.mean() + m.alpha * upper_bound_t1(d, m) + m.gamma;
+}
+
+}  // namespace sre::core

@@ -1,0 +1,24 @@
+#pragma once
+
+// Theorem 2: for any law with infinite support and finite second moment, the
+// optimal first reservation satisfies t1 <= A1 and the optimal expected cost
+// is at most A2, where
+//   A1 = E[X] + 1 + (alpha+beta)/(2 alpha) (E[X^2] - a^2)
+//              + (alpha+beta+gamma)/alpha (E[X] - a)          (Eq. 6)
+//   A2 = beta E[X] + alpha A1 + gamma                         (Eq. 7)
+// These bound the brute-force search interval for t1.
+
+#include "core/cost_model.hpp"
+#include "dist/distribution.hpp"
+
+namespace sre::core {
+
+/// A1 of Eq. (6). For bounded support the trivial bound b is returned
+/// instead (a single reservation at b is always available).
+double upper_bound_t1(const dist::Distribution& d, const CostModel& m);
+
+/// A2 of Eq. (7) (for bounded support: the cost of the single reservation
+/// (b), i.e. alpha*b + beta*E[X] + gamma).
+double upper_bound_cost(const dist::Distribution& d, const CostModel& m);
+
+}  // namespace sre::core

@@ -1,0 +1,354 @@
+#include "core/checkpoint.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "core/heuristics/dp_discretization.hpp"
+#include "stats/root_finding.hpp"
+#include "stats/summary.hpp"
+
+namespace sre::core {
+
+namespace {
+
+double restore_cost(const CheckpointModel& ckpt, std::size_t attempt_index) {
+  return (attempt_index == 0) ? 0.0 : ckpt.restart_cost;
+}
+
+}  // namespace
+
+std::optional<CheckpointSequence> CheckpointSequence::from_reservations(
+    std::vector<double> reservations, const CheckpointModel& ckpt) {
+  assert(ckpt.valid());
+  if (reservations.empty()) return std::nullopt;
+  CheckpointSequence out;
+  out.ckpt_ = ckpt;
+  double banked = 0.0;
+  for (std::size_t i = 0; i < reservations.size(); ++i) {
+    const double work =
+        reservations[i] - restore_cost(ckpt, i) - ckpt.checkpoint_cost;
+    if (!(work > 0.0) || !std::isfinite(work)) return std::nullopt;
+    banked += work;
+    out.banked_.push_back(banked);
+  }
+  out.reservations_ = std::move(reservations);
+  return out;
+}
+
+CheckpointSequence CheckpointSequence::from_work_targets(
+    const std::vector<double>& targets, const CheckpointModel& ckpt) {
+  assert(ckpt.valid() && !targets.empty());
+  CheckpointSequence out;
+  out.ckpt_ = ckpt;
+  double prev = 0.0;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    assert(targets[i] > prev);
+    out.reservations_.push_back(targets[i] - prev + restore_cost(ckpt, i) +
+                                ckpt.checkpoint_cost);
+    out.banked_.push_back(targets[i]);
+    prev = targets[i];
+  }
+  return out;
+}
+
+double CheckpointSequence::cost_for(double x, const CostModel& m) const {
+  double total = 0.0;
+  double prev_work = 0.0;
+  for (std::size_t i = 0; i < reservations_.size(); ++i) {
+    const double t = reservations_[i];
+    if (x <= banked_[i]) {
+      const double used = restore_cost(ckpt_, i) + (x - prev_work);
+      return total + m.alpha * t + m.beta * used + m.gamma;
+    }
+    total += m.alpha * t + m.beta * t + m.gamma;
+    prev_work = banked_[i];
+  }
+  // Implicit tail: work targets double past the last banked level.
+  double target = banked_.back();
+  std::size_t i = reservations_.size();
+  for (;;) {
+    const double next_target = target * 2.0;
+    const double t = (next_target - target) + restore_cost(ckpt_, i) +
+                     ckpt_.checkpoint_cost;
+    if (x <= next_target) {
+      const double used = restore_cost(ckpt_, i) + (x - target);
+      return total + m.alpha * t + m.beta * used + m.gamma;
+    }
+    total += m.alpha * t + m.beta * t + m.gamma;
+    target = next_target;
+    ++i;
+  }
+}
+
+std::size_t CheckpointSequence::attempts_for(double x) const {
+  for (std::size_t i = 0; i < banked_.size(); ++i) {
+    if (x <= banked_[i]) return i + 1;
+  }
+  double target = banked_.back();
+  std::size_t k = banked_.size();
+  while (x > target) {
+    target *= 2.0;
+    ++k;
+  }
+  return k;
+}
+
+double checkpoint_expected_cost(const CheckpointSequence& seq,
+                                const dist::Distribution& d,
+                                const CostModel& m) {
+  assert(m.valid() && seq.size() > 0);
+  const CheckpointModel& ckpt = seq.model();
+  stats::KahanSum sum;
+
+  double prev_work = 0.0;         // W_{k-1}
+  double sf_prev = d.sf(0.0);     // P(X > W_{k-1})
+  double failed_prefix = 0.0;     // sum over failed attempts so far
+  std::size_t k = 0;
+
+  auto add_bucket = [&](double t, double work_after) {
+    // Bucket: jobs with W_{k-1} < X <= W_k finish in reservation k.
+    const double sf_after = d.sf(work_after);
+    const double p = sf_prev - sf_after;
+    if (p > 0.0) {
+      const double r = restore_cost(ckpt, k);
+      sum.add(p * (failed_prefix + m.alpha * t + m.gamma +
+                   m.beta * (r - prev_work)));
+      sum.add(m.beta * d.partial_expectation(prev_work, work_after));
+    }
+    failed_prefix += (m.alpha + m.beta) * t + m.gamma;
+    prev_work = work_after;
+    sf_prev = sf_after;
+    ++k;
+  };
+
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    add_bucket(seq.reservations()[i], seq.banked_work()[i]);
+    if (sf_prev <= 1e-15) return sum.value();
+  }
+  // Implicit doubled-work tail.
+  std::size_t guard = 0;
+  while (sf_prev > 1e-15 && guard++ < 4096) {
+    const double next = prev_work * 2.0;
+    const double t =
+        (next - prev_work) + restore_cost(ckpt, k) + ckpt.checkpoint_cost;
+    add_bucket(t, next);
+  }
+  return sum.value();
+}
+
+CheckpointDpResult checkpoint_dp(const dist::DiscreteDistribution& d,
+                                 const CostModel& m,
+                                 const CheckpointModel& ckpt) {
+  assert(m.valid() && ckpt.valid());
+  const auto& v = d.values();
+  const auto& f = d.probabilities();
+  const std::size_t n = v.size();
+
+  // Suffix mass and weighted mass, as in the plain Theorem 5 DP.
+  std::vector<double> S(n + 1, 0.0), Wt(n + 1, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    S[i] = S[i + 1] + f[i];
+    Wt[i] = Wt[i + 1] + f[i] * v[i];
+  }
+
+  // E[l] = optimal expected remaining cost given work v_l is secured and
+  // X > v_l. Level n means "nothing secured yet" handled separately below.
+  std::vector<double> E(n, 0.0);
+  std::vector<std::size_t> choice(n, n);
+
+  const auto transition = [&](std::size_t level_idx, bool first,
+                              double secured, double cond_mass,
+                              std::size_t from_j, double* best,
+                              std::size_t* best_j) {
+    (void)level_idx;
+    const double r = first ? 0.0 : ckpt.restart_cost;
+    for (std::size_t j = from_j; j < n; ++j) {
+      const double t = (v[j] - secured) + r + ckpt.checkpoint_cost;
+      // Success mass: atoms in (secured, v_j].
+      const double p_succ = cond_mass - S[j + 1];
+      const double e_succ_x = Wt[from_j] - Wt[j + 1];
+      double cost = m.alpha * t + m.gamma +
+                    m.beta * ((r - secured) * p_succ + e_succ_x) / cond_mass;
+      if (S[j + 1] > 0.0) {
+        cost += S[j + 1] / cond_mass * (m.beta * t + E[j]);
+      }
+      if (cost < *best) {
+        *best = cost;
+        *best_j = j;
+      }
+      if (S[j + 1] <= 0.0) break;
+    }
+  };
+
+  for (std::size_t l = n; l-- > 0;) {
+    if (S[l + 1] <= 0.0) {
+      E[l] = 0.0;  // unreachable with positive probability
+      choice[l] = l;
+      continue;
+    }
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_j = l + 1;
+    transition(l, /*first=*/false, v[l], S[l + 1], l + 1, &best, &best_j);
+    E[l] = best;
+    choice[l] = best_j;
+  }
+
+  double e0 = std::numeric_limits<double>::infinity();
+  std::size_t j0 = 0;
+  transition(n, /*first=*/true, 0.0, S[0], 0, &e0, &j0);
+
+  CheckpointDpResult out;
+  out.expected_cost = e0;
+  std::vector<double> targets;
+  std::size_t j = j0;
+  for (;;) {
+    out.targets.push_back(j);
+    targets.push_back(v[j]);
+    if (S[j + 1] <= 0.0) break;
+    j = choice[j];
+  }
+  out.sequence = CheckpointSequence::from_work_targets(targets, ckpt);
+  return out;
+}
+
+CheckpointSequence checkpoint_fixed_quantum(const dist::Distribution& d,
+                                            const CheckpointModel& ckpt,
+                                            double quantum,
+                                            double coverage_sf,
+                                            std::size_t max_length) {
+  assert(quantum > 0.0);
+  const dist::Support s = d.support();
+  std::vector<double> targets;
+  double w = 0.0;
+  while (targets.size() < max_length) {
+    w += quantum;
+    if (s.bounded() && w >= s.upper) {
+      targets.push_back(s.upper);
+      break;
+    }
+    targets.push_back(w);
+    if (!s.bounded() && d.sf(w) <= coverage_sf) break;
+  }
+  if (s.bounded() && targets.back() < s.upper) targets.push_back(s.upper);
+  return CheckpointSequence::from_work_targets(targets, ckpt);
+}
+
+CheckpointSequence checkpoint_discretized_dp(
+    const dist::Distribution& d, const CostModel& m,
+    const CheckpointModel& ckpt, const sim::DiscretizationOptions& disc) {
+  const dist::DiscreteDistribution discrete = sim::discretize(d, disc);
+  const CheckpointDpResult dp = checkpoint_dp(discrete, m, ckpt);
+  std::vector<double> targets = dp.sequence.banked_work();
+  const dist::Support s = d.support();
+  if (s.bounded()) {
+    if (targets.back() < s.upper) targets.push_back(s.upper);
+  } else {
+    double cur = targets.back();
+    std::size_t guard = 0;
+    while (d.sf(cur) > 1e-12 && guard++ < 64) {
+      cur *= 2.0;
+      targets.push_back(cur);
+    }
+  }
+  return CheckpointSequence::from_work_targets(targets, ckpt);
+}
+
+CheckpointPolishResult polish_checkpoint_targets(const CheckpointSequence& seq,
+                                                 const dist::Distribution& d,
+                                                 const CostModel& m,
+                                                 std::size_t max_sweeps) {
+  CheckpointPolishResult out;
+  const CheckpointModel ckpt = seq.model();
+  std::vector<double> targets = seq.banked_work();
+  const auto cost_of = [&](const std::vector<double>& w) {
+    return checkpoint_expected_cost(
+        CheckpointSequence::from_work_targets(w, ckpt), d, m);
+  };
+  out.cost_before = cost_of(targets);
+  double current = out.cost_before;
+  const dist::Support sup = d.support();
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    const double at_start = current;
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      const double lo =
+          ((i == 0) ? 0.0 : targets[i - 1]) * (1.0 + 1e-12) + 1e-12;
+      double hi = (i + 1 < targets.size())
+                      ? targets[i + 1] * (1.0 - 1e-12)
+                      : (sup.bounded() ? sup.upper : targets[i] * 4.0);
+      if (!(hi > lo)) continue;
+      const double saved = targets[i];
+      const auto objective = [&](double w) {
+        targets[i] = w;
+        return cost_of(targets);
+      };
+      const stats::MinimizeResult min =
+          stats::grid_then_golden(objective, lo, hi, 20, 1e-10 * (hi - lo));
+      if (min.fx < current) {
+        targets[i] = min.x;
+        current = min.fx;
+      } else {
+        targets[i] = saved;
+      }
+    }
+    // Element removal (never break bounded-support coverage).
+    for (std::size_t i = 0; i < targets.size() && targets.size() > 1;) {
+      std::vector<double> reduced(targets);
+      reduced.erase(reduced.begin() + static_cast<std::ptrdiff_t>(i));
+      if (sup.bounded() && reduced.back() < sup.upper) {
+        ++i;
+        continue;
+      }
+      const double c = cost_of(reduced);
+      if (c <= current) {
+        targets = std::move(reduced);
+        current = c;
+      } else {
+        ++i;
+      }
+    }
+    if (at_start - current <= 1e-9 * std::fabs(at_start)) break;
+  }
+  out.sequence = CheckpointSequence::from_work_targets(targets, ckpt);
+  out.cost_after = current;
+  return out;
+}
+
+CheckpointAdvice advise_checkpointing(const dist::Distribution& d,
+                                      const CostModel& m,
+                                      const CheckpointModel& ckpt,
+                                      const sim::DiscretizationOptions& disc) {
+  const dist::DiscreteDistribution discrete = sim::discretize(d, disc);
+  CheckpointAdvice out;
+  // Both optima are computed on the same discrete law so the comparison is
+  // apples to apples.
+  out.restart_cost = dp_optimal_sequence(discrete, m).expected_cost;
+  out.checkpoint_cost = checkpoint_dp(discrete, m, ckpt).expected_cost;
+  out.use_checkpoints = out.checkpoint_cost <= out.restart_cost;
+  if (out.restart_cost > 0.0) {
+    out.savings_fraction = 1.0 - out.checkpoint_cost / out.restart_cost;
+  }
+  return out;
+}
+
+CheckpointSequence checkpoint_mean_doubling(const dist::Distribution& d,
+                                            const CheckpointModel& ckpt,
+                                            double coverage_sf,
+                                            std::size_t max_length) {
+  std::vector<double> targets{d.mean()};
+  const dist::Support s = d.support();
+  while (targets.size() < max_length) {
+    if (s.bounded()) {
+      if (targets.back() >= s.upper) break;
+      targets.push_back(std::fmin(targets.back() * 2.0, s.upper));
+    } else {
+      if (d.sf(targets.back()) <= coverage_sf) break;
+      targets.push_back(targets.back() * 2.0);
+    }
+  }
+  if (s.bounded() && targets.back() < s.upper) targets.push_back(s.upper);
+  return CheckpointSequence::from_work_targets(targets, ckpt);
+}
+
+}  // namespace sre::core

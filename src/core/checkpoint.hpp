@@ -1,0 +1,163 @@
+#pragma once
+
+// Checkpointed reservations -- the extension sketched in the paper's
+// conclusion ("include checkpoint snapshots at the end of some, if not all,
+// reservations"), implemented here in its always-checkpoint form.
+//
+// Model. A checkpoint written at the end of a reservation costs C time
+// units inside that reservation; a restart (reading the latest checkpoint)
+// costs R time units at the beginning of every reservation except the
+// first. Work is cumulative: after i failed reservations the job has banked
+//   W_i = sum_{j<=i} (t_j - R_j - C),   R_1 = 0, R_j = R otherwise,
+// and reservation i succeeds iff the remaining work fits in its work
+// window: X - W_{i-1} <= t_i - R_i - C, i.e. X <= W_i. (The checkpoint slot
+// is provisioned whether or not the job finishes; a job that would only
+// finish inside the checkpoint window counts as a failure -- a conservative
+// simplification that keeps the success predicate aligned with the banked
+// work, so the dynamic program below is exact for discrete laws.)
+// The money cost of a reservation is still Eq. (1): alpha*t + beta*used +
+// gamma, where a failed reservation uses all of t (restore + work +
+// checkpoint) and the successful one uses R_k + (X - W_{k-1}).
+//
+// The trade-off the paper anticipates: without checkpoints every failure
+// restarts from scratch (work is wasted), but no time is spent writing
+// checkpoints; with checkpoints failures are cheap but every reservation
+// carries the C (and later R) overhead. See bench/ext_checkpoint for the
+// crossover study.
+
+#include <optional>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/sequence.hpp"
+#include "dist/discrete.hpp"
+#include "dist/distribution.hpp"
+#include "sim/discretize.hpp"
+
+namespace sre::core {
+
+/// Checkpoint/restart overheads, in the same time unit as reservations.
+struct CheckpointModel {
+  double checkpoint_cost = 0.0;  ///< C: written at the end of a reservation
+  double restart_cost = 0.0;     ///< R: read at the start of retries
+
+  [[nodiscard]] bool valid() const noexcept {
+    return checkpoint_cost >= 0.0 && restart_cost >= 0.0;
+  }
+};
+
+/// A checkpointed plan: reservation lengths plus the derived work ledger.
+class CheckpointSequence {
+ public:
+  /// Builds the ledger from raw reservation lengths. Every reservation must
+  /// bank positive work (t_i > R_i + C); returns nullopt otherwise.
+  static std::optional<CheckpointSequence> from_reservations(
+      std::vector<double> reservations, const CheckpointModel& ckpt);
+
+  /// Builds reservations from cumulative work targets 0 < w_1 < w_2 < ...:
+  /// t_i = (w_i - w_{i-1}) + R_i + C. A job of size X finishes in the first
+  /// reservation whose target satisfies w_i >= X.
+  static CheckpointSequence from_work_targets(
+      const std::vector<double>& targets, const CheckpointModel& ckpt);
+
+  [[nodiscard]] const std::vector<double>& reservations() const noexcept {
+    return reservations_;
+  }
+  /// Cumulative banked work W_i; also the coverage of reservation i (the
+  /// largest job it can finish). Strictly increasing.
+  [[nodiscard]] const std::vector<double>& banked_work() const noexcept {
+    return banked_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return reservations_.size();
+  }
+  [[nodiscard]] const CheckpointModel& model() const noexcept { return ckpt_; }
+
+  /// Total money cost for a job of size X (walks the ledger; jobs beyond
+  /// the last coverage point continue with doubled work increments).
+  [[nodiscard]] double cost_for(double x, const CostModel& m) const;
+
+  /// Number of reservations paid for a job of size X.
+  [[nodiscard]] std::size_t attempts_for(double x) const;
+
+ private:
+  std::vector<double> reservations_;
+  std::vector<double> banked_;
+  CheckpointModel ckpt_;
+};
+
+/// Exact expected cost of a checkpointed plan under the law `d` (bucket
+/// decomposition with closed-form partial expectations). Jobs beyond the
+/// stored coverage continue on the implicit doubled-work tail.
+double checkpoint_expected_cost(const CheckpointSequence& seq,
+                                const dist::Distribution& d,
+                                const CostModel& m);
+
+/// Theorem-5-style O(n^2) dynamic program for a *discrete* law under the
+/// always-checkpoint model: states are secured work levels (0 or a support
+/// point), transitions pick the next coverage target. Optimal among plans
+/// whose coverage targets are support points.
+struct CheckpointDpResult {
+  CheckpointSequence sequence;
+  double expected_cost = 0.0;
+  std::vector<std::size_t> targets;  ///< chosen support indices, increasing
+};
+CheckpointDpResult checkpoint_dp(const dist::DiscreteDistribution& d,
+                                 const CostModel& m,
+                                 const CheckpointModel& ckpt);
+
+/// Simple heuristic: work targets double from the mean
+/// (w_i = 2^{i-1} * E[X]) until the law is covered -- the checkpointed
+/// analogue of MEAN-DOUBLING.
+CheckpointSequence checkpoint_mean_doubling(const dist::Distribution& d,
+                                            const CheckpointModel& ckpt,
+                                            double coverage_sf = 1e-12,
+                                            std::size_t max_length = 128);
+
+/// Fixed work quantum: targets w_i = i * quantum until coverage. The sweep
+/// over the quantum (bench/ext_checkpoint_quantum) exhibits the classical
+/// checkpoint-interval trade-off: small quanta pay overhead every step,
+/// large quanta re-expose work to reservation misses.
+CheckpointSequence checkpoint_fixed_quantum(const dist::Distribution& d,
+                                            const CheckpointModel& ckpt,
+                                            double quantum,
+                                            double coverage_sf = 1e-12,
+                                            std::size_t max_length = 4096);
+
+/// Near-optimal continuous-law planner: truncate + discretize (Section
+/// 4.2.1) and run the work-level DP, then extend the last target by
+/// doubling for unbounded laws.
+CheckpointSequence checkpoint_discretized_dp(
+    const dist::Distribution& d, const CostModel& m,
+    const CheckpointModel& ckpt,
+    const sim::DiscretizationOptions& disc = {});
+
+/// Coordinate-descent polish of the work targets under the exact
+/// continuous expected cost: each target moves to its 1-D minimizer within
+/// its neighbours' bracket. Repairs the discretized DP's tail coarseness on
+/// heavy-tailed laws (see bench/ext_checkpoint_quantum). Never returns a
+/// costlier plan than the input.
+struct CheckpointPolishResult {
+  CheckpointSequence sequence;
+  double cost_before = 0.0;
+  double cost_after = 0.0;
+};
+CheckpointPolishResult polish_checkpoint_targets(
+    const CheckpointSequence& seq, const dist::Distribution& d,
+    const CostModel& m, std::size_t max_sweeps = 16);
+
+/// Expected-cost comparison of the best restart plan (Theorem 5 DP) vs the
+/// best always-checkpoint plan (work-level DP) on the same discretized
+/// law. Positive `savings_fraction` means checkpointing wins.
+struct CheckpointAdvice {
+  double restart_cost = 0.0;      ///< expected cost, no-checkpoint optimum
+  double checkpoint_cost = 0.0;   ///< expected cost, always-checkpoint optimum
+  bool use_checkpoints = false;
+  double savings_fraction = 0.0;  ///< 1 - checkpoint/restart (if positive)
+};
+CheckpointAdvice advise_checkpointing(const dist::Distribution& d,
+                                      const CostModel& m,
+                                      const CheckpointModel& ckpt,
+                                      const sim::DiscretizationOptions& disc = {});
+
+}  // namespace sre::core

@@ -1,0 +1,191 @@
+#include "core/convex_cost.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "stats/root_finding.hpp"
+#include "stats/summary.hpp"
+
+namespace sre::core {
+
+double ConvexCostFunction::inverse(double y) const {
+  // G is strictly increasing; bracket from 0 upward, then Brent.
+  const auto f = [this, y](double x) { return value(x) - y; };
+  if (f(0.0) >= 0.0) return 0.0;
+  const auto bracket = stats::bracket_upward(f, 0.0, 1.0);
+  if (!bracket) return std::numeric_limits<double>::quiet_NaN();
+  const auto root = stats::brent(f, bracket->first, bracket->second);
+  if (!root) return std::numeric_limits<double>::quiet_NaN();
+  return root->x;
+}
+
+AffineCost::AffineCost(double alpha, double gamma)
+    : alpha_(alpha), gamma_(gamma) {
+  assert(alpha > 0.0 && gamma >= 0.0);
+}
+double AffineCost::value(double x) const { return alpha_ * x + gamma_; }
+double AffineCost::derivative(double) const { return alpha_; }
+double AffineCost::inverse(double y) const { return (y - gamma_) / alpha_; }
+std::string AffineCost::describe() const {
+  std::ostringstream os;
+  os << "AffineCost(" << alpha_ << " x + " << gamma_ << ")";
+  return os.str();
+}
+
+QuadraticCost::QuadraticCost(double a, double b, double c)
+    : a_(a), b_(b), c_(c) {
+  assert(a >= 0.0 && b > 0.0 && c >= 0.0);
+}
+double QuadraticCost::value(double x) const { return (a_ * x + b_) * x + c_; }
+double QuadraticCost::derivative(double x) const { return 2.0 * a_ * x + b_; }
+double QuadraticCost::inverse(double y) const {
+  if (a_ == 0.0) return (y - c_) / b_;
+  const double disc = b_ * b_ - 4.0 * a_ * (c_ - y);
+  if (disc < 0.0) return std::numeric_limits<double>::quiet_NaN();
+  return (-b_ + std::sqrt(disc)) / (2.0 * a_);
+}
+std::string QuadraticCost::describe() const {
+  std::ostringstream os;
+  os << "QuadraticCost(" << a_ << " x^2 + " << b_ << " x + " << c_ << ")";
+  return os.str();
+}
+
+ExponentialSurchargeCost::ExponentialSurchargeCost(double alpha, double gamma,
+                                                   double kappa, double rho)
+    : alpha_(alpha), gamma_(gamma), kappa_(kappa), rho_(rho) {
+  assert(alpha > 0.0 && gamma >= 0.0 && kappa >= 0.0 && rho > 0.0);
+}
+double ExponentialSurchargeCost::value(double x) const {
+  return alpha_ * x + gamma_ + kappa_ * std::expm1(rho_ * x);
+}
+double ExponentialSurchargeCost::derivative(double x) const {
+  return alpha_ + kappa_ * rho_ * std::exp(rho_ * x);
+}
+std::string ExponentialSurchargeCost::describe() const {
+  std::ostringstream os;
+  os << "ExponentialSurchargeCost(" << alpha_ << " x + " << gamma_ << " + "
+     << kappa_ << " (e^{" << rho_ << " x} - 1))";
+  return os.str();
+}
+
+double convex_expected_cost(const ReservationSequence& seq,
+                            const dist::Distribution& d,
+                            const ConvexCostFunction& g, double beta,
+                            const AnalyticOptions& opts) {
+  assert(!seq.empty() && beta >= 0.0);
+  stats::KahanSum sum;
+  sum.add(beta * d.mean());
+  double prev = 0.0;
+  double sf_prev = d.sf(0.0);
+  std::size_t terms = 0;
+  auto add_term = [&](double next) {
+    sum.add((g.value(next) + beta * prev) * sf_prev);
+    prev = next;
+    sf_prev = d.sf(next);
+    ++terms;
+  };
+  for (const double v : seq.values()) {
+    add_term(v);
+    if (sf_prev <= opts.tail_sf_tol || terms >= opts.max_terms) break;
+  }
+  while (sf_prev > opts.tail_sf_tol && terms < opts.max_terms) {
+    add_term(prev * 2.0);
+  }
+  return sum.value();
+}
+
+RecurrenceResult convex_sequence_from_t1(const dist::Distribution& d,
+                                         const ConvexCostFunction& g,
+                                         double beta, double t1,
+                                         const RecurrenceOptions& opts) {
+  RecurrenceResult out;
+  const dist::Support sup = d.support();
+  if (!(t1 > 0.0) || !std::isfinite(t1)) return out;
+
+  std::vector<double> values;
+  values.push_back(t1);
+  if (sup.bounded() && t1 >= sup.upper) {
+    values.back() = sup.upper;
+    out.sequence = ReservationSequence(std::move(values));
+    out.valid = true;
+    return out;
+  }
+
+  double t_prev2 = 0.0;
+  double t_prev = t1;
+  while (values.size() < opts.max_length) {
+    const double sf_prev = d.sf(t_prev);
+    if (!sup.bounded() && sf_prev <= opts.coverage_sf) break;
+    const double density = d.pdf(t_prev);
+    if (!(density > 0.0) || !std::isfinite(density)) {
+      out.sequence = ReservationSequence(std::move(values));
+      out.violation_index = values.size();
+      return out;
+    }
+    const double rhs = g.derivative(t_prev) * d.sf(t_prev2) / density +
+                       beta * (sf_prev / density - t_prev);
+    const double next = g.inverse(rhs);
+    if (!(next > t_prev) || !std::isfinite(next) || next > opts.value_cap) {
+      out.sequence = ReservationSequence(std::move(values));
+      out.violation_index = values.size();
+      return out;
+    }
+    if (sup.bounded() && next >= sup.upper) {
+      values.push_back(sup.upper);
+      out.sequence = ReservationSequence(std::move(values));
+      out.valid = true;
+      return out;
+    }
+    values.push_back(next);
+    t_prev2 = t_prev;
+    t_prev = next;
+  }
+
+  if (sup.bounded()) {
+    while (values.back() < sup.upper) {
+      const double next = std::fmin(sup.upper, values.back() * 2.0);
+      if (!(next > values.back())) break;
+      values.push_back(next);
+    }
+    out.valid = values.back() >= sup.upper;
+  } else {
+    double cur = values.back();
+    while (d.sf(cur) > opts.coverage_sf &&
+           values.size() < opts.max_length + 64) {
+      cur *= 2.0;
+      values.push_back(cur);
+    }
+    out.valid = d.sf(values.back()) <= opts.coverage_sf;
+  }
+  out.sequence = ReservationSequence(std::move(values));
+  return out;
+}
+
+ConvexSearchResult convex_brute_force(const dist::Distribution& d,
+                                      const ConvexCostFunction& g, double beta,
+                                      double search_hi,
+                                      std::size_t grid_points) {
+  ConvexSearchResult out;
+  const double lo = d.support().lower;
+  assert(search_hi > lo && grid_points >= 2);
+  out.best_cost = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 1; i <= grid_points; ++i) {
+    const double t1 =
+        lo + (search_hi - lo) * static_cast<double>(i) /
+                 static_cast<double>(grid_points);
+    const RecurrenceResult rec = convex_sequence_from_t1(d, g, beta, t1);
+    if (!rec.valid) continue;
+    const double cost = convex_expected_cost(rec.sequence, d, g, beta);
+    if (cost < out.best_cost) {
+      out.best_cost = cost;
+      out.best_t1 = t1;
+      out.best_sequence = rec.sequence;
+      out.found = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace sre::core

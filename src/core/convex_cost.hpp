@@ -1,0 +1,105 @@
+#pragma once
+
+// Appendix C: the characterization of the optimal sequence extends from
+// affine reservation costs to any convex cost G(x). The expected cost becomes
+//   E(S) = beta E[X] + sum_{i>=0} (G(t_{i+1}) + beta t_i) P(X > t_i)
+// and the optimality recurrence (Eq. 37) reads
+//   t_i = G^{-1}( G'(t_{i-1}) (1-F(t_{i-2}))/f(t_{i-1})
+//               + beta ((1-F(t_{i-1}))/f(t_{i-1}) - t_{i-1}) ).
+// With G(x) = alpha x + gamma this reduces exactly to Eq. (11); a test
+// enforces the reduction.
+
+#include <memory>
+#include <string>
+
+#include "core/expected_cost.hpp"
+#include "core/recurrence.hpp"
+#include "core/sequence.hpp"
+#include "dist/distribution.hpp"
+
+namespace sre::core {
+
+/// A convex, strictly increasing reservation-cost function G on [0, inf).
+class ConvexCostFunction {
+ public:
+  virtual ~ConvexCostFunction() = default;
+
+  [[nodiscard]] virtual double value(double x) const = 0;       ///< G(x)
+  [[nodiscard]] virtual double derivative(double x) const = 0;  ///< G'(x)
+
+  /// G^{-1}(y). The default inverts numerically (bracket + Brent), relying
+  /// on strict monotonicity; closed-form overrides are provided where cheap.
+  [[nodiscard]] virtual double inverse(double y) const;
+
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+/// G(x) = alpha x + gamma (the paper's base model, for cross-validation).
+class AffineCost final : public ConvexCostFunction {
+ public:
+  AffineCost(double alpha, double gamma);
+  [[nodiscard]] double value(double x) const override;
+  [[nodiscard]] double derivative(double x) const override;
+  [[nodiscard]] double inverse(double y) const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  double alpha_;
+  double gamma_;
+};
+
+/// G(x) = a x^2 + b x + c with a >= 0, b > 0: superlinear pricing, e.g. a
+/// platform charging a premium for long exclusive reservations.
+class QuadraticCost final : public ConvexCostFunction {
+ public:
+  QuadraticCost(double a, double b, double c);
+  [[nodiscard]] double value(double x) const override;
+  [[nodiscard]] double derivative(double x) const override;
+  [[nodiscard]] double inverse(double y) const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  double a_, b_, c_;
+};
+
+/// G(x) = alpha x + gamma + kappa (e^{rho x} - 1): exponential surcharge
+/// modelling steeply rising prices for very long reservations.
+class ExponentialSurchargeCost final : public ConvexCostFunction {
+ public:
+  ExponentialSurchargeCost(double alpha, double gamma, double kappa,
+                           double rho);
+  [[nodiscard]] double value(double x) const override;
+  [[nodiscard]] double derivative(double x) const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  double alpha_, gamma_, kappa_, rho_;
+};
+
+/// Expected cost of a sequence under convex G (analytic series with the same
+/// truncation and implicit-doubling-tail rules as expected_cost_analytic).
+double convex_expected_cost(const ReservationSequence& seq,
+                            const dist::Distribution& d,
+                            const ConvexCostFunction& g, double beta,
+                            const AnalyticOptions& opts = {});
+
+/// Eq. (37) sequence generation from t1 (convex analogue of
+/// sequence_from_t1).
+RecurrenceResult convex_sequence_from_t1(const dist::Distribution& d,
+                                         const ConvexCostFunction& g,
+                                         double beta, double t1,
+                                         const RecurrenceOptions& opts = {});
+
+/// Grid search over t1 using the convex recurrence + analytic evaluation.
+struct ConvexSearchResult {
+  bool found = false;
+  double best_t1 = 0.0;
+  double best_cost = 0.0;
+  ReservationSequence best_sequence;
+};
+ConvexSearchResult convex_brute_force(const dist::Distribution& d,
+                                      const ConvexCostFunction& g, double beta,
+                                      double search_hi,
+                                      std::size_t grid_points = 1000);
+
+}  // namespace sre::core

@@ -1,0 +1,19 @@
+#include "core/cost_model.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sre::core {
+
+double CostModel::attempt_cost(double reserved, double exec) const noexcept {
+  return alpha * reserved + beta * std::min(reserved, exec) + gamma;
+}
+
+std::string CostModel::describe() const {
+  std::ostringstream os;
+  os << "CostModel(alpha=" << alpha << ", beta=" << beta << ", gamma=" << gamma
+     << ")";
+  return os.str();
+}
+
+}  // namespace sre::core

@@ -1,0 +1,35 @@
+#pragma once
+
+// The affine reservation cost of Eq. (1): a reservation of length t1 for a
+// job of actual duration t costs  alpha*t1 + beta*min(t1, t) + gamma.
+//  * alpha -- price per reserved unit (always paid);
+//  * beta  -- price per consumed unit (paid for time actually used);
+//  * gamma -- fixed start-up overhead per reservation.
+// RESERVATIONONLY is the special case beta = gamma = 0 (cloud Reserved
+// Instances); the NeuroHPC scenario uses alpha ~ wait-time slope, beta = 1,
+// gamma ~ wait-time intercept.
+
+#include <string>
+
+namespace sre::core {
+
+struct CostModel {
+  double alpha = 1.0;
+  double beta = 0.0;
+  double gamma = 0.0;
+
+  /// alpha = 1, beta = gamma = 0 (w.l.o.g. for the pure-reservation case).
+  static constexpr CostModel reservation_only() noexcept { return {1.0, 0.0, 0.0}; }
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return alpha > 0.0 && beta >= 0.0 && gamma >= 0.0;
+  }
+
+  /// Cost of a single reservation `reserved` for a job of duration `exec`
+  /// (Eq. 1). The attempt succeeds iff exec <= reserved.
+  [[nodiscard]] double attempt_cost(double reserved, double exec) const noexcept;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace sre::core

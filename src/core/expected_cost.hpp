@@ -1,0 +1,39 @@
+#pragma once
+
+// Expected cost of a reservation sequence, by two independent routes:
+//
+//  * expected_cost_analytic -- the Theorem 1 closed form (Eq. 4)
+//        E(S) = beta E[X] + sum_{i>=0} (alpha t_{i+1} + beta t_i + gamma) P(X > t_i),
+//    evaluated with compensated summation and the implicit doubling tail for
+//    sequences whose stored part does not yet exhaust the distribution.
+//
+//  * expected_cost_monte_carlo -- the paper's evaluation methodology
+//    (Eq. 13): average cost over N sampled execution times.
+//
+// The two agree to Monte-Carlo accuracy; the tests enforce it.
+
+#include "core/cost_model.hpp"
+#include "core/sequence.hpp"
+#include "dist/distribution.hpp"
+#include "sim/monte_carlo.hpp"
+
+namespace sre::core {
+
+struct AnalyticOptions {
+  /// Stop accumulating the series once the survival weight drops below this.
+  double tail_sf_tol = 1e-15;
+  /// Hard cap on series terms (stored + implicit) as a runaway guard.
+  std::size_t max_terms = 100000;
+};
+
+/// Eq. (4). Requires a nonempty sequence and a valid cost model.
+double expected_cost_analytic(const ReservationSequence& seq,
+                              const dist::Distribution& d, const CostModel& m,
+                              const AnalyticOptions& opts = {});
+
+/// Eq. (13): Monte-Carlo estimate over opts.samples draws.
+sim::MonteCarloResult expected_cost_monte_carlo(
+    const ReservationSequence& seq, const dist::Distribution& d,
+    const CostModel& m, const sim::MonteCarloOptions& opts = {});
+
+}  // namespace sre::core

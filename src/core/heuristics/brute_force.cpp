@@ -1,0 +1,110 @@
+#include "core/heuristics/brute_force.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "core/bounds.hpp"
+#include "core/expected_cost.hpp"
+#include "sim/parallel.hpp"
+#include "sim/rng.hpp"
+
+namespace sre::core {
+
+BruteForceOutcome brute_force_search(const dist::Distribution& d,
+                                     const CostModel& m,
+                                     const BruteForceOptions& opts,
+                                     bool keep_sweep) {
+  assert(m.valid() && opts.grid_points >= 1);
+  BruteForceOutcome out;
+
+  const dist::Support sup = d.support();
+  const double lo = opts.search_lo.value_or(sup.lower);
+  const double hi = opts.search_hi.value_or(upper_bound_t1(d, m));
+  assert(hi > lo);
+
+  // Common random numbers: one sample set shared by every candidate.
+  std::vector<double> samples;
+  if (!opts.analytic_eval) {
+    samples = sim::draw_samples(d, opts.mc_samples, opts.seed);
+  }
+
+  const std::size_t M = opts.grid_points;
+  constexpr double kInvalid = std::numeric_limits<double>::infinity();
+  std::vector<double> costs(M, kInvalid);
+
+  const auto evaluate_candidate = [&](std::size_t idx) {
+    // The paper's grid: t1 = a + m (b-a)/M for m = 1..M.
+    const double t1 = lo + (hi - lo) * static_cast<double>(idx + 1) /
+                               static_cast<double>(M);
+    const RecurrenceResult rec = sequence_from_t1(d, m, t1, opts.recurrence);
+    if (!rec.valid) return;
+    if (opts.analytic_eval) {
+      costs[idx] = expected_cost_analytic(rec.sequence, d, m);
+    } else {
+      const SequenceCostEvaluator eval(rec.sequence, m);
+      costs[idx] = eval.mean_cost(samples);
+    }
+  };
+
+  if (opts.parallel) {
+    sim::parallel_for(0, M, evaluate_candidate, 16);
+  } else {
+    for (std::size_t i = 0; i < M; ++i) evaluate_candidate(i);
+  }
+
+  double best_cost = kInvalid;
+  std::size_t best_idx = 0;
+  for (std::size_t i = 0; i < M; ++i) {
+    if (costs[i] < best_cost) {
+      best_cost = costs[i];
+      best_idx = i;
+    }
+  }
+  if (std::isfinite(best_cost)) {
+    out.found = true;
+    out.best_cost = best_cost;
+    out.best_t1 = lo + (hi - lo) * static_cast<double>(best_idx + 1) /
+                           static_cast<double>(M);
+    out.best_sequence =
+        sequence_from_t1(d, m, out.best_t1, opts.recurrence).sequence;
+  }
+
+  if (keep_sweep) {
+    const double omniscient = omniscient_cost(d, m);
+    out.sweep.reserve(M);
+    for (std::size_t i = 0; i < M; ++i) {
+      BruteForcePoint p;
+      p.t1 = lo + (hi - lo) * static_cast<double>(i + 1) /
+                      static_cast<double>(M);
+      p.valid = std::isfinite(costs[i]);
+      p.normalized_cost = p.valid ? costs[i] / omniscient : 0.0;
+      out.sweep.push_back(p);
+    }
+  }
+  return out;
+}
+
+BruteForce::BruteForce(BruteForceOptions opts) : opts_(std::move(opts)) {}
+
+std::string BruteForce::name() const { return "Brute-Force"; }
+
+ReservationSequence BruteForce::generate(const dist::Distribution& d,
+                                         const CostModel& m) const {
+  BruteForceOutcome out = brute_force_search(d, m, opts_);
+  if (out.found) return std::move(out.best_sequence);
+  // Degenerate fallback (no valid candidate on the grid): cover the
+  // distribution by doubling from its mean.
+  std::vector<double> values{d.mean()};
+  const dist::Support s = d.support();
+  if (s.bounded()) {
+    if (values.back() < s.upper) values.push_back(s.upper);
+  } else {
+    while (d.sf(values.back()) > 1e-12 && values.size() < 128) {
+      values.push_back(values.back() * 2.0);
+    }
+  }
+  return ReservationSequence(std::move(values));
+}
+
+}  // namespace sre::core

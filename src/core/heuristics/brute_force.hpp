@@ -1,0 +1,73 @@
+#pragma once
+
+// The BRUTE-FORCE procedure (Section 4.1): try M values of t1 on [a, b]
+// (b = upper support bound, or the Theorem 2 bound A1 when unbounded),
+// generate the rest of each candidate sequence with the Eq. (11) optimality
+// recurrence, cost each candidate, and keep the best. Candidates whose
+// recurrence fails to stay strictly increasing are discarded (the gaps of
+// Fig. 3).
+//
+// The paper costs candidates by Monte Carlo with N samples; for variance
+// reduction we draw the N samples once and reuse them across all candidates
+// (common random numbers), which also makes the Fig. 3 sweep smooth. An
+// analytic mode (Eq. 4) is available for deterministic results.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/heuristics/heuristic.hpp"
+#include "core/recurrence.hpp"
+
+namespace sre::core {
+
+struct BruteForceOptions {
+  std::size_t grid_points = 5000;  ///< M in the paper
+  std::size_t mc_samples = 1000;   ///< N in the paper
+  std::uint64_t seed = 42;
+  bool analytic_eval = false;  ///< cost by Eq. (4) instead of Monte Carlo
+  bool parallel = true;
+  RecurrenceOptions recurrence{};
+  /// Search interval override; defaults to [support lower bound, A1 or b].
+  std::optional<double> search_lo;
+  std::optional<double> search_hi;
+};
+
+/// One point of the t1 sweep (the Fig. 3 series).
+struct BruteForcePoint {
+  double t1 = 0.0;
+  bool valid = false;            ///< recurrence produced a covering sequence
+  double normalized_cost = 0.0;  ///< cost / E^o (meaningful iff valid)
+};
+
+struct BruteForceOutcome {
+  bool found = false;
+  double best_t1 = 0.0;
+  double best_cost = 0.0;  ///< expected cost (not normalized)
+  ReservationSequence best_sequence;
+  std::vector<BruteForcePoint> sweep;  ///< filled iff keep_sweep
+};
+
+/// Full search; `keep_sweep` additionally records every grid point for
+/// Fig.-3-style plots.
+BruteForceOutcome brute_force_search(const dist::Distribution& d,
+                                     const CostModel& m,
+                                     const BruteForceOptions& opts = {},
+                                     bool keep_sweep = false);
+
+/// Heuristic adapter around brute_force_search.
+class BruteForce final : public Heuristic {
+ public:
+  explicit BruteForce(BruteForceOptions opts = {});
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] ReservationSequence generate(const dist::Distribution& d,
+                                             const CostModel& m) const override;
+  [[nodiscard]] const BruteForceOptions& options() const noexcept {
+    return opts_;
+  }
+
+ private:
+  BruteForceOptions opts_;
+};
+
+}  // namespace sre::core

@@ -1,0 +1,124 @@
+#include "core/heuristics/closed_form_optimal.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "stats/root_finding.hpp"
+#include "stats/summary.hpp"
+
+namespace sre::core {
+
+namespace {
+
+// The Exp(1) recurrence s_{i+1} = e^{s_i - s_{i-1}} is doubly-exponentially
+// unstable: even at the true optimum the double-precision orbit eventually
+// turns around. Generation therefore distinguishes *why* it stopped.
+struct UnitSequence {
+  std::vector<double> s;
+  bool collapsed = false;  ///< monotonicity failed before tail convergence
+};
+
+UnitSequence generate_unit_sequence(double s1,
+                                    const ExponentialOptimalOptions& opts) {
+  UnitSequence out;
+  if (!(s1 > 0.0)) {
+    out.collapsed = true;
+    return out;
+  }
+  out.s.push_back(s1);
+  double prev2 = 0.0, prev = s1;
+  while (out.s.size() < opts.max_terms && std::exp(-prev) > opts.tail_tol) {
+    const double diff = prev - prev2;
+    if (diff > 700.0) break;  // e^{diff} overflows; tail long converged
+    const double next = std::exp(diff);
+    if (!(next > prev)) {
+      out.collapsed = true;
+      break;
+    }
+    out.s.push_back(next);
+    prev2 = prev;
+    prev = next;
+  }
+  return out;
+}
+
+// Height the orbit must reach before a collapse is attributed to numerical
+// instability rather than a genuinely invalid s1. e^{-12} ~ 6e-6 of tail
+// mass remains, which the tail estimate below accounts for.
+constexpr double kCollapseHeight = 12.0;
+
+}  // namespace
+
+double exponential_unit_cost(double s1,
+                             const ExponentialOptimalOptions& opts) {
+  const UnitSequence unit = generate_unit_sequence(s1, opts);
+  const auto& s = unit.s;
+  if (s.empty()) return std::numeric_limits<double>::infinity();
+  if (unit.collapsed && s.back() < kCollapseHeight) {
+    // The orbit turned around while substantial mass was uncovered: s1 is
+    // outside the valid basin (the gaps of Fig. 3a).
+    return std::numeric_limits<double>::infinity();
+  }
+  // E = sum_{i>=0} s_{i+1} e^{-s_i}, with s_0 = 0.
+  stats::KahanSum sum;
+  double prev = 0.0;
+  for (const double si : s) {
+    sum.add(si * std::exp(-prev));
+    prev = si;
+  }
+  // Tail of the truncated series. On the true orbit s_{i+1} e^{-s_i}
+  // collapses to e^{-s_{i-1}} (Proposition 2's identity), so the remainder
+  // after summing terms through s_n is
+  //   R = e^{-s_{n-1}} + e^{-s_n} + e^{-s_{n+1}} + ...
+  //     ~ e^{-s_{n-1}} + e^{-s_n} / (1 - e^{-gap}),   gap = s_n - s_{n-1}.
+  if (s.size() >= 2) {
+    const double gap = s.back() - s[s.size() - 2];
+    if (gap > 1e-9) {
+      sum.add(std::exp(-s[s.size() - 2]) +
+              std::exp(-s.back()) / -std::expm1(-gap));
+    }
+  }
+  return sum.value();
+}
+
+ExponentialOptimalResult exponential_reservation_only_optimal(
+    const ExponentialOptimalOptions& opts) {
+  const auto objective = [&opts](double s1) {
+    return exponential_unit_cost(s1, opts);
+  };
+  const stats::MinimizeResult min = stats::grid_then_golden(
+      objective, 1e-6, opts.search_hi,
+      static_cast<int>(opts.grid_points), 1e-12);
+  ExponentialOptimalResult out;
+  out.s1 = min.x;
+  out.e1 = min.fx;
+  out.unit_sequence =
+      ReservationSequence(generate_unit_sequence(out.s1, opts).s);
+  return out;
+}
+
+ReservationSequence exponential_optimal_sequence(
+    double lambda, const ExponentialOptimalOptions& opts) {
+  assert(lambda > 0.0);
+  const ExponentialOptimalResult unit =
+      exponential_reservation_only_optimal(opts);
+  std::vector<double> values;
+  values.reserve(unit.unit_sequence.size());
+  for (const double s : unit.unit_sequence.values()) {
+    values.push_back(s / lambda);
+  }
+  // If the optimal orbit collapsed before deep-tail coverage, extend
+  // geometrically so downstream evaluators see a covering sequence.
+  while (values.back() < 30.0 / lambda) values.push_back(values.back() * 2.0);
+  return ReservationSequence(std::move(values));
+}
+
+ReservationSequence single_reservation_at_upper(const dist::Distribution& d) {
+  const dist::Support s = d.support();
+  assert(s.bounded() && "Theorem 4 candidate needs bounded support");
+  return ReservationSequence({s.upper});
+}
+
+}  // namespace sre::core

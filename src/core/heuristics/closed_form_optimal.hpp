@@ -1,0 +1,46 @@
+#pragma once
+
+// Closed-form / semi-closed-form optimal strategies:
+//  * Uniform(a,b): the single reservation (b) is optimal for any cost
+//    parameters (Theorem 4);
+//  * Exp(lambda) under RESERVATIONONLY: the optimal sequence is s_i/lambda
+//    where s solves the Exp(1) instance -- s_2 = e^{s_1},
+//    s_i = e^{s_{i-1} - s_{i-2}} -- and the scalar s1 ~ 0.74219 is found by
+//    a 1-D search (Proposition 2).
+
+#include "core/heuristics/heuristic.hpp"
+
+namespace sre::core {
+
+/// Result of solving the Exp(1) RESERVATIONONLY instance.
+struct ExponentialOptimalResult {
+  double s1 = 0.0;  ///< optimal first request (~0.74219)
+  double e1 = 0.0;  ///< optimal expected cost E_1 = s1 + 1 + sum e^{-s_i}
+  ReservationSequence unit_sequence;  ///< the s_i, truncated at coverage
+};
+
+struct ExponentialOptimalOptions {
+  std::size_t grid_points = 4096;  ///< grid for the s1 search on (0, hi]
+  double search_hi = 2.0;
+  std::size_t max_terms = 96;      ///< series truncation
+  double tail_tol = 1e-16;         ///< stop once e^{-s_i} drops below this
+};
+
+/// Objective E(s1) = sum_{i>=0} s_{i+1} e^{-s_i} for the Exp(1) instance;
+/// +infinity when the induced sequence is not strictly increasing.
+double exponential_unit_cost(double s1,
+                             const ExponentialOptimalOptions& opts = {});
+
+/// Minimizes exponential_unit_cost over s1 (grid + golden refinement).
+ExponentialOptimalResult exponential_reservation_only_optimal(
+    const ExponentialOptimalOptions& opts = {});
+
+/// The lambda-scaled optimal sequence t_i = s_i / lambda.
+ReservationSequence exponential_optimal_sequence(
+    double lambda, const ExponentialOptimalOptions& opts = {});
+
+/// The Theorem 4 optimum for any bounded-support law: the single
+/// reservation (b). (Optimal for Uniform; a natural candidate elsewhere.)
+ReservationSequence single_reservation_at_upper(const dist::Distribution& d);
+
+}  // namespace sre::core

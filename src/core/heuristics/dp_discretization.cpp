@@ -1,0 +1,94 @@
+#include "core/heuristics/dp_discretization.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace sre::core {
+
+DpResult dp_optimal_sequence(const dist::DiscreteDistribution& d,
+                             const CostModel& m) {
+  assert(m.valid());
+  const auto& v = d.values();
+  const auto& f = d.probabilities();
+  const std::size_t n = v.size();
+
+  // Suffix mass S[i] = sum_{k>=i} f_k and weighted mass W[i] = sum f_k v_k,
+  // which turn the Theorem 5 transition into O(1):
+  //   E[i] = min_{i<=j<n}  alpha v_j + gamma
+  //        + beta (W[i] - W[j+1]) / S[i]              (completed within v_j)
+  //        + S[j+1]/S[i] * (beta v_j + E[j+1])        (failed; recurse)
+  std::vector<double> S(n + 1, 0.0), W(n + 1, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    S[i] = S[i + 1] + f[i];
+    W[i] = W[i + 1] + f[i] * v[i];
+  }
+
+  std::vector<double> E(n + 1, 0.0);
+  std::vector<std::size_t> choice(n, n);
+  for (std::size_t i = n; i-- > 0;) {
+    if (S[i] <= 0.0) {
+      // No mass at or above v_i: never reached with positive probability.
+      E[i] = 0.0;
+      choice[i] = i;
+      continue;
+    }
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_j = i;
+    for (std::size_t j = i; j < n; ++j) {
+      double cost = m.alpha * v[j] + m.gamma + m.beta * (W[i] - W[j + 1]) / S[i];
+      if (S[j + 1] > 0.0) {
+        cost += S[j + 1] / S[i] * (m.beta * v[j] + E[j + 1]);
+      }
+      if (cost < best) {
+        best = cost;
+        best_j = j;
+      }
+      // Once the tail past j is empty, larger j only raises alpha v_j.
+      if (S[j + 1] <= 0.0) break;
+    }
+    E[i] = best;
+    choice[i] = best_j;
+  }
+
+  DpResult out;
+  out.expected_cost = E[0];
+  std::vector<double> seq_values;
+  std::size_t i = 0;
+  while (i < n && S[i] > 0.0) {
+    const std::size_t j = choice[i];
+    out.indices.push_back(j);
+    seq_values.push_back(v[j]);
+    i = j + 1;
+  }
+  assert(!seq_values.empty());
+  out.sequence = ReservationSequence(std::move(seq_values));
+  return out;
+}
+
+DiscretizedDp::DiscretizedDp(sim::DiscretizationOptions opts) : opts_(opts) {}
+
+std::string DiscretizedDp::name() const {
+  return sim::to_string(opts_.scheme);
+}
+
+ReservationSequence DiscretizedDp::generate(const dist::Distribution& d,
+                                            const CostModel& m) const {
+  const dist::DiscreteDistribution disc = sim::discretize(d, opts_);
+  DpResult dp = dp_optimal_sequence(disc, m);
+  // Tail extension for unbounded laws: double past v_n until covered.
+  const dist::Support s = d.support();
+  std::vector<double> values = dp.sequence.values();
+  if (s.bounded()) {
+    if (values.back() < s.upper) values.push_back(s.upper);
+  } else {
+    double cur = values.back();
+    std::size_t guard = 0;
+    while (d.sf(cur) > 1e-12 && guard++ < 128) {
+      cur *= 2.0;
+      values.push_back(cur);
+    }
+  }
+  return ReservationSequence(std::move(values));
+}
+
+}  // namespace sre::core

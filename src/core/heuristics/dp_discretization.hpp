@@ -1,0 +1,45 @@
+#pragma once
+
+// Discretization-based dynamic programming (Section 4.2): truncate the
+// continuous law at b = Q(1 - epsilon), discretize it into n points
+// (EQUAL-TIME or EQUAL-PROBABILITY), solve the resulting discrete instance
+// exactly by the Theorem 5 O(n^2) dynamic program, and -- for unbounded
+// laws -- extend the sequence past v_n so it covers the full distribution.
+
+#include "core/heuristics/heuristic.hpp"
+#include "dist/discrete.hpp"
+#include "sim/discretize.hpp"
+
+namespace sre::core {
+
+/// Exact solution of STOCHASTIC for a discrete law (Theorem 5).
+struct DpResult {
+  /// Indices into the discrete support chosen as reservations, increasing,
+  /// always ending at the last index with positive tail mass.
+  std::vector<std::size_t> indices;
+  ReservationSequence sequence;
+  /// Optimal expected cost E*_1 on the (normalized) discrete law.
+  double expected_cost = 0.0;
+};
+
+DpResult dp_optimal_sequence(const dist::DiscreteDistribution& d,
+                             const CostModel& m);
+
+/// Heuristic adapter: discretize a continuous law, run the DP, extend the
+/// tail by doubling past v_n for unbounded support (Section 4.2.2 notes that
+/// "additional values can be appended ... using other heuristics").
+class DiscretizedDp final : public Heuristic {
+ public:
+  explicit DiscretizedDp(sim::DiscretizationOptions opts = {});
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] ReservationSequence generate(const dist::Distribution& d,
+                                             const CostModel& m) const override;
+  [[nodiscard]] const sim::DiscretizationOptions& options() const noexcept {
+    return opts_;
+  }
+
+ private:
+  sim::DiscretizationOptions opts_;
+};
+
+}  // namespace sre::core

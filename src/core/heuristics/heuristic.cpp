@@ -1,0 +1,54 @@
+#include "core/heuristics/heuristic.hpp"
+
+#include "core/expected_cost.hpp"
+#include "core/heuristics/brute_force.hpp"
+#include "core/heuristics/dp_discretization.hpp"
+#include "core/heuristics/moment_based.hpp"
+
+namespace sre::core {
+
+HeuristicEvaluation evaluate_heuristic(const Heuristic& h,
+                                       const dist::Distribution& d,
+                                       const CostModel& m,
+                                       const EvaluationOptions& opts) {
+  HeuristicEvaluation out;
+  out.name = h.name();
+  out.sequence = h.generate(d, m);
+  out.t1 = out.sequence.first();
+
+  const sim::MonteCarloResult mc =
+      expected_cost_monte_carlo(out.sequence, d, m, opts.mc);
+  out.expected_cost_mc = mc.mean;
+  out.mc_std_error = mc.std_error;
+  out.expected_cost_analytic = expected_cost_analytic(out.sequence, d, m);
+
+  const double omniscient = omniscient_cost(d, m);
+  out.normalized_mc = out.expected_cost_mc / omniscient;
+  out.normalized_analytic = out.expected_cost_analytic / omniscient;
+  return out;
+}
+
+std::vector<HeuristicPtr> standard_heuristics(bool fast) {
+  BruteForceOptions bf;
+  sim::DiscretizationOptions eq_time{1000, 1e-7,
+                                     sim::DiscretizationScheme::kEqualTime};
+  sim::DiscretizationOptions eq_prob{
+      1000, 1e-7, sim::DiscretizationScheme::kEqualProbability};
+  if (fast) {
+    bf.grid_points = 300;
+    bf.mc_samples = 400;
+    eq_time.n = 200;
+    eq_prob.n = 200;
+  }
+  return {
+      std::make_shared<BruteForce>(bf),
+      std::make_shared<MeanByMean>(),
+      std::make_shared<MeanStdev>(),
+      std::make_shared<MeanDoubling>(),
+      std::make_shared<MedianByMedian>(),
+      std::make_shared<DiscretizedDp>(eq_time),
+      std::make_shared<DiscretizedDp>(eq_prob),
+  };
+}
+
+}  // namespace sre::core

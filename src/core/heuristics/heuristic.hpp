@@ -1,0 +1,61 @@
+#pragma once
+
+// Common interface for reservation-sequence heuristics (Section 4) plus the
+// Section 5.1 evaluation methodology: Monte-Carlo expected cost (Eq. 13) and
+// normalization by the omniscient scheduler.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/omniscient.hpp"
+#include "core/sequence.hpp"
+#include "dist/distribution.hpp"
+#include "sim/monte_carlo.hpp"
+
+namespace sre::core {
+
+class Heuristic {
+ public:
+  virtual ~Heuristic() = default;
+
+  /// Display name matching the paper's table columns.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Produces a covering reservation sequence for (d, m).
+  [[nodiscard]] virtual ReservationSequence generate(
+      const dist::Distribution& d, const CostModel& m) const = 0;
+};
+
+using HeuristicPtr = std::shared_ptr<const Heuristic>;
+
+/// Result of evaluating one heuristic on one (distribution, cost) pair.
+struct HeuristicEvaluation {
+  std::string name;
+  ReservationSequence sequence;
+  double t1 = 0.0;
+  double expected_cost_mc = 0.0;        ///< Eq. (13)
+  double mc_std_error = 0.0;
+  double expected_cost_analytic = 0.0;  ///< Eq. (4)
+  double normalized_mc = 0.0;           ///< Eq. (13) / E^o
+  double normalized_analytic = 0.0;     ///< Eq. (4) / E^o
+};
+
+struct EvaluationOptions {
+  sim::MonteCarloOptions mc{};  ///< N = 1000 by default, as in the paper
+};
+
+/// Generates + costs a heuristic's sequence both ways.
+HeuristicEvaluation evaluate_heuristic(const Heuristic& h,
+                                       const dist::Distribution& d,
+                                       const CostModel& m,
+                                       const EvaluationOptions& opts = {});
+
+/// The seven heuristics of Table 2, in the paper's column order:
+/// Brute-Force, Mean-by-Mean, Mean-Stdev, Mean-Doubling, Med-by-Med,
+/// Equal-time, Equal-probability. `fast` shrinks the brute-force grid and
+/// discretization sizes for quick tests.
+std::vector<HeuristicPtr> standard_heuristics(bool fast = false);
+
+}  // namespace sre::core

@@ -1,0 +1,118 @@
+#include "core/heuristics/moment_based.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace sre::core {
+
+namespace {
+
+/// Appends elements so the sequence covers the distribution: bounded support
+/// gets the upper bound as its final element; unbounded support is extended
+/// by doubling until the residual tail mass is below the threshold.
+void ensure_coverage(std::vector<double>& values, const dist::Distribution& d,
+                     const MomentHeuristicOptions& opts) {
+  assert(!values.empty());
+  const dist::Support s = d.support();
+  if (s.bounded()) {
+    if (values.back() < s.upper) values.push_back(s.upper);
+    return;
+  }
+  double cur = values.back();
+  std::size_t guard = 0;
+  while (d.sf(cur) > opts.coverage_sf && guard++ < 128) {
+    cur *= 2.0;
+    values.push_back(cur);
+  }
+}
+
+/// True while generation should continue under the shared limits.
+bool keep_going(const std::vector<double>& values, const dist::Distribution& d,
+                const MomentHeuristicOptions& opts) {
+  if (values.size() >= opts.max_length) return false;
+  const dist::Support s = d.support();
+  if (s.bounded()) return values.back() < s.upper;
+  return d.sf(values.back()) > opts.coverage_sf;
+}
+
+}  // namespace
+
+MeanByMean::MeanByMean(MomentHeuristicOptions opts) : opts_(opts) {}
+
+std::string MeanByMean::name() const { return "Mean-by-Mean"; }
+
+ReservationSequence MeanByMean::generate(const dist::Distribution& d,
+                                         const CostModel&) const {
+  std::vector<double> values{d.mean()};
+  while (keep_going(values, d, opts_)) {
+    const double next = d.conditional_mean_above(values.back());
+    // The conditional mean approaches the current point as the tail empties;
+    // stop when the step is numerically negligible and let ensure_coverage
+    // finish the job.
+    if (!(next > values.back() * (1.0 + 1e-12)) || !std::isfinite(next)) break;
+    values.push_back(next);
+  }
+  ensure_coverage(values, d, opts_);
+  return ReservationSequence(std::move(values));
+}
+
+MeanStdev::MeanStdev(MomentHeuristicOptions opts) : opts_(opts) {}
+
+std::string MeanStdev::name() const { return "Mean-Stdev"; }
+
+ReservationSequence MeanStdev::generate(const dist::Distribution& d,
+                                        const CostModel&) const {
+  const double mu = d.mean();
+  const double sigma = d.stddev();
+  assert(sigma > 0.0);
+  const dist::Support s = d.support();
+  std::vector<double> values{mu};
+  std::size_t i = 2;
+  while (keep_going(values, d, opts_)) {
+    double next = mu + static_cast<double>(i - 1) * sigma;
+    if (s.bounded()) next = std::fmin(next, s.upper);
+    values.push_back(next);
+    ++i;
+  }
+  ensure_coverage(values, d, opts_);
+  return ReservationSequence(std::move(values));
+}
+
+MeanDoubling::MeanDoubling(MomentHeuristicOptions opts) : opts_(opts) {}
+
+std::string MeanDoubling::name() const { return "Mean-Doubling"; }
+
+ReservationSequence MeanDoubling::generate(const dist::Distribution& d,
+                                           const CostModel&) const {
+  const dist::Support s = d.support();
+  std::vector<double> values{d.mean()};
+  while (keep_going(values, d, opts_)) {
+    double next = values.back() * 2.0;
+    if (s.bounded()) next = std::fmin(next, s.upper);
+    values.push_back(next);
+  }
+  ensure_coverage(values, d, opts_);
+  return ReservationSequence(std::move(values));
+}
+
+MedianByMedian::MedianByMedian(MomentHeuristicOptions opts) : opts_(opts) {}
+
+std::string MedianByMedian::name() const { return "Med-by-Med"; }
+
+ReservationSequence MedianByMedian::generate(const dist::Distribution& d,
+                                             const CostModel&) const {
+  std::vector<double> values{d.median()};
+  double tail = 0.5;  // 1/2^i
+  while (keep_going(values, d, opts_)) {
+    tail *= 0.5;
+    if (tail <= 0.0) break;
+    const double next = d.quantile(1.0 - tail);
+    if (!(next > values.back()) || !std::isfinite(next)) break;
+    values.push_back(next);
+  }
+  ensure_coverage(values, d, opts_);
+  return ReservationSequence(std::move(values));
+}
+
+}  // namespace sre::core

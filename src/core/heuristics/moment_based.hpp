@@ -1,0 +1,67 @@
+#pragma once
+
+// The "other heuristics" of Section 4.3, driven by standard measures of the
+// distribution rather than by the structure of the optimal solution:
+//   MEAN-BY-MEAN     t1 = mu, t_i = E[X | X > t_{i-1}]   (Appendix B forms)
+//   MEAN-STDEV       t1 = mu, t_i = mu + (i-1) sigma
+//   MEAN-DOUBLING    t1 = mu, t_i = 2^{i-1} mu
+//   MEDIAN-BY-MEDIAN t1 = m,  t_i = Q(1 - 1/2^i)
+// Each generator runs until the residual tail mass drops below a coverage
+// threshold, then clamps to the support's upper bound (bounded laws) or
+// extends geometrically (unbounded laws, when the native rule is too slow).
+
+#include "core/heuristics/heuristic.hpp"
+
+namespace sre::core {
+
+/// Shared generation limits for the simple heuristics.
+struct MomentHeuristicOptions {
+  std::size_t max_length = 512;
+  double coverage_sf = 1e-12;
+};
+
+class MeanByMean final : public Heuristic {
+ public:
+  explicit MeanByMean(MomentHeuristicOptions opts = {});
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] ReservationSequence generate(const dist::Distribution& d,
+                                             const CostModel& m) const override;
+
+ private:
+  MomentHeuristicOptions opts_;
+};
+
+class MeanStdev final : public Heuristic {
+ public:
+  explicit MeanStdev(MomentHeuristicOptions opts = {});
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] ReservationSequence generate(const dist::Distribution& d,
+                                             const CostModel& m) const override;
+
+ private:
+  MomentHeuristicOptions opts_;
+};
+
+class MeanDoubling final : public Heuristic {
+ public:
+  explicit MeanDoubling(MomentHeuristicOptions opts = {});
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] ReservationSequence generate(const dist::Distribution& d,
+                                             const CostModel& m) const override;
+
+ private:
+  MomentHeuristicOptions opts_;
+};
+
+class MedianByMedian final : public Heuristic {
+ public:
+  explicit MedianByMedian(MomentHeuristicOptions opts = {});
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] ReservationSequence generate(const dist::Distribution& d,
+                                             const CostModel& m) const override;
+
+ private:
+  MomentHeuristicOptions opts_;
+};
+
+}  // namespace sre::core

@@ -1,0 +1,95 @@
+#include "core/heuristics/polish.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "core/expected_cost.hpp"
+#include "stats/root_finding.hpp"
+
+namespace sre::core {
+
+namespace {
+
+double cost_of(const std::vector<double>& values, const dist::Distribution& d,
+               const CostModel& m) {
+  return expected_cost_analytic(ReservationSequence(values), d, m);
+}
+
+}  // namespace
+
+PolishResult polish_sequence(const ReservationSequence& seq,
+                             const dist::Distribution& d, const CostModel& m,
+                             const PolishOptions& opts) {
+  assert(!seq.empty() && m.valid());
+  PolishResult out;
+  std::vector<double> values = seq.values();
+  out.cost_before = cost_of(values, d, m);
+  double current = out.cost_before;
+
+  const dist::Support sup = d.support();
+  for (std::size_t sweep = 0; sweep < opts.max_sweeps; ++sweep) {
+    const double at_sweep_start = current;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const double lo = (i == 0) ? 1e-12 : values[i - 1] * (1.0 + 1e-12);
+      double hi;
+      if (i + 1 < values.size()) {
+        hi = values[i + 1] * (1.0 - 1e-12);
+      } else if (sup.bounded()) {
+        hi = sup.upper;  // the final element may slide up to b
+      } else {
+        hi = values[i] * 4.0;  // open tail: allow growth, next sweeps extend
+      }
+      if (!(hi > lo)) continue;
+
+      const double saved = values[i];
+      const auto objective = [&](double t) {
+        values[i] = t;
+        return cost_of(values, d, m);
+      };
+      // Per-coordinate objectives can be bimodal (e.g. Uniform, where both
+      // sliding t_i to b and shrinking it to 0 descend), so scan before the
+      // golden refinement.
+      const stats::MinimizeResult min = stats::grid_then_golden(
+          objective, lo, hi, 24, opts.coord_tol * (hi - lo) + 1e-15);
+      if (min.fx < current) {
+        values[i] = min.x;
+        current = min.fx;
+      } else {
+        values[i] = saved;
+      }
+    }
+
+    // Element-removal pass: dropping a reservation is an improvement
+    // whenever its failure-coverage no longer pays for its alpha/gamma
+    // share (degenerate elements near 0 included).
+    if (opts.allow_merging && values.size() > 1) {
+      for (std::size_t i = 0; i < values.size() && values.size() > 1;) {
+        std::vector<double> reduced(values);
+        reduced.erase(reduced.begin() + static_cast<std::ptrdiff_t>(i));
+        // Removal must not break coverage of bounded-support laws.
+        if (sup.bounded() && reduced.back() < sup.upper) {
+          ++i;
+          continue;
+        }
+        const double c = cost_of(reduced, d, m);
+        if (c <= current) {
+          values = std::move(reduced);
+          current = c;
+        } else {
+          ++i;
+        }
+      }
+    }
+
+    ++out.sweeps;
+    if (at_sweep_start - current <= opts.rel_tol * std::fabs(at_sweep_start)) {
+      break;
+    }
+  }
+  out.sequence = ReservationSequence(std::move(values));
+  out.cost_after = current;
+  return out;
+}
+
+}  // namespace sre::core

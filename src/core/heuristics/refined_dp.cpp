@@ -1,0 +1,48 @@
+#include "core/heuristics/refined_dp.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "core/expected_cost.hpp"
+#include "core/heuristics/dp_discretization.hpp"
+#include "core/recurrence.hpp"
+#include "stats/root_finding.hpp"
+
+namespace sre::core {
+
+RefinedDp::RefinedDp(RefinedDpOptions opts) : opts_(opts) {}
+
+std::string RefinedDp::name() const { return "Refined-DP"; }
+
+ReservationSequence RefinedDp::generate(const dist::Distribution& d,
+                                        const CostModel& m) const {
+  const DiscretizedDp seed(opts_.disc);
+  ReservationSequence best = seed.generate(d, m);
+  double best_cost = expected_cost_analytic(best, d, m);
+
+  const double t1 = best.first();
+  const double lo = t1 / opts_.bracket_spread;
+  const double hi = std::fmin(
+      t1 * opts_.bracket_spread,
+      d.support().bounded() ? d.support().upper
+                            : std::numeric_limits<double>::infinity());
+  if (!(hi > lo)) return best;
+
+  const auto objective = [&](double candidate) {
+    const RecurrenceResult rec = sequence_from_t1(d, m, candidate);
+    if (!rec.valid) return std::numeric_limits<double>::infinity();
+    return expected_cost_analytic(rec.sequence, d, m);
+  };
+  const stats::MinimizeResult refined =
+      stats::grid_then_golden(objective, lo, hi, opts_.scan_points, 1e-10);
+  if (std::isfinite(refined.fx) && refined.fx < best_cost) {
+    const RecurrenceResult rec = sequence_from_t1(d, m, refined.x);
+    if (rec.valid) {
+      best = rec.sequence;
+      best_cost = refined.fx;
+    }
+  }
+  return best;
+}
+
+}  // namespace sre::core

@@ -1,0 +1,36 @@
+#pragma once
+
+// A hybrid of the paper's two strong approaches: the discretized Theorem 5
+// DP supplies a first reservation near the optimum, then a 1-D golden
+// search refines t1 *in the continuous problem* -- the Eq. (11) recurrence
+// generates the rest of each candidate and the Eq. (4) series costs it
+// exactly. Combines the DP's global view (no unimodality assumption: the
+// search is bracketed around the DP's answer) with the recurrence's exact
+// local optimality, at a fraction of the brute-force grid cost.
+
+#include "core/heuristics/heuristic.hpp"
+#include "sim/discretize.hpp"
+
+namespace sre::core {
+
+struct RefinedDpOptions {
+  sim::DiscretizationOptions disc{500, 1e-7,
+                                  sim::DiscretizationScheme::kEqualProbability};
+  /// Refinement bracket around the DP's t1: [t1/spread, t1*spread].
+  double bracket_spread = 1.6;
+  /// Grid points of the bracketed scan before golden refinement.
+  int scan_points = 64;
+};
+
+class RefinedDp final : public Heuristic {
+ public:
+  explicit RefinedDp(RefinedDpOptions opts = {});
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] ReservationSequence generate(const dist::Distribution& d,
+                                             const CostModel& m) const override;
+
+ private:
+  RefinedDpOptions opts_;
+};
+
+}  // namespace sre::core

@@ -1,0 +1,14 @@
+#include "core/omniscient.hpp"
+
+namespace sre::core {
+
+double omniscient_cost(const dist::Distribution& d, const CostModel& m) {
+  return (m.alpha + m.beta) * d.mean() + m.gamma;
+}
+
+double normalized_cost(double expected, const dist::Distribution& d,
+                       const CostModel& m) {
+  return expected / omniscient_cost(d, m);
+}
+
+}  // namespace sre::core

@@ -1,0 +1,21 @@
+#pragma once
+
+// The omniscient baseline of Section 5.1: a scheduler that knows the job
+// duration t in advance makes a single reservation of exactly t, paying
+// (alpha + beta) t + gamma; in expectation E^o = (alpha+beta) E[X] + gamma.
+// Every reported result in the paper is normalized by E^o, so the normalized
+// ratio is >= 1 and smaller is better.
+
+#include "core/cost_model.hpp"
+#include "dist/distribution.hpp"
+
+namespace sre::core {
+
+/// E^o = (alpha + beta) * E[X] + gamma.
+double omniscient_cost(const dist::Distribution& d, const CostModel& m);
+
+/// expected / E^o; the paper's reporting convention.
+double normalized_cost(double expected, const dist::Distribution& d,
+                       const CostModel& m);
+
+}  // namespace sre::core

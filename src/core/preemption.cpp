@@ -1,0 +1,312 @@
+#include "core/preemption.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "core/expected_cost.hpp"
+#include "stats/integrate.hpp"
+#include "stats/root_finding.hpp"
+#include "stats/summary.hpp"
+
+namespace sre::core {
+
+namespace {
+
+/// Expected cost spent at one reservation level t for run length u
+/// (u = min(t, x)): geometric retries with success prob q = e^{-rate u}.
+double level_cost(double t, double u, const CostModel& m,
+                  const PreemptionModel& p) {
+  if (p.rate <= 0.0) {
+    return m.alpha * t + m.gamma + m.beta * u;
+  }
+  const double q = std::exp(-p.rate * u);
+  return (m.alpha * t + m.gamma) / q + m.beta * (1.0 - q) / (p.rate * q);
+}
+
+/// Walks the sequence (with the implicit doubling tail) and invokes
+/// visit(t_k, covers) for each level until the covering one.
+template <typename Visit>
+void walk_levels(const ReservationSequence& seq, double x, Visit&& visit) {
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    const bool covers = x <= seq[i];
+    visit(seq[i], covers);
+    if (covers) return;
+  }
+  double cur = seq.last();
+  for (;;) {
+    cur *= 2.0;
+    const bool covers = x <= cur;
+    visit(cur, covers);
+    if (covers) return;
+  }
+}
+
+}  // namespace
+
+double preempted_cost_for(const ReservationSequence& seq, double x,
+                          const CostModel& m, const PreemptionModel& p) {
+  assert(!seq.empty() && m.valid() && p.valid() && x > 0.0);
+  double total = 0.0;
+  walk_levels(seq, x, [&](double t, bool covers) {
+    total += level_cost(t, covers ? x : t, m, p);
+  });
+  return total;
+}
+
+double preemption_expected_cost(const ReservationSequence& seq,
+                                const dist::Distribution& d,
+                                const CostModel& m, const PreemptionModel& p) {
+  assert(!seq.empty() && m.valid() && p.valid());
+  // Bucket decomposition: jobs in (t_{k-1}, t_k] pay the fixed failed-level
+  // costs (level_cost at u = t_i for every i < k) plus the covering-level
+  // term, which depends on x and is integrated numerically.
+  const dist::Support sup = d.support();
+  stats::KahanSum sum;
+  double prev = 0.0;
+  double sf_prev = d.sf(0.0);
+  double failed_prefix = 0.0;
+  std::size_t stored = 0;
+  std::size_t guard = 0;
+
+  while (sf_prev > 1e-13 && guard++ < 4096) {
+    const double t_k =
+        (stored < seq.size()) ? seq[stored++] : prev * 2.0;
+    const double sf_k = d.sf(t_k);
+    const double p_bucket = sf_prev - sf_k;
+    if (p_bucket > 0.0) {
+      sum.add(p_bucket * failed_prefix);
+      const double lo = std::fmax(prev, sup.lower);
+      const double hi = sup.bounded() ? std::fmin(t_k, sup.upper) : t_k;
+      if (hi > lo) {
+        // Depth-capped: pdfs with integrable singularities (Weibull
+        // kappa<1 at 0) would otherwise grind the adaptive refinement.
+        sum.add(stats::integrate(
+            [&](double x) {
+              const double pdf = d.pdf(x);
+              if (!std::isfinite(pdf) || pdf <= 0.0) return 0.0;
+              return level_cost(t_k, x, m, p) * pdf;
+            },
+            lo, hi, 1e-8 * (1.0 + level_cost(t_k, t_k, m, p)), 16));
+      }
+    }
+    failed_prefix += level_cost(t_k, t_k, m, p);
+    prev = t_k;
+    sf_prev = sf_k;
+  }
+  return sum.value();
+}
+
+double preempted_checkpoint_cost_for(const CheckpointSequence& seq, double x,
+                                     const CostModel& m,
+                                     const PreemptionModel& p) {
+  assert(m.valid() && p.valid() && x > 0.0);
+  const CheckpointModel& ckpt = seq.model();
+  double total = 0.0;
+  double prev_work = 0.0;
+  // Stored levels, then an implicit *constant-increment* tail: under
+  // preemption the per-level exposure e^{rate*t} punishes growing slots,
+  // so the tail repeats the last stored work increment (coverage is still
+  // unbounded, arithmetically).
+  const auto& banked = seq.banked_work();
+  const double tail_step =
+      (seq.size() >= 2) ? (banked.back() - banked[seq.size() - 2])
+                        : banked.back();
+  std::size_t i = 0;
+  double tail_target = banked.back();
+  for (;;) {
+    double t, target, restore;
+    if (i < seq.size()) {
+      t = seq.reservations()[i];
+      target = banked[i];
+      restore = (i == 0) ? 0.0 : ckpt.restart_cost;
+    } else {
+      tail_target += tail_step;
+      target = tail_target;
+      restore = ckpt.restart_cost;
+      t = (target - prev_work) + restore + ckpt.checkpoint_cost;
+    }
+    const bool covers = x <= target;
+    // Success-path occupancy: restore + remaining work (no checkpoint on
+    // the final attempt); failure-path: the full slot, to bank the work.
+    const double u = covers ? (restore + (x - prev_work)) : t;
+    total += level_cost(t, u, m, p);
+    if (covers) return total;
+    prev_work = target;
+    ++i;
+  }
+}
+
+double preemption_checkpoint_expected_cost(const CheckpointSequence& seq,
+                                           const dist::Distribution& d,
+                                           const CostModel& m,
+                                           const PreemptionModel& p) {
+  assert(m.valid() && p.valid() && seq.size() > 0);
+  const CheckpointModel& ckpt = seq.model();
+  const dist::Support sup = d.support();
+  stats::KahanSum sum;
+  double prev_work = 0.0;
+  double sf_prev = d.sf(0.0);
+  double failed_prefix = 0.0;
+  std::size_t stored = 0;
+  const auto& banked = seq.banked_work();
+  const double tail_step =
+      (seq.size() >= 2) ? (banked.back() - banked[seq.size() - 2])
+                        : banked.back();
+  double tail_target = banked.back();
+  std::size_t guard = 0;
+
+  while (sf_prev > 1e-13 && guard++ < 65536) {
+    double t, target, restore;
+    if (stored < seq.size()) {
+      t = seq.reservations()[stored];
+      target = banked[stored];
+      restore = (stored == 0) ? 0.0 : ckpt.restart_cost;
+      ++stored;
+    } else {
+      tail_target += tail_step;
+      target = tail_target;
+      restore = ckpt.restart_cost;
+      t = (target - prev_work) + restore + ckpt.checkpoint_cost;
+    }
+    const double sf_k = d.sf(target);
+    const double p_bucket = sf_prev - sf_k;
+    if (p_bucket > 0.0) {
+      sum.add(p_bucket * failed_prefix);
+      const double lo = std::fmax(prev_work, sup.lower);
+      const double hi = sup.bounded() ? std::fmin(target, sup.upper) : target;
+      if (hi > lo) {
+        const double w0 = prev_work;  // captured secured work
+        sum.add(stats::integrate(
+            [&, w0, restore, t](double x) {
+              const double pdf = d.pdf(x);
+              if (!std::isfinite(pdf) || pdf <= 0.0) return 0.0;
+              return level_cost(t, restore + (x - w0), m, p) * pdf;
+            },
+            lo, hi, 1e-8 * (1.0 + level_cost(t, t, m, p)), 16));
+      }
+    }
+    failed_prefix += level_cost(t, t, m, p);
+    prev_work = target;
+    sf_prev = sf_k;
+  }
+  return sum.value();
+}
+
+PreemptionCheckpointPlanResult optimize_preemption_checkpoint_plan(
+    const CheckpointSequence& seed, const dist::Distribution& d,
+    const CostModel& m, const PreemptionModel& p, std::size_t max_sweeps) {
+  PreemptionCheckpointPlanResult out;
+  const CheckpointModel ckpt = seed.model();
+  std::vector<double> targets = seed.banked_work();
+  const auto cost_of = [&](const std::vector<double>& w) {
+    return preemption_checkpoint_expected_cost(
+        CheckpointSequence::from_work_targets(w, ckpt), d, m, p);
+  };
+  out.cost_before = cost_of(targets);
+  double current = out.cost_before;
+  const dist::Support sup = d.support();
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    const double at_start = current;
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      const double lo =
+          ((i == 0) ? 0.0 : targets[i - 1]) * (1.0 + 1e-12) + 1e-9;
+      const double hi = (i + 1 < targets.size())
+                            ? targets[i + 1] * (1.0 - 1e-12)
+                            : (sup.bounded() ? sup.upper : targets[i] * 4.0);
+      if (!(hi > lo)) continue;
+      const double saved = targets[i];
+      const auto objective = [&](double w) {
+        targets[i] = w;
+        return cost_of(targets);
+      };
+      const stats::MinimizeResult min =
+          stats::grid_then_golden(objective, lo, hi, 20, 1e-9 * (hi - lo));
+      if (min.fx < current) {
+        targets[i] = min.x;
+        current = min.fx;
+      } else {
+        targets[i] = saved;
+      }
+    }
+    for (std::size_t i = 0; i < targets.size() && targets.size() > 1;) {
+      std::vector<double> reduced(targets);
+      reduced.erase(reduced.begin() + static_cast<std::ptrdiff_t>(i));
+      if (sup.bounded() && reduced.back() < sup.upper) {
+        ++i;
+        continue;
+      }
+      const double c = cost_of(reduced);
+      if (c <= current) {
+        targets = std::move(reduced);
+        current = c;
+      } else {
+        ++i;
+      }
+    }
+    if (at_start - current <= 1e-8 * std::fabs(at_start)) break;
+  }
+  out.sequence = CheckpointSequence::from_work_targets(targets, ckpt);
+  out.cost_after = current;
+  return out;
+}
+
+PreemptionPlanResult optimize_preemption_plan(const ReservationSequence& seed,
+                                              const dist::Distribution& d,
+                                              const CostModel& m,
+                                              const PreemptionModel& p,
+                                              std::size_t max_sweeps) {
+  PreemptionPlanResult out;
+  std::vector<double> values = seed.values();
+  const auto cost_of = [&](const std::vector<double>& v) {
+    return preemption_expected_cost(ReservationSequence(v), d, m, p);
+  };
+  out.cost_before = cost_of(values);
+  double current = out.cost_before;
+  const dist::Support sup = d.support();
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    const double at_start = current;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const double lo = (i == 0) ? 1e-9 : values[i - 1] * (1.0 + 1e-12);
+      const double hi = (i + 1 < values.size())
+                            ? values[i + 1] * (1.0 - 1e-12)
+                            : (sup.bounded() ? sup.upper : values[i] * 4.0);
+      if (!(hi > lo)) continue;
+      const double saved = values[i];
+      const auto objective = [&](double t) {
+        values[i] = t;
+        return cost_of(values);
+      };
+      const stats::MinimizeResult min =
+          stats::grid_then_golden(objective, lo, hi, 20, 1e-9 * (hi - lo));
+      if (min.fx < current) {
+        values[i] = min.x;
+        current = min.fx;
+      } else {
+        values[i] = saved;
+      }
+    }
+    for (std::size_t i = 0; i < values.size() && values.size() > 1;) {
+      std::vector<double> reduced(values);
+      reduced.erase(reduced.begin() + static_cast<std::ptrdiff_t>(i));
+      if (sup.bounded() && reduced.back() < sup.upper) {
+        ++i;
+        continue;
+      }
+      const double c = cost_of(reduced);
+      if (c <= current) {
+        values = std::move(reduced);
+        current = c;
+      } else {
+        ++i;
+      }
+    }
+    if (at_start - current <= 1e-8 * std::fabs(at_start)) break;
+  }
+  out.sequence = ReservationSequence(std::move(values));
+  out.cost_after = current;
+  return out;
+}
+
+}  // namespace sre::core

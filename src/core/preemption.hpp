@@ -1,0 +1,115 @@
+#pragma once
+
+// Preemptible (spot-style) reservations. Cloud spot capacity is the price
+// motivation behind reservation strategies, and spot instances can be
+// *interrupted*: during an attempt, preemptions arrive as a Poisson process
+// with rate `rate` on machine time. A preempted attempt is lost (no
+// checkpoint) but proves nothing about the reservation length, so the
+// policy retries the same length; only a timeout (the job outliving the
+// reservation) advances to the next element of the sequence.
+//
+// For a job of size x at reservation t, each try runs u = min(t, x) unless
+// preempted first (T ~ Exp(rate)). With q = e^{-rate*u}:
+//   * tries at this level are geometric with success probability q
+//     (success = the run completed; it is a timeout if x > t);
+//   * expected paid usage per try is E[min(T,u)] = (1-q)/rate;
+// so by Wald the expected cost spent at level t is
+//   (alpha t + gamma)/q + beta (1-q)/(rate q).
+// Summing levels until coverage gives the exact per-job expected cost; the
+// expectation over the law is a bucket integration.
+//
+// rate -> 0 recovers the base model exactly (tested).
+//
+// Two structural consequences, both verified in the tests and the
+// ext_preemption experiment:
+//  * Timeouts compound: a level that cannot finish the job still has to
+//    *complete its full run uninterrupted* before the strategy learns it
+//    was too short, costing e^{rate*t} expected tries. The optimal response
+//    is to OVER-reserve (t1 rises with the rate) -- the opposite of the
+//    naive "shorter reservations are less exposed" intuition, because idle
+//    reserved time carries no preemption exposure in this model.
+//  * Divergence: the covering-level cost scales with e^{rate*X}, so the
+//    expected cost is finite only when E[e^{rate*X}] is (bounded support;
+//    or exponential-type tails with rate below the tail decay). For
+//    heavy-tailed laws (LogNormal, Pareto, Weibull kappa<1) the true
+//    expected cost is INFINITE for any positive rate without
+//    checkpointing; the evaluator's tail truncation then reports a large
+//    but truncation-dependent number. This is the classical
+//    restart-under-interruption blow-up and the strongest quantitative
+//    argument for combining spot capacity with checkpoints
+//    (core/checkpoint.*).
+
+#include "core/checkpoint.hpp"
+#include "core/cost_model.hpp"
+#include "core/sequence.hpp"
+#include "dist/distribution.hpp"
+
+namespace sre::core {
+
+struct PreemptionModel {
+  double rate = 0.0;  ///< Poisson interruption rate per unit machine time
+
+  [[nodiscard]] bool valid() const noexcept { return rate >= 0.0; }
+};
+
+/// Expected total cost for a job of exact size x under the sequence (with
+/// the implicit doubling tail), averaging over preemption randomness.
+double preempted_cost_for(const ReservationSequence& seq, double x,
+                          const CostModel& m, const PreemptionModel& p);
+
+/// Expected cost over the law: bucket decomposition with numerically
+/// integrated covering-level terms.
+double preemption_expected_cost(const ReservationSequence& seq,
+                                const dist::Distribution& d,
+                                const CostModel& m, const PreemptionModel& p);
+
+/// Coordinate-descent optimization of a plan under preemption (the Eq. (11)
+/// recurrence does not apply: the objective is no longer the Theorem 1
+/// series). Seeds from the given plan; never returns a costlier one.
+struct PreemptionPlanResult {
+  ReservationSequence sequence;
+  double cost_before = 0.0;
+  double cost_after = 0.0;
+};
+PreemptionPlanResult optimize_preemption_plan(const ReservationSequence& seed,
+                                              const dist::Distribution& d,
+                                              const CostModel& m,
+                                              const PreemptionModel& p,
+                                              std::size_t max_sweeps = 12);
+
+// ---------------------------------------------------------------------------
+// Spot + checkpoints: the cure for the divergence above. With checkpointed
+// reservations a preemption only loses the current attempt -- banked work
+// survives -- so a try at level i must merely survive its own slot
+// (probability e^{-rate * t_i}, t_i bounded by the level spacing) and the
+// expected cost is finite for ANY law and rate. Semantics follow
+// core/checkpoint.hpp exactly; a preempted try retries the same level.
+// ---------------------------------------------------------------------------
+
+/// Expected total cost of a checkpointed plan for a job of exact size x
+/// under preemptions (averaging over preemption randomness; Wald form per
+/// level). Past the stored plan the tail continues with *constant* work
+/// increments (repeating the last stored one): growing slots would face
+/// e^{rate*t} retry factors, so a doubled-work tail would diverge.
+double preempted_checkpoint_cost_for(const CheckpointSequence& seq, double x,
+                                     const CostModel& m,
+                                     const PreemptionModel& p);
+
+/// Expected cost over the law (bucket decomposition, numeric covering-level
+/// integration).
+double preemption_checkpoint_expected_cost(const CheckpointSequence& seq,
+                                           const dist::Distribution& d,
+                                           const CostModel& m,
+                                           const PreemptionModel& p);
+
+/// Coordinate-descent optimization of the work targets under preemption.
+struct PreemptionCheckpointPlanResult {
+  CheckpointSequence sequence;
+  double cost_before = 0.0;
+  double cost_after = 0.0;
+};
+PreemptionCheckpointPlanResult optimize_preemption_checkpoint_plan(
+    const CheckpointSequence& seed, const dist::Distribution& d,
+    const CostModel& m, const PreemptionModel& p, std::size_t max_sweeps = 12);
+
+}  // namespace sre::core

@@ -1,0 +1,87 @@
+#include "core/recurrence.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace sre::core {
+
+RecurrenceResult sequence_from_t1(const dist::Distribution& d,
+                                  const CostModel& m, double t1,
+                                  const RecurrenceOptions& opts) {
+  assert(m.valid());
+  RecurrenceResult out;
+  const dist::Support sup = d.support();
+  if (!(t1 > 0.0) || !std::isfinite(t1)) return out;
+
+  std::vector<double> values;
+  values.reserve(64);
+
+  double t_prev2 = 0.0;  // t_{i-2}
+  double t_prev = t1;    // t_{i-1}
+  values.push_back(t1);
+
+  if (sup.bounded() && t1 >= sup.upper) {
+    // A single reservation at (or past) the upper bound covers everything.
+    values.back() = sup.upper;
+    out.sequence = ReservationSequence(std::move(values));
+    out.valid = true;
+    return out;
+  }
+
+  while (values.size() < opts.max_length) {
+    const double sf_prev = d.sf(t_prev);
+    if (!sup.bounded() && sf_prev <= opts.coverage_sf) break;  // covered
+    const double density = d.pdf(t_prev);
+    if (!(density > 0.0) || !std::isfinite(density)) {
+      // Eq. (11) is undefined where f vanishes; Theorem 3 proves this cannot
+      // happen along an optimal sequence, so this t1 is not optimal.
+      out.sequence = ReservationSequence(std::move(values));
+      out.violation_index = values.size();
+      return out;
+    }
+    const double sf_prev2 = d.sf(t_prev2);
+    const double next = sf_prev2 / density +
+                        (m.beta / m.alpha) * (sf_prev / density - t_prev) -
+                        m.gamma / m.alpha;
+    if (!(next > t_prev) || !std::isfinite(next) || next > opts.value_cap) {
+      out.sequence = ReservationSequence(std::move(values));
+      out.violation_index = values.size();
+      return out;
+    }
+    if (sup.bounded() && next >= sup.upper) {
+      values.push_back(sup.upper);
+      out.sequence = ReservationSequence(std::move(values));
+      out.valid = true;
+      return out;
+    }
+    values.push_back(next);
+    t_prev2 = t_prev;
+    t_prev = next;
+  }
+
+  // Unbounded support: if the recurrence was too slow to cover within
+  // max_length, extend geometrically (pragmatic tail; the residual mass is
+  // tiny, so the extension's impact on the expected cost is bounded by it).
+  if (sup.bounded()) {
+    // Hit max_length before reaching b: extend by midpoint doubling to b.
+    while (values.back() < sup.upper && values.size() < opts.max_length + 64) {
+      const double next = std::fmin(sup.upper, values.back() * 2.0);
+      if (!(next > values.back())) break;
+      values.push_back(next);
+    }
+    out.valid = values.back() >= sup.upper;
+  } else {
+    double cur = values.back();
+    while (d.sf(cur) > opts.coverage_sf &&
+           values.size() < opts.max_length + 64) {
+      cur *= 2.0;
+      values.push_back(cur);
+    }
+    out.valid = d.sf(values.back()) <= opts.coverage_sf;
+  }
+  out.sequence = ReservationSequence(std::move(values));
+  return out;
+}
+
+}  // namespace sre::core

@@ -1,0 +1,51 @@
+#pragma once
+
+// The optimality recurrence of Theorem 3 / Proposition 1: in an optimal
+// sequence every element after the first is determined by its two
+// predecessors,
+//
+//   t_i = (1 - F(t_{i-2})) / f(t_{i-1})
+//       + (beta/alpha) * ((1 - F(t_{i-1})) / f(t_{i-1}) - t_{i-1})
+//       - gamma/alpha                                            (Eq. 11)
+//
+// with t_0 = 0. Solving STOCHASTIC thus reduces to choosing t_1. Not every
+// t_1 induces a valid (strictly increasing) sequence -- Fig. 3's gaps -- so
+// generation reports validity instead of asserting it.
+
+#include <optional>
+
+#include "core/cost_model.hpp"
+#include "core/sequence.hpp"
+#include "dist/distribution.hpp"
+
+namespace sre::core {
+
+struct RecurrenceOptions {
+  /// Cap on generated elements before the coverage fallback kicks in.
+  std::size_t max_length = 512;
+  /// Residual tail mass at which the sequence is considered to cover the
+  /// distribution (unbounded support).
+  double coverage_sf = 1e-12;
+  /// Abort: an element beyond this is treated as numerically divergent.
+  double value_cap = 1e18;
+};
+
+struct RecurrenceResult {
+  ReservationSequence sequence;
+  /// True iff every generated element was strictly increasing and the
+  /// sequence covers the distribution (bounded: reaches the upper support;
+  /// unbounded: tail mass below coverage_sf, extending geometrically past
+  /// max_length if the recurrence alone was too slow).
+  bool valid = false;
+  /// Index (0-based) at which monotonicity first failed, if it did.
+  std::optional<std::size_t> violation_index;
+};
+
+/// Generates the Eq. (11) sequence starting from t1. For bounded support the
+/// sequence stops at the first element >= b (clamped to b), matching the
+/// Proposition 1 stopping rule F(t_i) = 1.
+RecurrenceResult sequence_from_t1(const dist::Distribution& d,
+                                  const CostModel& m, double t1,
+                                  const RecurrenceOptions& opts = {});
+
+}  // namespace sre::core

@@ -1,0 +1,120 @@
+#include "core/sequence.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "stats/summary.hpp"
+
+namespace sre::core {
+
+ReservationSequence::ReservationSequence(std::vector<double> values)
+    : values_(std::move(values)) {
+  assert(!values_.empty());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    assert(values_[i] > 0.0);
+    assert(i == 0 || values_[i] > values_[i - 1]);
+  }
+}
+
+std::optional<ReservationSequence> ReservationSequence::try_create(
+    std::vector<double> values) {
+  if (values.empty()) return std::nullopt;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!(values[i] > 0.0) || !std::isfinite(values[i])) return std::nullopt;
+    if (i > 0 && !(values[i] > values[i - 1])) return std::nullopt;
+  }
+  ReservationSequence seq;
+  seq.values_ = std::move(values);
+  return seq;
+}
+
+void ReservationSequence::push_back(double t) {
+  assert(t > 0.0 && (values_.empty() || t > values_.back()));
+  values_.push_back(t);
+}
+
+bool ReservationSequence::covers(double t) const noexcept {
+  return !values_.empty() && t <= values_.back();
+}
+
+std::size_t ReservationSequence::attempts_for(double t) const noexcept {
+  if (values_.empty()) return 0;
+  if (t <= values_.back()) {
+    const auto it = std::lower_bound(values_.begin(), values_.end(), t);
+    return static_cast<std::size_t>(it - values_.begin()) + 1;
+  }
+  // Implicit doubling tail.
+  std::size_t k = values_.size();
+  double cur = values_.back();
+  while (cur < t) {
+    cur *= 2.0;
+    ++k;
+  }
+  return k;
+}
+
+double ReservationSequence::cost_for(double t, const CostModel& m) const noexcept {
+  if (values_.empty()) return 0.0;
+  double total = 0.0;
+  for (const double r : values_) {
+    total += m.attempt_cost(r, t);
+    if (t <= r) return total;
+  }
+  double cur = values_.back();
+  while (t > cur) {
+    cur *= 2.0;
+    total += m.attempt_cost(cur, t);
+  }
+  return total;
+}
+
+bool ReservationSequence::covers_distribution(const dist::Distribution& d,
+                                              double sf_tol) const {
+  if (values_.empty()) return false;
+  const dist::Support s = d.support();
+  if (s.bounded()) return values_.back() >= s.upper;
+  return d.sf(values_.back()) <= sf_tol;
+}
+
+SequenceCostEvaluator::SequenceCostEvaluator(const ReservationSequence& seq,
+                                             const CostModel& m)
+    : values_(seq.values()), model_(m) {
+  prefix_.resize(values_.size() + 1);
+  stats::KahanSum sum;
+  prefix_[0] = 0.0;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    sum.add((model_.alpha + model_.beta) * values_[i] + model_.gamma);
+    prefix_[i + 1] = sum.value();
+  }
+}
+
+double SequenceCostEvaluator::cost(double t) const noexcept {
+  if (values_.empty()) return 0.0;
+  if (t <= values_.back()) {
+    const auto it = std::lower_bound(values_.begin(), values_.end(), t);
+    const auto k = static_cast<std::size_t>(it - values_.begin());
+    // k failed reservations before the successful one at index k.
+    return prefix_[k] + model_.alpha * values_[k] + model_.beta * t +
+           model_.gamma;
+  }
+  // Implicit doubling tail past the stored part.
+  double total = prefix_.back();
+  double cur = values_.back();
+  for (;;) {
+    cur *= 2.0;
+    if (t <= cur) {
+      return total + model_.alpha * cur + model_.beta * t + model_.gamma;
+    }
+    total += (model_.alpha + model_.beta) * cur + model_.gamma;
+  }
+}
+
+double SequenceCostEvaluator::mean_cost(std::span<const double> samples) const {
+  if (samples.empty()) return 0.0;
+  stats::KahanSum sum;
+  for (const double t : samples) sum.add(cost(t));
+  return sum.value() / static_cast<double>(samples.size());
+}
+
+}  // namespace sre::core

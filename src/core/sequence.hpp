@@ -1,0 +1,86 @@
+#pragma once
+
+// Reservation sequences (Section 2.2): strictly increasing positive
+// durations t1 < t2 < ... A stored sequence is always finite; distributions
+// with unbounded support conceptually require an infinite sequence, so every
+// cost computation treats a finite sequence as implicitly continued by
+// doubling past its last element ("implicit geometric tail"). Generators in
+// this library extend sequences until the residual tail mass is below ~1e-12,
+// which makes the implicit tail's contribution negligible -- it exists only
+// so that Monte-Carlo draws deeper in the tail never fall off the sequence.
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "dist/distribution.hpp"
+
+namespace sre::core {
+
+class ReservationSequence {
+ public:
+  ReservationSequence() = default;
+
+  /// Asserts the values are positive and strictly increasing.
+  explicit ReservationSequence(std::vector<double> values);
+
+  /// Validating factory: nullopt if values are empty, non-positive, or not
+  /// strictly increasing.
+  static std::optional<ReservationSequence> try_create(
+      std::vector<double> values);
+
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+  [[nodiscard]] double first() const { return values_.front(); }
+  [[nodiscard]] double last() const { return values_.back(); }
+  [[nodiscard]] double operator[](std::size_t i) const { return values_[i]; }
+
+  /// Appends a strictly larger reservation (asserts monotonicity).
+  void push_back(double t);
+
+  /// True if some stored element covers t (t <= last()).
+  [[nodiscard]] bool covers(double t) const noexcept;
+
+  /// Number of reservations paid for a job of duration t, counting the
+  /// implicit doubling tail when t exceeds the last stored element.
+  [[nodiscard]] std::size_t attempts_for(double t) const noexcept;
+
+  /// Total cost C(k, t) of Eq. (2) for a job of duration t, including the
+  /// implicit doubling tail if needed.
+  [[nodiscard]] double cost_for(double t, const CostModel& m) const noexcept;
+
+  /// True if the stored part already covers the distribution up to residual
+  /// tail mass `sf_tol` (always true for bounded support iff last() >= b).
+  [[nodiscard]] bool covers_distribution(const dist::Distribution& d,
+                                         double sf_tol = 1e-12) const;
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Precomputed evaluator for repeatedly costing many job durations against
+/// one (sequence, cost model) pair -- the inner loop of the brute-force
+/// search. cost(t) equals sequence.cost_for(t, model) but runs in
+/// O(log n) with two prefix-sum lookups.
+class SequenceCostEvaluator {
+ public:
+  SequenceCostEvaluator(const ReservationSequence& seq, const CostModel& m);
+
+  [[nodiscard]] double cost(double t) const noexcept;
+
+  /// Mean cost over a fixed sample set (the Eq. 13 estimator with common
+  /// random numbers).
+  [[nodiscard]] double mean_cost(std::span<const double> samples) const;
+
+ private:
+  std::vector<double> values_;
+  std::vector<double> prefix_;  // prefix_[k] = sum_{i<k} ((alpha+beta) t_i + gamma)
+  CostModel model_;
+};
+
+}  // namespace sre::core

@@ -1,0 +1,94 @@
+#include "core/strategy_report.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "core/expected_cost.hpp"
+#include "stats/integrate.hpp"
+#include "stats/summary.hpp"
+
+namespace sre::core {
+
+double cost_quantile(const ReservationSequence& seq,
+                     const dist::Distribution& d, const CostModel& m,
+                     double p) {
+  return seq.cost_for(d.quantile(p), m);
+}
+
+StrategyReport analyze_strategy(const ReservationSequence& seq,
+                                const dist::Distribution& d,
+                                const CostModel& m, const ReportOptions& opts) {
+  assert(!seq.empty() && m.valid());
+  StrategyReport out;
+  out.expected_cost = expected_cost_analytic(seq, d, m);
+
+  // Walk the buckets (t_{k-1}, t_k], extending with the implicit doubling
+  // tail, accumulating:
+  //   * attempts pmf:      P(bucket k)
+  //   * expected attempts: sum_k k P(bucket k)
+  //   * expected waste:    sum_i t_i P(X > t_i)  (failed attempts burn t_i)
+  //   * E[C^2]:            per-bucket quadrature of the squared cost
+  stats::KahanSum e_attempts, e_waste, e_c2;
+  double prev = 0.0;
+  double sf_prev = d.sf(0.0);
+  double failed_prefix = 0.0;  // sum over failed attempts of (a+b) t_i + g
+  std::size_t k = 0;
+  std::size_t stored = 0;
+
+  const dist::Support sup = d.support();
+  auto next_reservation = [&]() -> double {
+    if (stored < seq.size()) return seq[stored++];
+    return prev * 2.0;  // implicit tail
+  };
+
+  while (k < opts.max_buckets) {
+    const double t_k = next_reservation();
+    const double sf_k = d.sf(t_k);
+    const double p_bucket = sf_prev - sf_k;
+    ++k;
+    if (p_bucket > 0.0) {
+      if (out.attempts_pmf.size() < k) out.attempts_pmf.resize(k, 0.0);
+      out.attempts_pmf[k - 1] = p_bucket;
+      e_attempts.add(static_cast<double>(k) * p_bucket);
+
+      // Squared cost over the bucket: (failed_prefix + a t_k + b x + g)^2.
+      const double constant = failed_prefix + m.alpha * t_k + m.gamma;
+      if (m.beta == 0.0) {
+        e_c2.add(constant * constant * p_bucket);
+      } else {
+        const double lo = std::fmax(prev, sup.lower);
+        const double hi = sup.bounded() ? std::fmin(t_k, sup.upper) : t_k;
+        if (hi > lo) {
+          e_c2.add(stats::integrate(
+              [&](double x) {
+                const double pdf = d.pdf(x);
+                if (!std::isfinite(pdf)) return 0.0;
+                const double c = constant + m.beta * x;
+                return c * c * pdf;
+              },
+              lo, hi, 1e-10 * (1.0 + constant * constant)));
+        }
+      }
+    }
+    if (sf_k > 0.0) {
+      e_waste.add(t_k * sf_k);
+    }
+    failed_prefix += (m.alpha + m.beta) * t_k + m.gamma;
+    prev = t_k;
+    sf_prev = sf_k;
+    if (sf_prev <= opts.tail_sf_tol) break;
+  }
+
+  out.expected_attempts = e_attempts.value();
+  out.expected_waste = e_waste.value();
+  const double var = e_c2.value() - out.expected_cost * out.expected_cost;
+  out.cost_stddev = std::sqrt(std::fmax(var, 0.0));
+
+  out.cost_quantiles.reserve(opts.quantiles.size());
+  for (const double p : opts.quantiles) {
+    out.cost_quantiles.emplace_back(p, cost_quantile(seq, d, m, p));
+  }
+  return out;
+}
+
+}  // namespace sre::core

@@ -1,0 +1,50 @@
+#pragma once
+
+// Risk analysis of a reservation strategy. The expected cost (Eq. 4) is the
+// paper's objective, but a user committing to a plan also wants the spread:
+// the distribution of the number of attempts, the cost quantiles (the cost
+// is a nondecreasing function of the job size, so cost quantiles are the
+// image of job-size quantiles), the cost standard deviation, and the
+// machine time expected to be burnt by failed attempts.
+
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/sequence.hpp"
+#include "dist/distribution.hpp"
+
+namespace sre::core {
+
+struct StrategyReport {
+  double expected_cost = 0.0;       ///< Eq. (4)
+  double cost_stddev = 0.0;         ///< sqrt(E[C^2] - E[C]^2)
+  double expected_attempts = 0.0;   ///< sum_i P(X > t_i) + 1-ish
+  double expected_waste = 0.0;      ///< E[machine time of failed attempts]
+  /// attempts_pmf[k] = P(exactly k+1 reservations are paid); truncated once
+  /// the residual mass drops below 1e-12 (implicit tail included).
+  std::vector<double> attempts_pmf;
+  /// (probability, cost) pairs for the requested quantiles.
+  std::vector<std::pair<double, double>> cost_quantiles;
+};
+
+struct ReportOptions {
+  std::vector<double> quantiles = {0.5, 0.9, 0.99};
+  /// Bucket cap for the variance integration (implicit tail included).
+  std::size_t max_buckets = 512;
+  double tail_sf_tol = 1e-13;
+};
+
+/// Full report; every quantity is exact up to quadrature/tail tolerance
+/// (no Monte Carlo).
+StrategyReport analyze_strategy(const ReservationSequence& seq,
+                                const dist::Distribution& d,
+                                const CostModel& m,
+                                const ReportOptions& opts = {});
+
+/// Cost at job-size quantile p: cost_for(Q_X(p)) -- valid because the
+/// per-job cost is nondecreasing in the job size.
+double cost_quantile(const ReservationSequence& seq,
+                     const dist::Distribution& d, const CostModel& m,
+                     double p);
+
+}  // namespace sre::core

@@ -1,0 +1,71 @@
+#include "core/variable_resources.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "core/expected_cost.hpp"
+#include "core/heuristics/dp_discretization.hpp"
+#include "dist/transform.hpp"
+
+namespace sre::core {
+
+double AmdahlModel::time_factor(std::size_t processors) const noexcept {
+  assert(processors >= 1);
+  return sequential_fraction +
+         (1.0 - sequential_fraction) / static_cast<double>(processors);
+}
+
+CostModel cost_model_for(const VariableResourceOptions& opts,
+                         std::size_t processors) {
+  const double p = static_cast<double>(processors);
+  switch (opts.pricing) {
+    case ResourcePricing::kCpuHours:
+      return CostModel{opts.base.alpha * p, opts.base.beta * p,
+                       opts.base.gamma};
+    case ResourcePricing::kTurnaround:
+      return CostModel{
+          opts.base.alpha * (1.0 + opts.contention * std::log(p)),
+          opts.base.beta, opts.base.gamma};
+  }
+  return opts.base;
+}
+
+std::vector<ProcessorPlan> processor_sweep(
+    const dist::Distribution& work, const VariableResourceOptions& opts) {
+  assert(!opts.candidates.empty());
+  std::vector<ProcessorPlan> out;
+  out.reserve(opts.candidates.size());
+
+  // The sweep needs a shared_ptr of the work law for ScaledDistribution; a
+  // non-owning aliasing pointer avoids copying the caller's object.
+  const dist::DistributionPtr work_ref(std::shared_ptr<void>(), &work);
+
+  for (const std::size_t p : opts.candidates) {
+    ProcessorPlan plan;
+    plan.processors = p;
+    plan.time_factor = opts.amdahl.time_factor(p);
+    const dist::ScaledDistribution runtime(work_ref, plan.time_factor);
+    const CostModel model = cost_model_for(opts, p);
+    const DiscretizedDp planner(opts.planner);
+    plan.sequence = planner.generate(runtime, model);
+    plan.expected_cost = expected_cost_analytic(plan.sequence, runtime, model);
+    out.push_back(std::move(plan));
+  }
+  return out;
+}
+
+ProcessorPlan optimize_processors(const dist::Distribution& work,
+                                  const VariableResourceOptions& opts) {
+  const auto sweep = processor_sweep(work, opts);
+  const ProcessorPlan* best = &sweep.front();
+  for (const auto& plan : sweep) {
+    if (plan.expected_cost < best->expected_cost * (1.0 - 1e-12)) {
+      best = &plan;
+    }
+  }
+  return *best;
+}
+
+}  // namespace sre::core

@@ -1,0 +1,84 @@
+#pragma once
+
+// Variable-resource reservations -- the other extension named in the
+// paper's conclusion ("allowing requests with variable amount of resources,
+// hence offering a combination of a reservation time and a number of
+// processors").
+//
+// Model. A job has a *sequential work* requirement W drawn from the known
+// law D. Run on p processors it takes T = W * f(p), with the Amdahl factor
+// f(p) = sigma + (1 - sigma)/p (sigma = non-parallelizable fraction). For a
+// fixed p, the runtime law is Scaled(D, f(p)) and the problem collapses to
+// STOCHASTIC with a p-dependent cost model, so the whole machinery of this
+// library applies per processor count; optimizing p is then an outer 1-D
+// search.
+//
+// Two pricing policies are provided:
+//  * CPU-hours: a reservation (p, t) costs alpha*p*t + beta*p*used + gamma.
+//    Under Amdahl the work area p*T = W*(sigma*p + 1 - sigma) only grows
+//    with p, so p = 1 is provably optimal -- a useful sanity anchor.
+//  * Turnaround: the cost is wall-clock time (the NeuroHPC viewpoint):
+//    wait + execution, where the queue wait grows both with the requested
+//    length (slope alpha) and, mildly, with the requested width
+//    (multiplier 1 + contention * ln p). Here p trades Amdahl's
+//    diminishing returns against queue contention and an interior optimum
+//    appears.
+
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/sequence.hpp"
+#include "dist/distribution.hpp"
+#include "sim/discretize.hpp"
+
+namespace sre::core {
+
+/// Amdahl's law: f(p) = sigma + (1 - sigma)/p.
+struct AmdahlModel {
+  double sequential_fraction = 0.05;  ///< sigma in [0, 1]
+
+  [[nodiscard]] double time_factor(std::size_t processors) const noexcept;
+};
+
+/// How a (p, t) reservation is priced, as a p-dependent Eq. (1) model.
+enum class ResourcePricing {
+  kCpuHours,    ///< alpha*p*t + beta*p*used + gamma
+  kTurnaround,  ///< alpha*(1 + contention ln p)*t + beta*used + gamma
+};
+
+struct VariableResourceOptions {
+  AmdahlModel amdahl{};
+  ResourcePricing pricing = ResourcePricing::kTurnaround;
+  /// Queue-contention strength for kTurnaround (0 = width-free waits).
+  double contention = 0.25;
+  /// Base Eq. (1) parameters (per CPU-hour for kCpuHours; wait model for
+  /// kTurnaround).
+  CostModel base{1.0, 0.0, 0.0};
+  /// Processor counts to evaluate.
+  std::vector<std::size_t> candidates = {1, 2, 4, 8, 16, 32, 64, 128};
+  /// Planner used at each p (discretized Theorem 5 DP).
+  sim::DiscretizationOptions planner{500, 1e-7,
+                                     sim::DiscretizationScheme::kEqualProbability};
+};
+
+/// The Eq. (1) model seen by the fixed-p subproblem.
+CostModel cost_model_for(const VariableResourceOptions& opts,
+                         std::size_t processors);
+
+/// Outcome of one processor-count evaluation.
+struct ProcessorPlan {
+  std::size_t processors = 0;
+  double time_factor = 0.0;     ///< f(p)
+  double expected_cost = 0.0;   ///< optimal expected cost at this p
+  ReservationSequence sequence; ///< reservation *times* at this p
+};
+
+/// Evaluates every candidate p. Results are in candidate order.
+std::vector<ProcessorPlan> processor_sweep(const dist::Distribution& work,
+                                           const VariableResourceOptions& opts);
+
+/// The best candidate (smallest expected cost; ties to fewer processors).
+ProcessorPlan optimize_processors(const dist::Distribution& work,
+                                  const VariableResourceOptions& opts);
+
+}  // namespace sre::core

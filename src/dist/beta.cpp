@@ -1,0 +1,76 @@
+#include "dist/beta.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "stats/special_functions.hpp"
+
+namespace sre::dist {
+
+Beta::Beta(double alpha, double beta)
+    : alpha_(alpha), beta_(beta), lbeta_(stats::lbeta(alpha, beta)) {
+  assert(alpha > 0.0 && beta > 0.0);
+}
+
+double Beta::pdf(double t) const {
+  if (t < 0.0 || t > 1.0) return 0.0;
+  if (t == 0.0) {
+    if (alpha_ < 1.0) return std::numeric_limits<double>::infinity();
+    if (alpha_ == 1.0) return std::exp(-lbeta_);
+    return 0.0;
+  }
+  if (t == 1.0) {
+    if (beta_ < 1.0) return std::numeric_limits<double>::infinity();
+    if (beta_ == 1.0) return std::exp(-lbeta_);
+    return 0.0;
+  }
+  return std::exp((alpha_ - 1.0) * std::log(t) +
+                  (beta_ - 1.0) * std::log1p(-t) - lbeta_);
+}
+
+double Beta::cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  if (t >= 1.0) return 1.0;
+  return stats::inc_beta(t, alpha_, beta_);
+}
+
+double Beta::quantile(double p) const {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+  return stats::inc_beta_inv(p, alpha_, beta_);
+}
+
+double Beta::mean() const { return alpha_ / (alpha_ + beta_); }
+
+double Beta::variance() const {
+  const double s = alpha_ + beta_;
+  return alpha_ * beta_ / (s * s * (s + 1.0));
+}
+
+Support Beta::support() const { return Support{0.0, 1.0}; }
+
+double Beta::conditional_mean_above(double tau) const {
+  if (tau <= 0.0) return mean();
+  if (tau >= 1.0) return 1.0;
+  const double num = stats::inc_beta_unreg(1.0, alpha_ + 1.0, beta_) -
+                     stats::inc_beta_unreg(tau, alpha_ + 1.0, beta_);
+  const double den = stats::inc_beta_unreg(1.0, alpha_, beta_) -
+                     stats::inc_beta_unreg(tau, alpha_, beta_);
+  if (den > 0.0) {
+    const double value = num / den;
+    if (std::isfinite(value) && value >= tau && value <= 1.0) return value;
+  }
+  return conditional_mean_above_numeric(tau);
+}
+
+std::string Beta::name() const { return "Beta"; }
+
+std::string Beta::describe() const {
+  std::ostringstream os;
+  os << "Beta(alpha=" << alpha_ << ", beta=" << beta_ << ")";
+  return os.str();
+}
+
+}  // namespace sre::dist

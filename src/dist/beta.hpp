@@ -1,0 +1,36 @@
+#pragma once
+
+// Beta(alpha, beta), support [0, 1]. Table 1 instantiation: alpha = beta = 2.
+// MEAN-BY-MEAN closed form (Appendix B, Theorem 12):
+//   E[X | X > tau] = [B(alpha+1, beta) - B(tau; alpha+1, beta)]
+//                  / [B(alpha, beta)   - B(tau; alpha,   beta)],
+// with B(x; a, b) the unregularized incomplete beta function.
+
+#include "dist/distribution.hpp"
+
+namespace sre::dist {
+
+class Beta final : public Distribution {
+ public:
+  Beta(double alpha, double beta);
+
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+  [[nodiscard]] double beta() const noexcept { return beta_; }
+
+  [[nodiscard]] double pdf(double t) const override;
+  [[nodiscard]] double cdf(double t) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] Support support() const override;
+  [[nodiscard]] double conditional_mean_above(double tau) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  double alpha_;
+  double beta_;
+  double lbeta_;  // log B(alpha, beta), cached
+};
+
+}  // namespace sre::dist

@@ -1,0 +1,69 @@
+#include "dist/bounded_pareto.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace sre::dist {
+
+BoundedPareto::BoundedPareto(double lower, double upper, double alpha)
+    : L_(lower), H_(upper), alpha_(alpha),
+      norm_(1.0 - std::pow(lower / upper, alpha)) {
+  assert(0.0 < lower && lower < upper && alpha > 0.0);
+}
+
+double BoundedPareto::pdf(double t) const {
+  if (t < L_ || t > H_) return 0.0;
+  return alpha_ * std::pow(L_, alpha_) * std::pow(t, -alpha_ - 1.0) / norm_;
+}
+
+double BoundedPareto::cdf(double t) const {
+  if (t <= L_) return 0.0;
+  if (t >= H_) return 1.0;
+  return (1.0 - std::pow(L_ / t, alpha_)) / norm_;
+}
+
+double BoundedPareto::quantile(double p) const {
+  if (p <= 0.0) return L_;
+  if (p >= 1.0) return H_;
+  return L_ * std::pow(1.0 - norm_ * p, -1.0 / alpha_);
+}
+
+double BoundedPareto::mean() const {
+  assert(alpha_ != 1.0);
+  const double ha = std::pow(H_, alpha_);
+  const double la = std::pow(L_, alpha_);
+  return alpha_ / (alpha_ - 1.0) * (ha * L_ - H_ * la) / (ha - la);
+}
+
+double BoundedPareto::variance() const {
+  assert(alpha_ != 1.0 && alpha_ != 2.0);
+  const double ha = std::pow(H_, alpha_);
+  const double la = std::pow(L_, alpha_);
+  const double m = mean();
+  const double ex2 = alpha_ / (alpha_ - 2.0) *
+                     (ha * L_ * L_ - H_ * H_ * la) / (ha - la);
+  return ex2 - m * m;
+}
+
+Support BoundedPareto::support() const { return Support{L_, H_}; }
+
+double BoundedPareto::conditional_mean_above(double tau) const {
+  assert(alpha_ > 1.0);
+  const double t = std::fmax(tau, L_);
+  if (t >= H_) return H_;
+  const double num = std::pow(H_, 1.0 - alpha_) - std::pow(t, 1.0 - alpha_);
+  const double den = std::pow(H_, -alpha_) - std::pow(t, -alpha_);
+  return alpha_ / (alpha_ - 1.0) * num / den;
+}
+
+std::string BoundedPareto::name() const { return "BoundedPareto"; }
+
+std::string BoundedPareto::describe() const {
+  std::ostringstream os;
+  os << "BoundedPareto(L=" << L_ << ", H=" << H_ << ", alpha=" << alpha_
+     << ")";
+  return os.str();
+}
+
+}  // namespace sre::dist

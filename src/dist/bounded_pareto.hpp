@@ -1,0 +1,38 @@
+#pragma once
+
+// BoundedPareto(L, H, alpha): a Pareto law restricted to [L, H]. Table 1
+// instantiation: L = 1, H = 20, alpha = 2.1. MEAN-BY-MEAN closed form
+// (Appendix B, Theorem 13):
+//   E[X | X > tau] = alpha/(alpha-1)
+//                  * (H^{1-alpha} - tau^{1-alpha}) / (H^{-alpha} - tau^{-alpha}).
+
+#include "dist/distribution.hpp"
+
+namespace sre::dist {
+
+class BoundedPareto final : public Distribution {
+ public:
+  BoundedPareto(double lower, double upper, double alpha);
+
+  [[nodiscard]] double lower() const noexcept { return L_; }
+  [[nodiscard]] double upper() const noexcept { return H_; }
+  [[nodiscard]] double tail_index() const noexcept { return alpha_; }
+
+  [[nodiscard]] double pdf(double t) const override;
+  [[nodiscard]] double cdf(double t) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] Support support() const override;
+  [[nodiscard]] double conditional_mean_above(double tau) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  double L_;
+  double H_;
+  double alpha_;
+  double norm_;  // 1 - (L/H)^alpha, cached
+};
+
+}  // namespace sre::dist

@@ -1,0 +1,126 @@
+#include "dist/discrete.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "stats/summary.hpp"
+
+namespace sre::dist {
+
+DiscreteDistribution::DiscreteDistribution(std::vector<double> values,
+                                           std::vector<double> probs)
+    : values_(std::move(values)), probs_(std::move(probs)) {
+  assert(!values_.empty() && values_.size() == probs_.size());
+  stats::KahanSum total;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    assert(values_[i] >= 0.0);
+    assert(i == 0 || values_[i] > values_[i - 1]);
+    assert(probs_[i] >= 0.0);
+    total.add(probs_[i]);
+  }
+  const double z = total.value();
+  assert(z > 0.0);
+  cum_.resize(values_.size());
+  stats::KahanSum running;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    probs_[i] /= z;
+    running.add(probs_[i]);
+    cum_[i] = std::fmin(running.value(), 1.0);
+  }
+  cum_.back() = 1.0;
+}
+
+DiscreteDistribution DiscreteDistribution::from_samples(
+    std::span<const double> samples) {
+  assert(!samples.empty());
+  std::map<double, double> hist;
+  for (const double s : samples) hist[s] += 1.0;
+  std::vector<double> values, probs;
+  values.reserve(hist.size());
+  probs.reserve(hist.size());
+  for (const auto& [v, count] : hist) {
+    values.push_back(v);
+    probs.push_back(count);
+  }
+  return DiscreteDistribution(std::move(values), std::move(probs));
+}
+
+double DiscreteDistribution::sf(double t) const { return 1.0 - cdf(t); }
+
+double DiscreteDistribution::pdf(double t) const {
+  const auto it = std::lower_bound(values_.begin(), values_.end(), t);
+  if (it != values_.end() && *it == t) {
+    return probs_[static_cast<std::size_t>(it - values_.begin())];
+  }
+  return 0.0;
+}
+
+double DiscreteDistribution::cdf(double t) const {
+  // Index of the last value <= t.
+  const auto it = std::upper_bound(values_.begin(), values_.end(), t);
+  if (it == values_.begin()) return 0.0;
+  return cum_[static_cast<std::size_t>(it - values_.begin()) - 1];
+}
+
+double DiscreteDistribution::quantile(double p) const {
+  if (p <= 0.0) return values_.front();
+  if (p >= 1.0) return values_.back();
+  const auto it = std::lower_bound(cum_.begin(), cum_.end(), p);
+  if (it == cum_.end()) return values_.back();
+  return values_[static_cast<std::size_t>(it - cum_.begin())];
+}
+
+double DiscreteDistribution::mean() const {
+  stats::KahanSum s;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    s.add(values_[i] * probs_[i]);
+  }
+  return s.value();
+}
+
+double DiscreteDistribution::variance() const {
+  const double m = mean();
+  stats::KahanSum s;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    s.add((values_[i] - m) * (values_[i] - m) * probs_[i]);
+  }
+  return s.value();
+}
+
+Support DiscreteDistribution::support() const {
+  return Support{values_.front(), values_.back()};
+}
+
+double DiscreteDistribution::sample(Rng& rng) const {
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  const double u = u01(rng);
+  const auto it = std::lower_bound(cum_.begin(), cum_.end(), u);
+  if (it == cum_.end()) return values_.back();
+  return values_[static_cast<std::size_t>(it - cum_.begin())];
+}
+
+double DiscreteDistribution::conditional_mean_above(double tau) const {
+  stats::KahanSum num, den;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] > tau) {
+      num.add(values_[i] * probs_[i]);
+      den.add(probs_[i]);
+    }
+  }
+  if (den.value() <= 0.0) return tau;
+  return num.value() / den.value();
+}
+
+std::string DiscreteDistribution::name() const { return "Discrete"; }
+
+std::string DiscreteDistribution::describe() const {
+  std::ostringstream os;
+  os << "Discrete(n=" << values_.size() << ", [" << values_.front() << ", "
+     << values_.back() << "])";
+  return os.str();
+}
+
+}  // namespace sre::dist

@@ -1,0 +1,57 @@
+#pragma once
+
+// Finite discrete distribution X ~ (v_i, f_i)_{i=1..n} with strictly
+// increasing support points. This is the input of the Theorem 5 dynamic
+// program; it is produced by truncating + discretizing a continuous law
+// (Section 4.2.1) or from empirical traces.
+//
+// Note on survival: the reservation model pays reservation i+1 exactly when
+// X > t_i, so sf() here is the *strict* survival P(X > t). With that
+// convention the Theorem 1 cost series is exact for atomic laws too.
+
+#include <span>
+#include <vector>
+
+#include "dist/distribution.hpp"
+
+namespace sre::dist {
+
+class DiscreteDistribution final : public Distribution {
+ public:
+  /// `values` strictly increasing and nonnegative, `probs` nonnegative with a
+  /// positive sum; probabilities are normalized on construction.
+  DiscreteDistribution(std::vector<double> values, std::vector<double> probs);
+
+  /// Empirical distribution of a sample set (values deduplicated & sorted).
+  static DiscreteDistribution from_samples(std::span<const double> samples);
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+  [[nodiscard]] const std::vector<double>& probabilities() const noexcept {
+    return probs_;
+  }
+
+  /// P(X > t), exact at atoms.
+  [[nodiscard]] double sf(double t) const override;
+  /// Probability mass at exactly v (0 for non-atoms); this is *not* a
+  /// density, but pdf() is the natural slot for it in the shared interface.
+  [[nodiscard]] double pdf(double t) const override;
+  [[nodiscard]] double cdf(double t) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] Support support() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double conditional_mean_above(double tau) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  std::vector<double> values_;
+  std::vector<double> probs_;
+  std::vector<double> cum_;  // cum_[i] = P(X <= values_[i])
+};
+
+}  // namespace sre::dist

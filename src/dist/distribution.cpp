@@ -1,0 +1,75 @@
+#include "dist/distribution.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "stats/integrate.hpp"
+
+namespace sre::dist {
+
+bool Support::bounded() const noexcept { return std::isfinite(upper); }
+
+bool Support::contains(double t) const noexcept {
+  return t >= lower && t <= upper;
+}
+
+double Distribution::sf(double t) const { return 1.0 - cdf(t); }
+
+double Distribution::stddev() const { return std::sqrt(variance()); }
+
+double Distribution::second_moment() const {
+  const double m = mean();
+  return variance() + m * m;
+}
+
+double Distribution::median() const { return quantile(0.5); }
+
+double Distribution::sample(Rng& rng) const {
+  // Inverse transform on a canonical uniform; u in [0,1) keeps quantile(1)
+  // (possibly +inf) unreachable.
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  return quantile(u01(rng));
+}
+
+double Distribution::conditional_mean_above(double tau) const {
+  return conditional_mean_above_numeric(tau);
+}
+
+double Distribution::conditional_mean_above_numeric(double tau) const {
+  const Support s = support();
+  const double lo = std::fmax(tau, s.lower);
+  const double tail = sf(lo);
+  if (!(tail > 0.0)) return tau;
+  // Integrate up to the (1 - 1e-13) quantile when the support is unbounded;
+  // the remaining tail mass contributes O(1e-13 * E[X]) which is below the
+  // tolerance of every consumer.
+  const double hi = s.bounded() ? s.upper : quantile(1.0 - 1e-13);
+  if (!(hi > lo)) return tau;
+  // Guard the t * f(t) product where the density diverges at the lower
+  // support endpoint (e.g. Weibull with kappa < 1): the product tends to 0.
+  const double num = stats::integrate(
+      [this](double t) {
+        const double v = t * pdf(t);
+        return std::isfinite(v) ? v : 0.0;
+      },
+      lo, hi, 1e-12 * (1.0 + mean()));
+  const double value = num / tail;
+  // Conditioning can only move the mean upward from tau.
+  return std::fmax(value, tau);
+}
+
+double Distribution::partial_expectation(double a, double b) const {
+  if (!(b > a)) return 0.0;
+  const double sfa = sf(a);
+  if (!(sfa > 0.0)) return 0.0;
+  const double sfb = sf(b);
+  const double upper_a = conditional_mean_above(a) * sfa;
+  const double upper_b = (sfb > 0.0) ? conditional_mean_above(b) * sfb : 0.0;
+  // Clamp tiny negative values from cancellation.
+  return std::fmax(upper_a - upper_b, 0.0);
+}
+
+std::string Distribution::describe() const { return name(); }
+
+}  // namespace sre::dist

@@ -1,0 +1,87 @@
+#pragma once
+
+// Abstract interface for the execution-time laws of Section 2.1. A
+// distribution is nonnegative with support [a, b] (b possibly infinite) and
+// exposes exactly the quantities the reservation algorithms consume:
+// pdf f, CDF F, survival 1-F, quantile Q, mean, variance, sampling, and the
+// conditional expectation E[X | X > tau] that drives the MEAN-BY-MEAN
+// heuristic (Appendix B).
+
+#include <memory>
+#include <random>
+#include <string>
+
+namespace sre::dist {
+
+/// Support interval of a distribution; `upper` may be +infinity.
+struct Support {
+  double lower = 0.0;
+  double upper = 0.0;
+
+  [[nodiscard]] bool bounded() const noexcept;
+  [[nodiscard]] bool contains(double t) const noexcept;
+};
+
+/// Random engine type shared across the library. The dependency points
+/// downward (dist -> <random>), so the simulation layer can build richer
+/// deterministic stream utilities on top without a cycle.
+using Rng = std::mt19937_64;
+
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Probability density f(t). Zero outside the support.
+  [[nodiscard]] virtual double pdf(double t) const = 0;
+
+  /// Cumulative distribution F(t) = P(X <= t).
+  [[nodiscard]] virtual double cdf(double t) const = 0;
+
+  /// Strict survival function P(X > t). For continuous laws this equals
+  /// 1 - F(t); atomic laws (DiscreteDistribution) override it so the
+  /// Theorem 1 cost series stays exact: reservation i+1 is paid iff X > t_i.
+  /// Also overridden where a direct evaluation is more accurate in the tail
+  /// (the Eq. (4) series is a sum of survival terms).
+  [[nodiscard]] virtual double sf(double t) const;
+
+  /// Quantile Q(p) = inf { t : F(t) >= p }, p in [0, 1].
+  [[nodiscard]] virtual double quantile(double p) const = 0;
+
+  [[nodiscard]] virtual double mean() const = 0;
+  [[nodiscard]] virtual double variance() const = 0;
+  [[nodiscard]] double stddev() const;
+  /// E[X^2] = Var[X] + E[X]^2 (used by the Theorem 2 bound A1).
+  [[nodiscard]] double second_moment() const;
+  [[nodiscard]] double median() const;
+
+  [[nodiscard]] virtual Support support() const = 0;
+
+  /// Draws one execution time. Default: inverse-transform sampling.
+  [[nodiscard]] virtual double sample(Rng& rng) const;
+
+  /// E[X | X > tau]. The default integrates t*f(t) numerically; every
+  /// concrete law overrides with its Appendix-B closed form. Returns tau
+  /// when the conditional tail mass is numerically zero.
+  [[nodiscard]] virtual double conditional_mean_above(double tau) const;
+
+  /// Partial expectation E[X * 1{a < X <= b}], derived from the
+  /// conditional-mean closed forms:
+  ///   E[X 1{X>a}] - E[X 1{X>b}] = cm(a) sf(a) - cm(b) sf(b).
+  /// Used by the checkpointing cost evaluator.
+  [[nodiscard]] double partial_expectation(double a, double b) const;
+
+  /// Short identifier, e.g. "Exponential".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Human-readable description including parameter values.
+  [[nodiscard]] virtual std::string describe() const;
+
+ protected:
+  /// Numeric fallback for conditional_mean_above (exposed so overrides can
+  /// delegate when their closed form loses precision deep in the tail).
+  [[nodiscard]] double conditional_mean_above_numeric(double tau) const;
+};
+
+using DistributionPtr = std::shared_ptr<const Distribution>;
+
+}  // namespace sre::dist

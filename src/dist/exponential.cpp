@@ -1,0 +1,56 @@
+#include "dist/exponential.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace sre::dist {
+
+Exponential::Exponential(double lambda) : lambda_(lambda) {
+  assert(lambda > 0.0);
+}
+
+double Exponential::pdf(double t) const {
+  if (t < 0.0) return 0.0;
+  return lambda_ * std::exp(-lambda_ * t);
+}
+
+double Exponential::cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  return -std::expm1(-lambda_ * t);
+}
+
+double Exponential::sf(double t) const {
+  if (t <= 0.0) return 1.0;
+  return std::exp(-lambda_ * t);
+}
+
+double Exponential::quantile(double p) const {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return std::numeric_limits<double>::infinity();
+  return -std::log1p(-p) / lambda_;
+}
+
+double Exponential::mean() const { return 1.0 / lambda_; }
+
+double Exponential::variance() const { return 1.0 / (lambda_ * lambda_); }
+
+Support Exponential::support() const {
+  return Support{0.0, std::numeric_limits<double>::infinity()};
+}
+
+double Exponential::conditional_mean_above(double tau) const {
+  // Memorylessness.
+  return std::fmax(tau, 0.0) + 1.0 / lambda_;
+}
+
+std::string Exponential::name() const { return "Exponential"; }
+
+std::string Exponential::describe() const {
+  std::ostringstream os;
+  os << "Exponential(lambda=" << lambda_ << ")";
+  return os.str();
+}
+
+}  // namespace sre::dist

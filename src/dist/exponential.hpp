@@ -1,0 +1,33 @@
+#pragma once
+
+// Exponential(lambda), support [0, inf). Table 1 instantiation: lambda = 1.
+// The memoryless law: E[X | X > tau] = tau + 1/lambda, so MEAN-BY-MEAN
+// produces the arithmetic sequence tau_i = i/lambda (Appendix B). Section 3.5
+// shows the RESERVATIONONLY optimum is s_i/lambda with s1 ~ 0.74219.
+
+#include "dist/distribution.hpp"
+
+namespace sre::dist {
+
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double lambda);
+
+  [[nodiscard]] double rate() const noexcept { return lambda_; }
+
+  [[nodiscard]] double pdf(double t) const override;
+  [[nodiscard]] double cdf(double t) const override;
+  [[nodiscard]] double sf(double t) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] Support support() const override;
+  [[nodiscard]] double conditional_mean_above(double tau) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  double lambda_;
+};
+
+}  // namespace sre::dist

@@ -1,0 +1,111 @@
+#include "dist/factory.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "dist/beta.hpp"
+#include "dist/bounded_pareto.hpp"
+#include "dist/exponential.hpp"
+#include "dist/gamma.hpp"
+#include "dist/loglogistic.hpp"
+#include "dist/lognormal.hpp"
+#include "dist/pareto.hpp"
+#include "dist/truncated_normal.hpp"
+#include "dist/uniform.hpp"
+#include "dist/weibull.hpp"
+
+namespace sre::dist {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+std::optional<double> get(const ParamMap& params, const std::string& key) {
+  const auto it = params.find(key);
+  if (it == params.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace
+
+DistributionPtr make_distribution(const std::string& name,
+                                  const ParamMap& params) {
+  const std::string n = lower(name);
+  if (n == "exponential" || n == "exp") {
+    if (const auto l = get(params, "lambda")) {
+      return std::make_shared<Exponential>(*l);
+    }
+  } else if (n == "weibull") {
+    const auto l = get(params, "lambda");
+    const auto k = get(params, "kappa");
+    if (l && k) return std::make_shared<Weibull>(*l, *k);
+  } else if (n == "gamma") {
+    const auto a = get(params, "alpha");
+    const auto b = get(params, "beta");
+    if (a && b) return std::make_shared<Gamma>(*a, *b);
+  } else if (n == "lognormal") {
+    const auto mu = get(params, "mu");
+    const auto sigma = get(params, "sigma");
+    if (mu && sigma) return std::make_shared<LogNormal>(*mu, *sigma);
+  } else if (n == "truncatednormal") {
+    const auto mu = get(params, "mu");
+    const auto sigma = get(params, "sigma");
+    const auto a = get(params, "a");
+    if (mu && sigma && a) {
+      return std::make_shared<TruncatedNormal>(*mu, *sigma, *a);
+    }
+  } else if (n == "pareto") {
+    const auto nu = get(params, "nu");
+    const auto a = get(params, "alpha");
+    if (nu && a) return std::make_shared<Pareto>(*nu, *a);
+  } else if (n == "uniform") {
+    const auto a = get(params, "a");
+    const auto b = get(params, "b");
+    if (a && b) return std::make_shared<Uniform>(*a, *b);
+  } else if (n == "beta") {
+    const auto a = get(params, "alpha");
+    const auto b = get(params, "beta");
+    if (a && b) return std::make_shared<Beta>(*a, *b);
+  } else if (n == "loglogistic") {
+    const auto a = get(params, "alpha");
+    const auto b = get(params, "beta");
+    if (a && b) return std::make_shared<LogLogistic>(*a, *b);
+  } else if (n == "boundedpareto") {
+    const auto l = get(params, "l");
+    const auto h = get(params, "h");
+    const auto a = get(params, "alpha");
+    if (l && h && a) return std::make_shared<BoundedPareto>(*l, *h, *a);
+  }
+  return nullptr;
+}
+
+std::vector<PaperInstance> paper_distributions() {
+  // Table 1 parameter instantiations, in row order.
+  // TruncatedNormal: the table lists sigma^2 = 2.0, i.e. sigma = sqrt(2).
+  return {
+      {"Exponential", std::make_shared<Exponential>(1.0)},
+      {"Weibull", std::make_shared<Weibull>(1.0, 0.5)},
+      {"Gamma", std::make_shared<Gamma>(2.0, 2.0)},
+      {"Lognormal", std::make_shared<LogNormal>(3.0, 0.5)},
+      {"TruncatedNormal",
+       std::make_shared<TruncatedNormal>(8.0, std::sqrt(2.0), 0.0)},
+      {"Pareto", std::make_shared<Pareto>(1.5, 3.0)},
+      {"Uniform", std::make_shared<Uniform>(10.0, 20.0)},
+      {"Beta", std::make_shared<Beta>(2.0, 2.0)},
+      {"BoundedPareto", std::make_shared<BoundedPareto>(1.0, 20.0, 2.1)},
+  };
+}
+
+std::optional<PaperInstance> paper_distribution(const std::string& label) {
+  for (auto& inst : paper_distributions()) {
+    if (lower(inst.label) == lower(label)) return inst;
+  }
+  return std::nullopt;
+}
+
+}  // namespace sre::dist

@@ -1,0 +1,42 @@
+#pragma once
+
+// Construction of distributions by name (for CLI tools and config-driven
+// benches) and the nine Table 1 instantiations used throughout the paper's
+// evaluation.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/distribution.hpp"
+
+namespace sre::dist {
+
+/// Parameter bag for make_distribution, e.g. {{"lambda", 1.0}}.
+using ParamMap = std::map<std::string, double>;
+
+/// Creates a distribution by case-insensitive name. Recognized names and
+/// parameters:
+///   exponential(lambda) | weibull(lambda, kappa) | gamma(alpha, beta) |
+///   lognormal(mu, sigma) | truncatednormal(mu, sigma, a) |
+///   pareto(nu, alpha) | uniform(a, b) | beta(alpha, beta) |
+///   boundedpareto(L, H, alpha) | loglogistic(alpha, beta)
+/// Returns nullptr for unknown names or missing parameters.
+DistributionPtr make_distribution(const std::string& name,
+                                  const ParamMap& params);
+
+/// A named Table 1 instantiation.
+struct PaperInstance {
+  std::string label;      ///< row label as printed in the paper's tables
+  DistributionPtr dist;   ///< the instantiated law
+};
+
+/// The nine distributions of Table 1 with the paper's parameter values, in
+/// the paper's row order (infinite-support laws first).
+std::vector<PaperInstance> paper_distributions();
+
+/// A single Table 1 instantiation by label ("Exponential", "Weibull", ...).
+std::optional<PaperInstance> paper_distribution(const std::string& label);
+
+}  // namespace sre::dist

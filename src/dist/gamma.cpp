@@ -1,0 +1,75 @@
+#include "dist/gamma.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "stats/special_functions.hpp"
+
+namespace sre::dist {
+
+Gamma::Gamma(double alpha, double beta)
+    : alpha_(alpha),
+      beta_(beta),
+      log_norm_(alpha * std::log(beta) - std::lgamma(alpha)) {
+  assert(alpha > 0.0 && beta > 0.0);
+}
+
+double Gamma::pdf(double t) const {
+  if (t < 0.0) return 0.0;
+  if (t == 0.0) {
+    if (alpha_ < 1.0) return std::numeric_limits<double>::infinity();
+    if (alpha_ == 1.0) return beta_;
+    return 0.0;
+  }
+  return std::exp(log_norm_ + (alpha_ - 1.0) * std::log(t) - beta_ * t);
+}
+
+double Gamma::cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  return stats::gamma_p(alpha_, beta_ * t);
+}
+
+double Gamma::sf(double t) const {
+  if (t <= 0.0) return 1.0;
+  return stats::gamma_q(alpha_, beta_ * t);
+}
+
+double Gamma::quantile(double p) const {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return std::numeric_limits<double>::infinity();
+  return stats::gamma_p_inv(alpha_, p) / beta_;
+}
+
+double Gamma::mean() const { return alpha_ / beta_; }
+
+double Gamma::variance() const { return alpha_ / (beta_ * beta_); }
+
+Support Gamma::support() const {
+  return Support{0.0, std::numeric_limits<double>::infinity()};
+}
+
+double Gamma::conditional_mean_above(double tau) const {
+  if (tau <= 0.0) return mean();
+  const double x = beta_ * tau;
+  const double q = stats::gamma_q(alpha_, x);
+  if (q > 0.0) {
+    // (x^alpha e^{-x}) / Gamma(alpha, x) evaluated in log space.
+    const double log_num = alpha_ * std::log(x) - x;
+    const double log_den = std::log(q) + std::lgamma(alpha_);
+    const double value = alpha_ / beta_ + std::exp(log_num - log_den) / beta_;
+    if (std::isfinite(value) && value >= tau) return value;
+  }
+  return conditional_mean_above_numeric(tau);
+}
+
+std::string Gamma::name() const { return "Gamma"; }
+
+std::string Gamma::describe() const {
+  std::ostringstream os;
+  os << "Gamma(alpha=" << alpha_ << ", beta=" << beta_ << ")";
+  return os.str();
+}
+
+}  // namespace sre::dist

@@ -1,0 +1,37 @@
+#pragma once
+
+// Gamma(alpha, beta) with shape alpha and rate beta, support [0, inf).
+// Table 1 instantiation: alpha = 2, beta = 2. MEAN-BY-MEAN closed form
+// (Appendix B, Theorem 7):
+//   E[X | X > tau] = alpha/beta + (tau*beta)^alpha e^{-tau*beta}
+//                                 / (Gamma(alpha, tau*beta) * beta).
+
+#include "dist/distribution.hpp"
+
+namespace sre::dist {
+
+class Gamma final : public Distribution {
+ public:
+  Gamma(double alpha, double beta);
+
+  [[nodiscard]] double shape() const noexcept { return alpha_; }
+  [[nodiscard]] double rate() const noexcept { return beta_; }
+
+  [[nodiscard]] double pdf(double t) const override;
+  [[nodiscard]] double cdf(double t) const override;
+  [[nodiscard]] double sf(double t) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] Support support() const override;
+  [[nodiscard]] double conditional_mean_above(double tau) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  double alpha_;
+  double beta_;
+  double log_norm_;  // alpha*log(beta) - lgamma(alpha), cached
+};
+
+}  // namespace sre::dist

@@ -1,0 +1,150 @@
+#include "dist/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+#include "stats/summary.hpp"
+
+namespace sre::dist {
+
+HistogramDistribution HistogramDistribution::from_samples(
+    std::span<const double> samples, std::size_t bins) {
+  assert(!samples.empty() && bins >= 1);
+  double lo = samples[0], hi = samples[0];
+  for (const double s : samples) {
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  assert(lo >= 0.0);
+  // Widen so the max sample lands inside the last bin, and keep a positive
+  // width even for a degenerate (constant) trace.
+  const double pad = std::fmax((hi - lo) * 1e-9, 1e-9 * (1.0 + hi));
+  lo = std::fmax(0.0, lo - pad);
+  hi = hi + pad;
+  const double width = (hi - lo) / static_cast<double>(bins);
+
+  std::vector<double> edges(bins + 1);
+  for (std::size_t i = 0; i <= bins; ++i) {
+    edges[i] = lo + width * static_cast<double>(i);
+  }
+  std::vector<double> masses(bins, 0.0);
+  for (const double s : samples) {
+    auto b = static_cast<std::size_t>((s - lo) / width);
+    if (b >= bins) b = bins - 1;
+    masses[b] += 1.0;
+  }
+  return HistogramDistribution(std::move(edges), std::move(masses));
+}
+
+HistogramDistribution::HistogramDistribution(std::vector<double> edges,
+                                             std::vector<double> masses)
+    : edges_(std::move(edges)), masses_(std::move(masses)) {
+  assert(edges_.size() == masses_.size() + 1 && !masses_.empty());
+  assert(edges_.front() >= 0.0);
+  stats::KahanSum total;
+  for (std::size_t i = 0; i < masses_.size(); ++i) {
+    assert(edges_[i + 1] > edges_[i]);
+    assert(masses_[i] >= 0.0);
+    total.add(masses_[i]);
+  }
+  assert(total.value() > 0.0);
+  cum_.resize(masses_.size());
+  stats::KahanSum running;
+  for (std::size_t i = 0; i < masses_.size(); ++i) {
+    masses_[i] /= total.value();
+    running.add(masses_[i]);
+    cum_[i] = std::fmin(running.value(), 1.0);
+  }
+  cum_.back() = 1.0;
+}
+
+std::size_t HistogramDistribution::bin_of(double t) const {
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), t);
+  if (it == edges_.begin()) return 0;
+  const auto idx = static_cast<std::size_t>(it - edges_.begin()) - 1;
+  return std::min(idx, masses_.size() - 1);
+}
+
+double HistogramDistribution::pdf(double t) const {
+  if (t < edges_.front() || t >= edges_.back()) return 0.0;
+  const std::size_t b = bin_of(t);
+  return masses_[b] / (edges_[b + 1] - edges_[b]);
+}
+
+double HistogramDistribution::cdf(double t) const {
+  if (t <= edges_.front()) return 0.0;
+  if (t >= edges_.back()) return 1.0;
+  const std::size_t b = bin_of(t);
+  const double before = (b == 0) ? 0.0 : cum_[b - 1];
+  const double frac = (t - edges_[b]) / (edges_[b + 1] - edges_[b]);
+  return before + masses_[b] * frac;
+}
+
+double HistogramDistribution::quantile(double p) const {
+  if (p <= 0.0) return edges_.front();
+  if (p >= 1.0) return edges_.back();
+  const auto it = std::lower_bound(cum_.begin(), cum_.end(), p);
+  const auto b = static_cast<std::size_t>(it - cum_.begin());
+  const double before = (b == 0) ? 0.0 : cum_[b - 1];
+  if (masses_[b] <= 0.0) return edges_[b];
+  const double frac = (p - before) / masses_[b];
+  return edges_[b] + frac * (edges_[b + 1] - edges_[b]);
+}
+
+double HistogramDistribution::mean() const {
+  stats::KahanSum s;
+  for (std::size_t i = 0; i < masses_.size(); ++i) {
+    s.add(masses_[i] * 0.5 * (edges_[i] + edges_[i + 1]));
+  }
+  return s.value();
+}
+
+double HistogramDistribution::variance() const {
+  // E[X^2] of a uniform piece on [a,b] is (a^2 + ab + b^2)/3.
+  stats::KahanSum ex2;
+  for (std::size_t i = 0; i < masses_.size(); ++i) {
+    const double a = edges_[i], b = edges_[i + 1];
+    ex2.add(masses_[i] * (a * a + a * b + b * b) / 3.0);
+  }
+  const double m = mean();
+  return ex2.value() - m * m;
+}
+
+Support HistogramDistribution::support() const {
+  return Support{edges_.front(), edges_.back()};
+}
+
+double HistogramDistribution::conditional_mean_above(double tau) const {
+  if (tau <= edges_.front()) return mean();
+  if (tau >= edges_.back()) return edges_.back();
+  const std::size_t b0 = bin_of(tau);
+  stats::KahanSum num, den;
+  // Partial piece of the bin containing tau: uniform on [tau, edge].
+  {
+    const double a = edges_[b0], b = edges_[b0 + 1];
+    if (tau < b) {
+      const double mass = masses_[b0] * (b - tau) / (b - a);
+      num.add(mass * 0.5 * (tau + b));
+      den.add(mass);
+    }
+  }
+  for (std::size_t i = b0 + 1; i < masses_.size(); ++i) {
+    num.add(masses_[i] * 0.5 * (edges_[i] + edges_[i + 1]));
+    den.add(masses_[i]);
+  }
+  if (!(den.value() > 0.0)) return tau;
+  return std::fmax(num.value() / den.value(), tau);
+}
+
+std::string HistogramDistribution::name() const { return "Histogram"; }
+
+std::string HistogramDistribution::describe() const {
+  std::ostringstream os;
+  os << "Histogram(bins=" << masses_.size() << ", [" << edges_.front() << ", "
+     << edges_.back() << "])";
+  return os.str();
+}
+
+}  // namespace sre::dist

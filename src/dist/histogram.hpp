@@ -1,0 +1,58 @@
+#pragma once
+
+// Piecewise-uniform (histogram) distribution built from a trace -- the
+// nonparametric "interpolated trace" law the paper's NeuroHPC section
+// alludes to ("based on interpolating traces from a real neuroscience
+// application"). Within each bin the density is constant, so pdf, CDF,
+// quantile, moments and conditional means are all exact closed forms, and
+// the law is continuous (unlike DiscreteDistribution) -- the Eq. (11)
+// recurrence and the brute-force search apply directly.
+
+#include <span>
+#include <vector>
+
+#include "dist/distribution.hpp"
+
+namespace sre::dist {
+
+class HistogramDistribution final : public Distribution {
+ public:
+  /// Equal-width bins over [min(samples), max(samples)] (the range is
+  /// widened by a hair so every sample falls strictly inside).
+  static HistogramDistribution from_samples(std::span<const double> samples,
+                                            std::size_t bins = 64);
+
+  /// Explicit construction: `edges` strictly increasing (size n+1),
+  /// `masses` nonnegative (size n) with positive sum; normalized.
+  HistogramDistribution(std::vector<double> edges, std::vector<double> masses);
+
+  [[nodiscard]] std::size_t bin_count() const noexcept {
+    return masses_.size();
+  }
+  [[nodiscard]] const std::vector<double>& edges() const noexcept {
+    return edges_;
+  }
+  [[nodiscard]] const std::vector<double>& masses() const noexcept {
+    return masses_;
+  }
+
+  [[nodiscard]] double pdf(double t) const override;
+  [[nodiscard]] double cdf(double t) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] Support support() const override;
+  [[nodiscard]] double conditional_mean_above(double tau) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  /// Index of the bin containing t (edges_[i] <= t < edges_[i+1]).
+  [[nodiscard]] std::size_t bin_of(double t) const;
+
+  std::vector<double> edges_;   // n+1 ascending edges
+  std::vector<double> masses_;  // n normalized bin masses
+  std::vector<double> cum_;     // cum_[i] = F(edges_[i+1])
+};
+
+}  // namespace sre::dist

@@ -1,0 +1,83 @@
+#include "dist/loglogistic.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "stats/special_functions.hpp"
+
+namespace sre::dist {
+
+LogLogistic::LogLogistic(double scale, double shape)
+    : alpha_(scale), beta_(shape) {
+  assert(scale > 0.0 && shape > 1.0 && "beta > 1 needed for a finite mean");
+}
+
+double LogLogistic::pdf(double t) const {
+  if (t < 0.0) return 0.0;
+  if (t == 0.0) return (beta_ > 1.0) ? 0.0 : std::numeric_limits<double>::infinity();
+  const double z = std::pow(t / alpha_, beta_);
+  const double denom = (1.0 + z) * (1.0 + z);
+  return (beta_ / t) * z / denom;
+}
+
+double LogLogistic::cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  const double z = std::pow(t / alpha_, beta_);
+  return z / (1.0 + z);
+}
+
+double LogLogistic::sf(double t) const {
+  if (t <= 0.0) return 1.0;
+  const double z = std::pow(t / alpha_, beta_);
+  return 1.0 / (1.0 + z);
+}
+
+double LogLogistic::quantile(double p) const {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return std::numeric_limits<double>::infinity();
+  return alpha_ * std::pow(p / (1.0 - p), 1.0 / beta_);
+}
+
+double LogLogistic::mean() const {
+  // alpha * Gamma(1+1/b) Gamma(1-1/b) = alpha * (pi/b) / sin(pi/b).
+  const double x = M_PI / beta_;
+  return alpha_ * x / std::sin(x);
+}
+
+double LogLogistic::variance() const {
+  assert(beta_ > 2.0 && "variance requires beta > 2");
+  const double x = M_PI / beta_;
+  const double ex2 = alpha_ * alpha_ * 2.0 * x / std::sin(2.0 * x);
+  const double m = mean();
+  return ex2 - m * m;
+}
+
+Support LogLogistic::support() const {
+  return Support{0.0, std::numeric_limits<double>::infinity()};
+}
+
+double LogLogistic::conditional_mean_above(double tau) const {
+  if (tau <= 0.0) return mean();
+  // With u = F(t): E[X 1{X<=tau}] = alpha B(F(tau); 1+1/b, 1-1/b), so
+  // E[X | X > tau] = (E[X] - alpha B(F; 1+1/b, 1-1/b)) / (1 - F).
+  const double tail = sf(tau);
+  if (!(tail > 0.0)) return tau;
+  const double a = 1.0 + 1.0 / beta_;
+  const double b = 1.0 - 1.0 / beta_;
+  const double lower = alpha_ * stats::inc_beta_unreg(cdf(tau), a, b);
+  const double value = (mean() - lower) / tail;
+  if (std::isfinite(value) && value >= tau) return value;
+  return conditional_mean_above_numeric(tau);
+}
+
+std::string LogLogistic::name() const { return "LogLogistic"; }
+
+std::string LogLogistic::describe() const {
+  std::ostringstream os;
+  os << "LogLogistic(alpha=" << alpha_ << ", beta=" << beta_ << ")";
+  return os.str();
+}
+
+}  // namespace sre::dist

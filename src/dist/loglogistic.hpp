@@ -1,0 +1,42 @@
+#pragma once
+
+// LogLogistic(alpha, beta) (a.k.a. Fisk): scale alpha, shape beta, support
+// [0, inf). A standard heavy-tailed model for service and repair times with
+// fully closed-form CDF and quantile,
+//   F(t) = 1 / (1 + (t/alpha)^{-beta}),   Q(p) = alpha (p/(1-p))^{1/beta},
+// mean alpha * (pi/beta) / sin(pi/beta) for beta > 1, and a conditional
+// mean expressible through the regularized incomplete beta function --
+// extending the paper's Table 1 family with a polynomially-tailed law whose
+// tail index is tunable independently of the body.
+
+#include "dist/distribution.hpp"
+
+namespace sre::dist {
+
+class LogLogistic final : public Distribution {
+ public:
+  /// Requires beta > 1 so the mean exists (the reservation problem needs
+  /// finite E[X]; Theorem 2 additionally wants E[X^2], i.e. beta > 2, for
+  /// the A1 bound -- asserted only where used).
+  LogLogistic(double scale, double shape);
+
+  [[nodiscard]] double scale() const noexcept { return alpha_; }
+  [[nodiscard]] double shape() const noexcept { return beta_; }
+
+  [[nodiscard]] double pdf(double t) const override;
+  [[nodiscard]] double cdf(double t) const override;
+  [[nodiscard]] double sf(double t) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] Support support() const override;
+  [[nodiscard]] double conditional_mean_above(double tau) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  double alpha_;
+  double beta_;
+};
+
+}  // namespace sre::dist

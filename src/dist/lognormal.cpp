@@ -1,0 +1,80 @@
+#include "dist/lognormal.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "stats/fitting.hpp"
+#include "stats/special_functions.hpp"
+
+namespace sre::dist {
+
+LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  assert(sigma > 0.0);
+}
+
+LogNormal LogNormal::from_moments(double mean, double stddev) {
+  const stats::LogNormalParams p = stats::lognormal_from_moments(mean, stddev);
+  return LogNormal(p.mu, p.sigma);
+}
+
+double LogNormal::pdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  const double z = (std::log(t) - mu_) / sigma_;
+  return std::exp(-0.5 * z * z) / (t * sigma_ * std::sqrt(2.0 * M_PI));
+}
+
+double LogNormal::cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  return stats::norm_cdf((std::log(t) - mu_) / sigma_);
+}
+
+double LogNormal::sf(double t) const {
+  if (t <= 0.0) return 1.0;
+  // erfc keeps precision deep in the right tail.
+  const double z = (std::log(t) - mu_) / sigma_;
+  return 0.5 * std::erfc(z / std::sqrt(2.0));
+}
+
+double LogNormal::quantile(double p) const {
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return std::numeric_limits<double>::infinity();
+  return std::exp(mu_ + sigma_ * stats::norm_quantile(p));
+}
+
+double LogNormal::mean() const { return std::exp(mu_ + 0.5 * sigma_ * sigma_); }
+
+double LogNormal::variance() const {
+  const double s2 = sigma_ * sigma_;
+  return (std::exp(s2) - 1.0) * std::exp(2.0 * mu_ + s2);
+}
+
+Support LogNormal::support() const {
+  return Support{0.0, std::numeric_limits<double>::infinity()};
+}
+
+double LogNormal::conditional_mean_above(double tau) const {
+  if (tau <= 0.0) return mean();
+  const double sqrt2 = std::sqrt(2.0);
+  const double z = (std::log(tau) - mu_) / sigma_;
+  // E[X | X > tau] = mean * Phi(sigma - z) / Phi(-z), in erfc form for tail
+  // stability: Phi(-z) = erfc(z/sqrt2)/2, Phi(sigma - z) = erfc((z-sigma)/sqrt2)/2.
+  const double den = std::erfc(z / sqrt2);
+  if (den > 0.0) {
+    const double num = std::erfc((z - sigma_) / sqrt2);
+    const double value = mean() * num / den;
+    if (std::isfinite(value) && value >= tau) return value;
+  }
+  return conditional_mean_above_numeric(tau);
+}
+
+std::string LogNormal::name() const { return "LogNormal"; }
+
+std::string LogNormal::describe() const {
+  std::ostringstream os;
+  os << "LogNormal(mu=" << mu_ << ", sigma=" << sigma_ << ")";
+  return os.str();
+}
+
+}  // namespace sre::dist

@@ -1,0 +1,42 @@
+#pragma once
+
+// LogNormal(mu, sigma^2), support (0, inf). Table 1 instantiation: mu = 3,
+// sigma = 0.5. Also the law fitted to the neuroscience traces of Fig. 1
+// (VBMQA: mu = 7.1128, sigma = 0.2039) that drives the NeuroHPC scenario.
+// MEAN-BY-MEAN closed form (Appendix B, Theorem 8):
+//   E[X | X > tau] = e^{mu + sigma^2/2}
+//       * [1 + erf((mu + sigma^2 - ln tau)/(sqrt2 sigma))]
+//       / [1 - erf((ln tau - mu)/(sqrt2 sigma))].
+
+#include "dist/distribution.hpp"
+
+namespace sre::dist {
+
+class LogNormal final : public Distribution {
+ public:
+  LogNormal(double mu, double sigma);
+
+  /// Builds the law matching a desired mean/stddev of the variable itself
+  /// (the Fig. 4 sweep; see stats::lognormal_from_moments).
+  static LogNormal from_moments(double mean, double stddev);
+
+  [[nodiscard]] double mu() const noexcept { return mu_; }
+  [[nodiscard]] double sigma() const noexcept { return sigma_; }
+
+  [[nodiscard]] double pdf(double t) const override;
+  [[nodiscard]] double cdf(double t) const override;
+  [[nodiscard]] double sf(double t) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] Support support() const override;
+  [[nodiscard]] double conditional_mean_above(double tau) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+}  // namespace sre::dist

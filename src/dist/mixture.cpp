@@ -1,0 +1,135 @@
+#include "dist/mixture.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+#include "dist/exponential.hpp"
+#include "stats/root_finding.hpp"
+
+namespace sre::dist {
+
+MixtureDistribution::MixtureDistribution(std::vector<Component> components)
+    : components_(std::move(components)) {
+  assert(!components_.empty());
+  double total = 0.0;
+  for (const auto& c : components_) {
+    assert(c.dist != nullptr && c.weight >= 0.0);
+    total += c.weight;
+  }
+  assert(total > 0.0);
+  for (auto& c : components_) c.weight /= total;
+}
+
+MixtureDistribution MixtureDistribution::hyperexponential(
+    const std::vector<double>& weights, const std::vector<double>& rates) {
+  assert(weights.size() == rates.size() && !weights.empty());
+  std::vector<Component> comps;
+  comps.reserve(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    comps.push_back({weights[i], std::make_shared<Exponential>(rates[i])});
+  }
+  return MixtureDistribution(std::move(comps));
+}
+
+double MixtureDistribution::pdf(double t) const {
+  double v = 0.0;
+  for (const auto& c : components_) v += c.weight * c.dist->pdf(t);
+  return v;
+}
+
+double MixtureDistribution::cdf(double t) const {
+  double v = 0.0;
+  for (const auto& c : components_) v += c.weight * c.dist->cdf(t);
+  return v;
+}
+
+double MixtureDistribution::sf(double t) const {
+  double v = 0.0;
+  for (const auto& c : components_) v += c.weight * c.dist->sf(t);
+  return v;
+}
+
+double MixtureDistribution::quantile(double p) const {
+  if (p <= 0.0) return support().lower;
+  if (p >= 1.0) return support().upper;
+  // Bracket from the component quantiles: the mixture quantile lies between
+  // the smallest and largest of them.
+  double lo = components_.front().dist->quantile(p);
+  double hi = lo;
+  for (const auto& c : components_) {
+    const double q = c.dist->quantile(p);
+    lo = std::min(lo, q);
+    hi = std::max(hi, q);
+  }
+  if (hi - lo < 1e-15 * (1.0 + std::fabs(hi))) return hi;
+  const auto f = [this, p](double t) { return cdf(t) - p; };
+  const auto root = stats::brent(f, lo, hi, {1e-13, 0.0, 400});
+  return root ? root->x : hi;
+}
+
+double MixtureDistribution::mean() const {
+  double v = 0.0;
+  for (const auto& c : components_) v += c.weight * c.dist->mean();
+  return v;
+}
+
+double MixtureDistribution::variance() const {
+  double ex2 = 0.0;
+  for (const auto& c : components_) {
+    ex2 += c.weight * c.dist->second_moment();
+  }
+  const double m = mean();
+  return ex2 - m * m;
+}
+
+Support MixtureDistribution::support() const {
+  Support s = components_.front().dist->support();
+  for (const auto& c : components_) {
+    const Support cs = c.dist->support();
+    s.lower = std::min(s.lower, cs.lower);
+    s.upper = std::max(s.upper, cs.upper);
+  }
+  return s;
+}
+
+double MixtureDistribution::sample(Rng& rng) const {
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  double u = u01(rng);
+  for (const auto& c : components_) {
+    if (u < c.weight) return c.dist->sample(rng);
+    u -= c.weight;
+  }
+  return components_.back().dist->sample(rng);
+}
+
+double MixtureDistribution::conditional_mean_above(double tau) const {
+  // E[X 1{X>tau}] = sum_i w_i cm_i(tau) sf_i(tau).
+  double num = 0.0;
+  double den = 0.0;
+  for (const auto& c : components_) {
+    const double sfi = c.dist->sf(tau);
+    if (sfi > 0.0) {
+      num += c.weight * c.dist->conditional_mean_above(tau) * sfi;
+      den += c.weight * sfi;
+    }
+  }
+  if (!(den > 0.0)) return tau;
+  return std::fmax(num / den, tau);
+}
+
+std::string MixtureDistribution::name() const { return "Mixture"; }
+
+std::string MixtureDistribution::describe() const {
+  std::ostringstream os;
+  os << "Mixture(";
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << components_[i].weight << "*" << components_[i].dist->describe();
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace sre::dist

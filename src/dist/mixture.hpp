@@ -1,0 +1,51 @@
+#pragma once
+
+// Finite mixtures sum_i w_i * D_i. Real execution-time traces are often
+// multimodal (input-dependent fast/slow paths; the fMRIQA trace of Fig. 1a
+// shows two clear modes), which single-mode fits misrepresent -- and which
+// moment-based heuristics handle badly. Every query except the quantile is
+// a weighted combination of the component closed forms; the quantile
+// inverts the mixture CDF with Brent inside a bracket built from component
+// quantiles.
+
+#include <vector>
+
+#include "dist/distribution.hpp"
+
+namespace sre::dist {
+
+class MixtureDistribution final : public Distribution {
+ public:
+  struct Component {
+    double weight = 1.0;  ///< nonnegative; normalized on construction
+    DistributionPtr dist;
+  };
+
+  explicit MixtureDistribution(std::vector<Component> components);
+
+  /// Convenience: hyperexponential (mixture of exponentials), a standard
+  /// model for high-variability service times.
+  static MixtureDistribution hyperexponential(
+      const std::vector<double>& weights, const std::vector<double>& rates);
+
+  [[nodiscard]] const std::vector<Component>& components() const noexcept {
+    return components_;
+  }
+
+  [[nodiscard]] double pdf(double t) const override;
+  [[nodiscard]] double cdf(double t) const override;
+  [[nodiscard]] double sf(double t) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] Support support() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double conditional_mean_above(double tau) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  std::vector<Component> components_;
+};
+
+}  // namespace sre::dist

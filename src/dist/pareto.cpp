@@ -1,0 +1,64 @@
+#include "dist/pareto.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace sre::dist {
+
+Pareto::Pareto(double scale, double alpha) : nu_(scale), alpha_(alpha) {
+  assert(scale > 0.0 && alpha > 0.0);
+}
+
+double Pareto::pdf(double t) const {
+  if (t < nu_) return 0.0;
+  return alpha_ * std::pow(nu_, alpha_) / std::pow(t, alpha_ + 1.0);
+}
+
+double Pareto::cdf(double t) const {
+  if (t <= nu_) return 0.0;
+  return 1.0 - std::pow(nu_ / t, alpha_);
+}
+
+double Pareto::sf(double t) const {
+  if (t <= nu_) return 1.0;
+  return std::pow(nu_ / t, alpha_);
+}
+
+double Pareto::quantile(double p) const {
+  if (p <= 0.0) return nu_;
+  if (p >= 1.0) return std::numeric_limits<double>::infinity();
+  return nu_ * std::pow(1.0 - p, -1.0 / alpha_);
+}
+
+double Pareto::mean() const {
+  assert(alpha_ > 1.0 && "mean requires alpha > 1");
+  return alpha_ * nu_ / (alpha_ - 1.0);
+}
+
+double Pareto::variance() const {
+  assert(alpha_ > 2.0 && "variance requires alpha > 2");
+  return alpha_ * nu_ * nu_ /
+         ((alpha_ - 1.0) * (alpha_ - 1.0) * (alpha_ - 2.0));
+}
+
+Support Pareto::support() const {
+  return Support{nu_, std::numeric_limits<double>::infinity()};
+}
+
+double Pareto::conditional_mean_above(double tau) const {
+  assert(alpha_ > 1.0);
+  const double t = std::fmax(tau, nu_);
+  return alpha_ / (alpha_ - 1.0) * t;
+}
+
+std::string Pareto::name() const { return "Pareto"; }
+
+std::string Pareto::describe() const {
+  std::ostringstream os;
+  os << "Pareto(nu=" << nu_ << ", alpha=" << alpha_ << ")";
+  return os.str();
+}
+
+}  // namespace sre::dist

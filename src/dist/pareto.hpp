@@ -1,0 +1,35 @@
+#pragma once
+
+// Pareto(nu, alpha) with scale nu and tail index alpha, support [nu, inf).
+// Table 1 instantiation: nu = 1.5, alpha = 3. The conditional mean is the
+// self-similar E[X | X > tau] = alpha/(alpha-1) * tau (Appendix B,
+// Theorem 10), so MEAN-BY-MEAN is geometric.
+
+#include "dist/distribution.hpp"
+
+namespace sre::dist {
+
+class Pareto final : public Distribution {
+ public:
+  Pareto(double scale, double alpha);
+
+  [[nodiscard]] double scale() const noexcept { return nu_; }
+  [[nodiscard]] double tail_index() const noexcept { return alpha_; }
+
+  [[nodiscard]] double pdf(double t) const override;
+  [[nodiscard]] double cdf(double t) const override;
+  [[nodiscard]] double sf(double t) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] Support support() const override;
+  [[nodiscard]] double conditional_mean_above(double tau) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  double nu_;
+  double alpha_;
+};
+
+}  // namespace sre::dist

@@ -1,0 +1,83 @@
+#include "dist/transform.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace sre::dist {
+
+ScaledDistribution::ScaledDistribution(DistributionPtr base, double factor)
+    : base_(std::move(base)), factor_(factor) {
+  assert(base_ != nullptr && factor > 0.0);
+}
+
+double ScaledDistribution::pdf(double t) const {
+  return base_->pdf(t / factor_) / factor_;
+}
+double ScaledDistribution::cdf(double t) const {
+  return base_->cdf(t / factor_);
+}
+double ScaledDistribution::sf(double t) const {
+  return base_->sf(t / factor_);
+}
+double ScaledDistribution::quantile(double p) const {
+  return factor_ * base_->quantile(p);
+}
+double ScaledDistribution::mean() const { return factor_ * base_->mean(); }
+double ScaledDistribution::variance() const {
+  return factor_ * factor_ * base_->variance();
+}
+Support ScaledDistribution::support() const {
+  const Support s = base_->support();
+  return Support{factor_ * s.lower, factor_ * s.upper};
+}
+double ScaledDistribution::sample(Rng& rng) const {
+  return factor_ * base_->sample(rng);
+}
+double ScaledDistribution::conditional_mean_above(double tau) const {
+  return factor_ * base_->conditional_mean_above(tau / factor_);
+}
+std::string ScaledDistribution::name() const { return "Scaled"; }
+std::string ScaledDistribution::describe() const {
+  std::ostringstream os;
+  os << "Scaled(" << base_->describe() << " * " << factor_ << ")";
+  return os.str();
+}
+
+ShiftedDistribution::ShiftedDistribution(DistributionPtr base, double delta)
+    : base_(std::move(base)), delta_(delta) {
+  assert(base_ != nullptr && delta >= 0.0);
+}
+
+double ShiftedDistribution::pdf(double t) const {
+  return base_->pdf(t - delta_);
+}
+double ShiftedDistribution::cdf(double t) const {
+  return base_->cdf(t - delta_);
+}
+double ShiftedDistribution::sf(double t) const {
+  return base_->sf(t - delta_);
+}
+double ShiftedDistribution::quantile(double p) const {
+  return delta_ + base_->quantile(p);
+}
+double ShiftedDistribution::mean() const { return delta_ + base_->mean(); }
+double ShiftedDistribution::variance() const { return base_->variance(); }
+Support ShiftedDistribution::support() const {
+  const Support s = base_->support();
+  return Support{s.lower + delta_, s.upper + delta_};
+}
+double ShiftedDistribution::sample(Rng& rng) const {
+  return delta_ + base_->sample(rng);
+}
+double ShiftedDistribution::conditional_mean_above(double tau) const {
+  return delta_ + base_->conditional_mean_above(tau - delta_);
+}
+std::string ShiftedDistribution::name() const { return "Shifted"; }
+std::string ShiftedDistribution::describe() const {
+  std::ostringstream os;
+  os << "Shifted(" << base_->describe() << " + " << delta_ << ")";
+  return os.str();
+}
+
+}  // namespace sre::dist

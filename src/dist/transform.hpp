@@ -1,0 +1,63 @@
+#pragma once
+
+// Affine transforms of distributions. Scaling converts units (the NeuroHPC
+// pipeline measures traces in seconds but plans in hours); shifting models
+// a fixed startup portion every job pays. Both forward every query to the
+// base law in closed form, so the Appendix-B conditional means survive the
+// transform.
+
+#include "dist/distribution.hpp"
+
+namespace sre::dist {
+
+/// Y = factor * X, factor > 0.
+class ScaledDistribution final : public Distribution {
+ public:
+  ScaledDistribution(DistributionPtr base, double factor);
+
+  [[nodiscard]] const Distribution& base() const noexcept { return *base_; }
+  [[nodiscard]] double factor() const noexcept { return factor_; }
+
+  [[nodiscard]] double pdf(double t) const override;
+  [[nodiscard]] double cdf(double t) const override;
+  [[nodiscard]] double sf(double t) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] Support support() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double conditional_mean_above(double tau) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  DistributionPtr base_;
+  double factor_;
+};
+
+/// Y = X + delta, delta >= 0 (execution times stay nonnegative).
+class ShiftedDistribution final : public Distribution {
+ public:
+  ShiftedDistribution(DistributionPtr base, double delta);
+
+  [[nodiscard]] const Distribution& base() const noexcept { return *base_; }
+  [[nodiscard]] double shift() const noexcept { return delta_; }
+
+  [[nodiscard]] double pdf(double t) const override;
+  [[nodiscard]] double cdf(double t) const override;
+  [[nodiscard]] double sf(double t) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] Support support() const override;
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double conditional_mean_above(double tau) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  DistributionPtr base_;
+  double delta_;
+};
+
+}  // namespace sre::dist

@@ -1,0 +1,99 @@
+#include "dist/truncated_normal.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "stats/special_functions.hpp"
+
+namespace sre::dist {
+
+namespace {
+double norm_pdf(double z) {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * M_PI);
+}
+}  // namespace
+
+TruncatedNormal::TruncatedNormal(double mu, double sigma, double lower)
+    : mu_(mu), sigma_(sigma), a_(lower) {
+  assert(sigma > 0.0);
+  const double alpha = (a_ - mu_) / sigma_;
+  z_tail_ = 0.5 * std::erfc(alpha / std::sqrt(2.0));
+  assert(z_tail_ > 0.0 && "truncation point removes all mass");
+}
+
+double TruncatedNormal::mills(double z) const {
+  const double tail = 0.5 * std::erfc(z / std::sqrt(2.0));
+  if (tail > 0.0) {
+    const double value = norm_pdf(z) / tail;
+    if (std::isfinite(value)) return value;
+  }
+  // Asymptotic expansion for z deep in the right tail.
+  return z + 1.0 / z;
+}
+
+double TruncatedNormal::pdf(double t) const {
+  if (t < a_) return 0.0;
+  const double z = (t - mu_) / sigma_;
+  return norm_pdf(z) / (sigma_ * z_tail_);
+}
+
+double TruncatedNormal::cdf(double t) const {
+  if (t <= a_) return 0.0;
+  const double z = (t - mu_) / sigma_;
+  const double alpha = (a_ - mu_) / sigma_;
+  const double value =
+      (stats::norm_cdf(z) - stats::norm_cdf(alpha)) / z_tail_;
+  return std::fmin(value, 1.0);
+}
+
+double TruncatedNormal::sf(double t) const {
+  if (t <= a_) return 1.0;
+  const double z = (t - mu_) / sigma_;
+  return 0.5 * std::erfc(z / std::sqrt(2.0)) / z_tail_;
+}
+
+double TruncatedNormal::quantile(double p) const {
+  if (p <= 0.0) return a_;
+  if (p >= 1.0) return std::numeric_limits<double>::infinity();
+  const double alpha = (a_ - mu_) / sigma_;
+  const double base = stats::norm_cdf(alpha);
+  return mu_ + sigma_ * stats::norm_quantile(base + p * z_tail_);
+}
+
+double TruncatedNormal::mean() const {
+  const double alpha = (a_ - mu_) / sigma_;
+  return mu_ + sigma_ * mills(alpha);
+}
+
+double TruncatedNormal::variance() const {
+  const double alpha = (a_ - mu_) / sigma_;
+  const double lambda = mills(alpha);
+  return sigma_ * sigma_ * (1.0 + alpha * lambda - lambda * lambda);
+}
+
+Support TruncatedNormal::support() const {
+  return Support{a_, std::numeric_limits<double>::infinity()};
+}
+
+double TruncatedNormal::conditional_mean_above(double tau) const {
+  // Conditioning a truncated normal further above tau >= a is the same as
+  // conditioning the untruncated normal above max(tau, a).
+  const double t = std::fmax(tau, a_);
+  const double z = (t - mu_) / sigma_;
+  const double value = mu_ + sigma_ * mills(z);
+  if (std::isfinite(value) && value >= tau) return value;
+  return conditional_mean_above_numeric(tau);
+}
+
+std::string TruncatedNormal::name() const { return "TruncatedNormal"; }
+
+std::string TruncatedNormal::describe() const {
+  std::ostringstream os;
+  os << "TruncatedNormal(mu=" << mu_ << ", sigma=" << sigma_ << ", a=" << a_
+     << ")";
+  return os.str();
+}
+
+}  // namespace sre::dist

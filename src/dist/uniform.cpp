@@ -1,0 +1,53 @@
+#include "dist/uniform.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace sre::dist {
+
+Uniform::Uniform(double lower, double upper) : a_(lower), b_(upper) {
+  assert(lower < upper);
+}
+
+double Uniform::pdf(double t) const {
+  if (t < a_ || t > b_) return 0.0;
+  return 1.0 / (b_ - a_);
+}
+
+double Uniform::cdf(double t) const {
+  if (t <= a_) return 0.0;
+  if (t >= b_) return 1.0;
+  return (t - a_) / (b_ - a_);
+}
+
+double Uniform::quantile(double p) const {
+  if (p <= 0.0) return a_;
+  if (p >= 1.0) return b_;
+  return a_ + p * (b_ - a_);
+}
+
+double Uniform::mean() const { return 0.5 * (a_ + b_); }
+
+double Uniform::variance() const {
+  const double w = b_ - a_;
+  return w * w / 12.0;
+}
+
+Support Uniform::support() const { return Support{a_, b_}; }
+
+double Uniform::conditional_mean_above(double tau) const {
+  const double t = std::fmax(tau, a_);
+  if (t >= b_) return b_;
+  return 0.5 * (b_ + t);
+}
+
+std::string Uniform::name() const { return "Uniform"; }
+
+std::string Uniform::describe() const {
+  std::ostringstream os;
+  os << "Uniform(a=" << a_ << ", b=" << b_ << ")";
+  return os.str();
+}
+
+}  // namespace sre::dist

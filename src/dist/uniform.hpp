@@ -1,0 +1,31 @@
+#pragma once
+
+// Uniform(a, b), support [a, b]. Table 1 instantiation: a = 10, b = 20.
+// Theorem 4 proves that the optimal reservation strategy for Uniform is the
+// single reservation (b), for any cost parameters. The conditional mean is
+// E[X | X > tau] = (b + tau)/2 (Appendix B, Theorem 11).
+
+#include "dist/distribution.hpp"
+
+namespace sre::dist {
+
+class Uniform final : public Distribution {
+ public:
+  Uniform(double lower, double upper);
+
+  [[nodiscard]] double pdf(double t) const override;
+  [[nodiscard]] double cdf(double t) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] Support support() const override;
+  [[nodiscard]] double conditional_mean_above(double tau) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  double a_;
+  double b_;
+};
+
+}  // namespace sre::dist

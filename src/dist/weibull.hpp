@@ -1,0 +1,36 @@
+#pragma once
+
+// Weibull(lambda, kappa) with scale lambda and shape kappa, support [0, inf).
+// Table 1 instantiation: lambda = 1, kappa = 0.5 (a heavy-tailed stretch of
+// the exponential). MEAN-BY-MEAN closed form (Appendix B, Theorem 6):
+//   E[X | X > tau] = lambda * exp((tau/lambda)^kappa)
+//                           * Gamma(1 + 1/kappa, (tau/lambda)^kappa).
+
+#include "dist/distribution.hpp"
+
+namespace sre::dist {
+
+class Weibull final : public Distribution {
+ public:
+  Weibull(double lambda, double kappa);
+
+  [[nodiscard]] double scale() const noexcept { return lambda_; }
+  [[nodiscard]] double shape() const noexcept { return kappa_; }
+
+  [[nodiscard]] double pdf(double t) const override;
+  [[nodiscard]] double cdf(double t) const override;
+  [[nodiscard]] double sf(double t) const override;
+  [[nodiscard]] double quantile(double p) const override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double variance() const override;
+  [[nodiscard]] Support support() const override;
+  [[nodiscard]] double conditional_mean_above(double tau) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  double lambda_;
+  double kappa_;
+};
+
+}  // namespace sre::dist

@@ -1,0 +1,91 @@
+#include "platform/adaptive.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/heuristics/dp_discretization.hpp"
+#include "dist/discrete.hpp"
+#include "sim/rng.hpp"
+
+namespace sre::platform {
+
+namespace {
+
+core::ReservationSequence prior_plan(double guess) {
+  // Doubling ladder from the prior guess; the implicit tail of
+  // ReservationSequence covers anything beyond.
+  std::vector<double> v;
+  double t = guess;
+  for (int i = 0; i < 12; ++i) {
+    v.push_back(t);
+    t *= 2.0;
+  }
+  return core::ReservationSequence(std::move(v));
+}
+
+}  // namespace
+
+AdaptiveScheduler::AdaptiveScheduler(core::CostModel model,
+                                     AdaptiveOptions opts)
+    : model_(model), opts_(opts), plan_(prior_plan(opts.prior_guess)) {
+  assert(model_.valid());
+  assert(opts_.prior_guess > 0.0 && opts_.safety_factor >= 1.0);
+}
+
+double AdaptiveScheduler::run_job(double x) {
+  assert(x > 0.0);
+  const double cost = plan_.cost_for(x, model_);
+  history_.push_back(x);
+  const std::size_t n = history_.size();
+  if (n >= opts_.warmup_jobs &&
+      (n == opts_.warmup_jobs || n % opts_.refit_interval == 0)) {
+    refit();
+  }
+  return cost;
+}
+
+void AdaptiveScheduler::refit() {
+  const dist::DiscreteDistribution empirical =
+      dist::DiscreteDistribution::from_samples(history_);
+  const core::DpResult dp = core::dp_optimal_sequence(empirical, model_);
+  std::vector<double> values = dp.sequence.values();
+  // Insure against the unseen tail: one extra reservation well past the
+  // empirical maximum (the implicit doubling tail handles the rest).
+  const double guard = values.back() * opts_.safety_factor;
+  if (guard > values.back()) values.push_back(guard);
+  plan_ = core::ReservationSequence(std::move(values));
+}
+
+CampaignResult run_adaptive_campaign(const dist::Distribution& truth,
+                                     std::size_t n_jobs,
+                                     const core::CostModel& model,
+                                     const AdaptiveOptions& opts,
+                                     std::uint64_t seed, std::size_t window) {
+  assert(n_jobs > 0 && window > 0);
+  AdaptiveScheduler scheduler(model, opts);
+  sim::Rng rng = sim::make_rng(seed);
+
+  CampaignResult out;
+  out.window = window;
+  double window_sum = 0.0;
+  std::size_t in_window = 0;
+  for (std::size_t i = 0; i < n_jobs; ++i) {
+    const double cost = scheduler.run_job(truth.sample(rng));
+    out.total_cost += cost;
+    window_sum += cost;
+    if (++in_window == window) {
+      out.window_mean_cost.push_back(window_sum / static_cast<double>(window));
+      window_sum = 0.0;
+      in_window = 0;
+    }
+  }
+  if (in_window > 0) {
+    out.window_mean_cost.push_back(window_sum /
+                                   static_cast<double>(in_window));
+  }
+  out.mean_cost = out.total_cost / static_cast<double>(n_jobs);
+  out.final_window_cost = out.window_mean_cost.back();
+  return out;
+}
+
+}  // namespace sre::platform

@@ -1,0 +1,77 @@
+#pragma once
+
+// Online reservation planning when the execution-time law is *not* known in
+// advance -- the situation a lab faces before it has accumulated the Fig. 1
+// trace. Jobs arrive sequentially; each completed job reveals its exact
+// execution time (the successful reservation observes it); every
+// refit_interval completions the scheduler rebuilds its plan by running the
+// Theorem 5 dynamic program on the empirical distribution of everything
+// seen so far, with a safety extension past the empirical maximum for the
+// still-unseen tail. As the empirical law converges, the plan's cost
+// converges to the clairvoyant (known-distribution) optimum.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/sequence.hpp"
+#include "dist/distribution.hpp"
+
+namespace sre::platform {
+
+struct AdaptiveOptions {
+  std::size_t refit_interval = 25;  ///< jobs between plan rebuilds
+  std::size_t warmup_jobs = 8;      ///< jobs served by the prior plan
+  double prior_guess = 1.0;         ///< first reservation of the prior plan
+  /// The rebuilt plan appends a reservation at safety_factor * max observed
+  /// time, insuring against a tail the sample has not shown yet.
+  double safety_factor = 2.0;
+};
+
+class AdaptiveScheduler {
+ public:
+  AdaptiveScheduler(core::CostModel model, AdaptiveOptions opts = {});
+
+  /// Executes one job of true size x under the current plan, records the
+  /// observation, refits on schedule, and returns the cost paid.
+  double run_job(double x);
+
+  [[nodiscard]] const core::ReservationSequence& current_plan() const noexcept {
+    return plan_;
+  }
+  [[nodiscard]] std::size_t jobs_seen() const noexcept {
+    return history_.size();
+  }
+  [[nodiscard]] const std::vector<double>& history() const noexcept {
+    return history_;
+  }
+
+ private:
+  void refit();
+
+  core::CostModel model_;
+  AdaptiveOptions opts_;
+  core::ReservationSequence plan_;
+  std::vector<double> history_;
+};
+
+/// Outcome of an adaptive campaign against a hidden truth.
+struct CampaignResult {
+  double total_cost = 0.0;
+  double mean_cost = 0.0;
+  /// Mean cost per consecutive window of `window` jobs (learning curve).
+  std::vector<double> window_mean_cost;
+  std::size_t window = 0;
+  /// Mean cost of the final (converged) plan, measured on the last window.
+  double final_window_cost = 0.0;
+};
+
+/// Streams n_jobs sampled from `truth` through an AdaptiveScheduler.
+CampaignResult run_adaptive_campaign(const dist::Distribution& truth,
+                                     std::size_t n_jobs,
+                                     const core::CostModel& model,
+                                     const AdaptiveOptions& opts,
+                                     std::uint64_t seed,
+                                     std::size_t window = 50);
+
+}  // namespace sre::platform

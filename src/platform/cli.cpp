@@ -1,0 +1,137 @@
+#include "platform/cli.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "core/heuristics/brute_force.hpp"
+#include "core/heuristics/dp_discretization.hpp"
+#include "core/heuristics/moment_based.hpp"
+#include "core/heuristics/refined_dp.hpp"
+#include "dist/factory.hpp"
+
+namespace sre::platform {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+void set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::string flag = arg.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        flags_[flag] = argv[++i];
+      } else {
+        flags_[flag] = "";
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+std::optional<std::string> ArgParser::value(const std::string& flag) const {
+  const auto it = flags_.find(flag);
+  if (it == flags_.end() || it->second.empty()) return std::nullopt;
+  return it->second;
+}
+
+bool ArgParser::has(const std::string& flag) const {
+  return flags_.count(flag) > 0;
+}
+
+double ArgParser::value_or(const std::string& flag, double fallback) const {
+  const auto v = value(flag);
+  if (!v) return fallback;
+  std::istringstream is(*v);
+  double out = fallback;
+  is >> out;
+  return out;
+}
+
+std::string ArgParser::value_or(const std::string& flag,
+                                const std::string& fallback) const {
+  return value(flag).value_or(fallback);
+}
+
+dist::DistributionPtr parse_distribution_spec(const std::string& spec,
+                                              std::string* error) {
+  const std::size_t colon = spec.find(':');
+  const std::string name = lower(spec.substr(0, colon));
+  if (colon == std::string::npos) {
+    // Bare label: the paper's Table 1 instantiation.
+    if (const auto inst = dist::paper_distribution(name)) return inst->dist;
+    set_error(error, "unknown distribution label '" + name +
+                         "' (and no parameters given)");
+    return nullptr;
+  }
+  dist::ParamMap params;
+  std::istringstream rest(spec.substr(colon + 1));
+  std::string kv;
+  while (std::getline(rest, kv, ',')) {
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string::npos) {
+      set_error(error, "malformed parameter '" + kv + "' (want key=value)");
+      return nullptr;
+    }
+    std::istringstream vs(kv.substr(eq + 1));
+    double v = 0.0;
+    if (!(vs >> v)) {
+      set_error(error, "parameter '" + kv + "' has a non-numeric value");
+      return nullptr;
+    }
+    params[lower(kv.substr(0, eq))] = v;
+  }
+  auto d = dist::make_distribution(name, params);
+  if (!d) {
+    set_error(error, "unknown distribution '" + name +
+                         "' or missing parameters");
+  }
+  return d;
+}
+
+core::HeuristicPtr parse_heuristic_spec(const std::string& name,
+                                        std::string* error) {
+  const std::string n = lower(name);
+  if (n == "brute-force" || n == "bruteforce" || n == "bf") {
+    return std::make_shared<core::BruteForce>();
+  }
+  if (n == "mean-by-mean") return std::make_shared<core::MeanByMean>();
+  if (n == "mean-stdev") return std::make_shared<core::MeanStdev>();
+  if (n == "mean-doubling") return std::make_shared<core::MeanDoubling>();
+  if (n == "median-by-median" || n == "med-by-med") {
+    return std::make_shared<core::MedianByMedian>();
+  }
+  if (n == "equal-time") {
+    return std::make_shared<core::DiscretizedDp>(sim::DiscretizationOptions{
+        1000, 1e-7, sim::DiscretizationScheme::kEqualTime});
+  }
+  if (n == "equal-probability" || n == "equal-prob") {
+    return std::make_shared<core::DiscretizedDp>(sim::DiscretizationOptions{
+        1000, 1e-7, sim::DiscretizationScheme::kEqualProbability});
+  }
+  if (n == "refined-dp") return std::make_shared<core::RefinedDp>();
+  set_error(error, "unknown heuristic '" + name + "'");
+  return nullptr;
+}
+
+std::vector<std::string> heuristic_names() {
+  return {"brute-force",      "mean-by-mean",     "mean-stdev",
+          "mean-doubling",    "median-by-median", "equal-time",
+          "equal-probability", "refined-dp"};
+}
+
+}  // namespace sre::platform

@@ -1,0 +1,55 @@
+#pragma once
+
+// Minimal command-line plumbing for the planner tools: a flag parser and
+// spec parsers that turn strings like "lognormal:mu=3,sigma=0.5" and
+// "brute-force" into library objects. Lives in the library (not the tools)
+// so the parsing logic is unit-tested.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/heuristics/heuristic.hpp"
+#include "dist/distribution.hpp"
+
+namespace sre::platform {
+
+/// "--flag value" / "--switch" style parser; everything else is positional.
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  /// The value following "--flag", if present.
+  [[nodiscard]] std::optional<std::string> value(const std::string& flag) const;
+  /// True if "--flag" appeared (with or without a value).
+  [[nodiscard]] bool has(const std::string& flag) const;
+  [[nodiscard]] double value_or(const std::string& flag,
+                                double fallback) const;
+  [[nodiscard]] std::string value_or(const std::string& flag,
+                                     const std::string& fallback) const;
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+/// Parses "name:key=value,key=value", e.g. "weibull:lambda=1,kappa=0.5" or
+/// a bare Table 1 label like "lognormal" (which selects the paper's
+/// instantiation). Returns nullptr and sets *error on failure.
+dist::DistributionPtr parse_distribution_spec(const std::string& spec,
+                                              std::string* error = nullptr);
+
+/// Parses a heuristic name (case-insensitive): brute-force | mean-by-mean |
+/// mean-stdev | mean-doubling | median-by-median | equal-time |
+/// equal-probability. Returns nullptr and sets *error on failure.
+core::HeuristicPtr parse_heuristic_spec(const std::string& name,
+                                        std::string* error = nullptr);
+
+/// Names accepted by parse_heuristic_spec (for usage messages).
+std::vector<std::string> heuristic_names();
+
+}  // namespace sre::platform

@@ -1,0 +1,49 @@
+#include "platform/cloud.hpp"
+
+namespace sre::platform {
+
+core::CostModel reserved_cost_model(const CloudPricing& pricing) noexcept {
+  return core::CostModel{pricing.reserved_rate, 0.0,
+                         pricing.reservation_overhead};
+}
+
+double on_demand_expected_cost(const dist::Distribution& d,
+                               const CloudPricing& pricing) {
+  return pricing.on_demand_rate * d.mean();
+}
+
+RiDecision advise_reserved_vs_on_demand(const dist::Distribution& d,
+                                        const CloudPricing& pricing,
+                                        const core::Heuristic& h,
+                                        const core::EvaluationOptions& opts) {
+  const core::CostModel model = reserved_cost_model(pricing);
+  core::HeuristicEvaluation eval = evaluate_heuristic(h, d, model, opts);
+
+  RiDecision out;
+  out.strategy = eval.name;
+  out.sequence = std::move(eval.sequence);
+  out.reserved_expected_cost = eval.expected_cost_mc;
+  out.on_demand_cost = on_demand_expected_cost(d, pricing);
+  out.normalized_cost = eval.normalized_mc;
+  out.use_reserved = out.reserved_expected_cost <= out.on_demand_cost;
+  if (out.on_demand_cost > 0.0) {
+    out.savings_fraction =
+        1.0 - out.reserved_expected_cost / out.on_demand_cost;
+  }
+  return out;
+}
+
+double break_even_price_ratio(const dist::Distribution& d,
+                              const core::Heuristic& h,
+                              double reservation_overhead,
+                              const core::EvaluationOptions& opts) {
+  CloudPricing unit;
+  unit.reserved_rate = 1.0;
+  unit.on_demand_rate = 1.0;  // irrelevant to the normalized cost
+  unit.reservation_overhead = reservation_overhead;
+  const core::CostModel model = reserved_cost_model(unit);
+  const core::HeuristicEvaluation eval = evaluate_heuristic(h, d, model, opts);
+  return eval.normalized_mc;
+}
+
+}  // namespace sre::platform

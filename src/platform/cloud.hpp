@@ -1,0 +1,59 @@
+#pragma once
+
+// Cloud platform model (the RESERVATIONONLY scenario of Section 5.2): an
+// Amazon-AWS-style service offering Reserved capacity at rate c_RI per
+// reserved unit and On-Demand capacity at rate c_OD per consumed unit, with
+// c_OD / c_RI up to ~4 in the paper's discussion. Reserving is worthwhile
+// exactly when the strategy's normalized expected cost is below c_OD/c_RI.
+
+#include <string>
+
+#include "core/heuristics/heuristic.hpp"
+
+namespace sre::platform {
+
+struct CloudPricing {
+  double reserved_rate = 1.0;          ///< c_RI per reserved unit
+  double on_demand_rate = 4.0;         ///< c_OD per consumed unit
+  double reservation_overhead = 0.0;   ///< fixed fee per reservation (gamma)
+
+  [[nodiscard]] double price_ratio() const noexcept {
+    return on_demand_rate / reserved_rate;
+  }
+};
+
+/// Cost model of running under Reserved pricing: alpha = c_RI, beta = 0,
+/// gamma = the per-reservation overhead.
+core::CostModel reserved_cost_model(const CloudPricing& pricing) noexcept;
+
+/// Expected cost of pure On-Demand: c_OD * E[X] (the omniscient cost at
+/// on-demand rates -- no reservation risk, premium rate).
+double on_demand_expected_cost(const dist::Distribution& d,
+                               const CloudPricing& pricing);
+
+/// Outcome of comparing a reservation strategy against On-Demand.
+struct RiDecision {
+  std::string strategy;
+  core::ReservationSequence sequence;
+  double reserved_expected_cost = 0.0;  ///< under Reserved pricing
+  double on_demand_cost = 0.0;          ///< under On-Demand pricing
+  double normalized_cost = 0.0;         ///< strategy cost / omniscient-at-RI
+  bool use_reserved = false;            ///< reserved beats on-demand
+  double savings_fraction = 0.0;        ///< 1 - reserved/on_demand (if +)
+};
+
+/// Evaluates `h` on `d` under `pricing` and recommends Reserved vs
+/// On-Demand.
+RiDecision advise_reserved_vs_on_demand(
+    const dist::Distribution& d, const CloudPricing& pricing,
+    const core::Heuristic& h, const core::EvaluationOptions& opts = {});
+
+/// The price ratio c_OD/c_RI at which `h`'s strategy exactly breaks even on
+/// `d` -- i.e. the strategy's normalized expected cost. A market ratio above
+/// this favors Reserved.
+double break_even_price_ratio(const dist::Distribution& d,
+                              const core::Heuristic& h,
+                              double reservation_overhead = 0.0,
+                              const core::EvaluationOptions& opts = {});
+
+}  // namespace sre::platform

@@ -1,0 +1,115 @@
+#include "platform/cluster_campaign.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "sim/rng.hpp"
+
+namespace sre::platform {
+
+namespace {
+
+/// Bookkeeping for one measured job as it walks its plan.
+struct MeasuredJob {
+  double true_runtime = 0.0;
+  double first_submit = 0.0;
+  std::size_t next_attempt = 0;  ///< index into the plan
+  InVivoJobResult result;
+};
+
+double reservation_at(const core::ReservationSequence& plan,
+                      std::size_t attempt) {
+  if (attempt < plan.size()) return plan[attempt];
+  double cur = plan.last();
+  for (std::size_t i = plan.size(); i <= attempt; ++i) cur *= 2.0;
+  return cur;
+}
+
+}  // namespace
+
+InVivoCampaignResult run_in_vivo_campaign(const dist::Distribution& truth,
+                                          const core::ReservationSequence& plan,
+                                          const InVivoCampaignConfig& cfg) {
+  assert(!plan.empty() && cfg.measured_jobs >= 1);
+  assert(cfg.measured_width >= 1 && cfg.measured_width <= cfg.cluster.nodes);
+
+  // Background traffic defines the contention regime and the time horizon.
+  const auto background = sim::synthesize_cluster_workload(cfg.background);
+  double makespan = 0.0;
+  for (const auto& j : background) makespan = std::max(makespan, j.submit_time);
+
+  sim::Rng rng = sim::make_rng(cfg.seed);
+  std::uniform_real_distribution<double> submit_u(
+      0.0, makespan * cfg.submit_horizon_fraction);
+
+  sim::BackfillCluster cluster(cfg.cluster);
+  for (const auto& j : background) cluster.submit(j);
+
+  // Measured jobs, tracked by the cluster-assigned job id of their current
+  // attempt.
+  std::vector<MeasuredJob> measured(cfg.measured_jobs);
+  std::map<std::size_t, std::size_t> attempt_owner;  // cluster id -> measured
+
+  const auto submit_attempt = [&](std::size_t m, double when) {
+    MeasuredJob& job = measured[m];
+    const double reserved = reservation_at(plan, job.next_attempt);
+    sim::ClusterJob attempt;
+    attempt.submit_time = when;
+    attempt.width = cfg.measured_width;
+    attempt.requested = reserved;
+    attempt.actual = std::min(reserved, job.true_runtime);
+    const std::size_t id = cluster.submit(attempt);
+    attempt_owner[id] = m;
+    ++job.next_attempt;
+  };
+
+  for (std::size_t m = 0; m < cfg.measured_jobs; ++m) {
+    measured[m].true_runtime = truth.sample(rng);
+    measured[m].first_submit = submit_u(rng);
+    submit_attempt(m, measured[m].first_submit);
+  }
+
+  // Hard cap on resubmissions as a runaway guard; the implicit doubling
+  // tail makes this unreachable for any sane plan.
+  constexpr std::size_t kMaxAttempts = 64;
+
+  cluster.run([&](const sim::ScheduledJob& record, double now) {
+    const auto it = attempt_owner.find(record.index);
+    if (it == attempt_owner.end()) return;  // background job
+    MeasuredJob& job = measured[it->second];
+    InVivoJobResult& r = job.result;
+    ++r.attempts;
+    r.total_wait += record.wait;
+    r.total_occupancy += record.job.actual;
+    const bool success = job.true_runtime <= record.job.requested;
+    if (success) {
+      r.completed = true;
+      r.turnaround = now - job.first_submit;
+      r.true_runtime = job.true_runtime;
+    } else if (job.next_attempt < kMaxAttempts) {
+      submit_attempt(it->second, now);
+    }
+  });
+
+  InVivoCampaignResult out;
+  out.jobs.reserve(measured.size());
+  double turn = 0.0, wait = 0.0, attempts = 0.0, occupancy = 0.0;
+  for (auto& job : measured) {
+    job.result.true_runtime = job.true_runtime;
+    if (!job.result.completed) ++out.incomplete;
+    turn += job.result.turnaround;
+    wait += job.result.total_wait;
+    attempts += static_cast<double>(job.result.attempts);
+    occupancy += job.result.total_occupancy;
+    out.jobs.push_back(job.result);
+  }
+  const auto n = static_cast<double>(measured.size());
+  out.mean_turnaround = turn / n;
+  out.mean_wait = wait / n;
+  out.mean_attempts = attempts / n;
+  out.mean_occupancy = occupancy / n;
+  return out;
+}
+
+}  // namespace sre::platform

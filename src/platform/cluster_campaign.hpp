@@ -1,0 +1,57 @@
+#pragma once
+
+// In-vivo evaluation of reservation strategies. The paper's NeuroHPC cost
+// model *assumes* wait(r) = alpha r + gamma and scores plans analytically;
+// here the same plans are executed inside a live EASY-backfill cluster
+// simulation: each measured job submits its first reservation, and when the
+// scheduler kills it at the requested walltime the next reservation of the
+// plan is resubmitted -- waits emerge from actual queue contention,
+// including the contention the strategy itself creates. This closes the
+// loop between the paper's model and a platform.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sequence.hpp"
+#include "dist/distribution.hpp"
+#include "sim/queue_sim.hpp"
+
+namespace sre::platform {
+
+/// One measured job's end-to-end outcome.
+struct InVivoJobResult {
+  double true_runtime = 0.0;
+  std::size_t attempts = 0;
+  double total_wait = 0.0;        ///< queueing time summed over attempts
+  double total_occupancy = 0.0;   ///< machine time consumed (all attempts)
+  double turnaround = 0.0;        ///< completion - first submission
+  bool completed = false;         ///< plan (plus tail) covered the job
+};
+
+struct InVivoCampaignConfig {
+  sim::ClusterConfig cluster{};              ///< 409 nodes by default
+  sim::ClusterWorkloadConfig background{};   ///< contention traffic
+  std::size_t measured_jobs = 200;           ///< strategy-driven jobs
+  std::size_t measured_width = 16;           ///< nodes per measured job
+  double submit_horizon_fraction = 0.8;      ///< spread over this much of
+                                             ///< the background makespan
+  std::uint64_t seed = 12;
+};
+
+struct InVivoCampaignResult {
+  std::vector<InVivoJobResult> jobs;
+  double mean_turnaround = 0.0;
+  double mean_wait = 0.0;
+  double mean_attempts = 0.0;
+  double mean_occupancy = 0.0;
+  std::size_t incomplete = 0;
+};
+
+/// Runs `cfg.measured_jobs` jobs with execution times drawn from `truth`
+/// through the cluster, each following `plan` (reservations past the stored
+/// plan continue by doubling). Background jobs create contention.
+InVivoCampaignResult run_in_vivo_campaign(const dist::Distribution& truth,
+                                          const core::ReservationSequence& plan,
+                                          const InVivoCampaignConfig& cfg);
+
+}  // namespace sre::platform

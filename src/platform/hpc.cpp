@@ -1,0 +1,77 @@
+#include "platform/hpc.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "sim/rng.hpp"
+
+namespace sre::platform {
+
+core::CostModel hpc_cost_model(const WaitTimeModel& w) noexcept {
+  return core::CostModel{w.slope, 1.0, w.intercept};
+}
+
+std::vector<JobLogEntry> synthesize_queue_log(const QueueLogConfig& cfg) {
+  assert(cfg.groups >= 2 && cfg.jobs_per_group >= 1);
+  assert(cfg.max_request > cfg.min_request);
+  sim::Rng rng = sim::make_rng(cfg.seed);
+  std::normal_distribution<double> noise(0.0, cfg.noise_stddev);
+  std::uniform_real_distribution<double> jitter(-0.5, 0.5);
+
+  const double step =
+      (cfg.max_request - cfg.min_request) / static_cast<double>(cfg.groups - 1);
+  std::vector<JobLogEntry> log;
+  log.reserve(cfg.groups * cfg.jobs_per_group);
+  for (std::size_t g = 0; g < cfg.groups; ++g) {
+    const double center = cfg.min_request + step * static_cast<double>(g);
+    for (std::size_t j = 0; j < cfg.jobs_per_group; ++j) {
+      JobLogEntry e;
+      // Requests scatter a little around the group center, as real users'
+      // round-number requests do within a cluster.
+      e.requested = std::max(cfg.min_request * 0.5,
+                             center + 0.2 * step * jitter(rng));
+      e.waited = std::max(0.0, cfg.truth.wait(e.requested) + noise(rng));
+      log.push_back(e);
+    }
+  }
+  return log;
+}
+
+QueueLogFit fit_queue_log(const std::vector<JobLogEntry>& log,
+                          std::size_t groups) {
+  assert(!log.empty() && groups >= 2);
+  QueueLogFit out;
+
+  double lo = log.front().requested, hi = log.front().requested;
+  for (const auto& e : log) {
+    lo = std::min(lo, e.requested);
+    hi = std::max(hi, e.requested);
+  }
+  const double width = std::max(hi - lo, 1e-12);
+
+  std::vector<double> sum_req(groups, 0.0), sum_wait(groups, 0.0);
+  std::vector<double> count(groups, 0.0);
+  for (const auto& e : log) {
+    auto bin = static_cast<std::size_t>((e.requested - lo) / width *
+                                        static_cast<double>(groups));
+    if (bin >= groups) bin = groups - 1;
+    sum_req[bin] += e.requested;
+    sum_wait[bin] += e.waited;
+    count[bin] += 1.0;
+  }
+  for (std::size_t g = 0; g < groups; ++g) {
+    if (count[g] == 0.0) continue;
+    out.group_requested.push_back(sum_req[g] / count[g]);
+    out.group_mean_wait.push_back(sum_wait[g] / count[g]);
+    out.group_weight.push_back(count[g]);
+  }
+  const stats::AffineFit fit = stats::fit_affine_weighted(
+      out.group_requested, out.group_mean_wait, out.group_weight);
+  out.model.slope = fit.slope;
+  out.model.intercept = fit.intercept;
+  out.r_squared = fit.r_squared;
+  return out;
+}
+
+}  // namespace sre::platform

@@ -1,0 +1,109 @@
+#include "platform/io.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace sre::platform {
+
+namespace {
+
+bool is_blank_or_comment(const std::string& line) {
+  for (const char c : line) {
+    if (c == '#') return true;
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+/// Parses the last comma-separated field of a line as a double.
+std::optional<double> parse_last_field(const std::string& line) {
+  const std::size_t comma = line.find_last_of(',');
+  const std::string field =
+      (comma == std::string::npos) ? line : line.substr(comma + 1);
+  std::istringstream is(field);
+  double value = 0.0;
+  if (!(is >> value)) return std::nullopt;
+  std::string rest;
+  if (is >> rest) return std::nullopt;  // trailing garbage
+  return value;
+}
+
+void set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+std::optional<std::vector<double>> read_trace_csv(const std::string& path,
+                                                  std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    set_error(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  std::vector<double> values;
+  std::string line;
+  std::size_t line_no = 0;
+  bool first_data_line = true;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (is_blank_or_comment(line)) continue;
+    const auto value = parse_last_field(line);
+    if (!value) {
+      if (first_data_line) {
+        first_data_line = false;  // tolerate one header line
+        continue;
+      }
+      set_error(error, path + ":" + std::to_string(line_no) +
+                           ": not a number: '" + line + "'");
+      return std::nullopt;
+    }
+    first_data_line = false;
+    if (!(*value > 0.0)) {
+      set_error(error, path + ":" + std::to_string(line_no) +
+                           ": execution times must be positive");
+      return std::nullopt;
+    }
+    values.push_back(*value);
+  }
+  if (values.empty()) {
+    set_error(error, path + ": no samples found");
+    return std::nullopt;
+  }
+  return values;
+}
+
+bool write_trace_csv(const std::string& path, std::span<const double> values) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out.precision(17);
+  for (const double v : values) out << v << "\n";
+  return static_cast<bool>(out);
+}
+
+bool write_sequence_csv(const std::string& path,
+                        const core::ReservationSequence& seq) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out.precision(17);
+  out << "index,reservation\n";
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    out << (i + 1) << "," << seq[i] << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<core::ReservationSequence> read_sequence_csv(
+    const std::string& path, std::string* error) {
+  const auto values = read_trace_csv(path, error);
+  if (!values) return std::nullopt;
+  auto seq = core::ReservationSequence::try_create(*values);
+  if (!seq) {
+    set_error(error, path + ": values are not a strictly increasing "
+                            "positive sequence");
+  }
+  return seq;
+}
+
+}  // namespace sre::platform

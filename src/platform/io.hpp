@@ -1,0 +1,34 @@
+#pragma once
+
+// CSV ingestion and export: execution-time traces in (one value per line,
+// '#' comments and a non-numeric header tolerated), reservation plans out.
+// Errors are reported via std::optional + message, not exceptions, so CLI
+// tools can degrade gracefully.
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/sequence.hpp"
+
+namespace sre::platform {
+
+/// Reads a single-column trace. Returns nullopt on I/O failure or if any
+/// non-comment line fails to parse as a positive number; *error explains.
+std::optional<std::vector<double>> read_trace_csv(const std::string& path,
+                                                  std::string* error = nullptr);
+
+/// Writes one value per line. Returns false on I/O failure.
+bool write_trace_csv(const std::string& path, std::span<const double> values);
+
+/// Writes "index,reservation" rows with a header line.
+bool write_sequence_csv(const std::string& path,
+                        const core::ReservationSequence& seq);
+
+/// Reads a plan written by write_sequence_csv (or any single/double column
+/// file whose last column is the reservation length).
+std::optional<core::ReservationSequence> read_sequence_csv(
+    const std::string& path, std::string* error = nullptr);
+
+}  // namespace sre::platform

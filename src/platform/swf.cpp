@@ -1,0 +1,109 @@
+#include "platform/swf.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace sre::platform {
+
+namespace {
+
+void set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+std::optional<SwfJob> parse_line(const std::string& line) {
+  std::istringstream is(line);
+  // SWF fields 1..18; we read the first 8 and ignore the rest.
+  double f[8];
+  for (double& v : f) {
+    if (!(is >> v)) return std::nullopt;
+  }
+  SwfJob job;
+  job.id = static_cast<long>(f[0]);
+  job.submit = f[1];
+  job.runtime = f[3];
+  job.processors = (f[4] > 0.0) ? static_cast<std::size_t>(f[4]) : 0;
+  job.requested = f[7];
+  // -1 marks unknown; runtimes and requests must be positive to be usable.
+  if (!(job.submit >= 0.0) || !(job.runtime > 0.0) || job.processors == 0) {
+    return std::nullopt;
+  }
+  if (!(job.requested > 0.0)) {
+    // Some logs omit the request; fall back to the runtime (a job that ran
+    // to completion requested at least that much).
+    job.requested = job.runtime;
+  }
+  return job;
+}
+
+}  // namespace
+
+std::optional<SwfLog> parse_swf(const std::string& content,
+                                std::string* error) {
+  SwfLog log;
+  std::istringstream in(content);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == ';') {
+      log.header.push_back(line);
+      continue;
+    }
+    if (const auto job = parse_line(line)) {
+      log.jobs.push_back(*job);
+    } else {
+      ++log.skipped;
+    }
+  }
+  if (log.jobs.empty()) {
+    set_error(error, "no valid SWF job lines found");
+    return std::nullopt;
+  }
+  std::stable_sort(log.jobs.begin(), log.jobs.end(),
+                   [](const SwfJob& a, const SwfJob& b) {
+                     return a.submit < b.submit;
+                   });
+  return log;
+}
+
+std::optional<SwfLog> read_swf(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    set_error(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  std::ostringstream content;
+  content << in.rdbuf();
+  return parse_swf(content.str(), error);
+}
+
+std::vector<double> swf_runtimes(const SwfLog& log, std::size_t min_procs,
+                                 std::size_t max_procs) {
+  std::vector<double> out;
+  for (const auto& job : log.jobs) {
+    if (job.processors >= min_procs && job.processors <= max_procs) {
+      out.push_back(job.runtime);
+    }
+  }
+  return out;
+}
+
+std::vector<sim::ClusterJob> swf_to_cluster_jobs(const SwfLog& log,
+                                                 std::size_t max_width) {
+  constexpr double kSecondsPerHour = 3600.0;
+  std::vector<sim::ClusterJob> jobs;
+  jobs.reserve(log.jobs.size());
+  for (const auto& job : log.jobs) {
+    sim::ClusterJob cj;
+    cj.submit_time = job.submit / kSecondsPerHour;
+    cj.width = std::min<std::size_t>(std::max<std::size_t>(job.processors, 1),
+                                     max_width);
+    cj.requested = std::max(job.requested, job.runtime) / kSecondsPerHour;
+    cj.actual = job.runtime / kSecondsPerHour;
+    jobs.push_back(cj);
+  }
+  return jobs;
+}
+
+}  // namespace sre::platform

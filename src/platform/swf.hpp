@@ -1,0 +1,60 @@
+#pragma once
+
+// Standard Workload Format (SWF) ingestion -- the format of the Parallel
+// Workloads Archive that the scheduling literature (including the studies
+// the paper cites for Fig. 2) distributes its cluster logs in. An SWF line
+// has 18 whitespace-separated fields; this reader consumes the ones the
+// library needs:
+//   field 1  job id            field 2  submit time (s)
+//   field 4  run time (s)      field 5  allocated processors
+//   field 8  requested time (s)
+// ';' lines are header comments. Negative/-1 fields mean "unknown" and the
+// affected jobs are skipped (counted in the result).
+//
+// Two consumers: the execution-time *trace* of a chosen job class feeds the
+// Fig. 1 fitting pipeline, and the full log replays through the backfill
+// cluster simulator.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/queue_sim.hpp"
+
+namespace sre::platform {
+
+struct SwfJob {
+  long id = 0;
+  double submit = 0.0;     ///< seconds since log start
+  double runtime = 0.0;    ///< actual run time, seconds
+  double requested = 0.0;  ///< requested wall time, seconds
+  std::size_t processors = 1;
+};
+
+struct SwfLog {
+  std::vector<SwfJob> jobs;
+  std::size_t skipped = 0;  ///< lines with unknown/invalid key fields
+  std::vector<std::string> header;  ///< the ';' comment lines
+};
+
+/// Parses an SWF file. Returns nullopt only on I/O failure or if *no* valid
+/// job is found; individually malformed lines are skipped and counted.
+std::optional<SwfLog> read_swf(const std::string& path,
+                               std::string* error = nullptr);
+
+/// Parses SWF content from a string (for tests and embedded logs).
+std::optional<SwfLog> parse_swf(const std::string& content,
+                                std::string* error = nullptr);
+
+/// The execution-time trace (seconds) of jobs matching a processor-count
+/// band -- the "same job class" filtering behind Fig. 1/Fig. 2 groupings.
+std::vector<double> swf_runtimes(const SwfLog& log, std::size_t min_procs = 1,
+                                 std::size_t max_procs = SIZE_MAX);
+
+/// Converts the log into cluster-simulator jobs (times in hours). Jobs
+/// whose actual runtime exceeds their request are clamped to the request,
+/// mirroring the walltime kill.
+std::vector<sim::ClusterJob> swf_to_cluster_jobs(const SwfLog& log,
+                                                 std::size_t max_width);
+
+}  // namespace sre::platform

@@ -1,0 +1,65 @@
+#include "platform/trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "sim/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace sre::platform {
+
+std::vector<double> synthesize_trace(const TraceConfig& cfg) {
+  assert(cfg.runs > 0);
+  const dist::LogNormal law(cfg.truth.mu, cfg.truth.sigma);
+  return sim::draw_samples(law, cfg.runs, cfg.seed);
+}
+
+TraceFit fit_trace(std::span<const double> samples) {
+  assert(!samples.empty());
+  TraceFit out;
+  out.fitted = stats::fit_lognormal_mle(samples);
+  stats::OnlineMoments m;
+  for (const double s : samples) m.add(s);
+  out.sample_mean = m.mean();
+  out.sample_stddev = std::sqrt(m.sample_variance());
+  out.runs = samples.size();
+  const dist::LogNormal model(out.fitted.mu, out.fitted.sigma);
+  out.ks_statistic = ks_statistic(samples, model);
+  return out;
+}
+
+dist::DistributionPtr distribution_from_trace(
+    std::span<const double> samples) {
+  const stats::LogNormalParams p = stats::fit_lognormal_mle(samples);
+  return std::make_shared<dist::LogNormal>(p.mu, p.sigma);
+}
+
+dist::DistributionPtr empirical_distribution(std::span<const double> samples) {
+  return std::make_shared<dist::DiscreteDistribution>(
+      dist::DiscreteDistribution::from_samples(samples));
+}
+
+dist::DistributionPtr interpolated_distribution(std::span<const double> samples,
+                                                std::size_t bins) {
+  return std::make_shared<dist::HistogramDistribution>(
+      dist::HistogramDistribution::from_samples(samples, bins));
+}
+
+double ks_statistic(std::span<const double> samples,
+                    const dist::Distribution& model) {
+  assert(!samples.empty());
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double ks = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double f = model.cdf(sorted[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    ks = std::max({ks, std::fabs(f - lo), std::fabs(f - hi)});
+  }
+  return ks;
+}
+
+}  // namespace sre::platform

@@ -1,0 +1,66 @@
+#pragma once
+
+// Trace ingestion pipeline (Fig. 1). The paper characterizes two
+// neuroscience applications from >5000 runs each and fits LogNormal laws
+// (VBMQA: mu = 7.1128, sigma = 0.2039, times in seconds). The raw Vanderbilt
+// database is not redistributable, so this module synthesizes an equivalent
+// trace from the published fitted law and runs the identical downstream
+// pipeline: trace -> MLE fit -> distribution object -> reservation
+// strategies. A Kolmogorov-Smirnov statistic quantifies fit quality.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dist/discrete.hpp"
+#include "dist/histogram.hpp"
+#include "dist/lognormal.hpp"
+#include "stats/fitting.hpp"
+
+namespace sre::platform {
+
+/// Published VBMQA fit (Fig. 1b), execution times in seconds.
+inline constexpr double kVbmqaMu = 7.1128;
+inline constexpr double kVbmqaSigma = 0.2039;
+
+struct TraceConfig {
+  stats::LogNormalParams truth{kVbmqaMu, kVbmqaSigma};
+  std::size_t runs = 5000;  ///< the paper's traces hold >5000 runs
+  std::uint64_t seed = 2016;
+};
+
+/// Synthesizes a trace of execution times (seconds) from the configured law.
+std::vector<double> synthesize_trace(const TraceConfig& cfg);
+
+struct TraceFit {
+  stats::LogNormalParams fitted{};
+  double sample_mean = 0.0;
+  double sample_stddev = 0.0;
+  std::size_t runs = 0;
+  /// Kolmogorov-Smirnov distance between the empirical CDF and the fit.
+  double ks_statistic = 0.0;
+};
+
+/// MLE LogNormal fit of a trace plus goodness-of-fit summary.
+TraceFit fit_trace(std::span<const double> samples);
+
+/// The fitted LogNormal as a Distribution (the object the reservation
+/// heuristics consume).
+dist::DistributionPtr distribution_from_trace(std::span<const double> samples);
+
+/// Nonparametric alternative: the empirical distribution of the trace
+/// itself, usable directly by the Theorem 5 dynamic program.
+dist::DistributionPtr empirical_distribution(std::span<const double> samples);
+
+/// Nonparametric *continuous* alternative: a piecewise-uniform histogram
+/// interpolation of the trace (the "interpolated trace" law of the NeuroHPC
+/// methodology). Smooth enough for the Eq. (11) recurrence and the
+/// brute-force search.
+dist::DistributionPtr interpolated_distribution(std::span<const double> samples,
+                                                std::size_t bins = 64);
+
+/// sup_t |F_empirical(t) - F_model(t)| over the sample points.
+double ks_statistic(std::span<const double> samples,
+                    const dist::Distribution& model);
+
+}  // namespace sre::platform

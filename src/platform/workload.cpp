@@ -1,0 +1,26 @@
+#include "platform/workload.hpp"
+
+#include <cassert>
+
+namespace sre::platform {
+
+double NeuroHpcScenario::base_mean_hours() const {
+  return stats::lognormal_mean(base) / kSecondsPerHour;
+}
+
+double NeuroHpcScenario::base_stddev_hours() const {
+  return stats::lognormal_stddev(base) / kSecondsPerHour;
+}
+
+dist::LogNormal NeuroHpcScenario::distribution(double mean_scale,
+                                               double stdev_scale) const {
+  assert(mean_scale > 0.0 && stdev_scale > 0.0);
+  return dist::LogNormal::from_moments(base_mean_hours() * mean_scale,
+                                       base_stddev_hours() * stdev_scale);
+}
+
+core::CostModel NeuroHpcScenario::cost_model() const {
+  return hpc_cost_model(wait);
+}
+
+}  // namespace sre::platform

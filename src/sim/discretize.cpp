@@ -1,0 +1,71 @@
+#include "sim/discretize.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace sre::sim {
+
+const char* to_string(DiscretizationScheme scheme) noexcept {
+  switch (scheme) {
+    case DiscretizationScheme::kEqualProbability:
+      return "Equal-probability";
+    case DiscretizationScheme::kEqualTime:
+      return "Equal-time";
+  }
+  return "?";
+}
+
+double truncation_point(const dist::Distribution& d, double epsilon) {
+  const dist::Support s = d.support();
+  if (s.bounded()) return s.upper;
+  assert(epsilon > 0.0 && epsilon < 1.0);
+  return d.quantile(1.0 - epsilon);
+}
+
+dist::DiscreteDistribution discretize(const dist::Distribution& d,
+                                      const DiscretizationOptions& opts) {
+  assert(opts.n >= 1);
+  const double a = d.support().lower;
+  const double b = truncation_point(d, opts.epsilon);
+  assert(b > a);
+  const double fb = d.cdf(b);
+
+  std::vector<double> values, probs;
+  values.reserve(opts.n);
+  probs.reserve(opts.n);
+
+  const auto push = [&](double v, double p) {
+    // Merge duplicates produced by quantile plateaus or grid collisions.
+    if (!values.empty() && v <= values.back()) {
+      probs.back() += p;
+      return;
+    }
+    values.push_back(v);
+    probs.push_back(p);
+  };
+
+  switch (opts.scheme) {
+    case DiscretizationScheme::kEqualProbability: {
+      const double f = fb / static_cast<double>(opts.n);
+      for (std::size_t i = 1; i <= opts.n; ++i) {
+        const double v = d.quantile(static_cast<double>(i) * f);
+        push(v, f);
+      }
+      break;
+    }
+    case DiscretizationScheme::kEqualTime: {
+      double prev_cdf = d.cdf(a);
+      const double step = (b - a) / static_cast<double>(opts.n);
+      for (std::size_t i = 1; i <= opts.n; ++i) {
+        const double v = a + static_cast<double>(i) * step;
+        const double cv = d.cdf(v);
+        push(v, cv - prev_cdf);
+        prev_cdf = cv;
+      }
+      break;
+    }
+  }
+  return dist::DiscreteDistribution(std::move(values), std::move(probs));
+}
+
+}  // namespace sre::sim

@@ -1,0 +1,40 @@
+#pragma once
+
+// Truncation and discretization of continuous distributions (Section 4.2.1).
+// An unbounded law is first truncated at b = Q(1 - epsilon); the interval
+// [a, b] is then sampled into n (value, probability) pairs by one of the two
+// schemes of the paper:
+//   EQUAL-PROBABILITY: v_i = Q(i * F(b)/n),       f_i = F(b)/n
+//   EQUAL-TIME:        v_i = a + i * (b - a)/n,   f_i = F(v_i) - F(v_{i-1})
+// The resulting mass sums to F(b) = 1 - epsilon; DiscreteDistribution
+// renormalizes, which leaves the DP-optimal sequence unchanged.
+
+#include "dist/discrete.hpp"
+#include "dist/distribution.hpp"
+
+namespace sre::sim {
+
+enum class DiscretizationScheme {
+  kEqualProbability,
+  kEqualTime,
+};
+
+/// Printable scheme name ("Equal-probability" / "Equal-time").
+const char* to_string(DiscretizationScheme scheme) noexcept;
+
+struct DiscretizationOptions {
+  std::size_t n = 1000;    ///< number of samples; the paper uses 1000
+  double epsilon = 1e-7;   ///< discarded tail quantile; the paper uses 1e-7
+  DiscretizationScheme scheme = DiscretizationScheme::kEqualProbability;
+};
+
+/// b = Q(1 - epsilon) for unbounded support, else the support's upper end.
+double truncation_point(const dist::Distribution& d, double epsilon);
+
+/// Discretizes `d` per `opts`. Duplicate support points (possible when a
+/// quantile plateaus) are merged; zero-probability points are kept, as the
+/// dynamic program tolerates them.
+dist::DiscreteDistribution discretize(const dist::Distribution& d,
+                                      const DiscretizationOptions& opts);
+
+}  // namespace sre::sim

@@ -1,0 +1,186 @@
+#include "sim/event_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "sim/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace sre::sim {
+
+PlatformSimulator::PlatformSimulator(std::vector<double> reservations,
+                                     ReservationCostParams costs)
+    : reservations_(std::move(reservations)), costs_(costs) {
+  assert(!reservations_.empty());
+  for (std::size_t i = 0; i < reservations_.size(); ++i) {
+    assert(reservations_[i] > 0.0);
+    assert(i == 0 || reservations_[i] > reservations_[i - 1]);
+  }
+}
+
+void PlatformSimulator::set_wait_time_model(
+    std::function<double(double)> wait_of_request) {
+  wait_of_request_ = std::move(wait_of_request);
+}
+
+JobOutcome PlatformSimulator::run_job(double execution_time,
+                                      std::vector<AttemptRecord>* trace) const {
+  JobOutcome out;
+  for (const double reserved : reservations_) {
+    AttemptRecord rec;
+    rec.reserved = reserved;
+    rec.used = std::min(reserved, execution_time);
+    rec.wait = wait_of_request_ ? wait_of_request_(reserved) : 0.0;
+    rec.success = execution_time <= reserved;
+    rec.cost = costs_.alpha * reserved + costs_.beta * rec.used + costs_.gamma;
+
+    ++out.attempts;
+    out.total_cost += rec.cost;
+    out.turnaround += rec.wait + rec.used;
+    if (!rec.success) out.wasted_time += rec.used;
+    if (trace) trace->push_back(rec);
+    if (rec.success) {
+      out.completed = true;
+      break;
+    }
+  }
+  return out;
+}
+
+CheckpointingSimulator::CheckpointingSimulator(
+    std::vector<double> reservations, ReservationCostParams costs,
+    double checkpoint_cost, double restart_cost)
+    : reservations_(std::move(reservations)),
+      costs_(costs),
+      checkpoint_cost_(checkpoint_cost),
+      restart_cost_(restart_cost) {
+  assert(!reservations_.empty());
+  assert(checkpoint_cost >= 0.0 && restart_cost >= 0.0);
+  for (std::size_t i = 0; i < reservations_.size(); ++i) {
+    const double restore = (i == 0) ? 0.0 : restart_cost;
+    assert(reservations_[i] > restore + checkpoint_cost &&
+           "reservation leaves no room for work");
+  }
+}
+
+JobOutcome CheckpointingSimulator::run_job(
+    double execution_time, std::vector<AttemptRecord>* trace) const {
+  JobOutcome out;
+  double done = 0.0;  // work completed and checkpointed so far
+  for (std::size_t i = 0; i < reservations_.size(); ++i) {
+    const double reserved = reservations_[i];
+    const double restore = (i == 0) ? 0.0 : restart_cost_;
+    const double window = reserved - restore - checkpoint_cost_;
+    const double remaining = execution_time - done;
+
+    AttemptRecord rec;
+    rec.reserved = reserved;
+    rec.success = remaining <= window;
+    if (rec.success) {
+      rec.used = restore + remaining;
+    } else {
+      rec.used = reserved;  // restore + window of work + checkpoint
+      done += window;
+    }
+    rec.cost =
+        costs_.alpha * reserved + costs_.beta * rec.used + costs_.gamma;
+
+    ++out.attempts;
+    out.total_cost += rec.cost;
+    out.turnaround += rec.used;
+    if (!rec.success) {
+      // Restore and checkpoint time is overhead; the work itself is banked.
+      out.wasted_time += restore + checkpoint_cost_;
+    }
+    if (trace) trace->push_back(rec);
+    if (rec.success) {
+      out.completed = true;
+      break;
+    }
+  }
+  return out;
+}
+
+PreemptingSimulator::PreemptingSimulator(std::vector<double> reservations,
+                                         ReservationCostParams costs,
+                                         double preemption_rate)
+    : reservations_(std::move(reservations)),
+      costs_(costs),
+      rate_(preemption_rate) {
+  assert(!reservations_.empty() && preemption_rate >= 0.0);
+  for (std::size_t i = 0; i < reservations_.size(); ++i) {
+    assert(reservations_[i] > 0.0);
+    assert(i == 0 || reservations_[i] > reservations_[i - 1]);
+  }
+}
+
+JobOutcome PreemptingSimulator::run_job(double execution_time,
+                                        Rng& rng) const {
+  JobOutcome out;
+  std::exponential_distribution<double> preemption(rate_ > 0.0 ? rate_ : 1.0);
+  constexpr std::size_t kMaxAttempts = 200000;  // runaway guard
+
+  std::size_t level = 0;
+  double reserved = reservations_.front();
+  while (out.attempts < kMaxAttempts) {
+    reserved = (level < reservations_.size())
+                   ? reservations_[level]
+                   : reserved * 2.0;
+    // Geometric retries at this level until a run completes.
+    for (;;) {
+      if (out.attempts >= kMaxAttempts) return out;
+      ++out.attempts;
+      const double run = std::min(reserved, execution_time);
+      const double interrupt =
+          (rate_ > 0.0) ? preemption(rng)
+                        : std::numeric_limits<double>::infinity();
+      if (interrupt < run) {
+        // Preempted: the partial run is lost, retry the same length.
+        out.total_cost += costs_.alpha * reserved +
+                          costs_.beta * interrupt + costs_.gamma;
+        out.turnaround += interrupt;
+        out.wasted_time += interrupt;
+        continue;
+      }
+      out.total_cost +=
+          costs_.alpha * reserved + costs_.beta * run + costs_.gamma;
+      out.turnaround += run;
+      if (execution_time <= reserved) {
+        out.completed = true;
+        return out;
+      }
+      out.wasted_time += run;  // timed out: the work restarts from scratch
+      break;
+    }
+    ++level;
+  }
+  return out;
+}
+
+PlatformSimulator::BatchStats PlatformSimulator::run_batch(
+    const dist::Distribution& d, std::size_t n_jobs, std::uint64_t seed) const {
+  BatchStats stats;
+  stats.jobs = n_jobs;
+  sre::stats::OnlineMoments cost, attempts, waste, turnaround;
+  Rng rng = make_rng(seed);
+  for (std::size_t i = 0; i < n_jobs; ++i) {
+    const double t = d.sample(rng);
+    const JobOutcome out = run_job(t);
+    if (!out.completed) ++stats.incomplete;
+    cost.add(out.total_cost);
+    attempts.add(static_cast<double>(out.attempts));
+    waste.add(out.wasted_time);
+    turnaround.add(out.turnaround);
+  }
+  if (n_jobs > 0) {
+    stats.mean_cost = cost.mean();
+    stats.mean_attempts = attempts.mean();
+    stats.mean_waste = waste.mean();
+    stats.mean_turnaround = turnaround.mean();
+    stats.max_cost = cost.max();
+  }
+  return stats;
+}
+
+}  // namespace sre::sim

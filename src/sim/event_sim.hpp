@@ -1,0 +1,133 @@
+#pragma once
+
+// A discrete-event simulator of a reservation-based platform. It executes a
+// job attempt-by-attempt against a reservation sequence, accounting cost,
+// wasted time and (optionally) queue waiting time. It deliberately shares no
+// code with the closed-form cost expressions of the core library, so tests
+// can cross-validate Eq. (2)/(4) against an independent implementation.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "dist/distribution.hpp"
+#include "sim/rng.hpp"
+
+namespace sre::sim {
+
+/// Affine cost parameters of Eq. (1): alpha * reserved + beta * used + gamma.
+struct ReservationCostParams {
+  double alpha = 1.0;
+  double beta = 0.0;
+  double gamma = 0.0;
+};
+
+/// One reservation attempt as replayed by the simulator.
+struct AttemptRecord {
+  double reserved = 0.0;  ///< requested length t_i
+  double used = 0.0;      ///< min(t_i, t): machine time actually consumed
+  double wait = 0.0;      ///< queueing delay charged before the attempt
+  double cost = 0.0;      ///< monetary/time cost of this attempt
+  bool success = false;   ///< job finished within this reservation
+};
+
+/// Aggregate outcome of running one job to completion (or exhaustion).
+struct JobOutcome {
+  bool completed = false;
+  std::size_t attempts = 0;
+  double total_cost = 0.0;
+  double wasted_time = 0.0;  ///< machine time burnt by failed attempts
+  double turnaround = 0.0;   ///< total wall-clock: waits + executions
+};
+
+class PlatformSimulator {
+ public:
+  /// `reservations` must be strictly increasing and nonempty.
+  PlatformSimulator(std::vector<double> reservations,
+                    ReservationCostParams costs);
+
+  /// Adds a queueing model: the wall-clock wait before an attempt as a
+  /// function of the requested length (the Fig. 2 affine model in the
+  /// NeuroHPC scenario). Affects `turnaround` and `AttemptRecord::wait`
+  /// only; the monetary cost stays Eq. (1).
+  void set_wait_time_model(std::function<double(double)> wait_of_request);
+
+  /// Replays one job of the given execution time. If `trace` is non-null
+  /// the per-attempt records are appended to it.
+  [[nodiscard]] JobOutcome run_job(
+      double execution_time, std::vector<AttemptRecord>* trace = nullptr) const;
+
+  /// Aggregate statistics over a batch of jobs.
+  struct BatchStats {
+    std::size_t jobs = 0;
+    std::size_t incomplete = 0;  ///< jobs no reservation could cover
+    double mean_cost = 0.0;
+    double mean_attempts = 0.0;
+    double mean_waste = 0.0;
+    double mean_turnaround = 0.0;
+    double max_cost = 0.0;
+  };
+
+  /// Samples `n_jobs` execution times from `d` and replays each.
+  [[nodiscard]] BatchStats run_batch(const dist::Distribution& d,
+                                     std::size_t n_jobs,
+                                     std::uint64_t seed) const;
+
+  [[nodiscard]] const std::vector<double>& reservations() const noexcept {
+    return reservations_;
+  }
+
+ private:
+  std::vector<double> reservations_;
+  ReservationCostParams costs_;
+  std::function<double(double)> wait_of_request_;
+};
+
+/// Checkpoint/restart variant of the platform simulator: a reservation of
+/// length t spends (restart R, except the first attempt) + useful work +
+/// (checkpoint C, unless the job finishes); work accumulates across
+/// attempts. The job finishes in the first reservation whose work window
+/// covers the remaining work. Event-by-event accounting, independent of the
+/// closed forms in core/checkpoint.*, so tests can cross-validate the two.
+class CheckpointingSimulator {
+ public:
+  /// Every reservation must provide positive work: t_i > R_i + C.
+  CheckpointingSimulator(std::vector<double> reservations,
+                         ReservationCostParams costs, double checkpoint_cost,
+                         double restart_cost);
+
+  [[nodiscard]] JobOutcome run_job(
+      double execution_time, std::vector<AttemptRecord>* trace = nullptr) const;
+
+  [[nodiscard]] const std::vector<double>& reservations() const noexcept {
+    return reservations_;
+  }
+
+ private:
+  std::vector<double> reservations_;
+  ReservationCostParams costs_;
+  double checkpoint_cost_;
+  double restart_cost_;
+};
+
+/// Spot-style preemptible platform: during every attempt, an interruption
+/// arrives after Exp(rate) machine time; a preempted attempt is lost and
+/// the same reservation is retried (the length was not proven too short);
+/// a timeout advances to the next reservation, continuing with a doubling
+/// tail past the stored plan. Monte-Carlo counterpart of core/preemption.
+class PreemptingSimulator {
+ public:
+  PreemptingSimulator(std::vector<double> reservations,
+                      ReservationCostParams costs, double preemption_rate);
+
+  /// Replays one job; preemption times are drawn from `rng`.
+  [[nodiscard]] JobOutcome run_job(double execution_time, Rng& rng) const;
+
+ private:
+  std::vector<double> reservations_;
+  ReservationCostParams costs_;
+  double rate_;
+};
+
+}  // namespace sre::sim

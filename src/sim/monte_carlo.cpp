@@ -1,0 +1,51 @@
+#include "sim/monte_carlo.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/parallel.hpp"
+#include "sim/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace sre::sim {
+
+MonteCarloResult estimate_expectation(const dist::Distribution& d,
+                                      const std::function<double(double)>& g,
+                                      const MonteCarloOptions& opts) {
+  const std::size_t n = opts.samples;
+  if (n == 0) return {};
+  const std::size_t chunk = (opts.chunk == 0) ? 256 : opts.chunk;
+  const std::size_t n_chunks = (n + chunk - 1) / chunk;
+
+  // One accumulator per chunk, merged in chunk order for determinism.
+  std::vector<stats::OnlineMoments> partial(n_chunks);
+  const auto run_chunk = [&](std::size_t c) {
+    Rng rng = make_rng(substream_seed(opts.seed, c));
+    const std::size_t lo = c * chunk;
+    const std::size_t hi = std::min(n, lo + chunk);
+    stats::OnlineMoments acc;
+    if (opts.antithetic) {
+      std::uniform_real_distribution<double> u01(0.0, 1.0);
+      for (std::size_t i = lo; i < hi; i += 2) {
+        const double u = u01(rng);
+        acc.add(g(d.quantile(u)));
+        if (i + 1 < hi) acc.add(g(d.quantile(1.0 - u)));
+      }
+    } else {
+      for (std::size_t i = lo; i < hi; ++i) acc.add(g(d.sample(rng)));
+    }
+    partial[c] = acc;
+  };
+
+  if (opts.parallel) {
+    parallel_for(0, n_chunks, run_chunk);
+  } else {
+    for (std::size_t c = 0; c < n_chunks; ++c) run_chunk(c);
+  }
+
+  stats::OnlineMoments total;
+  for (const auto& p : partial) total.merge(p);
+  return MonteCarloResult{total.mean(), total.standard_error(), total.count()};
+}
+
+}  // namespace sre::sim

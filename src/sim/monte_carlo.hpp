@@ -1,0 +1,38 @@
+#pragma once
+
+// Parallel Monte-Carlo estimation of E[g(X)] for X ~ D. This is the engine
+// behind the paper's evaluation methodology (Eq. 13): the expected cost of a
+// reservation sequence is approximated by averaging the per-sample cost over
+// N draws. The estimate is deterministic for a fixed seed, independent of
+// thread count.
+
+#include <cstdint>
+#include <functional>
+
+#include "dist/distribution.hpp"
+
+namespace sre::sim {
+
+struct MonteCarloResult {
+  double mean = 0.0;
+  double std_error = 0.0;  ///< standard error of the mean
+  std::size_t samples = 0;
+};
+
+struct MonteCarloOptions {
+  std::size_t samples = 1000;  ///< N in Eq. (13); the paper uses 1000
+  std::uint64_t seed = 42;
+  bool parallel = true;
+  std::size_t chunk = 256;  ///< samples per worker chunk / RNG substream
+  /// Antithetic variates: draw u and 1-u pairs through the quantile. For
+  /// monotone integrands -- reservation costs are nondecreasing in the job
+  /// size -- the pair correlation is negative and the variance drops.
+  bool antithetic = false;
+};
+
+/// Estimates E[g(X)]. `g` must be thread-safe (it is called concurrently).
+MonteCarloResult estimate_expectation(const dist::Distribution& d,
+                                      const std::function<double(double)>& g,
+                                      const MonteCarloOptions& opts = {});
+
+}  // namespace sre::sim

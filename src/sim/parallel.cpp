@@ -1,0 +1,115 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <vector>
+
+#include "sim/thread_pool.hpp"
+#include "stats/summary.hpp"
+
+namespace sre::sim {
+
+namespace {
+
+/// Count-down latch compatible with C++17-era toolchains.
+class Latch {
+ public:
+  explicit Latch(std::size_t count) : count_(count) {}
+
+  void count_down() {
+    std::lock_guard lock(mutex_);
+    if (--count_ == 0) cv_.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t count_;
+};
+
+struct ChunkPlan {
+  std::size_t n_chunks = 0;
+  std::size_t chunk_size = 0;
+};
+
+ChunkPlan plan_chunks(std::size_t total, std::size_t grain, unsigned workers) {
+  if (total == 0) return {0, 0};
+  if (grain == 0) grain = 1;
+  // Aim for ~4 chunks per worker for load balance, but never below grain.
+  std::size_t target = static_cast<std::size_t>(workers) * 4;
+  if (target == 0) target = 1;
+  std::size_t chunk = (total + target - 1) / target;
+  if (chunk < grain) chunk = grain;
+  const std::size_t n = (total + chunk - 1) / chunk;
+  return {n, chunk};
+}
+
+}  // namespace
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+  if (end <= begin) return;
+  const std::size_t total = end - begin;
+  ThreadPool& pool = ThreadPool::global();
+  const ChunkPlan plan = plan_chunks(total, grain, pool.size());
+  if (plan.n_chunks <= 1 || pool.size() <= 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  Latch latch(plan.n_chunks);
+  std::mutex err_mutex;
+  std::exception_ptr first_error;
+
+  for (std::size_t c = 0; c < plan.n_chunks; ++c) {
+    const std::size_t lo = begin + c * plan.chunk_size;
+    const std::size_t hi = std::min(end, lo + plan.chunk_size);
+    pool.submit([&, lo, hi] {
+      try {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        std::lock_guard lock(err_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      latch.count_down();
+    });
+  }
+  latch.wait();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+double parallel_sum(std::size_t begin, std::size_t end,
+                    const std::function<double(std::size_t)>& f,
+                    std::size_t grain) {
+  if (end <= begin) return 0.0;
+  const std::size_t total = end - begin;
+  ThreadPool& pool = ThreadPool::global();
+  const ChunkPlan plan = plan_chunks(total, grain, pool.size());
+  if (plan.n_chunks <= 1 || pool.size() <= 1) {
+    stats::KahanSum sum;
+    for (std::size_t i = begin; i < end; ++i) sum.add(f(i));
+    return sum.value();
+  }
+
+  std::vector<double> partial(plan.n_chunks, 0.0);
+  parallel_for(0, plan.n_chunks, [&](std::size_t c) {
+    const std::size_t lo = begin + c * plan.chunk_size;
+    const std::size_t hi = std::min(end, lo + plan.chunk_size);
+    stats::KahanSum sum;
+    for (std::size_t i = lo; i < hi; ++i) sum.add(f(i));
+    partial[c] = sum.value();
+  });
+  stats::KahanSum sum;
+  for (const double p : partial) sum.add(p);
+  return sum.value();
+}
+
+}  // namespace sre::sim

@@ -1,0 +1,24 @@
+#pragma once
+
+// Blocking data-parallel loops on top of the ThreadPool. Exceptions thrown by
+// the body are captured and rethrown on the calling thread (first one wins).
+
+#include <cstddef>
+#include <functional>
+
+namespace sre::sim {
+
+/// Runs body(i) for i in [begin, end) across the global pool, splitting the
+/// range into contiguous chunks of at least `grain` iterations. Blocks until
+/// every iteration has completed.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 1);
+
+/// Parallel sum reduction of f(i) over [begin, end). Deterministic: partial
+/// sums are combined in chunk order regardless of completion order.
+double parallel_sum(std::size_t begin, std::size_t end,
+                    const std::function<double(std::size_t)>& f,
+                    std::size_t grain = 1);
+
+}  // namespace sre::sim

@@ -1,0 +1,208 @@
+#include "sim/queue_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+#include <queue>
+
+#include "sim/rng.hpp"
+
+namespace sre::sim {
+
+namespace {
+constexpr double kEps = 1e-12;
+}  // namespace
+
+struct BackfillCluster::Impl {
+  explicit Impl(ClusterConfig cfg) : config(cfg), free(cfg.nodes) {
+    assert(cfg.nodes >= 1);
+  }
+
+  struct Running {
+    std::size_t id = 0;
+    std::size_t width = 0;
+    double actual_end = 0.0;     ///< nodes actually free here
+    double requested_end = 0.0;  ///< the scheduler's conservative estimate
+  };
+
+  ClusterConfig config;
+  std::vector<ClusterJob> jobs;        // by id
+  std::vector<ScheduledJob> records;   // by id, filled at start time
+  // Pending arrivals ordered by (submit_time, id) -- id breaks ties FIFO.
+  using Arrival = std::pair<double, std::size_t>;
+  std::priority_queue<Arrival, std::vector<Arrival>, std::greater<>> arrivals;
+  std::deque<std::size_t> queue;  // FCFS by arrival
+  std::vector<Running> running;
+  std::size_t free;
+  double now = 0.0;
+
+  void start(std::size_t id, bool backfilled) {
+    const ClusterJob& job = jobs[id];
+    assert(job.width <= free);
+    free -= job.width;
+    running.push_back({id, job.width, now + job.actual, now + job.requested});
+    ScheduledJob rec;
+    rec.index = id;
+    rec.job = job;
+    rec.start_time = now;
+    rec.wait = now - job.submit_time;
+    rec.backfilled = backfilled;
+    records[id] = rec;
+  }
+
+  /// Earliest time (by requested walltimes) at which `needed` nodes free,
+  /// and the node surplus at that instant. Requires needed > free.
+  std::pair<double, std::size_t> reservation_for(std::size_t needed) const {
+    std::vector<Running> by_end(running);
+    std::sort(by_end.begin(), by_end.end(),
+              [](const Running& a, const Running& b) {
+                return a.requested_end < b.requested_end;
+              });
+    std::size_t projected = free;
+    for (const Running& r : by_end) {
+      projected += r.width;
+      if (projected >= needed) return {r.requested_end, projected - needed};
+    }
+    return {std::numeric_limits<double>::infinity(), 0};
+  }
+
+  /// One FCFS + EASY pass at the current instant.
+  void schedule() {
+    while (!queue.empty() && jobs[queue.front()].width <= free) {
+      const std::size_t id = queue.front();
+      queue.pop_front();
+      start(id, /*backfilled=*/false);
+    }
+    if (queue.empty() || free == 0) return;
+
+    const ClusterJob& head = jobs[queue.front()];
+    const auto [shadow, spare_at_shadow] = reservation_for(head.width);
+    std::size_t spare = spare_at_shadow;
+    for (auto it = queue.begin() + 1; it != queue.end() && free > 0;) {
+      const ClusterJob& job = jobs[*it];
+      if (job.width > free) {
+        ++it;
+        continue;
+      }
+      const bool fits_before_shadow = now + job.requested <= shadow + kEps;
+      const bool fits_in_spare = job.width <= spare;
+      if (fits_before_shadow || fits_in_spare) {
+        const std::size_t id = *it;
+        it = queue.erase(it);
+        start(id, /*backfilled=*/true);
+        if (!fits_before_shadow) spare -= job.width;
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void release_finished(std::vector<std::size_t>* completed) {
+    std::size_t i = 0;
+    while (i < running.size()) {
+      if (running[i].actual_end <= now + kEps) {
+        free += running[i].width;
+        completed->push_back(running[i].id);
+        running[i] = running.back();
+        running.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    // Deterministic callback order regardless of the removal shuffle.
+    std::sort(completed->begin(), completed->end());
+  }
+
+  void run(const CompletionCallback& on_complete) {
+    for (;;) {
+      double t_next = std::numeric_limits<double>::infinity();
+      if (!arrivals.empty()) t_next = arrivals.top().first;
+      for (const Running& r : running) {
+        t_next = std::min(t_next, r.actual_end);
+      }
+      if (!std::isfinite(t_next)) {
+        assert(queue.empty() && "queued jobs but no future event");
+        return;
+      }
+      now = std::max(now, t_next);
+
+      std::vector<std::size_t> completed;
+      release_finished(&completed);
+      for (const std::size_t id : completed) {
+        if (on_complete) on_complete(records[id], now);
+      }
+      while (!arrivals.empty() && arrivals.top().first <= now + kEps) {
+        queue.push_back(arrivals.top().second);
+        arrivals.pop();
+      }
+      schedule();
+    }
+  }
+};
+
+BackfillCluster::BackfillCluster(ClusterConfig config)
+    : impl_(std::make_unique<Impl>(config)) {}
+
+BackfillCluster::~BackfillCluster() = default;
+
+std::size_t BackfillCluster::submit(ClusterJob job) {
+  assert(job.width >= 1);
+  assert(job.requested > 0.0 && job.actual > 0.0);
+  assert(job.actual <= job.requested + kEps);
+  // A job wider than the machine could never start and would deadlock the
+  // queue; clamp like swf_to_cluster_jobs does (real schedulers reject).
+  job.width = std::min(job.width, impl_->config.nodes);
+  const std::size_t id = impl_->jobs.size();
+  impl_->jobs.push_back(job);
+  impl_->records.emplace_back();
+  impl_->arrivals.emplace(job.submit_time, id);
+  return id;
+}
+
+void BackfillCluster::run(const CompletionCallback& on_complete) {
+  impl_->run(on_complete);
+}
+
+const std::vector<ScheduledJob>& BackfillCluster::records() const noexcept {
+  return impl_->records;
+}
+
+std::vector<ScheduledJob> simulate_backfill_queue(const ClusterConfig& cluster,
+                                                  std::vector<ClusterJob> jobs) {
+  BackfillCluster sim(cluster);
+  for (const auto& job : jobs) sim.submit(job);
+  sim.run();
+  return sim.records();
+}
+
+std::vector<ClusterJob> synthesize_cluster_workload(
+    const ClusterWorkloadConfig& cfg) {
+  assert(cfg.jobs >= 1 && cfg.max_width >= 1);
+  Rng rng = make_rng(cfg.seed);
+  std::exponential_distribution<double> interarrival(1.0 /
+                                                     cfg.mean_interarrival);
+  std::uniform_real_distribution<double> request(cfg.min_request,
+                                                 cfg.max_request);
+  std::exponential_distribution<double> width_frac(
+      1.0 / cfg.mean_width_fraction);
+  std::uniform_real_distribution<double> usage(cfg.min_usage_fraction, 1.0);
+
+  std::vector<ClusterJob> jobs;
+  jobs.reserve(cfg.jobs);
+  double t = 0.0;
+  for (std::size_t i = 0; i < cfg.jobs; ++i) {
+    t += interarrival(rng);
+    ClusterJob job;
+    job.submit_time = t;
+    const double frac = std::min(1.0, width_frac(rng));
+    job.width = std::max<std::size_t>(
+        1, static_cast<std::size_t>(frac * static_cast<double>(cfg.max_width)));
+    job.requested = request(rng);
+    job.actual = job.requested * usage(rng);
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+}  // namespace sre::sim

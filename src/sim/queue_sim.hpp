@@ -1,0 +1,102 @@
+#pragma once
+
+// A discrete-event cluster-queue simulator with FCFS + EASY backfilling --
+// the scheduling regime of the systems behind Fig. 2 (Intrepid et al.).
+// The paper *assumes* an affine waiting-time model wait(r) ~ alpha r +
+// gamma fitted from logs; this simulator reproduces that relationship from
+// first principles: longer requested walltimes backfill less easily, so
+// their average wait grows with the request. bench/fig2_queue_sim derives
+// the affine fit from a purely simulated log.
+//
+// Model: `nodes` identical nodes. Jobs arrive over time with a width
+// (nodes needed), a requested walltime (the scheduler's planning horizon;
+// jobs are killed at it) and an actual runtime <= requested. Scheduling
+// points are arrivals and completions. At each point the head of the FCFS
+// queue starts if it fits; otherwise it gets a reservation at the earliest
+// time enough nodes free (by requested walltimes), and later queued jobs
+// may backfill iff they fit now and do not delay that reservation.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dist/distribution.hpp"
+
+namespace sre::sim {
+
+/// One job submitted to the cluster.
+struct ClusterJob {
+  double submit_time = 0.0;
+  std::size_t width = 1;       ///< nodes requested
+  double requested = 0.0;      ///< requested walltime
+  double actual = 0.0;         ///< true runtime, <= requested
+};
+
+/// Scheduling outcome for one job.
+struct ScheduledJob {
+  std::size_t index = 0;  ///< position in the submitted vector
+  ClusterJob job;
+  double start_time = 0.0;
+  double wait = 0.0;          ///< start - submit
+  bool backfilled = false;    ///< started ahead of an earlier-submitted job
+};
+
+struct ClusterConfig {
+  std::size_t nodes = 409;  ///< the Fig. 2(b) partition size
+};
+
+/// Runs the full workload to completion and returns per-job records in
+/// submission order. Deterministic.
+std::vector<ScheduledJob> simulate_backfill_queue(
+    const ClusterConfig& cluster, std::vector<ClusterJob> jobs);
+
+/// Interactive variant: jobs can be injected while the simulation runs --
+/// the mechanism behind strategy-driven *resubmission* (a job killed at its
+/// requested walltime re-enters the queue with the next reservation of its
+/// plan). Completion callbacks observe finished jobs and may submit more.
+class BackfillCluster {
+ public:
+  explicit BackfillCluster(ClusterConfig config);
+  ~BackfillCluster();
+  BackfillCluster(const BackfillCluster&) = delete;
+  BackfillCluster& operator=(const BackfillCluster&) = delete;
+
+  /// Called when a job completes (its nodes free). `now` is the completion
+  /// instant; the callback may call submit() with submit_time >= now.
+  using CompletionCallback =
+      std::function<void(const ScheduledJob& record, double now)>;
+
+  /// Enqueues a job; returns its id (index into records()). Jobs may be
+  /// submitted before run() or from within the completion callback.
+  std::size_t submit(ClusterJob job);
+
+  /// Runs until no job is queued, running, or pending arrival.
+  void run(const CompletionCallback& on_complete = {});
+
+  /// Scheduling records by job id; valid after run().
+  [[nodiscard]] const std::vector<ScheduledJob>& records() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Synthetic workload generator: Poisson arrivals, LogNormal-ish widths,
+/// a requested-walltime law, and actual runtimes drawn as a uniform
+/// fraction of the request (users overestimate).
+struct ClusterWorkloadConfig {
+  std::size_t jobs = 2000;
+  double mean_interarrival = 0.05;   ///< hours between submissions
+  std::size_t max_width = 409;
+  double mean_width_fraction = 0.2;  ///< mean width as a fraction of nodes
+  double min_request = 0.25;         ///< hours
+  double max_request = 12.0;         ///< hours
+  double min_usage_fraction = 0.5;   ///< actual/requested lower bound
+  std::uint64_t seed = 42;
+};
+
+std::vector<ClusterJob> synthesize_cluster_workload(
+    const ClusterWorkloadConfig& cfg);
+
+}  // namespace sre::sim

@@ -1,0 +1,34 @@
+#include "sim/rng.hpp"
+
+namespace sre::sim {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Rng make_rng(std::uint64_t seed) {
+  std::uint64_t state = seed;
+  // Feed several scrambled words into the Mersenne Twister state.
+  std::seed_seq seq{splitmix64(state), splitmix64(state), splitmix64(state),
+                    splitmix64(state)};
+  return Rng(seq);
+}
+
+std::uint64_t substream_seed(std::uint64_t master, std::uint64_t index) noexcept {
+  std::uint64_t state = master ^ (0xA3EC647659359ACDULL * (index + 1));
+  return splitmix64(state);
+}
+
+std::vector<double> draw_samples(const dist::Distribution& d, std::size_t n,
+                                 std::uint64_t seed) {
+  Rng rng = make_rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(d.sample(rng));
+  return out;
+}
+
+}  // namespace sre::sim

@@ -1,0 +1,33 @@
+#pragma once
+
+// Deterministic random-number streams. Every stochastic API in the library
+// takes an explicit 64-bit seed; independent substreams for parallel workers
+// are derived with SplitMix64 so results are reproducible regardless of the
+// number of threads or the scheduling order.
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/distribution.hpp"
+
+namespace sre::sim {
+
+using Rng = dist::Rng;
+
+/// SplitMix64 step: advances `state` and returns the next 64-bit output.
+/// Used both as a seed scrambler and to derive substream seeds.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// A generator seeded through SplitMix64 (avoids the mt19937_64 low-entropy
+/// seeding pitfall for small consecutive seeds).
+Rng make_rng(std::uint64_t seed);
+
+/// Seed of the `index`-th substream of a master seed. Distinct (master,
+/// index) pairs map to statistically independent streams.
+std::uint64_t substream_seed(std::uint64_t master, std::uint64_t index) noexcept;
+
+/// Draws n i.i.d. execution times from a distribution.
+std::vector<double> draw_samples(const dist::Distribution& d, std::size_t n,
+                                 std::uint64_t seed);
+
+}  // namespace sre::sim

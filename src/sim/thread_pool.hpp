@@ -1,0 +1,53 @@
+#pragma once
+
+// A fixed-size worker pool with a single FIFO queue. The evaluation sweeps
+// (brute-force t1 grids, Monte-Carlo batches, per-distribution table rows)
+// are embarrassingly parallel, so a simple mutex-protected queue is both
+// sufficient and contention-free at the task granularities we use.
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sre::sim {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains and joins. Tasks still queued at destruction are executed.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Thread-safe.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void wait_idle();
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Process-wide pool, lazily constructed with hardware concurrency.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  unsigned active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace sre::sim

@@ -1,0 +1,83 @@
+#include "stats/fitting.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "stats/summary.hpp"
+
+namespace sre::stats {
+
+AffineFit fit_affine(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size() && !x.empty());
+  std::vector<double> w(x.size(), 1.0);
+  return fit_affine_weighted(x, y, w);
+}
+
+AffineFit fit_affine_weighted(std::span<const double> x,
+                              std::span<const double> y,
+                              std::span<const double> weights) {
+  assert(x.size() == y.size() && x.size() == weights.size() && !x.empty());
+  KahanSum sw, swx, swy, swxx, swxy;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double w = weights[i];
+    sw.add(w);
+    swx.add(w * x[i]);
+    swy.add(w * y[i]);
+    swxx.add(w * x[i] * x[i]);
+    swxy.add(w * x[i] * y[i]);
+  }
+  const double W = sw.value();
+  const double mx = swx.value() / W;
+  const double my = swy.value() / W;
+  const double cov = swxy.value() / W - mx * my;
+  const double var_x = swxx.value() / W - mx * mx;
+
+  AffineFit fit;
+  if (var_x <= 0.0) {
+    // Degenerate: all abscissae identical; fall back to a flat line.
+    fit.slope = 0.0;
+    fit.intercept = my;
+    fit.r_squared = 0.0;
+    return fit;
+  }
+  fit.slope = cov / var_x;
+  fit.intercept = my - fit.slope * mx;
+
+  KahanSum ss_res, ss_tot;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double pred = fit.slope * x[i] + fit.intercept;
+    ss_res.add(weights[i] * (y[i] - pred) * (y[i] - pred));
+    ss_tot.add(weights[i] * (y[i] - my) * (y[i] - my));
+  }
+  fit.r_squared = (ss_tot.value() > 0.0) ? 1.0 - ss_res.value() / ss_tot.value()
+                                         : 1.0;
+  return fit;
+}
+
+LogNormalParams fit_lognormal_mle(std::span<const double> samples) {
+  assert(!samples.empty());
+  OnlineMoments logs;
+  for (const double s : samples) {
+    assert(s > 0.0);
+    logs.add(std::log(s));
+  }
+  return LogNormalParams{logs.mean(), logs.stddev()};
+}
+
+LogNormalParams lognormal_from_moments(double mean, double stddev) {
+  assert(mean > 0.0 && stddev > 0.0);
+  const double ratio = stddev / mean;
+  const double sigma2 = std::log1p(ratio * ratio);
+  return LogNormalParams{std::log(mean) - 0.5 * sigma2, std::sqrt(sigma2)};
+}
+
+double lognormal_mean(const LogNormalParams& p) {
+  return std::exp(p.mu + 0.5 * p.sigma * p.sigma);
+}
+
+double lognormal_stddev(const LogNormalParams& p) {
+  const double s2 = p.sigma * p.sigma;
+  return std::sqrt((std::exp(s2) - 1.0) * std::exp(2.0 * p.mu + s2));
+}
+
+}  // namespace sre::stats

@@ -1,0 +1,53 @@
+#pragma once
+
+// Model fitting used by the platform substrate:
+//  * affine least squares -- reproduces the waiting-time fit of Fig. 2
+//    (wait = alpha * requested + gamma);
+//  * LogNormal maximum likelihood -- reproduces the trace fit of Fig. 1;
+//  * moment matching for LogNormal -- the Fig. 4 parameter sweeps
+//    re-instantiate the law from a desired mean and standard deviation.
+
+#include <span>
+
+namespace sre::stats {
+
+/// y = slope * x + intercept fitted by (optionally weighted) least squares.
+struct AffineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  ///< coefficient of determination
+};
+
+/// Ordinary least squares; x and y must have equal, nonzero length.
+AffineFit fit_affine(std::span<const double> x, std::span<const double> y);
+
+/// Weighted least squares (weights >= 0, same length as x/y). Matches the
+/// paper's per-group fit where each point is a group mean of many jobs.
+AffineFit fit_affine_weighted(std::span<const double> x,
+                              std::span<const double> y,
+                              std::span<const double> weights);
+
+/// Parameters of a LogNormal(mu, sigma^2) law.
+struct LogNormalParams {
+  double mu = 0.0;
+  double sigma = 1.0;
+};
+
+/// Maximum-likelihood fit: mu/sigma are the mean/stddev of log-samples.
+/// Samples must be strictly positive.
+LogNormalParams fit_lognormal_mle(std::span<const double> samples);
+
+/// Instantiate LogNormal parameters from a desired mean and standard
+/// deviation (footnote 4 of the paper; the paper's printed formula for mu is
+/// a typo -- the correct identity implemented here is
+///   sigma^2 = ln(1 + (sd/mean)^2),  mu = ln(mean) - sigma^2 / 2,
+/// verified by round-trip tests).
+LogNormalParams lognormal_from_moments(double mean, double stddev);
+
+/// The mean of LogNormal(mu, sigma^2): exp(mu + sigma^2/2).
+double lognormal_mean(const LogNormalParams& p);
+
+/// The standard deviation of LogNormal(mu, sigma^2).
+double lognormal_stddev(const LogNormalParams& p);
+
+}  // namespace sre::stats

@@ -1,0 +1,54 @@
+#pragma once
+
+// Adaptive Simpson quadrature. Used for the default (distribution-agnostic)
+// conditional expectation E[X | X > tau], for cross-checking the closed-form
+// expected cost of Theorem 1 against a direct integration of Eq. (3) in the
+// tests, and by distributions lacking closed-form moments.
+
+#include <cmath>
+#include <functional>
+
+namespace sre::stats {
+
+namespace detail {
+
+inline double simpson(double a, double fa, double b, double fb, double fm) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+inline double adaptive_simpson_rec(const std::function<double(double)>& f,
+                                   double a, double fa, double b, double fb,
+                                   double m, double fm, double whole,
+                                   double eps, int depth) {
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = simpson(a, fa, m, fm, flm);
+  const double right = simpson(m, fm, b, fb, frm);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::fabs(delta) <= 15.0 * eps) {
+    return left + right + delta / 15.0;
+  }
+  return adaptive_simpson_rec(f, a, fa, m, fm, lm, flm, left, 0.5 * eps,
+                              depth - 1) +
+         adaptive_simpson_rec(f, m, fm, b, fb, rm, frm, right, 0.5 * eps,
+                              depth - 1);
+}
+
+}  // namespace detail
+
+/// Integrates f over [a, b] with adaptive Simpson to absolute tolerance eps.
+inline double integrate(const std::function<double(double)>& f, double a,
+                        double b, double eps = 1e-10, int max_depth = 40) {
+  if (!(b > a)) return 0.0;
+  const double m = 0.5 * (a + b);
+  const double fa = f(a);
+  const double fb = f(b);
+  const double fm = f(m);
+  const double whole = detail::simpson(a, fa, b, fb, fm);
+  return detail::adaptive_simpson_rec(f, a, fa, b, fb, m, fm, whole, eps,
+                                      max_depth);
+}
+
+}  // namespace sre::stats

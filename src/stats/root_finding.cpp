@@ -1,0 +1,171 @@
+#include "stats/root_finding.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace sre::stats {
+
+namespace {
+bool opposite_signs(double a, double b) noexcept {
+  return (a <= 0.0 && b >= 0.0) || (a >= 0.0 && b <= 0.0);
+}
+}  // namespace
+
+std::optional<RootResult> brent(const std::function<double(double)>& f,
+                                double lo, double hi, const SolveOptions& opts) {
+  double a = lo, b = hi;
+  double fa = f(a), fb = f(b);
+  if (!opposite_signs(fa, fb)) return std::nullopt;
+  if (fa == 0.0) return RootResult{a, 0.0, 0, true};
+  if (fb == 0.0) return RootResult{b, 0.0, 0, true};
+
+  double c = a, fc = fa;
+  double d = b - a, e = d;
+  for (int iter = 1; iter <= opts.max_iterations; ++iter) {
+    if (std::fabs(fc) < std::fabs(fb)) {
+      a = b; b = c; c = a;
+      fa = fb; fb = fc; fc = fa;
+    }
+    const double tol1 =
+        2.0 * std::numeric_limits<double>::epsilon() * std::fabs(b) +
+        0.5 * opts.x_tol;
+    const double xm = 0.5 * (c - b);
+    if (std::fabs(xm) <= tol1 || fb == 0.0 ||
+        (opts.f_tol > 0.0 && std::fabs(fb) <= opts.f_tol)) {
+      return RootResult{b, fb, iter, true};
+    }
+    if (std::fabs(e) >= tol1 && std::fabs(fa) > std::fabs(fb)) {
+      // Inverse quadratic interpolation / secant step.
+      const double s = fb / fa;
+      double p, q;
+      if (a == c) {
+        p = 2.0 * xm * s;
+        q = 1.0 - s;
+      } else {
+        const double qq = fa / fc;
+        const double r = fb / fc;
+        p = s * (2.0 * xm * qq * (qq - r) - (b - a) * (r - 1.0));
+        q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q;
+      p = std::fabs(p);
+      const double min1 = 3.0 * xm * q - std::fabs(tol1 * q);
+      const double min2 = std::fabs(e * q);
+      if (2.0 * p < std::fmin(min1, min2)) {
+        e = d;
+        d = p / q;
+      } else {
+        d = xm;
+        e = d;
+      }
+    } else {
+      d = xm;
+      e = d;
+    }
+    a = b;
+    fa = fb;
+    b += (std::fabs(d) > tol1) ? d : std::copysign(tol1, xm);
+    fb = f(b);
+    if (opposite_signs(fb, fc) == false && opposite_signs(fb, fa)) {
+      c = a;
+      fc = fa;
+      // reset the step history when the bracket flips
+      d = b - a;
+      e = d;
+    }
+  }
+  return RootResult{b, fb, opts.max_iterations, false};
+}
+
+std::optional<RootResult> bisect(const std::function<double(double)>& f,
+                                 double lo, double hi,
+                                 const SolveOptions& opts) {
+  double fa = f(lo), fb = f(hi);
+  if (!opposite_signs(fa, fb)) return std::nullopt;
+  if (fa == 0.0) return RootResult{lo, 0.0, 0, true};
+  if (fb == 0.0) return RootResult{hi, 0.0, 0, true};
+  double a = lo, b = hi;
+  for (int iter = 1; iter <= opts.max_iterations; ++iter) {
+    const double mid = 0.5 * (a + b);
+    const double fm = f(mid);
+    if (fm == 0.0 || (b - a) * 0.5 < opts.x_tol ||
+        (opts.f_tol > 0.0 && std::fabs(fm) <= opts.f_tol)) {
+      return RootResult{mid, fm, iter, true};
+    }
+    if (opposite_signs(fa, fm)) {
+      b = mid;
+    } else {
+      a = mid;
+      fa = fm;
+    }
+  }
+  return RootResult{0.5 * (a + b), f(0.5 * (a + b)), opts.max_iterations, false};
+}
+
+std::optional<std::pair<double, double>> bracket_upward(
+    const std::function<double(double)>& f, double lo, double step,
+    int max_iterations) {
+  const double f_lo = f(lo);
+  double a = lo;
+  double b = lo + step;
+  for (int i = 0; i < max_iterations; ++i) {
+    if (opposite_signs(f_lo, f(b))) return std::make_pair(a, b);
+    a = b;
+    step *= 2.0;
+    b = a + step;
+  }
+  return std::nullopt;
+}
+
+MinimizeResult golden_minimize(const std::function<double(double)>& f,
+                               double lo, double hi, double x_tol,
+                               int max_iterations) {
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
+  double a = lo, b = hi;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = f(x1), f2 = f(x2);
+  int iter = 0;
+  while (iter < max_iterations && (b - a) > x_tol) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = f(x2);
+    }
+    ++iter;
+  }
+  const double x = 0.5 * (a + b);
+  return MinimizeResult{x, f(x), iter, (b - a) <= x_tol};
+}
+
+MinimizeResult grid_then_golden(const std::function<double(double)>& f,
+                                double lo, double hi, int grid_points,
+                                double x_tol) {
+  if (grid_points < 3) grid_points = 3;
+  const double step = (hi - lo) / static_cast<double>(grid_points - 1);
+  double best_x = lo;
+  double best_f = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < grid_points; ++i) {
+    const double x = lo + step * static_cast<double>(i);
+    const double fx = f(x);
+    if (fx < best_f) {
+      best_f = fx;
+      best_x = x;
+    }
+  }
+  const double a = std::fmax(lo, best_x - step);
+  const double b = std::fmin(hi, best_x + step);
+  MinimizeResult refined = golden_minimize(f, a, b, x_tol);
+  if (refined.fx <= best_f) return refined;
+  return MinimizeResult{best_x, best_f, refined.iterations, true};
+}
+
+}  // namespace sre::stats

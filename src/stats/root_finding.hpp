@@ -1,0 +1,65 @@
+#pragma once
+
+// Bracketed 1-D root finding and minimization used throughout the library:
+// quantile inversion for distributions without closed-form quantiles,
+// the brute-force refinement of the first reservation t1, and the search for
+// the Exp(1) constant s1 (Section 3.5).
+
+#include <functional>
+#include <optional>
+
+namespace sre::stats {
+
+/// Result of a root search.
+struct RootResult {
+  double x = 0.0;        ///< abscissa of the root
+  double fx = 0.0;       ///< residual f(x)
+  int iterations = 0;    ///< iterations consumed
+  bool converged = false;
+};
+
+/// Options shared by the solvers.
+struct SolveOptions {
+  double x_tol = 1e-12;   ///< absolute tolerance on x
+  double f_tol = 0.0;     ///< early-exit tolerance on |f(x)| (0 = off)
+  int max_iterations = 200;
+};
+
+/// Brent's method on [lo, hi]; requires f(lo) and f(hi) of opposite sign
+/// (or one of them zero). Returns nullopt if the bracket is invalid.
+std::optional<RootResult> brent(const std::function<double(double)>& f,
+                                double lo, double hi,
+                                const SolveOptions& opts = {});
+
+/// Plain bisection; same contract as brent(). Used as a robust fallback.
+std::optional<RootResult> bisect(const std::function<double(double)>& f,
+                                 double lo, double hi,
+                                 const SolveOptions& opts = {});
+
+/// Expands [lo, lo+step] geometrically upward until f changes sign.
+/// Returns the bracketing interval or nullopt after max_iterations doublings.
+std::optional<std::pair<double, double>> bracket_upward(
+    const std::function<double(double)>& f, double lo, double step,
+    int max_iterations = 200);
+
+/// Result of a scalar minimization.
+struct MinimizeResult {
+  double x = 0.0;
+  double fx = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Golden-section search for the minimum of a unimodal f on [lo, hi].
+MinimizeResult golden_minimize(const std::function<double(double)>& f,
+                               double lo, double hi, double x_tol = 1e-10,
+                               int max_iterations = 200);
+
+/// Grid scan followed by golden-section refinement around the best cell.
+/// Robust for the possibly multi-modal objectives met in the t1 search
+/// (Figure 3 shows gaps and plateaus). `grid_points` >= 3.
+MinimizeResult grid_then_golden(const std::function<double(double)>& f,
+                                double lo, double hi, int grid_points,
+                                double x_tol = 1e-10);
+
+}  // namespace sre::stats

@@ -1,0 +1,280 @@
+#include "stats/special_functions.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace sre::stats {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kEps = std::numeric_limits<double>::epsilon();
+constexpr double kTiny = 1e-300;
+
+// Series expansion of P(a,x), valid and fast for x < a + 1.
+double gamma_p_series(double a, double x) noexcept {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int n = 0; n < 500; ++n) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * kEps) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Modified Lentz continued fraction for Q(a,x), valid for x >= a + 1.
+double gamma_q_cf(double a, double x) noexcept {
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+// Continued fraction for the regularized incomplete beta (Lentz).
+double inc_beta_cf(double x, double a, double b) noexcept {
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= 500; ++m) {
+    const double dm = static_cast<double>(m);
+    const double m2 = 2.0 * dm;
+    double aa = dm * (b - dm) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + dm) * (qab + dm) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double norm_cdf(double x) noexcept { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double norm_quantile(double p) noexcept {
+  if (!(p > 0.0 && p < 1.0)) {
+    if (p == 0.0) return -std::numeric_limits<double>::infinity();
+    if (p == 1.0) return std::numeric_limits<double>::infinity();
+    return kNaN;
+  }
+  // Acklam's rational approximation.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  double x;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement step using the exact CDF.
+  const double e = norm_cdf(x) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(0.5 * x * x);
+  x -= u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+double erf_inv(double x) noexcept {
+  if (!(x > -1.0 && x < 1.0)) {
+    if (x == -1.0) return -std::numeric_limits<double>::infinity();
+    if (x == 1.0) return std::numeric_limits<double>::infinity();
+    return kNaN;
+  }
+  // erf(z) = 2*Phi(z*sqrt(2)) - 1  =>  erf_inv(x) = Phi^{-1}((x+1)/2)/sqrt(2).
+  return norm_quantile(0.5 * (x + 1.0)) / std::sqrt(2.0);
+}
+
+double erfc_inv(double x) noexcept {
+  if (!(x > 0.0 && x < 2.0)) {
+    if (x == 0.0) return std::numeric_limits<double>::infinity();
+    if (x == 2.0) return -std::numeric_limits<double>::infinity();
+    return kNaN;
+  }
+  return -norm_quantile(0.5 * x) / std::sqrt(2.0);
+}
+
+double gamma_p(double a, double x) noexcept {
+  if (!(a > 0.0) || !(x >= 0.0)) return kNaN;
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return gamma_p_series(a, x);
+  return 1.0 - gamma_q_cf(a, x);
+}
+
+double gamma_q(double a, double x) noexcept {
+  if (!(a > 0.0) || !(x >= 0.0)) return kNaN;
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - gamma_p_series(a, x);
+  return gamma_q_cf(a, x);
+}
+
+double upper_inc_gamma(double a, double x) noexcept {
+  return gamma_q(a, x) * std::tgamma(a);
+}
+
+double gamma_p_inv(double a, double p) noexcept {
+  if (!(a > 0.0) || !(p >= 0.0 && p < 1.0)) return kNaN;
+  if (p == 0.0) return 0.0;
+  // Initial guess (Abramowitz & Stegun 26.4.17 via the normal quantile),
+  // then Halley iterations on P(a,x) - p = 0 (Numerical Recipes invgammp).
+  const double gln = std::lgamma(a);
+  const double a1 = a - 1.0;
+  double x;
+  if (a > 1.0) {
+    const double pp = (p < 0.5) ? p : 1.0 - p;
+    const double t = std::sqrt(-2.0 * std::log(pp));
+    double z = (2.30753 + t * 0.27061) / (1.0 + t * (0.99229 + t * 0.04481)) - t;
+    if (p < 0.5) z = -z;
+    x = std::fmax(1e-3,
+                  a * std::pow(1.0 - 1.0 / (9.0 * a) + z / (3.0 * std::sqrt(a)), 3));
+  } else {
+    const double t = 1.0 - a * (0.253 + a * 0.12);
+    if (p < t) {
+      x = std::pow(p / t, 1.0 / a);
+    } else {
+      x = 1.0 - std::log(1.0 - (p - t) / (1.0 - t));
+    }
+  }
+  const double lna1 = (a > 1.0) ? std::log(a1) : 0.0;
+  const double afac = (a > 1.0) ? std::exp(a1 * (lna1 - 1.0) - gln) : 0.0;
+  for (int j = 0; j < 24; ++j) {
+    if (x <= 0.0) return 0.0;
+    const double err = gamma_p(a, x) - p;
+    double t;
+    if (a > 1.0) {
+      t = afac * std::exp(-(x - a1) + a1 * (std::log(x) - lna1));
+    } else {
+      t = std::exp(-x + a1 * std::log(x) - gln);
+    }
+    const double u = err / t;
+    const double dx = u / (1.0 - 0.5 * std::fmin(1.0, u * ((a - 1.0) / x - 1.0)));
+    x -= dx;
+    if (x <= 0.0) x = 0.5 * (x + dx);
+    if (std::fabs(dx) < 1e-12 * x) break;
+  }
+  return x;
+}
+
+double lbeta(double a, double b) noexcept {
+  return std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+}
+
+double beta_fn(double a, double b) noexcept { return std::exp(lbeta(a, b)); }
+
+double inc_beta(double x, double a, double b) noexcept {
+  if (!(a > 0.0) || !(b > 0.0) || !(x >= 0.0 && x <= 1.0)) return kNaN;
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double front =
+      std::exp(a * std::log(x) + b * std::log(1.0 - x) - lbeta(a, b));
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * inc_beta_cf(x, a, b) / a;
+  }
+  return 1.0 - std::exp(b * std::log(1.0 - x) + a * std::log(x) - lbeta(b, a)) *
+                   inc_beta_cf(1.0 - x, b, a) / b;
+}
+
+double inc_beta_unreg(double x, double a, double b) noexcept {
+  return inc_beta(x, a, b) * beta_fn(a, b);
+}
+
+double inc_beta_inv(double p, double a, double b) noexcept {
+  if (!(p >= 0.0 && p <= 1.0)) return kNaN;
+  if (p == 0.0) return 0.0;
+  if (p == 1.0) return 1.0;
+  // Initial guess (Numerical Recipes invbetai) followed by Halley iterations.
+  double x;
+  if (a >= 1.0 && b >= 1.0) {
+    const double pp = (p < 0.5) ? p : 1.0 - p;
+    const double t = std::sqrt(-2.0 * std::log(pp));
+    double w = (2.30753 + t * 0.27061) / (1.0 + t * (0.99229 + t * 0.04481)) - t;
+    if (p < 0.5) w = -w;
+    const double al = (w * w - 3.0) / 6.0;
+    const double h = 2.0 / (1.0 / (2.0 * a - 1.0) + 1.0 / (2.0 * b - 1.0));
+    const double ww =
+        w * std::sqrt(al + h) / h -
+        (1.0 / (2.0 * b - 1.0) - 1.0 / (2.0 * a - 1.0)) *
+            (al + 5.0 / 6.0 - 2.0 / (3.0 * h));
+    x = a / (a + b * std::exp(2.0 * ww));
+  } else {
+    const double lna = std::log(a / (a + b));
+    const double lnb = std::log(b / (a + b));
+    const double t = std::exp(a * lna) / a;
+    const double u = std::exp(b * lnb) / b;
+    const double w = t + u;
+    if (p < t / w) {
+      x = std::pow(a * w * p, 1.0 / a);
+    } else {
+      x = 1.0 - std::pow(b * w * (1.0 - p), 1.0 / b);
+    }
+  }
+  const double afac = -lbeta(a, b);
+  for (int j = 0; j < 24; ++j) {
+    if (x <= 0.0 || x >= 1.0) {
+      // Fall back to the midpoint of the violated bound.
+      x = (x <= 0.0) ? 1e-16 : 1.0 - 1e-16;
+    }
+    const double err = inc_beta(x, a, b) - p;
+    const double t =
+        std::exp((a - 1.0) * std::log(x) + (b - 1.0) * std::log(1.0 - x) + afac);
+    const double u = err / t;
+    const double dx =
+        u / (1.0 - 0.5 * std::fmin(1.0, u * ((a - 1.0) / x - (b - 1.0) / (1.0 - x))));
+    x -= dx;
+    if (x <= 0.0) x = 0.5 * (x + dx);
+    if (x >= 1.0) x = 0.5 * (x + dx + 1.0);
+    if (std::fabs(dx) < 1e-12 * x && j > 0) break;
+  }
+  return x;
+}
+
+}  // namespace sre::stats

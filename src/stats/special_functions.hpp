@@ -1,0 +1,59 @@
+#pragma once
+
+// Special mathematical functions needed by the probability distributions of
+// Table 5 / Appendix A of the paper: inverse error function, normal quantile,
+// regularized incomplete gamma (and its inverse), and regularized incomplete
+// beta (and its inverse).
+//
+// All functions operate on double precision and are accurate to ~1e-12
+// relative error over the parameter ranges exercised by the paper's
+// distribution instantiations. Out-of-domain arguments return NaN rather than
+// throwing, so callers in hot numeric loops can branch cheaply.
+
+namespace sre::stats {
+
+/// Standard normal CDF Phi(x).
+double norm_cdf(double x) noexcept;
+
+/// Standard normal quantile Phi^{-1}(p) for p in (0,1); NaN outside.
+/// Acklam's rational approximation refined by one Halley step.
+double norm_quantile(double p) noexcept;
+
+/// Inverse error function: erf_inv(erf(x)) == x, domain (-1,1); NaN outside.
+double erf_inv(double x) noexcept;
+
+/// Inverse complementary error function, domain (0,2); NaN outside.
+double erfc_inv(double x) noexcept;
+
+/// Regularized lower incomplete gamma P(a,x) = gamma(a,x)/Gamma(a),
+/// a > 0, x >= 0.
+double gamma_p(double a, double x) noexcept;
+
+/// Regularized upper incomplete gamma Q(a,x) = Gamma(a,x)/Gamma(a).
+double gamma_q(double a, double x) noexcept;
+
+/// Non-regularized upper incomplete gamma Gamma(a,x) (Appendix A notation
+/// "Gamma(x,y)"). Computed as Q(a,x) * Gamma(a).
+double upper_inc_gamma(double a, double x) noexcept;
+
+/// Inverse of the regularized lower incomplete gamma: returns x such that
+/// P(a,x) == p, for p in [0,1).
+double gamma_p_inv(double a, double p) noexcept;
+
+/// log of the complete beta function B(a,b).
+double lbeta(double a, double b) noexcept;
+
+/// Complete beta function B(a,b).
+double beta_fn(double a, double b) noexcept;
+
+/// Regularized incomplete beta I_x(a,b), x in [0,1].
+double inc_beta(double x, double a, double b) noexcept;
+
+/// Non-regularized incomplete beta B(x; a, b) = I_x(a,b) * B(a,b)
+/// (Appendix A notation).
+double inc_beta_unreg(double x, double a, double b) noexcept;
+
+/// Inverse of the regularized incomplete beta: x such that I_x(a,b) == p.
+double inc_beta_inv(double p, double a, double b) noexcept;
+
+}  // namespace sre::stats

@@ -1,0 +1,65 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sre::stats {
+
+double OnlineMoments::variance() const noexcept {
+  if (n_ == 0) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double OnlineMoments::sample_variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineMoments::stddev() const noexcept { return std::sqrt(variance()); }
+
+double OnlineMoments::standard_error() const noexcept {
+  if (n_ < 2) return 0.0;
+  return std::sqrt(sample_variance() / static_cast<double>(n_));
+}
+
+void OnlineMoments::merge(const OnlineMoments& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n_total = na + nb;
+  mean_ += delta * nb / n_total;
+  m2_ += other.m2_ + delta * delta * na * nb / n_total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double empirical_quantile(std::span<const double> sorted_samples, double p) {
+  const std::size_t n = sorted_samples.size();
+  if (n == 0) return 0.0;
+  if (n == 1) return sorted_samples[0];
+  p = std::clamp(p, 0.0, 1.0);
+  const double h = p * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::size_t>(h);
+  if (lo + 1 >= n) return sorted_samples[n - 1];
+  const double frac = h - static_cast<double>(lo);
+  return sorted_samples[lo] + frac * (sorted_samples[lo + 1] - sorted_samples[lo]);
+}
+
+std::vector<double> empirical_quantiles(std::vector<double> samples,
+                                        std::span<const double> probabilities) {
+  std::sort(samples.begin(), samples.end());
+  std::vector<double> out;
+  out.reserve(probabilities.size());
+  for (const double p : probabilities) {
+    out.push_back(empirical_quantile(samples, p));
+  }
+  return out;
+}
+
+}  // namespace sre::stats

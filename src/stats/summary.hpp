@@ -1,0 +1,79 @@
+#pragma once
+
+// Numerically robust accumulation and sample summaries: Kahan compensated
+// summation for the long series in Eq. (4), Welford online moments for the
+// Monte-Carlo estimator (Eq. 13), and empirical quantiles for trace analysis.
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sre::stats {
+
+/// Kahan–Neumaier compensated accumulator. Sums of thousands of terms with
+/// widely varying magnitudes appear in the expected-cost series; compensation
+/// keeps the result accurate to a few ulps.
+class KahanSum {
+ public:
+  void add(double value) noexcept {
+    const double t = sum_ + value;
+    if (std::fabs(sum_) >= std::fabs(value)) {
+      comp_ += (sum_ - t) + value;
+    } else {
+      comp_ += (value - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  [[nodiscard]] double value() const noexcept { return sum_ + comp_; }
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+};
+
+/// Welford online mean/variance accumulator.
+class OnlineMoments {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Population variance (divide by n).
+  [[nodiscard]] double variance() const noexcept;
+  /// Sample variance (divide by n-1).
+  [[nodiscard]] double sample_variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Standard error of the mean (sample stddev / sqrt(n)).
+  [[nodiscard]] double standard_error() const noexcept;
+
+  /// Merge another accumulator (parallel reduction; Chan et al.).
+  void merge(const OnlineMoments& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Empirical quantile with linear interpolation (type-7, the numpy default).
+/// `sorted_samples` must be ascending; p in [0,1].
+double empirical_quantile(std::span<const double> sorted_samples, double p);
+
+/// Convenience: sorts a copy and evaluates several quantiles at once.
+std::vector<double> empirical_quantiles(std::vector<double> samples,
+                                        std::span<const double> probabilities);
+
+}  // namespace sre::stats

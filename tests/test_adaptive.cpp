@@ -1,0 +1,104 @@
+#include "platform/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/expected_cost.hpp"
+#include "core/heuristics/dp_discretization.hpp"
+#include "dist/exponential.hpp"
+#include "dist/lognormal.hpp"
+#include "dist/uniform.hpp"
+#include "sim/discretize.hpp"
+
+using namespace sre::platform;
+using sre::core::CostModel;
+
+TEST(Adaptive, StartsWithDoublingPrior) {
+  AdaptiveOptions opts;
+  opts.prior_guess = 0.5;
+  const AdaptiveScheduler s(CostModel::reservation_only(), opts);
+  EXPECT_DOUBLE_EQ(s.current_plan().first(), 0.5);
+  EXPECT_DOUBLE_EQ(s.current_plan()[1], 1.0);
+  EXPECT_EQ(s.jobs_seen(), 0u);
+}
+
+TEST(Adaptive, RecordsHistoryAndRefits) {
+  AdaptiveOptions opts;
+  opts.warmup_jobs = 4;
+  opts.refit_interval = 4;
+  AdaptiveScheduler s(CostModel::reservation_only(), opts);
+  const auto prior_first = s.current_plan().first();
+  for (const double x : {1.0, 2.0, 1.5, 3.0}) s.run_job(x);
+  EXPECT_EQ(s.jobs_seen(), 4u);
+  // After warmup the plan is DP-fitted to the empirical law: its elements
+  // are drawn from {1, 1.5, 2, 3} plus the safety guard.
+  EXPECT_NE(s.current_plan().first(), prior_first);
+  EXPECT_DOUBLE_EQ(s.current_plan().last(), 3.0 * opts.safety_factor);
+}
+
+TEST(Adaptive, ConvergesToClairvoyantOnExponential) {
+  const sre::dist::Exponential truth(1.0);
+  const CostModel m = CostModel::reservation_only();
+  AdaptiveOptions opts;
+  opts.prior_guess = 8.0;  // a bad prior: one order of magnitude off
+  const auto campaign = run_adaptive_campaign(truth, 3000, m, opts, 5);
+
+  // Clairvoyant reference: DP on the (discretized) truth, costed exactly.
+  const sre::core::DiscretizedDp clairvoyant(sre::sim::DiscretizationOptions{
+      500, 1e-7, sre::sim::DiscretizationScheme::kEqualProbability});
+  const double reference = sre::core::expected_cost_analytic(
+      clairvoyant.generate(truth, m), truth, m);
+
+  // The last learning window sits within sampling noise of the optimum.
+  EXPECT_LT(campaign.final_window_cost, reference * 1.25);
+  // And learning helped: the first window (prior plan) was worse.
+  EXPECT_GT(campaign.window_mean_cost.front(), campaign.final_window_cost);
+}
+
+TEST(Adaptive, LearningCurveImprovesOnLogNormal) {
+  const sre::dist::LogNormal truth(3.0, 0.5);
+  const CostModel m{1.0, 0.5, 0.1};
+  AdaptiveOptions opts;
+  opts.prior_guess = 1.0;    // far below the ~23 mean
+  opts.warmup_jobs = 100;    // first window runs entirely on the bad prior
+  const auto campaign = run_adaptive_campaign(truth, 2000, m, opts, 9, 100);
+  ASSERT_GE(campaign.window_mean_cost.size(), 5u);
+  // Average of the last three windows beats the first window by a margin.
+  const auto& w = campaign.window_mean_cost;
+  const double late =
+      (w[w.size() - 1] + w[w.size() - 2] + w[w.size() - 3]) / 3.0;
+  EXPECT_LT(late, w.front() * 0.9);
+}
+
+TEST(Adaptive, DeterministicForSeed) {
+  const sre::dist::Exponential truth(2.0);
+  const CostModel m = CostModel::reservation_only();
+  const AdaptiveOptions opts;
+  const auto a = run_adaptive_campaign(truth, 500, m, opts, 42);
+  const auto b = run_adaptive_campaign(truth, 500, m, opts, 42);
+  EXPECT_DOUBLE_EQ(a.total_cost, b.total_cost);
+  const auto c = run_adaptive_campaign(truth, 500, m, opts, 43);
+  EXPECT_NE(a.total_cost, c.total_cost);
+}
+
+TEST(Adaptive, HandlesBoundedSupport) {
+  const sre::dist::Uniform truth(10.0, 20.0);
+  const CostModel m = CostModel::reservation_only();
+  AdaptiveOptions opts;
+  opts.prior_guess = 1.0;
+  const auto campaign = run_adaptive_campaign(truth, 1000, m, opts, 3);
+  // The optimum for Uniform is a single reservation at b = 20 (cost 20/15);
+  // the adaptive plan converges near it (the safety guard adds nothing in
+  // expectation once the plan's first element covers b).
+  EXPECT_LT(campaign.final_window_cost, 20.0 * 1.1);
+  EXPECT_GE(campaign.final_window_cost, 15.0);
+}
+
+TEST(Adaptive, WindowAccountingIsComplete) {
+  const sre::dist::Exponential truth(1.0);
+  const auto campaign = run_adaptive_campaign(
+      truth, 230, CostModel::reservation_only(), AdaptiveOptions{}, 1, 50);
+  // 230 jobs with window 50 -> 5 windows (last partial).
+  EXPECT_EQ(campaign.window_mean_cost.size(), 5u);
+  EXPECT_GT(campaign.total_cost, 0.0);
+  EXPECT_NEAR(campaign.mean_cost, campaign.total_cost / 230.0, 1e-12);
+}

@@ -1,0 +1,74 @@
+// Theorem 2 bounds A1 (on the optimal t1) and A2 (on the optimal cost).
+
+#include "core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/expected_cost.hpp"
+#include "core/heuristics/brute_force.hpp"
+#include "dist/exponential.hpp"
+#include "dist/factory.hpp"
+#include "dist/uniform.hpp"
+
+using namespace sre::core;
+
+TEST(Bounds, ExponentialHandComputedA1) {
+  // Exp(1), RESERVATIONONLY (alpha=1, beta=gamma=0), a=0:
+  // A1 = E[X] + 1 + (1/2) E[X^2] + E[X] = 1 + 1 + 1 + 1 = 4.
+  const sre::dist::Exponential e(1.0);
+  const CostModel m = CostModel::reservation_only();
+  EXPECT_NEAR(upper_bound_t1(e, m), 4.0, 1e-12);
+  EXPECT_NEAR(upper_bound_cost(e, m), 4.0, 1e-12);
+}
+
+TEST(Bounds, ExponentialWithFullCostModel) {
+  // Exp(1), alpha=1, beta=1, gamma=2:
+  // A1 = 1 + 1 + (2/2)*2 + (1+1+2)*1 = 8; A2 = 1*1 + 8 + 2 = 11.
+  const sre::dist::Exponential e(1.0);
+  const CostModel m{1.0, 1.0, 2.0};
+  EXPECT_NEAR(upper_bound_t1(e, m), 8.0, 1e-12);
+  EXPECT_NEAR(upper_bound_cost(e, m), 11.0, 1e-12);
+}
+
+TEST(Bounds, BoundedSupportUsesUpperBound) {
+  const sre::dist::Uniform u(10.0, 20.0);
+  const CostModel m{1.0, 0.5, 0.1};
+  EXPECT_DOUBLE_EQ(upper_bound_t1(u, m), 20.0);
+  EXPECT_DOUBLE_EQ(upper_bound_cost(u, m), 20.0 + 0.5 * 15.0 + 0.1);
+}
+
+TEST(Bounds, A2DominatesTheNaiveArithmeticSequence) {
+  // The proof of Theorem 2 bounds the cost of t_i = a + i; any strategy at
+  // least as good (e.g. brute force) must stay below A2.
+  for (const auto& inst : sre::dist::paper_distributions()) {
+    if (inst.dist->support().bounded()) continue;
+    const CostModel m = CostModel::reservation_only();
+    BruteForceOptions opts;
+    opts.grid_points = 200;
+    opts.analytic_eval = true;
+    const auto out = brute_force_search(*inst.dist, m, opts);
+    ASSERT_TRUE(out.found) << inst.label;
+    EXPECT_LE(out.best_cost, upper_bound_cost(*inst.dist, m) * (1.0 + 1e-9))
+        << inst.label;
+  }
+}
+
+TEST(Bounds, BestT1WithinA1) {
+  for (const auto& inst : sre::dist::paper_distributions()) {
+    const CostModel m = CostModel::reservation_only();
+    BruteForceOptions opts;
+    opts.grid_points = 300;
+    opts.analytic_eval = true;
+    const auto out = brute_force_search(*inst.dist, m, opts);
+    ASSERT_TRUE(out.found) << inst.label;
+    EXPECT_LE(out.best_t1, upper_bound_t1(*inst.dist, m) * (1.0 + 1e-12))
+        << inst.label;
+  }
+}
+
+TEST(Bounds, A1GrowsWithBetaAndGamma) {
+  const sre::dist::Exponential e(1.0);
+  const double base = upper_bound_t1(e, CostModel{1.0, 0.0, 0.0});
+  EXPECT_GT(upper_bound_t1(e, CostModel{1.0, 1.0, 0.0}), base);
+  EXPECT_GT(upper_bound_t1(e, CostModel{1.0, 0.0, 1.0}), base);
+}

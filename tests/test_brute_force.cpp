@@ -1,0 +1,140 @@
+#include "core/heuristics/brute_force.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/expected_cost.hpp"
+#include "core/heuristics/moment_based.hpp"
+#include "dist/exponential.hpp"
+#include "dist/factory.hpp"
+#include "dist/uniform.hpp"
+
+using namespace sre::core;
+
+TEST(BruteForce, RecoversExponentialOptimalT1) {
+  // Section 3.5: the optimal first request for Exp(1) is s1 ~ 0.74219.
+  const sre::dist::Exponential e(1.0);
+  BruteForceOptions opts;
+  opts.grid_points = 2000;
+  opts.analytic_eval = true;  // deterministic
+  const auto out = brute_force_search(e, CostModel::reservation_only(), opts);
+  ASSERT_TRUE(out.found);
+  EXPECT_NEAR(out.best_t1, 0.74219, 0.01);
+}
+
+TEST(BruteForce, UniformPrefersSingleReservationAtB) {
+  // Theorem 4: the optimum for Uniform(a,b) is the single reservation (b);
+  // the grid includes t1 = b, so brute force must land there.
+  const sre::dist::Uniform u(10.0, 20.0);
+  BruteForceOptions opts;
+  opts.grid_points = 1000;
+  opts.analytic_eval = true;
+  const auto out = brute_force_search(u, CostModel::reservation_only(), opts);
+  ASSERT_TRUE(out.found);
+  EXPECT_NEAR(out.best_t1, 20.0, 1e-9);
+  EXPECT_EQ(out.best_sequence.size(), 1u);
+  // Normalized cost b / E[X] = 20/15 = 4/3.
+  EXPECT_NEAR(out.best_cost / 15.0, 4.0 / 3.0, 1e-9);
+}
+
+TEST(BruteForce, BeatsSimpleHeuristicsEverywhere) {
+  const CostModel m = CostModel::reservation_only();
+  const MeanByMean mbm;
+  const MeanStdev ms;
+  const MeanDoubling md;
+  const MedianByMedian mm;
+  for (const auto& inst : sre::dist::paper_distributions()) {
+    BruteForceOptions opts;
+    opts.grid_points = 600;
+    opts.analytic_eval = true;
+    const auto out = brute_force_search(*inst.dist, m, opts);
+    ASSERT_TRUE(out.found) << inst.label;
+    for (const Heuristic* h :
+         std::initializer_list<const Heuristic*>{&mbm, &ms, &md, &mm}) {
+      const double other =
+          expected_cost_analytic(h->generate(*inst.dist, m), *inst.dist, m);
+      EXPECT_LE(out.best_cost, other * (1.0 + 5e-3))
+          << inst.label << " vs " << h->name();
+    }
+  }
+}
+
+TEST(BruteForce, SweepContainsInvalidCandidates) {
+  // Fig. 3 shows gaps: some t1 induce non-increasing sequences. Lognormal's
+  // sweep has a prominent gap between the ~Q(0.25) and ~Q(0.75) quantiles.
+  const auto inst = sre::dist::paper_distribution("Lognormal");
+  ASSERT_TRUE(inst.has_value());
+  BruteForceOptions opts;
+  opts.grid_points = 400;
+  opts.analytic_eval = true;
+  const auto out = brute_force_search(*inst->dist,
+                                      CostModel::reservation_only(), opts,
+                                      /*keep_sweep=*/true);
+  ASSERT_EQ(out.sweep.size(), 400u);
+  int invalid = 0, valid = 0;
+  for (const auto& p : out.sweep) (p.valid ? valid : invalid)++;
+  EXPECT_GT(invalid, 0);
+  EXPECT_GT(valid, 0);
+  // All valid normalized costs are >= 1.
+  for (const auto& p : out.sweep) {
+    if (p.valid) {
+      EXPECT_GE(p.normalized_cost, 1.0 - 1e-9);
+    }
+  }
+}
+
+TEST(BruteForce, MonteCarloAndAnalyticAgree) {
+  const sre::dist::Exponential e(1.0);
+  const CostModel m = CostModel::reservation_only();
+  BruteForceOptions a;
+  a.grid_points = 400;
+  a.analytic_eval = true;
+  BruteForceOptions b = a;
+  b.analytic_eval = false;
+  b.mc_samples = 20000;
+  const auto ra = brute_force_search(e, m, a);
+  const auto rb = brute_force_search(e, m, b);
+  ASSERT_TRUE(ra.found && rb.found);
+  EXPECT_NEAR(ra.best_cost, rb.best_cost, 0.05 * ra.best_cost);
+  EXPECT_NEAR(ra.best_t1, rb.best_t1, 0.2);
+}
+
+TEST(BruteForce, DeterministicAcrossRuns) {
+  const sre::dist::Exponential e(1.0);
+  BruteForceOptions opts;
+  opts.grid_points = 300;
+  opts.mc_samples = 500;
+  const auto r1 = brute_force_search(e, CostModel::reservation_only(), opts);
+  const auto r2 = brute_force_search(e, CostModel::reservation_only(), opts);
+  ASSERT_TRUE(r1.found && r2.found);
+  EXPECT_DOUBLE_EQ(r1.best_cost, r2.best_cost);
+  EXPECT_DOUBLE_EQ(r1.best_t1, r2.best_t1);
+}
+
+TEST(BruteForce, SerialAndParallelIdentical) {
+  const sre::dist::Exponential e(1.0);
+  BruteForceOptions opts;
+  opts.grid_points = 300;
+  opts.mc_samples = 500;
+  opts.parallel = false;
+  const auto serial = brute_force_search(e, CostModel::reservation_only(), opts);
+  opts.parallel = true;
+  const auto parallel =
+      brute_force_search(e, CostModel::reservation_only(), opts);
+  ASSERT_TRUE(serial.found && parallel.found);
+  EXPECT_DOUBLE_EQ(serial.best_cost, parallel.best_cost);
+  EXPECT_DOUBLE_EQ(serial.best_t1, parallel.best_t1);
+}
+
+TEST(BruteForce, HeuristicAdapterGeneratesCoveringSequence) {
+  BruteForceOptions opts;
+  opts.grid_points = 200;
+  opts.analytic_eval = true;
+  const BruteForce h(opts);
+  EXPECT_EQ(h.name(), "Brute-Force");
+  for (const auto& inst : sre::dist::paper_distributions()) {
+    const auto seq = h.generate(*inst.dist, CostModel::reservation_only());
+    EXPECT_TRUE(seq.covers_distribution(*inst.dist, 1e-10)) << inst.label;
+  }
+}

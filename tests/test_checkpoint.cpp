@@ -1,0 +1,349 @@
+// Checkpointed reservations: ledger arithmetic, per-job costs vs the
+// independent event simulator, the exact bucket expected cost vs Monte
+// Carlo, and DP optimality vs exhaustive enumeration of work-target plans.
+
+#include "core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "dist/exponential.hpp"
+#include "dist/factory.hpp"
+#include "dist/lognormal.hpp"
+#include "dist/weibull.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/rng.hpp"
+#include "stats/summary.hpp"
+
+using namespace sre::core;
+
+namespace {
+const CheckpointModel kCkpt{0.2, 0.1};
+const CostModel kFull{1.0, 0.5, 0.25};
+}  // namespace
+
+TEST(CheckpointSequence, LedgerFromReservations) {
+  // t = (2, 3): W1 = 2 - 0 - 0.2 = 1.8; W2 = 1.8 + 3 - 0.1 - 0.2 = 4.5.
+  const auto seq =
+      CheckpointSequence::from_reservations({2.0, 3.0}, kCkpt);
+  ASSERT_TRUE(seq.has_value());
+  ASSERT_EQ(seq->size(), 2u);
+  EXPECT_NEAR(seq->banked_work()[0], 1.8, 1e-12);
+  EXPECT_NEAR(seq->banked_work()[1], 4.5, 1e-12);
+}
+
+TEST(CheckpointSequence, RejectsWorklessReservations) {
+  // First reservation must exceed C = 0.2 (no restart on attempt 1).
+  EXPECT_FALSE(
+      CheckpointSequence::from_reservations({0.15, 3.0}, kCkpt).has_value());
+  EXPECT_FALSE(
+      CheckpointSequence::from_reservations({2.0, 0.3}, kCkpt).has_value());
+  EXPECT_FALSE(CheckpointSequence::from_reservations({}, kCkpt).has_value());
+}
+
+TEST(CheckpointSequence, FromWorkTargetsRoundTrips) {
+  const auto seq =
+      CheckpointSequence::from_work_targets({1.0, 2.5, 6.0}, kCkpt);
+  ASSERT_EQ(seq.size(), 3u);
+  EXPECT_NEAR(seq.reservations()[0], 1.0 + 0.2, 1e-12);        // no restart
+  EXPECT_NEAR(seq.reservations()[1], 1.5 + 0.1 + 0.2, 1e-12);
+  EXPECT_NEAR(seq.reservations()[2], 3.5 + 0.1 + 0.2, 1e-12);
+  EXPECT_NEAR(seq.banked_work()[2], 6.0, 1e-12);
+  const auto round =
+      CheckpointSequence::from_reservations(seq.reservations(), kCkpt);
+  ASSERT_TRUE(round.has_value());
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(round->banked_work()[i], seq.banked_work()[i], 1e-12);
+  }
+}
+
+TEST(CheckpointSequence, CostForHandComputed) {
+  const auto seq =
+      CheckpointSequence::from_work_targets({1.0, 3.0}, kCkpt);
+  // Job x = 0.5 finishes first try: t1 = 1.2, used = 0.5.
+  EXPECT_NEAR(seq.cost_for(0.5, kFull), 1.0 * 1.2 + 0.5 * 0.5 + 0.25, 1e-12);
+  // Job x = 2.0: fails attempt 1 (uses all 1.2), finishes attempt 2
+  // (t2 = 2.3, used = 0.1 + (2.0 - 1.0) = 1.1).
+  const double a1 = 1.0 * 1.2 + 0.5 * 1.2 + 0.25;
+  const double a2 = 1.0 * 2.3 + 0.5 * 1.1 + 0.25;
+  EXPECT_NEAR(seq.cost_for(2.0, kFull), a1 + a2, 1e-12);
+  EXPECT_EQ(seq.attempts_for(0.5), 1u);
+  EXPECT_EQ(seq.attempts_for(2.0), 2u);
+  EXPECT_EQ(seq.attempts_for(1.0), 1u);  // boundary: exactly the target
+}
+
+TEST(CheckpointSequence, ImplicitTailDoublesWork) {
+  const auto seq = CheckpointSequence::from_work_targets({1.0}, kCkpt);
+  // x = 3.5: targets 1 (fail), 2 (fail), 4 (success) -> 3 attempts.
+  EXPECT_EQ(seq.attempts_for(3.5), 3u);
+  const double t1 = 1.2, t2 = 1.0 + 0.3, t3 = 2.0 + 0.3;
+  const double used3 = 0.1 + (3.5 - 2.0);
+  const double expect = (1.0 * t1 + 0.5 * t1 + 0.25) +
+                        (1.0 * t2 + 0.5 * t2 + 0.25) +
+                        (1.0 * t3 + 0.5 * used3 + 0.25);
+  EXPECT_NEAR(seq.cost_for(3.5, kFull), expect, 1e-12);
+}
+
+TEST(Checkpoint, CostForMatchesEventSimulator) {
+  const auto seq =
+      CheckpointSequence::from_work_targets({0.7, 1.9, 4.2, 9.0, 20.0}, kCkpt);
+  const sre::sim::CheckpointingSimulator simulator(
+      seq.reservations(), {kFull.alpha, kFull.beta, kFull.gamma},
+      kCkpt.checkpoint_cost, kCkpt.restart_cost);
+  const sre::dist::Exponential e(0.5);
+  sre::sim::Rng rng = sre::sim::make_rng(8);
+  for (int i = 0; i < 3000; ++i) {
+    const double x = e.sample(rng);
+    if (x > seq.banked_work().back()) continue;  // simulator has no tail
+    const auto out = simulator.run_job(x);
+    ASSERT_TRUE(out.completed) << x;
+    EXPECT_NEAR(out.total_cost, seq.cost_for(x, kFull), 1e-9) << x;
+    EXPECT_EQ(out.attempts, seq.attempts_for(x)) << x;
+  }
+}
+
+TEST(Checkpoint, ExpectedCostMatchesMonteCarlo) {
+  const sre::dist::LogNormal d(1.0, 0.6);
+  const auto seq = checkpoint_mean_doubling(d, kCkpt);
+  const double analytic = checkpoint_expected_cost(seq, d, kFull);
+  sre::sim::Rng rng = sre::sim::make_rng(77);
+  sre::stats::OnlineMoments acc;
+  for (int i = 0; i < 60000; ++i) acc.add(seq.cost_for(d.sample(rng), kFull));
+  EXPECT_NEAR(acc.mean(), analytic, 6.0 * acc.standard_error());
+}
+
+TEST(Checkpoint, ZeroOverheadsReduceToResumableExecution) {
+  // With C = R = 0 the total reserved time for a job equals its own size
+  // rounded up to the last target -- no work is ever lost.
+  const CheckpointModel none{0.0, 0.0};
+  const auto seq = CheckpointSequence::from_work_targets({1.0, 2.0, 4.0}, none);
+  const CostModel ro = CostModel::reservation_only();
+  // x = 3.5: reservations 1 + 1 + 2 = 4 = final target.
+  EXPECT_NEAR(seq.cost_for(3.5, ro), 4.0, 1e-12);
+  EXPECT_NEAR(seq.cost_for(0.5, ro), 1.0, 1e-12);
+}
+
+namespace {
+
+// Brute-force optimum over every subset of support points as work targets
+// (the last positive-mass point always included).
+double exhaustive_checkpoint_optimum(const sre::dist::DiscreteDistribution& d,
+                                     const CostModel& m,
+                                     const CheckpointModel& ckpt) {
+  const auto& v = d.values();
+  const auto& f = d.probabilities();
+  const std::size_t n = v.size();
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t mask = 0; mask < (std::size_t{1} << (n - 1)); ++mask) {
+    std::vector<double> targets;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      if (mask & (std::size_t{1} << i)) targets.push_back(v[i]);
+    }
+    targets.push_back(v[n - 1]);
+    const auto seq = CheckpointSequence::from_work_targets(targets, ckpt);
+    double cost = 0.0;
+    for (std::size_t k = 0; k < n; ++k) cost += f[k] * seq.cost_for(v[k], m);
+    best = std::min(best, cost);
+  }
+  return best;
+}
+
+sre::dist::DiscreteDistribution random_discrete(std::mt19937_64& rng,
+                                                std::size_t n) {
+  std::uniform_real_distribution<double> u(0.2, 5.0);
+  std::vector<double> values, probs;
+  double cur = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cur += u(rng);
+    values.push_back(cur);
+    probs.push_back(u(rng));
+  }
+  return sre::dist::DiscreteDistribution(std::move(values), std::move(probs));
+}
+
+}  // namespace
+
+TEST(CheckpointDp, MatchesExhaustiveEnumeration) {
+  std::mt19937_64 rng(31);
+  for (int trial = 0; trial < 24; ++trial) {
+    const auto d = random_discrete(rng, 2 + trial % 8);
+    const CostModel m{1.0, 0.3 * (trial % 3), 0.1 * (trial % 4)};
+    const CheckpointModel ckpt{0.05 * (trial % 4), 0.05 * (trial % 3)};
+    const auto dp = checkpoint_dp(d, m, ckpt);
+    const double best = exhaustive_checkpoint_optimum(d, m, ckpt);
+    EXPECT_NEAR(dp.expected_cost, best, 1e-9 * (1.0 + best)) << trial;
+  }
+}
+
+TEST(CheckpointDp, ExpectedCostMatchesBucketEvaluator) {
+  std::mt19937_64 rng(5);
+  const auto d = random_discrete(rng, 8);
+  const auto dp = checkpoint_dp(d, kFull, kCkpt);
+  EXPECT_NEAR(dp.expected_cost, checkpoint_expected_cost(dp.sequence, d, kFull),
+              1e-9 * (1.0 + dp.expected_cost));
+}
+
+TEST(CheckpointDp, ZeroOverheadNeverWorseThanRestartDp) {
+  // With C = R = 0, checkpointing strictly dominates restart-from-scratch:
+  // the same targets cost less because failures bank their work.
+  std::mt19937_64 rng(9);
+  const auto d = random_discrete(rng, 10);
+  const CostModel m = CostModel::reservation_only();
+  const auto ckpt_dp = checkpoint_dp(d, m, CheckpointModel{0.0, 0.0});
+  // For every job x, the zero-overhead checkpointed plan costs <= the
+  // restart plan with the same targets. Verify pointwise on the DP's plan.
+  std::vector<double> targets;
+  for (const std::size_t j : ckpt_dp.targets) targets.push_back(d.values()[j]);
+  const ReservationSequence restart_plan{std::vector<double>(targets)};
+  for (const double x : d.values()) {
+    const auto seq =
+        CheckpointSequence::from_work_targets(targets, CheckpointModel{0, 0});
+    EXPECT_LE(seq.cost_for(x, m), restart_plan.cost_for(x, m) + 1e-9) << x;
+  }
+}
+
+TEST(CheckpointDp, ExpensiveCheckpointsCollapseToSingleReservation) {
+  std::mt19937_64 rng(13);
+  const auto d = random_discrete(rng, 6);
+  const CheckpointModel pricey{100.0, 100.0};
+  const auto dp = checkpoint_dp(d, CostModel::reservation_only(), pricey);
+  EXPECT_EQ(dp.sequence.size(), 1u);
+  EXPECT_NEAR(dp.sequence.banked_work()[0], d.values().back(), 1e-12);
+}
+
+TEST(CheckpointMeanDoubling, CoversUnboundedLaws) {
+  const sre::dist::Weibull w(1.0, 0.5);
+  const auto seq = checkpoint_mean_doubling(w, kCkpt);
+  EXPECT_GE(seq.size(), 2u);
+  EXPECT_LE(w.sf(seq.banked_work().back()), 1e-12);
+  EXPECT_NEAR(seq.banked_work().front(), w.mean(), 1e-12);
+}
+
+TEST(Checkpoint, MonotoneInOverheads) {
+  // Same work targets: more expensive checkpoints can only raise the cost.
+  const sre::dist::Exponential e(1.0);
+  const std::vector<double> targets = {1.0, 2.0, 4.0, 8.0, 16.0, 32.0};
+  double prev = -1.0;
+  for (const double c : {0.0, 0.1, 0.3, 0.8}) {
+    const auto seq = CheckpointSequence::from_work_targets(
+        targets, CheckpointModel{c, 0.1});
+    const double cost = checkpoint_expected_cost(seq, e, kFull);
+    EXPECT_GT(cost, prev);
+    prev = cost;
+  }
+}
+
+TEST(CheckpointFixedQuantum, TargetsAreMultiples) {
+  const sre::dist::Exponential e(1.0);
+  const auto plan = checkpoint_fixed_quantum(e, kCkpt, 0.5);
+  const auto& w = plan.banked_work();
+  ASSERT_GE(w.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(w[i], 0.5 * static_cast<double>(i + 1), 1e-12) << i;
+  }
+  EXPECT_LE(e.sf(w.back()), 1e-12);
+}
+
+TEST(CheckpointFixedQuantum, BoundedSupportEndsAtB) {
+  const auto inst = sre::dist::paper_distribution("Uniform");
+  const auto plan = checkpoint_fixed_quantum(*inst->dist, kCkpt, 3.0);
+  EXPECT_DOUBLE_EQ(plan.banked_work().back(), 20.0);
+}
+
+TEST(CheckpointFixedQuantum, QuantumSweepIsUShaped) {
+  // Tiny and huge quanta both lose to an intermediate one.
+  const sre::dist::LogNormal d(1.0, 0.6);
+  const CheckpointModel ckpt{0.05 * d.mean(), 0.05 * d.mean()};
+  const CostModel m = CostModel::reservation_only();
+  const double tiny = checkpoint_expected_cost(
+      checkpoint_fixed_quantum(d, ckpt, 0.02 * d.mean()), d, m);
+  const double mid = checkpoint_expected_cost(
+      checkpoint_fixed_quantum(d, ckpt, 0.5 * d.mean()), d, m);
+  const double huge = checkpoint_expected_cost(
+      checkpoint_fixed_quantum(d, ckpt, 8.0 * d.mean()), d, m);
+  EXPECT_LT(mid, tiny);
+  EXPECT_LT(mid, huge);
+}
+
+TEST(CheckpointDiscretizedDp, CoversContinuousLaws) {
+  const sre::dist::Weibull w(1.0, 0.5);
+  const CostModel m = CostModel::reservation_only();
+  const auto plan = checkpoint_discretized_dp(w, m, kCkpt);
+  EXPECT_LE(w.sf(plan.banked_work().back()), 1e-12);
+  // And it beats the fixed-quantum family at its own game.
+  const double dp_cost = checkpoint_expected_cost(plan, w, m);
+  for (const double q : {0.25, 1.0, 4.0}) {
+    const double fixed = checkpoint_expected_cost(
+        checkpoint_fixed_quantum(w, kCkpt, q * w.mean()), w, m);
+    EXPECT_LE(dp_cost, fixed * 1.02) << q;
+  }
+}
+
+TEST(CheckpointAdvisor, ZeroOverheadAlwaysCheckpoints) {
+  const sre::dist::Exponential e(1.0);
+  const auto advice = advise_checkpointing(
+      e, CostModel::reservation_only(), CheckpointModel{0.0, 0.0});
+  EXPECT_TRUE(advice.use_checkpoints);
+  EXPECT_GT(advice.savings_fraction, 0.3);
+}
+
+TEST(CheckpointAdvisor, HugeOverheadNeverCheckpoints) {
+  const sre::dist::Exponential e(1.0);
+  const auto advice = advise_checkpointing(
+      e, CostModel::reservation_only(), CheckpointModel{50.0, 50.0});
+  EXPECT_FALSE(advice.use_checkpoints);
+  EXPECT_LT(advice.savings_fraction, 0.0);
+}
+
+TEST(CheckpointAdvisor, MonotoneInOverhead) {
+  const sre::dist::LogNormal d(1.0, 0.6);
+  const CostModel m = CostModel::reservation_only();
+  double prev = 1.0;
+  for (const double c : {0.0, 0.05, 0.2, 0.8}) {
+    const auto advice =
+        advise_checkpointing(d, m, CheckpointModel{c * d.mean(), c * d.mean()});
+    EXPECT_LE(advice.savings_fraction, prev + 1e-9) << c;
+    prev = advice.savings_fraction;
+  }
+}
+
+TEST(CheckpointPolish, NeverIncreasesCost) {
+  const sre::dist::LogNormal d(1.0, 0.6);
+  const CostModel m = CostModel::reservation_only();
+  const auto seed = checkpoint_mean_doubling(d, kCkpt);
+  const auto polished = polish_checkpoint_targets(seed, d, m);
+  EXPECT_LE(polished.cost_after, polished.cost_before * (1.0 + 1e-12));
+  EXPECT_NEAR(polished.cost_after,
+              checkpoint_expected_cost(polished.sequence, d, m),
+              1e-9 * polished.cost_after);
+}
+
+TEST(CheckpointPolish, RepairsHeavyTailDpPlans) {
+  // On Pareto-like tails the discretized DP's last work gap is huge; the
+  // polish must close most of the gap to the best fixed quantum.
+  const sre::dist::Weibull w(1.0, 0.5);
+  const CostModel m = CostModel::reservation_only();
+  const CheckpointModel ckpt{0.05 * w.mean(), 0.05 * w.mean()};
+  const auto dp_plan = checkpoint_discretized_dp(w, m, ckpt);
+  const double dp_cost = checkpoint_expected_cost(dp_plan, w, m);
+  const auto polished = polish_checkpoint_targets(dp_plan, w, m, 24);
+  EXPECT_LE(polished.cost_after, dp_cost * (1.0 + 1e-12));
+  // Best fixed quantum as the quality bar.
+  double best_fixed = std::numeric_limits<double>::infinity();
+  for (const double q : {0.25, 0.5, 1.0}) {
+    best_fixed = std::min(
+        best_fixed, checkpoint_expected_cost(
+                        checkpoint_fixed_quantum(w, ckpt, q * w.mean()), w, m));
+  }
+  EXPECT_LE(polished.cost_after, best_fixed * 1.05);
+}
+
+TEST(CheckpointPolish, KeepsBoundedSupportCovered) {
+  const auto inst = sre::dist::paper_distribution("Uniform");
+  const CostModel m = CostModel::reservation_only();
+  const auto seed = checkpoint_mean_doubling(*inst->dist, kCkpt);
+  const auto polished = polish_checkpoint_targets(seed, *inst->dist, m);
+  EXPECT_GE(polished.sequence.banked_work().back(), 20.0 - 1e-9);
+}

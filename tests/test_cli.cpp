@@ -1,0 +1,92 @@
+#include "platform/cli.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace sre::platform;
+
+namespace {
+ArgParser make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+}  // namespace
+
+TEST(ArgParser, FlagsValuesAndPositionals) {
+  // NB: a flag consumes the following token as its value unless that token
+  // starts with "--", so bare switches belong after positionals or before
+  // another flag.
+  const auto args = make({"input.csv", "--alpha", "0.95", "--name", "plan",
+                          "--verbose"});
+  EXPECT_TRUE(args.has("alpha"));
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_FALSE(args.has("beta"));
+  EXPECT_DOUBLE_EQ(args.value_or("alpha", 0.0), 0.95);
+  EXPECT_DOUBLE_EQ(args.value_or("beta", 7.0), 7.0);
+  EXPECT_EQ(args.value_or("name", std::string("x")), "plan");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "input.csv");
+}
+
+TEST(ArgParser, SwitchFollowedByFlagHasNoValue) {
+  const auto args = make({"--verbose", "--alpha", "2.0"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_FALSE(args.value("verbose").has_value());
+  EXPECT_DOUBLE_EQ(args.value_or("alpha", 0.0), 2.0);
+}
+
+TEST(DistributionSpec, FullSpec) {
+  const auto d =
+      parse_distribution_spec("lognormal:mu=3,sigma=0.5");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->name(), "LogNormal");
+  EXPECT_NEAR(d->median(), std::exp(3.0), 1e-9);
+}
+
+TEST(DistributionSpec, BareLabelUsesPaperInstantiation) {
+  const auto d = parse_distribution_spec("weibull");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->name(), "Weibull");
+  EXPECT_NEAR(d->mean(), 2.0, 1e-12);  // lambda=1, kappa=0.5 -> Gamma(3) = 2
+}
+
+TEST(DistributionSpec, CaseInsensitiveAndSpacedParams) {
+  const auto d = parse_distribution_spec("Exponential:LAMBDA=2");
+  ASSERT_NE(d, nullptr);
+  EXPECT_DOUBLE_EQ(d->mean(), 0.5);
+}
+
+TEST(DistributionSpec, ErrorsAreExplained) {
+  std::string error;
+  EXPECT_EQ(parse_distribution_spec("cauchy:x=1", &error), nullptr);
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_EQ(parse_distribution_spec("weibull:lambda=1", &error), nullptr);
+  EXPECT_NE(error.find("missing"), std::string::npos);
+  error.clear();
+  EXPECT_EQ(parse_distribution_spec("weibull:lambda", &error), nullptr);
+  EXPECT_NE(error.find("key=value"), std::string::npos);
+  error.clear();
+  EXPECT_EQ(parse_distribution_spec("weibull:lambda=abc", &error), nullptr);
+  EXPECT_NE(error.find("non-numeric"), std::string::npos);
+}
+
+TEST(HeuristicSpec, AllNamesParse) {
+  for (const auto& name : heuristic_names()) {
+    std::string error;
+    const auto h = parse_heuristic_spec(name, &error);
+    ASSERT_NE(h, nullptr) << name << ": " << error;
+  }
+}
+
+TEST(HeuristicSpec, AliasesAndCase) {
+  EXPECT_NE(parse_heuristic_spec("BF"), nullptr);
+  EXPECT_NE(parse_heuristic_spec("Equal-Prob"), nullptr);
+  EXPECT_EQ(parse_heuristic_spec("Brute-Force")->name(), "Brute-Force");
+}
+
+TEST(HeuristicSpec, UnknownNameFails) {
+  std::string error;
+  EXPECT_EQ(parse_heuristic_spec("oracle", &error), nullptr);
+  EXPECT_NE(error.find("oracle"), std::string::npos);
+}

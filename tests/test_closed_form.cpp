@@ -1,0 +1,111 @@
+// Section 3.4 (Uniform optimum) and Section 3.5 (Exponential optimum).
+
+#include "core/heuristics/closed_form_optimal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/expected_cost.hpp"
+#include "dist/exponential.hpp"
+#include "dist/uniform.hpp"
+
+using namespace sre::core;
+
+TEST(ExponentialOptimal, S1MatchesHighPrecisionConstant) {
+  // High-precision bisection on the validity boundary of the recurrence
+  // gives s1* = 0.7465420140272309 (60-digit arithmetic; see
+  // EXPERIMENTS.md). The paper reports ~0.74219 from a noisy Monte-Carlo
+  // argmin, which is ~0.004 low; both are "about three quarters of the
+  // mean", the paper's takeaway.
+  const auto res = exponential_reservation_only_optimal();
+  EXPECT_NEAR(res.s1, 0.7465420140272309, 1e-3);
+}
+
+TEST(ExponentialOptimal, UnitSequenceFollowsRecurrence) {
+  const auto res = exponential_reservation_only_optimal();
+  const auto& s = res.unit_sequence.values();
+  ASSERT_GE(s.size(), 4u);
+  EXPECT_NEAR(s[1], std::exp(s[0]), 1e-9);
+  EXPECT_NEAR(s[2], std::exp(s[1] - s[0]), 1e-9);
+  EXPECT_NEAR(s[3], std::exp(s[2] - s[1]), 1e-9);
+}
+
+TEST(ExponentialOptimal, E1ConsistentWithPropositionTwoForm) {
+  // E_1 = s1 + 1 + sum e^{-s_i} must equal the direct series.
+  const auto res = exponential_reservation_only_optimal();
+  double alt = res.s1 + 1.0;
+  for (const double s : res.unit_sequence.values()) alt += std::exp(-s);
+  // res.e1 carries a conservative geometric estimate of the truncated tail;
+  // the two forms agree to the size of that estimate.
+  EXPECT_NEAR(res.e1, alt, 1e-4);
+}
+
+TEST(ExponentialOptimal, UnitCostIsWorseOffOptimum) {
+  const auto res = exponential_reservation_only_optimal();
+  EXPECT_GT(exponential_unit_cost(res.s1 - 0.2), res.e1);
+  EXPECT_GT(exponential_unit_cost(res.s1 + 0.2), res.e1);
+}
+
+TEST(ExponentialOptimal, InvalidS1GivesInfiniteCost) {
+  // A huge s1 makes the recurrence non-increasing (e^{s1} < s1 never, but
+  // the later terms collapse) -- verify the guard on a value known to fail.
+  EXPECT_TRUE(std::isinf(exponential_unit_cost(-1.0)));
+  EXPECT_TRUE(std::isinf(exponential_unit_cost(0.0)));
+}
+
+TEST(ExponentialOptimal, LambdaScalingOfCost) {
+  // E(S_lambda) = E_1 / lambda (Proposition 2), verified with the analytic
+  // cost evaluator.
+  const auto unit = exponential_reservation_only_optimal();
+  for (const double lambda : {0.5, 1.0, 4.0}) {
+    const sre::dist::Exponential e(lambda);
+    const auto seq = exponential_optimal_sequence(lambda);
+    const double cost =
+        expected_cost_analytic(seq, e, CostModel::reservation_only());
+    EXPECT_NEAR(cost, unit.e1 / lambda, 2e-3 * unit.e1 / lambda)
+        << "lambda=" << lambda;
+  }
+}
+
+TEST(ExponentialOptimal, OptimalNormalizedCostIsExact) {
+  // The true optimal normalized cost is E1 = 2.3644977694 (verified by
+  // 60-digit bisection AND by an unconstrained coordinate-descent
+  // optimization of the sequence, see EXPERIMENTS.md). Table 2's 2.13 for
+  // the Brute-Force/Exponential cell is an artifact of taking the minimum
+  // over 5000 independently-noisy N=1000 Monte-Carlo estimates (winner's
+  // curse); the paper's own provably-optimal DP columns (~2.33-2.43 in
+  // Tables 2/4) straddle the true value.
+  const auto res = exponential_reservation_only_optimal();
+  EXPECT_NEAR(res.e1, 2.3644977694, 1e-2);
+}
+
+TEST(UniformOptimal, SingleReservationAtB) {
+  const sre::dist::Uniform u(10.0, 20.0);
+  const auto seq = single_reservation_at_upper(u);
+  ASSERT_EQ(seq.size(), 1u);
+  EXPECT_DOUBLE_EQ(seq.first(), 20.0);
+}
+
+TEST(UniformOptimal, BeatsTwoStepAlternatives) {
+  // Theorem 4: (b) dominates any (t1, b) with t1 < b, for any cost model.
+  const sre::dist::Uniform u(10.0, 20.0);
+  for (const CostModel m : {CostModel{1.0, 0.0, 0.0}, CostModel{1.0, 1.0, 0.5},
+                            CostModel{0.5, 2.0, 3.0}}) {
+    const double best =
+        expected_cost_analytic(single_reservation_at_upper(u), u, m);
+    for (double t1 = 10.5; t1 < 20.0; t1 += 0.5) {
+      const double alt =
+          expected_cost_analytic(ReservationSequence({t1, 20.0}), u, m);
+      EXPECT_LT(best, alt) << "t1=" << t1 << " " << m.describe();
+    }
+  }
+}
+
+TEST(UniformOptimal, NormalizedCostIsFourThirds) {
+  // b / E[X] = 20/15 under RESERVATIONONLY: Table 2's Uniform row (1.33).
+  const sre::dist::Uniform u(10.0, 20.0);
+  const double c = expected_cost_analytic(single_reservation_at_upper(u), u,
+                                          CostModel::reservation_only());
+  EXPECT_NEAR(c / 15.0, 4.0 / 3.0, 1e-12);
+}

@@ -1,0 +1,86 @@
+#include "platform/cluster_campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dist/exponential.hpp"
+#include "dist/lognormal.hpp"
+
+using namespace sre::platform;
+
+namespace {
+
+InVivoCampaignConfig small_config() {
+  InVivoCampaignConfig cfg;
+  cfg.cluster.nodes = 64;
+  cfg.background.jobs = 400;
+  cfg.background.max_width = 64;
+  cfg.background.mean_interarrival = 0.05;
+  cfg.background.seed = 3;
+  cfg.measured_jobs = 40;
+  cfg.measured_width = 8;
+  cfg.seed = 9;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(InVivoCampaign, AllJobsCompleteUnderCoveringPlan) {
+  const sre::dist::Exponential truth(1.0);
+  // A generous covering plan.
+  const sre::core::ReservationSequence plan({1.0, 2.0, 4.0, 8.0, 16.0, 32.0});
+  const auto result = run_in_vivo_campaign(truth, plan, small_config());
+  EXPECT_EQ(result.incomplete, 0u);
+  ASSERT_EQ(result.jobs.size(), 40u);
+  for (const auto& job : result.jobs) {
+    EXPECT_TRUE(job.completed);
+    EXPECT_GE(job.attempts, 1u);
+    EXPECT_GE(job.turnaround, job.true_runtime * 0.99);
+    EXPECT_GE(job.total_wait, 0.0);
+    // Occupancy covers at least the successful run.
+    EXPECT_GE(job.total_occupancy, job.true_runtime * 0.99);
+  }
+  EXPECT_GT(result.mean_attempts, 1.0);
+}
+
+TEST(InVivoCampaign, DeterministicForSeeds) {
+  const sre::dist::Exponential truth(1.0);
+  const sre::core::ReservationSequence plan({1.0, 2.0, 4.0, 8.0, 16.0, 32.0});
+  const auto cfg = small_config();
+  const auto a = run_in_vivo_campaign(truth, plan, cfg);
+  const auto b = run_in_vivo_campaign(truth, plan, cfg);
+  EXPECT_DOUBLE_EQ(a.mean_turnaround, b.mean_turnaround);
+  EXPECT_DOUBLE_EQ(a.mean_wait, b.mean_wait);
+}
+
+TEST(InVivoCampaign, TimidPlanPaysMoreAttemptsAndOccupancy) {
+  const sre::dist::Exponential truth(1.0);
+  const sre::core::ReservationSequence timid({0.1, 0.2, 0.4, 0.8, 1.6, 3.2,
+                                              6.4, 12.8, 25.6});
+  const sre::core::ReservationSequence bold({2.0, 8.0, 32.0});
+  const auto cfg = small_config();
+  const auto t = run_in_vivo_campaign(truth, timid, cfg);
+  const auto b = run_in_vivo_campaign(truth, bold, cfg);
+  EXPECT_GT(t.mean_attempts, b.mean_attempts);
+  // The timid plan burns more machine time across failed attempts.
+  EXPECT_GT(t.mean_occupancy, b.mean_occupancy * 0.99);
+}
+
+TEST(InVivoCampaign, ImplicitTailCoversShortPlans) {
+  // A one-element plan: everything beyond t1 rides the doubling tail.
+  const sre::dist::LogNormal truth(0.0, 0.5);
+  const sre::core::ReservationSequence plan({0.4});
+  const auto result = run_in_vivo_campaign(truth, plan, small_config());
+  EXPECT_EQ(result.incomplete, 0u);
+}
+
+TEST(InVivoCampaign, WaitsReflectContention) {
+  const sre::dist::Exponential truth(1.0);
+  const sre::core::ReservationSequence plan({1.0, 2.0, 4.0, 8.0, 16.0, 32.0});
+  auto idle = small_config();
+  idle.background.jobs = 5;  // nearly empty cluster
+  auto busy = small_config();
+  busy.background.mean_interarrival = 0.01;  // saturating
+  const auto r_idle = run_in_vivo_campaign(truth, plan, idle);
+  const auto r_busy = run_in_vivo_campaign(truth, plan, busy);
+  EXPECT_LT(r_idle.mean_wait, r_busy.mean_wait);
+}

@@ -1,0 +1,43 @@
+#include "core/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+using sre::core::CostModel;
+
+TEST(CostModel, ReservationOnlyDefaults) {
+  const CostModel m = CostModel::reservation_only();
+  EXPECT_DOUBLE_EQ(m.alpha, 1.0);
+  EXPECT_DOUBLE_EQ(m.beta, 0.0);
+  EXPECT_DOUBLE_EQ(m.gamma, 0.0);
+  EXPECT_TRUE(m.valid());
+}
+
+TEST(CostModel, AttemptCostSuccess) {
+  // Job of 2 within a reservation of 5: alpha*5 + beta*2 + gamma.
+  const CostModel m{2.0, 3.0, 1.0};
+  EXPECT_DOUBLE_EQ(m.attempt_cost(5.0, 2.0), 10.0 + 6.0 + 1.0);
+}
+
+TEST(CostModel, AttemptCostFailure) {
+  // Job of 7 in a reservation of 5: the full reservation is consumed.
+  const CostModel m{2.0, 3.0, 1.0};
+  EXPECT_DOUBLE_EQ(m.attempt_cost(5.0, 7.0), 10.0 + 15.0 + 1.0);
+}
+
+TEST(CostModel, AttemptCostExactFit) {
+  const CostModel m{1.0, 1.0, 0.5};
+  EXPECT_DOUBLE_EQ(m.attempt_cost(4.0, 4.0), 4.0 + 4.0 + 0.5);
+}
+
+TEST(CostModel, Validity) {
+  EXPECT_FALSE((CostModel{0.0, 0.0, 0.0}).valid());
+  EXPECT_FALSE((CostModel{-1.0, 0.0, 0.0}).valid());
+  EXPECT_FALSE((CostModel{1.0, -0.1, 0.0}).valid());
+  EXPECT_FALSE((CostModel{1.0, 0.0, -0.1}).valid());
+  EXPECT_TRUE((CostModel{0.95, 1.0, 1.05}).valid());
+}
+
+TEST(CostModel, Describe) {
+  EXPECT_EQ((CostModel{1.0, 0.0, 0.0}).describe(),
+            "CostModel(alpha=1, beta=0, gamma=0)");
+}

@@ -1,0 +1,166 @@
+// Randomized differential testing: random distribution parameters, random
+// cost models, random sequences -- every pair of independent implementations
+// that should agree, must.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/checkpoint.hpp"
+#include "core/expected_cost.hpp"
+#include "core/sequence.hpp"
+#include "dist/exponential.hpp"
+#include "dist/gamma.hpp"
+#include "dist/lognormal.hpp"
+#include "dist/uniform.hpp"
+#include "dist/weibull.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/rng.hpp"
+#include "stats/summary.hpp"
+
+using namespace sre::core;
+
+namespace {
+
+/// A random law from a random family with random (sane) parameters.
+sre::dist::DistributionPtr random_law(std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  switch (rng() % 5) {
+    case 0:
+      return std::make_shared<sre::dist::Exponential>(0.2 + 3.0 * u(rng));
+    case 1:
+      return std::make_shared<sre::dist::Weibull>(0.5 + 2.0 * u(rng),
+                                                  0.6 + 1.8 * u(rng));
+    case 2:
+      return std::make_shared<sre::dist::Gamma>(0.8 + 3.0 * u(rng),
+                                                0.5 + 2.0 * u(rng));
+    case 3:
+      return std::make_shared<sre::dist::LogNormal>(-0.5 + 2.0 * u(rng),
+                                                    0.2 + 0.8 * u(rng));
+    default: {
+      const double a = 0.5 + 4.0 * u(rng);
+      return std::make_shared<sre::dist::Uniform>(a, a + 1.0 + 4.0 * u(rng));
+    }
+  }
+}
+
+CostModel random_model(std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  return CostModel{0.25 + 2.0 * u(rng), (rng() % 2) ? u(rng) : 0.0,
+                   (rng() % 2) ? 0.5 * u(rng) : 0.0};
+}
+
+ReservationSequence random_covering_sequence(const sre::dist::Distribution& d,
+                                             std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> u(0.05, 0.95);
+  std::vector<double> qs;
+  for (int i = 0; i < 1 + static_cast<int>(rng() % 5); ++i) qs.push_back(u(rng));
+  std::sort(qs.begin(), qs.end());
+  std::vector<double> v;
+  for (const double q : qs) {
+    const double t = d.quantile(q);
+    if (v.empty() || t > v.back() * (1.0 + 1e-9)) v.push_back(t);
+  }
+  if (v.empty()) v.push_back(d.mean());
+  const auto sup = d.support();
+  if (sup.bounded()) {
+    if (v.back() < sup.upper) v.push_back(sup.upper);
+  } else {
+    while (d.sf(v.back()) > 1e-13) v.push_back(v.back() * 2.0);
+  }
+  return ReservationSequence(std::move(v));
+}
+
+}  // namespace
+
+TEST(DifferentialFuzz, EvaluatorVsSimulatorVsAnalytic) {
+  std::mt19937_64 rng(424242);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto d = random_law(rng);
+    const auto m = random_model(rng);
+    const auto seq = random_covering_sequence(*d, rng);
+    const SequenceCostEvaluator eval(seq, m);
+    const sre::sim::PlatformSimulator simulator(seq.values(),
+                                                {m.alpha, m.beta, m.gamma});
+
+    // Per-job agreement: evaluator == cost_for == simulator.
+    sre::sim::Rng drng = sre::sim::make_rng(1000 + trial);
+    sre::stats::OnlineMoments sample_mean;
+    for (int i = 0; i < 500; ++i) {
+      const double x = d->sample(drng);
+      const double a = seq.cost_for(x, m);
+      ASSERT_NEAR(eval.cost(x), a, 1e-9 * (1.0 + a)) << trial;
+      if (x <= seq.last()) {
+        ASSERT_NEAR(simulator.run_job(x).total_cost, a, 1e-9 * (1.0 + a))
+            << trial;
+      }
+      sample_mean.add(a);
+    }
+    // Mean agreement: analytic vs the sample above (generous tolerance).
+    const double analytic = expected_cost_analytic(seq, *d, m);
+    EXPECT_NEAR(sample_mean.mean(), analytic,
+                8.0 * sample_mean.standard_error() + 1e-9 * analytic)
+        << trial << " " << d->describe() << " " << m.describe();
+  }
+}
+
+TEST(DifferentialFuzz, CheckpointLedgerVsSimulator) {
+  std::mt19937_64 rng(777);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto d = random_law(rng);
+    const auto m = random_model(rng);
+    const CheckpointModel ckpt{0.1 * u(rng) * d->mean(),
+                               0.1 * u(rng) * d->mean()};
+    const auto plan = checkpoint_mean_doubling(*d, ckpt);
+    const sre::sim::CheckpointingSimulator simulator(
+        plan.reservations(), {m.alpha, m.beta, m.gamma},
+        ckpt.checkpoint_cost, ckpt.restart_cost);
+
+    sre::sim::Rng drng = sre::sim::make_rng(2000 + trial);
+    for (int i = 0; i < 300; ++i) {
+      const double x = d->sample(drng);
+      if (x > plan.banked_work().back()) continue;
+      const auto out = simulator.run_job(x);
+      ASSERT_TRUE(out.completed);
+      ASSERT_NEAR(out.total_cost, plan.cost_for(x, m),
+                  1e-9 * (1.0 + out.total_cost))
+          << trial << " x=" << x;
+      ASSERT_EQ(out.attempts, plan.attempts_for(x)) << trial;
+    }
+  }
+}
+
+TEST(DifferentialFuzz, DiscreteAnalyticMatchesExactSum) {
+  // For discrete laws Eq. (4) must match the exact weighted sum of per-atom
+  // costs.
+  std::mt19937_64 rng(31415);
+  std::uniform_real_distribution<double> u(0.1, 4.0);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<double> values, probs;
+    double cur = 0.0;
+    const std::size_t n = 2 + rng() % 12;
+    for (std::size_t i = 0; i < n; ++i) {
+      cur += u(rng);
+      values.push_back(cur);
+      probs.push_back(u(rng));
+    }
+    const sre::dist::DiscreteDistribution d(values, probs);
+    const auto m = random_model(rng);
+    // Sequence: a random subset of atoms ending at the last one.
+    std::vector<double> v;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      if (rng() % 2) v.push_back(values[i]);
+    }
+    v.push_back(values.back());
+    const ReservationSequence seq(std::move(v));
+
+    double exact = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      exact += d.probabilities()[k] * seq.cost_for(d.values()[k], m);
+    }
+    EXPECT_NEAR(expected_cost_analytic(seq, d, m), exact,
+                1e-9 * (1.0 + exact))
+        << trial;
+  }
+}

@@ -1,0 +1,111 @@
+#include "dist/discrete.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+#include "stats/summary.hpp"
+
+using sre::dist::DiscreteDistribution;
+
+namespace {
+DiscreteDistribution three_point() {
+  return DiscreteDistribution({1.0, 2.0, 4.0}, {0.2, 0.3, 0.5});
+}
+}  // namespace
+
+TEST(Discrete, NormalizesProbabilities) {
+  const DiscreteDistribution d({1.0, 2.0}, {2.0, 6.0});
+  EXPECT_DOUBLE_EQ(d.probabilities()[0], 0.25);
+  EXPECT_DOUBLE_EQ(d.probabilities()[1], 0.75);
+}
+
+TEST(Discrete, PmfAtAtomsOnly) {
+  const auto d = three_point();
+  EXPECT_DOUBLE_EQ(d.pdf(2.0), 0.3);
+  EXPECT_DOUBLE_EQ(d.pdf(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.pdf(0.0), 0.0);
+}
+
+TEST(Discrete, CdfIsRightContinuousStep) {
+  const auto d = three_point();
+  EXPECT_DOUBLE_EQ(d.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(1.0), 0.2);
+  EXPECT_DOUBLE_EQ(d.cdf(1.5), 0.2);
+  EXPECT_DOUBLE_EQ(d.cdf(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(d.cdf(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.cdf(9.0), 1.0);
+}
+
+TEST(Discrete, SurvivalIsStrict) {
+  // sf(t) = P(X > t): at an atom the atom itself is excluded, which is what
+  // the Theorem 1 series requires (reservation i+1 paid iff X > t_i).
+  const auto d = three_point();
+  EXPECT_DOUBLE_EQ(d.sf(1.0), 0.8);
+  EXPECT_DOUBLE_EQ(d.sf(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(d.sf(4.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.sf(0.0), 1.0);
+}
+
+TEST(Discrete, QuantileIsGeneralizedInverse) {
+  const auto d = three_point();
+  EXPECT_DOUBLE_EQ(d.quantile(0.1), 1.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.2), 1.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.21), 2.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.51), 4.0);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 4.0);
+}
+
+TEST(Discrete, MomentsExact) {
+  const auto d = three_point();
+  const double mean = 0.2 * 1.0 + 0.3 * 2.0 + 0.5 * 4.0;  // 2.8
+  EXPECT_NEAR(d.mean(), mean, 1e-14);
+  const double var = 0.2 * (1 - mean) * (1 - mean) +
+                     0.3 * (2 - mean) * (2 - mean) +
+                     0.5 * (4 - mean) * (4 - mean);
+  EXPECT_NEAR(d.variance(), var, 1e-13);
+}
+
+TEST(Discrete, ConditionalMeanAboveAtoms) {
+  const auto d = three_point();
+  // Above 1: (0.3*2 + 0.5*4)/0.8 = 3.25.
+  EXPECT_NEAR(d.conditional_mean_above(1.0), 3.25, 1e-13);
+  EXPECT_NEAR(d.conditional_mean_above(2.0), 4.0, 1e-13);
+  // Empty tail: returns tau.
+  EXPECT_DOUBLE_EQ(d.conditional_mean_above(4.0), 4.0);
+}
+
+TEST(Discrete, SamplingMatchesPmf) {
+  const auto d = three_point();
+  sre::sim::Rng rng = sre::sim::make_rng(123);
+  int counts[3] = {0, 0, 0};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = d.sample(rng);
+    if (x == 1.0) ++counts[0];
+    else if (x == 2.0) ++counts[1];
+    else if (x == 4.0) ++counts[2];
+    else FAIL() << "sample off-support: " << x;
+  }
+  EXPECT_NEAR(counts[0] / double(n), 0.2, 0.01);
+  EXPECT_NEAR(counts[1] / double(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / double(n), 0.5, 0.01);
+}
+
+TEST(Discrete, FromSamplesBuildsEmpirical) {
+  const std::vector<double> samples = {3.0, 1.0, 3.0, 2.0, 3.0, 1.0};
+  const auto d = DiscreteDistribution::from_samples(samples);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d.values()[0], 1.0);
+  EXPECT_DOUBLE_EQ(d.probabilities()[0], 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(d.probabilities()[2], 3.0 / 6.0);
+  EXPECT_NEAR(d.mean(), (1 + 3 + 3 + 2 + 3 + 1) / 6.0, 1e-14);
+}
+
+TEST(Discrete, SupportAndDescribe) {
+  const auto d = three_point();
+  EXPECT_DOUBLE_EQ(d.support().lower, 1.0);
+  EXPECT_DOUBLE_EQ(d.support().upper, 4.0);
+  EXPECT_TRUE(d.support().bounded());
+  EXPECT_EQ(d.name(), "Discrete");
+}

@@ -1,0 +1,121 @@
+// Truncation + discretization schemes (Section 4.2.1).
+
+#include "sim/discretize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/exponential.hpp"
+#include "dist/factory.hpp"
+#include "dist/uniform.hpp"
+
+using namespace sre::sim;
+
+TEST(TruncationPoint, QuantileForUnbounded) {
+  const sre::dist::Exponential e(1.0);
+  // Q(1 - eps) = -ln(eps).
+  EXPECT_NEAR(truncation_point(e, 1e-7), -std::log(1e-7), 1e-9);
+}
+
+TEST(TruncationPoint, SupportUpperForBounded) {
+  const sre::dist::Uniform u(10.0, 20.0);
+  EXPECT_DOUBLE_EQ(truncation_point(u, 1e-7), 20.0);
+}
+
+TEST(EqualProbability, MassesAreEqual) {
+  const sre::dist::Exponential e(1.0);
+  DiscretizationOptions opts{100, 1e-7, DiscretizationScheme::kEqualProbability};
+  const auto d = discretize(e, opts);
+  ASSERT_EQ(d.size(), 100u);
+  for (const double p : d.probabilities()) {
+    EXPECT_NEAR(p, 0.01, 1e-10);
+  }
+}
+
+TEST(EqualProbability, ValuesAreQuantiles) {
+  const sre::dist::Exponential e(1.0);
+  DiscretizationOptions opts{10, 1e-7, DiscretizationScheme::kEqualProbability};
+  const auto d = discretize(e, opts);
+  const double fb = e.cdf(truncation_point(e, 1e-7));
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const double q = e.quantile(static_cast<double>(i + 1) * fb / 10.0);
+    EXPECT_NEAR(d.values()[i], q, 1e-9 * (1.0 + q)) << i;
+  }
+}
+
+TEST(EqualTime, ValuesAreEquallySpaced) {
+  const sre::dist::Uniform u(10.0, 20.0);
+  DiscretizationOptions opts{10, 1e-7, DiscretizationScheme::kEqualTime};
+  const auto d = discretize(u, opts);
+  ASSERT_EQ(d.size(), 10u);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_NEAR(d.values()[i], 11.0 + static_cast<double>(i), 1e-12) << i;
+  }
+  // Uniform law => equal masses too.
+  for (const double p : d.probabilities()) EXPECT_NEAR(p, 0.1, 1e-12);
+}
+
+TEST(EqualTime, MassesAreCdfIncrements) {
+  const sre::dist::Exponential e(1.0);
+  DiscretizationOptions opts{20, 1e-5, DiscretizationScheme::kEqualTime};
+  const auto d = discretize(e, opts);
+  const double b = truncation_point(e, 1e-5);
+  const double step = b / 20.0;
+  // Normalization divides by F(b); verify relative increments.
+  for (std::size_t i = 1; i < d.size(); ++i) {
+    const double raw = e.cdf(step * static_cast<double>(i + 1)) -
+                       e.cdf(step * static_cast<double>(i));
+    EXPECT_NEAR(d.probabilities()[i], raw / e.cdf(b), 1e-10) << i;
+  }
+}
+
+TEST(Discretize, MeanConvergesWithN) {
+  const sre::dist::Exponential e(1.0);
+  for (const auto scheme : {DiscretizationScheme::kEqualTime,
+                            DiscretizationScheme::kEqualProbability}) {
+    double prev_err = std::numeric_limits<double>::infinity();
+    for (const std::size_t n : {10u, 100u, 1000u}) {
+      DiscretizationOptions opts{n, 1e-9, scheme};
+      const double err = std::fabs(discretize(e, opts).mean() - 1.0);
+      EXPECT_LT(err, prev_err * 1.5) << to_string(scheme) << " n=" << n;
+      prev_err = err;
+    }
+    // Right-endpoint discretization biases the mean upward by about half a
+    // cell (~1e-2 at n = 1000 for Exp(1)); the bias shrinks as 1/n.
+    EXPECT_LT(prev_err, 2.5e-2) << to_string(scheme);
+  }
+}
+
+TEST(Discretize, WorksForEveryPaperDistribution) {
+  for (const auto& inst : sre::dist::paper_distributions()) {
+    for (const auto scheme : {DiscretizationScheme::kEqualTime,
+                              DiscretizationScheme::kEqualProbability}) {
+      DiscretizationOptions opts{200, 1e-7, scheme};
+      const auto d = discretize(*inst.dist, opts);
+      EXPECT_GE(d.size(), 2u) << inst.label;
+      EXPECT_LE(d.size(), 200u) << inst.label;
+      // Support stays inside [a, Q(1-eps)].
+      EXPECT_GE(d.support().lower, inst.dist->support().lower) << inst.label;
+      EXPECT_LE(d.support().upper,
+                truncation_point(*inst.dist, opts.epsilon) * (1.0 + 1e-12))
+          << inst.label;
+      // The median is tail-robust even where the mean is not (heavy-tailed
+      // laws under coarse EQUAL-TIME grids, cf. Table 4's n=10 column);
+      // allow one grid cell of slack on top of 15% relative.
+      const double cell =
+          (truncation_point(*inst.dist, opts.epsilon) -
+           inst.dist->support().lower) /
+          static_cast<double>(opts.n);
+      EXPECT_NEAR(d.quantile(0.5), inst.dist->median(),
+                  0.15 * inst.dist->median() + cell)
+          << inst.label << " " << to_string(scheme);
+    }
+  }
+}
+
+TEST(Discretize, SchemeNames) {
+  EXPECT_STREQ(to_string(DiscretizationScheme::kEqualTime), "Equal-time");
+  EXPECT_STREQ(to_string(DiscretizationScheme::kEqualProbability),
+               "Equal-probability");
+}

@@ -1,0 +1,215 @@
+// Distribution-specific closed-form checks (Table 5 / Appendix A & B).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/beta.hpp"
+#include "dist/bounded_pareto.hpp"
+#include "dist/exponential.hpp"
+#include "dist/factory.hpp"
+#include "dist/gamma.hpp"
+#include "dist/lognormal.hpp"
+#include "dist/pareto.hpp"
+#include "dist/truncated_normal.hpp"
+#include "dist/uniform.hpp"
+#include "dist/weibull.hpp"
+
+using namespace sre::dist;
+
+TEST(Exponential, TableFiveFormulas) {
+  const Exponential d(2.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.5);
+  EXPECT_DOUBLE_EQ(d.variance(), 0.25);
+  EXPECT_NEAR(d.cdf(1.0), 1.0 - std::exp(-2.0), 1e-14);
+  EXPECT_NEAR(d.quantile(0.5), std::log(2.0) / 2.0, 1e-14);
+  EXPECT_NEAR(d.pdf(0.7), 2.0 * std::exp(-1.4), 1e-14);
+}
+
+TEST(Exponential, Memorylessness) {
+  const Exponential d(1.5);
+  // E[X | X > tau] = tau + 1/lambda.
+  for (double tau : {0.0, 0.5, 2.0, 10.0}) {
+    EXPECT_NEAR(d.conditional_mean_above(tau), tau + 1.0 / 1.5, 1e-12) << tau;
+  }
+  // P(X > s + t) = P(X > s) P(X > t).
+  EXPECT_NEAR(d.sf(3.0), d.sf(1.0) * d.sf(2.0), 1e-14);
+}
+
+TEST(Weibull, TableFiveFormulas) {
+  const Weibull d(1.0, 0.5);
+  EXPECT_NEAR(d.mean(), std::tgamma(3.0), 1e-12);  // lambda Gamma(1+1/k) = 2
+  EXPECT_NEAR(d.variance(), std::tgamma(5.0) - 4.0, 1e-10);  // 24 - 4 = 20
+  EXPECT_NEAR(d.quantile(0.5), std::pow(std::log(2.0), 2.0), 1e-12);
+  EXPECT_NEAR(d.sf(4.0), std::exp(-2.0), 1e-14);
+}
+
+TEST(Weibull, ShapeOneIsExponential) {
+  const Weibull w(2.0, 1.0);
+  const Exponential e(0.5);
+  for (double t : {0.1, 1.0, 3.0, 8.0}) {
+    EXPECT_NEAR(w.cdf(t), e.cdf(t), 1e-13) << t;
+    EXPECT_NEAR(w.pdf(t), e.pdf(t), 1e-13) << t;
+  }
+  EXPECT_NEAR(w.conditional_mean_above(1.0), e.conditional_mean_above(1.0),
+              1e-8);
+}
+
+TEST(Gamma, TableFiveFormulas) {
+  const Gamma d(2.0, 2.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(d.variance(), 0.5);
+  // CDF(t) = 1 - e^{-2t}(1 + 2t) for shape 2.
+  for (double t : {0.2, 1.0, 2.5}) {
+    EXPECT_NEAR(d.cdf(t), 1.0 - std::exp(-2.0 * t) * (1.0 + 2.0 * t), 1e-12)
+        << t;
+  }
+}
+
+TEST(Gamma, ShapeOneIsExponential) {
+  const Gamma g(1.0, 3.0);
+  const Exponential e(3.0);
+  for (double t : {0.1, 0.5, 2.0}) {
+    EXPECT_NEAR(g.cdf(t), e.cdf(t), 1e-12);
+    EXPECT_NEAR(g.pdf(t), e.pdf(t), 1e-12);
+  }
+}
+
+TEST(LogNormal, TableFiveFormulas) {
+  const LogNormal d(3.0, 0.5);
+  EXPECT_NEAR(d.mean(), std::exp(3.125), 1e-10);
+  EXPECT_NEAR(d.variance(),
+              (std::exp(0.25) - 1.0) * std::exp(6.25), 1e-8);
+  EXPECT_NEAR(d.median(), std::exp(3.0), 1e-9);
+  EXPECT_NEAR(d.cdf(d.mean()), 0.5987063256829237, 1e-9);  // Phi(sigma/2)
+}
+
+TEST(LogNormal, FromMomentsMatches) {
+  const LogNormal d = LogNormal::from_moments(10.0, 3.0);
+  EXPECT_NEAR(d.mean(), 10.0, 1e-9);
+  EXPECT_NEAR(d.stddev(), 3.0, 1e-9);
+}
+
+TEST(TruncatedNormal, UntruncatedLimit) {
+  // Truncating far below the mean leaves the Normal untouched.
+  const TruncatedNormal d(8.0, std::sqrt(2.0), -40.0);
+  EXPECT_NEAR(d.mean(), 8.0, 1e-9);
+  EXPECT_NEAR(d.variance(), 2.0, 1e-9);
+  EXPECT_NEAR(d.median(), 8.0, 1e-9);
+}
+
+TEST(TruncatedNormal, PaperInstantiation) {
+  // mu=8, sigma^2=2, a=0: truncation at ~5.66 sigma below the mean barely
+  // shifts the law.
+  const TruncatedNormal d(8.0, std::sqrt(2.0), 0.0);
+  EXPECT_NEAR(d.mean(), 8.0, 1e-6);
+  EXPECT_NEAR(d.variance(), 2.0, 1e-5);
+  EXPECT_DOUBLE_EQ(d.support().lower, 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(0.0), 0.0);
+}
+
+TEST(TruncatedNormal, HeavyTruncation) {
+  // Truncate at the mean: E[X | X > mu] = mu + sigma * phi(0)/0.5.
+  const TruncatedNormal d(5.0, 2.0, 5.0);
+  const double lambda0 = std::sqrt(2.0 / M_PI);
+  EXPECT_NEAR(d.mean(), 5.0 + 2.0 * lambda0, 1e-10);
+  EXPECT_NEAR(d.variance(), 4.0 * (1.0 - lambda0 * lambda0), 1e-9);
+}
+
+TEST(Pareto, TableFiveFormulas) {
+  const Pareto d(1.5, 3.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 2.25);
+  EXPECT_NEAR(d.variance(), 3.0 * 2.25 / (4.0 * 1.0), 1e-12);
+  EXPECT_NEAR(d.quantile(0.875), 3.0, 1e-12);  // 1-(1.5/3)^3 = 0.875
+  EXPECT_DOUBLE_EQ(d.cdf(1.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.sf(1.0), 1.0);
+}
+
+TEST(Pareto, SelfSimilarConditionalMean) {
+  const Pareto d(1.5, 3.0);
+  for (double tau : {2.0, 5.0, 50.0}) {
+    EXPECT_NEAR(d.conditional_mean_above(tau), 1.5 * tau, 1e-12) << tau;
+  }
+  // Below the scale the conditional mean is the plain mean.
+  EXPECT_NEAR(d.conditional_mean_above(0.5), d.mean(), 1e-12);
+}
+
+TEST(Uniform, TableFiveFormulas) {
+  const Uniform d(10.0, 20.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 15.0);
+  EXPECT_NEAR(d.variance(), 100.0 / 12.0, 1e-12);
+  EXPECT_DOUBLE_EQ(d.quantile(0.25), 12.5);
+  EXPECT_DOUBLE_EQ(d.cdf(15.0), 0.5);
+  EXPECT_DOUBLE_EQ(d.pdf(12.0), 0.1);
+  EXPECT_DOUBLE_EQ(d.pdf(9.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.pdf(21.0), 0.0);
+}
+
+TEST(Uniform, MidpointConditionalMean) {
+  const Uniform d(10.0, 20.0);
+  EXPECT_NEAR(d.conditional_mean_above(14.0), 17.0, 1e-12);
+  EXPECT_NEAR(d.conditional_mean_above(5.0), 15.0, 1e-12);
+  EXPECT_NEAR(d.conditional_mean_above(20.0), 20.0, 1e-12);
+}
+
+TEST(BetaDist, TableFiveFormulas) {
+  const Beta d(2.0, 2.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.5);
+  EXPECT_NEAR(d.variance(), 0.05, 1e-13);
+  EXPECT_NEAR(d.median(), 0.5, 1e-10);
+  // pdf = 6 x (1-x).
+  EXPECT_NEAR(d.pdf(0.3), 6.0 * 0.3 * 0.7, 1e-12);
+  EXPECT_NEAR(d.cdf(0.3), 0.09 * (3.0 - 0.6), 1e-12);
+}
+
+TEST(BoundedPareto, TableFiveFormulas) {
+  const BoundedPareto d(1.0, 20.0, 2.1);
+  EXPECT_DOUBLE_EQ(d.support().lower, 1.0);
+  EXPECT_DOUBLE_EQ(d.support().upper, 20.0);
+  EXPECT_DOUBLE_EQ(d.cdf(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(20.0), 1.0);
+  // Mean formula of Table 5.
+  const double ha = std::pow(20.0, 2.1), la = 1.0;
+  const double mean = 2.1 / 1.1 * (ha * 1.0 - 20.0 * la) / (ha - la);
+  EXPECT_NEAR(d.mean(), mean, 1e-12);
+}
+
+TEST(BoundedPareto, ConditionalMeanFormula) {
+  const BoundedPareto d(1.0, 20.0, 2.1);
+  const double tau = 3.0;
+  const double num = std::pow(20.0, -1.1) - std::pow(tau, -1.1);
+  const double den = std::pow(20.0, -2.1) - std::pow(tau, -2.1);
+  EXPECT_NEAR(d.conditional_mean_above(tau), 2.1 / 1.1 * num / den, 1e-12);
+  EXPECT_NEAR(d.conditional_mean_above(20.0), 20.0, 1e-12);
+}
+
+TEST(Factory, BuildsEveryPaperDistribution) {
+  const auto all = paper_distributions();
+  ASSERT_EQ(all.size(), 9u);
+  EXPECT_EQ(all[0].label, "Exponential");
+  EXPECT_EQ(all[8].label, "BoundedPareto");
+  for (const auto& inst : all) {
+    ASSERT_NE(inst.dist, nullptr) << inst.label;
+    EXPECT_GT(inst.dist->mean(), 0.0) << inst.label;
+  }
+}
+
+TEST(Factory, ByNameAndParams) {
+  const auto d = make_distribution("Exponential", {{"lambda", 2.0}});
+  ASSERT_NE(d, nullptr);
+  EXPECT_DOUBLE_EQ(d->mean(), 0.5);
+  EXPECT_EQ(make_distribution("nosuch", {}), nullptr);
+  EXPECT_EQ(make_distribution("weibull", {{"lambda", 1.0}}), nullptr)
+      << "missing kappa must fail";
+  const auto bp = make_distribution(
+      "BoundedPareto", {{"l", 1.0}, {"h", 20.0}, {"alpha", 2.1}});
+  ASSERT_NE(bp, nullptr);
+  EXPECT_EQ(bp->name(), "BoundedPareto");
+}
+
+TEST(Factory, PaperLookupByLabel) {
+  const auto inst = paper_distribution("lognormal");
+  ASSERT_TRUE(inst.has_value());
+  EXPECT_EQ(inst->dist->name(), "LogNormal");
+  EXPECT_FALSE(paper_distribution("Cauchy").has_value());
+}

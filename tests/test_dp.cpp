@@ -1,0 +1,187 @@
+// Theorem 5 dynamic program: optimality is verified against exhaustive
+// enumeration of every admissible reservation sequence on small discrete
+// instances (any optimal sequence only uses support values and its last
+// element covers the whole support).
+
+#include "core/heuristics/dp_discretization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/expected_cost.hpp"
+#include "dist/factory.hpp"
+
+using namespace sre::core;
+using sre::dist::DiscreteDistribution;
+namespace sim = sre::sim;
+
+namespace {
+
+// Expected cost of choosing the subset of support indices `chosen` (strictly
+// increasing, last covers everything) as the reservation sequence, computed
+// from first principles: sum over jobs v_k of its probability times Eq. (2).
+double enumerate_cost(const DiscreteDistribution& d,
+                      const std::vector<std::size_t>& chosen,
+                      const CostModel& m) {
+  const auto& v = d.values();
+  const auto& f = d.probabilities();
+  double total = 0.0;
+  for (std::size_t k = 0; k < v.size(); ++k) {
+    double job_cost = 0.0;
+    for (const std::size_t j : chosen) {
+      job_cost += m.attempt_cost(v[j], v[k]);
+      if (v[k] <= v[j]) break;
+    }
+    total += f[k] * job_cost;
+  }
+  return total;
+}
+
+// Minimum expected cost over all 2^(n-1) admissible subsets (the last
+// support point is always included).
+double exhaustive_optimum(const DiscreteDistribution& d, const CostModel& m) {
+  const std::size_t n = d.size();
+  double best = std::numeric_limits<double>::infinity();
+  const std::size_t masks = std::size_t{1} << (n - 1);
+  for (std::size_t mask = 0; mask < masks; ++mask) {
+    std::vector<std::size_t> chosen;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      if (mask & (std::size_t{1} << i)) chosen.push_back(i);
+    }
+    chosen.push_back(n - 1);
+    best = std::min(best, enumerate_cost(d, chosen, m));
+  }
+  return best;
+}
+
+DiscreteDistribution random_instance(std::mt19937_64& rng, std::size_t n) {
+  std::uniform_real_distribution<double> u(0.1, 10.0);
+  std::vector<double> values, probs;
+  double cur = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cur += u(rng);
+    values.push_back(cur);
+    probs.push_back(u(rng));
+  }
+  return DiscreteDistribution(std::move(values), std::move(probs));
+}
+
+}  // namespace
+
+TEST(Dp, MatchesExhaustiveEnumerationReservationOnly) {
+  std::mt19937_64 rng(2024);
+  const CostModel m = CostModel::reservation_only();
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto d = random_instance(rng, 2 + trial % 9);
+    const DpResult dp = dp_optimal_sequence(d, m);
+    const double best = exhaustive_optimum(d, m);
+    EXPECT_NEAR(dp.expected_cost, best, 1e-9 * (1.0 + best)) << trial;
+  }
+}
+
+TEST(Dp, MatchesExhaustiveEnumerationFullCostModel) {
+  std::mt19937_64 rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    const CostModel m{0.5 + (trial % 3), 0.25 * (trial % 4), 0.1 * (trial % 5)};
+    const auto d = random_instance(rng, 2 + trial % 8);
+    const DpResult dp = dp_optimal_sequence(d, m);
+    const double best = exhaustive_optimum(d, m);
+    EXPECT_NEAR(dp.expected_cost, best, 1e-9 * (1.0 + best))
+        << trial << " " << m.describe();
+  }
+}
+
+TEST(Dp, DpCostMatchesAnalyticEvaluationOfItsSequence) {
+  std::mt19937_64 rng(5);
+  const CostModel m{1.0, 0.5, 0.2};
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto d = random_instance(rng, 6);
+    const DpResult dp = dp_optimal_sequence(d, m);
+    const double analytic = expected_cost_analytic(dp.sequence, d, m);
+    EXPECT_NEAR(dp.expected_cost, analytic, 1e-9 * (1.0 + analytic)) << trial;
+  }
+}
+
+TEST(Dp, SequenceEndsAtLastValue) {
+  std::mt19937_64 rng(13);
+  const auto d = random_instance(rng, 10);
+  const DpResult dp = dp_optimal_sequence(d, CostModel::reservation_only());
+  EXPECT_DOUBLE_EQ(dp.sequence.last(), d.values().back());
+  // Indices strictly increasing.
+  for (std::size_t i = 1; i < dp.indices.size(); ++i) {
+    EXPECT_GT(dp.indices[i], dp.indices[i - 1]);
+  }
+}
+
+TEST(Dp, SingletonDistribution) {
+  const DiscreteDistribution d({3.0}, {1.0});
+  const CostModel m{1.0, 1.0, 0.5};
+  const DpResult dp = dp_optimal_sequence(d, m);
+  ASSERT_EQ(dp.sequence.size(), 1u);
+  EXPECT_DOUBLE_EQ(dp.sequence.first(), 3.0);
+  EXPECT_DOUBLE_EQ(dp.expected_cost, 3.0 + 3.0 + 0.5);
+}
+
+TEST(Dp, HighGammaMergesReservations) {
+  // A large per-reservation overhead makes many small reservations
+  // unattractive: the optimal plan collapses toward a single big one.
+  const DiscreteDistribution d({1.0, 2.0, 3.0, 4.0}, {0.25, 0.25, 0.25, 0.25});
+  const DpResult cheap = dp_optimal_sequence(d, CostModel{1.0, 0.0, 0.0});
+  const DpResult pricey = dp_optimal_sequence(d, CostModel{1.0, 0.0, 100.0});
+  EXPECT_GE(cheap.sequence.size(), pricey.sequence.size());
+  EXPECT_EQ(pricey.sequence.size(), 1u);
+  EXPECT_DOUBLE_EQ(pricey.sequence.first(), 4.0);
+}
+
+TEST(Dp, ToleratesZeroProbabilityPoints) {
+  const DiscreteDistribution d({1.0, 2.0, 3.0}, {0.5, 0.0, 0.5});
+  const DpResult dp = dp_optimal_sequence(d, CostModel::reservation_only());
+  EXPECT_GT(dp.expected_cost, 0.0);
+  EXPECT_DOUBLE_EQ(dp.sequence.last(), 3.0);
+}
+
+TEST(DiscretizedDp, GeneratesCoveringSequences) {
+  sim::DiscretizationOptions opts;
+  opts.n = 100;
+  for (const auto scheme : {sre::sim::DiscretizationScheme::kEqualTime,
+                            sre::sim::DiscretizationScheme::kEqualProbability}) {
+    opts.scheme = scheme;
+    const DiscretizedDp h(opts);
+    for (const auto& inst : sre::dist::paper_distributions()) {
+      const auto seq = h.generate(*inst.dist, CostModel::reservation_only());
+      EXPECT_TRUE(seq.covers_distribution(*inst.dist, 1e-10))
+          << inst.label << " " << h.name();
+    }
+  }
+}
+
+TEST(DiscretizedDp, NamesFollowScheme) {
+  EXPECT_EQ(DiscretizedDp(sim::DiscretizationOptions{
+                              100, 1e-7, sre::sim::DiscretizationScheme::kEqualTime})
+                .name(),
+            "Equal-time");
+  EXPECT_EQ(DiscretizedDp(sim::DiscretizationOptions{
+                              100, 1e-7,
+                              sre::sim::DiscretizationScheme::kEqualProbability})
+                .name(),
+            "Equal-probability");
+}
+
+TEST(DiscretizedDp, ApproachesBruteForceOnExponentialAsNGrows) {
+  // Table 4's convergence: cost(n=500) <= cost(n=10) for the same scheme
+  // (evaluated analytically to avoid MC noise).
+  const auto inst = sre::dist::paper_distribution("Exponential");
+  ASSERT_TRUE(inst.has_value());
+  const CostModel m = CostModel::reservation_only();
+  sim::DiscretizationOptions small{10, 1e-7,
+                                   sre::sim::DiscretizationScheme::kEqualTime};
+  sim::DiscretizationOptions large{500, 1e-7,
+                                   sre::sim::DiscretizationScheme::kEqualTime};
+  const double cost_small = expected_cost_analytic(
+      DiscretizedDp(small).generate(*inst->dist, m), *inst->dist, m);
+  const double cost_large = expected_cost_analytic(
+      DiscretizedDp(large).generate(*inst->dist, m), *inst->dist, m);
+  EXPECT_LE(cost_large, cost_small * (1.0 + 1e-6));
+}

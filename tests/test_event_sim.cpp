@@ -1,0 +1,115 @@
+// The discrete-event platform simulator must agree with the closed-form cost
+// expressions it was built independently of.
+
+#include "sim/event_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/expected_cost.hpp"
+#include "core/sequence.hpp"
+#include "dist/exponential.hpp"
+#include "dist/factory.hpp"
+#include "sim/rng.hpp"
+
+using namespace sre::sim;
+
+TEST(EventSim, SingleAttemptSuccess) {
+  const PlatformSimulator sim({5.0, 10.0}, {1.0, 0.5, 0.25});
+  const JobOutcome out = sim.run_job(3.0);
+  EXPECT_TRUE(out.completed);
+  EXPECT_EQ(out.attempts, 1u);
+  EXPECT_DOUBLE_EQ(out.total_cost, 5.0 + 1.5 + 0.25);
+  EXPECT_DOUBLE_EQ(out.wasted_time, 0.0);
+  EXPECT_DOUBLE_EQ(out.turnaround, 3.0);
+}
+
+TEST(EventSim, RetryAccumulatesWaste) {
+  const PlatformSimulator sim({5.0, 10.0}, {1.0, 0.5, 0.25});
+  const JobOutcome out = sim.run_job(7.0);
+  EXPECT_TRUE(out.completed);
+  EXPECT_EQ(out.attempts, 2u);
+  // Attempt 1: 5 + 2.5 + 0.25; attempt 2: 10 + 3.5 + 0.25.
+  EXPECT_DOUBLE_EQ(out.total_cost, 7.75 + 13.75);
+  EXPECT_DOUBLE_EQ(out.wasted_time, 5.0);   // the burnt first reservation
+  EXPECT_DOUBLE_EQ(out.turnaround, 5.0 + 7.0);
+}
+
+TEST(EventSim, UncoveredJobReported) {
+  const PlatformSimulator sim({5.0}, {1.0, 0.0, 0.0});
+  const JobOutcome out = sim.run_job(6.0);
+  EXPECT_FALSE(out.completed);
+  EXPECT_EQ(out.attempts, 1u);
+  EXPECT_DOUBLE_EQ(out.total_cost, 5.0);
+}
+
+TEST(EventSim, TraceRecordsEveryAttempt) {
+  const PlatformSimulator sim({2.0, 4.0, 8.0}, {1.0, 1.0, 0.0});
+  std::vector<AttemptRecord> trace;
+  const JobOutcome out = sim.run_job(5.0, &trace);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_FALSE(trace[0].success);
+  EXPECT_FALSE(trace[1].success);
+  EXPECT_TRUE(trace[2].success);
+  EXPECT_DOUBLE_EQ(trace[0].used, 2.0);
+  EXPECT_DOUBLE_EQ(trace[1].used, 4.0);
+  EXPECT_DOUBLE_EQ(trace[2].used, 5.0);
+  EXPECT_EQ(out.attempts, 3u);
+}
+
+TEST(EventSim, WaitTimeModelAffectsTurnaroundOnly) {
+  PlatformSimulator sim({2.0, 4.0}, {1.0, 0.0, 0.0});
+  const JobOutcome before = sim.run_job(3.0);
+  sim.set_wait_time_model([](double r) { return 0.5 * r + 1.0; });
+  const JobOutcome after = sim.run_job(3.0);
+  EXPECT_DOUBLE_EQ(before.total_cost, after.total_cost);
+  // Waits: (0.5*2+1) + (0.5*4+1) = 5; executions: 2 + 3 = 5.
+  EXPECT_DOUBLE_EQ(after.turnaround, 10.0);
+  EXPECT_DOUBLE_EQ(before.turnaround, 5.0);
+}
+
+TEST(EventSim, AgreesWithEq2ForRandomJobs) {
+  // Independent implementations: the simulator vs ReservationSequence's
+  // Eq. (2) evaluation.
+  const std::vector<double> res = {0.8, 1.7, 3.9, 8.8, 20.0};
+  for (const sre::core::CostModel m :
+       {sre::core::CostModel{1.0, 0.0, 0.0}, sre::core::CostModel{0.95, 1.0, 1.05},
+        sre::core::CostModel{2.0, 0.25, 0.5}}) {
+    const PlatformSimulator sim(res, {m.alpha, m.beta, m.gamma});
+    const sre::core::ReservationSequence seq(res);
+    const sre::dist::Exponential e(0.7);
+    Rng rng = make_rng(19);
+    for (int i = 0; i < 2000; ++i) {
+      const double t = e.sample(rng);
+      if (t > res.back()) continue;  // simulator has no implicit tail
+      EXPECT_NEAR(sim.run_job(t).total_cost, seq.cost_for(t, m), 1e-10)
+          << "t=" << t;
+    }
+  }
+}
+
+TEST(EventSim, BatchMeanMatchesExpectedCost) {
+  // Batch-simulated mean cost ~ Eq. (4) for a covering sequence.
+  const sre::dist::Exponential e(1.0);
+  std::vector<double> res{1.0};
+  while (e.sf(res.back()) > 1e-12) res.push_back(res.back() * 2.0);
+  const sre::core::CostModel m{1.0, 0.5, 0.1};
+  const PlatformSimulator sim(res, {m.alpha, m.beta, m.gamma});
+  const auto stats = sim.run_batch(e, 50000, 23);
+  EXPECT_EQ(stats.jobs, 50000u);
+  EXPECT_EQ(stats.incomplete, 0u);
+  const double analytic = sre::core::expected_cost_analytic(
+      sre::core::ReservationSequence(res), e, m);
+  EXPECT_NEAR(stats.mean_cost, analytic, 0.02 * analytic);
+  EXPECT_GE(stats.max_cost, stats.mean_cost);
+  EXPECT_GE(stats.mean_attempts, 1.0);
+}
+
+TEST(EventSim, BatchDeterministicForSeed) {
+  const sre::dist::Exponential e(1.0);
+  const PlatformSimulator sim({1.0, 2.0, 4.0, 8.0, 16.0, 32.0},
+                              {1.0, 0.0, 0.0});
+  const auto a = sim.run_batch(e, 1000, 5);
+  const auto b = sim.run_batch(e, 1000, 5);
+  EXPECT_DOUBLE_EQ(a.mean_cost, b.mean_cost);
+  EXPECT_EQ(a.incomplete, b.incomplete);
+}

@@ -1,0 +1,155 @@
+// Cross-validation of the three cost routes: Theorem 1 closed form (Eq. 4),
+// direct integration of the definition (Eq. 3), and Monte Carlo (Eq. 13).
+
+#include "core/expected_cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/omniscient.hpp"
+#include "dist/exponential.hpp"
+#include "dist/factory.hpp"
+#include "dist/lognormal.hpp"
+#include "dist/uniform.hpp"
+#include "stats/integrate.hpp"
+
+using namespace sre::core;
+
+namespace {
+
+// Direct evaluation of Eq. (3): sum_k integral_{t_{k-1}}^{t_k} C(k,t) f(t) dt,
+// independent of the Theorem 1 rewrite.
+double expected_cost_direct(const ReservationSequence& seq,
+                            const sre::dist::Distribution& d,
+                            const CostModel& m) {
+  const auto& t = seq.values();
+  double total = 0.0;
+  double lo = 0.0;
+  double prefix = 0.0;  // sum over failed attempts of (alpha+beta) t_i + gamma
+  for (std::size_t k = 0; k < t.size(); ++k) {
+    const double hi = t[k];
+    const double piece = sre::stats::integrate(
+        [&](double x) {
+          return (prefix + m.alpha * t[k] + m.beta * x + m.gamma) * d.pdf(x);
+        },
+        lo, hi, 1e-12);
+    total += piece;
+    prefix += (m.alpha + m.beta) * t[k] + m.gamma;
+    lo = hi;
+  }
+  return total;
+}
+
+}  // namespace
+
+TEST(ExpectedCost, UniformSectionTwoExample) {
+  // Section 2.3's UNIFORM(a,b) example with S = ((a+b)/2, b):
+  // first term covers t in [a, m], second adds the failed first reservation.
+  const sre::dist::Uniform u(10.0, 20.0);
+  const CostModel m{1.0, 0.5, 0.25};
+  const ReservationSequence s({15.0, 20.0});
+  const double a = 10.0, b = 20.0, mid = 15.0;
+  const double term1 =
+      (mid - a) / (b - a) * (m.alpha * mid + m.beta * (a + mid) / 2.0 + m.gamma);
+  const double term2 =
+      (b - mid) / (b - a) *
+      ((m.alpha * mid + m.beta * mid + m.gamma) +
+       (m.alpha * b + m.beta * (mid + b) / 2.0 + m.gamma));
+  EXPECT_NEAR(expected_cost_analytic(s, u, m), term1 + term2, 1e-9);
+}
+
+TEST(ExpectedCost, AnalyticEqualsDirectIntegrationUniform) {
+  const sre::dist::Uniform u(10.0, 20.0);
+  const ReservationSequence s({12.0, 16.0, 20.0});
+  for (const CostModel m : {CostModel{1.0, 0.0, 0.0}, CostModel{0.95, 1.0, 1.05},
+                            CostModel{2.0, 0.3, 0.1}}) {
+    EXPECT_NEAR(expected_cost_analytic(s, u, m), expected_cost_direct(s, u, m),
+                1e-7)
+        << m.describe();
+  }
+}
+
+TEST(ExpectedCost, AnalyticEqualsDirectIntegrationExponential) {
+  const sre::dist::Exponential e(1.0);
+  // Cover well past the 1e-15 tail so the direct evaluation sees everything.
+  std::vector<double> v;
+  for (double t = 0.8; t < 45.0; t *= 1.6) v.push_back(t);
+  const ReservationSequence s(std::move(v));
+  for (const CostModel m : {CostModel{1.0, 0.0, 0.0}, CostModel{1.0, 1.0, 0.5}}) {
+    EXPECT_NEAR(expected_cost_analytic(s, e, m), expected_cost_direct(s, e, m),
+                1e-6)
+        << m.describe();
+  }
+}
+
+TEST(ExpectedCost, ExponentialArithmeticSequenceClosedForm) {
+  // S = (1/l, 2/l, ...), RESERVATIONONLY: E = sum_{i>=0} t_{i+1} e^{-l t_i}
+  // = (1/l) sum_{i>=0} (i+1) e^{-i} = (1/l) / (1 - 1/e)^2.
+  const double lambda = 1.0;
+  const sre::dist::Exponential e(lambda);
+  std::vector<double> v;
+  for (int i = 1; i <= 60; ++i) v.push_back(i / lambda);
+  const ReservationSequence s(std::move(v));
+  const double expected = 1.0 / lambda / std::pow(1.0 - std::exp(-1.0), 2.0);
+  EXPECT_NEAR(
+      expected_cost_analytic(s, e, CostModel::reservation_only()), expected,
+      1e-9);
+}
+
+TEST(ExpectedCost, MonteCarloAgreesWithAnalytic) {
+  for (const auto& inst : sre::dist::paper_distributions()) {
+    // A generic covering sequence: double from the mean.
+    std::vector<double> v{inst.dist->mean()};
+    const auto sup = inst.dist->support();
+    if (sup.bounded()) {
+      if (v.back() < sup.upper) v.push_back(sup.upper);
+    } else {
+      while (inst.dist->sf(v.back()) > 1e-12) v.push_back(v.back() * 2.0);
+    }
+    const ReservationSequence s(std::move(v));
+    const CostModel m{1.0, 0.5, 0.1};
+    const double analytic = expected_cost_analytic(s, *inst.dist, m);
+    sre::sim::MonteCarloOptions opts;
+    opts.samples = 40000;
+    opts.seed = 31;
+    const auto mc = expected_cost_monte_carlo(s, *inst.dist, m, opts);
+    EXPECT_NEAR(mc.mean, analytic, 6.0 * mc.std_error + 1e-9 * analytic)
+        << inst.label;
+  }
+}
+
+TEST(ExpectedCost, LowerBoundedByFirstReservationTerm) {
+  // Eq. (4) implies E(S) >= beta E[X] + alpha t1 + gamma.
+  const sre::dist::LogNormal d(3.0, 0.5);
+  const CostModel m{1.0, 0.7, 0.3};
+  std::vector<double> v{10.0};
+  while (d.sf(v.back()) > 1e-12) v.push_back(v.back() * 2.0);
+  const ReservationSequence s(std::move(v));
+  EXPECT_GE(expected_cost_analytic(s, d, m),
+            m.beta * d.mean() + m.alpha * 10.0 + m.gamma);
+}
+
+TEST(Omniscient, Formula) {
+  const sre::dist::Exponential e(2.0);
+  EXPECT_DOUBLE_EQ(omniscient_cost(e, CostModel{1.0, 0.0, 0.0}), 0.5);
+  EXPECT_DOUBLE_EQ(omniscient_cost(e, CostModel{0.95, 1.0, 1.05}),
+                   1.95 * 0.5 + 1.05);
+  EXPECT_DOUBLE_EQ(normalized_cost(1.0, e, CostModel{1.0, 0.0, 0.0}), 2.0);
+}
+
+TEST(Omniscient, NormalizedAtLeastOneForAnyStrategy) {
+  for (const auto& inst : sre::dist::paper_distributions()) {
+    std::vector<double> v{inst.dist->mean()};
+    const auto sup = inst.dist->support();
+    if (sup.bounded()) {
+      if (v.back() < sup.upper) v.push_back(sup.upper);
+    } else {
+      while (inst.dist->sf(v.back()) > 1e-12) v.push_back(v.back() * 2.0);
+    }
+    const ReservationSequence s(std::move(v));
+    const CostModel m = CostModel::reservation_only();
+    const double cost = expected_cost_analytic(s, *inst.dist, m);
+    EXPECT_GE(normalized_cost(cost, *inst.dist, m), 1.0 - 1e-9) << inst.label;
+  }
+}

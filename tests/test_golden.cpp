@@ -1,0 +1,107 @@
+// Golden regression values at paper scale, pinned from a verified run
+// (deterministic: analytic evaluation, fixed grids). These lock in the
+// Table 2 reproduction so refactors that shift the numerics get caught.
+
+#include <gtest/gtest.h>
+
+#include "core/expected_cost.hpp"
+#include "core/heuristics/brute_force.hpp"
+#include "core/heuristics/dp_discretization.hpp"
+#include "core/omniscient.hpp"
+#include "dist/factory.hpp"
+#include "platform/workload.hpp"
+
+using namespace sre::core;
+
+namespace {
+
+double brute_force_normalized(const sre::dist::Distribution& d) {
+  BruteForceOptions opts;
+  opts.grid_points = 2000;
+  opts.analytic_eval = true;
+  const CostModel m = CostModel::reservation_only();
+  const auto out = brute_force_search(d, m, opts);
+  EXPECT_TRUE(out.found);
+  return out.best_cost / omniscient_cost(d, m);
+}
+
+struct GoldenRow {
+  const char* label;
+  double brute_force;  // analytic-eval normalized cost
+  double tolerance;
+};
+
+}  // namespace
+
+TEST(Golden, Table2BruteForceAnalytic) {
+  // The Exponential row is the mathematically exact optimum 2.36450 (see
+  // EXPERIMENTS.md); the others were pinned from a verified build.
+  const GoldenRow rows[] = {
+      {"Exponential", 2.3645, 0.01},
+      {"Weibull", 2.549, 0.03},
+      {"Gamma", 2.145, 0.02},
+      {"Lognormal", 1.918, 0.02},
+      {"TruncatedNormal", 1.369, 0.015},
+      {"Pareto", 1.732, 0.02},
+      {"Uniform", 4.0 / 3.0, 1e-9},
+      {"Beta", 1.805, 0.02},
+      {"BoundedPareto", 1.922, 0.02},
+  };
+  for (const auto& row : rows) {
+    const auto inst = sre::dist::paper_distribution(row.label);
+    ASSERT_TRUE(inst.has_value()) << row.label;
+    EXPECT_NEAR(brute_force_normalized(*inst->dist), row.brute_force,
+                row.tolerance)
+        << row.label;
+  }
+}
+
+TEST(Golden, DpTracksBruteForceAtPaperScale) {
+  // At n = 1000 the discretization DP lands within a few percent of the
+  // brute-force optimum on every law (Table 4's convergence endpoint).
+  const CostModel m = CostModel::reservation_only();
+  for (const auto& inst : sre::dist::paper_distributions()) {
+    const double bf = brute_force_normalized(*inst.dist);
+    for (const auto scheme :
+         {sre::sim::DiscretizationScheme::kEqualTime,
+          sre::sim::DiscretizationScheme::kEqualProbability}) {
+      const DiscretizedDp dp(sre::sim::DiscretizationOptions{1000, 1e-7, scheme});
+      const double cost =
+          expected_cost_analytic(dp.generate(*inst.dist, m), *inst.dist, m) /
+          omniscient_cost(*inst.dist, m);
+      EXPECT_NEAR(cost, bf, 0.08 * bf)
+          << inst.label << " " << sre::sim::to_string(scheme);
+      // The DP can never beat the continuous optimum by a real margin...
+      EXPECT_GT(cost, bf * 0.97) << inst.label;
+    }
+  }
+}
+
+TEST(Golden, AllNormalizedCostsBelowAwsBreakEven) {
+  // The load-bearing practical claim of Section 5.2: every heuristic's
+  // normalized cost stays below c_OD/c_RI = 4.
+  const CostModel m = CostModel::reservation_only();
+  for (const auto& inst : sre::dist::paper_distributions()) {
+    for (const auto& h : standard_heuristics(/*fast=*/true)) {
+      const double cost =
+          expected_cost_analytic(h->generate(*inst.dist, m), *inst.dist, m) /
+          omniscient_cost(*inst.dist, m);
+      EXPECT_LT(cost, 4.0) << inst.label << " " << h->name();
+    }
+  }
+}
+
+TEST(Golden, NeuroHpcBaseCase) {
+  // Fig. 4 base point: brute force ~1.11 normalized under the HPC model.
+  const auto inst = sre::dist::paper_distribution("Lognormal");
+  (void)inst;
+  sre::platform::NeuroHpcScenario scenario;
+  const auto d = scenario.distribution();
+  const CostModel m = scenario.cost_model();
+  BruteForceOptions opts;
+  opts.grid_points = 2000;
+  opts.analytic_eval = true;
+  const auto out = brute_force_search(d, m, opts);
+  ASSERT_TRUE(out.found);
+  EXPECT_NEAR(out.best_cost / omniscient_cost(d, m), 1.12, 0.03);
+}

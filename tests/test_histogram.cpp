@@ -1,0 +1,124 @@
+#include "dist/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/lognormal.hpp"
+#include "dist/uniform.hpp"
+#include "sim/rng.hpp"
+#include "stats/integrate.hpp"
+#include "stats/summary.hpp"
+
+using namespace sre::dist;
+
+namespace {
+HistogramDistribution two_bins() {
+  // [0,1) mass 0.25, [1,3) mass 0.75.
+  return HistogramDistribution({0.0, 1.0, 3.0}, {0.25, 0.75});
+}
+}  // namespace
+
+TEST(Histogram, PdfIsPiecewiseConstant) {
+  const auto h = two_bins();
+  EXPECT_DOUBLE_EQ(h.pdf(0.5), 0.25);
+  EXPECT_DOUBLE_EQ(h.pdf(2.0), 0.375);
+  EXPECT_DOUBLE_EQ(h.pdf(-0.1), 0.0);
+  EXPECT_DOUBLE_EQ(h.pdf(3.5), 0.0);
+}
+
+TEST(Histogram, CdfInterpolatesLinearly) {
+  const auto h = two_bins();
+  EXPECT_DOUBLE_EQ(h.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.cdf(0.5), 0.125);
+  EXPECT_DOUBLE_EQ(h.cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(h.cdf(2.0), 0.25 + 0.375);
+  EXPECT_DOUBLE_EQ(h.cdf(3.0), 1.0);
+}
+
+TEST(Histogram, QuantileRoundTrips) {
+  const auto h = two_bins();
+  for (double p = 0.01; p < 1.0; p += 0.04) {
+    EXPECT_NEAR(h.cdf(h.quantile(p)), p, 1e-12) << p;
+  }
+}
+
+TEST(Histogram, MomentsClosedForm) {
+  const auto h = two_bins();
+  // mean = 0.25 * 0.5 + 0.75 * 2 = 1.625.
+  EXPECT_NEAR(h.mean(), 1.625, 1e-13);
+  // E[X^2] = 0.25 * 1/3 + 0.75 * (1 + 3 + 9)/3.
+  const double ex2 = 0.25 / 3.0 + 0.75 * 13.0 / 3.0;
+  EXPECT_NEAR(h.variance(), ex2 - 1.625 * 1.625, 1e-12);
+}
+
+TEST(Histogram, ConditionalMeanClosedFormVsQuadrature) {
+  const auto h = two_bins();
+  for (double tau : {0.2, 0.9, 1.0, 1.5, 2.7}) {
+    const double num = sre::stats::integrate(
+        [&h](double t) { return t * h.pdf(t); }, tau, 3.0, 1e-12);
+    const double reference = num / (1.0 - h.cdf(tau));
+    EXPECT_NEAR(h.conditional_mean_above(tau), reference, 1e-9) << tau;
+  }
+  // Mid-bin hand value: above 2, uniform on [2,3]: mean 2.5.
+  EXPECT_NEAR(h.conditional_mean_above(2.0), 2.5, 1e-12);
+}
+
+TEST(Histogram, FromSamplesReconstructsUniform) {
+  const Uniform truth(10.0, 20.0);
+  sre::sim::Rng rng = sre::sim::make_rng(4);
+  std::vector<double> samples;
+  for (int i = 0; i < 100000; ++i) samples.push_back(truth.sample(rng));
+  const auto h = HistogramDistribution::from_samples(samples, 20);
+  EXPECT_NEAR(h.mean(), 15.0, 0.05);
+  EXPECT_NEAR(h.variance(), 100.0 / 12.0, 0.2);
+  EXPECT_NEAR(h.quantile(0.5), 15.0, 0.1);
+  EXPECT_NEAR(h.cdf(12.5), 0.25, 0.01);
+}
+
+TEST(Histogram, FromSamplesApproximatesLogNormal) {
+  const LogNormal truth(3.0, 0.5);
+  sre::sim::Rng rng = sre::sim::make_rng(5);
+  std::vector<double> samples;
+  for (int i = 0; i < 50000; ++i) samples.push_back(truth.sample(rng));
+  const auto h = HistogramDistribution::from_samples(samples, 128);
+  EXPECT_NEAR(h.mean(), truth.mean(), 0.02 * truth.mean());
+  EXPECT_NEAR(h.median(), truth.median(), 0.03 * truth.median());
+  // The histogram CDF tracks the true CDF uniformly.
+  for (double p : {0.1, 0.5, 0.9}) {
+    const double q = truth.quantile(p);
+    EXPECT_NEAR(h.cdf(q), p, 0.02) << p;
+  }
+}
+
+TEST(Histogram, DegenerateConstantTrace) {
+  const std::vector<double> samples(100, 7.0);
+  const auto h = HistogramDistribution::from_samples(samples, 8);
+  EXPECT_NEAR(h.mean(), 7.0, 1e-6);
+  EXPECT_TRUE(h.support().bounded());
+  EXPECT_NEAR(h.quantile(0.5), 7.0, 1e-6);
+}
+
+TEST(Histogram, HandlesEmptyBins) {
+  // Middle bin has zero mass; quantile and cdf stay consistent.
+  const HistogramDistribution h({0.0, 1.0, 2.0, 3.0}, {0.5, 0.0, 0.5});
+  EXPECT_DOUBLE_EQ(h.cdf(1.5), 0.5);
+  EXPECT_DOUBLE_EQ(h.pdf(1.5), 0.0);
+  EXPECT_NEAR(h.quantile(0.5), 1.0, 1e-12);
+  for (double p = 0.05; p < 1.0; p += 0.1) {
+    EXPECT_NEAR(h.cdf(h.quantile(p)), p, 1e-12) << p;
+  }
+}
+
+TEST(Histogram, SamplesStayInSupport) {
+  const auto h = two_bins();
+  sre::sim::Rng rng = sre::sim::make_rng(7);
+  sre::stats::OnlineMoments acc;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = h.sample(rng);
+    ASSERT_GE(x, 0.0);
+    ASSERT_LE(x, 3.0);
+    acc.add(x);
+  }
+  EXPECT_NEAR(acc.mean(), 1.625, 0.02);
+}

@@ -1,0 +1,101 @@
+// End-to-end pipelines at reduced sizes, asserting the paper's qualitative
+// findings: BRUTE-FORCE dominates, the discretization DPs are close behind,
+// MEDIAN-BY-MEDIAN trails, and everything stays under the RI/OD break-even
+// ratio of 4.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/heuristics/heuristic.hpp"
+#include "dist/factory.hpp"
+#include "platform/workload.hpp"
+
+using namespace sre::core;
+
+namespace {
+
+std::map<std::string, HeuristicEvaluation> evaluate_all(
+    const sre::dist::Distribution& d, const CostModel& m) {
+  std::map<std::string, HeuristicEvaluation> out;
+  EvaluationOptions opts;
+  opts.mc.samples = 1000;
+  opts.mc.seed = 42;
+  for (const auto& h : standard_heuristics(/*fast=*/true)) {
+    out[h->name()] = evaluate_heuristic(*h, d, m, opts);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(Integration, ReservationOnlyTableShape) {
+  const CostModel m = CostModel::reservation_only();
+  for (const char* label : {"Exponential", "Lognormal", "Uniform"}) {
+    const auto inst = sre::dist::paper_distribution(label);
+    ASSERT_TRUE(inst.has_value());
+    const auto results = evaluate_all(*inst->dist, m);
+    ASSERT_EQ(results.size(), 7u) << label;
+
+    const double bf = results.at("Brute-Force").normalized_analytic;
+    for (const auto& [name, eval] : results) {
+      // All heuristics beat the AWS break-even ratio of 4...
+      EXPECT_LT(eval.normalized_mc, 4.0) << label << " " << name;
+      EXPECT_GE(eval.normalized_analytic, 1.0 - 1e-9) << label << " " << name;
+      // ...and none beats brute force by more than the fast-grid slack.
+      EXPECT_GE(eval.normalized_analytic, bf - 0.05) << label << " " << name;
+    }
+    // Med-by-Med never wins (Table 2: it is the weakest column).
+    EXPECT_GT(results.at("Med-by-Med").normalized_analytic, bf);
+  }
+}
+
+TEST(Integration, UniformRowMatchesTable2) {
+  // Uniform's row in Table 2: BF = Equal-time = Equal-prob. = 1.33.
+  const auto inst = sre::dist::paper_distribution("Uniform");
+  const auto results = evaluate_all(*inst->dist, CostModel::reservation_only());
+  EXPECT_NEAR(results.at("Brute-Force").normalized_analytic, 4.0 / 3.0, 0.01);
+  EXPECT_NEAR(results.at("Equal-time").normalized_analytic, 4.0 / 3.0, 0.01);
+  EXPECT_NEAR(results.at("Equal-probability").normalized_analytic, 4.0 / 3.0,
+              0.01);
+}
+
+TEST(Integration, MonteCarloTracksAnalyticPerHeuristic) {
+  const auto inst = sre::dist::paper_distribution("Gamma");
+  const auto results = evaluate_all(*inst->dist, CostModel::reservation_only());
+  for (const auto& [name, eval] : results) {
+    EXPECT_NEAR(eval.normalized_mc, eval.normalized_analytic,
+                0.15 * eval.normalized_analytic)
+        << name;
+  }
+}
+
+TEST(Integration, NeuroHpcScenarioShape) {
+  const sre::platform::NeuroHpcScenario scenario;
+  const auto d = scenario.distribution();
+  const CostModel m = scenario.cost_model();
+  const auto results = evaluate_all(d, m);
+  const double bf = results.at("Brute-Force").normalized_analytic;
+  // Fig. 4: brute force and the DPs sit together well below the simple
+  // heuristics on the unscaled distribution.
+  EXPECT_LT(bf, results.at("Mean-Doubling").normalized_analytic);
+  EXPECT_NEAR(results.at("Equal-time").normalized_analytic, bf, 0.12 * bf);
+  EXPECT_NEAR(results.at("Equal-probability").normalized_analytic, bf,
+              0.12 * bf);
+  for (const auto& [name, eval] : results) {
+    EXPECT_GE(eval.normalized_analytic, 1.0 - 1e-9) << name;
+    EXPECT_LT(eval.normalized_analytic, 6.0) << name;
+  }
+}
+
+TEST(Integration, AllHeuristicSequencesCoverAllDistributions) {
+  const CostModel m = CostModel::reservation_only();
+  for (const auto& inst : sre::dist::paper_distributions()) {
+    for (const auto& h : standard_heuristics(/*fast=*/true)) {
+      const auto seq = h->generate(*inst.dist, m);
+      ASSERT_FALSE(seq.empty()) << inst.label << " " << h->name();
+      EXPECT_TRUE(seq.covers_distribution(*inst.dist, 1e-10))
+          << inst.label << " " << h->name();
+    }
+  }
+}

@@ -1,0 +1,103 @@
+#include "platform/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+using namespace sre::platform;
+
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "sre_io_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  void write_file(const std::string& name, const std::string& content) const {
+    std::ofstream out(path(name));
+    out << content;
+  }
+
+  std::filesystem::path dir_;
+};
+
+}  // namespace
+
+TEST_F(IoTest, TraceRoundTrip) {
+  const std::vector<double> values = {1.5, 2.25, 0.125, 1e6, 3.14159};
+  ASSERT_TRUE(write_trace_csv(path("t.csv"), values));
+  const auto back = read_trace_csv(path("t.csv"));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, values);
+}
+
+TEST_F(IoTest, ToleratesCommentsBlanksAndHeader) {
+  write_file("t.csv",
+             "# a trace\n"
+             "runtime_seconds\n"
+             "\n"
+             "1.5\n"
+             "2.5\n"
+             "# trailing comment\n"
+             "3.5\n");
+  const auto values = read_trace_csv(path("t.csv"));
+  ASSERT_TRUE(values.has_value());
+  EXPECT_EQ(*values, (std::vector<double>{1.5, 2.5, 3.5}));
+}
+
+TEST_F(IoTest, ReadsLastColumnOfMultiColumnFiles) {
+  write_file("t.csv", "job,seconds\n1,10.5\n2,20.25\n");
+  const auto values = read_trace_csv(path("t.csv"));
+  ASSERT_TRUE(values.has_value());
+  EXPECT_EQ(*values, (std::vector<double>{10.5, 20.25}));
+}
+
+TEST_F(IoTest, RejectsGarbageAndReportsLine) {
+  write_file("t.csv", "1.5\nnot-a-number\n");
+  std::string error;
+  EXPECT_FALSE(read_trace_csv(path("t.csv"), &error).has_value());
+  EXPECT_NE(error.find(":2:"), std::string::npos) << error;
+}
+
+TEST_F(IoTest, RejectsNonPositiveValues) {
+  write_file("t.csv", "1.5\n-2.0\n");
+  std::string error;
+  EXPECT_FALSE(read_trace_csv(path("t.csv"), &error).has_value());
+  EXPECT_NE(error.find("positive"), std::string::npos) << error;
+}
+
+TEST_F(IoTest, RejectsMissingAndEmptyFiles) {
+  std::string error;
+  EXPECT_FALSE(read_trace_csv(path("nosuch.csv"), &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+  write_file("empty.csv", "# only comments\n");
+  EXPECT_FALSE(read_trace_csv(path("empty.csv"), &error).has_value());
+  EXPECT_NE(error.find("no samples"), std::string::npos);
+}
+
+TEST_F(IoTest, SequenceRoundTrip) {
+  const sre::core::ReservationSequence seq({0.75, 2.0, 4.5, 10.0});
+  ASSERT_TRUE(write_sequence_csv(path("s.csv"), seq));
+  const auto back = read_sequence_csv(path("s.csv"));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ((*back)[i], seq[i]) << i;
+  }
+}
+
+TEST_F(IoTest, SequenceRejectsNonIncreasingFiles) {
+  write_file("s.csv", "index,reservation\n1,2.0\n2,1.0\n");
+  std::string error;
+  EXPECT_FALSE(read_sequence_csv(path("s.csv"), &error).has_value());
+  EXPECT_NE(error.find("increasing"), std::string::npos) << error;
+}

@@ -1,0 +1,116 @@
+#include "dist/mixture.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/exponential.hpp"
+#include "dist/lognormal.hpp"
+#include "sim/rng.hpp"
+#include "stats/integrate.hpp"
+#include "stats/summary.hpp"
+
+using namespace sre::dist;
+
+namespace {
+MixtureDistribution bimodal() {
+  // Two well-separated LogNormal modes, like the fMRIQA trace of Fig. 1a.
+  return MixtureDistribution({{0.6, std::make_shared<LogNormal>(1.0, 0.3)},
+                              {0.4, std::make_shared<LogNormal>(3.0, 0.25)}});
+}
+}  // namespace
+
+TEST(Mixture, NormalizesWeights) {
+  const MixtureDistribution m({{2.0, std::make_shared<Exponential>(1.0)},
+                               {6.0, std::make_shared<Exponential>(2.0)}});
+  EXPECT_DOUBLE_EQ(m.components()[0].weight, 0.25);
+  EXPECT_DOUBLE_EQ(m.components()[1].weight, 0.75);
+}
+
+TEST(Mixture, DegenerateSingleComponentIsIdentity) {
+  const Exponential ref(1.3);
+  const MixtureDistribution m({{1.0, std::make_shared<Exponential>(1.3)}});
+  for (double t : {0.2, 1.0, 3.0}) {
+    EXPECT_NEAR(m.pdf(t), ref.pdf(t), 1e-13);
+    EXPECT_NEAR(m.cdf(t), ref.cdf(t), 1e-13);
+    EXPECT_NEAR(m.conditional_mean_above(t), ref.conditional_mean_above(t),
+                1e-12);
+  }
+  for (double p : {0.1, 0.5, 0.95}) {
+    EXPECT_NEAR(m.quantile(p), ref.quantile(p), 1e-9);
+  }
+}
+
+TEST(Mixture, HyperexponentialClosedForms) {
+  const auto h = MixtureDistribution::hyperexponential({0.3, 0.7}, {1.0, 5.0});
+  // mean = 0.3/1 + 0.7/5.
+  EXPECT_NEAR(h.mean(), 0.3 + 0.14, 1e-13);
+  // E[X^2] = sum w_i * 2/l_i^2; var = E[X^2] - mean^2.
+  const double ex2 = 0.3 * 2.0 + 0.7 * 2.0 / 25.0;
+  EXPECT_NEAR(h.variance(), ex2 - 0.44 * 0.44, 1e-12);
+  // sf is the weighted sum of exponential tails.
+  for (double t : {0.1, 0.7, 2.0}) {
+    EXPECT_NEAR(h.sf(t), 0.3 * std::exp(-t) + 0.7 * std::exp(-5.0 * t), 1e-13)
+        << t;
+  }
+  // Hyperexponential CV^2 >= 1 (high variability).
+  EXPECT_GE(h.variance() / (h.mean() * h.mean()), 1.0);
+}
+
+TEST(Mixture, QuantileRoundTrips) {
+  const auto m = bimodal();
+  for (double p = 0.02; p < 1.0; p += 0.05) {
+    EXPECT_NEAR(m.cdf(m.quantile(p)), p, 1e-9) << p;
+  }
+}
+
+TEST(Mixture, QuantileMonotone) {
+  const auto m = bimodal();
+  double prev = 0.0;
+  for (double p = 0.05; p < 1.0; p += 0.05) {
+    const double q = m.quantile(p);
+    EXPECT_GT(q, prev) << p;
+    prev = q;
+  }
+}
+
+TEST(Mixture, ConditionalMeanMatchesQuadrature) {
+  const auto m = bimodal();
+  for (double p : {0.1, 0.4, 0.7, 0.95}) {
+    const double tau = m.quantile(p);
+    const double hi = m.quantile(1.0 - 1e-13);
+    const double num = sre::stats::integrate(
+        [&m](double t) { return t * m.pdf(t); }, tau, hi, 1e-11);
+    const double reference = num / m.sf(tau);
+    EXPECT_NEAR(m.conditional_mean_above(tau), reference, 2e-3 * reference)
+        << p;
+  }
+}
+
+TEST(Mixture, SamplingMatchesMoments) {
+  const auto m = bimodal();
+  sre::sim::Rng rng = sre::sim::make_rng(12);
+  sre::stats::OnlineMoments acc;
+  for (int i = 0; i < 200000; ++i) acc.add(m.sample(rng));
+  EXPECT_NEAR(acc.mean(), m.mean(), 0.02 * m.mean());
+  EXPECT_NEAR(acc.variance(), m.variance(), 0.08 * m.variance());
+}
+
+TEST(Mixture, PdfIntegratesToOne) {
+  const auto m = bimodal();
+  const double total = sre::stats::integrate(
+      [&m](double t) { return m.pdf(t); }, 1e-9, m.quantile(1.0 - 1e-12),
+      1e-10);
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(Mixture, BimodalityVisibleInPdf) {
+  const auto m = bimodal();
+  // Two local maxima around e^{1.0} ~ 2.7 and e^{3.0} ~ 20, with a valley
+  // between.
+  const double mode1 = m.pdf(2.5);
+  const double valley = m.pdf(9.0);
+  const double mode2 = m.pdf(19.0);
+  EXPECT_GT(mode1, valley * 3.0);
+  EXPECT_GT(mode2, valley * 2.0);
+}

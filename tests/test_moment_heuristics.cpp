@@ -1,0 +1,140 @@
+// MEAN-BY-MEAN, MEAN-STDEV, MEAN-DOUBLING, MEDIAN-BY-MEDIAN (Section 4.3)
+// against the Appendix B closed forms and the validity invariants.
+
+#include "core/heuristics/moment_based.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/exponential.hpp"
+#include "dist/factory.hpp"
+#include "dist/pareto.hpp"
+#include "dist/uniform.hpp"
+
+using namespace sre::core;
+
+namespace {
+const CostModel kRO = CostModel::reservation_only();
+}
+
+TEST(MeanByMean, ExponentialIsArithmetic) {
+  // Memorylessness: t_i = i / lambda (Appendix B).
+  const sre::dist::Exponential e(2.0);
+  const auto seq = MeanByMean().generate(e, kRO);
+  ASSERT_GE(seq.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(seq[i], static_cast<double>(i + 1) / 2.0, 1e-10) << i;
+  }
+}
+
+TEST(MeanByMean, ParetoIsGeometric) {
+  // t_i = (alpha/(alpha-1)) t_{i-1} (Theorem 10).
+  const sre::dist::Pareto p(1.5, 3.0);
+  const auto seq = MeanByMean().generate(p, kRO);
+  ASSERT_GE(seq.size(), 5u);
+  EXPECT_NEAR(seq[0], 2.25, 1e-12);  // the mean
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_NEAR(seq[i], 1.5 * seq[i - 1], 1e-9) << i;
+  }
+}
+
+TEST(MeanByMean, UniformIsMidpointToB) {
+  // t_i = (b + t_{i-1}) / 2 (Theorem 11), ending at b.
+  const sre::dist::Uniform u(10.0, 20.0);
+  const auto seq = MeanByMean().generate(u, kRO);
+  ASSERT_GE(seq.size(), 4u);
+  EXPECT_DOUBLE_EQ(seq[0], 15.0);
+  EXPECT_NEAR(seq[1], 17.5, 1e-12);
+  EXPECT_NEAR(seq[2], 18.75, 1e-12);
+  EXPECT_DOUBLE_EQ(seq.last(), 20.0);
+}
+
+TEST(MeanByMean, StartsAtMeanForAllDistributions) {
+  for (const auto& inst : sre::dist::paper_distributions()) {
+    const auto seq = MeanByMean().generate(*inst.dist, kRO);
+    EXPECT_NEAR(seq.first(), inst.dist->mean(), 1e-9 * inst.dist->mean())
+        << inst.label;
+  }
+}
+
+TEST(MeanStdev, ArithmeticProgression) {
+  const sre::dist::Exponential e(1.0);
+  const auto seq = MeanStdev().generate(e, kRO);
+  ASSERT_GE(seq.size(), 4u);
+  EXPECT_DOUBLE_EQ(seq[0], 1.0);
+  EXPECT_NEAR(seq[1], 2.0, 1e-12);  // mu + sigma, sigma = 1
+  EXPECT_NEAR(seq[2], 3.0, 1e-12);
+  EXPECT_NEAR(seq[3], 4.0, 1e-12);
+}
+
+TEST(MeanDoubling, GeometricProgression) {
+  const sre::dist::Exponential e(1.0);
+  const auto seq = MeanDoubling().generate(e, kRO);
+  ASSERT_GE(seq.size(), 4u);
+  EXPECT_DOUBLE_EQ(seq[0], 1.0);
+  EXPECT_DOUBLE_EQ(seq[1], 2.0);
+  EXPECT_DOUBLE_EQ(seq[2], 4.0);
+  EXPECT_DOUBLE_EQ(seq[3], 8.0);
+}
+
+TEST(MedianByMedian, QuantileLadder) {
+  // t_i = Q(1 - 2^{-i}).
+  const sre::dist::Exponential e(1.0);
+  const auto seq = MedianByMedian().generate(e, kRO);
+  ASSERT_GE(seq.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double expect = -std::log(std::pow(0.5, i + 1));
+    EXPECT_NEAR(seq[i], expect, 1e-10) << i;
+  }
+}
+
+TEST(MedianByMedian, StartsAtMedian) {
+  for (const auto& inst : sre::dist::paper_distributions()) {
+    const auto seq = MedianByMedian().generate(*inst.dist, kRO);
+    EXPECT_NEAR(seq.first(), inst.dist->median(),
+                1e-8 * (1.0 + inst.dist->median()))
+        << inst.label;
+  }
+}
+
+class MomentHeuristicInvariants
+    : public ::testing::TestWithParam<sre::dist::PaperInstance> {};
+
+TEST_P(MomentHeuristicInvariants, SequencesAreValidAndCovering) {
+  const auto& d = *GetParam().dist;
+  const MeanByMean mbm;
+  const MeanStdev ms;
+  const MeanDoubling md;
+  const MedianByMedian mm;
+  for (const Heuristic* h :
+       std::initializer_list<const Heuristic*>{&mbm, &ms, &md, &mm}) {
+    const auto seq = h->generate(d, kRO);
+    ASSERT_FALSE(seq.empty()) << h->name();
+    for (std::size_t i = 1; i < seq.size(); ++i) {
+      ASSERT_GT(seq[i], seq[i - 1]) << h->name() << " i=" << i;
+    }
+    EXPECT_TRUE(seq.covers_distribution(d, 1e-10)) << h->name();
+  }
+}
+
+TEST_P(MomentHeuristicInvariants, BoundedSupportEndsExactlyAtB) {
+  const auto& d = *GetParam().dist;
+  if (!d.support().bounded()) GTEST_SKIP();
+  const MeanByMean mbm;
+  const MeanStdev ms;
+  const MeanDoubling md;
+  const MedianByMedian mm;
+  for (const Heuristic* h :
+       std::initializer_list<const Heuristic*>{&mbm, &ms, &md, &mm}) {
+    const auto seq = h->generate(d, kRO);
+    EXPECT_DOUBLE_EQ(seq.last(), d.support().upper) << h->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, MomentHeuristicInvariants,
+    ::testing::ValuesIn(sre::dist::paper_distributions()),
+    [](const ::testing::TestParamInfo<sre::dist::PaperInstance>& info) {
+      return info.param.label;
+    });

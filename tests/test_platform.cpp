@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "core/heuristics/moment_based.hpp"
+#include "dist/factory.hpp"
+#include "platform/cloud.hpp"
+#include "platform/hpc.hpp"
+#include "platform/workload.hpp"
+
+using namespace sre::platform;
+
+TEST(Cloud, ReservedCostModelMapping) {
+  const CloudPricing p{2.0, 8.0, 0.5};
+  const auto m = reserved_cost_model(p);
+  EXPECT_DOUBLE_EQ(m.alpha, 2.0);
+  EXPECT_DOUBLE_EQ(m.beta, 0.0);
+  EXPECT_DOUBLE_EQ(m.gamma, 0.5);
+  EXPECT_DOUBLE_EQ(p.price_ratio(), 4.0);
+}
+
+TEST(Cloud, OnDemandCost) {
+  const auto d = sre::dist::paper_distribution("Exponential")->dist;
+  const CloudPricing p{1.0, 4.0, 0.0};
+  EXPECT_DOUBLE_EQ(on_demand_expected_cost(*d, p), 4.0 * d->mean());
+}
+
+TEST(Cloud, AdviceFavorsReservedAtPaperRatio) {
+  // Every heuristic's normalized cost is < 4 in Table 2, so at the AWS
+  // ratio of 4 the advisor must recommend Reserved.
+  const auto d = sre::dist::paper_distribution("Lognormal")->dist;
+  const CloudPricing p{1.0, 4.0, 0.0};
+  const sre::core::MeanDoubling h;
+  const auto decision = advise_reserved_vs_on_demand(*d, p, h);
+  EXPECT_TRUE(decision.use_reserved);
+  EXPECT_GT(decision.savings_fraction, 0.0);
+  EXPECT_LT(decision.normalized_cost, 4.0);
+  EXPECT_EQ(decision.strategy, "Mean-Doubling");
+}
+
+TEST(Cloud, AdviceFavorsOnDemandAtUnitRatio) {
+  // With c_OD == c_RI no reservation strategy can beat on-demand (its
+  // normalized cost is >= 1).
+  const auto d = sre::dist::paper_distribution("Exponential")->dist;
+  const CloudPricing p{1.0, 1.0, 0.0};
+  const sre::core::MeanDoubling h;
+  const auto decision = advise_reserved_vs_on_demand(*d, p, h);
+  EXPECT_FALSE(decision.use_reserved);
+}
+
+TEST(Cloud, BreakEvenEqualsNormalizedCost) {
+  const auto d = sre::dist::paper_distribution("Exponential")->dist;
+  const sre::core::MeanDoubling h;
+  const double ratio = break_even_price_ratio(*d, h);
+  const CloudPricing p{1.0, 4.0, 0.0};
+  const auto decision = advise_reserved_vs_on_demand(*d, p, h);
+  EXPECT_NEAR(ratio, decision.normalized_cost, 1e-9);
+  EXPECT_GT(ratio, 1.0);
+  EXPECT_LT(ratio, 4.0);
+}
+
+TEST(Hpc, CostModelMapping) {
+  const WaitTimeModel w{0.95, 1.05};
+  const auto m = hpc_cost_model(w);
+  EXPECT_DOUBLE_EQ(m.alpha, 0.95);
+  EXPECT_DOUBLE_EQ(m.beta, 1.0);
+  EXPECT_DOUBLE_EQ(m.gamma, 1.05);
+  EXPECT_DOUBLE_EQ(w.wait(2.0), 0.95 * 2.0 + 1.05);
+}
+
+TEST(Hpc, SyntheticLogRecoversGroundTruth) {
+  QueueLogConfig cfg;
+  cfg.truth = WaitTimeModel{0.95, 1.05};
+  cfg.jobs_per_group = 200;
+  const auto log = synthesize_queue_log(cfg);
+  EXPECT_EQ(log.size(), cfg.groups * cfg.jobs_per_group);
+  const QueueLogFit fit = fit_queue_log(log, cfg.groups);
+  EXPECT_NEAR(fit.model.slope, 0.95, 0.05);
+  EXPECT_NEAR(fit.model.intercept, 1.05, 0.2);
+  EXPECT_GT(fit.r_squared, 0.95);
+  EXPECT_GE(fit.group_requested.size(), cfg.groups - 2);
+}
+
+TEST(Hpc, FitIsDeterministicForSeed) {
+  QueueLogConfig cfg;
+  const auto a = fit_queue_log(synthesize_queue_log(cfg), cfg.groups);
+  const auto b = fit_queue_log(synthesize_queue_log(cfg), cfg.groups);
+  EXPECT_DOUBLE_EQ(a.model.slope, b.model.slope);
+  EXPECT_DOUBLE_EQ(a.model.intercept, b.model.intercept);
+}
+
+TEST(NeuroHpc, BaseMomentsMatchPaper) {
+  const NeuroHpcScenario s;
+  // ~0.348 h mean, ~0.072 h stdev (1253.37 s / 258.26 s).
+  EXPECT_NEAR(s.base_mean_hours(), 0.348, 0.002);
+  EXPECT_NEAR(s.base_stddev_hours(), 0.0717, 0.002);
+}
+
+TEST(NeuroHpc, ScaledDistributionHitsRequestedMoments) {
+  const NeuroHpcScenario s;
+  for (const double ms : {1.0, 4.0, 10.0}) {
+    for (const double ss : {1.0, 5.0, 10.0}) {
+      const auto d = s.distribution(ms, ss);
+      EXPECT_NEAR(d.mean(), s.base_mean_hours() * ms, 1e-9);
+      EXPECT_NEAR(d.stddev(), s.base_stddev_hours() * ss, 1e-9);
+    }
+  }
+}
+
+TEST(NeuroHpc, CostModelIsPaperInstantiation) {
+  const NeuroHpcScenario s;
+  const auto m = s.cost_model();
+  EXPECT_DOUBLE_EQ(m.alpha, 0.95);
+  EXPECT_DOUBLE_EQ(m.beta, 1.0);
+  EXPECT_DOUBLE_EQ(m.gamma, 1.05);
+}

@@ -1,0 +1,89 @@
+#include "core/heuristics/polish.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/expected_cost.hpp"
+#include "core/heuristics/brute_force.hpp"
+#include "core/heuristics/moment_based.hpp"
+#include "dist/exponential.hpp"
+#include "dist/factory.hpp"
+#include "dist/uniform.hpp"
+
+using namespace sre::core;
+
+TEST(Polish, NeverIncreasesCost) {
+  const CostModel models[] = {CostModel::reservation_only(),
+                              CostModel{0.95, 1.0, 1.05}};
+  for (const auto& m : models) {
+    for (const auto& inst : sre::dist::paper_distributions()) {
+      const auto seed = MeanDoubling().generate(*inst.dist, m);
+      const auto polished = polish_sequence(seed, *inst.dist, m);
+      EXPECT_LE(polished.cost_after, polished.cost_before * (1.0 + 1e-12))
+          << inst.label << " " << m.describe();
+      EXPECT_NEAR(
+          polished.cost_after,
+          expected_cost_analytic(polished.sequence, *inst.dist, m),
+          1e-9 * polished.cost_after)
+          << inst.label;
+    }
+  }
+}
+
+TEST(Polish, RecoversExactExponentialOptimum) {
+  // From a mediocre doubling plan, coordinate descent reaches the true
+  // optimum E1 = 2.3644977694 (this is the verification route used in
+  // EXPERIMENTS.md, now productized).
+  const sre::dist::Exponential e(1.0);
+  const CostModel m = CostModel::reservation_only();
+  const auto seed = MeanDoubling().generate(e, m);
+  PolishOptions opts;
+  opts.max_sweeps = 200;
+  const auto polished = polish_sequence(seed, e, m, opts);
+  EXPECT_NEAR(polished.cost_after, 2.3644977694, 2e-3);
+}
+
+TEST(Polish, ImprovesEveryHeuristicTowardBruteForce) {
+  const auto inst = sre::dist::paper_distribution("Lognormal");
+  const CostModel m = CostModel::reservation_only();
+  BruteForceOptions bf;
+  bf.grid_points = 2000;
+  bf.analytic_eval = true;
+  const auto out = brute_force_search(*inst->dist, m, bf);
+  ASSERT_TRUE(out.found);
+
+  const MeanByMean mbm;
+  const MedianByMedian mm;
+  for (const Heuristic* h :
+       std::initializer_list<const Heuristic*>{&mbm, &mm}) {
+    const auto seed = h->generate(*inst->dist, m);
+    PolishOptions opts;
+    opts.max_sweeps = 60;
+    const auto polished = polish_sequence(seed, *inst->dist, m, opts);
+    EXPECT_LT(polished.cost_after, polished.cost_before) << h->name();
+    EXPECT_LE(polished.cost_after, out.best_cost * 1.01) << h->name();
+  }
+}
+
+TEST(Polish, UniformCollapsesTowardSingleReservation) {
+  // Theorem 4: the optimum is (b). Polishing a two-step plan slides both
+  // elements toward b and the merge pass collapses them.
+  const sre::dist::Uniform u(10.0, 20.0);
+  const CostModel m{1.0, 0.5, 0.3};
+  const auto polished =
+      polish_sequence(ReservationSequence({15.0, 20.0}), u, m,
+                      PolishOptions{100, 1e-12, 1e-12, true});
+  EXPECT_EQ(polished.sequence.size(), 1u);
+  EXPECT_NEAR(polished.sequence.first(), 20.0, 1e-6);
+  EXPECT_NEAR(polished.cost_after,
+              expected_cost_analytic(ReservationSequence({20.0}), u, m),
+              1e-6);
+}
+
+TEST(Polish, IdempotentAtTheOptimum) {
+  const sre::dist::Uniform u(10.0, 20.0);
+  const CostModel m = CostModel::reservation_only();
+  const auto once =
+      polish_sequence(ReservationSequence({20.0}), u, m);
+  EXPECT_EQ(once.sequence.size(), 1u);
+  EXPECT_NEAR(once.cost_after, once.cost_before, 1e-12);
+}

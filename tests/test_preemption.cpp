@@ -1,0 +1,290 @@
+// Spot-style preemptible reservations: the closed per-job Wald form vs the
+// Monte-Carlo simulator, reduction to the base model at rate 0, and the
+// plan optimizer.
+
+#include "core/preemption.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/expected_cost.hpp"
+#include "core/heuristics/moment_based.hpp"
+#include "dist/exponential.hpp"
+#include "dist/factory.hpp"
+#include "dist/lognormal.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/rng.hpp"
+#include "stats/summary.hpp"
+
+using namespace sre::core;
+
+namespace {
+ReservationSequence covering(const sre::dist::Distribution& d) {
+  return MeanDoubling().generate(d, CostModel::reservation_only());
+}
+}  // namespace
+
+TEST(Preemption, RateZeroReducesToBaseModel) {
+  const sre::dist::LogNormal d(1.0, 0.5);
+  const auto seq = covering(d);
+  const CostModel m{1.0, 0.5, 0.2};
+  const PreemptionModel none{0.0};
+  sre::sim::Rng rng = sre::sim::make_rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const double x = d.sample(rng);
+    EXPECT_NEAR(preempted_cost_for(seq, x, m, none), seq.cost_for(x, m),
+                1e-10 * (1.0 + seq.cost_for(x, m)))
+        << x;
+  }
+  EXPECT_NEAR(preemption_expected_cost(seq, d, m, none),
+              expected_cost_analytic(seq, d, m),
+              1e-6 * expected_cost_analytic(seq, d, m));
+}
+
+TEST(Preemption, PerJobWaldFormMatchesSimulator) {
+  const ReservationSequence seq({1.0, 2.5, 6.0, 14.0});
+  const CostModel m{1.0, 0.5, 0.1};
+  const PreemptionModel p{0.4};
+  const sre::sim::PreemptingSimulator simulator(
+      seq.values(), {m.alpha, m.beta, m.gamma}, p.rate);
+  sre::sim::Rng rng = sre::sim::make_rng(17);
+  for (const double x : {0.6, 1.7, 3.0, 5.5, 9.0}) {
+    sre::stats::OnlineMoments acc;
+    for (int i = 0; i < 40000; ++i) {
+      const auto out = simulator.run_job(x, rng);
+      ASSERT_TRUE(out.completed);
+      acc.add(out.total_cost);
+    }
+    EXPECT_NEAR(acc.mean(), preempted_cost_for(seq, x, m, p),
+                6.0 * acc.standard_error())
+        << "x=" << x;
+  }
+}
+
+TEST(Preemption, ExpectedCostMatchesSimulatedCampaign) {
+  const sre::dist::Exponential d(1.0);
+  const auto seq = covering(d);
+  const CostModel m = CostModel::reservation_only();
+  const PreemptionModel p{0.5};
+  const sre::sim::PreemptingSimulator simulator(
+      seq.values(), {m.alpha, m.beta, m.gamma}, p.rate);
+  sre::sim::Rng rng = sre::sim::make_rng(5);
+  sre::stats::OnlineMoments acc;
+  for (int i = 0; i < 60000; ++i) {
+    acc.add(simulator.run_job(d.sample(rng), rng).total_cost);
+  }
+  EXPECT_NEAR(acc.mean(), preemption_expected_cost(seq, d, m, p),
+              6.0 * acc.standard_error());
+}
+
+TEST(Preemption, CostIsMonotoneInRate) {
+  const sre::dist::LogNormal d(1.0, 0.5);
+  const auto seq = covering(d);
+  const CostModel m = CostModel::reservation_only();
+  double prev = 0.0;
+  for (const double rate : {0.0, 0.1, 0.3, 0.8}) {
+    const double c = preemption_expected_cost(seq, d, m, PreemptionModel{rate});
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(Preemption, OptimizerNeverIncreasesCost) {
+  const sre::dist::Exponential d(1.0);
+  const auto seed = covering(d);
+  const CostModel m = CostModel::reservation_only();
+  for (const double rate : {0.0, 0.5, 2.0}) {
+    const auto out =
+        optimize_preemption_plan(seed, d, m, PreemptionModel{rate});
+    EXPECT_LE(out.cost_after, out.cost_before * (1.0 + 1e-12)) << rate;
+    EXPECT_NEAR(out.cost_after,
+                preemption_expected_cost(out.sequence, d, m,
+                                         PreemptionModel{rate}),
+                1e-8 * out.cost_after)
+        << rate;
+  }
+}
+
+TEST(Preemption, HigherRatesGrowTheFirstReservation) {
+  // Counterintuitive but correct: idle reserved time carries no exposure,
+  // while a too-short level must complete its *entire* run uninterrupted
+  // before the strategy learns anything (e^{rate*t} expected tries). The
+  // optimizer therefore OVER-reserves as the rate rises. Exponential law
+  // with rate < 1/mean keeps E[e^{rate X}] finite.
+  const sre::dist::Exponential d(1.0);
+  const CostModel m = CostModel::reservation_only();
+  const auto seed = covering(d);
+  const auto calm = optimize_preemption_plan(seed, d, m, PreemptionModel{0.0});
+  const auto stormy =
+      optimize_preemption_plan(seed, d, m, PreemptionModel{0.6});
+  EXPECT_GT(stormy.sequence.first(), calm.sequence.first());
+  // And the achievable cost is strictly worse under preemption.
+  EXPECT_GT(stormy.cost_after, calm.cost_after);
+}
+
+TEST(Preemption, HeavyTailCostBlowsUpWithRate) {
+  // For LogNormal, E[e^{rate X}] = infinity for any rate > 0: the rare
+  // huge jobs dominate and the (truncation-limited) expected cost explodes
+  // by orders of magnitude as the rate climbs -- the
+  // restart-under-interruption blow-up that motivates checkpointing on
+  // spot capacity. A bounded law under the same rates stays tame.
+  const CostModel m = CostModel::reservation_only();
+  const sre::dist::LogNormal heavy(1.0, 0.5);
+  const auto heavy_plan = covering(heavy);
+  const double c_low =
+      preemption_expected_cost(heavy_plan, heavy, m, PreemptionModel{0.3});
+  const double c_high =
+      preemption_expected_cost(heavy_plan, heavy, m, PreemptionModel{1.5});
+  EXPECT_GT(c_high, c_low * 1e3);
+
+  const auto uniform = sre::dist::paper_distribution("Uniform")->dist;
+  const auto bounded_plan = covering(*uniform);
+  const double u_low = preemption_expected_cost(
+      bounded_plan, *uniform, m, PreemptionModel{0.3 / uniform->mean()});
+  const double u_high = preemption_expected_cost(
+      bounded_plan, *uniform, m, PreemptionModel{1.5 / uniform->mean()});
+  EXPECT_LT(u_high, u_low * 50.0);  // tame growth on bounded support
+}
+
+TEST(SpotCheckpoint, RateZeroReducesToCheckpointCost) {
+  const sre::dist::LogNormal d(1.0, 0.5);
+  const CheckpointModel ckpt{0.1, 0.05};
+  const auto plan = checkpoint_mean_doubling(d, ckpt);
+  const CostModel m{1.0, 0.5, 0.2};
+  const PreemptionModel none{0.0};
+  sre::sim::Rng rng = sre::sim::make_rng(4);
+  for (int i = 0; i < 300; ++i) {
+    const double x = d.sample(rng);
+    EXPECT_NEAR(preempted_checkpoint_cost_for(plan, x, m, none),
+                plan.cost_for(x, m), 1e-9 * (1.0 + plan.cost_for(x, m)))
+        << x;
+  }
+  EXPECT_NEAR(preemption_checkpoint_expected_cost(plan, d, m, none),
+              checkpoint_expected_cost(plan, d, m),
+              1e-6 * checkpoint_expected_cost(plan, d, m));
+}
+
+TEST(SpotCheckpoint, PerJobWaldFormMatchesDirectSimulation) {
+  // Hand-rolled Monte Carlo of the level/retry semantics vs the closed
+  // Wald form.
+  const CheckpointModel ckpt{0.15, 0.1};
+  const auto plan =
+      CheckpointSequence::from_work_targets({0.8, 2.0, 4.5, 10.0}, ckpt);
+  const CostModel m{1.0, 0.5, 0.1};
+  const PreemptionModel p{0.35};
+  sre::sim::Rng rng = sre::sim::make_rng(21);
+  std::exponential_distribution<double> interrupt(p.rate);
+  for (const double x : {0.5, 1.5, 3.0, 8.0}) {
+    sre::stats::OnlineMoments acc;
+    for (int trial = 0; trial < 30000; ++trial) {
+      double cost = 0.0;
+      double secured = 0.0;
+      std::size_t level = 0;
+      double tail_target = 0.0;
+      for (;;) {
+        double t, target, restore;
+        if (level < plan.size()) {
+          t = plan.reservations()[level];
+          target = plan.banked_work()[level];
+          restore = (level == 0) ? 0.0 : ckpt.restart_cost;
+        } else {
+          // Constant-increment tail, mirroring the library's semantics.
+          const auto& banked = plan.banked_work();
+          const double step = (plan.size() >= 2)
+                                  ? banked.back() - banked[plan.size() - 2]
+                                  : banked.back();
+          tail_target = (tail_target == 0.0) ? banked.back() + step
+                                             : tail_target + step;
+          target = tail_target;
+          restore = ckpt.restart_cost;
+          t = (target - secured) + restore + ckpt.checkpoint_cost;
+        }
+        const bool covers = x <= target;
+        const double u = covers ? (restore + (x - secured)) : t;
+        // retries at this level until a run survives
+        for (;;) {
+          const double ti = interrupt(rng);
+          if (ti < u) {
+            cost += m.alpha * t + m.beta * ti + m.gamma;
+          } else {
+            cost += m.alpha * t + m.beta * u + m.gamma;
+            break;
+          }
+        }
+        if (covers) break;
+        secured = target;
+        ++level;
+      }
+      acc.add(cost);
+    }
+    EXPECT_NEAR(acc.mean(), preempted_checkpoint_cost_for(plan, x, m, p),
+                6.0 * acc.standard_error())
+        << "x=" << x;
+  }
+}
+
+TEST(SpotCheckpoint, MakesHeavyTailsAffordableAgain) {
+  // The headline: at a rate where the restart model's cost explodes, the
+  // checkpointed plan stays within a small multiple of its rate-0 cost.
+  const sre::dist::LogNormal d(1.0, 0.5);
+  const CostModel m = CostModel::reservation_only();
+  const PreemptionModel p{1.0};
+  const CheckpointModel ckpt{0.05 * d.mean(), 0.05 * d.mean()};
+
+  const auto restart_plan = covering(d);
+  const double restart_cost =
+      preemption_expected_cost(restart_plan, d, m, p);
+
+  // A bounded-increment (fixed quantum) checkpoint plan; growing-slot
+  // plans would re-inherit the blow-up.
+  const auto ckpt_plan = checkpoint_fixed_quantum(d, ckpt, 0.5 * d.mean());
+  const double with_preemption =
+      preemption_checkpoint_expected_cost(ckpt_plan, d, m, p);
+  const double ckpt_rate0 =
+      preemption_checkpoint_expected_cost(ckpt_plan, d, m,
+                                          PreemptionModel{0.0});
+
+  EXPECT_LT(with_preemption, restart_cost / 100.0);
+  EXPECT_LT(with_preemption, ckpt_rate0 * 20.0);
+}
+
+TEST(SpotCheckpoint, OptimizerNeverIncreasesCost) {
+  const sre::dist::Exponential d(1.0);
+  const CheckpointModel ckpt{0.05, 0.05};
+  const auto seed = checkpoint_fixed_quantum(d, ckpt, 1.0);
+  const CostModel m = CostModel::reservation_only();
+  for (const double rate : {0.0, 0.5, 2.0}) {
+    const auto out = optimize_preemption_checkpoint_plan(
+        seed, d, m, PreemptionModel{rate}, 4);
+    EXPECT_LE(out.cost_after, out.cost_before * (1.0 + 1e-12)) << rate;
+  }
+}
+
+TEST(SpotCheckpoint, HigherRatesShrinkTheWorkQuantum) {
+  // Opposite of the restart model: with checkpoints, the per-level exposure
+  // IS the slot length, so rising rates favor smaller work increments.
+  // Asserted on the best *fixed quantum* (a 1-D sweep), which isolates the
+  // effect from the coordinate-descent optimizer's fixed target count.
+  const sre::dist::Exponential d(1.0);
+  const CheckpointModel ckpt{0.02, 0.02};
+  const CostModel m = CostModel::reservation_only();
+  const auto best_quantum = [&](double rate) {
+    double best_q = 0.0;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (double q = 0.05; q <= 3.0; q *= 1.25) {
+      const auto plan = checkpoint_fixed_quantum(d, ckpt, q);
+      const double c =
+          preemption_checkpoint_expected_cost(plan, d, m, PreemptionModel{rate});
+      if (c < best_cost) {
+        best_cost = c;
+        best_q = q;
+      }
+    }
+    return best_q;
+  };
+  const double calm = best_quantum(0.1);
+  const double stormy = best_quantum(3.0);
+  EXPECT_LT(stormy, calm);
+}

@@ -1,0 +1,169 @@
+// Cross-cutting property tests parameterized over every Table 1 law:
+// fuzzed sequences agree across the three cost routes, per-job cost is
+// monotone, the DP dominates every heuristic on its own discrete instance,
+// and the brute-force winner satisfies the stationarity equation.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/expected_cost.hpp"
+#include "core/heuristics/brute_force.hpp"
+#include "core/heuristics/dp_discretization.hpp"
+#include "core/heuristics/moment_based.hpp"
+#include "core/omniscient.hpp"
+#include "dist/factory.hpp"
+#include "sim/rng.hpp"
+
+using namespace sre::core;
+using sre::dist::PaperInstance;
+
+class CoreProperty : public ::testing::TestWithParam<PaperInstance> {
+ protected:
+  const sre::dist::Distribution& d() const { return *GetParam().dist; }
+
+  /// A random covering sequence anchored at quantiles.
+  ReservationSequence random_sequence(std::mt19937_64& rng) const {
+    std::uniform_real_distribution<double> u(0.02, 0.98);
+    std::vector<double> qs;
+    const int n = 2 + static_cast<int>(rng() % 6);
+    for (int i = 0; i < n; ++i) qs.push_back(u(rng));
+    std::sort(qs.begin(), qs.end());
+    qs.erase(std::unique(qs.begin(), qs.end()), qs.end());
+    std::vector<double> v;
+    for (const double q : qs) {
+      const double t = d().quantile(q);
+      if (v.empty() || t > v.back() * (1.0 + 1e-9)) v.push_back(t);
+    }
+    const auto sup = d().support();
+    if (sup.bounded()) {
+      if (v.empty() || v.back() < sup.upper) v.push_back(sup.upper);
+    } else {
+      double cur = v.empty() ? d().mean() : v.back();
+      while (d().sf(cur) > 1e-13) {
+        cur *= 2.0;
+        v.push_back(cur);
+      }
+    }
+    return ReservationSequence(std::move(v));
+  }
+};
+
+TEST_P(CoreProperty, FuzzedSequencesAgreeAcrossCostRoutes) {
+  std::mt19937_64 rng(2718);
+  const CostModel models[] = {CostModel::reservation_only(),
+                              CostModel{0.95, 1.0, 1.05},
+                              CostModel{2.0, 0.25, 0.0}};
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto seq = random_sequence(rng);
+    for (const auto& m : models) {
+      const double analytic = expected_cost_analytic(seq, d(), m);
+      sre::sim::MonteCarloOptions mc;
+      mc.samples = 20000;
+      mc.seed = 1000 + static_cast<std::uint64_t>(trial);
+      const auto est = expected_cost_monte_carlo(seq, d(), m, mc);
+      EXPECT_NEAR(est.mean, analytic, 6.0 * est.std_error + 1e-9 * analytic)
+          << GetParam().label << " trial " << trial << " " << m.describe();
+      EXPECT_GE(analytic, omniscient_cost(d(), m) * (1.0 - 1e-9))
+          << GetParam().label;
+    }
+  }
+}
+
+TEST_P(CoreProperty, PerJobCostIsMonotoneInJobSize) {
+  std::mt19937_64 rng(31337);
+  const auto seq = random_sequence(rng);
+  const CostModel m{1.0, 0.7, 0.2};
+  double prev_cost = 0.0;
+  for (double p = 0.005; p < 0.999; p += 0.007) {
+    const double t = d().quantile(p);
+    const double c = seq.cost_for(t, m);
+    EXPECT_GE(c, prev_cost - 1e-9) << GetParam().label << " p=" << p;
+    prev_cost = c;
+  }
+}
+
+TEST_P(CoreProperty, AttemptsConsistentWithReservationOnlyCost) {
+  // Under alpha=1, beta=gamma=0 the cost equals the sum of the first
+  // attempts_for(t) reservation lengths (with the implicit tail).
+  std::mt19937_64 rng(99);
+  const auto seq = random_sequence(rng);
+  const CostModel m = CostModel::reservation_only();
+  sre::sim::Rng drng = sre::sim::make_rng(17);
+  for (int i = 0; i < 200; ++i) {
+    const double t = d().sample(drng);
+    const std::size_t k = seq.attempts_for(t);
+    double total = 0.0;
+    double cur = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      cur = (j < seq.size()) ? seq[j] : cur * 2.0;
+      total += cur;
+    }
+    EXPECT_NEAR(seq.cost_for(t, m), total, 1e-9 * (1.0 + total))
+        << GetParam().label;
+  }
+}
+
+TEST_P(CoreProperty, DpDominatesHeuristicsOnItsDiscreteInstance) {
+  // Theorem 5 optimality, checked against every simple heuristic evaluated
+  // on the same discrete law.
+  const auto disc = sre::sim::discretize(
+      d(), sre::sim::DiscretizationOptions{
+               200, 1e-7, sre::sim::DiscretizationScheme::kEqualProbability});
+  for (const CostModel m : {CostModel::reservation_only(),
+                            CostModel{0.95, 1.0, 1.05}}) {
+    const DpResult dp = dp_optimal_sequence(disc, m);
+    const MeanByMean mbm;
+    const MeanDoubling md;
+    const MedianByMedian mm;
+    for (const Heuristic* h :
+         std::initializer_list<const Heuristic*>{&mbm, &md, &mm}) {
+      const auto seq = h->generate(disc, m);
+      const double cost = expected_cost_analytic(seq, disc, m);
+      EXPECT_LE(dp.expected_cost, cost * (1.0 + 1e-9))
+          << GetParam().label << " vs " << h->name() << " " << m.describe();
+    }
+  }
+}
+
+TEST_P(CoreProperty, BruteForceWinnerSatisfiesStationarity) {
+  const CostModel m = CostModel::reservation_only();
+  BruteForceOptions opts;
+  opts.grid_points = 800;
+  opts.analytic_eval = true;
+  const auto out = brute_force_search(d(), m, opts);
+  ASSERT_TRUE(out.found) << GetParam().label;
+  const auto& t = out.best_sequence.values();
+  if (t.size() < 3) return;  // bounded-support single/double plans
+  // Eq. (9) residual at interior indices of the pre-collapse prefix.
+  const auto sup = d().support();
+  for (std::size_t i = 1; i + 1 < std::min<std::size_t>(t.size(), 5); ++i) {
+    const double f = d().pdf(t[i]);
+    if (!(f > 0.0)) break;
+    // The final element of a bounded-support plan is clamped to b, where
+    // Eq. (9) does not apply (Proposition 1's stopping rule).
+    if (sup.bounded() && t[i + 1] >= sup.upper) break;
+    const double lhs = m.alpha * t[i + 1] + m.beta * t[i] + m.gamma;
+    const double rhs =
+        m.alpha * d().sf(t[i - 1]) / f + m.beta * d().sf(t[i]) / f;
+    EXPECT_NEAR(lhs, rhs, 5e-5 * std::fabs(rhs))
+        << GetParam().label << " i=" << i;
+  }
+}
+
+TEST_P(CoreProperty, OmniscientIsALowerBoundForEveryHeuristic) {
+  const CostModel m{0.95, 1.0, 1.05};
+  for (const auto& h : standard_heuristics(/*fast=*/true)) {
+    const auto seq = h->generate(d(), m);
+    EXPECT_GE(expected_cost_analytic(seq, d(), m),
+              omniscient_cost(d(), m) * (1.0 - 1e-9))
+        << GetParam().label << " " << h->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, CoreProperty,
+    ::testing::ValuesIn(sre::dist::paper_distributions()),
+    [](const ::testing::TestParamInfo<PaperInstance>& info) {
+      return info.param.label;
+    });

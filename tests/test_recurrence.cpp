@@ -1,0 +1,135 @@
+// Properties of the Eq. (11) optimality recurrence.
+
+#include "core/recurrence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/exponential.hpp"
+#include "dist/factory.hpp"
+#include "dist/lognormal.hpp"
+#include "dist/uniform.hpp"
+
+using namespace sre::core;
+
+TEST(Recurrence, ExponentialClosedForm) {
+  // For Exp(lambda) under RESERVATIONONLY, Eq. (11) reads
+  // t_i = e^{lambda (t_{i-1} - t_{i-2})} / lambda.
+  // t1 = 0.8 sits safely inside the numerically-valid basin; the exact
+  // optimum 0.74219 is the basin's boundary, where the doubly-exponential
+  // error growth of the recurrence makes long orbits collapse in double
+  // precision (cf. the gaps in Fig. 3a).
+  const double lambda = 1.0;
+  const sre::dist::Exponential e(lambda);
+  const double t1 = 0.8;
+  const auto res = sequence_from_t1(e, CostModel::reservation_only(), t1);
+  ASSERT_TRUE(res.valid);
+  const auto& t = res.sequence.values();
+  ASSERT_GE(t.size(), 4u);
+  EXPECT_NEAR(t[1], std::exp(lambda * t1) / lambda, 1e-9);
+  EXPECT_NEAR(t[2], std::exp(lambda * (t[1] - t[0])) / lambda, 1e-9);
+  EXPECT_NEAR(t[3], std::exp(lambda * (t[2] - t[1])) / lambda, 1e-9);
+}
+
+TEST(Recurrence, LambdaScaling) {
+  // Proposition 2: the Exp(lambda) sequence is the Exp(1) sequence / lambda.
+  const sre::dist::Exponential e1(1.0);
+  const sre::dist::Exponential e4(4.0);
+  const CostModel m = CostModel::reservation_only();
+  const auto r1 = sequence_from_t1(e1, m, 0.8);
+  const auto r4 = sequence_from_t1(e4, m, 0.8 / 4.0);
+  ASSERT_TRUE(r1.valid && r4.valid);
+  const std::size_t n = std::min(r1.sequence.size(), r4.sequence.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(r4.sequence[i], r1.sequence[i] / 4.0, 1e-8 * r1.sequence[i])
+        << i;
+  }
+}
+
+TEST(Recurrence, SatisfiesStationarityEquation) {
+  // Every generated triple must satisfy Eq. (9):
+  // alpha t_{i+1} + beta t_i + gamma
+  //   = alpha (1-F(t_{i-1}))/f(t_i) + beta (1-F(t_i))/f(t_i).
+  const auto inst = sre::dist::paper_distribution("Lognormal");
+  ASSERT_TRUE(inst.has_value());
+  const auto& d = *inst->dist;
+  const CostModel m = CostModel::reservation_only();
+  // The paper's brute-force t1 for this law (Table 3).
+  const auto res = sequence_from_t1(d, m, 30.64);
+  const auto& t = res.sequence.values();
+  ASSERT_GE(t.size(), 3u);
+  for (std::size_t i = 1; i + 1 < std::min<std::size_t>(t.size(), 8); ++i) {
+    const double lhs = m.alpha * t[i + 1] + m.beta * t[i] + m.gamma;
+    const double rhs = m.alpha * d.sf(t[i - 1]) / d.pdf(t[i]) +
+                       m.beta * d.sf(t[i]) / d.pdf(t[i]);
+    EXPECT_NEAR(lhs, rhs, 1e-6 * std::fabs(rhs)) << "i=" << i;
+  }
+}
+
+TEST(Recurrence, InvalidT1IsFlagged) {
+  // For Exp(1), t1 = 0.5 lies below the valid basin: the orbit rises, turns
+  // around while substantial tail mass remains, and must be discarded.
+  const sre::dist::Exponential e(1.0);
+  const auto res = sequence_from_t1(e, CostModel::reservation_only(), 0.5);
+  EXPECT_FALSE(res.valid);
+  EXPECT_TRUE(res.violation_index.has_value());
+}
+
+TEST(Recurrence, HugeT1AloneCoversAndIsValid) {
+  // t1 = 40 already covers Exp(1) far past the coverage threshold, so the
+  // single-element sequence is legitimate.
+  const sre::dist::Exponential e(1.0);
+  const auto res = sequence_from_t1(e, CostModel::reservation_only(), 40.0);
+  EXPECT_TRUE(res.valid);
+  EXPECT_EQ(res.sequence.size(), 1u);
+}
+
+TEST(Recurrence, NonPositiveT1Rejected) {
+  const sre::dist::Exponential e(1.0);
+  EXPECT_FALSE(sequence_from_t1(e, CostModel::reservation_only(), 0.0).valid);
+  EXPECT_FALSE(sequence_from_t1(e, CostModel::reservation_only(), -1.0).valid);
+  EXPECT_FALSE(
+      sequence_from_t1(e, CostModel::reservation_only(), std::nan("")).valid);
+}
+
+TEST(Recurrence, BoundedSupportEndsAtUpper) {
+  const sre::dist::Uniform u(10.0, 20.0);
+  // Any t1 >= b collapses to the single reservation (b).
+  const auto res = sequence_from_t1(u, CostModel::reservation_only(), 25.0);
+  ASSERT_TRUE(res.valid);
+  ASSERT_EQ(res.sequence.size(), 1u);
+  EXPECT_DOUBLE_EQ(res.sequence.first(), 20.0);
+}
+
+TEST(Recurrence, BoundedSupportIntermediateT1) {
+  // Uniform, alpha=1, beta=gamma=0, t1 in (a,b): Eq. (11) gives
+  // t2 = (1 - F(t0)) / f(t1) = 1 / (1/(b-a)) = b - a + ... with t0=0 and
+  // F(t0)=0: t2 = b - a = 10 < t1? For t1 > 10 the recurrence value
+  // 10 <= t1 is non-increasing => flagged invalid; brute force must then
+  // discard such candidates.
+  const sre::dist::Uniform u(10.0, 20.0);
+  const auto res = sequence_from_t1(u, CostModel::reservation_only(), 15.0);
+  EXPECT_FALSE(res.valid);
+}
+
+TEST(Recurrence, CoverageOfGeneratedSequences) {
+  for (const auto& inst : sre::dist::paper_distributions()) {
+    // Start at the median: a sane, always-interior t1.
+    const double t1 = inst.dist->median();
+    const auto res =
+        sequence_from_t1(*inst.dist, CostModel::reservation_only(), t1);
+    if (res.valid) {
+      EXPECT_TRUE(res.sequence.covers_distribution(*inst.dist, 1e-10))
+          << inst.label;
+    }
+  }
+}
+
+TEST(Recurrence, StrictlyIncreasingWhenValid) {
+  const sre::dist::LogNormal d(3.0, 0.5);
+  const auto res = sequence_from_t1(d, CostModel::reservation_only(), 30.0);
+  ASSERT_TRUE(res.valid);
+  const auto& t = res.sequence.values();
+  for (std::size_t i = 1; i < t.size(); ++i) EXPECT_GT(t[i], t[i - 1]) << i;
+}

@@ -1,0 +1,67 @@
+#include "core/heuristics/refined_dp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/expected_cost.hpp"
+#include "core/heuristics/brute_force.hpp"
+#include "core/heuristics/closed_form_optimal.hpp"
+#include "core/heuristics/dp_discretization.hpp"
+#include "dist/exponential.hpp"
+#include "dist/factory.hpp"
+
+using namespace sre::core;
+
+TEST(RefinedDp, NeverWorseThanItsSeedDp) {
+  const CostModel m = CostModel::reservation_only();
+  RefinedDpOptions opts;
+  const RefinedDp refined(opts);
+  const DiscretizedDp seed(opts.disc);
+  for (const auto& inst : sre::dist::paper_distributions()) {
+    const double r =
+        expected_cost_analytic(refined.generate(*inst.dist, m), *inst.dist, m);
+    const double s =
+        expected_cost_analytic(seed.generate(*inst.dist, m), *inst.dist, m);
+    EXPECT_LE(r, s * (1.0 + 1e-12)) << inst.label;
+  }
+}
+
+TEST(RefinedDp, TracksBruteForceAtSmallBudget) {
+  // The refinement reaches brute-force quality with a 64-point scan where
+  // brute force burns thousands of grid points.
+  const CostModel m = CostModel::reservation_only();
+  const RefinedDp refined;
+  BruteForceOptions bf;
+  bf.grid_points = 2000;
+  bf.analytic_eval = true;
+  for (const char* label : {"Exponential", "Lognormal", "Gamma"}) {
+    const auto inst = sre::dist::paper_distribution(label);
+    const double r = expected_cost_analytic(
+        refined.generate(*inst->dist, m), *inst->dist, m);
+    const auto out = brute_force_search(*inst->dist, m, bf);
+    ASSERT_TRUE(out.found);
+    EXPECT_LE(r, out.best_cost * 1.02) << label;
+  }
+}
+
+TEST(RefinedDp, ApproachesExactExponentialOptimum) {
+  const sre::dist::Exponential e(1.0);
+  const RefinedDp refined;
+  const double cost = expected_cost_analytic(
+      refined.generate(e, CostModel::reservation_only()), e,
+      CostModel::reservation_only());
+  // True optimum 2.3644977694 (EXPERIMENTS.md).
+  EXPECT_NEAR(cost, 2.3644977694, 5e-3);
+}
+
+TEST(RefinedDp, GeneratesValidCoveringSequences) {
+  const RefinedDp refined;
+  for (const CostModel m : {CostModel::reservation_only(),
+                            CostModel{0.95, 1.0, 1.05}}) {
+    for (const auto& inst : sre::dist::paper_distributions()) {
+      const auto seq = refined.generate(*inst.dist, m);
+      ASSERT_FALSE(seq.empty()) << inst.label;
+      EXPECT_TRUE(seq.covers_distribution(*inst.dist, 1e-10))
+          << inst.label << " " << m.describe();
+    }
+  }
+}

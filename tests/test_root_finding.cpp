@@ -1,0 +1,87 @@
+#include "stats/root_finding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rf = sre::stats;
+
+TEST(Brent, Polynomial) {
+  const auto f = [](double x) { return x * x * x - 2.0 * x - 5.0; };
+  const auto root = rf::brent(f, 1.0, 3.0);
+  ASSERT_TRUE(root.has_value());
+  EXPECT_TRUE(root->converged);
+  EXPECT_NEAR(root->x, 2.0945514815423265, 1e-10);
+}
+
+TEST(Brent, Transcendental) {
+  const auto f = [](double x) { return std::cos(x) - x; };
+  const auto root = rf::brent(f, 0.0, 1.0);
+  ASSERT_TRUE(root.has_value());
+  EXPECT_NEAR(root->x, 0.7390851332151607, 1e-10);
+}
+
+TEST(Brent, RootAtEndpoint) {
+  const auto f = [](double x) { return x - 1.0; };
+  const auto root = rf::brent(f, 1.0, 2.0);
+  ASSERT_TRUE(root.has_value());
+  EXPECT_DOUBLE_EQ(root->x, 1.0);
+}
+
+TEST(Brent, RejectsInvalidBracket) {
+  const auto f = [](double x) { return x * x + 1.0; };
+  EXPECT_FALSE(rf::brent(f, -1.0, 1.0).has_value());
+}
+
+TEST(Bisect, AgreesWithBrent) {
+  const auto f = [](double x) { return std::exp(x) - 3.0; };
+  const auto a = rf::bisect(f, 0.0, 2.0);
+  const auto b = rf::brent(f, 0.0, 2.0);
+  ASSERT_TRUE(a && b);
+  EXPECT_NEAR(a->x, std::log(3.0), 1e-9);
+  EXPECT_NEAR(b->x, std::log(3.0), 1e-9);
+}
+
+TEST(BracketUpward, FindsBracket) {
+  const auto f = [](double x) { return x - 100.0; };
+  const auto br = rf::bracket_upward(f, 0.0, 1.0);
+  ASSERT_TRUE(br.has_value());
+  EXPECT_LE(f(br->first) * f(br->second), 0.0);
+}
+
+TEST(BracketUpward, GivesUpGracefully) {
+  const auto f = [](double) { return 1.0; };
+  EXPECT_FALSE(rf::bracket_upward(f, 0.0, 1.0, 16).has_value());
+}
+
+TEST(GoldenMinimize, Quadratic) {
+  const auto f = [](double x) { return (x - 1.25) * (x - 1.25) + 3.0; };
+  // Golden section cannot localize a minimum better than ~sqrt(eps) * scale
+  // because function-value comparisons near the minimum are noise-dominated.
+  const auto min = rf::golden_minimize(f, -10.0, 10.0, 1e-10);
+  EXPECT_NEAR(min.x, 1.25, 1e-6);
+  EXPECT_NEAR(min.fx, 3.0, 1e-12);
+}
+
+TEST(GoldenMinimize, AsymmetricUnimodal) {
+  const auto f = [](double x) { return std::exp(x) - 2.0 * x; };
+  const auto min = rf::golden_minimize(f, 0.0, 3.0, 1e-10);
+  EXPECT_NEAR(min.x, std::log(2.0), 1e-6);
+}
+
+TEST(GridThenGolden, EscapesLocalMinimum) {
+  // Two basins; the global minimum is near x = 4.
+  const auto f = [](double x) {
+    return std::min((x - 1.0) * (x - 1.0) + 0.5,
+                    (x - 4.0) * (x - 4.0) * 2.0);
+  };
+  const auto min = rf::grid_then_golden(f, 0.0, 6.0, 100);
+  EXPECT_NEAR(min.x, 4.0, 1e-6);
+  EXPECT_NEAR(min.fx, 0.0, 1e-10);
+}
+
+TEST(GridThenGolden, HandlesPlateaus) {
+  const auto f = [](double x) { return (x < 2.0) ? 1.0 : (x - 3.0) * (x - 3.0); };
+  const auto min = rf::grid_then_golden(f, 0.0, 5.0, 200);
+  EXPECT_NEAR(min.x, 3.0, 1e-6);
+}

@@ -1,0 +1,107 @@
+#include "core/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/exponential.hpp"
+#include "dist/uniform.hpp"
+
+using sre::core::CostModel;
+using sre::core::ReservationSequence;
+using sre::core::SequenceCostEvaluator;
+
+TEST(Sequence, TryCreateValidation) {
+  EXPECT_TRUE(ReservationSequence::try_create({1.0, 2.0, 3.0}).has_value());
+  EXPECT_FALSE(ReservationSequence::try_create({}).has_value());
+  EXPECT_FALSE(ReservationSequence::try_create({1.0, 1.0}).has_value());
+  EXPECT_FALSE(ReservationSequence::try_create({2.0, 1.0}).has_value());
+  EXPECT_FALSE(ReservationSequence::try_create({0.0, 1.0}).has_value());
+  EXPECT_FALSE(ReservationSequence::try_create({-1.0, 1.0}).has_value());
+  EXPECT_FALSE(
+      ReservationSequence::try_create({1.0, std::nan("")}).has_value());
+}
+
+TEST(Sequence, AttemptsForWithinStoredPart) {
+  const ReservationSequence s({1.0, 3.0, 9.0});
+  EXPECT_EQ(s.attempts_for(0.5), 1u);
+  EXPECT_EQ(s.attempts_for(1.0), 1u);  // t <= t_1 succeeds first try
+  EXPECT_EQ(s.attempts_for(1.01), 2u);
+  EXPECT_EQ(s.attempts_for(3.0), 2u);
+  EXPECT_EQ(s.attempts_for(9.0), 3u);
+}
+
+TEST(Sequence, AttemptsForImplicitTail) {
+  const ReservationSequence s({1.0, 3.0, 9.0});
+  // Tail: 18, 36, ...
+  EXPECT_EQ(s.attempts_for(10.0), 4u);
+  EXPECT_EQ(s.attempts_for(18.0), 4u);
+  EXPECT_EQ(s.attempts_for(18.5), 5u);
+}
+
+TEST(Sequence, CostForMatchesHandComputedEq2) {
+  // S = (2, 5), job t = 4, model (alpha=1, beta=0.5, gamma=0.25):
+  // attempt 1 fails: 1*2 + 0.5*2 + 0.25 = 3.25
+  // attempt 2 succeeds: 1*5 + 0.5*4 + 0.25 = 7.25
+  const ReservationSequence s({2.0, 5.0});
+  const CostModel m{1.0, 0.5, 0.25};
+  EXPECT_DOUBLE_EQ(s.cost_for(4.0, m), 10.5);
+  // t = 1 succeeds immediately: 2 + 0.5 + 0.25.
+  EXPECT_DOUBLE_EQ(s.cost_for(1.0, m), 2.75);
+}
+
+TEST(Sequence, CostForReservationOnly) {
+  const ReservationSequence s({1.0, 2.0, 4.0});
+  const CostModel m = CostModel::reservation_only();
+  EXPECT_DOUBLE_EQ(s.cost_for(0.5, m), 1.0);
+  EXPECT_DOUBLE_EQ(s.cost_for(1.5, m), 3.0);
+  EXPECT_DOUBLE_EQ(s.cost_for(3.0, m), 7.0);
+}
+
+TEST(Sequence, CostForImplicitTailAccumulates) {
+  const ReservationSequence s({1.0});
+  const CostModel m = CostModel::reservation_only();
+  // t = 3: pay 1, then 2 (fail), then 4 (success) = 7.
+  EXPECT_DOUBLE_EQ(s.cost_for(3.0, m), 7.0);
+}
+
+TEST(Sequence, CoversDistribution) {
+  const sre::dist::Uniform u(10.0, 20.0);
+  EXPECT_TRUE(ReservationSequence({20.0}).covers_distribution(u));
+  EXPECT_FALSE(ReservationSequence({19.0}).covers_distribution(u));
+  const sre::dist::Exponential e(1.0);
+  EXPECT_FALSE(ReservationSequence({5.0}).covers_distribution(e));
+  EXPECT_TRUE(ReservationSequence({40.0}).covers_distribution(e));
+}
+
+TEST(SequenceCostEvaluator, MatchesCostForEverywhere) {
+  const ReservationSequence s({0.7, 1.9, 4.4, 10.0});
+  for (const CostModel m :
+       {CostModel{1.0, 0.0, 0.0}, CostModel{0.95, 1.0, 1.05},
+        CostModel{2.0, 0.5, 0.0}}) {
+    const SequenceCostEvaluator eval(s, m);
+    for (double t = 0.05; t < 50.0; t += 0.37) {
+      EXPECT_NEAR(eval.cost(t), s.cost_for(t, m), 1e-10)
+          << "t=" << t << " " << m.describe();
+    }
+  }
+}
+
+TEST(SequenceCostEvaluator, MeanCostOverSamples) {
+  const ReservationSequence s({1.0, 2.0});
+  const CostModel m = CostModel::reservation_only();
+  const std::vector<double> samples = {0.5, 1.5, 2.0};
+  // Costs: 1, 3, 3 -> mean 7/3.
+  const SequenceCostEvaluator eval(s, m);
+  EXPECT_NEAR(eval.mean_cost(samples), 7.0 / 3.0, 1e-12);
+}
+
+TEST(Sequence, PushBackMaintainsInvariant) {
+  ReservationSequence s({1.0});
+  s.push_back(2.0);
+  s.push_back(5.0);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.last(), 5.0);
+  EXPECT_DOUBLE_EQ(s.first(), 1.0);
+  EXPECT_DOUBLE_EQ(s[1], 2.0);
+}

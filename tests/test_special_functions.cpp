@@ -1,0 +1,152 @@
+// Accuracy tests for the special functions against high-precision reference
+// values (computed independently with mpmath) and inverse round-trips.
+
+#include "stats/special_functions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sf = sre::stats;
+
+TEST(NormCdf, ReferenceValues) {
+  EXPECT_NEAR(sf::norm_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(sf::norm_cdf(1.0), 0.8413447460685429, 1e-14);
+  EXPECT_NEAR(sf::norm_cdf(-1.0), 0.15865525393145705, 1e-14);
+  EXPECT_NEAR(sf::norm_cdf(3.0), 0.9986501019683699, 1e-14);
+  EXPECT_NEAR(sf::norm_cdf(-5.0), 2.8665157187919333e-07, 1e-18);
+}
+
+TEST(NormQuantile, ReferenceValues) {
+  EXPECT_NEAR(sf::norm_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(sf::norm_quantile(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(sf::norm_quantile(0.84134474606854293), 1.0, 1e-9);
+  EXPECT_NEAR(sf::norm_quantile(0.0013498980316300946), -3.0, 1e-9);
+  EXPECT_NEAR(sf::norm_quantile(1e-10), -6.361340902404056, 1e-6);
+}
+
+TEST(NormQuantile, RoundTrip) {
+  for (double p = 0.0005; p < 1.0; p += 0.0101) {
+    EXPECT_NEAR(sf::norm_cdf(sf::norm_quantile(p)), p, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(NormQuantile, DomainEdges) {
+  EXPECT_TRUE(std::isnan(sf::norm_quantile(-0.1)));
+  EXPECT_TRUE(std::isnan(sf::norm_quantile(1.1)));
+  EXPECT_EQ(sf::norm_quantile(0.0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(sf::norm_quantile(1.0), std::numeric_limits<double>::infinity());
+}
+
+TEST(ErfInv, ReferenceValues) {
+  EXPECT_NEAR(sf::erf_inv(0.5), 0.4769362762044699, 1e-10);
+  EXPECT_NEAR(sf::erf_inv(0.9), 1.1630871536766743, 1e-10);
+  EXPECT_NEAR(sf::erf_inv(-0.5), -0.4769362762044699, 1e-10);
+  EXPECT_NEAR(sf::erf_inv(0.0), 0.0, 1e-14);
+}
+
+TEST(ErfInv, RoundTrip) {
+  for (double x = -0.99; x < 1.0; x += 0.07) {
+    EXPECT_NEAR(std::erf(sf::erf_inv(x)), x, 1e-12) << "x=" << x;
+  }
+}
+
+TEST(ErfcInv, RoundTrip) {
+  for (double x = 0.02; x < 2.0; x += 0.13) {
+    EXPECT_NEAR(std::erfc(sf::erfc_inv(x)), x, 1e-12) << "x=" << x;
+  }
+}
+
+TEST(GammaP, IntegerShapeClosedForms) {
+  // P(1, x) = 1 - e^{-x}.
+  for (double x : {0.1, 0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(sf::gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-13) << x;
+  }
+  // P(2, x) = 1 - e^{-x}(1 + x).
+  EXPECT_NEAR(sf::gamma_p(2.0, 2.0), 1.0 - 3.0 * std::exp(-2.0), 1e-13);
+  // Q(3, 2) = e^{-2}(1 + 2 + 2).
+  EXPECT_NEAR(sf::gamma_q(3.0, 2.0), 5.0 * std::exp(-2.0), 1e-13);
+}
+
+TEST(GammaP, HalfShapeIsErf) {
+  // P(1/2, x) = erf(sqrt(x)).
+  for (double x : {0.05, 0.3, 1.0, 2.5, 9.0}) {
+    EXPECT_NEAR(sf::gamma_p(0.5, x), std::erf(std::sqrt(x)), 1e-12) << x;
+  }
+}
+
+TEST(GammaP, ComplementsSumToOne) {
+  for (double a : {0.3, 1.0, 2.0, 7.5}) {
+    for (double x : {0.01, 0.9, 2.0, 15.0}) {
+      EXPECT_NEAR(sf::gamma_p(a, x) + sf::gamma_q(a, x), 1.0, 1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(UpperIncGamma, ReferenceValue) {
+  // Gamma(3, 2) = 2 * Q(3,2) = 10 e^{-2}.
+  EXPECT_NEAR(sf::upper_inc_gamma(3.0, 2.0), 10.0 * std::exp(-2.0), 1e-12);
+  // Gamma(a, 0) = Gamma(a).
+  EXPECT_NEAR(sf::upper_inc_gamma(2.5, 0.0), std::tgamma(2.5), 1e-12);
+}
+
+TEST(GammaPInv, RoundTrip) {
+  for (double a : {0.4, 1.0, 2.0, 5.0, 20.0}) {
+    for (double p : {0.01, 0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 0.99}) {
+      const double x = sf::gamma_p_inv(a, p);
+      EXPECT_NEAR(sf::gamma_p(a, x), p, 1e-9) << "a=" << a << " p=" << p;
+    }
+  }
+}
+
+TEST(GammaPInv, ExtremeTails) {
+  const double x_hi = sf::gamma_p_inv(2.0, 1.0 - 1e-7);
+  EXPECT_NEAR(sf::gamma_p(2.0, x_hi), 1.0 - 1e-7, 1e-10);
+  const double x_lo = sf::gamma_p_inv(2.0, 1e-7);
+  EXPECT_NEAR(sf::gamma_p(2.0, x_lo), 1e-7, 1e-12);
+}
+
+TEST(Beta, CompleteBeta) {
+  EXPECT_NEAR(sf::beta_fn(2.0, 2.0), 1.0 / 6.0, 1e-14);
+  EXPECT_NEAR(sf::beta_fn(1.0, 1.0), 1.0, 1e-14);
+  EXPECT_NEAR(sf::lbeta(2.0, 2.0), std::log(1.0 / 6.0), 1e-13);
+  EXPECT_NEAR(sf::beta_fn(0.5, 0.5), M_PI, 1e-12);
+}
+
+TEST(IncBeta, ClosedFormForSmallIntegers) {
+  // I_x(2,2) = x^2 (3 - 2x).
+  for (double x = 0.05; x < 1.0; x += 0.1) {
+    EXPECT_NEAR(sf::inc_beta(x, 2.0, 2.0), x * x * (3.0 - 2.0 * x), 1e-12)
+        << x;
+  }
+  // I_x(1,1) = x.
+  EXPECT_NEAR(sf::inc_beta(0.37, 1.0, 1.0), 0.37, 1e-13);
+  EXPECT_NEAR(sf::inc_beta(0.5, 3.0, 1.5), 0.2155534159027810, 1e-8);
+}
+
+TEST(IncBeta, Symmetry) {
+  // I_x(a,b) = 1 - I_{1-x}(b,a).
+  for (double x = 0.1; x < 1.0; x += 0.2) {
+    EXPECT_NEAR(sf::inc_beta(x, 2.5, 1.3), 1.0 - sf::inc_beta(1.0 - x, 1.3, 2.5),
+                1e-12)
+        << x;
+  }
+}
+
+TEST(IncBetaInv, RoundTrip) {
+  for (double a : {0.7, 1.0, 2.0, 4.5}) {
+    for (double b : {0.8, 2.0, 3.0}) {
+      for (double p = 0.02; p < 1.0; p += 0.12) {
+        const double x = sf::inc_beta_inv(p, a, b);
+        EXPECT_NEAR(sf::inc_beta(x, a, b), p, 1e-9)
+            << "a=" << a << " b=" << b << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(IncBetaUnreg, MatchesRegularizedTimesComplete) {
+  EXPECT_NEAR(sf::inc_beta_unreg(0.3, 2.0, 2.0),
+              sf::inc_beta(0.3, 2.0, 2.0) * sf::beta_fn(2.0, 2.0), 1e-14);
+}

@@ -1,0 +1,137 @@
+#include "core/strategy_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/expected_cost.hpp"
+#include "dist/exponential.hpp"
+#include "dist/factory.hpp"
+#include "dist/uniform.hpp"
+#include "sim/rng.hpp"
+#include "stats/summary.hpp"
+
+using namespace sre::core;
+
+namespace {
+
+ReservationSequence covering_doubling(const sre::dist::Distribution& d) {
+  std::vector<double> v{d.mean()};
+  const auto s = d.support();
+  if (s.bounded()) {
+    if (v.back() < s.upper) v.push_back(s.upper);
+  } else {
+    while (d.sf(v.back()) > 1e-13) v.push_back(v.back() * 2.0);
+  }
+  return ReservationSequence(std::move(v));
+}
+
+}  // namespace
+
+TEST(StrategyReport, ExponentialHandChecks) {
+  // S = (1, 2, 4, ...) on Exp(1), RESERVATIONONLY.
+  const sre::dist::Exponential e(1.0);
+  const auto seq = covering_doubling(e);
+  const auto report = analyze_strategy(seq, e, CostModel::reservation_only());
+  // P(1 attempt) = 1 - e^{-1}; P(2) = e^{-1} - e^{-2}; ...
+  ASSERT_GE(report.attempts_pmf.size(), 3u);
+  EXPECT_NEAR(report.attempts_pmf[0], 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(report.attempts_pmf[1], std::exp(-1.0) - std::exp(-2.0), 1e-12);
+  // E[attempts] = 1 + sum_i sf(t_i) = 1 + e^{-1} + e^{-2} + e^{-4} + ...
+  double expect_attempts = 1.0;
+  for (const double t : seq.values()) expect_attempts += std::exp(-t);
+  EXPECT_NEAR(report.expected_attempts, expect_attempts, 1e-9);
+  // E[waste] = sum_i t_i sf(t_i).
+  double expect_waste = 0.0;
+  for (const double t : seq.values()) expect_waste += t * std::exp(-t);
+  EXPECT_NEAR(report.expected_waste, expect_waste, 1e-9);
+}
+
+TEST(StrategyReport, PmfSumsToOne) {
+  for (const auto& inst : sre::dist::paper_distributions()) {
+    const auto seq = covering_doubling(*inst.dist);
+    const auto report =
+        analyze_strategy(seq, *inst.dist, CostModel{1.0, 0.5, 0.1});
+    double total = 0.0;
+    for (const double p : report.attempts_pmf) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9) << inst.label;
+  }
+}
+
+TEST(StrategyReport, MatchesMonteCarlo) {
+  const auto inst = sre::dist::paper_distribution("Lognormal");
+  const auto& d = *inst->dist;
+  const CostModel m{1.0, 0.5, 0.25};
+  const auto seq = covering_doubling(d);
+  const auto report = analyze_strategy(seq, d, m);
+
+  sre::sim::Rng rng = sre::sim::make_rng(3);
+  sre::stats::OnlineMoments cost, attempts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = d.sample(rng);
+    cost.add(seq.cost_for(x, m));
+    attempts.add(static_cast<double>(seq.attempts_for(x)));
+  }
+  EXPECT_NEAR(report.expected_cost, cost.mean(), 6.0 * cost.standard_error());
+  EXPECT_NEAR(report.cost_stddev, cost.stddev(), 0.05 * cost.stddev());
+  EXPECT_NEAR(report.expected_attempts, attempts.mean(),
+              6.0 * attempts.standard_error());
+}
+
+TEST(StrategyReport, QuantilesMatchEmpirical) {
+  const sre::dist::Exponential e(1.0);
+  const CostModel m{1.0, 0.5, 0.0};
+  const auto seq = covering_doubling(e);
+  ReportOptions opts;
+  opts.quantiles = {0.25, 0.5, 0.9};
+  const auto report = analyze_strategy(seq, e, m, opts);
+
+  std::vector<double> costs;
+  sre::sim::Rng rng = sre::sim::make_rng(10);
+  for (int i = 0; i < 200000; ++i) costs.push_back(seq.cost_for(e.sample(rng), m));
+  const auto emp = sre::stats::empirical_quantiles(
+      std::move(costs), std::vector<double>{0.25, 0.5, 0.9});
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(report.cost_quantiles[i].second, emp[i],
+                0.03 * (1.0 + emp[i]))
+        << "p=" << report.cost_quantiles[i].first;
+  }
+}
+
+TEST(StrategyReport, CostQuantileIsMonotone) {
+  const sre::dist::Exponential e(1.0);
+  const auto seq = covering_doubling(e);
+  const CostModel m{1.0, 1.0, 0.5};
+  double prev = 0.0;
+  for (double p = 0.05; p < 1.0; p += 0.05) {
+    const double q = cost_quantile(seq, e, m, p);
+    EXPECT_GE(q, prev) << p;
+    prev = q;
+  }
+}
+
+TEST(StrategyReport, SingleReservationHasZeroWasteAndOneAttempt) {
+  const sre::dist::Uniform u(10.0, 20.0);
+  const ReservationSequence seq({20.0});
+  const auto report = analyze_strategy(seq, u, CostModel::reservation_only());
+  EXPECT_NEAR(report.expected_attempts, 1.0, 1e-12);
+  EXPECT_NEAR(report.expected_waste, 0.0, 1e-12);
+  ASSERT_EQ(report.attempts_pmf.size(), 1u);
+  EXPECT_NEAR(report.attempts_pmf[0], 1.0, 1e-12);
+  // Deterministic cost 20 => zero spread.
+  EXPECT_NEAR(report.cost_stddev, 0.0, 1e-9);
+}
+
+TEST(StrategyReport, RiskierPlansHaveWiderSpread) {
+  // A plan with a tiny first reservation retries often: same-ish mean
+  // regime but a larger attempt count and waste than a well-placed one.
+  const sre::dist::Exponential e(1.0);
+  const CostModel m = CostModel::reservation_only();
+  const ReservationSequence timid({0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 3.2, 6.4,
+                                   12.8, 25.6, 51.2});
+  const ReservationSequence bold({1.0, 2.0, 4.0, 8.0, 16.0, 32.0});
+  const auto r_timid = analyze_strategy(timid, e, m);
+  const auto r_bold = analyze_strategy(bold, e, m);
+  EXPECT_GT(r_timid.expected_attempts, r_bold.expected_attempts);
+}

@@ -1,0 +1,104 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <vector>
+
+namespace st = sre::stats;
+
+TEST(KahanSum, RecoversCancellationError) {
+  // 1 + 1e100 - 1e100 ... naive summation loses the small terms.
+  st::KahanSum k;
+  k.add(1.0);
+  k.add(1e100);
+  k.add(1.0);
+  k.add(-1e100);
+  EXPECT_DOUBLE_EQ(k.value(), 2.0);
+}
+
+TEST(KahanSum, ManySmallTerms) {
+  st::KahanSum k;
+  const double term = 0.1;
+  const int n = 1000000;
+  for (int i = 0; i < n; ++i) k.add(term);
+  EXPECT_NEAR(k.value(), 100000.0, 1e-9);
+}
+
+TEST(OnlineMoments, MatchesDirectComputation) {
+  std::vector<double> xs = {1.5, 2.0, -3.0, 7.25, 0.0, 4.5};
+  st::OnlineMoments m;
+  for (double x : xs) m.add(x);
+  const double mean =
+      std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size());
+  EXPECT_NEAR(m.mean(), mean, 1e-13);
+  EXPECT_NEAR(m.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(m.min(), -3.0);
+  EXPECT_DOUBLE_EQ(m.max(), 7.25);
+  EXPECT_EQ(m.count(), xs.size());
+}
+
+TEST(OnlineMoments, MergeEqualsSequential) {
+  std::mt19937_64 rng(7);
+  std::normal_distribution<double> nd(3.0, 2.0);
+  st::OnlineMoments all, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = nd(rng);
+    all.add(x);
+    (i < 200 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineMoments, MergeWithEmpty) {
+  st::OnlineMoments a, b;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean_before = a.mean();
+  a.merge(b);  // no-op
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  b.merge(a);  // adopt
+  EXPECT_DOUBLE_EQ(b.mean(), mean_before);
+}
+
+TEST(OnlineMoments, StandardErrorScaling) {
+  st::OnlineMoments m;
+  std::mt19937_64 rng(11);
+  std::normal_distribution<double> nd(0.0, 1.0);
+  for (int i = 0; i < 10000; ++i) m.add(nd(rng));
+  // SE ~ sigma / sqrt(n) = 0.01.
+  EXPECT_NEAR(m.standard_error(), 0.01, 0.002);
+}
+
+TEST(EmpiricalQuantile, InterpolatesLinearly) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(st::empirical_quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(st::empirical_quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(st::empirical_quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(st::empirical_quantile(xs, 0.625), 3.5);
+}
+
+TEST(EmpiricalQuantile, SingleElement) {
+  std::vector<double> xs = {42.0};
+  EXPECT_DOUBLE_EQ(st::empirical_quantile(xs, 0.3), 42.0);
+}
+
+TEST(EmpiricalQuantiles, SortsInternally) {
+  std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  const std::vector<double> ps = {0.0, 0.5, 1.0};
+  const auto qs = st::empirical_quantiles(xs, ps);
+  ASSERT_EQ(qs.size(), 3u);
+  EXPECT_DOUBLE_EQ(qs[0], 1.0);
+  EXPECT_DOUBLE_EQ(qs[1], 3.0);
+  EXPECT_DOUBLE_EQ(qs[2], 5.0);
+}

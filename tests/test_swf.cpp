@@ -1,0 +1,110 @@
+#include "platform/swf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/trace.hpp"
+
+using namespace sre::platform;
+
+namespace {
+
+// A tiny but well-formed SWF snippet: header comments, 18 fields per line.
+const char* kSample =
+    "; Version: 2.2\n"
+    "; Computer: Testium 409\n"
+    "; MaxProcs: 409\n"
+    "1  0    5  3600  16 -1 -1  7200 -1 -1 1 1 1 -1 -1 -1 -1 -1\n"
+    "2  60  12  1800  32 -1 -1  3600 -1 -1 1 1 1 -1 -1 -1 -1 -1\n"
+    "3  90   7    -1  16 -1 -1  7200 -1 -1 1 1 1 -1 -1 -1 -1 -1\n"  // bad rt
+    "4  30   3   900   8 -1 -1    -1 -1 -1 1 1 1 -1 -1 -1 -1 -1\n"  // no req
+    "5 120   9  4000  64 -1 -1  3600 -1 -1 1 1 1 -1 -1 -1 -1 -1\n";
+
+}  // namespace
+
+TEST(Swf, ParsesJobsAndHeader) {
+  const auto log = parse_swf(kSample);
+  ASSERT_TRUE(log.has_value());
+  EXPECT_EQ(log->header.size(), 3u);
+  EXPECT_EQ(log->jobs.size(), 4u);   // job 3 skipped
+  EXPECT_EQ(log->skipped, 1u);
+}
+
+TEST(Swf, SortsBySubmitTime) {
+  const auto log = parse_swf(kSample);
+  ASSERT_TRUE(log.has_value());
+  // Job 4 (submit 30) sorts between jobs 1 and 2.
+  EXPECT_EQ(log->jobs[0].id, 1);
+  EXPECT_EQ(log->jobs[1].id, 4);
+  EXPECT_EQ(log->jobs[2].id, 2);
+  EXPECT_EQ(log->jobs[3].id, 5);
+}
+
+TEST(Swf, FieldMapping) {
+  const auto log = parse_swf(kSample);
+  const auto& j = log->jobs[0];
+  EXPECT_DOUBLE_EQ(j.submit, 0.0);
+  EXPECT_DOUBLE_EQ(j.runtime, 3600.0);
+  EXPECT_EQ(j.processors, 16u);
+  EXPECT_DOUBLE_EQ(j.requested, 7200.0);
+}
+
+TEST(Swf, MissingRequestFallsBackToRuntime) {
+  const auto log = parse_swf(kSample);
+  const auto& j4 = log->jobs[1];
+  ASSERT_EQ(j4.id, 4);
+  EXPECT_DOUBLE_EQ(j4.requested, 900.0);
+}
+
+TEST(Swf, RuntimeFilterByProcessorBand) {
+  const auto log = parse_swf(kSample);
+  const auto all = swf_runtimes(*log);
+  EXPECT_EQ(all.size(), 4u);
+  const auto wide = swf_runtimes(*log, 32, SIZE_MAX);
+  ASSERT_EQ(wide.size(), 2u);
+  EXPECT_DOUBLE_EQ(wide[0], 1800.0);
+  EXPECT_DOUBLE_EQ(wide[1], 4000.0);
+}
+
+TEST(Swf, ClusterJobConversionClampsAndConverts) {
+  const auto log = parse_swf(kSample);
+  const auto jobs = swf_to_cluster_jobs(*log, 32);
+  ASSERT_EQ(jobs.size(), 4u);
+  // Hours conversion.
+  EXPECT_NEAR(jobs[0].actual, 1.0, 1e-12);
+  EXPECT_NEAR(jobs[0].requested, 2.0, 1e-12);
+  // Job 5: runtime 4000 > requested 3600 -> request raised to the runtime.
+  const auto& j5 = jobs[3];
+  EXPECT_NEAR(j5.requested, 4000.0 / 3600.0, 1e-12);
+  EXPECT_LE(j5.actual, j5.requested);
+  // Width clamped to the simulated machine.
+  EXPECT_EQ(j5.width, 32u);
+}
+
+TEST(Swf, ConvertedJobsRunThroughTheClusterSimulator) {
+  const auto log = parse_swf(kSample);
+  const auto jobs = swf_to_cluster_jobs(*log, 64);
+  const auto records = sre::sim::simulate_backfill_queue({64}, jobs);
+  for (const auto& r : records) {
+    EXPECT_GE(r.wait, 0.0);
+  }
+}
+
+TEST(Swf, RuntimesFeedTheTracePipeline) {
+  const auto log = parse_swf(kSample);
+  const auto trace = swf_runtimes(*log);
+  const auto d = empirical_distribution(trace);
+  EXPECT_GT(d->mean(), 0.0);
+}
+
+TEST(Swf, RejectsGarbageContent) {
+  std::string error;
+  EXPECT_FALSE(parse_swf("; only a header\n", &error).has_value());
+  EXPECT_FALSE(parse_swf("not swf at all", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Swf, MissingFileReported) {
+  std::string error;
+  EXPECT_FALSE(read_swf("/nonexistent/log.swf", &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}

@@ -1,0 +1,69 @@
+#include "platform/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/expected_cost.hpp"
+#include "core/heuristics/moment_based.hpp"
+#include "dist/lognormal.hpp"
+
+using namespace sre::platform;
+
+TEST(Trace, SynthesizeProducesConfiguredRunCount) {
+  TraceConfig cfg;
+  cfg.runs = 5000;
+  const auto trace = synthesize_trace(cfg);
+  EXPECT_EQ(trace.size(), 5000u);
+  for (const double t : trace) EXPECT_GT(t, 0.0);
+}
+
+TEST(Trace, FitRecoversPublishedParameters) {
+  TraceConfig cfg;  // VBMQA defaults
+  const auto trace = synthesize_trace(cfg);
+  const TraceFit fit = fit_trace(trace);
+  EXPECT_NEAR(fit.fitted.mu, kVbmqaMu, 0.02);
+  EXPECT_NEAR(fit.fitted.sigma, kVbmqaSigma, 0.01);
+  EXPECT_NEAR(fit.sample_mean, 1253.37, 30.0);
+  EXPECT_EQ(fit.runs, 5000u);
+  // A correct LogNormal fit of LogNormal data: tiny KS distance.
+  EXPECT_LT(fit.ks_statistic, 0.03);
+}
+
+TEST(Trace, KsStatisticDetectsWrongModel) {
+  TraceConfig cfg;
+  const auto trace = synthesize_trace(cfg);
+  const sre::dist::LogNormal wrong(5.0, 1.0);
+  EXPECT_GT(ks_statistic(trace, wrong), 0.5);
+}
+
+TEST(Trace, DistributionFromTraceIsUsableDownstream) {
+  TraceConfig cfg;
+  cfg.runs = 2000;
+  const auto trace = synthesize_trace(cfg);
+  const auto d = distribution_from_trace(trace);
+  ASSERT_NE(d, nullptr);
+  const auto seq =
+      sre::core::MeanDoubling().generate(*d, sre::core::CostModel::reservation_only());
+  EXPECT_TRUE(seq.covers_distribution(*d, 1e-10));
+  const double cost = sre::core::expected_cost_analytic(
+      seq, *d, sre::core::CostModel::reservation_only());
+  EXPECT_GT(cost, d->mean());
+}
+
+TEST(Trace, EmpiricalDistributionMatchesTraceMoments) {
+  TraceConfig cfg;
+  cfg.runs = 3000;
+  const auto trace = synthesize_trace(cfg);
+  const auto emp = empirical_distribution(trace);
+  double mean = 0.0;
+  for (const double t : trace) mean += t;
+  mean /= static_cast<double>(trace.size());
+  EXPECT_NEAR(emp->mean(), mean, 1e-6 * mean);
+}
+
+TEST(Trace, DeterministicForSeed) {
+  TraceConfig a, b;
+  a.seed = b.seed = 99;
+  EXPECT_EQ(synthesize_trace(a), synthesize_trace(b));
+  b.seed = 100;
+  EXPECT_NE(synthesize_trace(a), synthesize_trace(b));
+}

@@ -1,0 +1,92 @@
+#include "dist/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/exponential.hpp"
+#include "dist/lognormal.hpp"
+#include "dist/uniform.hpp"
+#include "sim/rng.hpp"
+#include "stats/summary.hpp"
+
+using namespace sre::dist;
+
+TEST(Scaled, ExponentialScalesTheRate) {
+  // c * Exp(lambda) == Exp(lambda / c).
+  const auto base = std::make_shared<Exponential>(3.0);
+  const ScaledDistribution scaled(base, 2.0);
+  const Exponential reference(1.5);
+  for (double t : {0.1, 0.5, 1.0, 4.0}) {
+    EXPECT_NEAR(scaled.pdf(t), reference.pdf(t), 1e-13) << t;
+    EXPECT_NEAR(scaled.cdf(t), reference.cdf(t), 1e-13) << t;
+    EXPECT_NEAR(scaled.sf(t), reference.sf(t), 1e-13) << t;
+    EXPECT_NEAR(scaled.conditional_mean_above(t),
+                reference.conditional_mean_above(t), 1e-12)
+        << t;
+  }
+  EXPECT_NEAR(scaled.mean(), reference.mean(), 1e-13);
+  EXPECT_NEAR(scaled.variance(), reference.variance(), 1e-13);
+  for (double p : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(scaled.quantile(p), reference.quantile(p), 1e-12) << p;
+  }
+}
+
+TEST(Scaled, SecondsToHoursEqualsLogShift) {
+  // (1/3600) * LogNormal(mu, sigma) == LogNormal(mu - ln 3600, sigma).
+  const auto base = std::make_shared<LogNormal>(7.1128, 0.2039);
+  const ScaledDistribution hours(base, 1.0 / 3600.0);
+  const LogNormal reference(7.1128 - std::log(3600.0), 0.2039);
+  EXPECT_NEAR(hours.mean(), reference.mean(), 1e-12);
+  EXPECT_NEAR(hours.stddev(), reference.stddev(), 1e-12);
+  for (double p : {0.05, 0.5, 0.95}) {
+    EXPECT_NEAR(hours.quantile(p), reference.quantile(p),
+                1e-10 * reference.quantile(p))
+        << p;
+  }
+  EXPECT_NEAR(hours.cdf(0.3), reference.cdf(0.3), 1e-12);
+}
+
+TEST(Scaled, SamplingMatchesMoments) {
+  const auto base = std::make_shared<Exponential>(1.0);
+  const ScaledDistribution scaled(base, 5.0);
+  sre::sim::Rng rng = sre::sim::make_rng(6);
+  sre::stats::OnlineMoments acc;
+  for (int i = 0; i < 100000; ++i) acc.add(scaled.sample(rng));
+  EXPECT_NEAR(acc.mean(), 5.0, 0.1);
+}
+
+TEST(Shifted, UniformShiftsSupport) {
+  const auto base = std::make_shared<Uniform>(0.0 + 1e-12, 10.0);
+  const ShiftedDistribution shifted(base, 10.0);
+  const Uniform reference(10.0, 20.0);
+  EXPECT_NEAR(shifted.mean(), reference.mean(), 1e-9);
+  EXPECT_NEAR(shifted.variance(), reference.variance(), 1e-9);
+  EXPECT_NEAR(shifted.cdf(15.0), reference.cdf(15.0), 1e-9);
+  EXPECT_NEAR(shifted.quantile(0.25), reference.quantile(0.25), 1e-9);
+  EXPECT_NEAR(shifted.support().lower, 10.0, 1e-9);
+  EXPECT_NEAR(shifted.support().upper, 20.0, 1e-9);
+  EXPECT_NEAR(shifted.conditional_mean_above(14.0),
+              reference.conditional_mean_above(14.0), 1e-9);
+}
+
+TEST(Shifted, ModelsFixedStartupPortion) {
+  // Every job pays a 2.0 startup plus an exponential body.
+  const auto base = std::make_shared<Exponential>(1.0);
+  const ShiftedDistribution d(base, 2.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(d.variance(), 1.0);
+  EXPECT_DOUBLE_EQ(d.cdf(2.0), 0.0);
+  EXPECT_NEAR(d.sf(3.0), std::exp(-1.0), 1e-13);
+  // Memorylessness above the shift.
+  EXPECT_NEAR(d.conditional_mean_above(4.0), 5.0, 1e-12);
+}
+
+TEST(Transforms, ComposeScaleThenShift) {
+  const auto base = std::make_shared<Exponential>(1.0);
+  const auto scaled = std::make_shared<ScaledDistribution>(base, 2.0);
+  const ShiftedDistribution both(scaled, 1.0);
+  EXPECT_DOUBLE_EQ(both.mean(), 3.0);      // 2 * 1 + 1
+  EXPECT_DOUBLE_EQ(both.variance(), 4.0);  // 2^2 * 1
+  EXPECT_NEAR(both.quantile(both.cdf(2.7)), 2.7, 1e-10);
+}

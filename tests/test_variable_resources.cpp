@@ -1,0 +1,113 @@
+#include "core/variable_resources.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/exponential.hpp"
+#include "dist/lognormal.hpp"
+
+using namespace sre::core;
+
+TEST(Amdahl, TimeFactor) {
+  const AmdahlModel a{0.1};
+  EXPECT_DOUBLE_EQ(a.time_factor(1), 1.0);
+  EXPECT_DOUBLE_EQ(a.time_factor(2), 0.1 + 0.45);
+  EXPECT_NEAR(a.time_factor(1000000), 0.1, 1e-5);  // asymptote = sigma
+  const AmdahlModel perfect{0.0};
+  EXPECT_DOUBLE_EQ(perfect.time_factor(4), 0.25);
+  const AmdahlModel serial{1.0};
+  EXPECT_DOUBLE_EQ(serial.time_factor(64), 1.0);
+}
+
+TEST(VariableResources, CostModelMapping) {
+  VariableResourceOptions opts;
+  opts.base = CostModel{2.0, 1.0, 0.5};
+  opts.pricing = ResourcePricing::kCpuHours;
+  const auto cpu = cost_model_for(opts, 4);
+  EXPECT_DOUBLE_EQ(cpu.alpha, 8.0);
+  EXPECT_DOUBLE_EQ(cpu.beta, 4.0);
+  EXPECT_DOUBLE_EQ(cpu.gamma, 0.5);
+  opts.pricing = ResourcePricing::kTurnaround;
+  opts.contention = 0.25;
+  const auto ta = cost_model_for(opts, 4);
+  EXPECT_NEAR(ta.alpha, 2.0 * (1.0 + 0.25 * std::log(4.0)), 1e-12);
+  EXPECT_DOUBLE_EQ(ta.beta, 1.0);
+  EXPECT_DOUBLE_EQ(ta.gamma, 0.5);
+}
+
+TEST(VariableResources, CpuHoursPricingPrefersOneProcessor) {
+  // Under Amdahl with sigma > 0 the CPU-hour area grows with p, so p = 1
+  // must win.
+  const sre::dist::LogNormal work(3.0, 0.5);
+  VariableResourceOptions opts;
+  opts.pricing = ResourcePricing::kCpuHours;
+  opts.amdahl.sequential_fraction = 0.1;
+  opts.candidates = {1, 2, 4, 8, 16};
+  const auto best = optimize_processors(work, opts);
+  EXPECT_EQ(best.processors, 1u);
+  const auto sweep = processor_sweep(work, opts);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GT(sweep[i].expected_cost, sweep[i - 1].expected_cost * 0.999)
+        << sweep[i].processors;
+  }
+}
+
+TEST(VariableResources, PerfectScalingMakesCpuHoursFlat) {
+  // sigma = 0, gamma = 0, beta = 0: p*T = W regardless of p; every plan has
+  // the same cost up to discretization noise.
+  const sre::dist::Exponential work(1.0);
+  VariableResourceOptions opts;
+  opts.pricing = ResourcePricing::kCpuHours;
+  opts.amdahl.sequential_fraction = 0.0;
+  opts.base = CostModel::reservation_only();
+  opts.candidates = {1, 4, 16, 64};
+  const auto sweep = processor_sweep(work, opts);
+  for (const auto& plan : sweep) {
+    EXPECT_NEAR(plan.expected_cost, sweep.front().expected_cost,
+                1e-6 * sweep.front().expected_cost)
+        << plan.processors;
+  }
+}
+
+TEST(VariableResources, TurnaroundHasInteriorOptimum) {
+  // Contention penalizes width, Amdahl rewards it: some 1 < p* < max wins.
+  const sre::dist::LogNormal work(3.0, 0.5);
+  VariableResourceOptions opts;
+  opts.pricing = ResourcePricing::kTurnaround;
+  opts.amdahl.sequential_fraction = 0.05;
+  opts.contention = 0.5;
+  opts.base = CostModel{0.95, 1.0, 1.05};
+  opts.candidates = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+  const auto best = optimize_processors(work, opts);
+  EXPECT_GT(best.processors, 1u);
+  EXPECT_LT(best.processors, 256u);
+}
+
+TEST(VariableResources, LessContentionPushesOptimalPUp) {
+  const sre::dist::LogNormal work(3.0, 0.5);
+  VariableResourceOptions opts;
+  opts.pricing = ResourcePricing::kTurnaround;
+  opts.amdahl.sequential_fraction = 0.02;
+  opts.base = CostModel{0.95, 1.0, 1.05};
+  opts.candidates = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512};
+  opts.contention = 1.0;
+  const auto congested = optimize_processors(work, opts);
+  opts.contention = 0.05;
+  const auto idle = optimize_processors(work, opts);
+  EXPECT_GE(idle.processors, congested.processors);
+  EXPECT_LT(idle.expected_cost, congested.expected_cost);
+}
+
+TEST(VariableResources, SequencesShrinkWithMoreProcessors) {
+  // At larger p the runtime law contracts by f(p); so do the reservations.
+  const sre::dist::Exponential work(1.0);
+  VariableResourceOptions opts;
+  opts.pricing = ResourcePricing::kTurnaround;
+  opts.amdahl.sequential_fraction = 0.0;
+  opts.contention = 0.0;
+  opts.candidates = {1, 4};
+  const auto sweep = processor_sweep(work, opts);
+  EXPECT_NEAR(sweep[1].sequence.first(), sweep[0].sequence.first() / 4.0,
+              0.05 * sweep[0].sequence.first());
+}

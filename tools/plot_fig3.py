@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Plot Figure 3 (normalized cost vs t1) from bench output.
+
+Usage:
+    build/bench/fig3_t1_sweep > fig3.txt
+    tools/plot_fig3.py fig3.txt fig3.png
+
+Requires matplotlib. The bench prints, per distribution, a '# <name> ...'
+header followed by 't1,normalized_cost' CSV rows where '-' marks invalid
+(non-increasing) sequences -- rendered here as gaps, as in the paper.
+"""
+
+import sys
+
+
+def parse(path):
+    panels = []
+    name, xs, ys = None, [], []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line.startswith("#"):
+                if name is not None:
+                    panels.append((name, xs, ys))
+                name, xs, ys = line[1:].split("(")[0].strip(), [], []
+            elif "," in line and not line.startswith("t1"):
+                t1, cost = line.split(",", 1)
+                try:
+                    xs.append(float(t1))
+                    ys.append(float(cost) if cost != "-" else float("nan"))
+                except ValueError:
+                    pass
+    if name is not None:
+        panels.append((name, xs, ys))
+    return panels
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    import math
+
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    panels = parse(sys.argv[1])
+    cols = 3
+    rows = math.ceil(len(panels) / cols)
+    fig, axes = plt.subplots(rows, cols, figsize=(4 * cols, 3 * rows))
+    for ax, (name, xs, ys) in zip(axes.flat, panels):
+        ax.plot(xs, ys, ".", markersize=3)
+        ax.set_title(name)
+        ax.set_xlabel("t1")
+        ax.set_ylabel("normalized cost")
+    for ax in axes.flat[len(panels):]:
+        ax.axis("off")
+    fig.tight_layout()
+    fig.savefig(sys.argv[2], dpi=150)
+    print(f"wrote {sys.argv[2]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

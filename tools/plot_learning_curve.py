@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Plot adaptive-scheduling learning curves from bench/ext_adaptive output.
+
+Usage:
+    build/bench/ext_adaptive > adaptive.txt
+    tools/plot_learning_curve.py adaptive.txt adaptive.png
+"""
+
+import sys
+
+
+def parse(path):
+    rows = []
+    header = None
+    with open(path) as fh:
+        for line in fh:
+            cells = [c for c in line.rstrip("\n").split("  ") if c.strip()]
+            if not cells:
+                continue
+            if cells[0].strip() == "Distribution":
+                header = [c.strip() for c in cells]
+            elif header and len(cells) >= len(header) - 1 and not set(
+                    line.strip()) <= {"-"}:
+                rows.append([c.strip() for c in cells])
+    if header is None:
+        raise SystemExit("no table found in input")
+    windows = [h for h in header if h.startswith("w")]
+    series = {}
+    for row in rows:
+        name = row[0]
+        values = row[3:3 + len(windows)]
+        try:
+            series[name] = [float(v) for v in values]
+        except ValueError:
+            continue
+    return series
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    series = parse(sys.argv[1])
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    for name, values in series.items():
+        ax.plot(range(1, len(values) + 1), values, marker="o", label=name)
+    ax.axhline(1.0, color="k", linestyle="--", linewidth=1,
+               label="clairvoyant")
+    ax.set_xlabel("learning window (100 jobs each)")
+    ax.set_ylabel("window cost / clairvoyant cost")
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(sys.argv[2], dpi=150)
+    print(f"wrote {sys.argv[2]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
