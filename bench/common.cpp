@@ -54,4 +54,21 @@ void print_table(const std::string& title,
 
 void print_note(const std::string& note) { std::cout << note << "\n"; }
 
+std::string sweep_summary(const core::ScenarioSweepReport& report) {
+  const auto& c = report.cache;
+  const std::uint64_t lookups = c.hits + c.misses;
+  const double hit_pct =
+      lookups > 0 ? 100.0 * static_cast<double>(c.hits) /
+                        static_cast<double>(lookups)
+                  : 0.0;
+  std::ostringstream os;
+  os << "sweep: " << report.sweep.scenarios << " scenarios, "
+     << report.sweep.threads << " threads, "
+     << fmt(report.sweep.wall_seconds, 3) << " s, " << report.sweep.steals
+     << " steals; cdf cache: " << fmt(hit_pct, 1) << "% hits ("
+     << c.hits << "/" << lookups << "), " << c.tables_built << " tables, "
+     << c.table_reuses << " reuses";
+  return os.str();
+}
+
 }  // namespace sre::bench

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/heuristics/heuristic.hpp"
+#include "core/scenario_sweep.hpp"
 
 namespace sre::bench {
 
@@ -35,5 +36,9 @@ void print_table(const std::string& title,
 
 /// Prints a "key: value" style preamble line.
 void print_note(const std::string& note);
+
+/// One-line counter digest of a campaign ("sweep: 63 scenarios, 8 threads,
+/// 1.23 s, 41 steals; cdf cache: 97.2% hits, 9 tables, 54 reuses").
+std::string sweep_summary(const core::ScenarioSweepReport& report);
 
 }  // namespace sre::bench

@@ -1,11 +1,28 @@
 // google-benchmark: asymptotic scaling of the substrate pieces -- the
 // Theorem 5 DP is O(n^2) in the number of discrete samples; discretization
 // is O(n) quantile calls; the event simulator is O(attempts) per job.
+//
+// Before the microbenchmarks run, main() drives a 144-scenario campaign
+// (9 distributions x 4 cost models x 4 solvers) through sim::SweepRunner
+// twice -- serial baseline, then parallel -- verifies the outcomes are
+// numerically identical, and writes machine-readable BENCH_sweep.json
+// (scenarios/sec, speedup vs serial, cache hit rate, steal traffic) so the
+// perf trajectory can be tracked across PRs. Set SRE_BENCH_JSON to change
+// the output path, SRE_SKIP_SWEEP=1 to skip straight to the benchmarks.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "common.hpp"
 #include "core/heuristics/dp_discretization.hpp"
+#include "core/heuristics/moment_based.hpp"
+#include "core/heuristics/refined_dp.hpp"
+#include "core/scenario_sweep.hpp"
 #include "dist/exponential.hpp"
+#include "dist/factory.hpp"
 #include "sim/discretize.hpp"
 #include "sim/event_sim.hpp"
 #include "sim/rng.hpp"
@@ -40,6 +57,25 @@ static void BM_DiscretizeLinear(benchmark::State& state) {
 BENCHMARK(BM_DiscretizeLinear)->RangeMultiplier(4)->Range(64, 4096)->Complexity(
     benchmark::oN);
 
+static void BM_DiscretizeTabulated(benchmark::State& state) {
+  // Same grid as BM_DiscretizeLinear but served from a TabulatedCdf: the
+  // gap between the two is the per-rediscretization CDF/quantile cost the
+  // sweep cache eliminates.
+  const dist::Exponential e(1.0);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const dist::TabulatedCdf tab(e, n, 1e-7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::discretize(
+        e,
+        sim::DiscretizationOptions{n, 1e-7,
+                                   sim::DiscretizationScheme::kEqualTime},
+        &tab));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DiscretizeTabulated)->RangeMultiplier(4)->Range(64, 4096)
+    ->Complexity(benchmark::oN);
+
 static void BM_EventSimPerJob(benchmark::State& state) {
   std::vector<double> res{1.0};
   while (res.size() < 32) res.push_back(res.back() * 1.5);
@@ -60,3 +96,126 @@ static void BM_SampleDraw(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SampleDraw);
+
+namespace {
+
+std::vector<core::SweepScenario> sweep_scenarios(const bench::BenchConfig& cfg) {
+  const std::size_t dp_n = std::max<std::size_t>(64, cfg.disc_n / 2);
+  sim::DiscretizationOptions eq_time{dp_n, cfg.epsilon,
+                                     sim::DiscretizationScheme::kEqualTime};
+  sim::DiscretizationOptions eq_prob{
+      dp_n, cfg.epsilon, sim::DiscretizationScheme::kEqualProbability};
+  core::RefinedDpOptions refined;
+  refined.disc.n = std::max<std::size_t>(64, dp_n / 2);
+  refined.disc.epsilon = cfg.epsilon;
+
+  const std::vector<core::HeuristicPtr> solvers = {
+      std::make_shared<core::MeanByMean>(),
+      std::make_shared<core::DiscretizedDp>(eq_time),
+      std::make_shared<core::DiscretizedDp>(eq_prob),
+      std::make_shared<core::RefinedDp>(refined),
+  };
+  const std::vector<std::pair<std::string, core::CostModel>> models = {
+      {"ReservationOnly", core::CostModel::reservation_only()},
+      {"PayAsYouGo", {1.0, 1.0, 0.0}},
+      {"WithOverhead", {1.0, 1.0, 0.1}},
+      {"HpcLike", {2.0, 1.0, 0.5}},
+  };
+  return core::make_scenario_grid(dist::paper_distributions(), models, solvers);
+}
+
+bool outcomes_identical(const std::vector<core::ScenarioOutcome>& a,
+                        const std::vector<core::ScenarioOutcome>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& x = a[i].eval;
+    const auto& y = b[i].eval;
+    if (x.expected_cost_mc != y.expected_cost_mc ||
+        x.expected_cost_analytic != y.expected_cost_analytic ||
+        x.t1 != y.t1 || x.sequence.values() != y.sequence.values()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void run_sweep_benchmark() {
+  const bench::BenchConfig cfg = bench::BenchConfig::from_env();
+  const auto scenarios = sweep_scenarios(cfg);
+
+  core::EvaluationOptions eval;
+  eval.mc.samples = cfg.mc_samples;
+  eval.mc.seed = cfg.seed;
+  // Scenario-level parallelism only: the serial baseline must be a true
+  // single-thread run, and one scenario per worker is the scaling story.
+  eval.mc.parallel = false;
+
+  sim::SweepOptions serial_opts;
+  serial_opts.serial = true;
+  const auto serial = core::run_scenario_sweep(scenarios, eval, serial_opts);
+
+  const auto parallel = core::run_scenario_sweep(scenarios, eval, {});
+
+  const bool identical = outcomes_identical(serial.outcomes, parallel.outcomes);
+  const double speedup =
+      parallel.sweep.wall_seconds > 0.0
+          ? serial.sweep.wall_seconds / parallel.sweep.wall_seconds
+          : 0.0;
+  const double rate = parallel.sweep.wall_seconds > 0.0
+                          ? static_cast<double>(scenarios.size()) /
+                                parallel.sweep.wall_seconds
+                          : 0.0;
+  const auto& cache = parallel.cache;
+  const double hit_rate =
+      cache.hits + cache.misses > 0
+          ? static_cast<double>(cache.hits) /
+                static_cast<double>(cache.hits + cache.misses)
+          : 0.0;
+
+  const char* path_env = std::getenv("SRE_BENCH_JSON");
+  const std::string path = path_env != nullptr ? path_env : "BENCH_sweep.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "perf_scaling: cannot write " << path << "\n";
+  }
+  out << "{\n"
+      << "  \"scenarios\": " << scenarios.size() << ",\n"
+      << "  \"threads\": " << parallel.sweep.threads << ",\n"
+      << "  \"batches\": " << parallel.sweep.batches << ",\n"
+      << "  \"steals\": " << parallel.sweep.steals << ",\n"
+      << "  \"serial_seconds\": " << bench::fmt(serial.sweep.wall_seconds, 6)
+      << ",\n"
+      << "  \"parallel_seconds\": "
+      << bench::fmt(parallel.sweep.wall_seconds, 6) << ",\n"
+      << "  \"speedup_vs_serial\": " << bench::fmt(speedup, 3) << ",\n"
+      << "  \"scenarios_per_sec\": " << bench::fmt(rate, 2) << ",\n"
+      << "  \"cache_hits\": " << cache.hits << ",\n"
+      << "  \"cache_misses\": " << cache.misses << ",\n"
+      << "  \"cache_hit_rate\": " << bench::fmt(hit_rate, 4) << ",\n"
+      << "  \"tables_built\": " << cache.tables_built << ",\n"
+      << "  \"table_reuses\": " << cache.table_reuses << ",\n"
+      << "  \"identical_to_serial\": " << (identical ? "true" : "false")
+      << "\n}\n";
+  out.close();
+
+  std::cout << "SweepRunner campaign: " << scenarios.size() << " scenarios, "
+            << parallel.sweep.threads << " threads, speedup "
+            << bench::fmt(speedup, 2) << "x, cache hit rate "
+            << bench::fmt(100.0 * hit_rate, 1) << "%, identical="
+            << (identical ? "true" : "false") << " -> "
+            << (out.fail() ? "(write failed: " + path + ")" : path) << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* skip = std::getenv("SRE_SKIP_SWEEP");
+  if (skip == nullptr || std::string(skip) != "1") {
+    run_sweep_benchmark();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

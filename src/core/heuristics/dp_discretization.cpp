@@ -73,7 +73,17 @@ std::string DiscretizedDp::name() const {
 
 ReservationSequence DiscretizedDp::generate(const dist::Distribution& d,
                                             const CostModel& m) const {
-  const dist::DiscreteDistribution disc = sim::discretize(d, opts_);
+  return generate(d, m, GenerateContext{});
+}
+
+ReservationSequence DiscretizedDp::generate(const dist::Distribution& d,
+                                            const CostModel& m,
+                                            const GenerateContext& ctx) const {
+  std::shared_ptr<const dist::TabulatedCdf> tab;
+  if (ctx.cdf_cache != nullptr && &ctx.cdf_cache->distribution() == &d) {
+    tab = ctx.cdf_cache->table(opts_.n, opts_.epsilon);
+  }
+  const dist::DiscreteDistribution disc = sim::discretize(d, opts_, tab.get());
   DpResult dp = dp_optimal_sequence(disc, m);
   // Tail extension for unbounded laws: double past v_n until covered.
   const dist::Support s = d.support();

@@ -34,6 +34,12 @@ class DiscretizedDp final : public Heuristic {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] ReservationSequence generate(const dist::Distribution& d,
                                              const CostModel& m) const override;
+  /// Context-aware: serves the discretization grid from ctx.cdf_cache when
+  /// it matches `d`, skipping the n quantile/CDF evaluations. Identical
+  /// output either way.
+  [[nodiscard]] ReservationSequence generate(
+      const dist::Distribution& d, const CostModel& m,
+      const GenerateContext& ctx) const override;
   [[nodiscard]] const sim::DiscretizationOptions& options() const noexcept {
     return opts_;
   }

@@ -7,13 +7,27 @@
 
 namespace sre::core {
 
+ReservationSequence Heuristic::generate(const dist::Distribution& d,
+                                        const CostModel& m,
+                                        const GenerateContext& /*ctx*/) const {
+  return generate(d, m);
+}
+
 HeuristicEvaluation evaluate_heuristic(const Heuristic& h,
                                        const dist::Distribution& d,
                                        const CostModel& m,
                                        const EvaluationOptions& opts) {
+  return evaluate_heuristic(h, d, m, opts, GenerateContext{});
+}
+
+HeuristicEvaluation evaluate_heuristic(const Heuristic& h,
+                                       const dist::Distribution& d,
+                                       const CostModel& m,
+                                       const EvaluationOptions& opts,
+                                       const GenerateContext& ctx) {
   HeuristicEvaluation out;
   out.name = h.name();
-  out.sequence = h.generate(d, m);
+  out.sequence = h.generate(d, m, ctx);
   out.t1 = out.sequence.first();
 
   const sim::MonteCarloResult mc =

@@ -14,7 +14,22 @@
 #include "dist/distribution.hpp"
 #include "sim/monte_carlo.hpp"
 
+namespace sre::dist {
+class CdfCache;
+}  // namespace sre::dist
+
 namespace sre::core {
+
+/// Shared, read-only evaluation context a caller may thread through
+/// generate(). Sweep campaigns use it to share one dist::CdfCache per
+/// distribution across every (cost model, solver) scenario, eliminating
+/// repeated F(t)/quantile(u) evaluations on the discretization grids.
+struct GenerateContext {
+  /// Cache keyed to the *same distribution instance* passed to generate();
+  /// heuristics ignore it when it refers to a different law. nullptr
+  /// disables caching.
+  const dist::CdfCache* cdf_cache = nullptr;
+};
 
 class Heuristic {
  public:
@@ -26,6 +41,13 @@ class Heuristic {
   /// Produces a covering reservation sequence for (d, m).
   [[nodiscard]] virtual ReservationSequence generate(
       const dist::Distribution& d, const CostModel& m) const = 0;
+
+  /// Context-aware variant. The default ignores the context; heuristics
+  /// with cacheable grid evaluations (DiscretizedDp, RefinedDp) override it.
+  /// Results are identical with or without a context.
+  [[nodiscard]] virtual ReservationSequence generate(
+      const dist::Distribution& d, const CostModel& m,
+      const GenerateContext& ctx) const;
 };
 
 using HeuristicPtr = std::shared_ptr<const Heuristic>;
@@ -51,6 +73,14 @@ HeuristicEvaluation evaluate_heuristic(const Heuristic& h,
                                        const dist::Distribution& d,
                                        const CostModel& m,
                                        const EvaluationOptions& opts = {});
+
+/// Context-aware variant (see GenerateContext); numerically identical to the
+/// plain overload.
+HeuristicEvaluation evaluate_heuristic(const Heuristic& h,
+                                       const dist::Distribution& d,
+                                       const CostModel& m,
+                                       const EvaluationOptions& opts,
+                                       const GenerateContext& ctx);
 
 /// The seven heuristics of Table 2, in the paper's column order:
 /// Brute-Force, Mean-by-Mean, Mean-Stdev, Mean-Doubling, Med-by-Med,

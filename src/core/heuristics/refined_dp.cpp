@@ -16,8 +16,14 @@ std::string RefinedDp::name() const { return "Refined-DP"; }
 
 ReservationSequence RefinedDp::generate(const dist::Distribution& d,
                                         const CostModel& m) const {
+  return generate(d, m, GenerateContext{});
+}
+
+ReservationSequence RefinedDp::generate(const dist::Distribution& d,
+                                        const CostModel& m,
+                                        const GenerateContext& ctx) const {
   const DiscretizedDp seed(opts_.disc);
-  ReservationSequence best = seed.generate(d, m);
+  ReservationSequence best = seed.generate(d, m, ctx);
   double best_cost = expected_cost_analytic(best, d, m);
 
   const double t1 = best.first();

@@ -28,6 +28,11 @@ class RefinedDp final : public Heuristic {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] ReservationSequence generate(const dist::Distribution& d,
                                              const CostModel& m) const override;
+  /// Context-aware: the DP seed reads its discretization grid from
+  /// ctx.cdf_cache (see DiscretizedDp). Identical output either way.
+  [[nodiscard]] ReservationSequence generate(
+      const dist::Distribution& d, const CostModel& m,
+      const GenerateContext& ctx) const override;
 
  private:
   RefinedDpOptions opts_;

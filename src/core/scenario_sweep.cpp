@@ -1,0 +1,64 @@
+#include "core/scenario_sweep.hpp"
+
+#include <map>
+#include <memory>
+
+namespace sre::core {
+
+std::vector<SweepScenario> make_scenario_grid(
+    const std::vector<dist::PaperInstance>& dists,
+    const std::vector<std::pair<std::string, CostModel>>& models,
+    const std::vector<HeuristicPtr>& solvers) {
+  std::vector<SweepScenario> grid;
+  grid.reserve(dists.size() * models.size() * solvers.size());
+  for (const auto& inst : dists) {
+    for (const auto& [model_label, model] : models) {
+      for (const auto& solver : solvers) {
+        grid.push_back({inst.label, inst.dist, model_label, model, solver});
+      }
+    }
+  }
+  return grid;
+}
+
+ScenarioSweepReport run_scenario_sweep(
+    const std::vector<SweepScenario>& scenarios, const EvaluationOptions& eval,
+    const sim::SweepOptions& opts) {
+  // One CdfCache per distinct distribution instance, created up front so
+  // workers only ever read the map. The caches own their distribution, so
+  // pointer keys cannot dangle or alias.
+  std::map<const dist::Distribution*, std::unique_ptr<dist::CdfCache>> caches;
+  for (const auto& sc : scenarios) {
+    auto& slot = caches[sc.dist.get()];
+    if (!slot) slot = std::make_unique<dist::CdfCache>(sc.dist);
+  }
+
+  ScenarioSweepReport report;
+  sim::SweepRunner runner(opts);
+  report.outcomes = runner.run<ScenarioOutcome>(
+      scenarios.size(), [&](std::size_t i) {
+        const SweepScenario& sc = scenarios[i];
+        GenerateContext ctx;
+        ctx.cdf_cache = caches.at(sc.dist.get()).get();
+        ScenarioOutcome out;
+        out.dist_label = sc.dist_label;
+        out.model_label = sc.model_label;
+        out.solver = sc.solver->name();
+        out.eval = evaluate_heuristic(*sc.solver, *sc.dist, sc.model, eval, ctx);
+        return out;
+      });
+  report.sweep = runner.counters();
+
+  for (const auto& [ptr, cache] : caches) {
+    (void)ptr;
+    const auto lookups = cache->lookup_counters();
+    const auto stats = cache->stats();
+    report.cache.hits += lookups.hits;
+    report.cache.misses += lookups.misses;
+    report.cache.tables_built += stats.builds;
+    report.cache.table_reuses += stats.reuses;
+  }
+  return report;
+}
+
+}  // namespace sre::core

@@ -1,0 +1,68 @@
+#pragma once
+
+// Scenario-grid campaigns (the paper's experimental methodology, Tables 2-4
+// and Figs. 3-4): evaluate every solver over a grid of (distribution, cost
+// model) scenarios. The grid is fanned across sim::SweepRunner — results
+// come back in submission order, so a parallel campaign prints exactly what
+// the serial one does — and every scenario of the same distribution shares
+// one dist::CdfCache, so the discretization-grid CDF/quantile work is paid
+// once per (distribution, n, epsilon) instead of once per scenario.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/heuristics/heuristic.hpp"
+#include "dist/factory.hpp"
+#include "dist/tabulated_cdf.hpp"
+#include "sim/sweep.hpp"
+
+namespace sre::core {
+
+/// One cell of a campaign grid.
+struct SweepScenario {
+  std::string dist_label;
+  dist::DistributionPtr dist;
+  std::string model_label;
+  CostModel model;
+  HeuristicPtr solver;
+};
+
+/// Row-major cartesian product: distribution outermost, solver innermost.
+/// Index of (d, m, s) is (d * #models + m) * #solvers + s.
+std::vector<SweepScenario> make_scenario_grid(
+    const std::vector<dist::PaperInstance>& dists,
+    const std::vector<std::pair<std::string, CostModel>>& models,
+    const std::vector<HeuristicPtr>& solvers);
+
+struct ScenarioOutcome {
+  std::string dist_label;
+  std::string model_label;
+  std::string solver;
+  HeuristicEvaluation eval;
+};
+
+/// Aggregated dist::CdfCache activity over one campaign.
+struct CdfCacheCounters {
+  std::uint64_t hits = 0;          ///< grid evaluations served from tables
+  std::uint64_t misses = 0;        ///< lookups that fell through to the law
+  std::uint64_t tables_built = 0;  ///< TabulatedCdf constructions
+  std::uint64_t table_reuses = 0;  ///< table requests served by reuse
+};
+
+struct ScenarioSweepReport {
+  /// One outcome per scenario, in submission (grid) order.
+  std::vector<ScenarioOutcome> outcomes;
+  sim::SweepCounters sweep;
+  CdfCacheCounters cache;
+};
+
+/// Runs the campaign. Deterministic: for fixed scenarios and eval options
+/// the report's outcomes are bit-identical for any sim::SweepOptions
+/// (serial, global pool, or a dedicated pool of any size).
+ScenarioSweepReport run_scenario_sweep(
+    const std::vector<SweepScenario>& scenarios,
+    const EvaluationOptions& eval = {}, const sim::SweepOptions& opts = {});
+
+}  // namespace sre::core

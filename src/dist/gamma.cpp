@@ -12,7 +12,7 @@ namespace sre::dist {
 Gamma::Gamma(double alpha, double beta)
     : alpha_(alpha),
       beta_(beta),
-      log_norm_(alpha * std::log(beta) - std::lgamma(alpha)) {
+      log_norm_(alpha * std::log(beta) - stats::log_gamma(alpha)) {
   assert(alpha > 0.0 && beta > 0.0);
 }
 
@@ -57,7 +57,7 @@ double Gamma::conditional_mean_above(double tau) const {
   if (q > 0.0) {
     // (x^alpha e^{-x}) / Gamma(alpha, x) evaluated in log space.
     const double log_num = alpha_ * std::log(x) - x;
-    const double log_den = std::log(q) + std::lgamma(alpha_);
+    const double log_den = std::log(q) + stats::log_gamma(alpha_);
     const double value = alpha_ / beta_ + std::exp(log_num - log_den) / beta_;
     if (std::isfinite(value) && value >= tau) return value;
   }

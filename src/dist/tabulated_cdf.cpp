@@ -1,0 +1,126 @@
+#include "dist/tabulated_cdf.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sre::dist {
+
+namespace {
+
+/// Exact binary search: returns the index of `x` in the sorted `grid`, or
+/// grid.size() when no element compares bit-equal. Probes that were computed
+/// with the same expression as the grid (k * step, a + k * step) hit.
+std::size_t find_exact(const std::vector<double>& grid, double x) {
+  const auto it = std::lower_bound(grid.begin(), grid.end(), x);
+  if (it != grid.end() && *it == x) {
+    return static_cast<std::size_t>(it - grid.begin());
+  }
+  return grid.size();
+}
+
+}  // namespace
+
+TabulatedCdf::TabulatedCdf(const Distribution& d, std::size_t n, double epsilon)
+    : d_(&d), n_(n), epsilon_(epsilon) {
+  assert(n >= 1);
+  assert(epsilon > 0.0 && epsilon < 1.0);
+  const Support s = d.support();
+  lower_ = s.lower;
+  upper_ = s.bounded() ? s.upper : d.quantile(1.0 - epsilon);
+  mass_ = d.cdf(upper_);
+
+  // The probe expressions mirror sim::discretize() exactly — `f = mass/n`
+  // then `k * f`, and `step = (b-a)/n` then `a + k * step` — so the
+  // discretizer's queries are bit-identical to the stored grid points.
+  const double f = mass_ / static_cast<double>(n_);
+  probs_.reserve(n_);
+  quantiles_.reserve(n_);
+  for (std::size_t k = 1; k <= n_; ++k) {
+    const double p = static_cast<double>(k) * f;
+    probs_.push_back(p);
+    quantiles_.push_back(d.quantile(p));
+  }
+
+  const double step = (upper_ - lower_) / static_cast<double>(n_);
+  times_.reserve(n_ + 1);
+  cdfs_.reserve(n_ + 1);
+  for (std::size_t k = 0; k <= n_; ++k) {
+    const double t = lower_ + static_cast<double>(k) * step;
+    times_.push_back(t);
+    cdfs_.push_back(d.cdf(t));
+  }
+}
+
+double TabulatedCdf::quantile_point(std::size_t k) const {
+  assert(k >= 1 && k <= n_);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return quantiles_[k - 1];
+}
+
+double TabulatedCdf::cdf_point(std::size_t k) const {
+  assert(k <= n_);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return cdfs_[k];
+}
+
+double TabulatedCdf::cdf(double t) const {
+  const std::size_t i = find_exact(times_, t);
+  if (i < times_.size()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return cdfs_[i];
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return d_->cdf(t);
+}
+
+double TabulatedCdf::quantile(double p) const {
+  const std::size_t i = find_exact(probs_, p);
+  if (i < probs_.size()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return quantiles_[i];
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return d_->quantile(p);
+}
+
+TabulatedCdf::Counters TabulatedCdf::counters() const noexcept {
+  return {hits_.load(std::memory_order_relaxed),
+          misses_.load(std::memory_order_relaxed)};
+}
+
+CdfCache::CdfCache(DistributionPtr d) : d_(std::move(d)) { assert(d_); }
+
+std::shared_ptr<const TabulatedCdf> CdfCache::table(std::size_t n,
+                                                    double epsilon) const {
+  std::lock_guard lock(mutex_);
+  for (const Entry& e : entries_) {
+    if (e.n == n && e.epsilon == epsilon) {
+      ++stats_.reuses;
+      return e.table;
+    }
+  }
+  // Built under the lock: a concurrent requester for the same grid blocks
+  // instead of duplicating the n quantile inversions.
+  auto table = std::make_shared<const TabulatedCdf>(*d_, n, epsilon);
+  entries_.push_back({n, epsilon, table});
+  ++stats_.builds;
+  return table;
+}
+
+CdfCache::Stats CdfCache::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+TabulatedCdf::Counters CdfCache::lookup_counters() const {
+  std::lock_guard lock(mutex_);
+  TabulatedCdf::Counters total;
+  for (const Entry& e : entries_) {
+    const auto c = e.table->counters();
+    total.hits += c.hits;
+    total.misses += c.misses;
+  }
+  return total;
+}
+
+}  // namespace sre::dist

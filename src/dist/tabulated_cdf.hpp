@@ -1,0 +1,118 @@
+#pragma once
+
+// Memoized CDF/quantile evaluation on the discretization grids of Section
+// 4.2.1. The O(n^2) dynamic program of Theorem 5 and the sweep campaigns
+// re-discretize the same law many times — each discretization costs n
+// quantile inversions (root-finding for several Table 1 laws) plus n CDF
+// evaluations. A TabulatedCdf evaluates both grids once at construction and
+// is immutable afterwards, so it can be shared read-only across sweep
+// workers; only the hit/miss counters mutate (relaxed atomics).
+//
+// Exactness contract: a tabulated value *is* the value the underlying
+// distribution returned at build time, and lookups hit only on bit-identical
+// probe points, so cached and direct evaluation agree exactly — the
+// discretizer produces byte-identical output with or without the table
+// (tests/test_tabulated_cdf.cpp enforces this).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "dist/distribution.hpp"
+
+namespace sre::dist {
+
+class TabulatedCdf {
+ public:
+  /// Evaluates the two Section 4.2.1 grids for `d`:
+  ///   equal-probability: Q(k * F(b)/n) for k = 1..n,
+  ///   equal-time:        F(a + k * (b-a)/n) for k = 0..n,
+  /// with b the support upper bound, or Q(1 - epsilon) when unbounded.
+  /// `d` must outlive the table (CdfCache owns the pairing).
+  TabulatedCdf(const Distribution& d, std::size_t n, double epsilon);
+
+  [[nodiscard]] const Distribution& source() const noexcept { return *d_; }
+  [[nodiscard]] std::size_t grid_size() const noexcept { return n_; }
+  [[nodiscard]] double epsilon() const noexcept { return epsilon_; }
+  [[nodiscard]] double lower() const noexcept { return lower_; }
+  /// Truncation point b (upper support bound, or Q(1 - epsilon)).
+  [[nodiscard]] double truncation() const noexcept { return upper_; }
+  /// Retained mass F(b) (1 for bounded laws, 1 - epsilon unbounded).
+  [[nodiscard]] double mass() const noexcept { return mass_; }
+
+  /// Cached Q(k * mass/n), k in 1..n (the equal-probability grid).
+  [[nodiscard]] double quantile_point(std::size_t k) const;
+  /// Cached F(a + k * (b-a)/n), k in 0..n (the equal-time grid).
+  [[nodiscard]] double cdf_point(std::size_t k) const;
+
+  /// F(t): served from the table when t is bit-identical to an equal-time
+  /// grid point, else delegated to the distribution (counted as a miss).
+  [[nodiscard]] double cdf(double t) const;
+  /// Q(p): served from the table when p is bit-identical to an
+  /// equal-probability grid probe, else delegated (counted as a miss).
+  [[nodiscard]] double quantile(double p) const;
+
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  [[nodiscard]] Counters counters() const noexcept;
+
+ private:
+  const Distribution* d_;
+  std::size_t n_;
+  double epsilon_;
+  double lower_ = 0.0;
+  double upper_ = 0.0;
+  double mass_ = 0.0;
+
+  std::vector<double> probs_;      ///< k * (mass/n), k = 1..n (ascending)
+  std::vector<double> quantiles_;  ///< Q(probs_[k-1])
+  std::vector<double> times_;      ///< a + k * (b-a)/n, k = 0..n (ascending)
+  std::vector<double> cdfs_;       ///< F(times_[k])
+
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+};
+
+/// Per-distribution registry of TabulatedCdf tables, keyed by (n, epsilon).
+/// Thread-safe build-once: concurrent sweep workers asking for the same grid
+/// share one table; the first request builds it, later ones reuse it. Owns
+/// the distribution, so tables can never outlive their source.
+class CdfCache {
+ public:
+  explicit CdfCache(DistributionPtr d);
+
+  [[nodiscard]] const Distribution& distribution() const noexcept {
+    return *d_;
+  }
+
+  /// The (n, epsilon) table, built on first request.
+  [[nodiscard]] std::shared_ptr<const TabulatedCdf> table(std::size_t n,
+                                                          double epsilon) const;
+
+  struct Stats {
+    std::uint64_t builds = 0;  ///< tables constructed
+    std::uint64_t reuses = 0;  ///< requests served by an existing table
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Sum of the point-lookup counters over every table built so far.
+  [[nodiscard]] TabulatedCdf::Counters lookup_counters() const;
+
+ private:
+  struct Entry {
+    std::size_t n;
+    double epsilon;
+    std::shared_ptr<const TabulatedCdf> table;
+  };
+
+  DistributionPtr d_;
+  mutable std::mutex mutex_;
+  mutable std::vector<Entry> entries_;
+  mutable Stats stats_;
+};
+
+}  // namespace sre::dist

@@ -64,7 +64,7 @@ double Weibull::conditional_mean_above(double tau) const {
   // the product does (the product ~ tau * x^{1/kappa - ...} stays moderate).
   const double q = stats::gamma_q(a, x);
   if (q > 0.0) {
-    const double log_value = x + std::log(q) + std::lgamma(a);
+    const double log_value = x + std::log(q) + stats::log_gamma(a);
     const double value = lambda_ * std::exp(log_value);
     if (std::isfinite(value) && value >= tau) return value;
   }

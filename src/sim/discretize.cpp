@@ -23,12 +23,25 @@ double truncation_point(const dist::Distribution& d, double epsilon) {
 }
 
 dist::DiscreteDistribution discretize(const dist::Distribution& d,
-                                      const DiscretizationOptions& opts) {
+                                      const DiscretizationOptions& opts,
+                                      const dist::TabulatedCdf* tab) {
   assert(opts.n >= 1);
+  // A matching table serves every grid evaluation directly; it stored the
+  // exact values the distribution returned for these probes at build time.
+  const bool exact = tab != nullptr && &tab->source() == &d &&
+                     tab->grid_size() == opts.n &&
+                     tab->epsilon() == opts.epsilon;
   const double a = d.support().lower;
-  const double b = truncation_point(d, opts.epsilon);
+  const double b = exact ? tab->truncation() : truncation_point(d, opts.epsilon);
   assert(b > a);
-  const double fb = d.cdf(b);
+  const double fb = exact ? tab->mass() : d.cdf(b);
+
+  const auto cdf_at = [&](double t) {
+    return tab != nullptr ? tab->cdf(t) : d.cdf(t);
+  };
+  const auto quantile_at = [&](double p) {
+    return tab != nullptr ? tab->quantile(p) : d.quantile(p);
+  };
 
   std::vector<double> values, probs;
   values.reserve(opts.n);
@@ -48,17 +61,18 @@ dist::DiscreteDistribution discretize(const dist::Distribution& d,
     case DiscretizationScheme::kEqualProbability: {
       const double f = fb / static_cast<double>(opts.n);
       for (std::size_t i = 1; i <= opts.n; ++i) {
-        const double v = d.quantile(static_cast<double>(i) * f);
+        const double v = exact ? tab->quantile_point(i)
+                               : quantile_at(static_cast<double>(i) * f);
         push(v, f);
       }
       break;
     }
     case DiscretizationScheme::kEqualTime: {
-      double prev_cdf = d.cdf(a);
+      double prev_cdf = exact ? tab->cdf_point(0) : cdf_at(a);
       const double step = (b - a) / static_cast<double>(opts.n);
       for (std::size_t i = 1; i <= opts.n; ++i) {
         const double v = a + static_cast<double>(i) * step;
-        const double cv = d.cdf(v);
+        const double cv = exact ? tab->cdf_point(i) : cdf_at(v);
         push(v, cv - prev_cdf);
         prev_cdf = cv;
       }

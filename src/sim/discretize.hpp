@@ -11,6 +11,7 @@
 
 #include "dist/discrete.hpp"
 #include "dist/distribution.hpp"
+#include "dist/tabulated_cdf.hpp"
 
 namespace sre::sim {
 
@@ -34,7 +35,14 @@ double truncation_point(const dist::Distribution& d, double epsilon);
 /// Discretizes `d` per `opts`. Duplicate support points (possible when a
 /// quantile plateaus) are merged; zero-probability points are kept, as the
 /// dynamic program tolerates them.
+///
+/// When `tab` is non-null it serves the grid's CDF/quantile evaluations:
+/// a table built for the same distribution with matching (n, epsilon) is
+/// read directly (all hits, no distribution calls); any other table is
+/// consulted point-by-point and falls back to the distribution on misses.
+/// The output is byte-identical with or without a table.
 dist::DiscreteDistribution discretize(const dist::Distribution& d,
-                                      const DiscretizationOptions& opts);
+                                      const DiscretizationOptions& opts,
+                                      const dist::TabulatedCdf* tab = nullptr);
 
 }  // namespace sre::sim

@@ -5,6 +5,7 @@
 
 #include "sim/parallel.hpp"
 #include "sim/rng.hpp"
+#include "sim/thread_pool.hpp"
 #include "stats/summary.hpp"
 
 namespace sre::sim {
@@ -38,7 +39,8 @@ MonteCarloResult estimate_expectation(const dist::Distribution& d,
   };
 
   if (opts.parallel) {
-    parallel_for(0, n_chunks, run_chunk);
+    ThreadPool& pool = opts.pool != nullptr ? *opts.pool : ThreadPool::global();
+    parallel_for(pool, 0, n_chunks, run_chunk);
   } else {
     for (std::size_t c = 0; c < n_chunks; ++c) run_chunk(c);
   }

@@ -13,6 +13,8 @@
 
 namespace sre::sim {
 
+class ThreadPool;
+
 struct MonteCarloResult {
   double mean = 0.0;
   double std_error = 0.0;  ///< standard error of the mean
@@ -28,6 +30,10 @@ struct MonteCarloOptions {
   /// monotone integrands -- reservation costs are nondecreasing in the job
   /// size -- the pair correlation is negative and the variance drops.
   bool antithetic = false;
+  /// Pool to run on when parallel (nullptr = the process-global pool). The
+  /// estimate is chunk-deterministic: the same (samples, seed, chunk) give
+  /// bit-identical results on any pool size, and serially.
+  ThreadPool* pool = nullptr;
 };
 
 /// Estimates E[g(X)]. `g` must be thread-safe (it is called concurrently).

@@ -1,6 +1,7 @@
 #include "sim/parallel.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
@@ -13,25 +14,23 @@ namespace sre::sim {
 
 namespace {
 
-/// Count-down latch compatible with C++17-era toolchains.
-class Latch {
- public:
-  explicit Latch(std::size_t count) : count_(count) {}
+/// Completion tracker shared by the tasks of one submit_and_join call.
+struct Join {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t remaining;
+  std::exception_ptr first_error;
 
-  void count_down() {
-    std::lock_guard lock(mutex_);
-    if (--count_ == 0) cv_.notify_all();
+  explicit Join(std::size_t n) : remaining(n) {}
+
+  void finish_one(std::exception_ptr error) {
+    // Notify *under* the lock: once the waiter observes remaining == 0 it
+    // may destroy this Join, so the notifier must be done with it by the
+    // time it releases the mutex.
+    std::lock_guard lock(mutex);
+    if (error && !first_error) first_error = std::move(error);
+    if (--remaining == 0) cv.notify_all();
   }
-
-  void wait() {
-    std::unique_lock lock(mutex_);
-    cv_.wait(lock, [this] { return count_ == 0; });
-  }
-
- private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::size_t count_;
 };
 
 struct ChunkPlan {
@@ -39,6 +38,8 @@ struct ChunkPlan {
   std::size_t chunk_size = 0;
 };
 
+/// Worker-count-aware chunking for parallel_for (no reduction, so the
+/// decomposition is free to adapt to the pool).
 ChunkPlan plan_chunks(std::size_t total, std::size_t grain, unsigned workers) {
   if (total == 0) return {0, 0};
   if (grain == 0) grain = 1;
@@ -51,65 +52,113 @@ ChunkPlan plan_chunks(std::size_t total, std::size_t grain, unsigned workers) {
   return {n, chunk};
 }
 
+/// Pool-independent chunking for parallel_sum: a function of (total, grain)
+/// only, so the reduction tree — and therefore the rounding — is identical
+/// on every pool size and on the serial path.
+ChunkPlan plan_sum_chunks(std::size_t total, std::size_t grain) {
+  if (total == 0) return {0, 0};
+  constexpr std::size_t kSumChunk = 1024;
+  const std::size_t chunk = std::max(grain, kSumChunk);
+  const std::size_t n = (total + chunk - 1) / chunk;
+  return {n, chunk};
+}
+
 }  // namespace
 
-void parallel_for(std::size_t begin, std::size_t end,
+void submit_and_join(ThreadPool& pool, std::size_t n,
+                     const std::function<void(std::size_t)>& task) {
+  if (n == 0) return;
+  if (n == 1 || pool.size() <= 1) {
+    for (std::size_t k = 0; k < n; ++k) task(k);
+    return;
+  }
+
+  Join join(n);
+  std::vector<std::function<void()>> wrapped;
+  wrapped.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    wrapped.push_back([&join, &task, k] {
+      std::exception_ptr error;
+      try {
+        task(k);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      join.finish_one(std::move(error));
+    });
+  }
+  pool.submit_batch(std::move(wrapped));
+
+  // Help instead of sleeping: run pending pool tasks (possibly our own, or
+  // those of a sibling join) so nested joins always make progress.
+  for (;;) {
+    {
+      std::lock_guard lock(join.mutex);
+      if (join.remaining == 0) break;
+    }
+    if (!pool.try_run_one()) {
+      std::unique_lock lock(join.mutex);
+      join.cv.wait_for(lock, std::chrono::milliseconds(1),
+                       [&join] { return join.remaining == 0; });
+      if (join.remaining == 0) break;
+    }
+  }
+  if (join.first_error) std::rethrow_exception(join.first_error);
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body,
                   std::size_t grain) {
   if (end <= begin) return;
   const std::size_t total = end - begin;
-  ThreadPool& pool = ThreadPool::global();
   const ChunkPlan plan = plan_chunks(total, grain, pool.size());
   if (plan.n_chunks <= 1 || pool.size() <= 1) {
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
   }
-
-  Latch latch(plan.n_chunks);
-  std::mutex err_mutex;
-  std::exception_ptr first_error;
-
-  for (std::size_t c = 0; c < plan.n_chunks; ++c) {
+  submit_and_join(pool, plan.n_chunks, [&](std::size_t c) {
     const std::size_t lo = begin + c * plan.chunk_size;
     const std::size_t hi = std::min(end, lo + plan.chunk_size);
-    pool.submit([&, lo, hi] {
-      try {
-        for (std::size_t i = lo; i < hi; ++i) body(i);
-      } catch (...) {
-        std::lock_guard lock(err_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-      latch.count_down();
-    });
-  }
-  latch.wait();
-  if (first_error) std::rethrow_exception(first_error);
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+  });
 }
 
-double parallel_sum(std::size_t begin, std::size_t end,
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+  parallel_for(ThreadPool::global(), begin, end, body, grain);
+}
+
+double parallel_sum(ThreadPool& pool, std::size_t begin, std::size_t end,
                     const std::function<double(std::size_t)>& f,
                     std::size_t grain) {
   if (end <= begin) return 0.0;
   const std::size_t total = end - begin;
-  ThreadPool& pool = ThreadPool::global();
-  const ChunkPlan plan = plan_chunks(total, grain, pool.size());
-  if (plan.n_chunks <= 1 || pool.size() <= 1) {
-    stats::KahanSum sum;
-    for (std::size_t i = begin; i < end; ++i) sum.add(f(i));
-    return sum.value();
-  }
+  const ChunkPlan plan = plan_sum_chunks(total, grain);
 
   std::vector<double> partial(plan.n_chunks, 0.0);
-  parallel_for(0, plan.n_chunks, [&](std::size_t c) {
+  const auto sum_chunk = [&](std::size_t c) {
     const std::size_t lo = begin + c * plan.chunk_size;
     const std::size_t hi = std::min(end, lo + plan.chunk_size);
     stats::KahanSum sum;
     for (std::size_t i = lo; i < hi; ++i) sum.add(f(i));
     partial[c] = sum.value();
-  });
+  };
+  if (plan.n_chunks <= 1 || pool.size() <= 1) {
+    for (std::size_t c = 0; c < plan.n_chunks; ++c) sum_chunk(c);
+  } else {
+    parallel_for(pool, 0, plan.n_chunks, sum_chunk);
+  }
+
   stats::KahanSum sum;
   for (const double p : partial) sum.add(p);
   return sum.value();
+}
+
+double parallel_sum(std::size_t begin, std::size_t end,
+                    const std::function<double(std::size_t)>& f,
+                    std::size_t grain) {
+  return parallel_sum(ThreadPool::global(), begin, end, f, grain);
 }
 
 }  // namespace sre::sim

@@ -1,22 +1,51 @@
 #pragma once
 
 // Blocking data-parallel loops on top of the ThreadPool. Exceptions thrown by
-// the body are captured and rethrown on the calling thread (first one wins).
+// the body are captured and rethrown on the calling thread (first captured
+// one wins). While blocked, the calling thread *helps*: it executes pending
+// pool tasks instead of sleeping, so these joins may be nested arbitrarily
+// (parallel_for inside a pool task inside parallel_for) without deadlock.
+//
+// Determinism contract:
+//   * parallel_for makes no ordering promises between iterations;
+//   * parallel_sum is bit-deterministic: the chunk decomposition depends
+//     only on (begin, end, grain) — never on the pool size — and partial
+//     sums are combined in chunk order regardless of completion order. The
+//     same call therefore returns the same double on a 1-, 2- or 64-thread
+//     pool, and on the serial fallback path.
 
 #include <cstddef>
 #include <functional>
 
 namespace sre::sim {
 
-/// Runs body(i) for i in [begin, end) across the global pool, splitting the
-/// range into contiguous chunks of at least `grain` iterations. Blocks until
+class ThreadPool;
+
+/// Submits task(k) for k in [0, n) to `pool` and blocks until all complete,
+/// helping with pending pool tasks while waiting. The first exception thrown
+/// by any task is rethrown here after every task has finished.
+void submit_and_join(ThreadPool& pool, std::size_t n,
+                     const std::function<void(std::size_t)>& task);
+
+/// Runs body(i) for i in [begin, end) across `pool`, splitting the range
+/// into contiguous chunks of at least `grain` iterations. Blocks until
 /// every iteration has completed.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 1);
+
+/// parallel_for on the process-global pool.
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body,
                   std::size_t grain = 1);
 
-/// Parallel sum reduction of f(i) over [begin, end). Deterministic: partial
-/// sums are combined in chunk order regardless of completion order.
+/// Parallel sum reduction of f(i) over [begin, end). Bit-deterministic for a
+/// fixed (begin, end, grain) — see the contract above.
+double parallel_sum(ThreadPool& pool, std::size_t begin, std::size_t end,
+                    const std::function<double(std::size_t)>& f,
+                    std::size_t grain = 1);
+
+/// parallel_sum on the process-global pool.
 double parallel_sum(std::size_t begin, std::size_t end,
                     const std::function<double(std::size_t)>& f,
                     std::size_t grain = 1);

@@ -1,0 +1,53 @@
+#include "sim/sweep.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "sim/parallel.hpp"
+
+namespace sre::sim {
+
+SweepRunner::SweepRunner(SweepOptions opts) : opts_(opts) {
+  if (opts_.threads != 0) {
+    own_pool_ = std::make_unique<ThreadPool>(opts_.threads);
+  }
+  if (opts_.batch == 0) opts_.batch = 1;
+}
+
+SweepRunner::~SweepRunner() = default;
+
+ThreadPool& SweepRunner::pool() {
+  return own_pool_ ? *own_pool_ : ThreadPool::global();
+}
+
+void SweepRunner::run_indexed(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  counters_ = SweepCounters{};
+  counters_.scenarios = n;
+  if (n == 0) return;
+
+  const auto start = std::chrono::steady_clock::now();
+  if (opts_.serial || pool().size() <= 1) {
+    counters_.threads = 1;
+    counters_.batches = n;
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  } else {
+    ThreadPool& p = pool();
+    const std::size_t batch = opts_.batch;
+    const std::size_t n_batches = (n + batch - 1) / batch;
+    counters_.threads = p.size();
+    counters_.batches = n_batches;
+    const std::uint64_t steals_before = p.steal_count();
+    submit_and_join(p, n_batches, [&](std::size_t b) {
+      const std::size_t lo = b * batch;
+      const std::size_t hi = std::min(n, lo + batch);
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    });
+    counters_.steals = p.steal_count() - steals_before;
+  }
+  counters_.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+}
+
+}  // namespace sre::sim

@@ -1,0 +1,83 @@
+#pragma once
+
+// SweepRunner — the campaign engine behind the paper-reproduction benches.
+// A sweep is an indexed family of independent scenario evaluations
+// (distribution x cost model x solver in the Tables 2-4 campaigns); the
+// runner fans the indices across a thread pool in batches and materializes
+// the results *in submission order*, mirroring the chunk-ordered merge of
+// sim/monte_carlo.cpp, so a parallel sweep is bit-identical to the serial
+// one. Exceptions thrown by scenarios propagate to the caller (first one
+// wins) after the remaining scenarios finish.
+//
+// The runner reports per-sweep counters (scenarios, batches, steal traffic,
+// wall time) that the benches emit as JSON for the perf trajectory.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/thread_pool.hpp"
+
+namespace sre::sim {
+
+struct SweepOptions {
+  /// 0 = run on the process-global pool; otherwise the runner owns a
+  /// dedicated pool of this many workers.
+  unsigned threads = 0;
+  /// Scenarios per submitted task. 1 (the default) maximizes load balance
+  /// for coarse scenarios; raise it when scenarios are tiny and per-task
+  /// overhead shows.
+  std::size_t batch = 1;
+  /// Run everything inline on the calling thread (baseline / debugging).
+  bool serial = false;
+};
+
+struct SweepCounters {
+  std::uint64_t scenarios = 0;
+  std::uint64_t batches = 0;
+  /// Tasks executed by a non-owner worker during the sweep (delta of the
+  /// pool's steal counter; includes nested parallel work the scenarios ran
+  /// on the same pool).
+  std::uint64_t steals = 0;
+  unsigned threads = 1;
+  double wall_seconds = 0.0;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions opts = {});
+  ~SweepRunner();
+
+  SweepRunner(const SweepRunner&) = delete;
+  SweepRunner& operator=(const SweepRunner&) = delete;
+
+  /// Evaluates fn(i) for i in [0, n) and returns the results indexed by i,
+  /// independent of execution order. R must be default-constructible and
+  /// move-assignable. Blocks until the sweep completes; updates counters().
+  template <typename R>
+  std::vector<R> run(std::size_t n, const std::function<R(std::size_t)>& fn) {
+    std::vector<R> out(n);
+    run_indexed(n, [&out, &fn](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+  /// Type-erased core: runs fn(i) for i in [0, n). fn must write its result
+  /// to a caller-owned slot keyed by i (as run() does).
+  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Counters of the most recent run.
+  [[nodiscard]] const SweepCounters& counters() const noexcept {
+    return counters_;
+  }
+
+  /// The pool scenarios execute on (global or owned).
+  [[nodiscard]] ThreadPool& pool();
+
+ private:
+  SweepOptions opts_;
+  std::unique_ptr<ThreadPool> own_pool_;
+  SweepCounters counters_;
+};
+
+}  // namespace sre::sim

@@ -1,16 +1,32 @@
 #include "sim/thread_pool.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 namespace sre::sim {
+
+namespace {
+
+// Identity of the pool (if any) the current thread works for, so submit()
+// can route recursive submissions to the local deque and in_worker() can
+// answer without bookkeeping.
+thread_local const ThreadPool* t_pool = nullptr;
+thread_local unsigned t_worker = 0;
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
+  deques_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    deques_.push_back(std::make_unique<Worker>());
+  }
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -25,17 +41,97 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+bool ThreadPool::in_worker() const noexcept { return t_pool == this; }
+
 void ThreadPool::submit(std::function<void()> task) {
+  const unsigned d =
+      in_worker() ? t_worker
+                  : static_cast<unsigned>(
+                        next_deque_.fetch_add(1, std::memory_order_relaxed) %
+                        deques_.size());
+  {
+    std::lock_guard lock(deques_[d]->mutex);
+    deques_[d]->deque.push_back(std::move(task));
+  }
   {
     std::lock_guard lock(mutex_);
-    queue_.push_back(std::move(task));
+    ++queued_;
+    ++pending_;
   }
   cv_task_.notify_one();
 }
 
+void ThreadPool::submit_batch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  const std::size_t n = tasks.size();
+  const std::size_t start = next_deque_.fetch_add(n, std::memory_order_relaxed);
+  for (std::size_t k = 0; k < n; ++k) {
+    Worker& w = *deques_[(start + k) % deques_.size()];
+    std::lock_guard lock(w.mutex);
+    w.deque.push_back(std::move(tasks[k]));
+  }
+  {
+    std::lock_guard lock(mutex_);
+    queued_ += n;
+    pending_ += n;
+  }
+  cv_task_.notify_all();
+}
+
+std::function<void()> ThreadPool::take_reserved(unsigned home) {
+  // The caller holds a reservation (it decremented queued_ while positive),
+  // and tasks are pushed to a deque before queued_ is incremented, so across
+  // all deques at least one unclaimed task exists until we pop it. Concurrent
+  // reservers each pop exactly one, so a repeated scan always terminates.
+  const std::size_t n = deques_.size();
+  for (;;) {
+    for (std::size_t off = 0; off < n; ++off) {
+      const std::size_t d = (home + off) % n;
+      Worker& w = *deques_[d];
+      std::lock_guard lock(w.mutex);
+      if (w.deque.empty()) continue;
+      std::function<void()> task;
+      if (off == 0 && t_pool == this && t_worker == d) {
+        // Owner takes newest-first: recursive fan-out stays hot in cache.
+        task = std::move(w.deque.back());
+        w.deque.pop_back();
+      } else {
+        task = std::move(w.deque.front());
+        w.deque.pop_front();
+        steals_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return task;
+    }
+    std::this_thread::yield();
+  }
+}
+
+void ThreadPool::run_task(std::function<void()>& task) {
+  task();
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  bool idle = false;
+  {
+    std::lock_guard lock(mutex_);
+    idle = (--pending_ == 0);
+  }
+  if (idle) cv_idle_.notify_all();
+}
+
+bool ThreadPool::try_run_one() {
+  {
+    std::lock_guard lock(mutex_);
+    if (queued_ == 0) return false;
+    --queued_;
+  }
+  const unsigned home = in_worker() ? t_worker : 0;
+  std::function<void()> task = take_reserved(home);
+  run_task(task);
+  return true;
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
-  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  cv_idle_.wait(lock, [this] { return pending_ == 0; });
 }
 
 ThreadPool& ThreadPool::global() {
@@ -43,26 +139,23 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned index) {
+  t_pool = this;
+  t_worker = index;
   for (;;) {
-    std::function<void()> task;
     {
       std::unique_lock lock(mutex_);
-      cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stopping_) return;
-        continue;
+      cv_task_.wait(lock, [this] { return stopping_ || queued_ > 0; });
+      if (queued_ == 0) {
+        // stopping_ with an empty queue: drain is complete, exit. Tasks that
+        // are queued at destruction still run because this branch is only
+        // reachable once every reservation has been handed out.
+        return;
       }
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      ++active_;
+      --queued_;
     }
-    task();
-    {
-      std::lock_guard lock(mutex_);
-      --active_;
-      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
-    }
+    std::function<void()> task = take_reserved(index);
+    run_task(task);
   }
 }
 

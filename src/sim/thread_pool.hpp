@@ -1,11 +1,28 @@
 #pragma once
 
-// A fixed-size worker pool with a single FIFO queue. The evaluation sweeps
-// (brute-force t1 grids, Monte-Carlo batches, per-distribution table rows)
-// are embarrassingly parallel, so a simple mutex-protected queue is both
-// sufficient and contention-free at the task granularities we use.
+// A fixed-size worker pool with one deque per worker and lock-based work
+// stealing. Tasks submitted from outside the pool are spread round-robin
+// across the worker deques; tasks submitted from *inside* a pool task land on
+// the submitting worker's own deque (cheap, and it keeps recursive
+// fan-out local until a thief needs the work). Idle workers scan the other
+// deques before sleeping, so a burst submitted to one deque still saturates
+// the pool.
+//
+// The pool also supports *helping*: any thread (worker or not) may call
+// try_run_one() to execute a pending task on its own stack. The blocking
+// join in sim/parallel.cpp uses this so that nested parallel_for calls
+// cannot deadlock — a worker waiting for its chunks runs other chunks
+// (including its own) instead of sleeping.
+//
+// Bookkeeping invariants (all guarded by mutex_ or atomics):
+//   * every task is pushed to a deque *before* queued_ is incremented;
+//   * every pop is preceded by a reservation (queued_ decrement), so a
+//     reserving thread always finds a task when it scans the deques;
+//   * pending_ counts submitted-but-unfinished tasks and drives wait_idle().
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -25,29 +42,75 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Thread-safe.
+  /// Enqueues a task. Thread-safe; callable from within a pool task.
   void submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and all workers are idle.
+  /// Enqueues a batch in one round of lock traffic and a single wakeup
+  /// broadcast. Order across deques interleaves round-robin; relative order
+  /// within a deque is the batch order.
+  void submit_batch(std::vector<std::function<void()>> tasks);
+
+  /// Runs one pending task on the calling thread, if any is available.
+  /// Returns false when every deque is empty. Safe from any thread; the
+  /// blocking joins in sim/parallel.cpp use it to help instead of sleeping.
+  bool try_run_one();
+
+  /// Blocks until every submitted task has finished (including tasks
+  /// submitted by other tasks while waiting). Multiple threads may wait
+  /// concurrently.
   void wait_idle();
 
   [[nodiscard]] unsigned size() const noexcept {
     return static_cast<unsigned>(workers_.size());
   }
 
+  /// True when the calling thread is one of this pool's workers.
+  [[nodiscard]] bool in_worker() const noexcept;
+
+  /// Cumulative count of tasks executed by a worker other than the one
+  /// whose deque held them (plus helper-thread pops). Monotone; sampled by
+  /// SweepRunner to report steal traffic.
+  [[nodiscard]] std::uint64_t steal_count() const noexcept {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+  /// Cumulative count of tasks executed.
+  [[nodiscard]] std::uint64_t executed_count() const noexcept {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
   /// Process-wide pool, lazily constructed with hardware concurrency.
   static ThreadPool& global();
 
  private:
-  void worker_loop();
+  struct Worker {
+    std::mutex mutex;
+    std::deque<std::function<void()>> deque;
+  };
+
+  void worker_loop(unsigned index);
+
+  /// Reserves one queued task (queued_ decrement) and pops it, scanning from
+  /// `home` first. Pre: caller observed queued_ > 0 under mutex_ and
+  /// decremented it. Never fails (see invariants above).
+  std::function<void()> take_reserved(unsigned home);
+
+  /// Runs `task` and performs the completion bookkeeping (pending_,
+  /// executed_, idle notification).
+  void run_task(std::function<void()>& task);
 
   std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  unsigned active_ = 0;
+  std::size_t queued_ = 0;   ///< pushed, not yet reserved by a runner
+  std::size_t pending_ = 0;  ///< submitted, not yet finished
   bool stopping_ = false;
+
+  std::vector<std::unique_ptr<Worker>> deques_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::size_t> next_deque_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> executed_{0};
 };
 
 }  // namespace sre::sim

@@ -5,6 +5,18 @@
 
 namespace sre::stats {
 
+double log_gamma(double x) noexcept {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  // Reentrant variant: std::lgamma stores the sign of Gamma(x) in the
+  // process-global `signgam`, which TSan rightly flags when quantile
+  // evaluations run on the thread pool.
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 namespace {
 
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
@@ -22,7 +34,7 @@ double gamma_p_series(double a, double x) noexcept {
     sum += del;
     if (std::fabs(del) < std::fabs(sum) * kEps) break;
   }
-  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return sum * std::exp(-x + a * std::log(x) - log_gamma(a));
 }
 
 // Modified Lentz continued fraction for Q(a,x), valid for x >= a + 1.
@@ -43,7 +55,7 @@ double gamma_q_cf(double a, double x) noexcept {
     h *= del;
     if (std::fabs(del - 1.0) < kEps) break;
   }
-  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+  return std::exp(-x + a * std::log(x) - log_gamma(a)) * h;
 }
 
 // Continued fraction for the regularized incomplete beta (Lentz).
@@ -166,7 +178,7 @@ double gamma_p_inv(double a, double p) noexcept {
   if (p == 0.0) return 0.0;
   // Initial guess (Abramowitz & Stegun 26.4.17 via the normal quantile),
   // then Halley iterations on P(a,x) - p = 0 (Numerical Recipes invgammp).
-  const double gln = std::lgamma(a);
+  const double gln = log_gamma(a);
   const double a1 = a - 1.0;
   double x;
   if (a > 1.0) {
@@ -205,7 +217,7 @@ double gamma_p_inv(double a, double p) noexcept {
 }
 
 double lbeta(double a, double b) noexcept {
-  return std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+  return log_gamma(a) + log_gamma(b) - log_gamma(a + b);
 }
 
 double beta_fn(double a, double b) noexcept { return std::exp(lbeta(a, b)); }

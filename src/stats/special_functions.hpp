@@ -40,6 +40,11 @@ double upper_inc_gamma(double a, double x) noexcept;
 /// P(a,x) == p, for p in [0,1).
 double gamma_p_inv(double a, double p) noexcept;
 
+/// log|Gamma(x)|, safe to call concurrently. std::lgamma writes the global
+/// `signgam` on glibc, which is a data race under threaded sweeps; every
+/// call site in this codebase must go through this wrapper instead.
+double log_gamma(double x) noexcept;
+
 /// log of the complete beta function B(a,b).
 double lbeta(double a, double b) noexcept;
 

@@ -1,0 +1,111 @@
+// Determinism is an invariant (CONTRIBUTING.md): for a fixed seed, every
+// stochastic estimate must be bit-identical whether it runs serially, on the
+// global pool, or on pools of 1/2/8 workers. These tests pin that contract
+// for estimate_expectation and parallel_sum across all nine Table 1
+// distributions.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "dist/factory.hpp"
+#include "sim/monte_carlo.hpp"
+#include "sim/parallel.hpp"
+#include "sim/thread_pool.hpp"
+
+using namespace sre;
+using sim::MonteCarloOptions;
+using sim::ThreadPool;
+
+namespace {
+
+/// Smooth, distribution-dependent integrand exercising the full support.
+double integrand(double t) { return t * t + std::sqrt(t + 1.0) + std::sin(t); }
+
+struct BitwiseResult {
+  double mean;
+  double std_error;
+  std::size_t samples;
+
+  bool operator==(const BitwiseResult& o) const {
+    return mean == o.mean && std_error == o.std_error && samples == o.samples;
+  }
+};
+
+BitwiseResult run_mc(const dist::Distribution& d, bool parallel,
+                     ThreadPool* pool, bool antithetic) {
+  MonteCarloOptions opts;
+  opts.samples = 4096;
+  opts.seed = 7;
+  opts.chunk = 128;
+  opts.parallel = parallel;
+  opts.pool = pool;
+  opts.antithetic = antithetic;
+  const auto r = sim::estimate_expectation(d, integrand, opts);
+  return {r.mean, r.std_error, r.samples};
+}
+
+}  // namespace
+
+TEST(ParallelDeterminismAll, EstimateExpectationBitIdenticalAcrossPools) {
+  for (const auto& inst : dist::paper_distributions()) {
+    SCOPED_TRACE(inst.label);
+    for (const bool antithetic : {false, true}) {
+      SCOPED_TRACE(antithetic ? "antithetic" : "plain");
+      const BitwiseResult serial =
+          run_mc(*inst.dist, /*parallel=*/false, nullptr, antithetic);
+      for (const unsigned threads : {1u, 2u, 8u}) {
+        ThreadPool pool(threads);
+        const BitwiseResult par =
+            run_mc(*inst.dist, /*parallel=*/true, &pool, antithetic);
+        EXPECT_TRUE(par == serial)
+            << "threads=" << threads << " mean " << par.mean << " vs "
+            << serial.mean;
+      }
+      const BitwiseResult global_pool =
+          run_mc(*inst.dist, /*parallel=*/true, nullptr, antithetic);
+      EXPECT_TRUE(global_pool == serial);
+    }
+  }
+}
+
+TEST(ParallelDeterminismAll, ParallelSumBitIdenticalAcrossPools) {
+  constexpr std::size_t kN = 40000;
+  for (const auto& inst : dist::paper_distributions()) {
+    SCOPED_TRACE(inst.label);
+    const dist::Distribution& d = *inst.dist;
+    // Quantile-based summand: deterministic, hits the whole support.
+    const auto f = [&d](std::size_t i) {
+      const double u =
+          (static_cast<double>(i) + 0.5) / static_cast<double>(kN);
+      return std::log1p(d.quantile(u));
+    };
+    ThreadPool pool1(1);
+    const double base = sim::parallel_sum(pool1, 0, kN, f);
+    for (const unsigned threads : {2u, 8u}) {
+      ThreadPool pool(threads);
+      EXPECT_EQ(sim::parallel_sum(pool, 0, kN, f), base)
+          << "threads=" << threads;
+    }
+    // Global pool and a repeated call agree too.
+    EXPECT_EQ(sim::parallel_sum(0, kN, f), base);
+    EXPECT_EQ(sim::parallel_sum(0, kN, f), base);
+    // Grain participates in the chunk plan, so it is pinned by the
+    // contract: same grain => same sum on any pool.
+    ThreadPool pool8(8);
+    EXPECT_EQ(sim::parallel_sum(pool8, 0, kN, f, 512),
+              sim::parallel_sum(pool1, 0, kN, f, 512));
+  }
+}
+
+TEST(ParallelDeterminismAll, ParallelForPoolOverloadVisitsEverything) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> visits(10000);
+  sim::parallel_for(pool, 0, visits.size(),
+                    [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < visits.size(); ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << i;
+  }
+}

@@ -1,0 +1,143 @@
+// sim::SweepRunner + core::run_scenario_sweep: a 100+-scenario campaign must
+// produce bit-identical outcomes on the serial path, the global pool, and
+// dedicated pools of several sizes, while the shared CDF cache reports the
+// expected build/reuse accounting.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/heuristics/dp_discretization.hpp"
+#include "core/heuristics/moment_based.hpp"
+#include "core/scenario_sweep.hpp"
+#include "sim/sweep.hpp"
+
+using namespace sre;
+
+namespace {
+
+constexpr std::size_t kDpGrid = 64;
+
+std::vector<core::SweepScenario> small_grid() {
+  const sim::DiscretizationOptions eq_prob{
+      kDpGrid, 1e-7, sim::DiscretizationScheme::kEqualProbability};
+  const std::vector<core::HeuristicPtr> solvers = {
+      std::make_shared<core::MeanByMean>(),
+      std::make_shared<core::MeanStdev>(),
+      std::make_shared<core::MedianByMedian>(),
+      std::make_shared<core::DiscretizedDp>(eq_prob),
+  };
+  const std::vector<std::pair<std::string, core::CostModel>> models = {
+      {"ReservationOnly", core::CostModel::reservation_only()},
+      {"PayAsYouGo", {1.0, 1.0, 0.0}},
+      {"WithOverhead", {1.0, 1.0, 0.1}},
+  };
+  return core::make_scenario_grid(dist::paper_distributions(), models,
+                                  solvers);
+}
+
+core::EvaluationOptions fast_eval() {
+  core::EvaluationOptions eval;
+  eval.mc.samples = 256;
+  eval.mc.seed = 9;
+  return eval;
+}
+
+void expect_identical(const std::vector<core::ScenarioOutcome>& a,
+                      const std::vector<core::ScenarioOutcome>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(a[i].dist_label, b[i].dist_label);
+    EXPECT_EQ(a[i].model_label, b[i].model_label);
+    EXPECT_EQ(a[i].solver, b[i].solver);
+    EXPECT_EQ(a[i].eval.t1, b[i].eval.t1);
+    EXPECT_EQ(a[i].eval.expected_cost_mc, b[i].eval.expected_cost_mc);
+    EXPECT_EQ(a[i].eval.expected_cost_analytic,
+              b[i].eval.expected_cost_analytic);
+    EXPECT_EQ(a[i].eval.sequence.values(), b[i].eval.sequence.values());
+  }
+}
+
+}  // namespace
+
+TEST(ScenarioSweep, GridIsRowMajorDistModelSolver) {
+  const auto grid = small_grid();
+  ASSERT_EQ(grid.size(), 9u * 3u * 4u);
+  EXPECT_EQ(grid[0].dist_label, grid[11].dist_label);
+  EXPECT_EQ(grid[0].model_label, grid[3].model_label);
+  EXPECT_NE(grid[0].model_label, grid[4].model_label);
+  EXPECT_NE(grid[11].dist_label, grid[12].dist_label);
+}
+
+TEST(ScenarioSweep, ParallelSweepBitIdenticalToSerial) {
+  const auto grid = small_grid();
+  ASSERT_GE(grid.size(), 100u);
+  const auto eval = fast_eval();
+
+  sim::SweepOptions serial;
+  serial.serial = true;
+  const auto base = core::run_scenario_sweep(grid, eval, serial);
+  ASSERT_EQ(base.outcomes.size(), grid.size());
+  EXPECT_EQ(base.sweep.scenarios, grid.size());
+
+  // Global pool.
+  expect_identical(base.outcomes,
+                   core::run_scenario_sweep(grid, eval, {}).outcomes);
+
+  // Dedicated pools of several sizes, with and without batching.
+  for (const unsigned threads : {2u, 8u}) {
+    SCOPED_TRACE(threads);
+    sim::SweepOptions opts;
+    opts.threads = threads;
+    const auto par = core::run_scenario_sweep(grid, eval, opts);
+    expect_identical(base.outcomes, par.outcomes);
+    EXPECT_EQ(par.sweep.threads, threads);
+    EXPECT_EQ(par.sweep.batches, grid.size());
+
+    opts.batch = 8;
+    const auto batched = core::run_scenario_sweep(grid, eval, opts);
+    expect_identical(base.outcomes, batched.outcomes);
+    EXPECT_EQ(batched.sweep.batches,
+              (grid.size() + opts.batch - 1) / opts.batch);
+  }
+}
+
+TEST(ScenarioSweep, SharedCdfCacheBuildsOncePerDistribution) {
+  const auto grid = small_grid();
+  const auto report = core::run_scenario_sweep(grid, fast_eval(), {});
+  // One DP solver x 3 cost models per distribution: one table build and two
+  // reuses for each of the nine laws.
+  EXPECT_EQ(report.cache.tables_built, 9u);
+  EXPECT_EQ(report.cache.table_reuses, 18u);
+  // Every DP discretization after the first is served from the table.
+  EXPECT_GE(report.cache.hits, 9u * 2u * kDpGrid);
+  EXPECT_EQ(report.cache.misses, 0u);
+}
+
+TEST(ScenarioSweep, ScenarioExceptionPropagates) {
+  struct Throwing final : core::Heuristic {
+    [[nodiscard]] std::string name() const override { return "Throwing"; }
+    [[nodiscard]] core::ReservationSequence generate(
+        const dist::Distribution&, const core::CostModel&) const override {
+      throw std::runtime_error("scenario failure");
+    }
+  };
+  const auto dists = dist::paper_distributions();
+  const std::vector<core::HeuristicPtr> solvers = {
+      std::make_shared<Throwing>()};
+  const auto grid = core::make_scenario_grid(
+      dists, {{"ReservationOnly", core::CostModel::reservation_only()}},
+      solvers);
+  sim::SweepOptions opts;
+  opts.threads = 4;
+  EXPECT_THROW(core::run_scenario_sweep(grid, fast_eval(), opts),
+               std::runtime_error);
+}
+
+TEST(ScenarioSweep, EmptyGridIsANoOp) {
+  const auto report = core::run_scenario_sweep({}, fast_eval(), {});
+  EXPECT_TRUE(report.outcomes.empty());
+  EXPECT_EQ(report.sweep.scenarios, 0u);
+}

@@ -1,0 +1,165 @@
+// Property tests for dist::TabulatedCdf: agreement with the direct
+// cdf/quantile of each Table 1 law to 1e-12 on random probe grids (including
+// the support boundaries), byte-identical discretizer output with and
+// without a table, hit/miss accounting, and thread-safe build-once reuse
+// through CdfCache.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "dist/factory.hpp"
+#include "dist/tabulated_cdf.hpp"
+#include "sim/discretize.hpp"
+
+using namespace sre;
+
+namespace {
+
+constexpr std::size_t kGrid = 256;
+constexpr double kEps = 1e-7;
+
+double rel_tol(double reference) {
+  return 1e-12 * std::max(1.0, std::fabs(reference));
+}
+
+}  // namespace
+
+TEST(TabulatedCdf, AgreesWithDirectEvaluationOnRandomGrids) {
+  std::mt19937_64 rng(20260806);
+  for (const auto& inst : dist::paper_distributions()) {
+    SCOPED_TRACE(inst.label);
+    const dist::Distribution& d = *inst.dist;
+    const dist::TabulatedCdf tab(d, kGrid, kEps);
+
+    std::uniform_real_distribution<double> u01(0.0, 1.0);
+    const double lo = tab.lower();
+    const double hi = tab.truncation();
+    for (int k = 0; k < 400; ++k) {
+      const double t = lo + (hi - lo) * 1.05 * u01(rng);
+      const double direct = d.cdf(t);
+      EXPECT_NEAR(tab.cdf(t), direct, rel_tol(direct)) << "t=" << t;
+
+      const double p = u01(rng);
+      const double dq = d.quantile(p);
+      EXPECT_NEAR(tab.quantile(p), dq, rel_tol(dq)) << "p=" << p;
+    }
+  }
+}
+
+TEST(TabulatedCdf, SupportBoundaryEdgePoints) {
+  for (const auto& inst : dist::paper_distributions()) {
+    SCOPED_TRACE(inst.label);
+    const dist::Distribution& d = *inst.dist;
+    const dist::TabulatedCdf tab(d, kGrid, kEps);
+    const dist::Support s = d.support();
+
+    // Exact support boundaries and just outside them.
+    for (const double t :
+         {s.lower, std::nextafter(s.lower, -1.0), tab.truncation(),
+          tab.truncation() * 1.5}) {
+      const double direct = d.cdf(t);
+      EXPECT_NEAR(tab.cdf(t), direct, rel_tol(direct)) << "t=" << t;
+    }
+    // Quantile at the probability extremes.
+    for (const double p : {0.0, 1e-15, tab.mass(), 1.0}) {
+      const double direct = d.quantile(p);
+      const double got = tab.quantile(p);
+      if (std::isinf(direct)) {
+        EXPECT_TRUE(std::isinf(got) && got > 0.0) << "p=" << p;
+      } else {
+        EXPECT_NEAR(got, direct, rel_tol(direct)) << "p=" << p;
+      }
+    }
+    // Grid-point probes are exact, not just close: the table *is* the
+    // direct value at those points.
+    const double f = tab.mass() / static_cast<double>(kGrid);
+    for (const std::size_t k : {std::size_t{1}, kGrid / 2, kGrid}) {
+      const double p = static_cast<double>(k) * f;
+      EXPECT_EQ(tab.quantile(p), d.quantile(p)) << "k=" << k;
+      EXPECT_EQ(tab.quantile_point(k), d.quantile(p)) << "k=" << k;
+    }
+  }
+}
+
+TEST(TabulatedCdf, GridProbesHitAndForeignProbesMiss) {
+  const auto inst = dist::paper_distribution("Exponential");
+  ASSERT_TRUE(inst.has_value());
+  const dist::Distribution& d = *inst->dist;
+  const dist::TabulatedCdf tab(d, kGrid, kEps);
+  EXPECT_EQ(tab.counters().hits, 0u);
+  EXPECT_EQ(tab.counters().misses, 0u);
+
+  const double f = tab.mass() / static_cast<double>(kGrid);
+  for (std::size_t k = 1; k <= kGrid; ++k) {
+    (void)tab.quantile(static_cast<double>(k) * f);
+  }
+  EXPECT_EQ(tab.counters().hits, kGrid);
+  EXPECT_EQ(tab.counters().misses, 0u);
+
+  (void)tab.quantile(0.123456789);
+  (void)tab.cdf(0.987654321);
+  EXPECT_EQ(tab.counters().misses, 2u);
+}
+
+TEST(TabulatedCdf, DiscretizerOutputByteIdenticalWithAndWithoutTable) {
+  for (const auto& inst : dist::paper_distributions()) {
+    SCOPED_TRACE(inst.label);
+    const dist::Distribution& d = *inst.dist;
+    const dist::TabulatedCdf tab(d, kGrid, kEps);
+    for (const auto scheme : {sim::DiscretizationScheme::kEqualProbability,
+                              sim::DiscretizationScheme::kEqualTime}) {
+      SCOPED_TRACE(sim::to_string(scheme));
+      const sim::DiscretizationOptions opts{kGrid, kEps, scheme};
+      const auto direct = sim::discretize(d, opts);
+      const auto cached = sim::discretize(d, opts, &tab);
+      ASSERT_EQ(direct.size(), cached.size());
+      EXPECT_EQ(direct.values(), cached.values());
+      EXPECT_EQ(direct.probabilities(), cached.probabilities());
+
+      // A mismatched table must fall back without changing the output.
+      const dist::TabulatedCdf other(d, kGrid / 2, kEps);
+      const auto fallback = sim::discretize(d, opts, &other);
+      EXPECT_EQ(direct.values(), fallback.values());
+      EXPECT_EQ(direct.probabilities(), fallback.probabilities());
+    }
+  }
+}
+
+TEST(CdfCache, BuildsOncePerGridAndCountsReuse) {
+  const auto inst = dist::paper_distribution("LogNormal");
+  const auto fallback = dist::paper_distributions().front();
+  const dist::DistributionPtr dp =
+      inst.has_value() ? inst->dist : fallback.dist;
+  const dist::CdfCache cache(dp);
+
+  const auto t1 = cache.table(128, kEps);
+  const auto t2 = cache.table(128, kEps);
+  const auto t3 = cache.table(64, kEps);
+  EXPECT_EQ(t1.get(), t2.get());
+  EXPECT_NE(t1.get(), t3.get());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.builds, 2u);
+  EXPECT_EQ(stats.reuses, 1u);
+
+  (void)t1->quantile_point(1);
+  EXPECT_GE(cache.lookup_counters().hits, 1u);
+}
+
+TEST(CdfCache, ConcurrentRequestsShareOneTable) {
+  const auto fallback = dist::paper_distributions().front();
+  const dist::CdfCache cache(fallback.dist);
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const dist::TabulatedCdf>> got(8);
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back(
+        [&cache, &got, i] { got[i] = cache.table(96, kEps); });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 1; i < 8; ++i) EXPECT_EQ(got[0].get(), got[i].get());
+  EXPECT_EQ(cache.stats().builds, 1u);
+  EXPECT_EQ(cache.stats().reuses, 7u);
+}

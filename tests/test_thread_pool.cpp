@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <future>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "sim/parallel.hpp"
@@ -70,6 +73,110 @@ TEST(ParallelFor, PropagatesExceptions) {
                      if (i == 567) throw std::runtime_error("boom");
                    }),
       std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitFromWithinATask) {
+  // Recursive fan-out: each level-0 task submits level-1 tasks from inside
+  // the pool, and wait_idle() must cover the late arrivals too.
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&pool, &counter] {
+      for (int j = 0; j < 10; ++j) {
+        pool.submit([&counter] { counter.fetch_add(1); });
+      }
+      counter.fetch_add(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 50 * 11);
+}
+
+TEST(ThreadPool, SubmitBatchExecutesAll) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> batch;
+  for (int i = 0; i < 500; ++i) {
+    batch.push_back([&counter] { counter.fetch_add(1); });
+  }
+  const std::uint64_t before = pool.executed_count();
+  pool.submit_batch(std::move(batch));
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 500);
+  EXPECT_EQ(pool.executed_count() - before, 500u);
+}
+
+TEST(ThreadPool, ConcurrentWaitIdleCallers) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 2000; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  std::vector<std::thread> waiters;
+  std::atomic<int> returned{0};
+  for (int w = 0; w < 6; ++w) {
+    waiters.emplace_back([&pool, &counter, &returned] {
+      pool.wait_idle();
+      // Idle means every submitted task has finished.
+      EXPECT_EQ(counter.load(), 2000);
+      returned.fetch_add(1);
+    });
+  }
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(returned.load(), 6);
+}
+
+TEST(ThreadPool, TryRunOneHelpsFromNonWorkerThread) {
+  ThreadPool pool(1);
+  // Block the only worker so submitted tasks stay queued.
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  pool.submit([opened] { opened.wait(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  int helped = 0;
+  while (pool.try_run_one()) ++helped;
+  EXPECT_GE(helped, 1);
+  gate.set_value();
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 8);
+  EXPECT_FALSE(pool.try_run_one());
+}
+
+TEST(ParallelFor, NestedLoopsComputeEveryCell) {
+  // parallel_for inside a pool task: the outer join must help with the
+  // inner chunks instead of deadlocking on a fully-blocked pool.
+  ThreadPool pool(2);
+  constexpr std::size_t kOuter = 16, kInner = 128;
+  std::vector<std::atomic<int>> cells(kOuter * kInner);
+  parallel_for(pool, 0, kOuter, [&](std::size_t i) {
+    parallel_for(pool, 0, kInner,
+                 [&](std::size_t j) { cells[i * kInner + j].fetch_add(1); });
+  });
+  for (std::size_t k = 0; k < cells.size(); ++k) {
+    ASSERT_EQ(cells[k].load(), 1) << k;
+  }
+}
+
+TEST(ParallelFor, ExceptionPropagatesThroughNestedLoops) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(pool, 0, 32,
+                   [&](std::size_t i) {
+                     parallel_for(pool, 0, 64, [i](std::size_t j) {
+                       if (i == 17 && j == 33) {
+                         throw std::runtime_error("inner boom");
+                       }
+                     });
+                   }),
+      std::runtime_error);
+  // The pool must stay usable after the unwound sweep.
+  std::atomic<int> counter{0};
+  parallel_for(pool, 0, 100, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 100);
 }
 
 TEST(ParallelSum, MatchesSerialSum) {
