@@ -6,6 +6,9 @@
 #include <iostream>
 #include <sstream>
 
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
+
 namespace sre::bench {
 
 BenchConfig BenchConfig::from_env() {
@@ -15,6 +18,10 @@ BenchConfig BenchConfig::from_env() {
     cfg.bf_grid = 500;
     cfg.mc_samples = 400;
     cfg.disc_n = 200;
+  }
+  const char* obs_env = std::getenv("SRE_OBS");
+  if (obs_env != nullptr && std::string(obs_env) == "0") {
+    obs::set_enabled(false);
   }
   return cfg;
 }
@@ -69,6 +76,20 @@ std::string sweep_summary(const core::ScenarioSweepReport& report) {
      << c.hits << "/" << lookups << "), " << c.tables_built << " tables, "
      << c.table_reuses << " reuses";
   return os.str();
+}
+
+bool write_metrics_sidecar(const std::string& name) {
+  if (!obs::compiled_in() || !obs::enabled()) return false;
+  std::string path = "BENCH_" + name + "_metrics.json";
+  if (const char* dir = std::getenv("SRE_BENCH_METRICS_DIR")) {
+    path = std::string(dir) + "/" + path;
+  }
+  if (!obs::write_json(path)) {
+    std::cerr << "bench: cannot write metrics sidecar " << path << "\n";
+    return false;
+  }
+  std::cout << "metrics sidecar -> " << path << "\n";
+  return true;
 }
 
 }  // namespace sre::bench

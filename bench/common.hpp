@@ -22,7 +22,9 @@ struct BenchConfig {
   double epsilon = 1e-7;           ///< truncation quantile
   std::uint64_t seed = 42;
 
-  /// Paper-scale defaults, or reduced sizes when SRE_FAST=1 is set.
+  /// Paper-scale defaults, or reduced sizes when SRE_FAST=1 is set. Also
+  /// applies SRE_OBS to the observability master switch (SRE_OBS=0 turns
+  /// metrics/span collection off for clean timing runs; default is on).
   static BenchConfig from_env();
 };
 
@@ -40,5 +42,11 @@ void print_note(const std::string& note);
 /// One-line counter digest of a campaign ("sweep: 63 scenarios, 8 threads,
 /// 1.23 s, 41 steals; cdf cache: 97.2% hits, 9 tables, 54 reuses").
 std::string sweep_summary(const core::ScenarioSweepReport& report);
+
+/// Writes the obs:: registry snapshot to "BENCH_<name>_metrics.json" (or
+/// under $SRE_BENCH_METRICS_DIR when set) and prints the path. No-op —
+/// returning false — when observability is off or compiled out, so bench
+/// timing runs stay sidecar-free. Call once at the end of main().
+bool write_metrics_sidecar(const std::string& name);
 
 }  // namespace sre::bench

@@ -70,5 +70,6 @@ int main() {
             << c.threads << " threads, " << c.steals << " steals, "
             << bench::fmt(c.wall_seconds, 3) << " s\n";
   std::cout.flush();
+  bench::write_metrics_sidecar("fig3_t1_sweep");
   return 0;
 }

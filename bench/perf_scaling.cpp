@@ -6,9 +6,12 @@
 // (9 distributions x 4 cost models x 4 solvers) through sim::SweepRunner
 // twice -- serial baseline, then parallel -- verifies the outcomes are
 // numerically identical, and writes machine-readable BENCH_sweep.json
-// (scenarios/sec, speedup vs serial, cache hit rate, steal traffic) so the
-// perf trajectory can be tracked across PRs. Set SRE_BENCH_JSON to change
-// the output path, SRE_SKIP_SWEEP=1 to skip straight to the benchmarks.
+// (scenarios/sec, speedup vs serial, cache hit rate, steal rate) plus a
+// BENCH_perf_scaling_metrics.json obs:: sidecar (per-heuristic span
+// aggregates, CdfCache hit/miss, pool steal/idle counters) so the perf
+// trajectory can be tracked across PRs. Set SRE_BENCH_JSON to change the
+// output path, SRE_SKIP_SWEEP=1 to skip straight to the benchmarks,
+// SRE_OBS=0 to suppress metrics collection and the sidecar.
 
 #include <benchmark/benchmark.h>
 
@@ -171,6 +174,11 @@ void run_sweep_benchmark() {
           ? static_cast<double>(cache.hits) /
                 static_cast<double>(cache.hits + cache.misses)
           : 0.0;
+  const double steal_rate =
+      parallel.sweep.batches > 0
+          ? static_cast<double>(parallel.sweep.steals) /
+                static_cast<double>(parallel.sweep.batches)
+          : 0.0;
 
   const char* path_env = std::getenv("SRE_BENCH_JSON");
   const std::string path = path_env != nullptr ? path_env : "BENCH_sweep.json";
@@ -183,6 +191,7 @@ void run_sweep_benchmark() {
       << "  \"threads\": " << parallel.sweep.threads << ",\n"
       << "  \"batches\": " << parallel.sweep.batches << ",\n"
       << "  \"steals\": " << parallel.sweep.steals << ",\n"
+      << "  \"steal_rate\": " << bench::fmt(steal_rate, 4) << ",\n"
       << "  \"serial_seconds\": " << bench::fmt(serial.sweep.wall_seconds, 6)
       << ",\n"
       << "  \"parallel_seconds\": "
@@ -201,7 +210,8 @@ void run_sweep_benchmark() {
   std::cout << "SweepRunner campaign: " << scenarios.size() << " scenarios, "
             << parallel.sweep.threads << " threads, speedup "
             << bench::fmt(speedup, 2) << "x, cache hit rate "
-            << bench::fmt(100.0 * hit_rate, 1) << "%, identical="
+            << bench::fmt(100.0 * hit_rate, 1) << "%, steal rate "
+            << bench::fmt(steal_rate, 2) << " steals/batch, identical="
             << (identical ? "true" : "false") << " -> "
             << (out.fail() ? "(write failed: " + path + ")" : path) << "\n";
 }
@@ -212,6 +222,7 @@ int main(int argc, char** argv) {
   const char* skip = std::getenv("SRE_SKIP_SWEEP");
   if (skip == nullptr || std::string(skip) != "1") {
     run_sweep_benchmark();
+    bench::write_metrics_sidecar("perf_scaling");
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -79,5 +79,6 @@ int main() {
                     ", eps=1e-7. Brackets: cost / Brute-Force cost.");
   bench::print_table("Table 2: normalized expected costs", header, rows);
   bench::print_note(bench::sweep_summary(report));
+  bench::write_metrics_sidecar("table2_reservation_only");
   return 0;
 }

@@ -57,5 +57,6 @@ int main() {
       "heuristic (usage is paid identically by everyone, including the "
       "omniscient baseline), but the ordering of Table 2 is unchanged: "
       "Brute-Force == the DPs < the moment heuristics < Med-by-Med.");
+  bench::write_metrics_sidecar("table2b_full_cost");
   return 0;
 }

@@ -60,5 +60,6 @@ int main() {
       "Table 3 reproduction -- best t1 from BRUTE-FORCE vs quantile guesses; "
       "(-) marks invalid (non-increasing) sequences.");
   bench::print_table("Table 3: t1 choices and normalized costs", header, rows);
+  bench::write_metrics_sidecar("table3_t1_quantiles");
   return 0;
 }

@@ -36,5 +36,6 @@ int main() {
                            " normalized costs vs n (eps=1e-7)",
                        header, rows);
   }
+  bench::write_metrics_sidecar("table4_discretization");
   return 0;
 }

@@ -6,6 +6,8 @@
 
 #include "core/bounds.hpp"
 #include "core/expected_cost.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/parallel.hpp"
 #include "sim/rng.hpp"
 
@@ -16,6 +18,11 @@ BruteForceOutcome brute_force_search(const dist::Distribution& d,
                                      const BruteForceOptions& opts,
                                      bool keep_sweep) {
   assert(m.valid() && opts.grid_points >= 1);
+  static obs::SpanStats& search_span = obs::span_series("heuristic.brute_force");
+  static obs::Counter& candidates =
+      obs::counter("core.brute_force.candidate_evals");
+  obs::Span span(search_span);
+  candidates.add(opts.grid_points);
   BruteForceOutcome out;
 
   const dist::Support sup = d.support();

@@ -5,6 +5,8 @@
 #include <limits>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "stats/root_finding.hpp"
 #include "stats/summary.hpp"
 
@@ -53,7 +55,11 @@ constexpr double kCollapseHeight = 12.0;
 
 double exponential_unit_cost(double s1,
                              const ExponentialOptimalOptions& opts) {
+  static obs::Counter& evals = obs::counter("core.closed_form.unit_cost_evals");
+  static obs::Counter& terms = obs::counter("core.closed_form.recurrence_terms");
+  evals.add();
   const UnitSequence unit = generate_unit_sequence(s1, opts);
+  terms.add(unit.s.size());
   const auto& s = unit.s;
   if (s.empty()) return std::numeric_limits<double>::infinity();
   if (unit.collapsed && s.back() < kCollapseHeight) {
@@ -85,6 +91,9 @@ double exponential_unit_cost(double s1,
 
 ExponentialOptimalResult exponential_reservation_only_optimal(
     const ExponentialOptimalOptions& opts) {
+  static obs::SpanStats& search_span =
+      obs::span_series("heuristic.closed_form_exponential");
+  obs::Span span(search_span);
   const auto objective = [&opts](double s1) {
     return exponential_unit_cost(s1, opts);
   };

@@ -3,11 +3,20 @@
 #include <cassert>
 #include <limits>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace sre::core {
 
 DpResult dp_optimal_sequence(const dist::DiscreteDistribution& d,
                              const CostModel& m) {
   assert(m.valid());
+  static obs::SpanStats& fill_span = obs::span_series("core.dp.table_fill");
+  obs::Span span(fill_span);
+  static obs::Counter& fills = obs::counter("core.dp.table_fills");
+  static obs::Counter& cell_count = obs::counter("core.dp.cells");
+  fills.add();
+  std::uint64_t cells = 0;  // inner-loop transitions, flushed once at exit
   const auto& v = d.values();
   const auto& f = d.probabilities();
   const std::size_t n = v.size();
@@ -35,6 +44,7 @@ DpResult dp_optimal_sequence(const dist::DiscreteDistribution& d,
     double best = std::numeric_limits<double>::infinity();
     std::size_t best_j = i;
     for (std::size_t j = i; j < n; ++j) {
+      ++cells;
       double cost = m.alpha * v[j] + m.gamma + m.beta * (W[i] - W[j + 1]) / S[i];
       if (S[j + 1] > 0.0) {
         cost += S[j + 1] / S[i] * (m.beta * v[j] + E[j + 1]);
@@ -49,6 +59,8 @@ DpResult dp_optimal_sequence(const dist::DiscreteDistribution& d,
     E[i] = best;
     choice[i] = best_j;
   }
+
+  cell_count.add(cells);
 
   DpResult out;
   out.expected_cost = E[0];
@@ -79,6 +91,13 @@ ReservationSequence DiscretizedDp::generate(const dist::Distribution& d,
 ReservationSequence DiscretizedDp::generate(const dist::Distribution& d,
                                             const CostModel& m,
                                             const GenerateContext& ctx) const {
+  static obs::SpanStats& eq_time_span =
+      obs::span_series("heuristic.dp_equal_time");
+  static obs::SpanStats& eq_prob_span =
+      obs::span_series("heuristic.dp_equal_probability");
+  obs::Span span(opts_.scheme == sim::DiscretizationScheme::kEqualTime
+                     ? eq_time_span
+                     : eq_prob_span);
   std::shared_ptr<const dist::TabulatedCdf> tab;
   if (ctx.cdf_cache != nullptr && &ctx.cdf_cache->distribution() == &d) {
     tab = ctx.cdf_cache->table(opts_.n, opts_.epsilon);

@@ -4,6 +4,8 @@
 #include "core/heuristics/brute_force.hpp"
 #include "core/heuristics/dp_discretization.hpp"
 #include "core/heuristics/moment_based.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace sre::core {
 
@@ -25,13 +27,18 @@ HeuristicEvaluation evaluate_heuristic(const Heuristic& h,
                                        const CostModel& m,
                                        const EvaluationOptions& opts,
                                        const GenerateContext& ctx) {
+  static obs::SpanStats& eval_span = obs::span_series("core.evaluate_heuristic");
+  static obs::SpanStats& mc_span = obs::span_series("core.mc_expected_cost");
+  obs::Span span(eval_span);
   HeuristicEvaluation out;
   out.name = h.name();
   out.sequence = h.generate(d, m, ctx);
   out.t1 = out.sequence.first();
 
-  const sim::MonteCarloResult mc =
-      expected_cost_monte_carlo(out.sequence, d, m, opts.mc);
+  const sim::MonteCarloResult mc = [&] {
+    obs::Span inner(mc_span);
+    return expected_cost_monte_carlo(out.sequence, d, m, opts.mc);
+  }();
   out.expected_cost_mc = mc.mean;
   out.mc_std_error = mc.std_error;
   out.expected_cost_analytic = expected_cost_analytic(out.sequence, d, m);

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace sre::core {
 
 namespace {
@@ -44,6 +47,8 @@ std::string MeanByMean::name() const { return "Mean-by-Mean"; }
 
 ReservationSequence MeanByMean::generate(const dist::Distribution& d,
                                          const CostModel&) const {
+  static obs::SpanStats& gen_span = obs::span_series("heuristic.mean_by_mean");
+  obs::Span span(gen_span);
   std::vector<double> values{d.mean()};
   while (keep_going(values, d, opts_)) {
     const double next = d.conditional_mean_above(values.back());
@@ -63,6 +68,8 @@ std::string MeanStdev::name() const { return "Mean-Stdev"; }
 
 ReservationSequence MeanStdev::generate(const dist::Distribution& d,
                                         const CostModel&) const {
+  static obs::SpanStats& gen_span = obs::span_series("heuristic.mean_stdev");
+  obs::Span span(gen_span);
   const double mu = d.mean();
   const double sigma = d.stddev();
   assert(sigma > 0.0);
@@ -85,6 +92,8 @@ std::string MeanDoubling::name() const { return "Mean-Doubling"; }
 
 ReservationSequence MeanDoubling::generate(const dist::Distribution& d,
                                            const CostModel&) const {
+  static obs::SpanStats& gen_span = obs::span_series("heuristic.mean_doubling");
+  obs::Span span(gen_span);
   const dist::Support s = d.support();
   std::vector<double> values{d.mean()};
   while (keep_going(values, d, opts_)) {
@@ -102,6 +111,8 @@ std::string MedianByMedian::name() const { return "Med-by-Med"; }
 
 ReservationSequence MedianByMedian::generate(const dist::Distribution& d,
                                              const CostModel&) const {
+  static obs::SpanStats& gen_span = obs::span_series("heuristic.med_by_med");
+  obs::Span span(gen_span);
   std::vector<double> values{d.median()};
   double tail = 0.5;  // 1/2^i
   while (keep_going(values, d, opts_)) {

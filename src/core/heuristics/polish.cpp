@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "core/expected_cost.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "stats/root_finding.hpp"
 
 namespace sre::core {
@@ -22,6 +24,10 @@ PolishResult polish_sequence(const ReservationSequence& seq,
                              const dist::Distribution& d, const CostModel& m,
                              const PolishOptions& opts) {
   assert(!seq.empty() && m.valid());
+  static obs::SpanStats& polish_span = obs::span_series("heuristic.polish");
+  static obs::Counter& sweep_count = obs::counter("core.polish.sweeps");
+  static obs::Counter& coord_evals = obs::counter("core.polish.coordinate_evals");
+  obs::Span span(polish_span);
   PolishResult out;
   std::vector<double> values = seq.values();
   out.cost_before = cost_of(values, d, m);
@@ -44,6 +50,7 @@ PolishResult polish_sequence(const ReservationSequence& seq,
 
       const double saved = values[i];
       const auto objective = [&](double t) {
+        coord_evals.add();
         values[i] = t;
         return cost_of(values, d, m);
       };
@@ -83,6 +90,7 @@ PolishResult polish_sequence(const ReservationSequence& seq,
     }
 
     ++out.sweeps;
+    sweep_count.add();
     if (at_sweep_start - current <= opts.rel_tol * std::fabs(at_sweep_start)) {
       break;
     }

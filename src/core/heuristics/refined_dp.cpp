@@ -6,6 +6,8 @@
 #include "core/expected_cost.hpp"
 #include "core/heuristics/dp_discretization.hpp"
 #include "core/recurrence.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "stats/root_finding.hpp"
 
 namespace sre::core {
@@ -22,6 +24,8 @@ ReservationSequence RefinedDp::generate(const dist::Distribution& d,
 ReservationSequence RefinedDp::generate(const dist::Distribution& d,
                                         const CostModel& m,
                                         const GenerateContext& ctx) const {
+  static obs::SpanStats& gen_span = obs::span_series("heuristic.refined_dp");
+  obs::Span span(gen_span);
   const DiscretizedDp seed(opts_.disc);
   ReservationSequence best = seed.generate(d, m, ctx);
   double best_cost = expected_cost_analytic(best, d, m);
@@ -34,7 +38,10 @@ ReservationSequence RefinedDp::generate(const dist::Distribution& d,
                             : std::numeric_limits<double>::infinity());
   if (!(hi > lo)) return best;
 
+  static obs::Counter& objective_evals =
+      obs::counter("core.refined_dp.objective_evals");
   const auto objective = [&](double candidate) {
+    objective_evals.add();
     const RecurrenceResult rec = sequence_from_t1(d, m, candidate);
     if (!rec.valid) return std::numeric_limits<double>::infinity();
     return expected_cost_analytic(rec.sequence, d, m);

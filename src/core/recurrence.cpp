@@ -4,11 +4,15 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace sre::core {
 
-RecurrenceResult sequence_from_t1(const dist::Distribution& d,
-                                  const CostModel& m, double t1,
-                                  const RecurrenceOptions& opts) {
+namespace {
+
+RecurrenceResult sequence_from_t1_impl(const dist::Distribution& d,
+                                       const CostModel& m, double t1,
+                                       const RecurrenceOptions& opts) {
   assert(m.valid());
   RecurrenceResult out;
   const dist::Support sup = d.support();
@@ -81,6 +85,19 @@ RecurrenceResult sequence_from_t1(const dist::Distribution& d,
     out.valid = d.sf(values.back()) <= opts.coverage_sf;
   }
   out.sequence = ReservationSequence(std::move(values));
+  return out;
+}
+
+}  // namespace
+
+RecurrenceResult sequence_from_t1(const dist::Distribution& d,
+                                  const CostModel& m, double t1,
+                                  const RecurrenceOptions& opts) {
+  static obs::Counter& calls = obs::counter("core.recurrence.calls");
+  static obs::Counter& element_count = obs::counter("core.recurrence.elements");
+  calls.add();
+  RecurrenceResult out = sequence_from_t1_impl(d, m, t1, opts);
+  element_count.add(out.sequence.size());
   return out;
 }
 

@@ -3,9 +3,23 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace sre::dist {
 
 namespace {
+
+// Process-wide mirrors of the per-table counters, so a sweep's cache
+// behaviour shows up in obs::report_json() without walking every CdfCache.
+obs::Counter& obs_hits() {
+  static obs::Counter& c = obs::counter("dist.cdf_cache.hits");
+  return c;
+}
+obs::Counter& obs_misses() {
+  static obs::Counter& c = obs::counter("dist.cdf_cache.misses");
+  return c;
+}
 
 /// Exact binary search: returns the index of `x` in the sorted `grid`, or
 /// grid.size() when no element compares bit-equal. Probes that were computed
@@ -54,12 +68,14 @@ TabulatedCdf::TabulatedCdf(const Distribution& d, std::size_t n, double epsilon)
 double TabulatedCdf::quantile_point(std::size_t k) const {
   assert(k >= 1 && k <= n_);
   hits_.fetch_add(1, std::memory_order_relaxed);
+  obs_hits().add();
   return quantiles_[k - 1];
 }
 
 double TabulatedCdf::cdf_point(std::size_t k) const {
   assert(k <= n_);
   hits_.fetch_add(1, std::memory_order_relaxed);
+  obs_hits().add();
   return cdfs_[k];
 }
 
@@ -67,9 +83,11 @@ double TabulatedCdf::cdf(double t) const {
   const std::size_t i = find_exact(times_, t);
   if (i < times_.size()) {
     hits_.fetch_add(1, std::memory_order_relaxed);
+    obs_hits().add();
     return cdfs_[i];
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  obs_misses().add();
   return d_->cdf(t);
 }
 
@@ -77,9 +95,11 @@ double TabulatedCdf::quantile(double p) const {
   const std::size_t i = find_exact(probs_, p);
   if (i < probs_.size()) {
     hits_.fetch_add(1, std::memory_order_relaxed);
+    obs_hits().add();
     return quantiles_[i];
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  obs_misses().add();
   return d_->quantile(p);
 }
 
@@ -88,7 +108,13 @@ TabulatedCdf::Counters TabulatedCdf::counters() const noexcept {
           misses_.load(std::memory_order_relaxed)};
 }
 
-CdfCache::CdfCache(DistributionPtr d) : d_(std::move(d)) { assert(d_); }
+CdfCache::CdfCache(DistributionPtr d) : d_(std::move(d)) {
+  assert(d_);
+  // Register both lookup counters eagerly: an all-hit (or all-miss) run
+  // still reports the other side as an explicit zero.
+  obs_hits();
+  obs_misses();
+}
 
 std::shared_ptr<const TabulatedCdf> CdfCache::table(std::size_t n,
                                                     double epsilon) const {
@@ -96,14 +122,20 @@ std::shared_ptr<const TabulatedCdf> CdfCache::table(std::size_t n,
   for (const Entry& e : entries_) {
     if (e.n == n && e.epsilon == epsilon) {
       ++stats_.reuses;
+      static obs::Counter& reuses = obs::counter("dist.cdf_cache.table_reuses");
+      reuses.add();
       return e.table;
     }
   }
   // Built under the lock: a concurrent requester for the same grid blocks
   // instead of duplicating the n quantile inversions.
+  static obs::SpanStats& build_span = obs::span_series("dist.cdf_cache.build");
+  obs::Span span(build_span);
   auto table = std::make_shared<const TabulatedCdf>(*d_, n, epsilon);
   entries_.push_back({n, epsilon, table});
   ++stats_.builds;
+  static obs::Counter& builds = obs::counter("dist.cdf_cache.tables_built");
+  builds.add();
   return table;
 }
 

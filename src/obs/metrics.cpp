@@ -1,0 +1,169 @@
+#include "obs/metrics.hpp"
+
+#include <cassert>
+#include <memory>
+#include <mutex>
+
+namespace sre::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    assert(bounds_[i] > bounds_[i - 1] && "histogram bounds must ascend");
+  }
+}
+
+void Histogram::observe(double v) noexcept {
+#ifndef STOCHRES_OBS_DISABLE
+  if (!enabled()) return;
+  // Buckets are few (tens); a linear scan beats binary search at this size
+  // and keeps the operation branch-predictable for clustered observations.
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  double cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+#else
+  (void)v;
+#endif
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+void SpanStats::record(std::uint64_t duration_ns) noexcept {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(duration_ns, std::memory_order_relaxed);
+  std::uint64_t cur = max_ns_.load(std::memory_order_relaxed);
+  while (duration_ns > cur && !max_ns_.compare_exchange_weak(
+                                  cur, duration_ns, std::memory_order_relaxed)) {
+  }
+}
+
+void SpanStats::reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  total_ns_.store(0, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+// The registry leaks by design (function-local static, never destroyed):
+// instruments may be touched by worker threads during process teardown, so
+// handles must outlive every other static.
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  std::map<std::string, std::unique_ptr<SpanStats>> spans;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  auto& slot = r.counters[std::string(name)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& gauge(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  auto& slot = r.gauges[std::string(name)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& histogram(std::string_view name, std::vector<double> upper_bounds) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  auto& slot = r.histograms[std::string(name)];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  return *slot;
+}
+
+SpanStats& span_series(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  auto& slot = r.spans[std::string(name)];
+  if (!slot) slot = std::make_unique<SpanStats>();
+  return *slot;
+}
+
+std::vector<double> duration_bounds_seconds() {
+  // 1us .. 100s in decade steps of 1-3-10, the usual latency ladder.
+  return {1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3,
+          1e-2, 3e-2, 1e-1, 3e-1, 1.0,  3.0,  10.0, 100.0};
+}
+
+std::map<std::string, std::uint64_t> counters_snapshot() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, c] : r.counters) out[name] = c->value();
+  return out;
+}
+
+std::map<std::string, double> gauges_snapshot() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  std::map<std::string, double> out;
+  for (const auto& [name, g] : r.gauges) out[name] = g->value();
+  return out;
+}
+
+std::map<std::string, HistogramSnapshot> histograms_snapshot() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, h] : r.histograms) {
+    HistogramSnapshot snap;
+    snap.bounds = h->bounds();
+    snap.buckets.reserve(snap.bounds.size() + 1);
+    for (std::size_t i = 0; i <= snap.bounds.size(); ++i) {
+      snap.buckets.push_back(h->bucket_count(i));
+    }
+    snap.count = h->count();
+    snap.sum = h->sum();
+    snap.max = h->max();
+    out[name] = std::move(snap);
+  }
+  return out;
+}
+
+std::map<std::string, SpanSnapshot> spans_snapshot() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  std::map<std::string, SpanSnapshot> out;
+  for (const auto& [name, s] : r.spans) {
+    out[name] = SpanSnapshot{s->count(), s->total_ns(), s->max_ns()};
+  }
+  return out;
+}
+
+void reset_all() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  for (auto& [name, c] : r.counters) c->reset();
+  for (auto& [name, g] : r.gauges) g->reset();
+  for (auto& [name, h] : r.histograms) h->reset();
+  for (auto& [name, s] : r.spans) s->reset();
+}
+
+}  // namespace sre::obs

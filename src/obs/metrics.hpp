@@ -1,0 +1,174 @@
+#pragma once
+
+// Process-wide metrics registry: monotonic counters, gauges, and fixed-bucket
+// histograms, owned by a singleton and addressed by dotted names
+// ("sim.pool.steals"). Handles are stable references — look one up once per
+// call site and cache it in a function-local static:
+//
+//   static obs::Counter& hits = obs::counter("dist.cdf_cache.hits");
+//   hits.add();
+//
+// Mutation is a relaxed atomic op guarded by the obs::enabled() switch, so
+// instruments are safe to leave in hot paths; with STOCHRES_OBS_DISABLE they
+// compile to nothing. Registration (the name lookup) takes a mutex and is
+// expected once per call site, not per event.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace sre::obs {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+#ifndef STOCHRES_OBS_DISABLE
+    if (enabled()) value_.fetch_add(delta, std::memory_order_relaxed);
+#else
+    (void)delta;
+#endif
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (thread counts, rates, config).
+class Gauge {
+ public:
+  void set(double v) noexcept {
+#ifndef STOCHRES_OBS_DISABLE
+    if (enabled()) value_.store(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+
+  /// Raises the gauge to `v` if larger (atomic max).
+  void set_max(double v) noexcept {
+#ifndef STOCHRES_OBS_DISABLE
+    if (!enabled()) return;
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+#else
+    (void)v;
+#endif
+  }
+
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i]; one
+/// implicit overflow bucket counts the rest. Bounds are fixed at first
+/// registration. Also tracks count / sum / max of the raw observations.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// Count in bucket i (i == bounds().size() is the overflow bucket).
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;  ///< ascending upper bounds
+  std::vector<std::atomic<std::uint64_t>> buckets_;  ///< bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Per-label aggregate fed by obs::Span: call count, total and max wall time.
+class SpanStats {
+ public:
+  void record(std::uint64_t duration_ns) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_ns() const noexcept {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max_ns() const noexcept {
+    return max_ns_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+/// Registry handle lookups. References stay valid for the process lifetime;
+/// repeated lookups of one name return the same instrument.
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+/// `upper_bounds` must be ascending; consulted only on first registration.
+Histogram& histogram(std::string_view name, std::vector<double> upper_bounds);
+SpanStats& span_series(std::string_view name);
+
+/// Geometric seconds-scale bounds (1us .. ~100s) for wall-time histograms.
+std::vector<double> duration_bounds_seconds();
+
+/// Read-only snapshots for reporting (sorted by name).
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1, overflow last
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double max = 0.0;
+};
+struct SpanSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+std::map<std::string, std::uint64_t> counters_snapshot();
+std::map<std::string, double> gauges_snapshot();
+std::map<std::string, HistogramSnapshot> histograms_snapshot();
+std::map<std::string, SpanSnapshot> spans_snapshot();
+
+/// Zeroes every registered instrument (names stay registered).
+void reset_all();
+
+}  // namespace sre::obs

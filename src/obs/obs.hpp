@@ -1,0 +1,64 @@
+#pragma once
+
+// Master switches for the observability layer (metrics + spans).
+//
+// Two independent kill switches:
+//  * Runtime: obs::set_enabled(false) turns every instrument into a
+//    relaxed-load-and-branch; handles stay registered, values freeze.
+//  * Compile time: defining STOCHRES_OBS_DISABLE (CMake -DSRE_OBS_DISABLE=ON)
+//    compiles every instrument down to an empty inline function; the
+//    registry still exists so report_json() callers link, but it stays
+//    empty. compiled_in() lets tests skip assertions that need live data.
+//
+// The layer sits below stats in the dependency order (obs < stats < dist <
+// sim < core < platform) and depends only on the standard library, so any
+// layer may instrument itself.
+
+#include <atomic>
+
+namespace sre::obs {
+
+namespace detail {
+// Single process-wide switch. Relaxed accesses: instrumentation tolerates
+// observing a toggle late; the flip itself is not a synchronization point.
+inline std::atomic<bool>& enabled_flag() noexcept {
+  static std::atomic<bool> flag{true};
+  return flag;
+}
+}  // namespace detail
+
+/// False when the layer was compiled out with STOCHRES_OBS_DISABLE.
+constexpr bool compiled_in() noexcept {
+#ifdef STOCHRES_OBS_DISABLE
+  return false;
+#else
+  return true;
+#endif
+}
+
+/// Runtime master switch (default: on). Cheap to read from hot paths.
+inline bool enabled() noexcept {
+#ifdef STOCHRES_OBS_DISABLE
+  return false;
+#else
+  return detail::enabled_flag().load(std::memory_order_relaxed);
+#endif
+}
+
+inline void set_enabled(bool on) noexcept {
+  detail::enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+/// RAII toggle for tests: forces the switch to `on`, restores on exit.
+class ScopedEnable {
+ public:
+  explicit ScopedEnable(bool on) noexcept : prev_(enabled()) { set_enabled(on); }
+  ~ScopedEnable() { set_enabled(prev_); }
+  ScopedEnable(const ScopedEnable&) = delete;
+  ScopedEnable& operator=(const ScopedEnable&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace sre::obs

@@ -1,0 +1,108 @@
+#include "obs/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace sre::obs {
+
+namespace {
+
+/// Shortest round-trippable decimal form; integral values print bare
+/// ("6", not "6.0"), infinities as a quoted string (JSON has none).
+std::string fmt_double(double v) {
+  if (std::isinf(v)) return v > 0 ? "\"inf\"" : "\"-inf\"";
+  if (std::isnan(v)) return "\"nan\"";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double roundtrip = 0.0;
+  std::sscanf(buf, "%lf", &roundtrip);
+  if (roundtrip == v) {
+    // Try shorter forms for readability; keep the first that round-trips.
+    for (int prec = 6; prec < 17; ++prec) {
+      char shorter[32];
+      std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+      std::sscanf(shorter, "%lf", &roundtrip);
+      if (roundtrip == v) return shorter;
+    }
+  }
+  return buf;
+}
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string report_json() {
+  std::ostringstream os;
+  os << "{\n";
+
+  os << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters_snapshot()) {
+    os << (first ? "\n" : ",\n") << "    " << quote(name) << ": " << v;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
+  os << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges_snapshot()) {
+    os << (first ? "\n" : ",\n") << "    " << quote(name) << ": "
+       << fmt_double(v);
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
+  os << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_snapshot()) {
+    os << (first ? "\n" : ",\n") << "    " << quote(name) << ": {\n"
+       << "      \"count\": " << h.count << ",\n"
+       << "      \"sum\": " << fmt_double(h.sum) << ",\n"
+       << "      \"max\": " << fmt_double(h.max) << ",\n"
+       << "      \"buckets\": [";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      const std::string le =
+          i < h.bounds.size() ? fmt_double(h.bounds[i]) : "\"inf\"";
+      os << (i == 0 ? "" : ", ") << "{\"le\": " << le
+         << ", \"count\": " << h.buckets[i] << "}";
+    }
+    os << "]\n    }";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
+  os << "  \"spans\": {";
+  first = true;
+  for (const auto& [name, s] : spans_snapshot()) {
+    os << (first ? "\n" : ",\n") << "    " << quote(name)
+       << ": {\"count\": " << s.count << ", \"total_ns\": " << s.total_ns
+       << ", \"max_ns\": " << s.max_ns << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n";
+
+  os << "}\n";
+  return os.str();
+}
+
+bool write_json(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << report_json();
+  return static_cast<bool>(out);
+}
+
+}  // namespace sre::obs

@@ -1,0 +1,19 @@
+#pragma once
+
+// Stable JSON snapshot of the metrics registry. Keys are emitted in sorted
+// order and numbers in a fixed format, so two snapshots of identical
+// registry state are byte-identical (tests/test_obs.cpp enforces this).
+
+#include <string>
+
+namespace sre::obs {
+
+/// Serializes every registered counter, gauge, histogram, and span aggregate:
+///   {"counters": {...}, "gauges": {...}, "histograms": {...}, "spans": {...}}
+/// Instruments registered but never hit are included with zero values.
+std::string report_json();
+
+/// Writes report_json() to `path`. Returns false on I/O failure.
+bool write_json(const std::string& path);
+
+}  // namespace sre::obs

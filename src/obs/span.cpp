@@ -1,0 +1,50 @@
+#include "obs/span.hpp"
+
+#include <chrono>
+
+namespace sre::obs {
+
+namespace detail {
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+int& thread_span_depth() noexcept {
+  thread_local int depth = 0;
+  return depth;
+}
+
+void note_depth(int depth) noexcept {
+  // Registered as a gauge so it shows up in report_json() and is cleared by
+  // reset_all() like every other instrument.
+  static Gauge& g = gauge("obs.span.max_depth");
+  g.set_max(static_cast<double>(depth));
+}
+
+}  // namespace detail
+
+int active_span_depth() noexcept { return detail::thread_span_depth(); }
+
+int max_span_depth() noexcept {
+  static Gauge& g = gauge("obs.span.max_depth");
+  return static_cast<int>(g.value());
+}
+
+TaskScope::TaskScope() noexcept {
+#ifndef STOCHRES_OBS_DISABLE
+  saved_depth_ = detail::thread_span_depth();
+  detail::thread_span_depth() = 0;
+#endif
+}
+
+TaskScope::~TaskScope() {
+#ifndef STOCHRES_OBS_DISABLE
+  detail::thread_span_depth() = saved_depth_;
+#endif
+}
+
+}  // namespace sre::obs

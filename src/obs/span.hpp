@@ -1,0 +1,88 @@
+#pragma once
+
+// Lightweight hierarchical tracing spans. A Span measures the wall time of
+// one scope and folds it into the per-label SpanStats aggregate at exit
+// (call count, total ns, max ns); nesting is tracked with a thread-local
+// depth so unbalanced instrumentation is detectable and the deepest
+// observed nesting is reported ("obs.span.max_depth" gauge).
+//
+// Idiom (the handle lookup is hoisted out of the hot path):
+//
+//   static obs::SpanStats& series = obs::span_series("heuristic.refined_dp");
+//   obs::Span span(series);
+//
+// Spans opened inside thread-pool tasks are logically fresh roots: the pool
+// wraps each task in a TaskScope, so a task helped along on a blocked
+// caller's stack nests (and counts) exactly like one run by a worker. Label
+// aggregation is therefore deterministic for a deterministic workload even
+// though which thread ran a task is not.
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
+namespace sre::obs {
+
+namespace detail {
+std::uint64_t now_ns() noexcept;
+int& thread_span_depth() noexcept;
+void note_depth(int depth) noexcept;
+}  // namespace detail
+
+/// RAII span; see file comment for the cached-handle idiom.
+class Span {
+ public:
+  explicit Span(SpanStats& series) noexcept {
+#ifndef STOCHRES_OBS_DISABLE
+    if (!enabled()) return;
+    series_ = &series;
+    detail::note_depth(++detail::thread_span_depth());
+    start_ns_ = detail::now_ns();
+#else
+    (void)series;
+#endif
+  }
+
+  ~Span() {
+#ifndef STOCHRES_OBS_DISABLE
+    if (series_ == nullptr) return;
+    series_->record(detail::now_ns() - start_ns_);
+    --detail::thread_span_depth();
+#endif
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+#ifndef STOCHRES_OBS_DISABLE
+  SpanStats* series_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+#endif
+};
+
+/// Number of spans currently open on the calling thread (0 when balanced).
+int active_span_depth() noexcept;
+
+/// Deepest nesting any thread has reached since the last reset_all().
+int max_span_depth() noexcept;
+
+/// Marks a thread-pool task boundary: zeroes the calling thread's span depth
+/// for the task's duration and restores it afterwards, so a task executed
+/// inline by a blocked caller (the pool's helping join) nests identically to
+/// one executed by a worker.
+class TaskScope {
+ public:
+  TaskScope() noexcept;
+  ~TaskScope();
+  TaskScope(const TaskScope&) = delete;
+  TaskScope& operator=(const TaskScope&) = delete;
+
+ private:
+#ifndef STOCHRES_OBS_DISABLE
+  int saved_depth_ = 0;
+#endif
+};
+
+}  // namespace sre::obs

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace sre::sim {
 
 const char* to_string(DiscretizationScheme scheme) noexcept {
@@ -26,6 +28,22 @@ dist::DiscreteDistribution discretize(const dist::Distribution& d,
                                       const DiscretizationOptions& opts,
                                       const dist::TabulatedCdf* tab) {
   assert(opts.n >= 1);
+  // Section 4.2.1 probe accounting: each scheme evaluates one CDF or
+  // quantile per grid point (plus the truncation probe), so the counters
+  // below are exactly the per-discretization work the CdfCache can absorb.
+  static obs::Counter& calls = obs::counter("sim.discretize.calls");
+  static obs::Counter& cdf_probes = obs::counter("sim.discretize.cdf_probes");
+  static obs::Counter& quantile_probes =
+      obs::counter("sim.discretize.quantile_probes");
+  calls.add();
+  switch (opts.scheme) {
+    case DiscretizationScheme::kEqualProbability:
+      quantile_probes.add(opts.n);
+      break;
+    case DiscretizationScheme::kEqualTime:
+      cdf_probes.add(opts.n + 1);
+      break;
+  }
   // A matching table serves every grid evaluation directly; it stored the
   // exact values the distribution returned for these probes at build time.
   const bool exact = tab != nullptr && &tab->source() == &d &&

@@ -3,9 +3,30 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/parallel.hpp"
 
 namespace sre::sim {
+
+namespace {
+
+/// Runs one scenario, timing it into the per-scenario latency histogram (the
+/// instrument that shows a 50x-slower outlier cell in a flat-looking grid).
+void run_timed_scenario(const std::function<void(std::size_t)>& fn,
+                        std::size_t i) {
+  static obs::Histogram& lat = obs::histogram("sim.sweep.scenario_seconds",
+                                              obs::duration_bounds_seconds());
+  if (!obs::enabled()) {
+    fn(i);
+    return;
+  }
+  const std::uint64_t t0 = obs::detail::now_ns();
+  fn(i);
+  lat.observe(static_cast<double>(obs::detail::now_ns() - t0) * 1e-9);
+}
+
+}  // namespace
 
 SweepRunner::SweepRunner(SweepOptions opts) : opts_(opts) {
   if (opts_.threads != 0) {
@@ -26,11 +47,17 @@ void SweepRunner::run_indexed(std::size_t n,
   counters_.scenarios = n;
   if (n == 0) return;
 
+  static obs::SpanStats& sweep_span = obs::span_series("sim.sweep.run");
+  static obs::Counter& scenario_count = obs::counter("sim.sweep.scenarios");
+  static obs::Counter& batch_count = obs::counter("sim.sweep.batches");
+  obs::Span span(sweep_span);
+  scenario_count.add(n);
+
   const auto start = std::chrono::steady_clock::now();
   if (opts_.serial || pool().size() <= 1) {
     counters_.threads = 1;
     counters_.batches = n;
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) run_timed_scenario(fn, i);
   } else {
     ThreadPool& p = pool();
     const std::size_t batch = opts_.batch;
@@ -41,10 +68,11 @@ void SweepRunner::run_indexed(std::size_t n,
     submit_and_join(p, n_batches, [&](std::size_t b) {
       const std::size_t lo = b * batch;
       const std::size_t hi = std::min(n, lo + batch);
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
+      for (std::size_t i = lo; i < hi; ++i) run_timed_scenario(fn, i);
     });
     counters_.steals = p.steal_count() - steals_before;
   }
+  batch_count.add(counters_.batches);
   counters_.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

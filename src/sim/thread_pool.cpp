@@ -4,6 +4,9 @@
 #include <memory>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace sre::sim {
 
 namespace {
@@ -14,9 +17,35 @@ namespace {
 thread_local const ThreadPool* t_pool = nullptr;
 thread_local unsigned t_worker = 0;
 
+// Registry mirrors of the pool's bookkeeping atomics (aggregated over every
+// pool in the process, global and dedicated alike).
+obs::Counter& obs_submitted() {
+  static obs::Counter& c = obs::counter("sim.pool.submitted");
+  return c;
+}
+obs::Counter& obs_executed() {
+  static obs::Counter& c = obs::counter("sim.pool.executed");
+  return c;
+}
+obs::Counter& obs_steals() {
+  static obs::Counter& c = obs::counter("sim.pool.steals");
+  return c;
+}
+obs::Counter& obs_idle_ns() {
+  static obs::Counter& c = obs::counter("sim.pool.idle_ns");
+  return c;
+}
+
 }  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
+  // Register the pool instruments up front so metrics reports always carry
+  // the full "sim.pool.*" key set, zeros included, even for workloads that
+  // never submit, steal, or idle.
+  obs_submitted();
+  obs_executed();
+  obs_steals();
+  obs_idle_ns();
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -58,6 +87,7 @@ void ThreadPool::submit(std::function<void()> task) {
     ++queued_;
     ++pending_;
   }
+  obs_submitted().add();
   cv_task_.notify_one();
 }
 
@@ -75,6 +105,7 @@ void ThreadPool::submit_batch(std::vector<std::function<void()>> tasks) {
     queued_ += n;
     pending_ += n;
   }
+  obs_submitted().add(n);
   cv_task_.notify_all();
 }
 
@@ -99,6 +130,7 @@ std::function<void()> ThreadPool::take_reserved(unsigned home) {
         task = std::move(w.deque.front());
         w.deque.pop_front();
         steals_.fetch_add(1, std::memory_order_relaxed);
+        obs_steals().add();
       }
       return task;
     }
@@ -107,8 +139,15 @@ std::function<void()> ThreadPool::take_reserved(unsigned home) {
 }
 
 void ThreadPool::run_task(std::function<void()>& task) {
-  task();
+  {
+    // A task is a fresh logical root for tracing: a task executed inline by
+    // a blocked caller (try_run_one in a helping join) must nest — and
+    // aggregate — exactly like one executed by a worker.
+    obs::TaskScope task_scope;
+    task();
+  }
   executed_.fetch_add(1, std::memory_order_relaxed);
+  obs_executed().add();
   bool idle = false;
   {
     std::lock_guard lock(mutex_);
@@ -145,7 +184,16 @@ void ThreadPool::worker_loop(unsigned index) {
   for (;;) {
     {
       std::unique_lock lock(mutex_);
+      // Idle accounting: clock reads only when the worker would actually
+      // block, and only while observability is on.
+      std::uint64_t idle_start = 0;
+      if (!stopping_ && queued_ == 0 && obs::enabled()) {
+        idle_start = obs::detail::now_ns();
+      }
       cv_task_.wait(lock, [this] { return stopping_ || queued_ > 0; });
+      if (idle_start != 0) {
+        obs_idle_ns().add(obs::detail::now_ns() - idle_start);
+      }
       if (queued_ == 0) {
         // stopping_ with an empty queue: drain is complete, exit. Tasks that
         // are queued at destruction still run because this branch is only

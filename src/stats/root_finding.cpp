@@ -3,11 +3,18 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.hpp"
+
 namespace sre::stats {
 
 namespace {
 bool opposite_signs(double a, double b) noexcept {
   return (a <= 0.0 && b >= 0.0) || (a >= 0.0 && b <= 0.0);
+}
+
+obs::Counter& golden_iter_counter() {
+  static obs::Counter& c = obs::counter("stats.minimize.golden_iters");
+  return c;
 }
 }  // namespace
 
@@ -32,6 +39,8 @@ std::optional<RootResult> brent(const std::function<double(double)>& f,
     const double xm = 0.5 * (c - b);
     if (std::fabs(xm) <= tol1 || fb == 0.0 ||
         (opts.f_tol > 0.0 && std::fabs(fb) <= opts.f_tol)) {
+      static obs::Counter& iters = obs::counter("stats.root.brent_iters");
+      iters.add(static_cast<std::uint64_t>(iter));
       return RootResult{b, fb, iter, true};
     }
     if (std::fabs(e) >= tol1 && std::fabs(fa) > std::fabs(fb)) {
@@ -90,6 +99,8 @@ std::optional<RootResult> bisect(const std::function<double(double)>& f,
     const double fm = f(mid);
     if (fm == 0.0 || (b - a) * 0.5 < opts.x_tol ||
         (opts.f_tol > 0.0 && std::fabs(fm) <= opts.f_tol)) {
+      static obs::Counter& iters = obs::counter("stats.root.bisect_iters");
+      iters.add(static_cast<std::uint64_t>(iter));
       return RootResult{mid, fm, iter, true};
     }
     if (opposite_signs(fa, fm)) {
@@ -142,6 +153,7 @@ MinimizeResult golden_minimize(const std::function<double(double)>& f,
     }
     ++iter;
   }
+  golden_iter_counter().add(static_cast<std::uint64_t>(iter));
   const double x = 0.5 * (a + b);
   return MinimizeResult{x, f(x), iter, (b - a) <= x_tol};
 }
@@ -150,6 +162,8 @@ MinimizeResult grid_then_golden(const std::function<double(double)>& f,
                                 double lo, double hi, int grid_points,
                                 double x_tol) {
   if (grid_points < 3) grid_points = 3;
+  static obs::Counter& grid_evals = obs::counter("stats.minimize.grid_evals");
+  grid_evals.add(static_cast<std::uint64_t>(grid_points));
   const double step = (hi - lo) / static_cast<double>(grid_points - 1);
   double best_x = lo;
   double best_f = std::numeric_limits<double>::infinity();

@@ -1,0 +1,239 @@
+// The obs:: observability layer: instrument correctness under contention
+// (run these under the tsan preset), span balance across nested parallel
+// joins, the master switch, and byte-stable JSON reporting.
+//
+// Every TEST here uses instrument names under "test.obs." so the assertions
+// are delta-based and immune to instrumentation in the library code the
+// tests happen to exercise.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
+#include "obs/span.hpp"
+#include "sim/parallel.hpp"
+#include "sim/thread_pool.hpp"
+
+using namespace sre;
+
+namespace {
+
+/// Runs body() on `threads` std::threads and joins them all.
+void run_on_threads(unsigned threads, const std::function<void()>& body) {
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) workers.emplace_back(body);
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace
+
+TEST(ObsSwitch, CompiledInReportsBuildConfiguration) {
+#ifdef STOCHRES_OBS_DISABLE
+  EXPECT_FALSE(obs::compiled_in());
+  EXPECT_FALSE(obs::enabled());
+#else
+  EXPECT_TRUE(obs::compiled_in());
+#endif
+}
+
+TEST(ObsSwitch, DisabledInstrumentsDoNotMutate) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "obs compiled out";
+  obs::Counter& c = obs::counter("test.obs.switch_counter");
+  obs::Gauge& g = obs::gauge("test.obs.switch_gauge");
+  const std::uint64_t c0 = c.value();
+  {
+    obs::ScopedEnable off(false);
+    EXPECT_FALSE(obs::enabled());
+    c.add(7);
+    g.set(42.0);
+    g.set_max(99.0);
+  }
+  EXPECT_TRUE(obs::enabled());
+  EXPECT_EQ(c.value(), c0);
+  EXPECT_EQ(g.value(), 0.0);
+  c.add(1);
+  EXPECT_EQ(c.value(), c0 + 1);
+}
+
+TEST(ObsSwitch, ScopedEnableRestoresPreviousState) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "obs compiled out";
+  obs::set_enabled(false);
+  {
+    obs::ScopedEnable on(true);
+    EXPECT_TRUE(obs::enabled());
+  }
+  EXPECT_FALSE(obs::enabled());
+  obs::set_enabled(true);
+}
+
+TEST(ObsRegistry, SameNameReturnsSameInstrument) {
+  obs::Counter& a = obs::counter("test.obs.same_name");
+  obs::Counter& b = obs::counter("test.obs.same_name");
+  EXPECT_EQ(&a, &b);
+  obs::SpanStats& s1 = obs::span_series("test.obs.same_span");
+  obs::SpanStats& s2 = obs::span_series("test.obs.same_span");
+  EXPECT_EQ(&s1, &s2);
+}
+
+TEST(ObsConcurrency, CounterAddsFromEightThreadsAreLossless) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "obs compiled out";
+  obs::Counter& c = obs::counter("test.obs.counter_race");
+  const std::uint64_t before = c.value();
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  run_on_threads(kThreads, [&c] {
+    for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+  });
+  EXPECT_EQ(c.value(), before + kThreads * kPerThread);
+}
+
+TEST(ObsConcurrency, HistogramObservesFromEightThreadsAreLossless) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "obs compiled out";
+  obs::Histogram& h =
+      obs::histogram("test.obs.histogram_race", {1.0, 2.0, 4.0, 8.0});
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kPerThread = 5000;
+  // Exactly representable observations, so the racing double adds are exact
+  // and the sum is checkable without tolerance.
+  run_on_threads(kThreads, [&h] {
+    for (std::uint64_t i = 0; i < kPerThread; ++i) {
+      h.observe(static_cast<double>(i % 10));
+    }
+  });
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  // Each thread contributes 500 * (0+1+...+9) = 22500.
+  EXPECT_EQ(h.sum(), static_cast<double>(kThreads) * 22500.0);
+  EXPECT_EQ(h.max(), 9.0);
+  std::uint64_t bucket_total = 0;
+  for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+    bucket_total += h.bucket_count(i);
+  }
+  EXPECT_EQ(bucket_total, kThreads * kPerThread);
+  // values 0,1 fall in the <=1 bucket; value 9 overflows past <=8.
+  EXPECT_EQ(h.bucket_count(0), kThreads * kPerThread / 10 * 2);
+  EXPECT_EQ(h.bucket_count(h.bounds().size()), kThreads * kPerThread / 10);
+}
+
+TEST(ObsConcurrency, GaugeSetMaxConvergesUnderContention) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "obs compiled out";
+  obs::Gauge& g = obs::gauge("test.obs.gauge_race");
+  g.reset();
+  run_on_threads(8, [&g] {
+    for (int i = 0; i < 4000; ++i) g.set_max(static_cast<double>(i % 997));
+  });
+  EXPECT_EQ(g.value(), 996.0);
+}
+
+TEST(ObsConcurrency, SpanRecordsFromEightThreadsAreLossless) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "obs compiled out";
+  obs::SpanStats& series = obs::span_series("test.obs.span_race");
+  const std::uint64_t before = series.count();
+  constexpr unsigned kThreads = 8;
+  constexpr int kPerThread = 2000;
+  run_on_threads(kThreads, [&series] {
+    for (int i = 0; i < kPerThread; ++i) obs::Span span(series);
+  });
+  EXPECT_EQ(series.count(), before + kThreads * kPerThread);
+  EXPECT_GE(series.total_ns(), series.max_ns());
+}
+
+TEST(ObsSpans, BalancedAcrossNestedParallelFor) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "obs compiled out";
+  obs::SpanStats& outer = obs::span_series("test.obs.nested_outer");
+  obs::SpanStats& inner = obs::span_series("test.obs.nested_inner");
+  const std::uint64_t outer0 = outer.count();
+  const std::uint64_t inner0 = inner.count();
+
+  sim::ThreadPool pool(4);
+  constexpr std::size_t kOuter = 32;
+  constexpr std::size_t kInner = 8;
+  sim::parallel_for(pool, 0, kOuter, [&](std::size_t) {
+    obs::Span span(outer);
+    sim::parallel_for(pool, 0, kInner,
+                      [&](std::size_t) { obs::Span s(inner); });
+  });
+
+  // Label aggregation is exact regardless of which thread ran which chunk.
+  EXPECT_EQ(outer.count(), outer0 + kOuter);
+  EXPECT_EQ(inner.count(), inner0 + kOuter * kInner);
+  // Every span closed: the calling thread's stack is balanced again.
+  EXPECT_EQ(obs::active_span_depth(), 0);
+  EXPECT_GE(obs::max_span_depth(), 1);
+}
+
+TEST(ObsSpans, TaskScopeMakesTasksFreshRoots) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "obs compiled out";
+  obs::SpanStats& series = obs::span_series("test.obs.task_scope");
+  obs::Span span(series);
+  EXPECT_EQ(obs::active_span_depth(), 1);
+  {
+    obs::TaskScope task_boundary;
+    EXPECT_EQ(obs::active_span_depth(), 0);
+    obs::Span nested(series);
+    EXPECT_EQ(obs::active_span_depth(), 1);
+  }
+  EXPECT_EQ(obs::active_span_depth(), 1);
+}
+
+TEST(ObsReport, ByteIdenticalAcrossRepeatedDeterministicRuns) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "obs compiled out";
+
+  // A deterministic workload touching every instrument kind with exactly
+  // representable values (no rounding => thread interleaving cannot perturb
+  // the double sums). Span wall times are timing-dependent, so the workload
+  // registers a span series but never opens a span: the report must still
+  // list it, with zeros.
+  const auto workload = [] {
+    obs::Counter& c = obs::counter("test.obs.report_counter");
+    obs::Gauge& g = obs::gauge("test.obs.report_gauge");
+    obs::Histogram& h = obs::histogram("test.obs.report_hist", {0.5, 1.5});
+    obs::span_series("test.obs.report_span");
+    run_on_threads(8, [&] {
+      for (int i = 0; i < 1000; ++i) {
+        c.add(2);
+        g.set_max(static_cast<double>(i));
+        h.observe(static_cast<double>(i % 2));
+      }
+    });
+  };
+
+  // Zero anything earlier tests left behind (span wall times are
+  // timing-dependent) so both snapshots describe only this workload.
+  obs::reset_all();
+  workload();
+  const std::string first = obs::report_json();
+  const std::string again = obs::report_json();
+  EXPECT_EQ(first, again) << "snapshot of unchanged state must be stable";
+
+  obs::reset_all();
+  workload();
+  const std::string second = obs::report_json();
+  EXPECT_EQ(first, second) << "deterministic workload must reproduce bytes";
+
+  // Sanity: the report actually contains the workload's state.
+  EXPECT_NE(first.find("\"test.obs.report_counter\": 16000"), std::string::npos)
+      << first;
+  EXPECT_NE(first.find("\"test.obs.report_span\""), std::string::npos);
+}
+
+TEST(ObsReport, JsonSectionsPresentAndSorted) {
+  const std::string json = obs::report_json();
+  const auto counters = json.find("\"counters\"");
+  const auto gauges = json.find("\"gauges\"");
+  const auto histograms = json.find("\"histograms\"");
+  const auto spans = json.find("\"spans\"");
+  ASSERT_NE(counters, std::string::npos);
+  ASSERT_NE(gauges, std::string::npos);
+  ASSERT_NE(histograms, std::string::npos);
+  ASSERT_NE(spans, std::string::npos);
+  EXPECT_LT(counters, gauges);
+  EXPECT_LT(gauges, histograms);
+  EXPECT_LT(histograms, spans);
+}
