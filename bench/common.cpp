@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "obs/obs.hpp"
+#include "obs/recorder.hpp"
 #include "obs/report.hpp"
 
 namespace sre::bench {
@@ -23,6 +24,7 @@ BenchConfig BenchConfig::from_env() {
   if (obs_env != nullptr && std::string(obs_env) == "0") {
     obs::set_enabled(false);
   }
+  obs::recorder::arm_from_env();
   return cfg;
 }
 
@@ -89,6 +91,21 @@ bool write_metrics_sidecar(const std::string& name) {
     return false;
   }
   std::cout << "metrics sidecar -> " << path << "\n";
+  return true;
+}
+
+bool write_trace_sidecar() {
+  if (!obs::recorder::armed()) return false;
+  const std::uint64_t events = obs::recorder::recorded_events();
+  const std::uint64_t dropped = obs::recorder::dropped_events();
+  if (!obs::recorder::stop_and_write()) {
+    std::cerr << "bench: cannot write trace (is SRE_TRACE set?)\n";
+    return false;
+  }
+  const char* path = std::getenv("SRE_TRACE");
+  std::cout << "trace -> " << (path != nullptr ? path : "?") << " ("
+            << events << " events, " << dropped
+            << " dropped); open in https://ui.perfetto.dev\n";
   return true;
 }
 

@@ -24,7 +24,9 @@ struct BenchConfig {
 
   /// Paper-scale defaults, or reduced sizes when SRE_FAST=1 is set. Also
   /// applies SRE_OBS to the observability master switch (SRE_OBS=0 turns
-  /// metrics/span collection off for clean timing runs; default is on).
+  /// metrics/span collection off for clean timing runs; default is on) and
+  /// arms the flight recorder when SRE_TRACE=path is set (the trace is
+  /// written by write_trace_sidecar() at the end of the run).
   static BenchConfig from_env();
 };
 
@@ -48,5 +50,11 @@ std::string sweep_summary(const core::ScenarioSweepReport& report);
 /// returning false — when observability is off or compiled out, so bench
 /// timing runs stay sidecar-free. Call once at the end of main().
 bool write_metrics_sidecar(const std::string& name);
+
+/// Flushes the flight-recorder capture armed by SRE_TRACE to its path as
+/// Chrome Trace Event JSON (open it in Perfetto / chrome://tracing) and
+/// prints the path plus drop accounting. No-op — returning false — when no
+/// capture is armed. Call once at the end of main(), after the workload.
+bool write_trace_sidecar();
 
 }  // namespace sre::bench

@@ -71,5 +71,6 @@ int main() {
             << bench::fmt(c.wall_seconds, 3) << " s\n";
   std::cout.flush();
   bench::write_metrics_sidecar("fig3_t1_sweep");
+  bench::write_trace_sidecar();
   return 0;
 }

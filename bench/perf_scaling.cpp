@@ -21,6 +21,7 @@
 
 #include "common.hpp"
 #include "core/heuristics/dp_discretization.hpp"
+#include "obs/metrics.hpp"
 #include "core/heuristics/moment_based.hpp"
 #include "core/heuristics/refined_dp.hpp"
 #include "core/scenario_sweep.hpp"
@@ -180,6 +181,18 @@ void run_sweep_benchmark() {
                 static_cast<double>(parallel.sweep.batches)
           : 0.0;
 
+  // Per-scenario wall-time percentiles over the whole campaign (serial +
+  // parallel legs), interpolated from the "sim.sweep.scenario_seconds"
+  // histogram; tail latency is where a single slow grid cell hides.
+  double p50_ns = 0.0, p95_ns = 0.0, p99_ns = 0.0;
+  const auto hists = sre::obs::histograms_snapshot();
+  if (const auto it = hists.find("sim.sweep.scenario_seconds");
+      it != hists.end() && it->second.count > 0) {
+    p50_ns = it->second.quantile(0.50) * 1e9;
+    p95_ns = it->second.quantile(0.95) * 1e9;
+    p99_ns = it->second.quantile(0.99) * 1e9;
+  }
+
   const char* path_env = std::getenv("SRE_BENCH_JSON");
   const std::string path = path_env != nullptr ? path_env : "BENCH_sweep.json";
   std::ofstream out(path);
@@ -203,6 +216,11 @@ void run_sweep_benchmark() {
       << "  \"cache_hit_rate\": " << bench::fmt(hit_rate, 4) << ",\n"
       << "  \"tables_built\": " << cache.tables_built << ",\n"
       << "  \"table_reuses\": " << cache.table_reuses << ",\n"
+      << "  \"scenario_wall_ns\": {\n"
+      << "    \"p50\": " << bench::fmt(p50_ns, 0) << ",\n"
+      << "    \"p95\": " << bench::fmt(p95_ns, 0) << ",\n"
+      << "    \"p99\": " << bench::fmt(p99_ns, 0) << "\n"
+      << "  },\n"
       << "  \"identical_to_serial\": " << (identical ? "true" : "false")
       << "\n}\n";
   out.close();
@@ -223,6 +241,7 @@ int main(int argc, char** argv) {
   if (skip == nullptr || std::string(skip) != "1") {
     run_sweep_benchmark();
     bench::write_metrics_sidecar("perf_scaling");
+    bench::write_trace_sidecar();
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

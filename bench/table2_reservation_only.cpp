@@ -80,5 +80,6 @@ int main() {
   bench::print_table("Table 2: normalized expected costs", header, rows);
   bench::print_note(bench::sweep_summary(report));
   bench::write_metrics_sidecar("table2_reservation_only");
+  bench::write_trace_sidecar();
   return 0;
 }

@@ -58,5 +58,6 @@ int main() {
       "omniscient baseline), but the ordering of Table 2 is unchanged: "
       "Brute-Force == the DPs < the moment heuristics < Med-by-Med.");
   bench::write_metrics_sidecar("table2b_full_cost");
+  bench::write_trace_sidecar();
   return 0;
 }

@@ -61,5 +61,6 @@ int main() {
       "(-) marks invalid (non-increasing) sequences.");
   bench::print_table("Table 3: t1 choices and normalized costs", header, rows);
   bench::write_metrics_sidecar("table3_t1_quantiles");
+  bench::write_trace_sidecar();
   return 0;
 }

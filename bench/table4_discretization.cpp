@@ -37,5 +37,6 @@ int main() {
                        header, rows);
   }
   bench::write_metrics_sidecar("table4_discretization");
+  bench::write_trace_sidecar();
   return 0;
 }

@@ -1,0 +1,172 @@
+#include "obs/diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace sre::obs::diff {
+
+bool glob_match(std::string_view pattern, std::string_view key) noexcept {
+  // Iterative star-backtracking: only '*' is special, so the classic
+  // two-pointer scan suffices (no character classes, no '?').
+  std::size_t p = 0, k = 0;
+  std::size_t star = std::string_view::npos, mark = 0;
+  while (k < key.size()) {
+    if (p < pattern.size() && (pattern[p] == key[k])) {
+      ++p;
+      ++k;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = k;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      k = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+bool is_time_like(std::string_view key) noexcept {
+  const auto ends_with = [key](std::string_view suffix) {
+    return key.size() >= suffix.size() &&
+           key.substr(key.size() - suffix.size()) == suffix;
+  };
+  const auto contains = [key](std::string_view needle) {
+    return key.find(needle) != std::string_view::npos;
+  };
+  // ".count" and counters are count-like even under "histograms."; check
+  // the exact-count suffixes first.
+  if (ends_with(".count")) return false;
+  return ends_with("_ns") || ends_with("_seconds") || ends_with(".sum") ||
+         ends_with(".max") || ends_with(".p50") || ends_with(".p95") ||
+         ends_with(".p99") || contains("seconds") || contains("per_sec") ||
+         contains("speedup") || contains("rate") || contains("gauges.");
+}
+
+namespace {
+
+void flatten_into(const minijson::Value& value, const std::string& prefix,
+                  std::map<std::string, double>& out) {
+  switch (value.kind) {
+    case minijson::Value::Kind::kNumber:
+      out[prefix] = value.number;
+      break;
+    case minijson::Value::Kind::kBool:
+      out[prefix] = value.boolean ? 1.0 : 0.0;
+      break;
+    case minijson::Value::Kind::kObject:
+      for (const auto& [name, member] : value.object) {
+        flatten_into(member, prefix.empty() ? name : prefix + "." + name, out);
+      }
+      break;
+    default:
+      break;  // strings, arrays, null: not comparable scalars
+  }
+}
+
+std::string fmt_value(double v) {
+  char out[32];
+  std::snprintf(out, sizeof(out), "%.6g", v);
+  return out;
+}
+
+}  // namespace
+
+std::map<std::string, double> flatten(const minijson::Value& doc) {
+  std::map<std::string, double> out;
+  flatten_into(doc, "", out);
+  return out;
+}
+
+Result compare(const std::map<std::string, double>& baseline,
+               const std::map<std::string, double>& current,
+               const Options& opts) {
+  Result result;
+  for (const auto& [key, base] : baseline) {
+    double tol = 0.0;
+    bool has_rule = false;
+    for (const Rule& rule : opts.rules) {
+      if (glob_match(rule.pattern, key)) {
+        tol = rule.tolerance;
+        has_rule = true;
+        break;
+      }
+    }
+    const bool time_like = is_time_like(key);
+    if (!has_rule) tol = time_like ? opts.time_tol : opts.counter_tol;
+    if (tol < 0.0) {
+      result.notes.push_back("ignored: " + key);
+      continue;
+    }
+
+    const auto it = current.find(key);
+    if (it == current.end()) {
+      if (opts.fail_on_missing) {
+        result.violations.push_back(
+            {Finding::Kind::kMissingKey, key, base, 0.0, tol});
+      } else {
+        result.notes.push_back("missing (allowed): " + key);
+      }
+      continue;
+    }
+    ++result.keys_compared;
+    const double cur = it->second;
+    if (!std::isfinite(base) || !std::isfinite(cur)) {
+      if (base != cur && !(std::isnan(base) && std::isnan(cur))) {
+        result.violations.push_back(
+            {Finding::Kind::kValueRegression, key, base, cur, tol});
+      }
+      continue;
+    }
+    const double band = tol * std::max(std::fabs(base), 1e-12);
+    if (time_like) {
+      // Gate increases only; a shrink beyond the band is worth a note.
+      if (cur - base > band) {
+        result.violations.push_back(
+            {Finding::Kind::kValueRegression, key, base, cur, tol});
+      } else if (base - cur > band) {
+        result.notes.push_back("improved: " + key + " " + fmt_value(base) +
+                               " -> " + fmt_value(cur));
+      }
+    } else if (std::fabs(cur - base) > band) {
+      result.violations.push_back(
+          {Finding::Kind::kValueRegression, key, base, cur, tol});
+    }
+  }
+  for (const auto& [key, value] : current) {
+    if (baseline.find(key) == baseline.end()) {
+      result.notes.push_back("new key: " + key + " = " + fmt_value(value));
+    }
+  }
+  std::sort(result.violations.begin(), result.violations.end(),
+            [](const Finding& a, const Finding& b) { return a.key < b.key; });
+  return result;
+}
+
+std::string describe(const Result& result) {
+  std::ostringstream os;
+  for (const Finding& f : result.violations) {
+    if (f.kind == Finding::Kind::kMissingKey) {
+      os << "MISSING    " << f.key << " (baseline " << fmt_value(f.baseline)
+         << ", absent in current)\n";
+    } else {
+      os << "REGRESSION " << f.key << " baseline " << fmt_value(f.baseline)
+         << " current " << fmt_value(f.current) << " (tolerance "
+         << fmt_value(f.tolerance * 100.0) << "%)\n";
+    }
+  }
+  for (const std::string& note : result.notes) os << "note: " << note << "\n";
+  if (result.ok()) {
+    os << "OK: " << result.keys_compared << " keys within tolerance\n";
+  } else {
+    os << "FAIL: " << result.violations.size() << " violation(s) across "
+       << result.keys_compared << " compared keys\n";
+  }
+  return os.str();
+}
+
+}  // namespace sre::obs::diff

@@ -1,0 +1,89 @@
+#pragma once
+
+// Metrics regression diffing — the engine behind tools/obsdiff.cpp. Two
+// metrics documents (BENCH_*_metrics.json sidecars or BENCH_sweep.json) are
+// flattened into dotted numeric keys and compared key-by-key against
+// per-class relative tolerances:
+//
+//  * count-like keys (counters.*, *.count, scenarios, batches, booleans)
+//    default to exact equality — these are deterministic for a fixed
+//    workload, so any drift is a behavior change;
+//  * time-like keys (*_ns, *_seconds, *.sum, *.max, p50/p95/p99, rates,
+//    speedups) are gated only on INCREASE beyond a configurable relative
+//    band — wall time shrinking is an improvement, not a regression;
+//  * per-key glob overrides (--tol/--ignore in the CLI) take precedence,
+//    first match wins, so intrinsically nondeterministic keys (steals,
+//    idle_ns) can be widened or dropped.
+//
+// A key present in the baseline but missing from the current run is a
+// regression by default: deleted instrumentation should be an intentional,
+// baseline-refreshing change. Extra keys in the current run are reported as
+// notes only, so adding instrumentation never breaks CI.
+//
+// Like minijson, this is offline analysis code and is not compiled out
+// under STOCHRES_OBS_DISABLE.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/minijson.hpp"
+
+namespace sre::obs::diff {
+
+/// Ignore marker for per-key tolerance overrides.
+inline constexpr double kIgnore = -1.0;
+
+struct Rule {
+  std::string pattern;     ///< glob: '*' matches any run (incl. empty, '.')
+  double tolerance = 0.0;  ///< relative band; kIgnore drops the key
+};
+
+struct Options {
+  double time_tol = 0.5;     ///< band for time-like keys (0.5 = +50%)
+  double counter_tol = 0.0;  ///< band for count-like keys (0 = exact)
+  bool fail_on_missing = true;
+  std::vector<Rule> rules;   ///< first matching pattern wins
+};
+
+struct Finding {
+  enum class Kind { kValueRegression, kMissingKey };
+  Kind kind = Kind::kValueRegression;
+  std::string key;
+  double baseline = 0.0;
+  double current = 0.0;
+  double tolerance = 0.0;
+};
+
+struct Result {
+  std::vector<Finding> violations;
+  std::vector<std::string> notes;  ///< improvements, extra keys, skips
+  std::size_t keys_compared = 0;
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+};
+
+/// Glob match where '*' matches any (possibly empty) substring; no other
+/// metacharacters. "counters.sim.pool.*" matches that whole subtree.
+bool glob_match(std::string_view pattern, std::string_view key) noexcept;
+
+/// True when `key` is gated by the time band rather than the counter band.
+bool is_time_like(std::string_view key) noexcept;
+
+/// Flattens a parsed metrics document: nested object members join with '.',
+/// numbers keep their value, booleans map to 0/1, strings ("inf", "nan",
+/// labels) and arrays (histogram bucket vectors — covered by count/sum/
+/// quantile scalars, and timing-shaped anyway) are skipped.
+std::map<std::string, double> flatten(const minijson::Value& doc);
+
+/// Compares flattened documents under `opts`. Violations are sorted by key.
+Result compare(const std::map<std::string, double>& baseline,
+               const std::map<std::string, double>& current,
+               const Options& opts);
+
+/// Human-readable report of `result` ("OK, 42 keys compared" or one line
+/// per violation and note).
+std::string describe(const Result& result);
+
+}  // namespace sre::obs::diff

@@ -1,8 +1,12 @@
 #include "obs/metrics.hpp"
 
 #include <cassert>
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <mutex>
+
+#include "obs/recorder.hpp"
 
 namespace sre::obs {
 
@@ -37,6 +41,29 @@ void Histogram::reset() noexcept {
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
   max_.store(0.0, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::quantile(double q) const noexcept {
+  if (count == 0 || buckets.size() != bounds.size() + 1) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  q = std::fmin(std::fmax(q, 0.0), 1.0);
+  const double rank = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets[i]);
+    if (in_bucket == 0.0) continue;
+    if (cum + in_bucket >= rank) {
+      const double lo = (i == 0) ? 0.0 : bounds[i - 1];
+      // The overflow bucket has no upper bound; the observed max is the
+      // tightest finite cap available.
+      const double hi = (i < bounds.size()) ? bounds[i] : std::fmax(max, lo);
+      const double frac = (rank - cum) / in_bucket;
+      return lo + (hi - lo) * std::fmin(std::fmax(frac, 0.0), 1.0);
+    }
+    cum += in_bucket;
+  }
+  return max;
 }
 
 void SpanStats::record(std::uint64_t duration_ns) noexcept {
@@ -102,7 +129,12 @@ SpanStats& span_series(std::string_view name) {
   Registry& r = registry();
   std::lock_guard lock(r.mutex);
   auto& slot = r.spans[std::string(name)];
-  if (!slot) slot = std::make_unique<SpanStats>();
+  if (!slot) {
+    slot = std::make_unique<SpanStats>();
+    // Pre-intern the flight-recorder label so Span's hot path never takes
+    // the recorder's registration mutex. (No-op, id 0, when compiled out.)
+    slot->set_trace_label(recorder::intern_label(name));
+  }
   return *slot;
 }
 

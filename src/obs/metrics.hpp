@@ -130,12 +130,20 @@ class SpanStats {
     return max_ns_.load(std::memory_order_relaxed);
   }
 
+  /// Flight-recorder label id for this series (the registry interns the
+  /// series name at registration); 0 when the recorder is compiled out.
+  [[nodiscard]] std::uint32_t trace_label() const noexcept {
+    return trace_label_;
+  }
+  void set_trace_label(std::uint32_t id) noexcept { trace_label_ = id; }
+
   void reset() noexcept;
 
  private:
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> total_ns_{0};
   std::atomic<std::uint64_t> max_ns_{0};
+  std::uint32_t trace_label_ = 0;  ///< written once, under the registry mutex
 };
 
 /// Registry handle lookups. References stay valid for the process lifetime;
@@ -156,6 +164,12 @@ struct HistogramSnapshot {
   std::uint64_t count = 0;
   double sum = 0.0;
   double max = 0.0;
+
+  /// Estimated q-quantile (q in [0, 1]) by linear interpolation within the
+  /// bucket where the cumulative count crosses q * count. The first bucket
+  /// interpolates from 0, the overflow bucket toward the observed max.
+  /// NaN when the histogram is empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
 };
 struct SpanSnapshot {
   std::uint64_t count = 0;

@@ -1,0 +1,61 @@
+#pragma once
+
+// A minimal dependency-free JSON reader for the observability tooling: the
+// obsdiff baseline comparison (tools/obsdiff.cpp), the recorder's trace
+// round-trip tests, and anything else that needs to look inside the JSON
+// this repo emits (report_json(), BENCH_sweep.json, Chrome trace files).
+//
+// Scope: full RFC 8259 syntax on input (objects, arrays, strings with
+// escapes, numbers, bools, null); numbers surface as double, which is exact
+// for every integer the metrics layer emits below 2^53. Not an allocator
+// battleground — documents here are kilobytes, clarity wins. Unlike the
+// rest of obs this is offline analysis code: it is NOT compiled out under
+// STOCHRES_OBS_DISABLE.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sre::obs::minijson {
+
+/// A parsed JSON value. Object member order is preserved (handy for stable
+/// re-serialization in tests), lookup is linear — fine at tooling scale.
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind == Kind::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind == Kind::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind == Kind::kString;
+  }
+
+  /// First member named `key`, or nullptr (also for non-objects).
+  [[nodiscard]] const Value* find(std::string_view key) const noexcept;
+};
+
+struct ParseResult {
+  bool ok = false;
+  Value value;
+  std::string error;      ///< empty on success
+  std::size_t offset = 0; ///< byte offset of the first error
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing garbage
+/// is an error). Nesting deeper than 64 levels is rejected.
+ParseResult parse(std::string_view text);
+
+}  // namespace sre::obs::minijson

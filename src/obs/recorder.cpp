@@ -1,0 +1,362 @@
+#include "obs/recorder.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace sre::obs::recorder {
+
+#ifndef STOCHRES_OBS_DISABLE
+
+namespace {
+
+constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+constexpr std::size_t kMinCapacity = 8;
+
+struct Event {
+  std::uint64_t ts_ns = 0;
+  std::uint32_t label = 0;
+  char phase = 0;  ///< 'B', 'E', or 'I'
+};
+
+// One buffer per thread, written only by its owner. The owner publishes
+// events with a release store of `size`; readers (serialization, counters)
+// hold the registry mutex and read only the published prefix, so they never
+// touch a slot the owner may still be writing.
+struct ThreadBuffer {
+  std::uint32_t tid = 0;
+  std::string name;                        ///< guarded by the registry mutex
+  std::vector<Event> events;               ///< resized only in refresh()
+  std::atomic<std::size_t> size{0};        ///< published event count
+  std::atomic<std::size_t> reserved{0};    ///< end-slots owed to open spans
+  std::atomic<std::uint64_t> dropped{0};   ///< events rejected this epoch
+  std::atomic<std::uint64_t> epoch{0};     ///< capture this data belongs to
+};
+
+// Leaked singleton, same lifetime argument as the metrics registry: worker
+// threads may emit during static teardown.
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::vector<std::string> labels;  ///< id -> name; id 0 reserved
+  std::map<std::string, std::uint32_t, std::less<>> label_ids;
+  std::size_t capacity = kDefaultCapacity;
+  std::atomic<std::uint64_t> epoch{0};  ///< 0 = no capture ever started
+  std::string env_path;                 ///< remembered SRE_TRACE target
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+thread_local ThreadBuffer* t_buf = nullptr;
+
+/// Registers (or re-syncs) the calling thread's buffer for `epoch`. Takes
+/// the registry mutex; called once per thread per capture, not per event.
+ThreadBuffer& refresh_locked(std::uint64_t epoch) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  if (t_buf == nullptr) {
+    r.buffers.push_back(std::make_unique<ThreadBuffer>());
+    t_buf = r.buffers.back().get();
+    t_buf->tid = static_cast<std::uint32_t>(r.buffers.size());
+  }
+  ThreadBuffer& buf = *t_buf;
+  if (buf.epoch.load(std::memory_order_relaxed) != epoch) {
+    buf.events.resize(r.capacity);
+    buf.size.store(0, std::memory_order_relaxed);
+    buf.reserved.store(0, std::memory_order_relaxed);
+    buf.dropped.store(0, std::memory_order_relaxed);
+    buf.epoch.store(epoch, std::memory_order_relaxed);
+  }
+  return buf;
+}
+
+/// The calling thread's buffer, synced to the current capture epoch.
+inline ThreadBuffer& local_buffer(std::uint64_t epoch) {
+  ThreadBuffer* buf = t_buf;
+  if (buf == nullptr || buf->epoch.load(std::memory_order_relaxed) != epoch) {
+    return refresh_locked(epoch);
+  }
+  return *buf;
+}
+
+/// Appends one event if `extra_reserve + 1` slots fit beside the already
+/// promised end-events; returns false (counting a drop) otherwise.
+inline bool append(ThreadBuffer& buf, char phase, std::uint32_t label,
+                   std::uint64_t ts_ns, std::size_t extra_reserve) {
+  const std::size_t size = buf.size.load(std::memory_order_relaxed);
+  const std::size_t reserved = buf.reserved.load(std::memory_order_relaxed);
+  if (size + reserved + extra_reserve + 1 > buf.events.size()) {
+    buf.dropped.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  buf.events[size] = Event{ts_ns, label, phase};
+  buf.reserved.store(reserved + extra_reserve, std::memory_order_relaxed);
+  buf.size.store(size + 1, std::memory_order_release);
+  return true;
+}
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Chrome trace 'ts' is in microseconds; print with ns resolution.
+std::string fmt_us(std::uint64_t ns, std::uint64_t origin_ns) {
+  char out[32];
+  std::snprintf(out, sizeof(out), "%.3f",
+                static_cast<double>(ns - origin_ns) / 1000.0);
+  return out;
+}
+
+}  // namespace
+
+void start() {
+  Registry& r = registry();
+  {
+    std::lock_guard lock(r.mutex);
+    if (detail::armed_flag().load(std::memory_order_relaxed)) return;
+    r.epoch.fetch_add(1, std::memory_order_relaxed);
+  }
+  detail::armed_flag().store(true, std::memory_order_relaxed);
+}
+
+bool arm_from_env() {
+  const char* path = std::getenv("SRE_TRACE");
+  if (path == nullptr || path[0] == '\0') return false;
+  Registry& r = registry();
+  {
+    std::lock_guard lock(r.mutex);
+    r.env_path = path;
+  }
+  start();
+  return true;
+}
+
+void stop() { detail::armed_flag().store(false, std::memory_order_relaxed); }
+
+bool stop_and_write(const std::string& path) {
+  stop();
+  std::string target = path;
+  Registry& r = registry();
+  if (target.empty()) {
+    std::lock_guard lock(r.mutex);
+    target = r.env_path;
+  }
+  if (target.empty()) return false;
+  if (r.epoch.load(std::memory_order_relaxed) == 0) return false;
+  std::ofstream out(target);
+  if (!out) return false;
+  out << trace_json();
+  return static_cast<bool>(out);
+}
+
+std::string trace_json() {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  const std::uint64_t epoch = r.epoch.load(std::memory_order_relaxed);
+
+  // Snapshot the published prefix of every buffer belonging to this capture.
+  struct Snapshot {
+    const ThreadBuffer* buf;
+    std::size_t n;
+  };
+  std::vector<Snapshot> snaps;
+  std::uint64_t dropped = 0;
+  std::uint64_t origin = ~std::uint64_t{0};
+  for (const auto& buf : r.buffers) {
+    if (buf->epoch.load(std::memory_order_relaxed) != epoch) continue;
+    const std::size_t n = buf->size.load(std::memory_order_acquire);
+    dropped += buf->dropped.load(std::memory_order_relaxed);
+    snaps.push_back({buf.get(), n});
+    if (n > 0) origin = std::min(origin, buf->events[0].ts_ns);
+  }
+  if (origin == ~std::uint64_t{0}) origin = 0;
+
+  std::ostringstream os;
+  os << "{\n\"displayTimeUnit\": \"ns\",\n";
+  os << "\"otherData\": {\"dropped_events\": " << dropped
+     << ", \"capture_epoch\": " << epoch << "},\n";
+  os << "\"traceEvents\": [\n";
+  bool first = true;
+  const auto emit = [&](const std::string& body) {
+    os << (first ? "" : ",\n") << "{" << body << "}";
+    first = false;
+  };
+  emit("\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": \"process_name\", "
+       "\"args\": {\"name\": \"stochastic_reservations\"}");
+  for (const auto& [buf, n] : snaps) {
+    if (!buf->name.empty()) {
+      std::ostringstream body;
+      body << "\"ph\": \"M\", \"pid\": 1, \"tid\": " << buf->tid
+           << ", \"name\": \"thread_name\", \"args\": {\"name\": "
+           << quote(buf->name) << "}";
+      emit(body.str());
+    }
+  }
+  const auto label_name = [&](std::uint32_t id) -> std::string {
+    if (id == 0 || id > r.labels.size()) return "label-" + std::to_string(id);
+    return r.labels[id - 1];
+  };
+  for (const auto& [buf, n] : snaps) {
+    // Begin events awaiting their end; unmatched ones (capture stopped with
+    // the span still open, or the end-slot write missed the snapshot) are
+    // closed synthetically so every 'B' balances with an 'E' per tid.
+    std::vector<std::uint32_t> open;
+    std::uint64_t last_ts = origin;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Event& e = buf->events[i];
+      last_ts = e.ts_ns;
+      std::ostringstream body;
+      if (e.phase == 'B') {
+        open.push_back(e.label);
+        body << "\"ph\": \"B\", \"pid\": 1, \"tid\": " << buf->tid
+             << ", \"ts\": " << fmt_us(e.ts_ns, origin)
+             << ", \"name\": " << quote(label_name(e.label));
+      } else if (e.phase == 'E') {
+        if (open.empty()) continue;  // defensive; cannot happen by design
+        const std::uint32_t label = open.back();
+        open.pop_back();
+        body << "\"ph\": \"E\", \"pid\": 1, \"tid\": " << buf->tid
+             << ", \"ts\": " << fmt_us(e.ts_ns, origin)
+             << ", \"name\": " << quote(label_name(label));
+      } else {
+        body << "\"ph\": \"I\", \"pid\": 1, \"tid\": " << buf->tid
+             << ", \"ts\": " << fmt_us(e.ts_ns, origin) << ", \"s\": \"t\""
+             << ", \"name\": " << quote(label_name(e.label));
+      }
+      emit(body.str());
+    }
+    while (!open.empty()) {
+      const std::uint32_t label = open.back();
+      open.pop_back();
+      std::ostringstream body;
+      body << "\"ph\": \"E\", \"pid\": 1, \"tid\": " << buf->tid
+           << ", \"ts\": " << fmt_us(last_ts, origin)
+           << ", \"name\": " << quote(label_name(label));
+      emit(body.str());
+    }
+  }
+  os << "\n]\n}\n";
+  return os.str();
+}
+
+std::uint32_t intern_label(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  const auto it = r.label_ids.find(name);
+  if (it != r.label_ids.end()) return it->second;
+  r.labels.emplace_back(name);
+  const auto id = static_cast<std::uint32_t>(r.labels.size());
+  r.label_ids.emplace(std::string(name), id);
+  return id;
+}
+
+void set_thread_name(std::string_view name) {
+  Registry& r = registry();
+  ThreadBuffer& buf =
+      local_buffer(r.epoch.load(std::memory_order_relaxed));
+  std::lock_guard lock(r.mutex);
+  buf.name = std::string(name);
+}
+
+void set_thread_capacity(std::size_t events) {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  r.capacity = std::max(events, kMinCapacity);
+}
+
+std::uint64_t emit_begin(std::uint32_t label) noexcept {
+  if (!armed()) return 0;
+  Registry& r = registry();
+  const std::uint64_t epoch = r.epoch.load(std::memory_order_relaxed);
+  ThreadBuffer& buf = local_buffer(epoch);
+  if (!append(buf, 'B', label, obs::detail::now_ns(), /*extra_reserve=*/1)) {
+    return 0;
+  }
+  return epoch;
+}
+
+void emit_end(std::uint64_t token, std::uint64_t ts_ns) noexcept {
+  if (token == 0) return;
+  ThreadBuffer* buf = t_buf;
+  // The begin that issued the token created the buffer; a mismatched epoch
+  // means the capture has turned over and the reservation is void.
+  if (buf == nullptr ||
+      buf->epoch.load(std::memory_order_relaxed) != token) {
+    return;
+  }
+  buf->reserved.fetch_sub(1, std::memory_order_relaxed);
+  append(*buf, 'E', 0, ts_ns != 0 ? ts_ns : obs::detail::now_ns(),
+         /*extra_reserve=*/0);
+}
+
+void emit_instant(std::uint32_t label) noexcept {
+  if (!armed()) return;
+  Registry& r = registry();
+  ThreadBuffer& buf = local_buffer(r.epoch.load(std::memory_order_relaxed));
+  append(buf, 'I', label, obs::detail::now_ns(), /*extra_reserve=*/0);
+}
+
+std::uint64_t dropped_events() noexcept {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  const std::uint64_t epoch = r.epoch.load(std::memory_order_relaxed);
+  std::uint64_t total = 0;
+  for (const auto& buf : r.buffers) {
+    if (buf->epoch.load(std::memory_order_relaxed) != epoch) continue;
+    total += buf->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t recorded_events() noexcept {
+  Registry& r = registry();
+  std::lock_guard lock(r.mutex);
+  const std::uint64_t epoch = r.epoch.load(std::memory_order_relaxed);
+  std::uint64_t total = 0;
+  for (const auto& buf : r.buffers) {
+    if (buf->epoch.load(std::memory_order_relaxed) != epoch) continue;
+    total += buf->size.load(std::memory_order_acquire) +
+             buf->reserved.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+#else  // STOCHRES_OBS_DISABLE: every entry point is a no-op that still links.
+
+void start() {}
+bool arm_from_env() { return false; }
+void stop() {}
+bool stop_and_write(const std::string&) { return false; }
+std::string trace_json() {
+  return "{\n\"displayTimeUnit\": \"ns\",\n\"otherData\": "
+         "{\"dropped_events\": 0, \"capture_epoch\": 0},\n"
+         "\"traceEvents\": [\n]\n}\n";
+}
+std::uint32_t intern_label(std::string_view) { return 0; }
+void set_thread_name(std::string_view) {}
+void set_thread_capacity(std::size_t) {}
+std::uint64_t emit_begin(std::uint32_t) noexcept { return 0; }
+void emit_end(std::uint64_t, std::uint64_t) noexcept {}
+void emit_instant(std::uint32_t) noexcept {}
+std::uint64_t dropped_events() noexcept { return 0; }
+std::uint64_t recorded_events() noexcept { return 0; }
+
+#endif
+
+}  // namespace sre::obs::recorder

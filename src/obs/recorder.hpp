@@ -1,0 +1,114 @@
+#pragma once
+
+// Flight recorder: an event-level timeline under the Span/TaskScope
+// aggregates. While armed it captures begin/end/instant events (interned
+// label id, small thread id, steady-clock ns) into per-thread bounded
+// buffers, then serializes them as Chrome Trace Event Format JSON that loads
+// directly in Perfetto / chrome://tracing.
+//
+// Recording is opt-in and bounded:
+//  * arm with SRE_TRACE=path (arm_from_env()) or start(); disarm with
+//    stop()/stop_and_write().
+//  * each thread owns a fixed-capacity buffer (set_thread_capacity(),
+//    default 1 << 16 events). A span reserves its end-event slot when the
+//    begin event is accepted, so the serialized stream is balanced per
+//    thread by construction; events that do not fit are counted in
+//    dropped_events(), never torn.
+//  * when disarmed the per-event cost is one relaxed atomic load and a
+//    branch; under STOCHRES_OBS_DISABLE everything compiles to a no-op and
+//    armed() is constant false.
+//
+// Concurrency contract: emit_* are lock-free on the hot path (the owning
+// thread is the only writer of its buffer; the size counter is published
+// with release stores). start()/stop()/serialization take a registry mutex
+// and read only event slots published before the disarm, so flushing while
+// stray writers finish is safe; their tail events are simply not part of
+// the capture. Begin/end pairs that straddle a capture boundary are dropped
+// as a pair (the begin token carries the capture epoch).
+//
+// Not to be confused with platform::trace, which ingests *job execution
+// traces* (Fig. 1 input data); obs::recorder records the solver's own
+// execution timeline.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sre::obs::recorder {
+
+namespace detail {
+// Process-wide arming flag, mirroring obs::detail::enabled_flag(): relaxed
+// accesses, a late-observed toggle only trims or extends the capture edge.
+inline std::atomic<bool>& armed_flag() noexcept {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+}  // namespace detail
+
+/// True while a capture is running. Relaxed load; hot-path guard.
+inline bool armed() noexcept {
+#ifdef STOCHRES_OBS_DISABLE
+  return false;
+#else
+  return detail::armed_flag().load(std::memory_order_relaxed);
+#endif
+}
+
+/// Begins a new capture: bumps the capture epoch (invalidating events from
+/// earlier captures), resets drop accounting, and arms the recorder.
+/// Idempotent while armed (restarting an armed recorder is a no-op).
+void start();
+
+/// Arms from the environment: SRE_TRACE=path starts a capture and remembers
+/// `path` for stop_and_write(). Returns true when a capture was started.
+bool arm_from_env();
+
+/// Disarms. Events already published stay available for serialization.
+void stop();
+
+/// Disarms and serializes the capture to `path` (or, when `path` is empty,
+/// to the SRE_TRACE path remembered by arm_from_env()). Returns false when
+/// no path is known or the file cannot be written. No-op (false) when the
+/// layer is compiled out or no capture ever started.
+bool stop_and_write(const std::string& path = {});
+
+/// Serializes the most recent capture as Chrome Trace Event JSON. Safe to
+/// call while armed (snapshots the published prefix of every buffer).
+/// Unmatched begin events are closed with synthetic end events so the
+/// output always balances per thread.
+std::string trace_json();
+
+/// Interns `name`, returning a stable label id for emit_*. Takes the
+/// registry mutex; call once per site and cache the id.
+std::uint32_t intern_label(std::string_view name);
+
+/// Names the calling thread in the trace (Chrome metadata event). Also
+/// eagerly registers the thread's buffer.
+void set_thread_name(std::string_view name);
+
+/// Per-thread buffer capacity (events) for threads/captures that have not
+/// yet allocated a buffer in the current epoch; existing buffers resize on
+/// their next epoch change. Intended for tests; clamped to >= 8.
+void set_thread_capacity(std::size_t events);
+
+/// Emits a begin event. Returns an opaque token to pass to emit_end: 0
+/// means the event was not recorded (disarmed or buffer full — the span's
+/// end must then be skipped, which emit_end(0, ...) does).
+std::uint64_t emit_begin(std::uint32_t label) noexcept;
+
+/// Emits the end event matching `token` at time `ts_ns` (0 = now). Safe to
+/// call with token == 0 or after the capture that issued the token ended.
+void emit_end(std::uint64_t token, std::uint64_t ts_ns = 0) noexcept;
+
+/// Emits a thread-scoped instant event.
+void emit_instant(std::uint32_t label) noexcept;
+
+/// Events dropped (buffer full) in the current capture, across threads.
+std::uint64_t dropped_events() noexcept;
+
+/// Events accepted in the current capture, across threads (includes
+/// reserved-but-not-yet-emitted end slots once their begin is accepted).
+std::uint64_t recorded_events() noexcept;
+
+}  // namespace sre::obs::recorder

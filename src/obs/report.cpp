@@ -72,6 +72,9 @@ std::string report_json() {
        << "      \"count\": " << h.count << ",\n"
        << "      \"sum\": " << fmt_double(h.sum) << ",\n"
        << "      \"max\": " << fmt_double(h.max) << ",\n"
+       << "      \"p50\": " << fmt_double(h.quantile(0.50)) << ",\n"
+       << "      \"p95\": " << fmt_double(h.quantile(0.95)) << ",\n"
+       << "      \"p99\": " << fmt_double(h.quantile(0.99)) << ",\n"
        << "      \"buckets\": [";
     for (std::size_t i = 0; i < h.buckets.size(); ++i) {
       const std::string le =

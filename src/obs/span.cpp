@@ -38,11 +38,16 @@ TaskScope::TaskScope() noexcept {
 #ifndef STOCHRES_OBS_DISABLE
   saved_depth_ = detail::thread_span_depth();
   detail::thread_span_depth() = 0;
+  if (recorder::armed()) {
+    static const std::uint32_t label = recorder::intern_label("sim.pool.task");
+    trace_token_ = recorder::emit_begin(label);
+  }
 #endif
 }
 
 TaskScope::~TaskScope() {
 #ifndef STOCHRES_OBS_DISABLE
+  if (trace_token_ != 0) recorder::emit_end(trace_token_);
   detail::thread_span_depth() = saved_depth_;
 #endif
 }

@@ -21,6 +21,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
+#include "obs/recorder.hpp"
 
 namespace sre::obs {
 
@@ -38,6 +39,9 @@ class Span {
     if (!enabled()) return;
     series_ = &series;
     detail::note_depth(++detail::thread_span_depth());
+    if (recorder::armed()) {
+      trace_token_ = recorder::emit_begin(series.trace_label());
+    }
     start_ns_ = detail::now_ns();
 #else
     (void)series;
@@ -47,7 +51,9 @@ class Span {
   ~Span() {
 #ifndef STOCHRES_OBS_DISABLE
     if (series_ == nullptr) return;
-    series_->record(detail::now_ns() - start_ns_);
+    const std::uint64_t end_ns = detail::now_ns();
+    series_->record(end_ns - start_ns_);
+    if (trace_token_ != 0) recorder::emit_end(trace_token_, end_ns);
     --detail::thread_span_depth();
 #endif
   }
@@ -59,6 +65,7 @@ class Span {
 #ifndef STOCHRES_OBS_DISABLE
   SpanStats* series_ = nullptr;
   std::uint64_t start_ns_ = 0;
+  std::uint64_t trace_token_ = 0;
 #endif
 };
 
@@ -71,7 +78,9 @@ int max_span_depth() noexcept;
 /// Marks a thread-pool task boundary: zeroes the calling thread's span depth
 /// for the task's duration and restores it afterwards, so a task executed
 /// inline by a blocked caller (the pool's helping join) nests identically to
-/// one executed by a worker.
+/// one executed by a worker. While the flight recorder is armed it also
+/// brackets the task with "sim.pool.task" begin/end events, which is what
+/// makes worker overlap visible on the Perfetto timeline.
 class TaskScope {
  public:
   TaskScope() noexcept;
@@ -82,6 +91,7 @@ class TaskScope {
  private:
 #ifndef STOCHRES_OBS_DISABLE
   int saved_depth_ = 0;
+  std::uint64_t trace_token_ = 0;
 #endif
 };
 

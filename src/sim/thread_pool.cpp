@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/span.hpp"
 
 namespace sre::sim {
@@ -131,6 +132,11 @@ std::function<void()> ThreadPool::take_reserved(unsigned home) {
         w.deque.pop_front();
         steals_.fetch_add(1, std::memory_order_relaxed);
         obs_steals().add();
+        if (obs::recorder::armed()) {
+          static const std::uint32_t steal_label =
+              obs::recorder::intern_label("sim.pool.steal");
+          obs::recorder::emit_instant(steal_label);
+        }
       }
       return task;
     }
@@ -181,6 +187,9 @@ ThreadPool& ThreadPool::global() {
 void ThreadPool::worker_loop(unsigned index) {
   t_pool = this;
   t_worker = index;
+  // Name the worker's flight-recorder track up front; the name survives
+  // capture restarts, so traces armed later still label the lane.
+  obs::recorder::set_thread_name("sim.pool.worker-" + std::to_string(index));
   for (;;) {
     {
       std::unique_lock lock(mutex_);

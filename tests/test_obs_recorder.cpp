@@ -1,0 +1,352 @@
+// The obs::recorder flight recorder: concurrent emission (run under the
+// tsan preset), drop accounting when a thread's ring fills, Chrome Trace
+// Event JSON well-formedness, and per-tid begin/end balance.
+//
+// Each capture is scoped by RecorderCapture, which restores the default
+// per-thread capacity and disarms on exit so tests cannot leak arming
+// state into one another.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/minijson.hpp"
+#include "obs/obs.hpp"
+#include "obs/recorder.hpp"
+#include "obs/span.hpp"
+#include "sim/parallel.hpp"
+#include "sim/thread_pool.hpp"
+
+using namespace sre;
+namespace rec = sre::obs::recorder;
+
+namespace {
+
+constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+
+/// Arms a capture for the test body; restores capacity and disarms on exit.
+class RecorderCapture {
+ public:
+  explicit RecorderCapture(std::size_t capacity = kDefaultCapacity) {
+    rec::set_thread_capacity(capacity);
+    rec::start();
+  }
+  ~RecorderCapture() {
+    rec::stop();
+    rec::set_thread_capacity(kDefaultCapacity);
+  }
+};
+
+/// Parses `json` and fails the test on malformed input.
+obs::minijson::Value parse_trace(const std::string& json) {
+  const auto parsed = obs::minijson::parse(json);
+  EXPECT_TRUE(parsed.ok) << "trace JSON must parse: " << parsed.error
+                         << " at byte " << parsed.offset;
+  return parsed.value;
+}
+
+struct TraceShape {
+  std::map<double, std::vector<std::string>> open_by_tid;  ///< post-replay
+  std::map<double, std::size_t> begins_by_tid;
+  std::map<double, std::size_t> ends_by_tid;
+  std::size_t instants = 0;
+  std::set<std::string> thread_names;
+  std::set<std::string> labels;
+  bool events_sorted_per_tid = true;
+  bool balanced() const {
+    for (const auto& [tid, stack] : open_by_tid) {
+      if (!stack.empty()) return false;
+    }
+    for (const auto& [tid, begins] : begins_by_tid) {
+      const auto it = ends_by_tid.find(tid);
+      if (it == ends_by_tid.end() || it->second != begins) return false;
+    }
+    return true;
+  }
+};
+
+/// Replays the traceEvents array, tracking B/E nesting per tid. Uses
+/// EXPECT (not ASSERT) so it can be called from a value-returning helper;
+/// malformed events are reported and skipped.
+TraceShape replay(const obs::minijson::Value& doc) {
+  TraceShape shape;
+  const auto* events = doc.find("traceEvents");
+  EXPECT_NE(events, nullptr);
+  if (events == nullptr) return shape;
+  EXPECT_TRUE(events->is_array());
+  std::map<double, double> last_ts;
+  for (const auto& e : events->array) {
+    const auto* ph = e.find("ph");
+    const auto* tid = e.find("tid");
+    EXPECT_NE(ph, nullptr);
+    EXPECT_NE(tid, nullptr);
+    if (ph == nullptr || tid == nullptr) continue;
+    if (ph->string == "M") {
+      const auto* kind = e.find("name");
+      const auto* args = e.find("args");
+      if (kind != nullptr && kind->string == "thread_name" &&
+          args != nullptr) {
+        if (const auto* name = args->find("name")) {
+          shape.thread_names.insert(name->string);
+        }
+      }
+      continue;
+    }
+    const auto* ts = e.find("ts");
+    EXPECT_TRUE(ts != nullptr && ts->is_number())
+        << "non-metadata events need a numeric ts";
+    if (ts == nullptr || !ts->is_number()) continue;
+    const auto [it, fresh] = last_ts.try_emplace(tid->number, ts->number);
+    if (!fresh) {
+      if (ts->number < it->second) shape.events_sorted_per_tid = false;
+      it->second = ts->number;
+    }
+    if (ph->string == "B") {
+      const auto* name = e.find("name");
+      EXPECT_NE(name, nullptr);
+      shape.labels.insert(name != nullptr ? name->string : "<unnamed>");
+      shape.open_by_tid[tid->number].push_back(
+          name != nullptr ? name->string : "<unnamed>");
+      ++shape.begins_by_tid[tid->number];
+    } else if (ph->string == "E") {
+      auto& stack = shape.open_by_tid[tid->number];
+      EXPECT_FALSE(stack.empty())
+          << "E without matching B on tid " << tid->number;
+      if (!stack.empty()) {
+        // The serializer names E events after the matching B.
+        if (const auto* name = e.find("name")) {
+          EXPECT_EQ(name->string, stack.back());
+        }
+        stack.pop_back();
+      }
+      ++shape.ends_by_tid[tid->number];
+    } else if (ph->string == "I") {
+      ++shape.instants;
+    } else {
+      ADD_FAILURE() << "unexpected phase " << ph->string;
+    }
+  }
+  return shape;
+}
+
+}  // namespace
+
+TEST(RecorderSwitch, DisarmedByDefaultAndNoOpWhenCompiledOut) {
+  EXPECT_FALSE(rec::armed());
+  EXPECT_EQ(rec::emit_begin(1), 0u);
+  if (!obs::compiled_in()) {
+    rec::start();
+    EXPECT_FALSE(rec::armed()) << "compiled-out recorder must not arm";
+    // The empty skeleton must still be valid Chrome trace JSON.
+    const auto doc = parse_trace(rec::trace_json());
+    EXPECT_NE(doc.find("traceEvents"), nullptr);
+    GTEST_SKIP() << "obs compiled out";
+  }
+  rec::start();
+  EXPECT_TRUE(rec::armed());
+  rec::stop();
+  EXPECT_FALSE(rec::armed());
+}
+
+TEST(RecorderCaptureTest, SpansAndInstantsRoundTripThroughChromeTraceJson) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "obs compiled out";
+  obs::ScopedEnable on(true);
+  RecorderCapture capture;
+  rec::set_thread_name("recorder-test-main");
+
+  obs::SpanStats& outer = obs::span_series("test.recorder.outer");
+  obs::SpanStats& inner = obs::span_series("test.recorder.inner");
+  const std::uint32_t marker = rec::intern_label("test.recorder.marker");
+  for (int i = 0; i < 10; ++i) {
+    obs::Span a(outer);
+    rec::emit_instant(marker);
+    obs::Span b(inner);
+  }
+  EXPECT_EQ(rec::dropped_events(), 0u);
+  // 10 iterations x (2 spans -> 4 events + 1 instant).
+  EXPECT_GE(rec::recorded_events(), 50u);
+
+  const auto doc = parse_trace(rec::trace_json());
+  const TraceShape shape = replay(doc);
+  EXPECT_TRUE(shape.balanced());
+  EXPECT_TRUE(shape.events_sorted_per_tid);
+  EXPECT_EQ(shape.instants, 10u);
+  EXPECT_TRUE(shape.labels.count("test.recorder.outer"));
+  EXPECT_TRUE(shape.labels.count("test.recorder.inner"));
+  EXPECT_TRUE(shape.thread_names.count("recorder-test-main"));
+}
+
+TEST(RecorderCaptureTest, EightThreadConcurrentEmitBalancesPerTid) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "obs compiled out";
+  obs::ScopedEnable on(true);
+  RecorderCapture capture;
+
+  obs::SpanStats& series = obs::span_series("test.recorder.race");
+  const std::uint32_t marker = rec::intern_label("test.recorder.race_marker");
+  constexpr unsigned kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&series, marker] {
+      for (int i = 0; i < kPerThread; ++i) {
+        obs::Span span(series);
+        if (i % 16 == 0) rec::emit_instant(marker);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const auto doc = parse_trace(rec::trace_json());
+  const TraceShape shape = replay(doc);
+  EXPECT_TRUE(shape.balanced());
+  EXPECT_TRUE(shape.events_sorted_per_tid);
+  // Every spawned thread recorded its own full lane (default capacity holds
+  // 2 * kPerThread span events plus the instants).
+  std::size_t total_begins = 0;
+  for (const auto& [tid, begins] : shape.begins_by_tid) total_begins += begins;
+  EXPECT_EQ(total_begins, static_cast<std::size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(rec::dropped_events(), 0u);
+}
+
+TEST(RecorderCaptureTest, PoolTasksGetNamedLanesAndTaskBrackets) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "obs compiled out";
+  obs::ScopedEnable on(true);
+  RecorderCapture capture;
+
+  {
+    sim::ThreadPool pool(4);
+    obs::SpanStats& work = obs::span_series("test.recorder.pool_work");
+    sim::parallel_for(pool, 0, 64, [&](std::size_t) { obs::Span span(work); });
+    // The pool joins its workers here; each has named its trace lane by
+    // then (on a loaded host the caller may help-run every task before a
+    // worker is even scheduled, so serializing earlier would race).
+  }
+
+  const auto doc = parse_trace(rec::trace_json());
+  const TraceShape shape = replay(doc);
+  EXPECT_TRUE(shape.balanced());
+  EXPECT_TRUE(shape.labels.count("sim.pool.task"));
+  EXPECT_TRUE(shape.labels.count("test.recorder.pool_work"));
+  bool worker_named = false;
+  for (const auto& name : shape.thread_names) {
+    if (name.rfind("sim.pool.worker-", 0) == 0) worker_named = true;
+  }
+  EXPECT_TRUE(worker_named) << "pool workers must label their trace lanes";
+}
+
+TEST(RecorderCaptureTest, FullRingDropsNewEventsAndCountsThem) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "obs compiled out";
+  obs::ScopedEnable on(true);
+  constexpr std::size_t kCapacity = 64;
+  constexpr int kInstants = 500;
+  RecorderCapture capture(kCapacity);
+
+  const std::uint32_t marker = rec::intern_label("test.recorder.flood");
+  std::uint64_t recorded = 0, dropped = 0;
+  // A fresh thread adopts the shrunken capacity on its first event.
+  std::thread flooder([&] {
+    for (int i = 0; i < kInstants; ++i) rec::emit_instant(marker);
+    recorded = rec::recorded_events();
+    dropped = rec::dropped_events();
+  });
+  flooder.join();
+
+  EXPECT_EQ(recorded, kCapacity);
+  EXPECT_EQ(dropped, kInstants - kCapacity);
+  const TraceShape shape = replay(parse_trace(rec::trace_json()));
+  EXPECT_EQ(shape.instants, kCapacity);
+}
+
+TEST(RecorderCaptureTest, SpanBeginReservesItsEndSoWrapStaysBalanced) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "obs compiled out";
+  obs::ScopedEnable on(true);
+  constexpr std::size_t kCapacity = 32;
+  RecorderCapture capture(kCapacity);
+
+  obs::SpanStats& series = obs::span_series("test.recorder.wrap_span");
+  std::thread flooder([&series] {
+    for (int i = 0; i < 200; ++i) {
+      obs::Span outer(series);
+      obs::Span inner(series);
+    }
+  });
+  flooder.join();
+
+  EXPECT_GT(rec::dropped_events(), 0u);
+  const TraceShape shape = replay(parse_trace(rec::trace_json()));
+  EXPECT_TRUE(shape.balanced())
+      << "a dropped begin must also suppress its end";
+}
+
+TEST(RecorderCaptureTest, SpanOpenAcrossStopIsClosedSynthetically) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "obs compiled out";
+  obs::ScopedEnable on(true);
+  RecorderCapture capture;
+  obs::SpanStats& series = obs::span_series("test.recorder.open_at_stop");
+  {
+    obs::Span span(series);
+    rec::stop();
+    // Serialize while the span is still open: the serializer must emit a
+    // synthetic E so the stream balances.
+    const TraceShape shape = replay(parse_trace(rec::trace_json()));
+    EXPECT_TRUE(shape.balanced());
+    EXPECT_TRUE(shape.labels.count("test.recorder.open_at_stop"));
+  }
+}
+
+TEST(RecorderCaptureTest, TokenFromPreviousCaptureIsVoid) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "obs compiled out";
+  obs::ScopedEnable on(true);
+  rec::set_thread_capacity(kDefaultCapacity);
+  rec::start();
+  const std::uint32_t label = rec::intern_label("test.recorder.stale");
+  const std::uint64_t token = rec::emit_begin(label);
+  EXPECT_NE(token, 0u);
+  rec::stop();
+  rec::start();  // new capture epoch
+  rec::emit_end(token);  // must not inject an unmatched E
+  const TraceShape shape = replay(parse_trace(rec::trace_json()));
+  EXPECT_TRUE(shape.balanced());
+  EXPECT_EQ(shape.begins_by_tid.size(), 0u);
+  rec::stop();
+}
+
+TEST(RecorderCaptureTest, StopAndWriteProducesAParsableFile) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "obs compiled out";
+  obs::ScopedEnable on(true);
+  RecorderCapture capture;
+  obs::SpanStats& series = obs::span_series("test.recorder.file");
+  { obs::Span span(series); }
+
+  const std::string path = ::testing::TempDir() + "sre_recorder_trace.json";
+  ASSERT_TRUE(rec::stop_and_write(path));
+  EXPECT_FALSE(rec::armed());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  const TraceShape shape = replay(parse_trace(text.str()));
+  EXPECT_TRUE(shape.balanced());
+  std::remove(path.c_str());
+}
+
+TEST(RecorderOverhead, DisarmedSpansDoNotRecordEvents) {
+  if (!obs::compiled_in()) GTEST_SKIP() << "obs compiled out";
+  obs::ScopedEnable on(true);
+  // No capture armed: spans must aggregate into SpanStats as usual but add
+  // nothing to the recorder.
+  ASSERT_FALSE(rec::armed());
+  obs::SpanStats& series = obs::span_series("test.recorder.disarmed");
+  const std::uint64_t count0 = series.count();
+  for (int i = 0; i < 100; ++i) obs::Span span(series);
+  EXPECT_EQ(series.count(), count0 + 100);
+}

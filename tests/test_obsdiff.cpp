@@ -1,0 +1,254 @@
+// The obsdiff engine (src/obs/diff.*) and its minijson reader: glob
+// matching, time-like/count-like key classification, document flattening,
+// and the compare() gate that tools/obsdiff.cpp wraps. Runs in every
+// configuration — diff/minijson are offline analysis code and are not
+// compiled out under STOCHRES_OBS_DISABLE.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "obs/diff.hpp"
+#include "obs/minijson.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
+
+namespace mj = sre::obs::minijson;
+namespace od = sre::obs::diff;
+
+namespace {
+
+std::map<std::string, double> flatten_text(const std::string& json) {
+  const auto parsed = mj::parse(json);
+  EXPECT_TRUE(parsed.ok) << parsed.error << " at byte " << parsed.offset;
+  return od::flatten(parsed.value);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- minijson
+
+TEST(MiniJson, ParsesScalarsStringsAndNesting) {
+  const auto r = mj::parse(
+      R"({"a": 1.5, "b": [true, null, "x\n\"y\""], "c": {"d": -2e3}})");
+  ASSERT_TRUE(r.ok) << r.error;
+  const auto* a = r.value.find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_DOUBLE_EQ(a->number, 1.5);
+  const auto* b = r.value.find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(b->array.size(), 3u);
+  EXPECT_TRUE(b->array[0].boolean);
+  EXPECT_EQ(b->array[1].kind, mj::Value::Kind::kNull);
+  EXPECT_EQ(b->array[2].string, "x\n\"y\"");
+  const auto* d = r.value.find("c")->find("d");
+  ASSERT_NE(d, nullptr);
+  EXPECT_DOUBLE_EQ(d->number, -2000.0);
+}
+
+TEST(MiniJson, ParsesUnicodeEscapes) {
+  // é is e-acute: two bytes 0xC3 0xA9 in UTF-8.
+  const auto r = mj::parse(R"({"s": "\u00e9A"})");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value.find("s")->string, "\xc3\xa9" "A");
+}
+
+TEST(MiniJson, RejectsMalformedInput) {
+  EXPECT_FALSE(mj::parse("{").ok);
+  EXPECT_FALSE(mj::parse("{\"a\": }").ok);
+  EXPECT_FALSE(mj::parse("[1, 2,]").ok);
+  EXPECT_FALSE(mj::parse("{} trailing").ok);
+  EXPECT_FALSE(mj::parse("").ok);
+  // Depth cap: 70 nested arrays exceeds the 64-level limit.
+  std::string deep(70, '[');
+  deep += std::string(70, ']');
+  EXPECT_FALSE(mj::parse(deep).ok);
+}
+
+TEST(MiniJson, RoundTripsReportJson) {
+  // Whatever report_json() emits must be readable by our own parser,
+  // including the "inf"/"nan" string spellings for non-finite doubles.
+  const auto r = mj::parse(sre::obs::report_json());
+  ASSERT_TRUE(r.ok) << r.error << " at byte " << r.offset;
+  EXPECT_NE(r.value.find("counters"), nullptr);
+  EXPECT_NE(r.value.find("spans"), nullptr);
+  EXPECT_NE(r.value.find("histograms"), nullptr);
+}
+
+// -------------------------------------------------------------- glob match
+
+TEST(ObsDiffGlob, StarMatchesAnyRunIncludingDots) {
+  EXPECT_TRUE(od::glob_match("*", "anything.at.all"));
+  EXPECT_TRUE(od::glob_match("counters.sim.pool.*", "counters.sim.pool.steals"));
+  EXPECT_TRUE(od::glob_match("spans.*.total_ns", "spans.core.dp.total_ns"));
+  EXPECT_TRUE(od::glob_match("a*c", "ac"));
+  EXPECT_FALSE(od::glob_match("counters.sim.pool.*", "counters.sim.tasks"));
+  EXPECT_FALSE(od::glob_match("a*c", "ab"));
+  EXPECT_FALSE(od::glob_match("", "x"));
+  EXPECT_TRUE(od::glob_match("", ""));
+  // Backtracking across multiple stars.
+  EXPECT_TRUE(od::glob_match("*.p9*", "histograms.wall.p95"));
+}
+
+// ---------------------------------------------------------- classification
+
+TEST(ObsDiffClassify, TimeLikeKeysGetTheTimeBand) {
+  EXPECT_TRUE(od::is_time_like("spans.core.dp.table_fill.total_ns"));
+  EXPECT_TRUE(od::is_time_like("spans.core.dp.table_fill.max_ns"));
+  EXPECT_TRUE(od::is_time_like("histograms.sim.sweep.scenario_seconds.sum"));
+  EXPECT_TRUE(od::is_time_like("histograms.sim.sweep.scenario_seconds.p95"));
+  EXPECT_TRUE(od::is_time_like("sweep.scenario_wall_ns.p50"));
+  EXPECT_TRUE(od::is_time_like("speedup_vs_serial"));
+  EXPECT_TRUE(od::is_time_like("gauges.sim.pool.queue_depth"));
+}
+
+TEST(ObsDiffClassify, CountLikeKeysStayExact) {
+  EXPECT_FALSE(od::is_time_like("counters.sim.sweep.scenarios"));
+  EXPECT_FALSE(od::is_time_like("spans.core.dp.table_fill.count"));
+  EXPECT_FALSE(od::is_time_like("histograms.scenario_seconds.count"));
+  EXPECT_FALSE(od::is_time_like("sweep.identical_to_serial"));
+}
+
+// ------------------------------------------------------------------ flatten
+
+TEST(ObsDiffFlatten, JoinsNestedKeysAndSkipsNonNumerics) {
+  const auto flat = flatten_text(R"({
+    "counters": {"sweep.scenarios": 12},
+    "spans": {"dp": {"count": 3, "total_ns": 4500}},
+    "label": "text is skipped",
+    "buckets": [1, 2, 3],
+    "flag": true,
+    "nothing": null
+  })");
+  EXPECT_EQ(flat.size(), 4u);
+  EXPECT_DOUBLE_EQ(flat.at("counters.sweep.scenarios"), 12.0);
+  EXPECT_DOUBLE_EQ(flat.at("spans.dp.count"), 3.0);
+  EXPECT_DOUBLE_EQ(flat.at("spans.dp.total_ns"), 4500.0);
+  EXPECT_DOUBLE_EQ(flat.at("flag"), 1.0);
+  EXPECT_EQ(flat.count("label"), 0u);
+  EXPECT_EQ(flat.count("buckets"), 0u);
+  EXPECT_EQ(flat.count("nothing"), 0u);
+}
+
+// ------------------------------------------------------------------ compare
+
+namespace {
+
+const std::map<std::string, double> kBaseline = {
+    {"counters.sweep.scenarios", 12.0},
+    {"spans.dp.count", 3.0},
+    {"spans.dp.total_ns", 1000.0},
+    {"spans.dp.max_ns", 400.0},
+};
+
+}  // namespace
+
+TEST(ObsDiffCompare, IdenticalDocumentsPass) {
+  const auto result = od::compare(kBaseline, kBaseline, od::Options{});
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.keys_compared, kBaseline.size());
+  EXPECT_NE(od::describe(result).find("OK"), std::string::npos);
+}
+
+TEST(ObsDiffCompare, TimeGrowthWithinBandPasses) {
+  auto current = kBaseline;
+  current["spans.dp.total_ns"] = 1400.0;  // +40% < default +50% band
+  const auto result = od::compare(kBaseline, current, od::Options{});
+  EXPECT_TRUE(result.ok()) << od::describe(result);
+}
+
+TEST(ObsDiffCompare, TimeGrowthBeyondBandIsARegression) {
+  auto current = kBaseline;
+  current["spans.dp.total_ns"] = 2000.0;  // 2x: the CI inflation self-check
+  const auto result = od::compare(kBaseline, current, od::Options{});
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations[0].key, "spans.dp.total_ns");
+  EXPECT_EQ(result.violations[0].kind, od::Finding::Kind::kValueRegression);
+  EXPECT_NE(od::describe(result).find("REGRESSION"), std::string::npos);
+}
+
+TEST(ObsDiffCompare, TimeShrinkIsAnImprovementNotARegression) {
+  auto current = kBaseline;
+  current["spans.dp.total_ns"] = 10.0;  // 100x faster: fine
+  const auto result = od::compare(kBaseline, current, od::Options{});
+  EXPECT_TRUE(result.ok()) << od::describe(result);
+}
+
+TEST(ObsDiffCompare, CounterDriftIsExactByDefault) {
+  auto current = kBaseline;
+  current["counters.sweep.scenarios"] = 13.0;
+  const auto result = od::compare(kBaseline, current, od::Options{});
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations[0].key, "counters.sweep.scenarios");
+  // Counters are two-sided: shrinking is just as much a behavior change.
+  current["counters.sweep.scenarios"] = 11.0;
+  EXPECT_FALSE(od::compare(kBaseline, current, od::Options{}).ok());
+}
+
+TEST(ObsDiffCompare, MissingBaselineKeyFailsUnlessAllowed) {
+  auto current = kBaseline;
+  current.erase("spans.dp.max_ns");
+  od::Options opts;
+  const auto strict = od::compare(kBaseline, current, opts);
+  ASSERT_EQ(strict.violations.size(), 1u);
+  EXPECT_EQ(strict.violations[0].kind, od::Finding::Kind::kMissingKey);
+  EXPECT_NE(od::describe(strict).find("MISSING"), std::string::npos);
+
+  opts.fail_on_missing = false;
+  const auto lenient = od::compare(kBaseline, current, opts);
+  EXPECT_TRUE(lenient.ok());
+  EXPECT_FALSE(lenient.notes.empty());
+}
+
+TEST(ObsDiffCompare, ExtraCurrentKeysAreNotesOnly) {
+  auto current = kBaseline;
+  current["spans.new_phase.total_ns"] = 5.0;
+  const auto result = od::compare(kBaseline, current, od::Options{});
+  EXPECT_TRUE(result.ok());
+  EXPECT_FALSE(result.notes.empty());
+}
+
+TEST(ObsDiffCompare, FirstMatchingRuleWins) {
+  auto current = kBaseline;
+  current["spans.dp.total_ns"] = 5000.0;  // 5x
+  od::Options opts;
+  // Specific widen first, then a tight catch-all: the widen must win.
+  opts.rules.push_back({"spans.dp.total_ns", 10.0});
+  opts.rules.push_back({"spans.*", 0.0});
+  EXPECT_TRUE(od::compare(kBaseline, current, opts).ok());
+  // Reversed order: the tight catch-all matches first and fails the key.
+  std::swap(opts.rules[0], opts.rules[1]);
+  EXPECT_FALSE(od::compare(kBaseline, current, opts).ok());
+}
+
+TEST(ObsDiffCompare, IgnoreRuleDropsKeyEntirely) {
+  auto current = kBaseline;
+  current["counters.sweep.scenarios"] = 999.0;
+  od::Options opts;
+  opts.rules.push_back({"counters.*", od::kIgnore});
+  const auto result = od::compare(kBaseline, current, opts);
+  EXPECT_TRUE(result.ok()) << od::describe(result);
+  // Ignored keys do not count as compared.
+  EXPECT_EQ(result.keys_compared, kBaseline.size() - 1);
+}
+
+TEST(ObsDiffCompare, NonFiniteMismatchIsARegression) {
+  std::map<std::string, double> baseline = {{"gauges.rate", 2.0}};
+  std::map<std::string, double> current = {
+      {"gauges.rate", std::nan("")}};
+  EXPECT_FALSE(od::compare(baseline, current, od::Options{}).ok());
+  // Both non-finite in the same way: not a regression.
+  baseline["gauges.rate"] = std::nan("");
+  EXPECT_TRUE(od::compare(baseline, current, od::Options{}).ok());
+}
+
+TEST(ObsDiffCompare, ReportJsonSelfCompareIsClean) {
+  // A live report diffed against itself must always pass, whatever
+  // instruments earlier tests in this binary registered.
+  const auto flat = flatten_text(sre::obs::report_json());
+  const auto result = od::compare(flat, flat, od::Options{});
+  EXPECT_TRUE(result.ok()) << od::describe(result);
+  EXPECT_EQ(result.keys_compared, flat.size());
+}

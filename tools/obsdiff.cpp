@@ -1,0 +1,132 @@
+// obsdiff — gate perf/metrics regressions against a committed baseline.
+//
+//   obsdiff [options] baseline.json current.json
+//
+// Compares two metrics documents (BENCH_*_metrics.json sidecars or
+// BENCH_sweep.json) flattened to dotted numeric keys. Count-like keys must
+// match exactly, time-like keys may grow by at most the --time-tol band;
+// see src/obs/diff.hpp for the classification. Exit codes: 0 within
+// tolerance, 1 regression(s), 2 usage / I/O / parse error.
+//
+// Options:
+//   --time-tol F      relative band for time-like keys (default 0.5 = +50%)
+//   --counter-tol F   relative band for count-like keys (default 0 = exact)
+//   --tol GLOB=F      per-key override, first match wins ('*' wildcard)
+//   --ignore GLOB     drop matching keys from the comparison
+//   --allow-missing   baseline keys absent from current are notes, not errors
+//   --quiet           print nothing on success
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/diff.hpp"
+#include "obs/minijson.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: obsdiff [--time-tol F] [--counter-tol F] [--tol GLOB=F]\n"
+    "               [--ignore GLOB] [--allow-missing] [--quiet]\n"
+    "               baseline.json current.json\n";
+
+bool load_flat(const std::string& path,
+               std::map<std::string, double>& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "obsdiff: cannot open " << path << "\n";
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const auto parsed = sre::obs::minijson::parse(text.str());
+  if (!parsed.ok) {
+    std::cerr << "obsdiff: parse error in " << path << " at byte "
+              << parsed.offset << ": " << parsed.error << "\n";
+    return false;
+  }
+  out = sre::obs::diff::flatten(parsed.value);
+  return true;
+}
+
+bool parse_double(const std::string& text, double& out) {
+  try {
+    std::size_t used = 0;
+    out = std::stod(text, &used);
+    return used == text.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sre::obs::diff::Options opts;
+  bool quiet = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "obsdiff: " << flag << " needs an argument\n" << kUsage;
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--time-tol") {
+      const char* v = next("--time-tol");
+      if (v == nullptr || !parse_double(v, opts.time_tol)) return 2;
+    } else if (arg == "--counter-tol") {
+      const char* v = next("--counter-tol");
+      if (v == nullptr || !parse_double(v, opts.counter_tol)) return 2;
+    } else if (arg == "--tol") {
+      const char* v = next("--tol");
+      if (v == nullptr) return 2;
+      const std::string spec = v;
+      const auto eq = spec.rfind('=');
+      double tol = 0.0;
+      if (eq == std::string::npos || eq == 0 ||
+          !parse_double(spec.substr(eq + 1), tol)) {
+        std::cerr << "obsdiff: --tol expects GLOB=FLOAT, got '" << spec
+                  << "'\n";
+        return 2;
+      }
+      opts.rules.push_back({spec.substr(0, eq), tol});
+    } else if (arg == "--ignore") {
+      const char* v = next("--ignore");
+      if (v == nullptr) return 2;
+      opts.rules.push_back({v, sre::obs::diff::kIgnore});
+    } else if (arg == "--allow-missing") {
+      opts.fail_on_missing = false;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "obsdiff: unknown option '" << arg << "'\n" << kUsage;
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    std::cerr << kUsage;
+    return 2;
+  }
+
+  std::map<std::string, double> baseline, current;
+  if (!load_flat(paths[0], baseline) || !load_flat(paths[1], current)) {
+    return 2;
+  }
+
+  const auto result = sre::obs::diff::compare(baseline, current, opts);
+  if (!result.ok() || !quiet) {
+    (result.ok() ? std::cout : std::cerr)
+        << sre::obs::diff::describe(result);
+  }
+  return result.ok() ? 0 : 1;
+}
