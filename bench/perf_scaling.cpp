@@ -12,6 +12,16 @@
 // trajectory can be tracked across PRs. Set SRE_BENCH_JSON to change the
 // output path, SRE_SKIP_SWEEP=1 to skip straight to the benchmarks,
 // SRE_OBS=0 to suppress metrics collection and the sidecar.
+//
+// SRE_CHAOS=1 switches to the chaos-drill mode (no microbenchmarks): the
+// campaign runs fault-free, then again under a seeded sim::FaultPlan with
+// resilient execution, verifies every non-faulted outcome is byte-identical
+// to the clean run, and writes BENCH_chaos.json plus a metrics sidecar with
+// the failure counters. Exit code 3 — and only 3 — when the degradation
+// budget (SRE_CHAOS_BUDGET, default 0.5) is exceeded or a surviving outcome
+// drifted; a within-budget drill exits 0. The injected fault mix comes from
+// the SRE_FAULT_* environment knobs (FaultSpec::from_env), defaulting to a
+// 10% solver-exception rate when none are set.
 
 #include <benchmark/benchmark.h>
 
@@ -234,9 +244,96 @@ void run_sweep_benchmark() {
             << (out.fail() ? "(write failed: " + path + ")" : path) << "\n";
 }
 
+/// SRE_CHAOS=1: the chaos drill. Returns the process exit code.
+int run_chaos_drill() {
+  const bench::BenchConfig cfg = bench::BenchConfig::from_env();
+  const auto scenarios = sweep_scenarios(cfg);
+
+  core::EvaluationOptions eval;
+  eval.mc.samples = cfg.mc_samples;
+  eval.mc.seed = cfg.seed;
+  eval.mc.parallel = false;
+
+  // Fault-free reference, then the same campaign under injection.
+  const auto clean = core::run_scenario_sweep(scenarios, eval, {});
+
+  sim::FaultSpec spec = sim::FaultSpec::from_env();
+  if (!spec.enabled()) {
+    spec.seed = cfg.seed;
+    spec.solver_exception_prob = 0.1;
+  }
+  core::ResilientSweepOptions res;
+  res.faults = sim::FaultPlan(spec);
+  const char* budget_env = std::getenv("SRE_CHAOS_BUDGET");
+  res.resilience.failure_budget =
+      budget_env != nullptr ? std::atof(budget_env) : 0.5;
+  const auto chaos =
+      core::run_scenario_sweep_resilient(scenarios, eval, {}, res);
+
+  // Every scenario the drill did not kill must be byte-identical to the
+  // fault-free run: injection happens before evaluation, so survivors see
+  // exactly the fault-free computation.
+  bool partial_identical = chaos.outcomes.size() == clean.outcomes.size();
+  std::size_t survivors = 0;
+  for (std::size_t i = 0; partial_identical && i < chaos.outcomes.size();
+       ++i) {
+    if (!chaos.outcomes[i].ok) continue;
+    ++survivors;
+    const auto& x = chaos.outcomes[i].eval;
+    const auto& y = clean.outcomes[i].eval;
+    if (x.expected_cost_mc != y.expected_cost_mc ||
+        x.expected_cost_analytic != y.expected_cost_analytic ||
+        x.t1 != y.t1 || x.sequence.values() != y.sequence.values()) {
+      partial_identical = false;
+      std::cerr << "perf_scaling: chaos survivor " << i
+                << " drifted from the fault-free run\n";
+    }
+  }
+
+  const auto& report = chaos.failures;
+  const bool failed = report.budget_exceeded || !partial_identical;
+
+  const char* path_env = std::getenv("SRE_BENCH_JSON");
+  const std::string path = path_env != nullptr ? path_env : "BENCH_chaos.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "perf_scaling: cannot write " << path << "\n";
+  }
+  out << "{\n"
+      << "  \"scenarios\": " << report.scenarios << ",\n"
+      << "  \"survivors\": " << survivors << ",\n"
+      << "  \"failed\": " << report.failed << ",\n"
+      << "  \"retries\": " << report.retries << ",\n"
+      << "  \"failure_budget\": " << bench::fmt(report.failure_budget, 4)
+      << ",\n"
+      << "  \"budget_exceeded\": " << (report.budget_exceeded ? "true" : "false")
+      << ",\n"
+      << "  \"partial_identical_to_clean\": "
+      << (partial_identical ? "true" : "false") << ",\n"
+      << "  \"failure_report\": " << report.to_json() << "\n"
+      << "}\n";
+  out.close();
+
+  std::cout << "Chaos drill: " << report.scenarios << " scenarios, "
+            << report.failed << " failed (budget "
+            << bench::fmt(report.failure_budget, 2) << " -> "
+            << (report.budget_exceeded ? "EXCEEDED" : "ok") << "), "
+            << report.retries << " retries, survivors identical="
+            << (partial_identical ? "true" : "false") << " -> "
+            << (out.fail() ? "(write failed: " + path + ")" : path) << "\n";
+  return failed ? 3 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const char* chaos = std::getenv("SRE_CHAOS");
+  if (chaos != nullptr && std::string(chaos) == "1") {
+    const int rc = run_chaos_drill();
+    bench::write_metrics_sidecar("chaos");
+    bench::write_trace_sidecar();
+    return rc;
+  }
   const char* skip = std::getenv("SRE_SKIP_SWEEP");
   if (skip == nullptr || std::string(skip) != "1") {
     run_sweep_benchmark();

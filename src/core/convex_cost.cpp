@@ -5,20 +5,26 @@
 #include <limits>
 #include <sstream>
 
+#include "stats/error.hpp"
 #include "stats/root_finding.hpp"
 #include "stats/summary.hpp"
 
 namespace sre::core {
 
 double ConvexCostFunction::inverse(double y) const {
-  // G is strictly increasing; bracket from 0 upward, then Brent.
+  // G is strictly increasing; bracket from 0 upward, then Brent. Failures
+  // surface as typed kNoConvergence errors, never NaN: a NaN returned here
+  // used to flow silently into reservation values downstream.
   const auto f = [this, y](double x) { return value(x) - y; };
   if (f(0.0) >= 0.0) return 0.0;
   const auto bracket = stats::bracket_upward(f, 0.0, 1.0);
-  if (!bracket) return std::numeric_limits<double>::quiet_NaN();
+  if (!bracket) {
+    throw ScenarioError(ErrorCode::kNoConvergence,
+                        "ConvexCostFunction.inverse: no upward bracket for y=" +
+                            std::to_string(y));
+  }
   const auto root = stats::brent(f, bracket->first, bracket->second);
-  if (!root) return std::numeric_limits<double>::quiet_NaN();
-  return root->x;
+  return stats::require_converged(root, "ConvexCostFunction.inverse").x;
 }
 
 AffineCost::AffineCost(double alpha, double gamma)
@@ -43,7 +49,11 @@ double QuadraticCost::derivative(double x) const { return 2.0 * a_ * x + b_; }
 double QuadraticCost::inverse(double y) const {
   if (a_ == 0.0) return (y - c_) / b_;
   const double disc = b_ * b_ - 4.0 * a_ * (c_ - y);
-  if (disc < 0.0) return std::numeric_limits<double>::quiet_NaN();
+  if (disc < 0.0) {
+    throw ScenarioError(ErrorCode::kDomainError,
+                        "QuadraticCost.inverse: " + std::to_string(y) +
+                            " is below the minimum of the cost function");
+  }
   return (-b_ + std::sqrt(disc)) / (2.0 * a_);
 }
 std::string QuadraticCost::describe() const {
@@ -126,7 +136,16 @@ RecurrenceResult convex_sequence_from_t1(const dist::Distribution& d,
     }
     const double rhs = g.derivative(t_prev) * d.sf(t_prev2) / density +
                        beta * (sf_prev / density - t_prev);
-    const double next = g.inverse(rhs);
+    double next;
+    try {
+      next = g.inverse(rhs);
+    } catch (const ScenarioError&) {
+      // A non-invertible rhs ends this candidate sequence; the t1 scan in
+      // convex_brute_force treats it like any other recurrence violation.
+      out.sequence = ReservationSequence(std::move(values));
+      out.violation_index = values.size();
+      return out;
+    }
     if (!(next > t_prev) || !std::isfinite(next) || next > opts.value_cap) {
       out.sequence = ReservationSequence(std::move(values));
       out.violation_index = values.size();

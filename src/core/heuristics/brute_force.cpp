@@ -98,7 +98,15 @@ std::string BruteForce::name() const { return "Brute-Force"; }
 
 ReservationSequence BruteForce::generate(const dist::Distribution& d,
                                          const CostModel& m) const {
-  BruteForceOutcome out = brute_force_search(d, m, opts_);
+  return generate(d, m, GenerateContext{});
+}
+
+ReservationSequence BruteForce::generate(const dist::Distribution& d,
+                                         const CostModel& m,
+                                         const GenerateContext& ctx) const {
+  BruteForceOptions opts = opts_;
+  opts.recurrence.cancel = ctx.cancel;
+  BruteForceOutcome out = brute_force_search(d, m, opts);
   if (out.found) return std::move(out.best_sequence);
   // Degenerate fallback (no valid candidate on the grid): cover the
   // distribution by doubling from its mean.

@@ -62,6 +62,11 @@ class BruteForce final : public Heuristic {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] ReservationSequence generate(const dist::Distribution& d,
                                              const CostModel& m) const override;
+  /// Context-aware: threads ctx.cancel into the per-candidate recurrence so
+  /// a scenario deadline can interrupt the t1 grid scan.
+  [[nodiscard]] ReservationSequence generate(
+      const dist::Distribution& d, const CostModel& m,
+      const GenerateContext& ctx) const override;
   [[nodiscard]] const BruteForceOptions& options() const noexcept {
     return opts_;
   }

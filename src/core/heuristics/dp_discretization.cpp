@@ -9,7 +9,8 @@
 namespace sre::core {
 
 DpResult dp_optimal_sequence(const dist::DiscreteDistribution& d,
-                             const CostModel& m) {
+                             const CostModel& m,
+                             const sim::CancelToken& cancel) {
   assert(m.valid());
   static obs::SpanStats& fill_span = obs::span_series("core.dp.table_fill");
   obs::Span span(fill_span);
@@ -35,6 +36,7 @@ DpResult dp_optimal_sequence(const dist::DiscreteDistribution& d,
   std::vector<double> E(n + 1, 0.0);
   std::vector<std::size_t> choice(n, n);
   for (std::size_t i = n; i-- > 0;) {
+    if ((i & 63u) == 0u) cancel.check("core.dp.table_fill");
     if (S[i] <= 0.0) {
       // No mass at or above v_i: never reached with positive probability.
       E[i] = 0.0;
@@ -103,7 +105,7 @@ ReservationSequence DiscretizedDp::generate(const dist::Distribution& d,
     tab = ctx.cdf_cache->table(opts_.n, opts_.epsilon);
   }
   const dist::DiscreteDistribution disc = sim::discretize(d, opts_, tab.get());
-  DpResult dp = dp_optimal_sequence(disc, m);
+  DpResult dp = dp_optimal_sequence(disc, m, ctx.cancel);
   // Tail extension for unbounded laws: double past v_n until covered.
   const dist::Support s = d.support();
   std::vector<double> values = dp.sequence.values();

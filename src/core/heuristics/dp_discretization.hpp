@@ -22,8 +22,11 @@ struct DpResult {
   double expected_cost = 0.0;
 };
 
+/// `cancel` is polled every 64 rows of the O(n^2) table fill; an expired
+/// deadline unwinds with ScenarioError(kTimeout).
 DpResult dp_optimal_sequence(const dist::DiscreteDistribution& d,
-                             const CostModel& m);
+                             const CostModel& m,
+                             const sim::CancelToken& cancel = {});
 
 /// Heuristic adapter: discretize a continuous law, run the DP, extend the
 /// tail by doubling past v_n for unbounded support (Section 4.2.2 notes that

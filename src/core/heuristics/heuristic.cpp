@@ -35,9 +35,11 @@ HeuristicEvaluation evaluate_heuristic(const Heuristic& h,
   out.sequence = h.generate(d, m, ctx);
   out.t1 = out.sequence.first();
 
+  sim::MonteCarloOptions mc_opts = opts.mc;
+  if (!mc_opts.cancel.armed()) mc_opts.cancel = ctx.cancel;
   const sim::MonteCarloResult mc = [&] {
     obs::Span inner(mc_span);
-    return expected_cost_monte_carlo(out.sequence, d, m, opts.mc);
+    return expected_cost_monte_carlo(out.sequence, d, m, mc_opts);
   }();
   out.expected_cost_mc = mc.mean;
   out.mc_std_error = mc.std_error;

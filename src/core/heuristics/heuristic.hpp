@@ -12,6 +12,7 @@
 #include "core/omniscient.hpp"
 #include "core/sequence.hpp"
 #include "dist/distribution.hpp"
+#include "sim/cancel.hpp"
 #include "sim/monte_carlo.hpp"
 
 namespace sre::dist {
@@ -29,6 +30,11 @@ struct GenerateContext {
   /// heuristics ignore it when it refers to a different law. nullptr
   /// disables caching.
   const dist::CdfCache* cdf_cache = nullptr;
+  /// Cooperative cancellation/deadline token. Heuristics with long inner
+  /// loops (DP table fills, the Eq. 11 recurrence, brute-force t1 grids)
+  /// poll it on a ~64-iteration stride and unwind with a typed
+  /// ScenarioError; the default inert token makes the checks free.
+  sim::CancelToken cancel{};
 };
 
 class Heuristic {

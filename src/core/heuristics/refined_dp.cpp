@@ -40,16 +40,18 @@ ReservationSequence RefinedDp::generate(const dist::Distribution& d,
 
   static obs::Counter& objective_evals =
       obs::counter("core.refined_dp.objective_evals");
+  RecurrenceOptions rec_opts;
+  rec_opts.cancel = ctx.cancel;
   const auto objective = [&](double candidate) {
     objective_evals.add();
-    const RecurrenceResult rec = sequence_from_t1(d, m, candidate);
+    const RecurrenceResult rec = sequence_from_t1(d, m, candidate, rec_opts);
     if (!rec.valid) return std::numeric_limits<double>::infinity();
     return expected_cost_analytic(rec.sequence, d, m);
   };
   const stats::MinimizeResult refined =
       stats::grid_then_golden(objective, lo, hi, opts_.scan_points, 1e-10);
   if (std::isfinite(refined.fx) && refined.fx < best_cost) {
-    const RecurrenceResult rec = sequence_from_t1(d, m, refined.x);
+    const RecurrenceResult rec = sequence_from_t1(d, m, refined.x, rec_opts);
     if (rec.valid) {
       best = rec.sequence;
       best_cost = refined.fx;

@@ -34,6 +34,9 @@ RecurrenceResult sequence_from_t1_impl(const dist::Distribution& d,
   }
 
   while (values.size() < opts.max_length) {
+    // Strided poll: the deadline check reads the steady clock, so once per
+    // 64 elements bounds the overhead while keeping timeouts responsive.
+    if ((values.size() & 63u) == 0u) opts.cancel.check("core.recurrence");
     const double sf_prev = d.sf(t_prev);
     if (!sup.bounded() && sf_prev <= opts.coverage_sf) break;  // covered
     const double density = d.pdf(t_prev);

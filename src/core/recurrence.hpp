@@ -17,6 +17,7 @@
 #include "core/cost_model.hpp"
 #include "core/sequence.hpp"
 #include "dist/distribution.hpp"
+#include "sim/cancel.hpp"
 
 namespace sre::core {
 
@@ -28,6 +29,8 @@ struct RecurrenceOptions {
   double coverage_sf = 1e-12;
   /// Abort: an element beyond this is treated as numerically divergent.
   double value_cap = 1e18;
+  /// Cooperative cancellation/deadline token, polled every 64 elements.
+  sim::CancelToken cancel{};
 };
 
 struct RecurrenceResult {

@@ -21,43 +21,96 @@ std::vector<SweepScenario> make_scenario_grid(
   return grid;
 }
 
-ScenarioSweepReport run_scenario_sweep(
-    const std::vector<SweepScenario>& scenarios, const EvaluationOptions& eval,
-    const sim::SweepOptions& opts) {
-  // One CdfCache per distinct distribution instance, created up front so
-  // workers only ever read the map. The caches own their distribution, so
-  // pointer keys cannot dangle or alias.
-  std::map<const dist::Distribution*, std::unique_ptr<dist::CdfCache>> caches;
+namespace {
+
+using CacheMap =
+    std::map<const dist::Distribution*, std::unique_ptr<dist::CdfCache>>;
+
+// One CdfCache per distinct distribution instance, created up front so
+// workers only ever read the map. The caches own their distribution, so
+// pointer keys cannot dangle or alias.
+CacheMap build_caches(const std::vector<SweepScenario>& scenarios) {
+  CacheMap caches;
   for (const auto& sc : scenarios) {
     auto& slot = caches[sc.dist.get()];
     if (!slot) slot = std::make_unique<dist::CdfCache>(sc.dist);
   }
+  return caches;
+}
+
+ScenarioOutcome run_one_scenario(const SweepScenario& sc,
+                                 const EvaluationOptions& eval,
+                                 const CacheMap& caches,
+                                 sim::CancelToken cancel) {
+  GenerateContext ctx;
+  ctx.cdf_cache = caches.at(sc.dist.get()).get();
+  ctx.cancel = std::move(cancel);
+  ScenarioOutcome out;
+  out.dist_label = sc.dist_label;
+  out.model_label = sc.model_label;
+  out.solver = sc.solver->name();
+  out.eval = evaluate_heuristic(*sc.solver, *sc.dist, sc.model, eval, ctx);
+  return out;
+}
+
+void fold_cache_counters(const CacheMap& caches, CdfCacheCounters& out) {
+  for (const auto& [ptr, cache] : caches) {
+    (void)ptr;
+    const auto lookups = cache->lookup_counters();
+    const auto stats = cache->stats();
+    out.hits += lookups.hits;
+    out.misses += lookups.misses;
+    out.tables_built += stats.builds;
+    out.table_reuses += stats.reuses;
+  }
+}
+
+}  // namespace
+
+ScenarioSweepReport run_scenario_sweep(
+    const std::vector<SweepScenario>& scenarios, const EvaluationOptions& eval,
+    const sim::SweepOptions& opts) {
+  const CacheMap caches = build_caches(scenarios);
 
   ScenarioSweepReport report;
   sim::SweepRunner runner(opts);
   report.outcomes = runner.run<ScenarioOutcome>(
       scenarios.size(), [&](std::size_t i) {
-        const SweepScenario& sc = scenarios[i];
-        GenerateContext ctx;
-        ctx.cdf_cache = caches.at(sc.dist.get()).get();
-        ScenarioOutcome out;
-        out.dist_label = sc.dist_label;
-        out.model_label = sc.model_label;
-        out.solver = sc.solver->name();
-        out.eval = evaluate_heuristic(*sc.solver, *sc.dist, sc.model, eval, ctx);
-        return out;
+        return run_one_scenario(scenarios[i], eval, caches, {});
       });
   report.sweep = runner.counters();
+  fold_cache_counters(caches, report.cache);
+  return report;
+}
 
-  for (const auto& [ptr, cache] : caches) {
-    (void)ptr;
-    const auto lookups = cache->lookup_counters();
-    const auto stats = cache->stats();
-    report.cache.hits += lookups.hits;
-    report.cache.misses += lookups.misses;
-    report.cache.tables_built += stats.builds;
-    report.cache.table_reuses += stats.reuses;
+ScenarioSweepReport run_scenario_sweep_resilient(
+    const std::vector<SweepScenario>& scenarios, const EvaluationOptions& eval,
+    const sim::SweepOptions& opts, const ResilientSweepOptions& res) {
+  const CacheMap caches = build_caches(scenarios);
+
+  ScenarioSweepReport report;
+  sim::SweepRunner runner(opts);
+  sim::ResilientSweep<ScenarioOutcome> rs = runner.run_resilient<ScenarioOutcome>(
+      scenarios.size(), res.resilience,
+      [&](std::size_t i, const sim::AttemptContext& attempt) {
+        // Injection precedes evaluation, so a scenario that survives its
+        // fault draws computes exactly what the fault-free sweep computes.
+        res.faults.for_scenario(i).inject_scenario_entry(attempt.attempt,
+                                                         attempt.cancel);
+        return run_one_scenario(scenarios[i], eval, caches, attempt.cancel);
+      });
+  report.outcomes = std::move(rs.results);
+  for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+    if (rs.ok[i] != 0) continue;
+    // Failed slots keep their grid identity so partial reports stay aligned.
+    report.outcomes[i].dist_label = scenarios[i].dist_label;
+    report.outcomes[i].model_label = scenarios[i].model_label;
+    report.outcomes[i].solver = scenarios[i].solver->name();
+    report.outcomes[i].ok = false;
   }
+  report.failures = std::move(rs.report);
+  report.sweep = runner.counters();
+  fold_cache_counters(caches, report.cache);
   return report;
 }
 

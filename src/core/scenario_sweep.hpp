@@ -16,6 +16,7 @@
 #include "core/heuristics/heuristic.hpp"
 #include "dist/factory.hpp"
 #include "dist/tabulated_cdf.hpp"
+#include "sim/fault.hpp"
 #include "sim/sweep.hpp"
 
 namespace sre::core {
@@ -41,6 +42,11 @@ struct ScenarioOutcome {
   std::string model_label;
   std::string solver;
   HeuristicEvaluation eval;
+  /// False iff the scenario failed in a resilient run; `eval` is then
+  /// default-constructed filler and the matching entry in
+  /// ScenarioSweepReport::failures.failures has the typed cause. Plain
+  /// run_scenario_sweep always leaves this true.
+  bool ok = true;
 };
 
 /// Aggregated dist::CdfCache activity over one campaign.
@@ -52,10 +58,15 @@ struct CdfCacheCounters {
 };
 
 struct ScenarioSweepReport {
-  /// One outcome per scenario, in submission (grid) order.
+  /// One outcome per scenario, in submission (grid) order. In a resilient
+  /// run, failed scenarios keep their slot (labels filled, ok = false) so
+  /// indices line up with the grid and with failures.failures.
   std::vector<ScenarioOutcome> outcomes;
   sim::SweepCounters sweep;
   CdfCacheCounters cache;
+  /// Failure summary of a resilient run (empty — scenarios == failed == 0 —
+  /// for plain run_scenario_sweep).
+  sim::SweepFailureReport failures;
 };
 
 /// Runs the campaign. Deterministic: for fixed scenarios and eval options
@@ -64,5 +75,24 @@ struct ScenarioSweepReport {
 ScenarioSweepReport run_scenario_sweep(
     const std::vector<SweepScenario>& scenarios,
     const EvaluationOptions& eval = {}, const sim::SweepOptions& opts = {});
+
+/// Chaos / resilience policy for run_scenario_sweep_resilient.
+struct ResilientSweepOptions {
+  sim::ResilienceOptions resilience{};
+  /// Deterministic fault plan; scenario id = grid index, so the injected
+  /// set is a pure function of (plan seed, grid) — the chaos tests compare
+  /// per-class failure counts against the plan replayed offline.
+  sim::FaultPlan faults{};
+};
+
+/// Resilient campaign: per-scenario isolation, typed failure taxonomy,
+/// bounded retry for injected faults, optional per-scenario deadline, and
+/// graceful degradation — the sweep always completes and returns every
+/// non-faulted outcome bit-identical to a fault-free run (solvers never see
+/// the fault plan; injection happens before evaluation starts).
+ScenarioSweepReport run_scenario_sweep_resilient(
+    const std::vector<SweepScenario>& scenarios,
+    const EvaluationOptions& eval = {}, const sim::SweepOptions& opts = {},
+    const ResilientSweepOptions& res = {});
 
 }  // namespace sre::core

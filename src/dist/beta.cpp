@@ -37,6 +37,7 @@ double Beta::cdf(double t) const {
 }
 
 double Beta::quantile(double p) const {
+  detail::require_probability(p, "Beta.quantile");
   if (p <= 0.0) return 0.0;
   if (p >= 1.0) return 1.0;
   return stats::inc_beta_inv(p, alpha_, beta_);

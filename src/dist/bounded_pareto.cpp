@@ -24,6 +24,7 @@ double BoundedPareto::cdf(double t) const {
 }
 
 double BoundedPareto::quantile(double p) const {
+  detail::require_probability(p, "BoundedPareto.quantile");
   if (p <= 0.0) return L_;
   if (p >= 1.0) return H_;
   return L_ * std::pow(1.0 - norm_ * p, -1.0 / alpha_);

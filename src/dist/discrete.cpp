@@ -66,6 +66,7 @@ double DiscreteDistribution::cdf(double t) const {
 }
 
 double DiscreteDistribution::quantile(double p) const {
+  detail::require_probability(p, "DiscreteDistribution.quantile");
   if (p <= 0.0) return values_.front();
   if (p >= 1.0) return values_.back();
   const auto it = std::lower_bound(cum_.begin(), cum_.end(), p);

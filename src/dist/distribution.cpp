@@ -4,9 +4,22 @@
 #include <limits>
 #include <sstream>
 
+#include "stats/error.hpp"
 #include "stats/integrate.hpp"
 
 namespace sre::dist {
+
+namespace detail {
+
+void require_probability(double p, const char* context) {
+  if (!(p >= 0.0 && p <= 1.0)) {  // NaN fails every comparison
+    std::ostringstream os;
+    os << context << ": probability argument " << p << " outside [0, 1]";
+    throw ScenarioError(ErrorCode::kDomainError, os.str());
+  }
+}
+
+}  // namespace detail
 
 bool Support::bounded() const noexcept { return std::isfinite(upper); }
 

@@ -84,4 +84,16 @@ class Distribution {
 
 using DistributionPtr = std::shared_ptr<const Distribution>;
 
+namespace detail {
+
+/// Validates a quantile argument: throws ScenarioError(kDomainError) naming
+/// `context` when p is NaN or outside [0, 1]. Every quantile implementation
+/// calls this first, so a corrupted probability surfaces as a typed error at
+/// the call site instead of propagating NaN through a reservation sequence.
+/// Exact 0 and 1 are valid (they map to the support endpoints) — antithetic
+/// Monte Carlo legitimately evaluates both boundaries.
+void require_probability(double p, const char* context);
+
+}  // namespace detail
+
 }  // namespace sre::dist

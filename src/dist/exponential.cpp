@@ -27,6 +27,7 @@ double Exponential::sf(double t) const {
 }
 
 double Exponential::quantile(double p) const {
+  detail::require_probability(p, "Exponential.quantile");
   if (p <= 0.0) return 0.0;
   if (p >= 1.0) return std::numeric_limits<double>::infinity();
   return -std::log1p(-p) / lambda_;

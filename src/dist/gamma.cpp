@@ -37,6 +37,7 @@ double Gamma::sf(double t) const {
 }
 
 double Gamma::quantile(double p) const {
+  detail::require_probability(p, "Gamma.quantile");
   if (p <= 0.0) return 0.0;
   if (p >= 1.0) return std::numeric_limits<double>::infinity();
   return stats::gamma_p_inv(alpha_, p) / beta_;

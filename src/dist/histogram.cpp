@@ -83,6 +83,7 @@ double HistogramDistribution::cdf(double t) const {
 }
 
 double HistogramDistribution::quantile(double p) const {
+  detail::require_probability(p, "HistogramDistribution.quantile");
   if (p <= 0.0) return edges_.front();
   if (p >= 1.0) return edges_.back();
   const auto it = std::lower_bound(cum_.begin(), cum_.end(), p);

@@ -35,6 +35,7 @@ double LogLogistic::sf(double t) const {
 }
 
 double LogLogistic::quantile(double p) const {
+  detail::require_probability(p, "LogLogistic.quantile");
   if (p <= 0.0) return 0.0;
   if (p >= 1.0) return std::numeric_limits<double>::infinity();
   return alpha_ * std::pow(p / (1.0 - p), 1.0 / beta_);

@@ -38,6 +38,7 @@ double LogNormal::sf(double t) const {
 }
 
 double LogNormal::quantile(double p) const {
+  detail::require_probability(p, "LogNormal.quantile");
   if (p <= 0.0) return 0.0;
   if (p >= 1.0) return std::numeric_limits<double>::infinity();
   return std::exp(mu_ + sigma_ * stats::norm_quantile(p));

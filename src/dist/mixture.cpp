@@ -52,6 +52,7 @@ double MixtureDistribution::sf(double t) const {
 }
 
 double MixtureDistribution::quantile(double p) const {
+  detail::require_probability(p, "MixtureDistribution.quantile");
   if (p <= 0.0) return support().lower;
   if (p >= 1.0) return support().upper;
   // Bracket from the component quantiles: the mixture quantile lies between
@@ -65,8 +66,14 @@ double MixtureDistribution::quantile(double p) const {
   }
   if (hi - lo < 1e-15 * (1.0 + std::fabs(hi))) return hi;
   const auto f = [this, p](double t) { return cdf(t) - p; };
+  // Rounding can push the residual at a bracket endpoint across zero even
+  // though the bracket is correct analytically; a zero-or-wrong-sign
+  // endpoint IS the quantile (Q(p) = inf{t : F(t) >= p}), so resolve those
+  // directly instead of handing brent() an "invalid" bracket.
+  if (f(lo) >= 0.0) return lo;
+  if (f(hi) <= 0.0) return hi;
   const auto root = stats::brent(f, lo, hi, {1e-13, 0.0, 400});
-  return root ? root->x : hi;
+  return stats::require_converged(root, "MixtureDistribution.quantile").x;
 }
 
 double MixtureDistribution::mean() const {

@@ -27,6 +27,7 @@ double Pareto::sf(double t) const {
 }
 
 double Pareto::quantile(double p) const {
+  detail::require_probability(p, "Pareto.quantile");
   if (p <= 0.0) return nu_;
   if (p >= 1.0) return std::numeric_limits<double>::infinity();
   return nu_ * std::pow(1.0 - p, -1.0 / alpha_);

@@ -92,6 +92,7 @@ double TabulatedCdf::cdf(double t) const {
 }
 
 double TabulatedCdf::quantile(double p) const {
+  detail::require_probability(p, "TabulatedCdf.quantile");
   const std::size_t i = find_exact(probs_, p);
   if (i < probs_.size()) {
     hits_.fetch_add(1, std::memory_order_relaxed);

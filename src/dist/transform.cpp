@@ -21,6 +21,7 @@ double ScaledDistribution::sf(double t) const {
   return base_->sf(t / factor_);
 }
 double ScaledDistribution::quantile(double p) const {
+  detail::require_probability(p, "ScaledDistribution.quantile");
   return factor_ * base_->quantile(p);
 }
 double ScaledDistribution::mean() const { return factor_ * base_->mean(); }
@@ -59,6 +60,7 @@ double ShiftedDistribution::sf(double t) const {
   return base_->sf(t - delta_);
 }
 double ShiftedDistribution::quantile(double p) const {
+  detail::require_probability(p, "ShiftedDistribution.quantile");
   return delta_ + base_->quantile(p);
 }
 double ShiftedDistribution::mean() const { return delta_ + base_->mean(); }

@@ -55,6 +55,7 @@ double TruncatedNormal::sf(double t) const {
 }
 
 double TruncatedNormal::quantile(double p) const {
+  detail::require_probability(p, "TruncatedNormal.quantile");
   if (p <= 0.0) return a_;
   if (p >= 1.0) return std::numeric_limits<double>::infinity();
   const double alpha = (a_ - mu_) / sigma_;

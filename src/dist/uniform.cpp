@@ -22,6 +22,7 @@ double Uniform::cdf(double t) const {
 }
 
 double Uniform::quantile(double p) const {
+  detail::require_probability(p, "Uniform.quantile");
   if (p <= 0.0) return a_;
   if (p >= 1.0) return b_;
   return a_ + p * (b_ - a_);

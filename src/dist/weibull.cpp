@@ -37,6 +37,7 @@ double Weibull::sf(double t) const {
 }
 
 double Weibull::quantile(double p) const {
+  detail::require_probability(p, "Weibull.quantile");
   if (p <= 0.0) return 0.0;
   if (p >= 1.0) return std::numeric_limits<double>::infinity();
   return lambda_ * std::pow(-std::log1p(-p), 1.0 / kappa_);

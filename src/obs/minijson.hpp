@@ -58,4 +58,10 @@ struct ParseResult {
 /// is an error). Nesting deeper than 64 levels is rejected.
 ParseResult parse(std::string_view text);
 
+/// RFC 8259 string escaping (quotes, backslash, control characters as
+/// \uXXXX), *without* the surrounding quotes. The writer-side complement of
+/// parse(), shared by every hand-rolled JSON emitter in the repo so error
+/// messages with arbitrary content stay parseable.
+std::string escape(std::string_view text);
+
 }  // namespace sre::obs::minijson

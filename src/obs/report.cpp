@@ -6,14 +6,11 @@
 #include <sstream>
 
 #include "obs/metrics.hpp"
+#include "obs/minijson.hpp"
 
 namespace sre::obs {
 
-namespace {
-
-/// Shortest round-trippable decimal form; integral values print bare
-/// ("6", not "6.0"), infinities as a quoted string (JSON has none).
-std::string fmt_double(double v) {
+std::string format_double(double v) {
   if (std::isinf(v)) return v > 0 ? "\"inf\"" : "\"-inf\"";
   if (std::isnan(v)) return "\"nan\"";
   char buf[32];
@@ -32,14 +29,12 @@ std::string fmt_double(double v) {
   return buf;
 }
 
+namespace {
+
+std::string fmt_double(double v) { return format_double(v); }
+
 std::string quote(const std::string& s) {
-  std::string out = "\"";
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  out += '"';
-  return out;
+  return "\"" + minijson::escape(s) + "\"";
 }
 
 }  // namespace

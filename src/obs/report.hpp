@@ -8,6 +8,12 @@
 
 namespace sre::obs {
 
+/// Shortest round-trippable decimal form of a double for JSON emission;
+/// integral values print bare ("6", not "6.0"), non-finite values as quoted
+/// strings ("inf", "-inf", "nan" — JSON has no literals for them). Shared by
+/// every hand-rolled emitter so numeric formatting stays byte-stable.
+std::string format_double(double v);
+
 /// Serializes every registered counter, gauge, histogram, and span aggregate:
 ///   {"counters": {...}, "gauges": {...}, "histograms": {...}, "spans": {...}}
 /// Instruments registered but never hit are included with zero values.

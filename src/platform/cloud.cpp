@@ -1,5 +1,8 @@
 #include "platform/cloud.hpp"
 
+#include "sim/event_sim.hpp"
+#include "sim/rng.hpp"
+
 namespace sre::platform {
 
 core::CostModel reserved_cost_model(const CloudPricing& pricing) noexcept {
@@ -44,6 +47,47 @@ double break_even_price_ratio(const dist::Distribution& d,
   const core::CostModel model = reserved_cost_model(unit);
   const core::HeuristicEvaluation eval = evaluate_heuristic(h, d, model, opts);
   return eval.normalized_mc;
+}
+
+SpotAssessment assess_spot_strategy(const dist::Distribution& d,
+                                    const CloudPricing& pricing,
+                                    const core::Heuristic& h,
+                                    const sim::FaultSpec& faults,
+                                    std::size_t n_jobs, std::uint64_t seed,
+                                    const core::EvaluationOptions& opts) {
+  const core::CostModel model = reserved_cost_model(pricing);
+  core::HeuristicEvaluation eval = evaluate_heuristic(h, d, model, opts);
+
+  SpotAssessment out;
+  out.strategy = eval.name;
+  out.sequence = std::move(eval.sequence);
+  out.jobs = n_jobs;
+  if (n_jobs == 0) return out;
+
+  const sim::ReservationCostParams costs{model.alpha, model.beta, model.gamma};
+  const sim::PlatformSimulator platform(out.sequence.values(), costs);
+  const sim::FaultPlan plan(faults);
+  const std::vector<double> jobs = sim::draw_samples(d, n_jobs, seed);
+
+  double cost = 0.0, base_cost = 0.0, attempts = 0.0, waste = 0.0;
+  for (std::size_t j = 0; j < n_jobs; ++j) {
+    const sim::JobOutcome faulty =
+        platform.run_job_with_faults(jobs[j], plan.for_scenario(j));
+    const sim::JobOutcome clean = platform.run_job(jobs[j]);
+    cost += faulty.total_cost;
+    base_cost += clean.total_cost;
+    attempts += static_cast<double>(faulty.attempts);
+    waste += faulty.wasted_time;
+  }
+  const double n = static_cast<double>(n_jobs);
+  out.mean_cost = cost / n;
+  out.fault_free_mean_cost = base_cost / n;
+  out.cost_inflation =
+      out.fault_free_mean_cost > 0.0 ? out.mean_cost / out.fault_free_mean_cost
+                                     : 1.0;
+  out.mean_attempts = attempts / n;
+  out.mean_waste = waste / n;
+  return out;
 }
 
 }  // namespace sre::platform

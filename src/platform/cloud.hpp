@@ -6,9 +6,11 @@
 // c_OD / c_RI up to ~4 in the paper's discussion. Reserving is worthwhile
 // exactly when the strategy's normalized expected cost is below c_OD/c_RI.
 
+#include <cstdint>
 #include <string>
 
 #include "core/heuristics/heuristic.hpp"
+#include "sim/fault.hpp"
 
 namespace sre::platform {
 
@@ -55,5 +57,33 @@ double break_even_price_ratio(const dist::Distribution& d,
                               const core::Heuristic& h,
                               double reservation_overhead = 0.0,
                               const core::EvaluationOptions& opts = {});
+
+/// Spot-regime assessment of a reservation strategy: how much the expected
+/// cost inflates when the platform can bounce launches and interrupt
+/// reservations mid-run (the sim::FaultSpec knobs), estimated by replaying
+/// n_jobs sampled jobs through the fault-aware platform simulator.
+struct SpotAssessment {
+  std::string strategy;
+  core::ReservationSequence sequence;
+  std::size_t jobs = 0;
+  double mean_cost = 0.0;           ///< under faults
+  double fault_free_mean_cost = 0.0;
+  /// mean_cost / fault_free_mean_cost: the premium the fault regime adds.
+  /// Reserved capacity at this inflation still beats On-Demand when
+  /// inflation * normalized cost < c_OD / c_RI.
+  double cost_inflation = 1.0;
+  double mean_attempts = 0.0;
+  double mean_waste = 0.0;
+};
+
+/// Deterministic for fixed (faults.seed, seed): job sizes and every fault
+/// decision replay identically. Jobs use fault stream ids = job index.
+SpotAssessment assess_spot_strategy(const dist::Distribution& d,
+                                    const CloudPricing& pricing,
+                                    const core::Heuristic& h,
+                                    const sim::FaultSpec& faults,
+                                    std::size_t n_jobs = 1000,
+                                    std::uint64_t seed = 42,
+                                    const core::EvaluationOptions& opts = {});
 
 }  // namespace sre::platform

@@ -14,7 +14,8 @@ namespace {
 struct MeasuredJob {
   double true_runtime = 0.0;
   double first_submit = 0.0;
-  std::size_t next_attempt = 0;  ///< index into the plan
+  std::size_t next_attempt = 0;      ///< index into the plan
+  std::uint64_t fault_attempt = 0;   ///< per-job fault stream index
   InVivoJobResult result;
 };
 
@@ -49,7 +50,12 @@ InVivoCampaignResult run_in_vivo_campaign(const dist::Distribution& truth,
   // Measured jobs, tracked by the cluster-assigned job id of their current
   // attempt.
   std::vector<MeasuredJob> measured(cfg.measured_jobs);
-  std::map<std::size_t, std::size_t> attempt_owner;  // cluster id -> measured
+  struct AttemptInfo {
+    std::size_t measured = 0;
+    bool interrupted = false;  ///< lost to an injected fault, retry the level
+  };
+  std::map<std::size_t, AttemptInfo> attempt_owner;  // cluster id -> info
+  const sim::FaultPlan fault_plan(cfg.faults);
 
   const auto submit_attempt = [&](std::size_t m, double when) {
     MeasuredJob& job = measured[m];
@@ -59,9 +65,28 @@ InVivoCampaignResult run_in_vivo_campaign(const dist::Distribution& truth,
     attempt.width = cfg.measured_width;
     attempt.requested = reserved;
     attempt.actual = std::min(reserved, job.true_runtime);
+
+    // Injected platform faults (deterministic per measured job): a bounced
+    // launch occupies nothing; an interruption truncates the run. Either
+    // way the reservation was never proven too short, so the job stays at
+    // its current plan level and retries it on completion.
+    bool interrupted = false;
+    const sim::ScenarioFaults jf = fault_plan.for_scenario(m);
+    const std::uint64_t a = job.fault_attempt++;
+    if (jf.launch_fails(a)) {
+      attempt.actual = 0.0;
+      interrupted = true;
+    } else {
+      const double cut = jf.interruption_after(a);
+      if (cut < attempt.actual) {
+        attempt.actual = cut;
+        interrupted = true;
+      }
+    }
+
     const std::size_t id = cluster.submit(attempt);
-    attempt_owner[id] = m;
-    ++job.next_attempt;
+    attempt_owner[id] = AttemptInfo{m, interrupted};
+    if (!interrupted) ++job.next_attempt;
   };
 
   for (std::size_t m = 0; m < cfg.measured_jobs; ++m) {
@@ -77,18 +102,23 @@ InVivoCampaignResult run_in_vivo_campaign(const dist::Distribution& truth,
   cluster.run([&](const sim::ScheduledJob& record, double now) {
     const auto it = attempt_owner.find(record.index);
     if (it == attempt_owner.end()) return;  // background job
-    MeasuredJob& job = measured[it->second];
+    const AttemptInfo info = it->second;
+    MeasuredJob& job = measured[info.measured];
     InVivoJobResult& r = job.result;
     ++r.attempts;
     r.total_wait += record.wait;
     r.total_occupancy += record.job.actual;
-    const bool success = job.true_runtime <= record.job.requested;
+    if (info.interrupted) ++r.interrupted_attempts;
+    const bool success =
+        !info.interrupted && job.true_runtime <= record.job.requested;
     if (success) {
       r.completed = true;
       r.turnaround = now - job.first_submit;
       r.true_runtime = job.true_runtime;
-    } else if (job.next_attempt < kMaxAttempts) {
-      submit_attempt(it->second, now);
+    } else if (r.attempts < kMaxAttempts) {
+      // Attempt-count guard (not plan-level): under a fault storm a job can
+      // retry one level many times without advancing.
+      submit_attempt(info.measured, now);
     }
   });
 
@@ -102,6 +132,7 @@ InVivoCampaignResult run_in_vivo_campaign(const dist::Distribution& truth,
     wait += job.result.total_wait;
     attempts += static_cast<double>(job.result.attempts);
     occupancy += job.result.total_occupancy;
+    out.interrupted_attempts += job.result.interrupted_attempts;
     out.jobs.push_back(job.result);
   }
   const auto n = static_cast<double>(measured.size());

@@ -14,6 +14,7 @@
 
 #include "core/sequence.hpp"
 #include "dist/distribution.hpp"
+#include "sim/fault.hpp"
 #include "sim/queue_sim.hpp"
 
 namespace sre::platform {
@@ -22,6 +23,7 @@ namespace sre::platform {
 struct InVivoJobResult {
   double true_runtime = 0.0;
   std::size_t attempts = 0;
+  std::size_t interrupted_attempts = 0;  ///< attempts lost to injected faults
   double total_wait = 0.0;        ///< queueing time summed over attempts
   double total_occupancy = 0.0;   ///< machine time consumed (all attempts)
   double turnaround = 0.0;        ///< completion - first submission
@@ -36,6 +38,12 @@ struct InVivoCampaignConfig {
   double submit_horizon_fraction = 0.8;      ///< spread over this much of
                                              ///< the background makespan
   std::uint64_t seed = 12;
+  /// Deterministic fault injection on the measured jobs: launch failures
+  /// bounce an attempt (it occupies nothing and the same reservation is
+  /// resubmitted), interruptions kill a running attempt after Exp(rate)
+  /// machine time (the partial run is lost, same reservation resubmitted).
+  /// Background traffic is unaffected. Disabled by default.
+  sim::FaultSpec faults{};
 };
 
 struct InVivoCampaignResult {
@@ -45,6 +53,7 @@ struct InVivoCampaignResult {
   double mean_attempts = 0.0;
   double mean_occupancy = 0.0;
   std::size_t incomplete = 0;
+  std::uint64_t interrupted_attempts = 0;  ///< total injected-fault losses
 };
 
 /// Runs `cfg.measured_jobs` jobs with execution times drawn from `truth`

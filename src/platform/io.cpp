@@ -1,6 +1,7 @@
 #include "platform/io.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -29,17 +30,28 @@ std::optional<double> parse_last_field(const std::string& line) {
   return value;
 }
 
-void set_error(std::string* error, const std::string& message) {
-  if (error != nullptr) *error = message;
+void set_error(ParseError* error, std::size_t line,
+               const std::string& message) {
+  if (error != nullptr) *error = ParseError{line, message};
+}
+
+/// Clips a line for inclusion in a diagnostic (a corrupt file can put
+/// megabytes on one line; the message should not).
+std::string excerpt(const std::string& line) {
+  constexpr std::size_t kMax = 80;
+  if (line.size() <= kMax) return line;
+  return line.substr(0, kMax) + "...";
 }
 
 }  // namespace
 
+std::string ParseError::to_string() const { return message; }
+
 std::optional<std::vector<double>> read_trace_csv(const std::string& path,
-                                                  std::string* error) {
+                                                  ParseError* error) {
   std::ifstream in(path);
   if (!in) {
-    set_error(error, "cannot open " + path);
+    set_error(error, 0, "cannot open " + path);
     return std::nullopt;
   }
   std::vector<double> values;
@@ -48,6 +60,12 @@ std::optional<std::vector<double>> read_trace_csv(const std::string& path,
   bool first_data_line = true;
   while (std::getline(in, line)) {
     ++line_no;
+    if (line.size() > kMaxCsvLineBytes) {
+      set_error(error, line_no,
+                path + ":" + std::to_string(line_no) + ": line exceeds " +
+                    std::to_string(kMaxCsvLineBytes) + " bytes");
+      return std::nullopt;
+    }
     if (is_blank_or_comment(line)) continue;
     const auto value = parse_last_field(line);
     if (!value) {
@@ -55,23 +73,33 @@ std::optional<std::vector<double>> read_trace_csv(const std::string& path,
         first_data_line = false;  // tolerate one header line
         continue;
       }
-      set_error(error, path + ":" + std::to_string(line_no) +
-                           ": not a number: '" + line + "'");
+      set_error(error, line_no,
+                path + ":" + std::to_string(line_no) + ": not a number: '" +
+                    excerpt(line) + "'");
       return std::nullopt;
     }
     first_data_line = false;
-    if (!(*value > 0.0)) {
-      set_error(error, path + ":" + std::to_string(line_no) +
-                           ": execution times must be positive");
+    if (!(*value > 0.0) || !std::isfinite(*value)) {
+      set_error(error, line_no,
+                path + ":" + std::to_string(line_no) +
+                    ": execution times must be positive and finite");
       return std::nullopt;
     }
     values.push_back(*value);
   }
   if (values.empty()) {
-    set_error(error, path + ": no samples found");
+    set_error(error, 0, path + ": no samples found");
     return std::nullopt;
   }
   return values;
+}
+
+std::optional<std::vector<double>> read_trace_csv(const std::string& path,
+                                                  std::string* error) {
+  ParseError parse_error;
+  auto out = read_trace_csv(path, &parse_error);
+  if (!out && error != nullptr) *error = parse_error.to_string();
+  return out;
 }
 
 bool write_trace_csv(const std::string& path, std::span<const double> values) {
@@ -95,15 +123,24 @@ bool write_sequence_csv(const std::string& path,
 }
 
 std::optional<core::ReservationSequence> read_sequence_csv(
-    const std::string& path, std::string* error) {
+    const std::string& path, ParseError* error) {
   const auto values = read_trace_csv(path, error);
   if (!values) return std::nullopt;
   auto seq = core::ReservationSequence::try_create(*values);
   if (!seq) {
-    set_error(error, path + ": values are not a strictly increasing "
-                            "positive sequence");
+    set_error(error, 0,
+              path + ": values are not a strictly increasing "
+                     "positive sequence");
   }
   return seq;
+}
+
+std::optional<core::ReservationSequence> read_sequence_csv(
+    const std::string& path, std::string* error) {
+  ParseError parse_error;
+  auto out = read_sequence_csv(path, &parse_error);
+  if (!out && error != nullptr) *error = parse_error.to_string();
+  return out;
 }
 
 }  // namespace sre::platform

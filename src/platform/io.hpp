@@ -2,9 +2,13 @@
 
 // CSV ingestion and export: execution-time traces in (one value per line,
 // '#' comments and a non-numeric header tolerated), reservation plans out.
-// Errors are reported via std::optional + message, not exceptions, so CLI
-// tools can degrade gracefully.
+// Errors are reported via std::optional + a typed ParseError (with the
+// 1-based line number), not exceptions, so CLI tools can degrade
+// gracefully. Hostile input — truncated lines, NaN/inf/negative durations,
+// multi-megabyte fields — is rejected with a diagnostic, never undefined
+// behavior or silent garbage (tests/test_io.cpp fuzzes this contract).
 
+#include <cstddef>
 #include <optional>
 #include <span>
 #include <string>
@@ -14,8 +18,28 @@
 
 namespace sre::platform {
 
+/// Where and why an ingest failed. line == 0 means a file-level problem
+/// (unopenable, empty); otherwise it is the 1-based offending line.
+struct ParseError {
+  std::size_t line = 0;
+  std::string message;
+
+  /// "path:line: message" (or "path: message" for file-level errors).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Input lines longer than this are rejected as malformed rather than
+/// buffered without bound (no legitimate trace row comes close).
+inline constexpr std::size_t kMaxCsvLineBytes = 64 * 1024;
+
 /// Reads a single-column trace. Returns nullopt on I/O failure or if any
-/// non-comment line fails to parse as a positive number; *error explains.
+/// non-comment line fails to parse as a positive finite number; *error
+/// explains, with the offending line number.
+std::optional<std::vector<double>> read_trace_csv(const std::string& path,
+                                                  ParseError* error);
+
+/// String-message convenience overload (existing CLI surface); the message
+/// is ParseError::to_string().
 std::optional<std::vector<double>> read_trace_csv(const std::string& path,
                                                   std::string* error = nullptr);
 
@@ -28,6 +52,10 @@ bool write_sequence_csv(const std::string& path,
 
 /// Reads a plan written by write_sequence_csv (or any single/double column
 /// file whose last column is the reservation length).
+std::optional<core::ReservationSequence> read_sequence_csv(
+    const std::string& path, ParseError* error);
+
+/// String-message convenience overload; see read_trace_csv.
 std::optional<core::ReservationSequence> read_sequence_csv(
     const std::string& path, std::string* error = nullptr);
 

@@ -1,6 +1,7 @@
 #include "platform/swf.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -12,12 +13,27 @@ void set_error(std::string* error, const std::string& message) {
   if (error != nullptr) *error = message;
 }
 
+// Sanity bounds on fields that get cast to integers. A double outside the
+// target type's range makes the cast undefined behavior, so corrupt logs
+// (NaN ids, 1e300 processor counts) must be rejected *before* casting —
+// no real archive log comes near these.
+constexpr double kMaxJobId = 1e15;
+constexpr double kMaxProcessors = 1e9;
+// Times beyond ~300 million years flag corruption, not a long job.
+constexpr double kMaxSeconds = 1e16;
+
 std::optional<SwfJob> parse_line(const std::string& line) {
   std::istringstream is(line);
   // SWF fields 1..18; we read the first 8 and ignore the rest.
   double f[8];
   for (double& v : f) {
     if (!(is >> v)) return std::nullopt;
+  }
+  // Finite-and-in-range checks first: every cast below is UB otherwise.
+  if (!(std::fabs(f[0]) <= kMaxJobId)) return std::nullopt;  // rejects NaN too
+  if (!(f[4] <= kMaxProcessors)) return std::nullopt;
+  if (!std::isfinite(f[1]) || !std::isfinite(f[3]) || !std::isfinite(f[7])) {
+    return std::nullopt;
   }
   SwfJob job;
   job.id = static_cast<long>(f[0]);
@@ -26,10 +42,12 @@ std::optional<SwfJob> parse_line(const std::string& line) {
   job.processors = (f[4] > 0.0) ? static_cast<std::size_t>(f[4]) : 0;
   job.requested = f[7];
   // -1 marks unknown; runtimes and requests must be positive to be usable.
-  if (!(job.submit >= 0.0) || !(job.runtime > 0.0) || job.processors == 0) {
+  if (!(job.submit >= 0.0) || job.submit > kMaxSeconds ||
+      !(job.runtime > 0.0) || job.runtime > kMaxSeconds ||
+      job.processors == 0) {
     return std::nullopt;
   }
-  if (!(job.requested > 0.0)) {
+  if (!(job.requested > 0.0) || job.requested > kMaxSeconds) {
     // Some logs omit the request; fall back to the runtime (a job that ran
     // to completion requested at least that much).
     job.requested = job.runtime;

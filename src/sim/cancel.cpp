@@ -1,0 +1,38 @@
+#include "sim/cancel.hpp"
+
+#include <string>
+
+#include "stats/error.hpp"
+
+namespace sre::sim {
+
+bool CancelToken::expired() const noexcept {
+  return state_ != nullptr && state_->has_deadline &&
+         std::chrono::steady_clock::now() >= state_->deadline;
+}
+
+void CancelToken::check(const char* where) const {
+  if (state_ == nullptr) return;
+  const std::string at = (where != nullptr) ? std::string(" in ") + where : "";
+  if (state_->cancelled.load(std::memory_order_relaxed)) {
+    throw ScenarioError(ErrorCode::kCancelled, "cancellation requested" + at);
+  }
+  if (state_->has_deadline &&
+      std::chrono::steady_clock::now() >= state_->deadline) {
+    throw ScenarioError(ErrorCode::kTimeout, "scenario deadline expired" + at);
+  }
+}
+
+CancelSource::CancelSource() : state_(std::make_shared<detail::CancelState>()) {}
+
+CancelSource CancelSource::with_deadline(double seconds) {
+  CancelSource src;
+  src.state_->has_deadline = true;
+  src.state_->deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(seconds));
+  return src;
+}
+
+}  // namespace sre::sim

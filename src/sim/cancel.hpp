@@ -1,0 +1,85 @@
+#pragma once
+
+// Cooperative cancellation with optional deadlines. A CancelSource owns the
+// shared flag (and, optionally, a steady-clock deadline); CancelTokens are
+// cheap copyable views that long-running inner loops poll. Cancellation is
+// *cooperative*: nothing is interrupted, the loop notices at its next
+// check() and unwinds with a typed ScenarioError (kCancelled for an explicit
+// request, kTimeout for an expired deadline), which the sweep resilience
+// layer records without poisoning sibling scenarios.
+//
+// A default-constructed token is inert: armed() is false and check() is a
+// single pointer test, so APIs can take a CancelToken by value with zero
+// cost for callers that never cancel. Deadline checks read the steady clock,
+// so hot loops stride them (every ~64 iterations) rather than per element —
+// see the call sites in core/heuristics/dp_discretization.cpp,
+// core/recurrence.cpp, and sim/monte_carlo.cpp.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+namespace sre::sim {
+
+namespace detail {
+struct CancelState {
+  std::atomic<bool> cancelled{false};
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+};
+}  // namespace detail
+
+/// Lightweight view polled by workers. Copy freely; all copies observe the
+/// same source.
+class CancelToken {
+ public:
+  /// Inert token: never cancels, never expires.
+  CancelToken() = default;
+
+  /// True when connected to a CancelSource (i.e. cancellation is possible).
+  [[nodiscard]] bool armed() const noexcept { return state_ != nullptr; }
+
+  /// True once the source requested cancellation.
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return state_ != nullptr &&
+           state_->cancelled.load(std::memory_order_relaxed);
+  }
+
+  /// True once the deadline (if any) has passed. Reads the steady clock.
+  [[nodiscard]] bool expired() const noexcept;
+
+  /// Throws ScenarioError(kCancelled) on a cancellation request or
+  /// ScenarioError(kTimeout) on an expired deadline; otherwise returns.
+  /// `where` names the checking loop in the error message (may be null).
+  void check(const char* where = nullptr) const;
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<const detail::CancelState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<const detail::CancelState> state_;
+};
+
+/// Owner of the cancellation state for one scenario attempt.
+class CancelSource {
+ public:
+  CancelSource();
+
+  /// A source whose tokens expire `seconds` from now (steady clock).
+  static CancelSource with_deadline(double seconds);
+
+  /// Requests cooperative cancellation; idempotent, thread-safe.
+  void request_cancel() noexcept {
+    state_->cancelled.store(true, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] CancelToken token() const noexcept {
+    return CancelToken(state_);
+  }
+
+ private:
+  std::shared_ptr<detail::CancelState> state_;
+};
+
+}  // namespace sre::sim

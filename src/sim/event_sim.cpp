@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "sim/rng.hpp"
+#include "stats/error.hpp"
 #include "stats/summary.hpp"
 
 namespace sre::sim {
@@ -44,6 +45,74 @@ JobOutcome PlatformSimulator::run_job(double execution_time,
       out.completed = true;
       break;
     }
+  }
+  return out;
+}
+
+JobOutcome PlatformSimulator::run_job_with_faults(
+    double execution_time, const ScenarioFaults& faults,
+    std::vector<AttemptRecord>* trace) const {
+  if (!faults.enabled()) return run_job(execution_time, trace);
+
+  JobOutcome out;
+  // A storm of launch failures / interruptions could retry one level
+  // forever; bound the replay and surface exhaustion as the typed injected
+  // fault it is.
+  constexpr std::size_t kMaxAttempts = 100000;
+  std::uint64_t attempt_idx = 0;
+
+  for (std::size_t level = 0; level < reservations_.size();) {
+    if (out.attempts >= kMaxAttempts) {
+      throw ScenarioError(ErrorCode::kInjectedFault,
+                          "fault storm exhausted the attempt budget");
+    }
+    const double reserved = reservations_[level];
+    const double wait = wait_of_request_ ? wait_of_request_(reserved) : 0.0;
+
+    AttemptRecord rec;
+    rec.reserved = reserved;
+    rec.wait = wait;
+    ++out.attempts;
+    out.turnaround += wait;
+
+    if (faults.launch_fails(attempt_idx)) {
+      // The submission bounced: the fixed overhead is paid, no machine time
+      // runs, and the same reservation is resubmitted.
+      rec.cost = costs_.gamma;
+      out.total_cost += rec.cost;
+      if (trace) trace->push_back(rec);
+      ++attempt_idx;
+      continue;
+    }
+
+    const double run = std::min(reserved, execution_time);
+    const double interrupt = faults.interruption_after(attempt_idx);
+    ++attempt_idx;
+    if (interrupt < run) {
+      // Preempted mid-reservation: the partial run is lost and wasted, the
+      // reservation was never proven too short, so it is retried.
+      rec.used = interrupt;
+      rec.cost =
+          costs_.alpha * reserved + costs_.beta * interrupt + costs_.gamma;
+      out.total_cost += rec.cost;
+      out.turnaround += interrupt;
+      out.wasted_time += interrupt;
+      if (trace) trace->push_back(rec);
+      continue;
+    }
+
+    rec.used = run;
+    rec.success = execution_time <= reserved;
+    rec.cost = costs_.alpha * reserved + costs_.beta * run + costs_.gamma;
+    out.total_cost += rec.cost;
+    out.turnaround += run;
+    if (trace) trace->push_back(rec);
+    if (rec.success) {
+      out.completed = true;
+      return out;
+    }
+    out.wasted_time += run;
+    ++level;
   }
   return out;
 }

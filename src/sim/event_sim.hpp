@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "dist/distribution.hpp"
+#include "sim/fault.hpp"
 #include "sim/rng.hpp"
 
 namespace sre::sim {
@@ -57,6 +58,20 @@ class PlatformSimulator {
   /// the per-attempt records are appended to it.
   [[nodiscard]] JobOutcome run_job(
       double execution_time, std::vector<AttemptRecord>* trace = nullptr) const;
+
+  /// Fault-aware replay: attempts are additionally subject to the plan's
+  /// launch failures (the attempt burns only the fixed overhead gamma, no
+  /// machine time, and the same reservation is retried) and mid-reservation
+  /// interruptions (the partial run is lost — cost alpha*t + beta*used +
+  /// gamma, the used time is wasted — and the same reservation is retried,
+  /// mirroring PreemptingSimulator's spot semantics). Decisions are indexed
+  /// by a per-job attempt counter, so the replay is a pure function of
+  /// (faults, execution_time). With a disabled plan this is exactly
+  /// run_job(). Throws ScenarioError(kInjectedFault) if a fault storm
+  /// exceeds the attempt budget instead of looping forever.
+  [[nodiscard]] JobOutcome run_job_with_faults(
+      double execution_time, const ScenarioFaults& faults,
+      std::vector<AttemptRecord>* trace = nullptr) const;
 
   /// Aggregate statistics over a batch of jobs.
   struct BatchStats {

@@ -1,0 +1,107 @@
+#include "sim/fault.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "sim/rng.hpp"
+#include "stats/error.hpp"
+
+namespace sre::sim {
+
+namespace {
+
+// Stream ids keep the fault classes statistically independent per scenario.
+constexpr std::uint64_t kStreamSolver = 1;
+constexpr std::uint64_t kStreamLaunch = 2;
+constexpr std::uint64_t kStreamInterrupt = 3;
+constexpr std::uint64_t kStreamLatency = 4;
+
+/// Random-access uniform draw in [0, 1): a pure function of
+/// (scenario seed, stream, index), so replays agree in any query order.
+double unit_draw(std::uint64_t scenario_seed, std::uint64_t stream,
+                 std::uint64_t index) noexcept {
+  std::uint64_t state =
+      substream_seed(substream_seed(scenario_seed, stream), index);
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end != v && std::isfinite(parsed)) ? parsed : fallback;
+}
+
+}  // namespace
+
+FaultSpec FaultSpec::from_env() {
+  FaultSpec spec;
+  spec.seed = static_cast<std::uint64_t>(env_double("SRE_FAULT_SEED", 0.0));
+  spec.solver_exception_prob = env_double("SRE_FAULT_RATE", 0.0);
+  spec.launch_failure_prob = env_double("SRE_FAULT_LAUNCH", 0.0);
+  spec.interruption_rate = env_double("SRE_FAULT_INTERRUPT", 0.0);
+  spec.latency_prob = env_double("SRE_FAULT_LATENCY_PROB", 0.0);
+  spec.latency_seconds = env_double("SRE_FAULT_LATENCY_S", 0.0);
+  return spec;
+}
+
+ScenarioFaults::ScenarioFaults(const FaultSpec& spec, std::uint64_t scenario_id)
+    : spec_(spec), scenario_seed_(substream_seed(spec.seed, scenario_id)) {}
+
+bool ScenarioFaults::solver_fault(int attempt) const noexcept {
+  if (spec_.solver_exception_prob <= 0.0 ||
+      attempt >= spec_.solver_exception_attempts) {
+    return false;
+  }
+  return unit_draw(scenario_seed_, kStreamSolver,
+                   static_cast<std::uint64_t>(attempt)) <
+         spec_.solver_exception_prob;
+}
+
+double ScenarioFaults::latency(int attempt) const noexcept {
+  if (spec_.latency_prob <= 0.0 || spec_.latency_seconds <= 0.0) return 0.0;
+  return unit_draw(scenario_seed_, kStreamLatency,
+                   static_cast<std::uint64_t>(attempt)) < spec_.latency_prob
+             ? spec_.latency_seconds
+             : 0.0;
+}
+
+bool ScenarioFaults::launch_fails(std::uint64_t attempt) const noexcept {
+  if (spec_.launch_failure_prob <= 0.0) return false;
+  return unit_draw(scenario_seed_, kStreamLaunch, attempt) <
+         spec_.launch_failure_prob;
+}
+
+double ScenarioFaults::interruption_after(std::uint64_t attempt) const noexcept {
+  if (spec_.interruption_rate <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Inverse-transform Exp(rate); the draw is in [0, 1), so log1p(-u) is safe.
+  const double u = unit_draw(scenario_seed_, kStreamInterrupt, attempt);
+  return -std::log1p(-u) / spec_.interruption_rate;
+}
+
+void ScenarioFaults::inject_scenario_entry(int attempt,
+                                           const CancelToken& cancel) const {
+  if (!spec_.enabled()) return;
+  static obs::Counter& injected = obs::counter("sim.fault.injected");
+  const double lat = latency(attempt);
+  if (lat > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(lat));
+    injected.add();
+    cancel.check("sim.fault.latency");
+  }
+  if (solver_fault(attempt)) {
+    injected.add();
+    throw ScenarioError(ErrorCode::kInjectedFault,
+                        "injected solver fault (attempt " +
+                            std::to_string(attempt) + ")");
+  }
+}
+
+}  // namespace sre::sim

@@ -1,0 +1,115 @@
+#pragma once
+
+// Deterministic fault injection. The paper's whole premise is that
+// platforms kill jobs that outrun their reservations; this module simulates
+// the platform failing *us* — launch failures, mid-reservation
+// interruptions (the spot regime of core/preemption and the checkpoint
+// extensions), injected solver exceptions, and artificial latency — so the
+// resilience layer in sim/sweep.hpp can be exercised and *proved* instead
+// of trusted.
+//
+// Determinism contract: every decision is a pure function of
+// (plan seed, scenario id, attempt, stream), derived through SplitMix64
+// exactly like sim::substream_seed. Two runs with the same FaultSpec agree
+// bit-for-bit on which scenarios fault and when, regardless of thread count
+// or scheduling order — tests/test_fault_injection.cpp pins this, and the
+// chaos CI job compares per-class failure counts against the plan.
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/cancel.hpp"
+
+namespace sre::sim {
+
+/// Chaos knobs. All probabilities in [0, 1]; 0 everywhere = no injection.
+struct FaultSpec {
+  std::uint64_t seed = 0;  ///< master seed (scenario streams derive from it)
+
+  /// Per-attempt probability that the scenario's solver "crashes"
+  /// (a ScenarioError(kInjectedFault) is thrown before evaluation).
+  double solver_exception_prob = 0.0;
+  /// Injection applies only to attempts < this bound — set it to N with
+  /// probability 1.0 to build "fails N times, then succeeds on retry N"
+  /// scenarios deterministically.
+  int solver_exception_attempts = std::numeric_limits<int>::max();
+
+  /// Per-attempt probability that a reservation launch fails (the attempt
+  /// burns its fixed overhead, no machine time, and is retried).
+  double launch_failure_prob = 0.0;
+
+  /// Rate of mid-reservation interruptions: during an attempt an
+  /// interruption arrives after Exp(rate) machine time (0 = never).
+  double interruption_rate = 0.0;
+
+  /// Artificial latency injected before a scenario evaluates, with this
+  /// per-attempt probability / duration. Combined with a deadline it makes
+  /// timeouts reproducible in tests.
+  double latency_prob = 0.0;
+  double latency_seconds = 0.0;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return solver_exception_prob > 0.0 || launch_failure_prob > 0.0 ||
+           interruption_rate > 0.0 || latency_prob > 0.0;
+  }
+
+  /// Reads the chaos environment knobs: SRE_FAULT_SEED, SRE_FAULT_RATE
+  /// (solver exception probability), SRE_FAULT_LAUNCH, SRE_FAULT_INTERRUPT,
+  /// SRE_FAULT_LATENCY_PROB / SRE_FAULT_LATENCY_S. Unset variables keep the
+  /// defaults above (everything off).
+  static FaultSpec from_env();
+};
+
+/// The deterministic fault view of one scenario. Decisions are random-access
+/// by (attempt, stream): no hidden iterator state, so simulators may query
+/// attempts in any order and replays always agree.
+class ScenarioFaults {
+ public:
+  ScenarioFaults() = default;  ///< no faults
+  ScenarioFaults(const FaultSpec& spec, std::uint64_t scenario_id);
+
+  [[nodiscard]] bool enabled() const noexcept { return spec_.enabled(); }
+
+  /// True when the solver-exception fault fires on this attempt.
+  [[nodiscard]] bool solver_fault(int attempt) const noexcept;
+
+  /// Latency (seconds) injected before this attempt evaluates; 0 = none.
+  [[nodiscard]] double latency(int attempt) const noexcept;
+
+  /// True when reservation launch `attempt` (a global per-job attempt
+  /// counter) fails.
+  [[nodiscard]] bool launch_fails(std::uint64_t attempt) const noexcept;
+
+  /// Machine time until the interruption hitting launch `attempt`
+  /// (Exp(interruption_rate) draw); +infinity when interruptions are off.
+  [[nodiscard]] double interruption_after(std::uint64_t attempt) const noexcept;
+
+  /// Throws ScenarioError(kInjectedFault) when the solver-exception fault
+  /// fires on `attempt`; applies injected latency (a sleep) and then polls
+  /// `cancel`, so a latency fault can surface as a typed timeout. Call at
+  /// the top of a scenario attempt.
+  void inject_scenario_entry(int attempt, const CancelToken& cancel) const;
+
+ private:
+  FaultSpec spec_{};
+  std::uint64_t scenario_seed_ = 0;
+};
+
+/// A seeded campaign-wide plan: hands out the per-scenario fault views.
+class FaultPlan {
+ public:
+  FaultPlan() = default;  ///< disabled plan: every scenario is fault-free
+  explicit FaultPlan(FaultSpec spec) : spec_(spec) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return spec_.enabled(); }
+  [[nodiscard]] const FaultSpec& spec() const noexcept { return spec_; }
+
+  [[nodiscard]] ScenarioFaults for_scenario(std::uint64_t scenario_id) const {
+    return ScenarioFaults(spec_, scenario_id);
+  }
+
+ private:
+  FaultSpec spec_{};
+};
+
+}  // namespace sre::sim

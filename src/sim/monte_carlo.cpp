@@ -21,6 +21,7 @@ MonteCarloResult estimate_expectation(const dist::Distribution& d,
   // One accumulator per chunk, merged in chunk order for determinism.
   std::vector<stats::OnlineMoments> partial(n_chunks);
   const auto run_chunk = [&](std::size_t c) {
+    opts.cancel.check("sim.monte_carlo");
     Rng rng = make_rng(substream_seed(opts.seed, c));
     const std::size_t lo = c * chunk;
     const std::size_t hi = std::min(n, lo + chunk);

@@ -10,6 +10,7 @@
 #include <functional>
 
 #include "dist/distribution.hpp"
+#include "sim/cancel.hpp"
 
 namespace sre::sim {
 
@@ -34,6 +35,10 @@ struct MonteCarloOptions {
   /// estimate is chunk-deterministic: the same (samples, seed, chunk) give
   /// bit-identical results on any pool size, and serially.
   ThreadPool* pool = nullptr;
+  /// Cooperative cancellation/deadline token, polled once per worker chunk
+  /// (a chunk is ~256 samples, cheap enough to bound timeout latency). An
+  /// inert token (the default) costs one pointer test per chunk.
+  CancelToken cancel{};
 };
 
 /// Estimates E[g(X)]. `g` must be thread-safe (it is called concurrently).

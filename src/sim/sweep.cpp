@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
+#include <thread>
 
 #include "obs/metrics.hpp"
+#include "obs/minijson.hpp"
+#include "obs/report.hpp"
 #include "obs/span.hpp"
 #include "sim/parallel.hpp"
+#include "sim/rng.hpp"
 
 namespace sre::sim {
 
@@ -76,6 +81,167 @@ void SweepRunner::run_indexed(std::size_t n,
   counters_.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+}
+
+namespace {
+
+/// Deterministic uniform in [0, 1) for the backoff jitter, pure in
+/// (seed, scenario, attempt) so sleeps replay identically.
+double backoff_draw(std::uint64_t seed, std::uint64_t scenario,
+                    std::uint64_t attempt) noexcept {
+  std::uint64_t state = substream_seed(substream_seed(seed, scenario), attempt);
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+/// One scenario's retry loop. Returns the number of attempts consumed and,
+/// on failure, fills code/message. All exceptions are absorbed here —
+/// nothing escapes into run_indexed's first-exception-wins path.
+int run_attempts(const std::function<void(std::size_t, const AttemptContext&)>& fn,
+                 std::size_t i, const ResilienceOptions& res, int max_attempts,
+                 bool& succeeded, ErrorCode& code, std::string& message) {
+  double prev_sleep = res.backoff_base_seconds;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0 && res.backoff_base_seconds > 0.0) {
+      const double u = backoff_draw(res.backoff_seed, i,
+                                    static_cast<std::uint64_t>(attempt));
+      const double hi = std::max(res.backoff_base_seconds, 3.0 * prev_sleep);
+      double sleep = res.backoff_base_seconds +
+                     u * (hi - res.backoff_base_seconds);
+      if (res.backoff_cap_seconds > 0.0) {
+        sleep = std::min(sleep, res.backoff_cap_seconds);
+      }
+      std::this_thread::sleep_for(std::chrono::duration<double>(sleep));
+      prev_sleep = sleep;
+    }
+    AttemptContext ctx;
+    ctx.attempt = attempt;
+    std::optional<CancelSource> deadline;
+    if (res.scenario_deadline_seconds > 0.0) {
+      deadline = CancelSource::with_deadline(res.scenario_deadline_seconds);
+      ctx.cancel = deadline->token();
+    }
+    try {
+      fn(i, ctx);
+      succeeded = true;
+      return attempt + 1;
+    } catch (const ScenarioError& e) {
+      code = e.code();
+      message = e.what();
+      if (!is_retryable(code) || attempt + 1 == max_attempts) {
+        return attempt + 1;
+      }
+    } catch (const std::exception& e) {
+      // Untyped exceptions classify as domain errors (see CONTRIBUTING.md):
+      // they are bugs to surface, not platform weather, so never retried.
+      code = ErrorCode::kDomainError;
+      message = e.what();
+      return attempt + 1;
+    } catch (...) {
+      code = ErrorCode::kDomainError;
+      message = "unknown exception";
+      return attempt + 1;
+    }
+  }
+  return max_attempts;  // unreachable: the loop always returns
+}
+
+}  // namespace
+
+SweepFailureReport SweepRunner::run_resilient_indexed(
+    std::size_t n, const ResilienceOptions& res,
+    const std::function<void(std::size_t, const AttemptContext&)>& fn,
+    std::vector<std::uint8_t>* ok_out) {
+  const int max_attempts = std::max(1, res.max_attempts);
+
+  // Per-index records written by whichever worker ran the scenario; distinct
+  // slots, no sharing. Aggregated serially below so the report (and every
+  // counter derived from it) is independent of scheduling.
+  std::vector<std::uint8_t> ok(n, 0);
+  std::vector<int> attempts(n, 0);
+  std::vector<ErrorCode> codes(n, ErrorCode::kDomainError);
+  std::vector<std::string> messages(n);
+
+  run_indexed(n, [&](std::size_t i) {
+    bool succeeded = false;
+    attempts[i] = run_attempts(fn, i, res, max_attempts, succeeded, codes[i],
+                               messages[i]);
+    ok[i] = succeeded ? 1 : 0;
+  });
+
+  SweepFailureReport report;
+  report.scenarios = n;
+  report.failure_budget = res.failure_budget;
+  report.retry_histogram.assign(static_cast<std::size_t>(max_attempts), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int used = std::max(1, attempts[i]);
+    report.retry_histogram[static_cast<std::size_t>(used - 1)] += 1;
+    report.retries += static_cast<std::uint64_t>(used - 1);
+    if (ok[i] == 0) {
+      report.failed += 1;
+      report.by_code[static_cast<std::size_t>(codes[i])] += 1;
+      report.failures.push_back(ScenarioFailure{
+          i, codes[i], used, std::move(messages[i])});
+    }
+  }
+  report.budget_exceeded =
+      static_cast<double>(report.failed) >
+      res.failure_budget * static_cast<double>(n);
+
+  static obs::Counter& failures_total = obs::counter("sim.sweep.failures");
+  static obs::Counter& retries_total = obs::counter("sim.sweep.retries");
+  failures_total.add(report.failed);
+  retries_total.add(report.retries);
+  for (std::size_t c = 0; c < kErrorCodeCount; ++c) {
+    if (report.by_code[c] == 0) continue;
+    obs::counter(std::string("sim.sweep.failures.") +
+                 std::string(error_code_name(static_cast<ErrorCode>(c))))
+        .add(report.by_code[c]);
+  }
+
+  if (ok_out != nullptr) *ok_out = std::move(ok);
+  return report;
+}
+
+std::string SweepFailureReport::to_json() const {
+  std::string out = "{";
+  out += "\"scenarios\":" + std::to_string(scenarios);
+  out += ",\"failed\":" + std::to_string(failed);
+  out += ",\"retries\":" + std::to_string(retries);
+  out += ",\"failure_budget\":" + obs::format_double(failure_budget);
+  out += ",\"budget_exceeded\":";
+  out += budget_exceeded ? "true" : "false";
+  out += ",\"by_code\":{";
+  for (std::size_t c = 0; c < kErrorCodeCount; ++c) {
+    if (c != 0) out += ",";
+    out += "\"";
+    out += std::string(error_code_name(static_cast<ErrorCode>(c)));
+    out += "\":" + std::to_string(by_code[c]);
+  }
+  out += "},\"retry_histogram\":[";
+  for (std::size_t k = 0; k < retry_histogram.size(); ++k) {
+    if (k != 0) out += ",";
+    out += std::to_string(retry_histogram[k]);
+  }
+  out += "]";
+  if (const ScenarioFailure* first = first_failure()) {
+    out += ",\"first_failure\":{\"index\":" + std::to_string(first->index);
+    out += ",\"code\":\"";
+    out += std::string(error_code_name(first->code));
+    out += "\",\"attempts\":" + std::to_string(first->attempts);
+    out += ",\"message\":\"" + obs::minijson::escape(first->message) + "\"}";
+  }
+  out += ",\"failures\":[";
+  for (std::size_t k = 0; k < failures.size(); ++k) {
+    const ScenarioFailure& f = failures[k];
+    if (k != 0) out += ",";
+    out += "{\"index\":" + std::to_string(f.index);
+    out += ",\"code\":\"";
+    out += std::string(error_code_name(f.code));
+    out += "\",\"attempts\":" + std::to_string(f.attempts);
+    out += ",\"message\":\"" + obs::minijson::escape(f.message) + "\"}";
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace sre::sim

@@ -12,12 +12,16 @@
 // The runner reports per-sweep counters (scenarios, batches, steal traffic,
 // wall time) that the benches emit as JSON for the perf trajectory.
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "sim/cancel.hpp"
 #include "sim/thread_pool.hpp"
+#include "stats/error.hpp"
 
 namespace sre::sim {
 
@@ -44,6 +48,87 @@ struct SweepCounters {
   double wall_seconds = 0.0;
 };
 
+/// Resilient-execution policy for run_resilient(): per-scenario isolation,
+/// bounded retry with decorrelated-jitter backoff, and an optional
+/// per-scenario deadline surfaced through the AttemptContext cancel token.
+struct ResilienceOptions {
+  /// Total attempts per scenario (1 = no retry). Only retryable error
+  /// classes (see sre::is_retryable — injected platform faults) re-attempt;
+  /// deterministic failures record immediately.
+  int max_attempts = 1;
+
+  /// Per-attempt wall-clock deadline in seconds (0 = none). Cooperative:
+  /// solvers poll the AttemptContext token and unwind with
+  /// ScenarioError(kTimeout) at their next stride check.
+  double scenario_deadline_seconds = 0.0;
+
+  /// Decorrelated-jitter backoff before retry k:
+  ///   sleep = min(cap, base + u * (max(base, 3 * prev) - base)),
+  /// u drawn deterministically from (backoff_seed, scenario, attempt).
+  /// base = 0 disables sleeping (retries are immediate).
+  double backoff_base_seconds = 0.0;
+  double backoff_cap_seconds = 1.0;
+  std::uint64_t backoff_seed = 0;
+
+  /// Fraction of scenarios allowed to fail before the campaign is declared
+  /// degraded (SweepFailureReport::budget_exceeded). Evaluated after the
+  /// sweep completes — never mid-run, so partial results stay bitwise
+  /// reproducible across thread counts. 1.0 = report-only, never exceeded.
+  double failure_budget = 1.0;
+};
+
+/// Per-attempt view handed to the scenario callback.
+struct AttemptContext {
+  int attempt = 0;     ///< 0-based attempt number (> 0 on retries)
+  CancelToken cancel;  ///< armed iff scenario_deadline_seconds > 0
+};
+
+/// One scenario that exhausted its attempts. `attempts` counts all attempts
+/// consumed, including the failing one.
+struct ScenarioFailure {
+  std::size_t index = 0;
+  ErrorCode code = ErrorCode::kDomainError;
+  int attempts = 1;
+  std::string message;
+};
+
+/// Campaign-level failure summary for a resilient sweep. Deterministic:
+/// assembled from per-index records after the sweep, so two runs with the
+/// same inputs produce byte-identical to_json() output regardless of thread
+/// count or scheduling.
+struct SweepFailureReport {
+  std::uint64_t scenarios = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t retries = 0;  ///< extra attempts across all scenarios
+  /// Failed-scenario counts indexed by ErrorCode (wire names via
+  /// error_code_name()).
+  std::array<std::uint64_t, kErrorCodeCount> by_code{};
+  /// retry_histogram[k] = scenarios that consumed exactly k+1 attempts
+  /// (successes and failures alike); size = max_attempts of the run.
+  std::vector<std::uint64_t> retry_histogram;
+  /// Every failed scenario in index order (first_failure() is the earliest).
+  std::vector<ScenarioFailure> failures;
+  double failure_budget = 1.0;
+  bool budget_exceeded = false;
+
+  [[nodiscard]] bool ok() const noexcept { return failed == 0; }
+  [[nodiscard]] const ScenarioFailure* first_failure() const noexcept {
+    return failures.empty() ? nullptr : &failures.front();
+  }
+  /// Single-line JSON (RFC 8259, escaped messages); byte-stable field order.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// A resilient sweep's outcome: index-aligned results plus the failure
+/// report. `ok[i] == 0` marks a failed scenario whose `results[i]` slot is
+/// default-constructed filler.
+template <typename R>
+struct ResilientSweep {
+  std::vector<R> results;
+  std::vector<std::uint8_t> ok;
+  SweepFailureReport report;
+};
+
 class SweepRunner {
  public:
   explicit SweepRunner(SweepOptions opts = {});
@@ -65,6 +150,35 @@ class SweepRunner {
   /// Type-erased core: runs fn(i) for i in [0, n). fn must write its result
   /// to a caller-owned slot keyed by i (as run() does).
   void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Resilient variant of run(): every scenario is isolated (an exception
+  /// marks only its own slot as failed), retryable failures re-attempt up to
+  /// res.max_attempts with deterministic backoff, and the campaign always
+  /// completes, returning partial results plus a SweepFailureReport. fn is
+  /// invoked as fn(i, ctx) and signals failure by throwing (ScenarioError
+  /// for a typed class; anything else classifies as kDomainError).
+  template <typename R>
+  ResilientSweep<R> run_resilient(
+      std::size_t n, const ResilienceOptions& res,
+      const std::function<R(std::size_t, const AttemptContext&)>& fn) {
+    ResilientSweep<R> out;
+    out.results.resize(n);
+    out.report = run_resilient_indexed(
+        n, res,
+        [&out, &fn](std::size_t i, const AttemptContext& ctx) {
+          out.results[i] = fn(i, ctx);
+        },
+        &out.ok);
+    return out;
+  }
+
+  /// Type-erased resilient core; see run_resilient(). When `ok_out` is
+  /// non-null it receives n flags (1 = scenario succeeded, its slot was
+  /// written by fn).
+  SweepFailureReport run_resilient_indexed(
+      std::size_t n, const ResilienceOptions& res,
+      const std::function<void(std::size_t, const AttemptContext&)>& fn,
+      std::vector<std::uint8_t>* ok_out = nullptr);
 
   /// Counters of the most recent run.
   [[nodiscard]] const SweepCounters& counters() const noexcept {

@@ -1,0 +1,25 @@
+#include "stats/error.hpp"
+
+namespace sre {
+
+std::string_view error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kDomainError:
+      return "domain_error";
+    case ErrorCode::kNoConvergence:
+      return "no_convergence";
+    case ErrorCode::kTimeout:
+      return "timeout";
+    case ErrorCode::kInjectedFault:
+      return "injected_fault";
+    case ErrorCode::kCancelled:
+      return "cancelled";
+  }
+  return "domain_error";  // unreachable; keeps -Wreturn-type quiet
+}
+
+bool is_retryable(ErrorCode code) noexcept {
+  return code == ErrorCode::kInjectedFault;
+}
+
+}  // namespace sre

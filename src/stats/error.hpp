@@ -1,0 +1,57 @@
+#pragma once
+
+// Typed failure taxonomy for scenario execution. A campaign that fans
+// thousands of scenarios across a pool needs to distinguish *why* a cell
+// failed — a solver domain error is a bug to report, an injected platform
+// fault is retryable, a deadline expiry is a capacity decision — so every
+// failure funnels into one of five stable classes. The sweep resilience
+// layer (sim/sweep.hpp) records these per scenario and aggregates them into
+// a SweepFailureReport; the string names below are the wire format used in
+// report JSON and obs:: counter names, so they never change spelling.
+//
+// The type lives in the stats layer (the lowest layer above obs) so that
+// stats, dist, sim, core and platform can all throw it without an upward
+// include; the enum itself sits in namespace sre because it names a
+// repo-wide contract, not a stats detail.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace sre {
+
+/// Failure classes, ordered for stable array indexing (kCount sentinels).
+enum class ErrorCode {
+  kDomainError = 0,   ///< invalid argument / numerical domain violation
+  kNoConvergence = 1, ///< iterative solver exhausted its budget
+  kTimeout = 2,       ///< per-scenario deadline expired (CancelToken)
+  kInjectedFault = 3, ///< deterministic chaos injection (sim::FaultPlan)
+  kCancelled = 4,     ///< cooperative cancellation requested
+};
+
+inline constexpr std::size_t kErrorCodeCount = 5;
+
+/// Stable snake_case wire name ("domain_error", "injected_fault", ...).
+[[nodiscard]] std::string_view error_code_name(ErrorCode code) noexcept;
+
+/// True for classes worth retrying: only transient, platform-side faults
+/// qualify (kInjectedFault). Deterministic solver failures (domain error,
+/// non-convergence) reproduce on retry, and a timed-out or cancelled
+/// scenario already consumed its budget. See CONTRIBUTING.md.
+[[nodiscard]] bool is_retryable(ErrorCode code) noexcept;
+
+/// The typed exception carried through scenario execution. what() keeps the
+/// human-readable detail; code() drives classification, retry policy, and
+/// the per-class failure counters.
+class ScenarioError : public std::runtime_error {
+ public:
+  ScenarioError(ErrorCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+}  // namespace sre

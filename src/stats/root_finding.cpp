@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "obs/metrics.hpp"
+#include "stats/error.hpp"
 
 namespace sre::stats {
 
@@ -111,6 +112,22 @@ std::optional<RootResult> bisect(const std::function<double(double)>& f,
     }
   }
   return RootResult{0.5 * (a + b), f(0.5 * (a + b)), opts.max_iterations, false};
+}
+
+RootResult require_converged(const std::optional<RootResult>& root,
+                             const char* context) {
+  if (!root) {
+    throw ScenarioError(ErrorCode::kNoConvergence,
+                        std::string(context) +
+                            ": no valid bracket for the root search");
+  }
+  if (!root->converged) {
+    throw ScenarioError(ErrorCode::kNoConvergence,
+                        std::string(context) + ": root search stopped after " +
+                            std::to_string(root->iterations) +
+                            " iterations without converging");
+  }
+  return *root;
 }
 
 std::optional<std::pair<double, double>> bracket_upward(

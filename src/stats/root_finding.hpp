@@ -42,6 +42,14 @@ std::optional<std::pair<double, double>> bracket_upward(
     const std::function<double(double)>& f, double lo, double step,
     int max_iterations = 200);
 
+/// Unwraps a root-search result for call sites where failure is a bug, not
+/// an expected outcome: throws ScenarioError(kNoConvergence) naming
+/// `context` when the bracket was invalid or the iteration budget ran out.
+/// Call sites that can recover (brute-force scans that skip a bad t1)
+/// should keep testing the optional instead.
+RootResult require_converged(const std::optional<RootResult>& root,
+                             const char* context);
+
 /// Result of a scalar minimization.
 struct MinimizeResult {
   double x = 0.0;

@@ -1,0 +1,321 @@
+// sim::FaultPlan + core::run_scenario_sweep_resilient: the chaos acceptance
+// tests. A seeded fault plan must (a) be a pure function of
+// (seed, scenario, attempt) — bitwise identical across replays and thread
+// counts, (b) leave every non-faulted scenario byte-identical to a
+// fault-free sweep, and (c) aggregate per-class failure counts that match
+// the plan replayed offline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/heuristics/dp_discretization.hpp"
+#include "core/heuristics/moment_based.hpp"
+#include "core/scenario_sweep.hpp"
+#include "dist/exponential.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/fault.hpp"
+#include "stats/error.hpp"
+
+// Chaos sweeps replay full solver campaigns; scale the Monte Carlo work
+// down under a sanitizer so the tsan/asan presets stay inside the 600 s
+// ctest budget (the scenario *count* stays at the acceptance level).
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define SRE_SANITIZED_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define SRE_SANITIZED_BUILD 1
+#endif
+#endif
+
+using namespace sre;
+
+namespace {
+
+std::vector<core::SweepScenario> chaos_grid() {
+  const sim::DiscretizationOptions eq_prob{
+      48, 1e-7, sim::DiscretizationScheme::kEqualProbability};
+  const std::vector<core::HeuristicPtr> solvers = {
+      std::make_shared<core::MeanByMean>(),
+      std::make_shared<core::MeanStdev>(),
+      std::make_shared<core::MedianByMedian>(),
+      std::make_shared<core::DiscretizedDp>(eq_prob),
+  };
+  const std::vector<std::pair<std::string, core::CostModel>> models = {
+      {"ReservationOnly", core::CostModel::reservation_only()},
+      {"PayAsYouGo", {1.0, 1.0, 0.0}},
+      {"WithOverhead", {1.0, 1.0, 0.1}},
+  };
+  return core::make_scenario_grid(dist::paper_distributions(), models,
+                                  solvers);
+}
+
+core::EvaluationOptions fast_eval() {
+  core::EvaluationOptions eval;
+#ifdef SRE_SANITIZED_BUILD
+  eval.mc.samples = 64;
+#else
+  eval.mc.samples = 256;
+#endif
+  eval.mc.seed = 9;
+  return eval;
+}
+
+void expect_outcome_identical(const core::ScenarioOutcome& a,
+                              const core::ScenarioOutcome& b) {
+  EXPECT_EQ(a.dist_label, b.dist_label);
+  EXPECT_EQ(a.model_label, b.model_label);
+  EXPECT_EQ(a.solver, b.solver);
+  EXPECT_EQ(a.eval.t1, b.eval.t1);
+  EXPECT_EQ(a.eval.expected_cost_mc, b.eval.expected_cost_mc);
+  EXPECT_EQ(a.eval.expected_cost_analytic, b.eval.expected_cost_analytic);
+  EXPECT_EQ(a.eval.sequence.values(), b.eval.sequence.values());
+}
+
+}  // namespace
+
+TEST(FaultInjection, DecisionsAreDeterministicAndRandomAccess) {
+  sim::FaultSpec spec;
+  spec.seed = 1234;
+  spec.solver_exception_prob = 0.3;
+  spec.launch_failure_prob = 0.2;
+  spec.interruption_rate = 0.5;
+  spec.latency_prob = 0.1;
+  spec.latency_seconds = 0.25;
+
+  const sim::FaultPlan plan(spec);
+  for (const std::uint64_t id : {0ull, 1ull, 17ull, 9999ull}) {
+    const auto a = plan.for_scenario(id);
+    const auto b = plan.for_scenario(id);
+    // Query out of order: decisions are random-access, no iterator state.
+    for (const int attempt : {7, 0, 3, 1}) {
+      EXPECT_EQ(a.solver_fault(attempt), b.solver_fault(attempt));
+      EXPECT_EQ(a.latency(attempt), b.latency(attempt));
+      EXPECT_EQ(a.launch_fails(static_cast<std::uint64_t>(attempt)),
+                b.launch_fails(static_cast<std::uint64_t>(attempt)));
+      EXPECT_EQ(a.interruption_after(static_cast<std::uint64_t>(attempt)),
+                b.interruption_after(static_cast<std::uint64_t>(attempt)));
+      EXPECT_GT(a.interruption_after(static_cast<std::uint64_t>(attempt)),
+                0.0);
+    }
+  }
+  // A different seed flips at least one decision over a modest scan.
+  sim::FaultSpec other = spec;
+  other.seed = 4321;
+  const sim::FaultPlan plan2(other);
+  bool any_difference = false;
+  for (std::uint64_t id = 0; id < 64 && !any_difference; ++id) {
+    any_difference = plan.for_scenario(id).solver_fault(0) !=
+                     plan2.for_scenario(id).solver_fault(0);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultInjection, InjectionRateTracksTheSpec) {
+  sim::FaultSpec spec;
+  spec.seed = 99;
+  spec.solver_exception_prob = 0.1;
+  const sim::FaultPlan plan(spec);
+  int fired = 0;
+  constexpr int kScenarios = 4000;
+  for (int i = 0; i < kScenarios; ++i) {
+    if (plan.for_scenario(static_cast<std::uint64_t>(i)).solver_fault(0)) {
+      ++fired;
+    }
+  }
+  // 4000 Bernoulli(0.1) draws: mean 400, sd ~19. Allow 5 sigma.
+  EXPECT_NEAR(fired, 400, 95);
+}
+
+TEST(FaultInjection, DisabledSpecInjectsNothing) {
+  const sim::ScenarioFaults none;
+  EXPECT_FALSE(none.enabled());
+  EXPECT_FALSE(none.solver_fault(0));
+  EXPECT_FALSE(none.launch_fails(0));
+  EXPECT_EQ(none.latency(0), 0.0);
+  EXPECT_EQ(none.interruption_after(0),
+            std::numeric_limits<double>::infinity());
+  EXPECT_NO_THROW(none.inject_scenario_entry(0, {}));
+}
+
+TEST(FaultInjection, FromEnvReadsTheChaosKnobs) {
+  ::setenv("SRE_FAULT_SEED", "77", 1);
+  ::setenv("SRE_FAULT_RATE", "0.25", 1);
+  ::setenv("SRE_FAULT_LAUNCH", "0.5", 1);
+  ::setenv("SRE_FAULT_INTERRUPT", "2.0", 1);
+  ::setenv("SRE_FAULT_LATENCY_PROB", "0.125", 1);
+  ::setenv("SRE_FAULT_LATENCY_S", "0.75", 1);
+  const auto spec = sim::FaultSpec::from_env();
+  EXPECT_EQ(spec.seed, 77u);
+  EXPECT_DOUBLE_EQ(spec.solver_exception_prob, 0.25);
+  EXPECT_DOUBLE_EQ(spec.launch_failure_prob, 0.5);
+  EXPECT_DOUBLE_EQ(spec.interruption_rate, 2.0);
+  EXPECT_DOUBLE_EQ(spec.latency_prob, 0.125);
+  EXPECT_DOUBLE_EQ(spec.latency_seconds, 0.75);
+  EXPECT_TRUE(spec.enabled());
+  for (const char* var :
+       {"SRE_FAULT_SEED", "SRE_FAULT_RATE", "SRE_FAULT_LAUNCH",
+        "SRE_FAULT_INTERRUPT", "SRE_FAULT_LATENCY_PROB", "SRE_FAULT_LATENCY_S"}) {
+    ::unsetenv(var);
+  }
+  EXPECT_FALSE(sim::FaultSpec::from_env().enabled());
+}
+
+TEST(FaultInjection, LatencyPlusDeadlineSurfacesAsTimeout) {
+  sim::FaultSpec spec;
+  spec.seed = 5;
+  spec.latency_prob = 1.0;
+  spec.latency_seconds = 0.05;
+  const auto faults = sim::FaultPlan(spec).for_scenario(0);
+  const auto deadline = sim::CancelSource::with_deadline(0.01);
+  try {
+    faults.inject_scenario_entry(0, deadline.token());
+    FAIL() << "did not time out";
+  } catch (const ScenarioError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kTimeout);
+  }
+}
+
+TEST(FaultInjection, EventSimLaunchAndInterruptAccounting) {
+  // alpha=1, beta=1, gamma=0.1; reservations {2, 4}; job needs 3.
+  sim::PlatformSimulator simulator({2.0, 4.0}, {1.0, 1.0, 0.1});
+  const auto clean = simulator.run_job(3.0);
+  ASSERT_TRUE(clean.completed);
+
+  // A disabled plan must replay run_job exactly.
+  const auto same = simulator.run_job_with_faults(3.0, sim::ScenarioFaults());
+  EXPECT_EQ(same.completed, clean.completed);
+  EXPECT_EQ(same.attempts, clean.attempts);
+  EXPECT_EQ(same.total_cost, clean.total_cost);
+  EXPECT_EQ(same.wasted_time, clean.wasted_time);
+
+  // With faults on, the job still completes (the guard throws only on a
+  // fault storm) and every failed launch / interruption adds cost but never
+  // advances the reservation level past what the clean run used.
+  sim::FaultSpec spec;
+  spec.seed = 11;
+  spec.launch_failure_prob = 0.3;
+  spec.interruption_rate = 0.05;
+  std::vector<sim::AttemptRecord> trace;
+  const auto chaotic = simulator.run_job_with_faults(
+      3.0, sim::FaultPlan(spec).for_scenario(0), &trace);
+  EXPECT_TRUE(chaotic.completed);
+  EXPECT_GE(chaotic.attempts, clean.attempts);
+  EXPECT_GE(chaotic.total_cost, clean.total_cost);
+  for (const auto& rec : trace) {
+    EXPECT_LE(rec.used, rec.reserved);
+    EXPECT_TRUE(std::isfinite(rec.cost));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: 100+-scenario chaos sweep with ~10% injected faults.
+
+TEST(FaultInjection, ChaosSweepDegradesGracefullyAndMatchesThePlan) {
+  const auto grid = chaos_grid();
+  ASSERT_GE(grid.size(), 100u);
+  const auto eval = fast_eval();
+
+  // Fault-free reference.
+  const auto clean = core::run_scenario_sweep(grid, eval, {});
+
+  sim::FaultSpec spec;
+  spec.seed = 2026;
+  spec.solver_exception_prob = 0.1;
+  core::ResilientSweepOptions res;
+  res.faults = sim::FaultPlan(spec);
+  res.resilience.failure_budget = 0.25;
+  const auto chaos = core::run_scenario_sweep_resilient(grid, eval, {}, res);
+
+  ASSERT_EQ(chaos.outcomes.size(), grid.size());
+  EXPECT_EQ(chaos.failures.scenarios, grid.size());
+
+  // Replay the plan offline: the failed set must match it exactly.
+  std::size_t planned = 0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const bool faulted =
+        res.faults.for_scenario(static_cast<std::uint64_t>(i)).solver_fault(0);
+    planned += faulted ? 1u : 0u;
+    EXPECT_EQ(chaos.outcomes[i].ok, !faulted) << i;
+    if (faulted) {
+      // Labels survive for failed slots; the eval is filler.
+      EXPECT_EQ(chaos.outcomes[i].dist_label, grid[i].dist_label) << i;
+    } else {
+      // Non-faulted scenarios are byte-identical to the fault-free run.
+      SCOPED_TRACE(i);
+      expect_outcome_identical(chaos.outcomes[i], clean.outcomes[i]);
+    }
+  }
+  EXPECT_GT(planned, 0u);  // the seed must actually inject something
+  EXPECT_EQ(chaos.failures.failed, planned);
+  EXPECT_EQ(chaos.failures.by_code[static_cast<std::size_t>(
+                ErrorCode::kInjectedFault)],
+            planned);
+  for (const auto code :
+       {ErrorCode::kDomainError, ErrorCode::kNoConvergence, ErrorCode::kTimeout,
+        ErrorCode::kCancelled}) {
+    EXPECT_EQ(chaos.failures.by_code[static_cast<std::size_t>(code)], 0u);
+  }
+  EXPECT_EQ(chaos.failures.budget_exceeded,
+            planned > res.resilience.failure_budget *
+                          static_cast<double>(grid.size()));
+}
+
+TEST(FaultInjection, ChaosSweepBitwiseReproducibleAcrossThreadCounts) {
+  const auto grid = chaos_grid();
+  const auto eval = fast_eval();
+
+  sim::FaultSpec spec;
+  spec.seed = 7;
+  spec.solver_exception_prob = 0.1;
+  core::ResilientSweepOptions res;
+  res.faults = sim::FaultPlan(spec);
+
+  sim::SweepOptions serial;
+  serial.serial = true;
+  const auto ref = core::run_scenario_sweep_resilient(grid, eval, serial, res);
+  const std::string ref_json = ref.failures.to_json();
+
+  for (const unsigned threads : {2u, 8u}) {
+    SCOPED_TRACE(threads);
+    sim::SweepOptions opts;
+    opts.threads = threads;
+    const auto par = core::run_scenario_sweep_resilient(grid, eval, opts, res);
+    ASSERT_EQ(par.outcomes.size(), ref.outcomes.size());
+    for (std::size_t i = 0; i < ref.outcomes.size(); ++i) {
+      SCOPED_TRACE(i);
+      EXPECT_EQ(par.outcomes[i].ok, ref.outcomes[i].ok);
+      expect_outcome_identical(par.outcomes[i], ref.outcomes[i]);
+    }
+    EXPECT_EQ(par.failures.to_json(), ref_json);
+  }
+}
+
+TEST(FaultInjection, RetriesRecoverEveryInjectedFault) {
+  const auto grid = chaos_grid();
+  const auto eval = fast_eval();
+  const auto clean = core::run_scenario_sweep(grid, eval, {});
+
+  // Every scenario faults on attempt 0 only; one retry recovers all of them.
+  sim::FaultSpec spec;
+  spec.seed = 3;
+  spec.solver_exception_prob = 1.0;
+  spec.solver_exception_attempts = 1;
+  core::ResilientSweepOptions res;
+  res.faults = sim::FaultPlan(spec);
+  res.resilience.max_attempts = 2;
+  const auto chaos = core::run_scenario_sweep_resilient(grid, eval, {}, res);
+
+  EXPECT_TRUE(chaos.failures.ok());
+  EXPECT_EQ(chaos.failures.retries, grid.size());
+  ASSERT_EQ(chaos.outcomes.size(), clean.outcomes.size());
+  for (std::size_t i = 0; i < chaos.outcomes.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_TRUE(chaos.outcomes[i].ok);
+    expect_outcome_identical(chaos.outcomes[i], clean.outcomes[i]);
+  }
+}

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -13,7 +14,11 @@ namespace {
 class IoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "sre_io_test";
+    // Unique per test: ctest -j runs cases of this suite in parallel
+    // processes, and a shared directory would be torn down mid-test.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("sre_io_test_") + info->name());
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
@@ -100,4 +105,70 @@ TEST_F(IoTest, SequenceRejectsNonIncreasingFiles) {
   std::string error;
   EXPECT_FALSE(read_sequence_csv(path("s.csv"), &error).has_value());
   EXPECT_NE(error.find("increasing"), std::string::npos) << error;
+}
+
+TEST_F(IoTest, TypedErrorCarriesLineNumber) {
+  write_file("t.csv", "1.5\n2.5\nbogus\n");
+  ParseError error;
+  EXPECT_FALSE(read_trace_csv(path("t.csv"), &error).has_value());
+  EXPECT_EQ(error.line, 3u);
+  EXPECT_NE(error.message.find(":3:"), std::string::npos) << error.message;
+  EXPECT_EQ(error.to_string(), error.message);
+}
+
+TEST_F(IoTest, TypedErrorFileLevelProblemsUseLineZero) {
+  ParseError error;
+  EXPECT_FALSE(read_trace_csv(path("nosuch.csv"), &error).has_value());
+  EXPECT_EQ(error.line, 0u);
+}
+
+TEST_F(IoTest, RejectsNaNAndInfiniteDurations) {
+  for (const char* bad : {"nan", "inf", "-inf", "1e999"}) {
+    write_file("t.csv", std::string("1.5\n") + bad + "\n");
+    ParseError error;
+    EXPECT_FALSE(read_trace_csv(path("t.csv"), &error).has_value()) << bad;
+    EXPECT_EQ(error.line, 2u) << bad;
+  }
+}
+
+TEST_F(IoTest, RejectsOversizedLinesWithoutBufferingThem) {
+  std::string giant(kMaxCsvLineBytes + 1, '7');
+  write_file("t.csv", "1.5\n" + giant + "\n");
+  ParseError error;
+  EXPECT_FALSE(read_trace_csv(path("t.csv"), &error).has_value());
+  EXPECT_EQ(error.line, 2u);
+  EXPECT_NE(error.message.find("exceeds"), std::string::npos) << error.message;
+  // The diagnostic itself must stay small (excerpted, not echoed whole).
+  EXPECT_LT(error.message.size(), 512u);
+}
+
+TEST_F(IoTest, SurvivesTruncatedAndCorruptFixtures) {
+  // Fuzz-style corpus: each fixture must produce a clean typed error (or a
+  // valid parse), never UB, a crash, or silent garbage.
+  const std::vector<std::string> fixtures = {
+      "",                          // empty file
+      "\n\n\n",                    // only blank lines
+      "1.5",                       // no trailing newline (truncated write)
+      "1.5\n2.",                   // truncated float is still a float
+      "1.5\n2.5e",                 // truncated exponent
+      "a,b,c,",                    // empty last field
+      ",,,,\n",                    // only separators
+      std::string("1.5\n\x00\x01\x02\n", 8),  // embedded NUL/control bytes
+      "9999999999999999999999\n",  // huge but finite (accepted)
+      "0\n",                       // zero duration
+      "-0.0\n",                    // negative zero
+      "1.5,2.5\n3.5,oops\n",       // corrupt second row, last column
+  };
+  for (std::size_t i = 0; i < fixtures.size(); ++i) {
+    write_file("fuzz.csv", fixtures[i]);
+    ParseError error;
+    const auto out = read_trace_csv(path("fuzz.csv"), &error);
+    if (out) {
+      for (const double v : *out) {
+        EXPECT_TRUE(std::isfinite(v) && v > 0.0) << "fixture " << i;
+      }
+    } else {
+      EXPECT_FALSE(error.message.empty()) << "fixture " << i;
+    }
+  }
 }

@@ -1,0 +1,146 @@
+// Solver audit: numerical failure paths must surface as typed
+// ScenarioError exceptions, never NaN or a silently wrong answer.
+//
+//  - every Distribution::quantile rejects NaN / out-of-range probabilities
+//    with kDomainError (and still accepts the exact 0 and 1 boundaries that
+//    antithetic Monte Carlo evaluates),
+//  - stats::require_converged converts failed root searches into
+//    kNoConvergence,
+//  - ConvexCostFunction::inverse throws instead of returning NaN, and the
+//    convex recurrence recovers from that gracefully.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/convex_cost.hpp"
+#include "dist/factory.hpp"
+#include "dist/histogram.hpp"
+#include "dist/mixture.hpp"
+#include "dist/tabulated_cdf.hpp"
+#include "dist/transform.hpp"
+#include "stats/error.hpp"
+#include "stats/root_finding.hpp"
+
+using namespace sre;
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+void expect_domain_error(const dist::Distribution& d, double p) {
+  try {
+    (void)d.quantile(p);
+    FAIL() << d.name() << ".quantile(" << p << ") did not throw";
+  } catch (const ScenarioError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDomainError) << d.name();
+    EXPECT_NE(std::string(e.what()).find("quantile"), std::string::npos)
+        << d.name() << ": " << e.what();
+  }
+}
+
+}  // namespace
+
+TEST(SolverAudit, EveryPaperDistributionRejectsBadProbabilities) {
+  for (const auto& inst : dist::paper_distributions()) {
+    const auto& d = *inst.dist;
+    expect_domain_error(d, kNaN);
+    expect_domain_error(d, -0.25);
+    expect_domain_error(d, 1.25);
+    expect_domain_error(d, std::numeric_limits<double>::infinity());
+  }
+}
+
+TEST(SolverAudit, BoundariesStayValidForAntitheticSampling) {
+  // quantile(0) and quantile(1) are legitimate (support endpoints); the
+  // antithetic Monte Carlo estimator evaluates both.
+  for (const auto& inst : dist::paper_distributions()) {
+    const auto& d = *inst.dist;
+    const auto s = d.support();
+    EXPECT_NO_THROW({
+      EXPECT_GE(d.quantile(0.0), s.lower) << inst.label;
+      EXPECT_GE(d.quantile(1.0), d.quantile(0.0)) << inst.label;
+    });
+  }
+}
+
+TEST(SolverAudit, DerivedDistributionsValidateToo) {
+  const auto base = dist::paper_distribution("Exponential")->dist;
+  const dist::ScaledDistribution scaled(base, 2.0);
+  const dist::ShiftedDistribution shifted(base, 1.0);
+  const dist::HistogramDistribution histogram({0.0, 1.0, 2.0}, {0.5, 0.5});
+  const auto mixture =
+      dist::MixtureDistribution::hyperexponential({0.5, 0.5}, {1.0, 3.0});
+  const std::vector<const dist::Distribution*> derived = {
+      &scaled, &shifted, &histogram, &mixture};
+  for (const dist::Distribution* d : derived) {
+    expect_domain_error(*d, kNaN);
+    expect_domain_error(*d, 2.0);
+  }
+  // TabulatedCdf is not a Distribution subclass but shares the contract.
+  const dist::TabulatedCdf tabulated(*base, 64, 1e-9);
+  for (const double bad : {kNaN, 2.0, -0.5}) {
+    EXPECT_THROW((void)tabulated.quantile(bad), ScenarioError) << bad;
+  }
+}
+
+TEST(SolverAudit, MixtureQuantileNeverSilentlyFallsBack) {
+  // A mixture with widely separated components forces the bisection path;
+  // the result must satisfy the quantile definition, not be a bracket
+  // endpoint returned on a swallowed failure.
+  const auto m =
+      dist::MixtureDistribution::hyperexponential({0.7, 0.3}, {10.0, 0.01});
+  for (const double p : {0.01, 0.25, 0.5, 0.75, 0.9, 0.999}) {
+    const double q = m.quantile(p);
+    EXPECT_TRUE(std::isfinite(q)) << p;
+    EXPECT_NEAR(m.cdf(q), p, 1e-9) << p;
+  }
+}
+
+TEST(SolverAudit, RequireConvergedThrowsTypedErrors) {
+  // Invalid bracket (same sign at both ends) -> nullopt -> kNoConvergence.
+  const auto same_sign = [](double) { return 1.0; };
+  const auto no_root = stats::brent(same_sign, 0.0, 1.0);
+  EXPECT_FALSE(no_root.has_value());
+  try {
+    (void)stats::require_converged(no_root, "SolverAudit.test");
+    FAIL() << "did not throw";
+  } catch (const ScenarioError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNoConvergence);
+    EXPECT_NE(std::string(e.what()).find("SolverAudit.test"),
+              std::string::npos);
+  }
+  // A converged result passes through unchanged.
+  const auto linear = [](double x) { return x - 0.5; };
+  const auto root = stats::brent(linear, 0.0, 1.0);
+  ASSERT_TRUE(root.has_value());
+  EXPECT_NO_THROW({
+    EXPECT_NEAR(stats::require_converged(root, "ok").x, 0.5, 1e-10);
+  });
+}
+
+TEST(SolverAudit, QuadraticInverseThrowsBelowMinimum) {
+  const core::QuadraticCost g(1.0, 1.0, 5.0);  // min value is 5 at x=0
+  EXPECT_NEAR(g.inverse(g.value(2.0)), 2.0, 1e-12);
+  try {
+    (void)g.inverse(1.0);
+    FAIL() << "did not throw";
+  } catch (const ScenarioError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDomainError);
+  }
+}
+
+TEST(SolverAudit, ConvexRecurrenceSurvivesThrowingInverse) {
+  // The brute-force t1 scan feeds many candidate sequences through
+  // g.inverse; a candidate whose recurrence leaves the invertible range must
+  // be skipped, not crash the scan and not contaminate it with NaN.
+  const auto d = dist::paper_distribution("Exponential")->dist;
+  const core::QuadraticCost g(0.5, 1.0, 0.25);
+  const auto res = core::convex_brute_force(*d, g, 0.1, 8.0, 40);
+  ASSERT_TRUE(res.found);
+  EXPECT_TRUE(std::isfinite(res.best_cost));
+  for (const double v : res.best_sequence.values()) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}

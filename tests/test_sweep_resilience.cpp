@@ -1,0 +1,228 @@
+// SweepRunner::run_resilient error paths: per-scenario isolation, typed
+// classification, bounded retry, per-scenario deadlines, deterministic merge
+// order, and byte-identical partial output across thread counts.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/sweep.hpp"
+#include "stats/error.hpp"
+
+using namespace sre;
+using sim::AttemptContext;
+using sim::ResilienceOptions;
+using sim::SweepOptions;
+using sim::SweepRunner;
+
+namespace {
+
+std::size_t code_index(ErrorCode code) {
+  return static_cast<std::size_t>(code);
+}
+
+}  // namespace
+
+TEST(SweepResilience, ThrowingScenarioOnlyFailsItsOwnSlot) {
+  SweepRunner runner;
+  const auto out = runner.run_resilient<int>(
+      8, {}, [](std::size_t i, const AttemptContext&) -> int {
+        if (i == 3) {
+          throw ScenarioError(ErrorCode::kDomainError, "scenario 3 is bad");
+        }
+        return static_cast<int>(i) * 10;
+      });
+  ASSERT_EQ(out.results.size(), 8u);
+  ASSERT_EQ(out.ok.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (i == 3) {
+      EXPECT_EQ(out.ok[i], 0);
+      EXPECT_EQ(out.results[i], 0);  // default-constructed filler
+    } else {
+      EXPECT_EQ(out.ok[i], 1);
+      EXPECT_EQ(out.results[i], static_cast<int>(i) * 10);
+    }
+  }
+  EXPECT_EQ(out.report.scenarios, 8u);
+  EXPECT_EQ(out.report.failed, 1u);
+  EXPECT_FALSE(out.report.ok());
+  EXPECT_EQ(out.report.by_code[code_index(ErrorCode::kDomainError)], 1u);
+  ASSERT_NE(out.report.first_failure(), nullptr);
+  EXPECT_EQ(out.report.first_failure()->index, 3u);
+  EXPECT_EQ(out.report.first_failure()->message, "scenario 3 is bad");
+}
+
+TEST(SweepResilience, UntypedExceptionsClassifyAsDomainError) {
+  SweepRunner runner;
+  const auto report = runner.run_resilient_indexed(
+      3, {}, [](std::size_t i, const AttemptContext&) {
+        if (i == 0) throw std::runtime_error("plain runtime_error");
+        if (i == 1) throw 42;  // not even a std::exception
+      });
+  EXPECT_EQ(report.failed, 2u);
+  EXPECT_EQ(report.by_code[code_index(ErrorCode::kDomainError)], 2u);
+  ASSERT_EQ(report.failures.size(), 2u);
+  EXPECT_EQ(report.failures[0].message, "plain runtime_error");
+  EXPECT_NE(report.failures[1].message.find("unknown"), std::string::npos);
+}
+
+TEST(SweepResilience, RetryableFaultSucceedsOnRetryN) {
+  SweepRunner runner;
+  ResilienceOptions res;
+  res.max_attempts = 3;
+  std::vector<int> attempts_seen(4, 0);
+  const auto out = runner.run_resilient<int>(
+      4, res, [&attempts_seen](std::size_t i, const AttemptContext& ctx) {
+        attempts_seen[i] = ctx.attempt + 1;
+        // Scenario 2 needs exactly 3 attempts; the rest succeed first try.
+        if (i == 2 && ctx.attempt < 2) {
+          throw ScenarioError(ErrorCode::kInjectedFault, "transient");
+        }
+        return 1;
+      });
+  EXPECT_TRUE(out.report.ok());
+  EXPECT_EQ(out.report.failed, 0u);
+  EXPECT_EQ(out.report.retries, 2u);
+  EXPECT_EQ(attempts_seen[2], 3);
+  ASSERT_EQ(out.report.retry_histogram.size(), 3u);
+  EXPECT_EQ(out.report.retry_histogram[0], 3u);  // 3 scenarios: 1 attempt
+  EXPECT_EQ(out.report.retry_histogram[1], 0u);
+  EXPECT_EQ(out.report.retry_histogram[2], 1u);  // scenario 2: 3 attempts
+}
+
+TEST(SweepResilience, DeterministicFailuresAreNeverRetried) {
+  SweepRunner runner;
+  ResilienceOptions res;
+  res.max_attempts = 5;
+  for (const ErrorCode code :
+       {ErrorCode::kDomainError, ErrorCode::kNoConvergence,
+        ErrorCode::kCancelled, ErrorCode::kTimeout}) {
+    SCOPED_TRACE(static_cast<int>(code));
+    int calls = 0;
+    const auto report = runner.run_resilient_indexed(
+        1, res, [&calls, code](std::size_t, const AttemptContext&) {
+          ++calls;
+          throw ScenarioError(code, "deterministic");
+        });
+    EXPECT_EQ(calls, 1) << "non-retryable class was retried";
+    ASSERT_EQ(report.failures.size(), 1u);
+    EXPECT_EQ(report.failures[0].code, code);
+    EXPECT_EQ(report.failures[0].attempts, 1);
+  }
+  // The retryable class consumes the full budget.
+  int calls = 0;
+  const auto report = runner.run_resilient_indexed(
+      1, res, [&calls](std::size_t, const AttemptContext&) {
+        ++calls;
+        throw ScenarioError(ErrorCode::kInjectedFault, "always");
+      });
+  EXPECT_EQ(calls, 5);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].attempts, 5);
+  EXPECT_EQ(report.retries, 4u);
+}
+
+TEST(SweepResilience, DeadlineSurfacesAsTypedTimeout) {
+  SweepRunner runner;
+  ResilienceOptions res;
+  res.scenario_deadline_seconds = 0.02;
+  const auto report = runner.run_resilient_indexed(
+      1, res, [](std::size_t, const AttemptContext& ctx) {
+        ASSERT_TRUE(ctx.cancel.armed());
+        // A cooperative solver loop: poll the token until it expires.
+        for (;;) {
+          ctx.cancel.check("test.loop");
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      });
+  EXPECT_EQ(report.failed, 1u);
+  EXPECT_EQ(report.by_code[code_index(ErrorCode::kTimeout)], 1u);
+}
+
+TEST(SweepResilience, WithoutDeadlineTheTokenIsInert) {
+  SweepRunner runner;
+  const auto report = runner.run_resilient_indexed(
+      2, {}, [](std::size_t, const AttemptContext& ctx) {
+        EXPECT_FALSE(ctx.cancel.armed());
+        ctx.cancel.check("never.throws");
+      });
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(SweepResilience, FailureBudgetEvaluatesAfterTheSweep) {
+  SweepRunner runner;
+  const auto fail_three = [](std::size_t i, const AttemptContext&) {
+    if (i % 4 == 0) {  // indices 0, 4, 8 of 10 -> 3 failures
+      throw ScenarioError(ErrorCode::kDomainError, "fail");
+    }
+  };
+  ResilienceOptions tight;
+  tight.failure_budget = 0.2;
+  const auto degraded = runner.run_resilient_indexed(10, tight, fail_three);
+  EXPECT_EQ(degraded.failed, 3u);
+  EXPECT_TRUE(degraded.budget_exceeded);
+
+  ResilienceOptions loose;
+  loose.failure_budget = 0.5;
+  const auto fine = runner.run_resilient_indexed(10, loose, fail_three);
+  EXPECT_EQ(fine.failed, 3u);
+  EXPECT_FALSE(fine.budget_exceeded);
+}
+
+TEST(SweepResilience, PartialReportByteIdenticalAcrossThreadCounts) {
+  const auto fn = [](std::size_t i, const AttemptContext&) -> double {
+    switch (i % 7) {
+      case 2:
+        throw ScenarioError(ErrorCode::kDomainError, "domain @" +
+                                                         std::to_string(i));
+      case 5:
+        throw ScenarioError(ErrorCode::kNoConvergence,
+                            "solver stalled @" + std::to_string(i));
+      default:
+        return static_cast<double>(i) * 1.5;
+    }
+  };
+  constexpr std::size_t kN = 64;
+
+  SweepOptions serial;
+  serial.serial = true;
+  SweepRunner base(serial);
+  const auto ref = base.run_resilient<double>(kN, {}, fn);
+  const std::string ref_json = ref.report.to_json();
+  EXPECT_FALSE(ref_json.empty());
+
+  for (const unsigned threads : {2u, 8u}) {
+    SCOPED_TRACE(threads);
+    SweepOptions opts;
+    opts.threads = threads;
+    SweepRunner runner(opts);
+    const auto out = runner.run_resilient<double>(kN, {}, fn);
+    EXPECT_EQ(out.results, ref.results);
+    EXPECT_EQ(out.ok, ref.ok);
+    EXPECT_EQ(out.report.to_json(), ref_json);
+  }
+}
+
+TEST(SweepResilience, ReportJsonCarriesTheFullTaxonomy) {
+  SweepRunner runner;
+  const auto report = runner.run_resilient_indexed(
+      2, {}, [](std::size_t i, const AttemptContext&) {
+        if (i == 1) {
+          throw ScenarioError(ErrorCode::kDomainError,
+                              "quote \" and\nnewline");
+        }
+      });
+  const std::string json = report.to_json();
+  // Every class name appears (zero counts included) and messages are escaped.
+  for (const char* name : {"domain_error", "no_convergence", "timeout",
+                           "injected_fault", "cancelled"}) {
+    EXPECT_NE(json.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(json.find("\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos) << "must be single-line";
+}

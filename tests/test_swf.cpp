@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <string>
+#include <vector>
+
 #include "platform/trace.hpp"
 
 using namespace sre::platform;
@@ -107,4 +111,59 @@ TEST(Swf, MissingFileReported) {
   std::string error;
   EXPECT_FALSE(read_swf("/nonexistent/log.swf", &error).has_value());
   EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST(Swf, RejectsFieldsThatWouldOverflowIntegerCasts) {
+  // Casting a double beyond the target type's range is UB, so lines with
+  // astronomic ids / processor counts must be skipped before the cast —
+  // previously these were cast unchecked.
+  const char* hostile =
+      "1e300 0 5 3600 16 -1 -1 7200 -1 -1 1 1 1 -1 -1 -1 -1 -1\n"  // id
+      "2 0 5 3600 1e300 -1 -1 7200 -1 -1 1 1 1 -1 -1 -1 -1 -1\n"   // procs
+      "nan 0 5 3600 16 -1 -1 7200 -1 -1 1 1 1 -1 -1 -1 -1 -1\n"    // NaN id
+      "4 0 5 3600 nan -1 -1 7200 -1 -1 1 1 1 -1 -1 -1 -1 -1\n"     // NaN procs
+      "5 0 5 3600 16 -1 -1 7200 -1 -1 1 1 1 -1 -1 -1 -1 -1\n";     // valid
+  const auto log = parse_swf(hostile);
+  ASSERT_TRUE(log.has_value());
+  EXPECT_EQ(log->jobs.size(), 1u);
+  EXPECT_EQ(log->jobs[0].id, 5);
+  EXPECT_EQ(log->skipped, 4u);
+}
+
+TEST(Swf, RejectsNonFiniteAndAbsurdTimes) {
+  const char* hostile =
+      "1 inf 5 3600 16 -1 -1 7200 -1 -1 1 1 1 -1 -1 -1 -1 -1\n"   // inf submit
+      "2 0 5 inf 16 -1 -1 7200 -1 -1 1 1 1 -1 -1 -1 -1 -1\n"      // inf runtime
+      "3 0 5 nan 16 -1 -1 7200 -1 -1 1 1 1 -1 -1 -1 -1 -1\n"      // nan runtime
+      "4 1e17 5 3600 16 -1 -1 7200 -1 -1 1 1 1 -1 -1 -1 -1 -1\n"  // absurd
+      "5 0 5 3600 16 -1 -1 inf -1 -1 1 1 1 -1 -1 -1 -1 -1\n"      // inf request
+      "6 0 5 3600 16 -1 -1 7200 -1 -1 1 1 1 -1 -1 -1 -1 -1\n";    // valid
+  const auto log = parse_swf(hostile);
+  ASSERT_TRUE(log.has_value());
+  // An inf request is corruption (unknown is -1), so job 5 is skipped
+  // whole rather than falling back to the runtime.
+  EXPECT_EQ(log->jobs.size(), 1u);
+  EXPECT_EQ(log->skipped, 5u);
+  for (const auto& j : log->jobs) {
+    EXPECT_TRUE(std::isfinite(j.submit) && std::isfinite(j.runtime) &&
+                std::isfinite(j.requested));
+  }
+}
+
+TEST(Swf, SurvivesTruncatedAndCorruptFixtures) {
+  // Fuzz-style corpus: a typed reject or a valid parse, never a crash.
+  const std::vector<std::string> fixtures = {
+      "1 0 5",                       // truncated line (too few fields)
+      "1 0 5 3600 16 -1 -1",         // truncated mid-fields
+      "; header only\n;\n",          // no jobs
+      "\n\n",                        // blank
+      std::string(200000, '9'),         // one enormous token
+      "1 0 5 3600 16 -1 -1 abc -1 -1\n"  // non-numeric field mid-line
+  };
+  for (std::size_t i = 0; i < fixtures.size(); ++i) {
+    std::string error;
+    const auto log = parse_swf(fixtures[i], &error);
+    EXPECT_FALSE(log.has_value()) << "fixture " << i;
+    EXPECT_FALSE(error.empty()) << "fixture " << i;
+  }
 }
