@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "stats/canonical.hpp"
+
 namespace sre::core {
 
 double CostModel::attempt_cost(double reserved, double exec) const noexcept {
@@ -14,6 +16,12 @@ std::string CostModel::describe() const {
   os << "CostModel(alpha=" << alpha << ", beta=" << beta << ", gamma=" << gamma
      << ")";
   return os.str();
+}
+
+std::string CostModel::to_key() const {
+  return "cost(alpha=" + stats::canonical_key_double(alpha, "cost.alpha") +
+         ",beta=" + stats::canonical_key_double(beta, "cost.beta") +
+         ",gamma=" + stats::canonical_key_double(gamma, "cost.gamma") + ")";
 }
 
 }  // namespace sre::core

@@ -30,6 +30,14 @@ struct CostModel {
   [[nodiscard]] double attempt_cost(double reserved, double exec) const noexcept;
 
   [[nodiscard]] std::string describe() const;
+
+  /// Canonical cache-key fragment, e.g. "cost(alpha=1,beta=0,gamma=0)".
+  /// Byte-stable across platforms (shortest round-trip formatting), -0.0
+  /// normalized to 0.0; throws ScenarioError(kDomainError) on a non-finite
+  /// parameter so a NaN can never poison a plan-cache key. The format is a
+  /// stability guarantee consumed by the srv:: plan cache — see
+  /// CONTRIBUTING.md "Request-key stability".
+  [[nodiscard]] std::string to_key() const;
 };
 
 }  // namespace sre::core

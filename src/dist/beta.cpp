@@ -7,6 +7,8 @@
 
 #include "stats/special_functions.hpp"
 
+#include "stats/canonical.hpp"
+
 namespace sre::dist {
 
 Beta::Beta(double alpha, double beta)
@@ -72,6 +74,11 @@ std::string Beta::describe() const {
   std::ostringstream os;
   os << "Beta(alpha=" << alpha_ << ", beta=" << beta_ << ")";
   return os.str();
+}
+
+std::string Beta::to_key() const {
+  return "beta(alpha=" + stats::canonical_key_double(alpha_, "beta.alpha") +
+         ",beta=" + stats::canonical_key_double(beta_, "beta.beta") + ")";
 }
 
 }  // namespace sre::dist

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "stats/canonical.hpp"
+
 namespace sre::dist {
 
 BoundedPareto::BoundedPareto(double lower, double upper, double alpha)
@@ -65,6 +67,13 @@ std::string BoundedPareto::describe() const {
   os << "BoundedPareto(L=" << L_ << ", H=" << H_ << ", alpha=" << alpha_
      << ")";
   return os.str();
+}
+
+std::string BoundedPareto::to_key() const {
+  return "boundedpareto(l=" +
+         stats::canonical_key_double(L_, "boundedpareto.l") + ",h=" +
+         stats::canonical_key_double(H_, "boundedpareto.h") + ",alpha=" +
+         stats::canonical_key_double(alpha_, "boundedpareto.alpha") + ")";
 }
 
 }  // namespace sre::dist

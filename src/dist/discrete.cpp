@@ -8,6 +8,8 @@
 
 #include "stats/summary.hpp"
 
+#include "stats/canonical.hpp"
+
 namespace sre::dist {
 
 DiscreteDistribution::DiscreteDistribution(std::vector<double> values,
@@ -122,6 +124,16 @@ std::string DiscreteDistribution::describe() const {
   os << "Discrete(n=" << values_.size() << ", [" << values_.front() << ", "
      << values_.back() << "])";
   return os.str();
+}
+
+std::string DiscreteDistribution::to_key() const {
+  std::string key = "discrete(";
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) key += ",";
+    key += stats::canonical_key_double(values_[i], "discrete.value") + ":" +
+           stats::canonical_key_double(probs_[i], "discrete.prob");
+  }
+  return key + ")";
 }
 
 }  // namespace sre::dist

@@ -85,4 +85,9 @@ double Distribution::partial_expectation(double a, double b) const {
 
 std::string Distribution::describe() const { return name(); }
 
+std::string Distribution::to_key() const {
+  throw ScenarioError(ErrorCode::kDomainError,
+                      name() + " does not define a canonical cache key");
+}
+
 }  // namespace sre::dist

@@ -76,6 +76,16 @@ class Distribution {
   /// Human-readable description including parameter values.
   [[nodiscard]] virtual std::string describe() const;
 
+  /// Canonical cache-key fragment for this law, e.g.
+  /// "exponential(lambda=1)": lowercase name, parameters in a fixed order,
+  /// each value rendered by stats::canonical_key_double (shortest
+  /// round-trip form, -0.0 normalized, non-finite values rejected with a
+  /// typed kDomainError). Two distributions with equal parameters produce
+  /// identical bytes, which is what lets the srv:: plan cache key on it —
+  /// see CONTRIBUTING.md "Request-key stability". The default throws
+  /// ScenarioError(kDomainError); every concrete law in dist:: overrides.
+  [[nodiscard]] virtual std::string to_key() const;
+
  protected:
   /// Numeric fallback for conditional_mean_above (exposed so overrides can
   /// delegate when their closed form loses precision deep in the tail).

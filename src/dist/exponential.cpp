@@ -5,6 +5,8 @@
 #include <limits>
 #include <sstream>
 
+#include "stats/canonical.hpp"
+
 namespace sre::dist {
 
 Exponential::Exponential(double lambda) : lambda_(lambda) {
@@ -52,6 +54,11 @@ std::string Exponential::describe() const {
   std::ostringstream os;
   os << "Exponential(lambda=" << lambda_ << ")";
   return os.str();
+}
+
+std::string Exponential::to_key() const {
+  return "exponential(lambda=" +
+         stats::canonical_key_double(lambda_, "exponential.lambda") + ")";
 }
 
 }  // namespace sre::dist

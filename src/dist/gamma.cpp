@@ -7,6 +7,8 @@
 
 #include "stats/special_functions.hpp"
 
+#include "stats/canonical.hpp"
+
 namespace sre::dist {
 
 Gamma::Gamma(double alpha, double beta)
@@ -71,6 +73,11 @@ std::string Gamma::describe() const {
   std::ostringstream os;
   os << "Gamma(alpha=" << alpha_ << ", beta=" << beta_ << ")";
   return os.str();
+}
+
+std::string Gamma::to_key() const {
+  return "gamma(alpha=" + stats::canonical_key_double(alpha_, "gamma.alpha") +
+         ",beta=" + stats::canonical_key_double(beta_, "gamma.beta") + ")";
 }
 
 }  // namespace sre::dist

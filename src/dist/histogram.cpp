@@ -7,6 +7,8 @@
 
 #include "stats/summary.hpp"
 
+#include "stats/canonical.hpp"
+
 namespace sre::dist {
 
 HistogramDistribution HistogramDistribution::from_samples(
@@ -146,6 +148,20 @@ std::string HistogramDistribution::describe() const {
   os << "Histogram(bins=" << masses_.size() << ", [" << edges_.front() << ", "
      << edges_.back() << "])";
   return os.str();
+}
+
+std::string HistogramDistribution::to_key() const {
+  std::string key = "histogram(edges=";
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (i > 0) key += ",";
+    key += stats::canonical_key_double(edges_[i], "histogram.edge");
+  }
+  key += ";masses=";
+  for (std::size_t i = 0; i < masses_.size(); ++i) {
+    if (i > 0) key += ",";
+    key += stats::canonical_key_double(masses_[i], "histogram.mass");
+  }
+  return key + ")";
 }
 
 }  // namespace sre::dist

@@ -45,6 +45,7 @@ class HistogramDistribution final : public Distribution {
   [[nodiscard]] double conditional_mean_above(double tau) const override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::string to_key() const override;
 
  private:
   /// Index of the bin containing t (edges_[i] <= t < edges_[i+1]).

@@ -7,6 +7,8 @@
 
 #include "stats/special_functions.hpp"
 
+#include "stats/canonical.hpp"
+
 namespace sre::dist {
 
 LogLogistic::LogLogistic(double scale, double shape)
@@ -79,6 +81,12 @@ std::string LogLogistic::describe() const {
   std::ostringstream os;
   os << "LogLogistic(alpha=" << alpha_ << ", beta=" << beta_ << ")";
   return os.str();
+}
+
+std::string LogLogistic::to_key() const {
+  return "loglogistic(alpha=" +
+         stats::canonical_key_double(alpha_, "loglogistic.alpha") + ",beta=" +
+         stats::canonical_key_double(beta_, "loglogistic.beta") + ")";
 }
 
 }  // namespace sre::dist

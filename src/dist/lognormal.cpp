@@ -8,6 +8,8 @@
 #include "stats/fitting.hpp"
 #include "stats/special_functions.hpp"
 
+#include "stats/canonical.hpp"
+
 namespace sre::dist {
 
 LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
@@ -76,6 +78,12 @@ std::string LogNormal::describe() const {
   std::ostringstream os;
   os << "LogNormal(mu=" << mu_ << ", sigma=" << sigma_ << ")";
   return os.str();
+}
+
+std::string LogNormal::to_key() const {
+  return "lognormal(mu=" + stats::canonical_key_double(mu_, "lognormal.mu") +
+         ",sigma=" + stats::canonical_key_double(sigma_, "lognormal.sigma") +
+         ")";
 }
 
 }  // namespace sre::dist

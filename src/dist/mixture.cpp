@@ -8,6 +8,8 @@
 #include "dist/exponential.hpp"
 #include "stats/root_finding.hpp"
 
+#include "stats/canonical.hpp"
+
 namespace sre::dist {
 
 MixtureDistribution::MixtureDistribution(std::vector<Component> components)
@@ -137,6 +139,17 @@ std::string MixtureDistribution::describe() const {
   }
   os << ")";
   return os.str();
+}
+
+std::string MixtureDistribution::to_key() const {
+  std::string key = "mixture(";
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) key += ",";
+    key += stats::canonical_key_double(components_[i].weight,
+                                       "mixture.weight") +
+           "*" + components_[i].dist->to_key();
+  }
+  return key + ")";
 }
 
 }  // namespace sre::dist

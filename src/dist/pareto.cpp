@@ -5,6 +5,8 @@
 #include <limits>
 #include <sstream>
 
+#include "stats/canonical.hpp"
+
 namespace sre::dist {
 
 Pareto::Pareto(double scale, double alpha) : nu_(scale), alpha_(alpha) {
@@ -60,6 +62,12 @@ std::string Pareto::describe() const {
   std::ostringstream os;
   os << "Pareto(nu=" << nu_ << ", alpha=" << alpha_ << ")";
   return os.str();
+}
+
+std::string Pareto::to_key() const {
+  return "pareto(nu=" + stats::canonical_key_double(nu_, "pareto.nu") +
+         ",alpha=" + stats::canonical_key_double(alpha_, "pareto.alpha") +
+         ")";
 }
 
 }  // namespace sre::dist

@@ -26,6 +26,7 @@ class Pareto final : public Distribution {
   [[nodiscard]] double conditional_mean_above(double tau) const override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::string to_key() const override;
 
  private:
   double nu_;

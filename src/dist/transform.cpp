@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "stats/canonical.hpp"
+
 namespace sre::dist {
 
 ScaledDistribution::ScaledDistribution(DistributionPtr base, double factor)
@@ -80,6 +82,18 @@ std::string ShiftedDistribution::describe() const {
   std::ostringstream os;
   os << "Shifted(" << base_->describe() << " + " << delta_ << ")";
   return os.str();
+}
+
+std::string ScaledDistribution::to_key() const {
+  return "scaled(factor=" +
+         stats::canonical_key_double(factor_, "scaled.factor") + ",base=" +
+         base_->to_key() + ")";
+}
+
+std::string ShiftedDistribution::to_key() const {
+  return "shifted(delta=" +
+         stats::canonical_key_double(delta_, "shifted.delta") + ",base=" +
+         base_->to_key() + ")";
 }
 
 }  // namespace sre::dist

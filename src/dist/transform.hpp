@@ -29,6 +29,7 @@ class ScaledDistribution final : public Distribution {
   [[nodiscard]] double conditional_mean_above(double tau) const override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::string to_key() const override;
 
  private:
   DistributionPtr base_;
@@ -54,6 +55,7 @@ class ShiftedDistribution final : public Distribution {
   [[nodiscard]] double conditional_mean_above(double tau) const override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::string to_key() const override;
 
  private:
   DistributionPtr base_;

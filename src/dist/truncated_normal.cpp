@@ -7,6 +7,8 @@
 
 #include "stats/special_functions.hpp"
 
+#include "stats/canonical.hpp"
+
 namespace sre::dist {
 
 namespace {
@@ -95,6 +97,13 @@ std::string TruncatedNormal::describe() const {
   os << "TruncatedNormal(mu=" << mu_ << ", sigma=" << sigma_ << ", a=" << a_
      << ")";
   return os.str();
+}
+
+std::string TruncatedNormal::to_key() const {
+  return "truncatednormal(mu=" +
+         stats::canonical_key_double(mu_, "truncatednormal.mu") + ",sigma=" +
+         stats::canonical_key_double(sigma_, "truncatednormal.sigma") +
+         ",a=" + stats::canonical_key_double(a_, "truncatednormal.a") + ")";
 }
 
 }  // namespace sre::dist

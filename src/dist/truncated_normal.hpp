@@ -33,6 +33,7 @@ class TruncatedNormal final : public Distribution {
   [[nodiscard]] double conditional_mean_above(double tau) const override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] std::string to_key() const override;
 
  private:
   /// Inverse Mills ratio phi(z) / (1 - Phi(z)) of the *untruncated* normal.

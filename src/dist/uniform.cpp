@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "stats/canonical.hpp"
+
 namespace sre::dist {
 
 Uniform::Uniform(double lower, double upper) : a_(lower), b_(upper) {
@@ -49,6 +51,11 @@ std::string Uniform::describe() const {
   std::ostringstream os;
   os << "Uniform(a=" << a_ << ", b=" << b_ << ")";
   return os.str();
+}
+
+std::string Uniform::to_key() const {
+  return "uniform(a=" + stats::canonical_key_double(a_, "uniform.a") +
+         ",b=" + stats::canonical_key_double(b_, "uniform.b") + ")";
 }
 
 }  // namespace sre::dist

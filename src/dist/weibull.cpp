@@ -7,6 +7,8 @@
 
 #include "stats/special_functions.hpp"
 
+#include "stats/canonical.hpp"
+
 namespace sre::dist {
 
 Weibull::Weibull(double lambda, double kappa) : lambda_(lambda), kappa_(kappa) {
@@ -78,6 +80,13 @@ std::string Weibull::describe() const {
   std::ostringstream os;
   os << "Weibull(lambda=" << lambda_ << ", kappa=" << kappa_ << ")";
   return os.str();
+}
+
+std::string Weibull::to_key() const {
+  return "weibull(lambda=" +
+         stats::canonical_key_double(lambda_, "weibull.lambda") +
+         ",kappa=" + stats::canonical_key_double(kappa_, "weibull.kappa") +
+         ")";
 }
 
 }  // namespace sre::dist

@@ -35,4 +35,12 @@ CancelSource CancelSource::with_deadline(double seconds) {
   return src;
 }
 
+CancelSource CancelSource::at_deadline(
+    std::chrono::steady_clock::time_point when) {
+  CancelSource src;
+  src.state_->has_deadline = true;
+  src.state_->deadline = when;
+  return src;
+}
+
 }  // namespace sre::sim

@@ -69,6 +69,13 @@ class CancelSource {
   /// A source whose tokens expire `seconds` from now (steady clock).
   static CancelSource with_deadline(double seconds);
 
+  /// A source whose tokens expire at an absolute steady-clock instant. The
+  /// srv:: request path computes each request's deadline once at admission
+  /// and threads the *same* instant through queueing, batching, and the
+  /// solver, so time spent waiting in the queue counts against the
+  /// request's budget rather than resetting it.
+  static CancelSource at_deadline(std::chrono::steady_clock::time_point when);
+
   /// Requests cooperative cancellation; idempotent, thread-safe.
   void request_cancel() noexcept {
     state_->cancelled.store(true, std::memory_order_relaxed);

@@ -1,0 +1,120 @@
+#include "srv/cache.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace sre::srv {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+obs::Counter& hit_counter() {
+  static obs::Counter& c = obs::counter("srv.cache.hits");
+  return c;
+}
+obs::Counter& miss_counter() {
+  static obs::Counter& c = obs::counter("srv.cache.misses");
+  return c;
+}
+obs::Counter& insert_counter() {
+  static obs::Counter& c = obs::counter("srv.cache.inserts");
+  return c;
+}
+obs::Counter& eviction_counter() {
+  static obs::Counter& c = obs::counter("srv.cache.evictions");
+  return c;
+}
+
+}  // namespace
+
+PlanCache::PlanCache(Config cfg)
+    : capacity_(cfg.capacity) {
+  const std::size_t shard_count =
+      round_up_pow2(cfg.shards == 0 ? 1 : cfg.shards);
+  shard_mask_ = shard_count - 1;
+  // Ceil division keeps total capacity >= cfg.capacity; a tiny capacity
+  // with many shards still holds at least one entry per shard.
+  per_shard_capacity_ =
+      capacity_ == 0 ? 0 : (capacity_ + shard_count - 1) / shard_count;
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::shared_ptr<const std::string> PlanCache::lookup(std::string_view key,
+                                                     std::uint64_t key_hash) {
+  if (capacity_ == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    miss_counter().add();
+    return nullptr;
+  }
+  Shard& shard = shard_for(key_hash);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    miss_counter().add();
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  hit_counter().add();
+  return it->second->value;
+}
+
+void PlanCache::insert(std::string_view key, std::uint64_t key_hash,
+                       std::shared_ptr<const std::string> value) {
+  if (capacity_ == 0) return;
+  Shard& shard = shard_for(key_hash);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Same key => same solve => same bytes; only the recency moves.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{std::string(key), std::move(value)});
+  shard.index.emplace(std::string_view(shard.lru.front().key),
+                      shard.lru.begin());
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  insert_counter().add();
+  while (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(std::string_view(shard.lru.back().key));
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    eviction_counter().add();
+  }
+}
+
+PlanCache::Counters PlanCache::counters() const {
+  Counters c;
+  c.hits = hits_.load(std::memory_order_relaxed);
+  c.misses = misses_.load(std::memory_order_relaxed);
+  c.inserts = inserts_.load(std::memory_order_relaxed);
+  c.evictions = evictions_.load(std::memory_order_relaxed);
+  return c;
+}
+
+std::size_t PlanCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+void PlanCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->index.clear();
+    shard->lru.clear();
+  }
+}
+
+}  // namespace sre::srv

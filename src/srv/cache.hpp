@@ -1,0 +1,87 @@
+#pragma once
+
+// Sharded LRU plan cache. Values are the *serialized* result fragments a
+// solve produced, held by shared_ptr so a hit hands back the exact bytes of
+// the cold response (the byte-identical guarantee is structural: there is
+// nothing to re-serialize). Sharding keeps the lock a request holds while
+// touching the LRU list narrow — the shard index is the low bits of the
+// key's FNV-1a hash, which the request layer already computes.
+//
+// Hits, misses, insertions, and evictions are double-counted on purpose:
+// once in plain atomics (so BENCH_serve.json is exact even under obs-off
+// builds) and once in obs:: counters ("srv.cache.hits", ...) for the
+// metrics sidecar and obsdiff gating.
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace sre::srv {
+
+class PlanCache {
+ public:
+  struct Config {
+    std::size_t capacity = 1024;  ///< total entries across shards (0 = off)
+    std::size_t shards = 8;       ///< rounded up to a power of two
+  };
+
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  explicit PlanCache(Config cfg);
+  PlanCache() : PlanCache(Config{}) {}
+
+  /// The cached value, or nullptr (counted as hit/miss). A hit refreshes
+  /// the entry's LRU position.
+  [[nodiscard]] std::shared_ptr<const std::string> lookup(
+      std::string_view key, std::uint64_t key_hash);
+
+  /// Inserts (or refreshes) `value`, evicting the shard's least-recently
+  /// used entries while over budget. Re-inserting an existing key only
+  /// touches its recency — values for one key are identical by
+  /// construction (the key determines the solve).
+  void insert(std::string_view key, std::uint64_t key_hash,
+              std::shared_ptr<const std::string> value);
+
+  [[nodiscard]] Counters counters() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  void clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const std::string> value;
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
+  };
+
+  [[nodiscard]] Shard& shard_for(std::uint64_t key_hash) noexcept {
+    return *shards_[key_hash & shard_mask_];
+  }
+
+  std::size_t capacity_;
+  std::size_t per_shard_capacity_;
+  std::uint64_t shard_mask_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> inserts_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace sre::srv

@@ -1,0 +1,179 @@
+#include "srv/protocol.hpp"
+
+#include <cmath>
+
+#include "obs/minijson.hpp"
+#include "obs/report.hpp"
+#include "stats/error.hpp"
+
+namespace sre::srv {
+
+namespace {
+
+using obs::minijson::Value;
+
+[[noreturn]] void bad(const std::string& message) {
+  throw ScenarioError(ErrorCode::kDomainError, message);
+}
+
+double number_field(const Value& v, const char* field) {
+  if (!v.is_number()) bad(std::string("field '") + field + "' must be a number");
+  return v.number;
+}
+
+/// Ids may arrive as strings or numbers; numbers normalize through
+/// format_double so "1" and 1 echo identically.
+std::string id_of(const Value& v) {
+  if (v.is_string()) return v.string;
+  if (v.is_number()) return obs::format_double(v.number);
+  bad("field 'id' must be a string or number");
+}
+
+void apply_dist(PlanRequest& req, const Value& v) {
+  if (v.is_string()) {
+    req.dist_spec = v.string;
+    return;
+  }
+  if (!v.is_object()) bad("field 'dist' must be a spec string or an object");
+  const Value* name = v.find("name");
+  if (name == nullptr || !name->is_string()) {
+    bad("dist object needs a string 'name'");
+  }
+  req.dist_name = name->string;
+  if (const Value* params = v.find("params")) {
+    if (!params->is_object()) bad("dist 'params' must be an object");
+    for (const auto& [key, val] : params->object) {
+      req.dist_params[key] = number_field(val, key.c_str());
+    }
+  }
+}
+
+void apply_cost(PlanRequest& req, const Value& root) {
+  const Value* cost = root.find("cost");
+  if (cost != nullptr) {
+    if (!cost->is_object()) bad("field 'cost' must be an object");
+    if (const Value* a = cost->find("alpha")) {
+      req.model.alpha = number_field(*a, "cost.alpha");
+    }
+    if (const Value* b = cost->find("beta")) {
+      req.model.beta = number_field(*b, "cost.beta");
+    }
+    if (const Value* g = cost->find("gamma")) {
+      req.model.gamma = number_field(*g, "cost.gamma");
+    }
+    return;
+  }
+  if (const Value* a = root.find("alpha")) {
+    req.model.alpha = number_field(*a, "alpha");
+  }
+  if (const Value* b = root.find("beta")) {
+    req.model.beta = number_field(*b, "beta");
+  }
+  if (const Value* g = root.find("gamma")) {
+    req.model.gamma = number_field(*g, "gamma");
+  }
+}
+
+PlanRequest build_request(const Value& root, std::string* id_out) {
+  if (!root.is_object()) bad("request line must be a JSON object");
+  PlanRequest req;
+  if (const Value* id = root.find("id")) {
+    req.id = id_of(*id);
+    if (id_out != nullptr) *id_out = req.id;
+  }
+  const Value* dist = root.find("dist");
+  if (dist == nullptr) bad("request has no distribution (need \"dist\")");
+  apply_dist(req, *dist);
+  apply_cost(req, root);
+  if (const Value* solver = root.find("solver")) {
+    if (!solver->is_string()) bad("field 'solver' must be a string");
+    req.solver = solver->string;
+  }
+  if (const Value* n = root.find("n")) {
+    const double v = number_field(*n, "n");
+    if (v < 1.0 || v != std::floor(v)) bad("'n' must be a positive integer");
+    req.n = static_cast<std::size_t>(v);
+  }
+  if (const Value* eps = root.find("epsilon")) {
+    req.epsilon = number_field(*eps, "epsilon");
+  }
+  if (const Value* dl = root.find("deadline_ms")) {
+    req.deadline_ms = number_field(*dl, "deadline_ms");
+  }
+  if (const Value* attempt = root.find("attempt")) {
+    const double v = number_field(*attempt, "attempt");
+    if (v < 0.0 || v != std::floor(v)) {
+      bad("'attempt' must be a nonnegative integer");
+    }
+    req.attempt = static_cast<int>(v);
+  }
+  if (const Value* nc = root.find("no_cache")) {
+    if (nc->kind != Value::Kind::kBool) bad("'no_cache' must be a boolean");
+    req.no_cache = nc->boolean;
+  }
+  return req;
+}
+
+}  // namespace
+
+PlanRequest parse_request_line(std::string_view line, std::string* id_out) {
+  const auto parsed = obs::minijson::parse(line);
+  if (!parsed.ok) bad("malformed JSON: " + parsed.error);
+  return build_request(parsed.value, id_out);
+}
+
+std::string format_response(const std::string& id, const PlanResponse& resp) {
+  std::string out = "{\"id\":\"";
+  out += obs::minijson::escape(id);
+  out += "\",\"ok\":";
+  if (resp.ok) {
+    out += "true,\"cached\":";
+    out += resp.cached ? "true" : "false";
+    out += ",\"result\":";
+    out += resp.result;  // cache-value bytes, verbatim
+  } else {
+    out += "false,\"error\":{\"code\":\"";
+    out += std::string(error_code_name(resp.code));
+    out += "\",\"retryable\":";
+    out += resp.retryable ? "true" : "false";
+    out += ",\"message\":\"";
+    out += obs::minijson::escape(resp.message);
+    out += "\"}";
+  }
+  out += '}';
+  return out;
+}
+
+LineOutcome handle_line(PlannerService& service, std::string_view line) {
+  LineOutcome outcome;
+  std::string id;
+  try {
+    const auto parsed = obs::minijson::parse(line);
+    if (!parsed.ok) bad("malformed JSON: " + parsed.error);
+    if (const Value* cmd = parsed.value.find("cmd")) {
+      if (!cmd->is_string()) bad("field 'cmd' must be a string");
+      if (cmd->string == "stats") {
+        outcome.line = service.stats_json();
+        return outcome;
+      }
+      if (cmd->string == "shutdown") {
+        outcome.line = "{\"ok\":true,\"shutdown\":true}";
+        outcome.shutdown = true;
+        return outcome;
+      }
+      bad("unknown command '" + cmd->string + "'");
+    }
+    const PlanRequest req = build_request(parsed.value, &id);
+    outcome.line = format_response(req.id, service.call(req));
+  } catch (const ScenarioError& e) {
+    PlanResponse resp;
+    resp.ok = false;
+    resp.code = e.code();
+    resp.retryable = is_retryable(e.code());
+    resp.message = e.what();
+    outcome.line = format_response(id, resp);
+  }
+  return outcome;
+}
+
+}  // namespace sre::srv

@@ -1,0 +1,58 @@
+#pragma once
+
+// Newline-delimited JSON wire protocol for the planner service. One request
+// per line, one response line per request, same order. sre_serve speaks it
+// over stdin/stdout and (optionally) TCP; tests drive handle_line()
+// directly, so the parser and the transport are independently testable.
+//
+// Request line:
+//   {"id":"q1","dist":"lognormal:mu=3,sigma=0.5",
+//    "cost":{"alpha":1,"beta":1,"gamma":0},"solver":"refined-dp",
+//    "n":500,"epsilon":1e-7,"deadline_ms":250,"attempt":0,"no_cache":false}
+//
+// `dist` is either a CLI-style spec string (bare Table 1 labels work) or an
+// object {"name":...,"params":{...}}. `cost` may be replaced by top-level
+// "alpha"/"beta"/"gamma". Unknown fields are ignored, so clients can tag
+// requests freely. Control lines: {"cmd":"stats"} returns the service's
+// byte-stable stats JSON; {"cmd":"shutdown"} acknowledges and sets
+// `shutdown` so the transport loop can exit.
+//
+// Response lines:
+//   {"id":"q1","ok":true,"cached":false,"result":{...}}
+//   {"id":"q1","ok":false,"error":{"code":"overloaded","retryable":true,
+//                                  "message":"..."}}
+//
+// The "result" object is the cache value verbatim — a cache hit emits the
+// cold solve's exact bytes.
+
+#include <string>
+#include <string_view>
+
+#include "srv/request.hpp"
+#include "srv/service.hpp"
+
+namespace sre::srv {
+
+struct LineOutcome {
+  std::string line;       ///< the response line (no trailing newline)
+  bool shutdown = false;  ///< true after {"cmd":"shutdown"}
+};
+
+/// Parses one request line into a PlanRequest. Throws
+/// ScenarioError(kDomainError) on malformed JSON or wrong field types;
+/// `id_out` receives the request id when one was extractable (for error
+/// responses that still echo it).
+[[nodiscard]] PlanRequest parse_request_line(std::string_view line,
+                                             std::string* id_out = nullptr);
+
+/// Serializes a response line (no trailing newline) for request `id`.
+[[nodiscard]] std::string format_response(const std::string& id,
+                                          const PlanResponse& resp);
+
+/// Full line handler: parse, dispatch (control command or service call),
+/// serialize. Never throws — malformed input becomes an ok=false response
+/// echoing whatever id was recoverable.
+[[nodiscard]] LineOutcome handle_line(PlannerService& service,
+                                      std::string_view line);
+
+}  // namespace sre::srv

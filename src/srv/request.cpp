@@ -1,0 +1,168 @@
+#include "srv/request.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "core/heuristics/brute_force.hpp"
+#include "core/heuristics/dp_discretization.hpp"
+#include "core/heuristics/moment_based.hpp"
+#include "core/heuristics/refined_dp.hpp"
+#include "platform/cli.hpp"
+#include "stats/canonical.hpp"
+#include "stats/error.hpp"
+
+namespace sre::srv {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+/// Canonical solver names, aliases folded ("bf" -> "brute-force"). Returns
+/// empty for unknown names.
+std::string canonical_solver(const std::string& solver) {
+  const std::string n = lower(solver);
+  if (n == "brute-force" || n == "bruteforce" || n == "bf") {
+    return "brute-force";
+  }
+  if (n == "mean-by-mean") return "mean-by-mean";
+  if (n == "mean-stdev") return "mean-stdev";
+  if (n == "mean-doubling") return "mean-doubling";
+  if (n == "median-by-median" || n == "med-by-med") return "median-by-median";
+  if (n == "equal-time") return "equal-time";
+  if (n == "equal-probability" || n == "equal-prob") {
+    return "equal-probability";
+  }
+  if (n == "refined-dp") return "refined-dp";
+  return {};
+}
+
+bool knob_sensitive(const std::string& canonical) {
+  return canonical == "equal-time" || canonical == "equal-probability" ||
+         canonical == "refined-dp" || canonical == "brute-force";
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string solver_key(const std::string& solver, std::size_t n,
+                       double epsilon) {
+  const std::string canonical = canonical_solver(solver);
+  if (canonical.empty()) {
+    throw ScenarioError(ErrorCode::kDomainError,
+                        "unknown solver '" + solver + "'");
+  }
+  if (!knob_sensitive(canonical)) return "solver(name=" + canonical + ")";
+  return "solver(name=" + canonical +
+         ",n=" + std::to_string(n) +
+         ",eps=" + stats::canonical_key_double(epsilon, "request.epsilon") +
+         ")";
+}
+
+std::string request_key(const dist::Distribution& d, const core::CostModel& m,
+                        const std::string& solver, std::size_t n,
+                        double epsilon) {
+  return "v1|" + d.to_key() + "|" + m.to_key() + "|" +
+         solver_key(solver, n, epsilon);
+}
+
+core::HeuristicPtr make_solver(const std::string& solver, std::size_t n,
+                               double epsilon) {
+  const std::string canonical = canonical_solver(solver);
+  if (canonical.empty()) {
+    throw ScenarioError(ErrorCode::kDomainError,
+                        "unknown solver '" + solver + "'");
+  }
+  if (canonical == "equal-time") {
+    return std::make_shared<core::DiscretizedDp>(sim::DiscretizationOptions{
+        n, epsilon, sim::DiscretizationScheme::kEqualTime});
+  }
+  if (canonical == "equal-probability") {
+    return std::make_shared<core::DiscretizedDp>(sim::DiscretizationOptions{
+        n, epsilon, sim::DiscretizationScheme::kEqualProbability});
+  }
+  if (canonical == "refined-dp") {
+    core::RefinedDpOptions opts;
+    opts.disc =
+        sim::DiscretizationOptions{n, epsilon,
+                                   sim::DiscretizationScheme::kEqualProbability};
+    return std::make_shared<core::RefinedDp>(opts);
+  }
+  if (canonical == "brute-force") {
+    // Analytic evaluation: the served plan is a pure function of the query
+    // (no Monte-Carlo seed in the key), and the Eq. (11) recurrence polls
+    // the request's cancel token.
+    core::BruteForceOptions opts;
+    opts.grid_points = n;
+    opts.analytic_eval = true;
+    return std::make_shared<core::BruteForce>(opts);
+  }
+  // Moment heuristics: parameter-free, delegate to the shared CLI registry.
+  std::string err;
+  auto h = platform::parse_heuristic_spec(canonical, &err);
+  if (!h) throw ScenarioError(ErrorCode::kDomainError, err);
+  return h;
+}
+
+PreparedRequest prepare(PlanRequest req) {
+  std::string err;
+  dist::DistributionPtr d;
+  if (!req.dist_spec.empty()) {
+    d = platform::parse_distribution_spec(req.dist_spec, &err);
+  } else if (!req.dist_name.empty()) {
+    d = dist::make_distribution(req.dist_name, req.dist_params);
+    if (!d && req.dist_params.empty()) {
+      if (const auto inst = dist::paper_distribution(req.dist_name)) {
+        d = inst->dist;
+      }
+    }
+    if (!d) {
+      err = "unknown distribution '" + req.dist_name +
+            "' or missing parameters";
+    }
+  } else {
+    err = "request has no distribution (need \"dist\")";
+  }
+  if (!d) throw ScenarioError(ErrorCode::kDomainError, err);
+
+  if (!req.model.valid()) {
+    throw ScenarioError(ErrorCode::kDomainError,
+                        "invalid cost model " + req.model.describe() +
+                            " (need alpha > 0, beta >= 0, gamma >= 0)");
+  }
+  if (req.n == 0) {
+    throw ScenarioError(ErrorCode::kDomainError, "n must be positive");
+  }
+  if (!(req.epsilon > 0.0) || !(req.epsilon < 1.0)) {
+    throw ScenarioError(ErrorCode::kDomainError,
+                        "epsilon must lie in (0, 1)");
+  }
+  if (req.deadline_ms < 0.0 || req.attempt < 0) {
+    throw ScenarioError(ErrorCode::kDomainError,
+                        "deadline_ms and attempt must be nonnegative");
+  }
+
+  PreparedRequest prep;
+  prep.dist = std::move(d);
+  prep.solver = make_solver(req.solver, req.n, req.epsilon);
+  // to_key() rejects NaN / -0.0 hazards here, before any queueing.
+  prep.key = request_key(*prep.dist, req.model, req.solver, req.n,
+                         req.epsilon);
+  prep.key_hash = fnv1a64(prep.key);
+  prep.req = std::move(req);
+  return prep;
+}
+
+}  // namespace sre::srv

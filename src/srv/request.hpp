@@ -1,0 +1,91 @@
+#pragma once
+
+// Plan queries for the srv:: planner service. A PlanRequest is the wire
+// form of "what reservation sequence should I submit for this job?": an
+// execution-time law, a cost model (alpha, beta, gamma), a solver choice,
+// and the truncation/discretization knobs that change the solver's output.
+// prepare() validates it into a PreparedRequest — instantiated law, solver,
+// and the canonical cache key — throwing typed ScenarioError(kDomainError)
+// on anything malformed, so admission control can reject bad queries
+// before they consume queue space or solver budget.
+//
+// Key stability guarantee (see CONTRIBUTING.md "Request-key stability"):
+// two requests that are numerically the same query — same law parameters
+// (-0.0 == 0.0, spec-string or name/params form, any param order), same
+// cost model, same solver with the same *effective* knobs — produce
+// byte-identical keys, and therefore share one cache entry and one solve.
+// Knob-insensitive solvers (the moment heuristics, whose output ignores
+// n/epsilon) deliberately omit the knobs from their key fragment.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/cost_model.hpp"
+#include "core/heuristics/heuristic.hpp"
+#include "dist/factory.hpp"
+
+namespace sre::srv {
+
+/// One plan query, as parsed off the wire (or built directly by embedders).
+struct PlanRequest {
+  std::string id;           ///< client-assigned, echoed in the response
+  /// Distribution, either as a CLI-style spec string
+  /// ("lognormal:mu=3,sigma=0.5" or a bare Table 1 label) ...
+  std::string dist_spec;
+  /// ... or as an explicit (name, params) pair; `dist_spec` wins when both
+  /// are set.
+  std::string dist_name;
+  dist::ParamMap dist_params;
+
+  core::CostModel model{};              ///< (alpha, beta, gamma), Eq. (1)
+  std::string solver = "refined-dp";    ///< platform::heuristic_names() set
+  std::size_t n = 1000;                 ///< discretization samples / BF grid
+  double epsilon = 1e-7;                ///< truncation quantile
+  double deadline_ms = 0.0;             ///< per-request deadline; 0 = none
+  int attempt = 0;    ///< client retry counter (drives fault injection)
+  bool no_cache = false;  ///< bypass the cache *read* (result still stored)
+};
+
+/// A validated, executable request.
+struct PreparedRequest {
+  PlanRequest req;
+  dist::DistributionPtr dist;
+  core::HeuristicPtr solver;
+  std::string key;              ///< canonical cache key (see request_key)
+  std::uint64_t key_hash = 0;   ///< fnv1a64(key): shard + fault stream id
+};
+
+/// FNV-1a 64-bit over the key bytes. Stable across platforms; used for
+/// cache shard selection and as the deterministic fault-stream id of a
+/// served key.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// Canonical solver-key fragment: "solver(name=refined-dp,n=500,eps=1e-07)"
+/// for knob-sensitive solvers, "solver(name=mean-doubling)" for the moment
+/// heuristics whose output ignores the knobs. Throws
+/// ScenarioError(kDomainError) for an unknown solver name.
+[[nodiscard]] std::string solver_key(const std::string& solver, std::size_t n,
+                                     double epsilon);
+
+/// Canonical request key: "v1|<dist key>|<cost key>|<solver key>". The
+/// leading version tag lets a future format change invalidate every old
+/// key at once instead of aliasing.
+[[nodiscard]] std::string request_key(const dist::Distribution& d,
+                                      const core::CostModel& m,
+                                      const std::string& solver,
+                                      std::size_t n, double epsilon);
+
+/// Instantiates the named solver with the requested knobs (knob-sensitive
+/// solvers get DiscretizationOptions{n, epsilon}; brute-force maps n to its
+/// t1 grid and evaluates analytically so results are sample-free). Throws
+/// ScenarioError(kDomainError) for unknown names.
+[[nodiscard]] core::HeuristicPtr make_solver(const std::string& solver,
+                                             std::size_t n, double epsilon);
+
+/// Validates `req` end to end: law, cost model, solver, canonical key.
+/// Throws ScenarioError(kDomainError) with a message naming the offending
+/// field; never returns a partially-filled result.
+[[nodiscard]] PreparedRequest prepare(PlanRequest req);
+
+}  // namespace sre::srv

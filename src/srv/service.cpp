@@ -1,0 +1,454 @@
+#include "srv/service.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <utility>
+
+#include "core/expected_cost.hpp"
+#include "core/omniscient.hpp"
+#include "obs/metrics.hpp"
+#include "obs/minijson.hpp"
+#include "obs/report.hpp"
+#include "obs/span.hpp"
+#include "sim/cancel.hpp"
+
+namespace sre::srv {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double env_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  if (end == raw) return fallback;
+  return v;
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const double v = env_double(name, static_cast<double>(fallback));
+  if (v < 0.0) return fallback;
+  return static_cast<std::size_t>(v);
+}
+
+obs::Counter& request_counter() {
+  static obs::Counter& c = obs::counter("srv.requests");
+  return c;
+}
+obs::Counter& completed_counter() {
+  static obs::Counter& c = obs::counter("srv.completed");
+  return c;
+}
+obs::Counter& solve_counter() {
+  static obs::Counter& c = obs::counter("srv.batch.solves");
+  return c;
+}
+obs::Counter& coalesced_counter() {
+  static obs::Counter& c = obs::counter("srv.batch.coalesced");
+  return c;
+}
+
+obs::Counter& rejection_counter(ErrorCode code) {
+  // One counter per taxonomy slot, named "srv.rejected.<code>"; lazily
+  // registered so obsdiff baselines only see classes that actually fired.
+  static std::array<obs::Counter*, kErrorCodeCount> counters{};
+  static std::mutex m;
+  const auto i = static_cast<std::size_t>(code);
+  std::lock_guard<std::mutex> lock(m);
+  if (counters[i] == nullptr) {
+    counters[i] = &obs::counter(std::string("srv.rejected.") +
+                                std::string(error_code_name(code)));
+  }
+  return *counters[i];
+}
+
+obs::Histogram& latency_histogram() {
+  static obs::Histogram& h =
+      obs::histogram("srv.request.seconds", obs::duration_bounds_seconds());
+  return h;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Private aggregates
+
+/// One blocked caller. The worker fulfills it; wait_for() abandons it when
+/// the request deadline expires first (the late fulfill is then dropped, so
+/// exactly one response is ever delivered).
+struct PlannerService::Waiter {
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  PlanResponse resp;
+  Clock::time_point deadline = Clock::time_point::max();
+};
+
+/// One queued solve. Members join under the service mutex while the batch is
+/// still "open" (in open_batches_); a worker removes it from that map before
+/// touching members, so execution reads them without a lock.
+struct PlannerService::Batch {
+  std::string key;
+  std::uint64_t key_hash = 0;
+  dist::DistributionPtr dist;
+  core::HeuristicPtr solver;
+  core::CostModel model{};
+  int attempt = 0;  ///< leader's retry counter (drives fault injection)
+  bool unbounded = false;  ///< some member has no deadline
+  Clock::time_point deadline = Clock::time_point::min();
+  std::vector<std::shared_ptr<Waiter>> members;
+};
+
+// ---------------------------------------------------------------------------
+// Config
+
+ServiceConfig ServiceConfig::from_env() {
+  ServiceConfig cfg;
+  cfg.cache_enabled = env_double("SRE_SRV_CACHE", 1.0) != 0.0;
+  cfg.cache.capacity = env_size("SRE_SRV_CACHE_CAPACITY", cfg.cache.capacity);
+  cfg.cache.shards = env_size("SRE_SRV_SHARDS", cfg.cache.shards);
+  cfg.queue_capacity = env_size("SRE_SRV_QUEUE", cfg.queue_capacity);
+  cfg.max_batch = env_size("SRE_SRV_BATCH", cfg.max_batch);
+  cfg.workers =
+      static_cast<unsigned>(env_size("SRE_SRV_WORKERS", cfg.workers));
+  cfg.default_deadline_s =
+      env_double("SRE_SRV_DEADLINE_MS", cfg.default_deadline_s * 1e3) / 1e3;
+  cfg.faults = sim::FaultSpec::from_env();
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+
+PlannerService::PlannerService(ServiceConfig cfg)
+    : cfg_(std::move(cfg)),
+      cache_(cfg_.cache_enabled ? cfg_.cache : PlanCache::Config{0, 1}),
+      faults_(cfg_.faults) {
+  if (cfg_.workers == 0) cfg_.workers = 1;
+  if (cfg_.max_batch == 0) cfg_.max_batch = 1;
+  workers_.reserve(cfg_.workers);
+  for (unsigned i = 0; i < cfg_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+PlannerService::~PlannerService() { stop(); }
+
+void PlannerService::stop() {
+  std::deque<std::shared_ptr<Batch>> drained;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    drained.swap(queue_);
+    open_batches_.clear();
+    cv_work_.notify_all();
+  }
+  if (!drained.empty()) {
+    PlanResponse cancelled;
+    cancelled.ok = false;
+    cancelled.code = ErrorCode::kCancelled;
+    cancelled.retryable = is_retryable(ErrorCode::kCancelled);
+    cancelled.message = "service stopped before the request was served";
+    for (const auto& batch : drained) {
+      for (const auto& w : batch->members) fulfill(w, cancelled);
+    }
+  }
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Request path
+
+PlanResponse PlannerService::call(const PlanRequest& req) {
+  static obs::SpanStats& request_series = obs::span_series("srv.request");
+  obs::Span span(request_series);
+  const auto start = Clock::now();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  request_counter().add();
+
+  PlanResponse resp;
+  const auto finish = [&](PlanResponse r) {
+    if (r.ok) {
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      completed_counter().add();
+    } else {
+      rejected_by_code_[static_cast<std::size_t>(r.code)].fetch_add(
+          1, std::memory_order_relaxed);
+      rejection_counter(r.code).add();
+    }
+    latency_histogram().observe(
+        std::chrono::duration<double>(Clock::now() - start).count());
+    return r;
+  };
+
+  PreparedRequest prep;
+  try {
+    prep = prepare(req);
+  } catch (const ScenarioError& e) {
+    reject(resp, e.code(), e.what());
+    return finish(std::move(resp));
+  } catch (const std::exception& e) {
+    reject(resp, ErrorCode::kDomainError, e.what());
+    return finish(std::move(resp));
+  }
+
+  // The deadline is absolute from admission: queueing time spends it.
+  const double deadline_s = prep.req.deadline_ms > 0.0
+                                ? prep.req.deadline_ms / 1e3
+                                : cfg_.default_deadline_s;
+  const auto deadline =
+      deadline_s > 0.0
+          ? start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(deadline_s))
+          : Clock::time_point::max();
+
+  if (cfg_.cache_enabled && !prep.req.no_cache) {
+    if (auto value = cache_.lookup(prep.key, prep.key_hash)) {
+      resp.ok = true;
+      resp.cached = true;
+      resp.result = *value;
+      return finish(std::move(resp));
+    }
+  }
+
+  auto waiter = std::make_shared<Waiter>();
+  waiter->deadline = deadline;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      reject(resp, ErrorCode::kCancelled, "service is stopping");
+      return finish(std::move(resp));
+    }
+    if (in_flight_ >= cfg_.queue_capacity) {
+      reject(resp, ErrorCode::kOverloaded,
+             "queue full (" + std::to_string(cfg_.queue_capacity) +
+                 " requests in flight)");
+      return finish(std::move(resp));
+    }
+    ++in_flight_;
+    const auto it = open_batches_.find(prep.key);
+    if (it != open_batches_.end() &&
+        it->second->members.size() < cfg_.max_batch) {
+      Batch& batch = *it->second;
+      batch.members.push_back(waiter);
+      if (deadline == Clock::time_point::max()) {
+        batch.unbounded = true;
+      } else if (deadline > batch.deadline) {
+        batch.deadline = deadline;
+      }
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      coalesced_counter().add();
+    } else {
+      auto batch = std::make_shared<Batch>();
+      batch->key = prep.key;
+      batch->key_hash = prep.key_hash;
+      batch->dist = std::move(prep.dist);
+      batch->solver = std::move(prep.solver);
+      batch->model = prep.req.model;
+      batch->attempt = prep.req.attempt;
+      batch->unbounded = deadline == Clock::time_point::max();
+      if (!batch->unbounded) batch->deadline = deadline;
+      batch->members.push_back(waiter);
+      open_batches_[batch->key] = batch;
+      queue_.push_back(std::move(batch));
+      cv_work_.notify_one();
+    }
+  }
+
+  resp = wait_for(waiter);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --in_flight_;
+  }
+  return finish(std::move(resp));
+}
+
+void PlannerService::reject(PlanResponse& out, ErrorCode code,
+                            std::string message) {
+  out.ok = false;
+  out.cached = false;
+  out.code = code;
+  out.retryable = is_retryable(code);
+  out.message = std::move(message);
+}
+
+PlanResponse PlannerService::wait_for(const std::shared_ptr<Waiter>& waiter) {
+  std::unique_lock<std::mutex> lock(waiter->m);
+  const auto ready = [&] { return waiter->done; };
+  if (waiter->deadline == Clock::time_point::max()) {
+    waiter->cv.wait(lock, ready);
+  } else if (!waiter->cv.wait_until(lock, waiter->deadline, ready)) {
+    // Abandon: mark done ourselves so the worker's late fulfill is dropped.
+    waiter->done = true;
+    PlanResponse timeout;
+    reject(timeout, ErrorCode::kTimeout, "request deadline expired");
+    return timeout;
+  }
+  return waiter->resp;
+}
+
+void PlannerService::fulfill(const std::shared_ptr<Waiter>& waiter,
+                             const PlanResponse& resp) {
+  std::lock_guard<std::mutex> lock(waiter->m);
+  if (waiter->done) return;  // waiter timed out, composed its own response
+  waiter->resp = resp;
+  waiter->done = true;
+  waiter->cv.notify_one();
+}
+
+namespace {
+
+/// The cached bytes: every number through obs::format_double so a replayed
+/// solve serializes identically, field order fixed.
+std::string serialize_result(const std::string& key,
+                             const std::string& solver_name,
+                             const core::ReservationSequence& plan,
+                             double expected, double omniscient) {
+  std::string out = "{\"key\":\"";
+  out += obs::minijson::escape(key);
+  out += "\",\"solver\":\"";
+  out += obs::minijson::escape(solver_name);
+  out += "\",\"t1\":";
+  out += obs::format_double(plan.first());
+  out += ",\"plan_size\":";
+  out += std::to_string(plan.size());
+  out += ",\"plan\":[";
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    if (i != 0) out += ',';
+    out += obs::format_double(plan[i]);
+  }
+  out += "],\"expected_cost\":";
+  out += obs::format_double(expected);
+  out += ",\"omniscient_cost\":";
+  out += obs::format_double(omniscient);
+  out += ",\"normalized_cost\":";
+  out += obs::format_double(omniscient > 0.0 ? expected / omniscient
+                                             : expected);
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Worker side
+
+void PlannerService::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_work_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, nothing left to drain
+      batch = std::move(queue_.front());
+      queue_.pop_front();
+      // Close the batch: once out of open_batches_ no caller can join, so
+      // members below are immutable.
+      const auto it = open_batches_.find(batch->key);
+      if (it != open_batches_.end() && it->second == batch) {
+        open_batches_.erase(it);
+      }
+    }
+    execute_batch(batch);
+  }
+}
+
+void PlannerService::execute_batch(const std::shared_ptr<Batch>& batch) {
+  static obs::SpanStats& solve_series = obs::span_series("srv.solve");
+  obs::Span span(solve_series);
+  solves_.fetch_add(1, std::memory_order_relaxed);
+  solve_counter().add();
+
+  // The batch runs under the *loosest* member deadline; members with
+  // tighter budgets have already timed out of wait_for() by the time a
+  // too-slow solve lands, and simply drop the late fulfill.
+  sim::CancelToken token;
+  if (!batch->unbounded) {
+    token = sim::CancelSource::at_deadline(batch->deadline).token();
+  }
+
+  PlanResponse resp;
+  try {
+    if (faults_.enabled()) {
+      // Chaos drill: the key hash is the fault-stream id, so a given query
+      // fails deterministically; the attempt counter lets clients retry
+      // through "fails N times then succeeds" schedules.
+      faults_.for_scenario(batch->key_hash)
+          .inject_scenario_entry(batch->attempt, token);
+    }
+    token.check("srv.solve");  // expire queue-stale work before solving
+    core::GenerateContext ctx;
+    ctx.cancel = token;
+    const core::ReservationSequence plan =
+        batch->solver->generate(*batch->dist, batch->model, ctx);
+    const double expected =
+        core::expected_cost_analytic(plan, *batch->dist, batch->model);
+    const double omniscient = core::omniscient_cost(*batch->dist, batch->model);
+    auto value = std::make_shared<const std::string>(serialize_result(
+        batch->key, batch->solver->name(), plan, expected, omniscient));
+    // Only a *successful* solve reaches the cache: rejected or faulted
+    // requests can never poison later hits.
+    if (cfg_.cache_enabled) cache_.insert(batch->key, batch->key_hash, value);
+    resp.ok = true;
+    resp.cached = false;
+    resp.result = *value;
+  } catch (const ScenarioError& e) {
+    reject(resp, e.code(), e.what());
+  } catch (const std::exception& e) {
+    reject(resp, ErrorCode::kDomainError, e.what());
+  }
+  for (const auto& w : batch->members) fulfill(w, resp);
+}
+
+// ---------------------------------------------------------------------------
+// Reporting
+
+ServiceCounters PlannerService::counters() const {
+  ServiceCounters c;
+  c.requests = requests_.load(std::memory_order_relaxed);
+  c.completed = completed_.load(std::memory_order_relaxed);
+  c.cache_hits = cache_.counters().hits;
+  c.solves = solves_.load(std::memory_order_relaxed);
+  c.coalesced = coalesced_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kErrorCodeCount; ++i) {
+    c.rejected_by_code[i] = rejected_by_code_[i].load(
+        std::memory_order_relaxed);
+    c.rejected += c.rejected_by_code[i];
+  }
+  return c;
+}
+
+std::string PlannerService::stats_json() const {
+  const ServiceCounters c = counters();
+  const PlanCache::Counters cc = cache_.counters();
+  std::string out = "{\"requests\":" + std::to_string(c.requests);
+  out += ",\"completed\":" + std::to_string(c.completed);
+  out += ",\"cache\":{\"hits\":" + std::to_string(cc.hits);
+  out += ",\"misses\":" + std::to_string(cc.misses);
+  out += ",\"inserts\":" + std::to_string(cc.inserts);
+  out += ",\"evictions\":" + std::to_string(cc.evictions);
+  out += ",\"size\":" + std::to_string(cache_.size());
+  out += "},\"batch\":{\"solves\":" + std::to_string(c.solves);
+  out += ",\"coalesced\":" + std::to_string(c.coalesced);
+  out += "},\"rejected\":{\"total\":" + std::to_string(c.rejected);
+  // SweepFailureReport style: nonzero classes only, in ErrorCode order.
+  out += ",\"by_code\":{";
+  bool first = true;
+  for (std::size_t i = 0; i < kErrorCodeCount; ++i) {
+    if (c.rejected_by_code[i] == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += std::string(error_code_name(static_cast<ErrorCode>(i)));
+    out += "\":" + std::to_string(c.rejected_by_code[i]);
+  }
+  out += "}}}";
+  return out;
+}
+
+}  // namespace sre::srv

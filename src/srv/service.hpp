@@ -1,0 +1,165 @@
+#pragma once
+
+// PlannerService — the long-lived serving layer over the paper's solvers.
+// Requests funnel through:
+//
+//   prepare (typed validation, canonical key)
+//     -> plan cache (sharded LRU of serialized results; a hit returns the
+//        cold solve's exact bytes)
+//     -> admission control (bounded in-flight request count; overflow is a
+//        typed, *retryable* kOverloaded rejection that costs no solver time)
+//     -> micro-batching (concurrent requests for the same canonical key
+//        coalesce onto one in-queue batch; one solve fulfills all of them)
+//     -> worker pool (dedicated threads; per-request deadlines ride a
+//        sim::CancelToken into the solver's inner loops)
+//
+// Rejections reuse the sre::ScenarioError taxonomy: kOverloaded (shed at
+// admission, retryable), kTimeout (deadline expired in queue or mid-solve),
+// kDomainError (malformed query), kInjectedFault (chaos drill, retryable),
+// kCancelled (service stopping). Failed solves never touch the cache, so a
+// faulted request can be retried without poisoning subsequent hits.
+//
+// Every stage is instrumented: obs:: spans ("srv.request", "srv.solve"),
+// counters ("srv.requests", "srv.cache.*", "srv.batch.*", "srv.rejected.*")
+// and a latency histogram ("srv.request.seconds"). The same numbers are
+// mirrored in plain atomics so ServiceCounters (and BENCH_serve.json) stay
+// exact under obs-off builds.
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/fault.hpp"
+#include "srv/cache.hpp"
+#include "srv/request.hpp"
+#include "stats/error.hpp"
+
+namespace sre::srv {
+
+struct ServiceConfig {
+  unsigned workers = 2;              ///< dedicated solver threads (min 1)
+  std::size_t queue_capacity = 256;  ///< max in-flight requests (admission)
+  std::size_t max_batch = 64;        ///< max requests coalesced per solve
+  bool cache_enabled = true;
+  PlanCache::Config cache{};
+  double default_deadline_s = 0.0;   ///< applied when a request has none
+  sim::FaultSpec faults{};           ///< chaos injection for served requests
+
+  /// Reads the service environment knobs: SRE_SRV_CACHE (0 disables),
+  /// SRE_SRV_CACHE_CAPACITY, SRE_SRV_SHARDS, SRE_SRV_QUEUE, SRE_SRV_BATCH,
+  /// SRE_SRV_WORKERS, SRE_SRV_DEADLINE_MS, plus the SRE_FAULT_* chaos knobs
+  /// via sim::FaultSpec::from_env(). Unset variables keep the defaults.
+  static ServiceConfig from_env();
+};
+
+/// One response. On success `result` holds the serialized result fragment
+/// (identical bytes for a hit and the cold solve of the same key); on
+/// failure `code`/`retryable`/`message` carry the typed rejection.
+struct PlanResponse {
+  bool ok = false;
+  bool cached = false;
+  ErrorCode code = ErrorCode::kDomainError;
+  bool retryable = false;
+  std::string message;
+  std::string result;
+};
+
+/// Monotonic service totals (plain atomics; exact in every build).
+struct ServiceCounters {
+  std::uint64_t requests = 0;   ///< calls accepted into call()
+  std::uint64_t completed = 0;  ///< responded ok (hits + solved)
+  std::uint64_t cache_hits = 0;
+  std::uint64_t solves = 0;     ///< batches executed
+  std::uint64_t coalesced = 0;  ///< requests that joined an existing batch
+  std::uint64_t rejected = 0;   ///< sum of by_code
+  std::array<std::uint64_t, kErrorCodeCount> rejected_by_code{};
+};
+
+class PlannerService {
+ public:
+  explicit PlannerService(ServiceConfig cfg = {});
+  ~PlannerService();
+
+  PlannerService(const PlannerService&) = delete;
+  PlannerService& operator=(const PlannerService&) = delete;
+
+  /// Blocking call: validates, serves from cache or queues for solving,
+  /// waits until the response (or the request's deadline) arrives. Never
+  /// throws on bad input — every failure is a typed PlanResponse.
+  [[nodiscard]] PlanResponse call(const PlanRequest& req);
+
+  /// Rejects queued work with kCancelled and joins the workers. Idempotent;
+  /// the destructor calls it. Calls in flight complete with kCancelled.
+  void stop();
+
+  [[nodiscard]] ServiceCounters counters() const;
+  [[nodiscard]] PlanCache::Counters cache_counters() const {
+    return cache_.counters();
+  }
+  [[nodiscard]] const ServiceConfig& config() const noexcept { return cfg_; }
+
+  /// Byte-stable JSON of the request/rejection totals. Unlike
+  /// SweepFailureReport (which always emits every taxonomy class), only
+  /// nonzero rejection classes appear here — in ErrorCode order, so two
+  /// runs with the same rejection multiset serialize identically and a
+  /// clean serve baseline carries no zero-noise.
+  [[nodiscard]] std::string stats_json() const;
+
+ private:
+  struct Waiter;
+  struct Batch;
+
+  void worker_loop();
+  void execute_batch(const std::shared_ptr<Batch>& batch);
+  PlanResponse wait_for(const std::shared_ptr<Waiter>& waiter);
+  void reject(PlanResponse& out, ErrorCode code, std::string message);
+  static void fulfill(const std::shared_ptr<Waiter>& waiter,
+                      const PlanResponse& resp);
+
+  ServiceConfig cfg_;
+  PlanCache cache_;
+  sim::FaultPlan faults_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  bool stopping_ = false;
+  std::size_t in_flight_ = 0;  ///< admitted, not yet responded
+  std::deque<std::shared_ptr<Batch>> queue_;
+  /// Open (not yet started) batch per key, for coalescing.
+  std::unordered_map<std::string, std::shared_ptr<Batch>> open_batches_;
+
+  std::vector<std::thread> workers_;
+
+  // Counters (plain atomics; see ServiceCounters).
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> solves_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::array<std::atomic<std::uint64_t>, kErrorCodeCount> rejected_by_code_{};
+};
+
+/// In-process client: the full queue/batch/cache path without sockets.
+/// Tests, benches, and the load generator use it; sre_serve wires the same
+/// service to stdin/stdout and TCP via srv/protocol.hpp.
+class InProcessClient {
+ public:
+  explicit InProcessClient(PlannerService& service) : service_(&service) {}
+
+  [[nodiscard]] PlanResponse call(const PlanRequest& req) {
+    return service_->call(req);
+  }
+
+  [[nodiscard]] PlannerService& service() noexcept { return *service_; }
+
+ private:
+  PlannerService* service_;
+};
+
+}  // namespace sre::srv

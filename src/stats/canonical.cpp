@@ -1,0 +1,20 @@
+#include "stats/canonical.hpp"
+
+#include <cmath>
+
+#include "obs/report.hpp"
+#include "stats/error.hpp"
+
+namespace sre::stats {
+
+std::string canonical_key_double(double v, const char* field) {
+  if (!std::isfinite(v)) {
+    throw ScenarioError(ErrorCode::kDomainError,
+                        std::string("non-finite value for key field '") +
+                            (field != nullptr ? field : "?") + "'");
+  }
+  if (v == 0.0) v = 0.0;  // collapses -0.0: both print as "0"
+  return obs::format_double(v);
+}
+
+}  // namespace sre::stats

@@ -1,0 +1,26 @@
+#pragma once
+
+// Canonical numeric formatting for cache keys. The srv:: plan cache keys a
+// query by a byte-stable serialization of (distribution params, cost model,
+// solver knobs); two numerically equal queries must produce the same bytes
+// or the cache silently double-solves, and a NaN must never become a key at
+// all (NaN != NaN, so a poisoned key can neither be hit nor evicted by
+// value). This helper is the single funnel every to_key() implementation
+// goes through:
+//
+//  * -0.0 is normalized to 0.0 (they compare equal but print differently);
+//  * NaN and +/-infinity throw ScenarioError(kDomainError) naming the
+//    offending field;
+//  * finite values render via obs::format_double, the repo-wide shortest
+//    round-trip form, so a key is stable across platforms and re-parses to
+//    the exact same double.
+
+#include <string>
+
+namespace sre::stats {
+
+/// Canonical key fragment for one double. `field` names the parameter in
+/// the kDomainError message ("cost.alpha", "weibull.lambda", ...).
+[[nodiscard]] std::string canonical_key_double(double v, const char* field);
+
+}  // namespace sre::stats

@@ -14,12 +14,14 @@ std::string_view error_code_name(ErrorCode code) noexcept {
       return "injected_fault";
     case ErrorCode::kCancelled:
       return "cancelled";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
   }
   return "domain_error";  // unreachable; keeps -Wreturn-type quiet
 }
 
 bool is_retryable(ErrorCode code) noexcept {
-  return code == ErrorCode::kInjectedFault;
+  return code == ErrorCode::kInjectedFault || code == ErrorCode::kOverloaded;
 }
 
 }  // namespace sre

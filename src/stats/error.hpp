@@ -27,17 +27,20 @@ enum class ErrorCode {
   kTimeout = 2,       ///< per-scenario deadline expired (CancelToken)
   kInjectedFault = 3, ///< deterministic chaos injection (sim::FaultPlan)
   kCancelled = 4,     ///< cooperative cancellation requested
+  kOverloaded = 5,    ///< admission control refused the request (srv::)
 };
 
-inline constexpr std::size_t kErrorCodeCount = 5;
+inline constexpr std::size_t kErrorCodeCount = 6;
 
 /// Stable snake_case wire name ("domain_error", "injected_fault", ...).
 [[nodiscard]] std::string_view error_code_name(ErrorCode code) noexcept;
 
-/// True for classes worth retrying: only transient, platform-side faults
-/// qualify (kInjectedFault). Deterministic solver failures (domain error,
-/// non-convergence) reproduce on retry, and a timed-out or cancelled
-/// scenario already consumed its budget. See CONTRIBUTING.md.
+/// True for classes worth retrying: transient, platform-side conditions
+/// qualify (kInjectedFault, and kOverloaded — the planner service sheds the
+/// request *before* spending any solver budget, so backing off and retrying
+/// is exactly the intended client response). Deterministic solver failures
+/// (domain error, non-convergence) reproduce on retry, and a timed-out or
+/// cancelled scenario already consumed its budget. See CONTRIBUTING.md.
 [[nodiscard]] bool is_retryable(ErrorCode code) noexcept;
 
 /// The typed exception carried through scenario execution. what() keeps the

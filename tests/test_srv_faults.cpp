@@ -1,0 +1,163 @@
+// Fault-injection drills through the planner service: the SRE_FAULT_*-style
+// chaos knobs apply to served requests, injected faults surface as typed
+// *retryable* rejections, a faulted request never touches the plan cache,
+// attempt-bounded schedules ("fails N times, then succeeds") drive clean
+// retry stories, and the failure accounting is byte-stable across replays.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "srv/service.hpp"
+#include "stats/error.hpp"
+
+namespace {
+
+using sre::ErrorCode;
+using sre::srv::PlanRequest;
+using sre::srv::PlannerService;
+using sre::srv::ServiceConfig;
+
+PlanRequest cheap_request() {
+  PlanRequest req;
+  req.dist_spec = "exponential:lambda=1";
+  req.model = {1.0, 1.0, 0.0};
+  req.solver = "mean-doubling";
+  return req;
+}
+
+/// Fault spec: every solve of every key faults on attempts 0..N-1 and
+/// succeeds from attempt N on (probability one, bounded attempts).
+ServiceConfig fails_n_then_succeeds(int n) {
+  ServiceConfig cfg;
+  cfg.faults.seed = 7;
+  cfg.faults.solver_exception_prob = 1.0;
+  cfg.faults.solver_exception_attempts = n;
+  return cfg;
+}
+
+TEST(ServiceFaults, InjectedFaultIsRetryableAndLeavesCacheClean) {
+  PlannerService service(fails_n_then_succeeds(1));
+  sre::srv::InProcessClient client(service);
+
+  auto req = cheap_request();
+  req.attempt = 0;
+  const auto failed = client.call(req);
+  EXPECT_FALSE(failed.ok);
+  EXPECT_EQ(failed.code, ErrorCode::kInjectedFault);
+  EXPECT_TRUE(failed.retryable);
+  EXPECT_EQ(service.cache_counters().inserts, 0u)
+      << "a faulted solve must never populate the cache";
+
+  // The client retries with the bumped attempt counter: the schedule says
+  // attempt 1 succeeds, and *that* result is what gets cached.
+  req.attempt = 1;
+  const auto retried = client.call(req);
+  ASSERT_TRUE(retried.ok) << retried.message;
+  EXPECT_FALSE(retried.cached);
+  EXPECT_EQ(service.cache_counters().inserts, 1u);
+
+  // Subsequent calls hit the cache — even at attempt 0, because a cache
+  // hit never reaches the fault injection point (faults drill the *solve*
+  // path; hits are reads).
+  req.attempt = 0;
+  const auto hit = client.call(req);
+  ASSERT_TRUE(hit.ok);
+  EXPECT_TRUE(hit.cached);
+  EXPECT_EQ(hit.result, retried.result);
+}
+
+TEST(ServiceFaults, FailsTwiceThenSucceeds) {
+  PlannerService service(fails_n_then_succeeds(2));
+  sre::srv::InProcessClient client(service);
+  auto req = cheap_request();
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    req.attempt = attempt;
+    const auto resp = client.call(req);
+    EXPECT_FALSE(resp.ok) << "attempt " << attempt;
+    EXPECT_EQ(resp.code, ErrorCode::kInjectedFault);
+  }
+  req.attempt = 2;
+  EXPECT_TRUE(client.call(req).ok);
+}
+
+TEST(ServiceFaults, RejectionAccountingIsByteStable) {
+  const auto run = [] {
+    PlannerService service(fails_n_then_succeeds(1));
+    sre::srv::InProcessClient client(service);
+    auto req = cheap_request();
+    req.attempt = 0;
+    (void)client.call(req);  // injected fault
+    req.attempt = 1;
+    (void)client.call(req);  // success
+    auto bad = cheap_request();
+    bad.solver = "nope";
+    (void)client.call(bad);  // domain error
+    return service.stats_json();
+  };
+  const std::string first = run();
+  EXPECT_EQ(first, run());
+  // Taxonomy order inside by_code is fixed (ErrorCode order), so the two
+  // rejection classes always serialize in this relative order.
+  const auto domain = first.find("\"domain_error\":1");
+  const auto injected = first.find("\"injected_fault\":1");
+  ASSERT_NE(domain, std::string::npos) << first;
+  ASSERT_NE(injected, std::string::npos) << first;
+  EXPECT_LT(domain, injected);
+}
+
+TEST(ServiceFaults, FaultStreamsAreDeterministicPerKey) {
+  // At probability 1/2 each *key* deterministically faults or not (the
+  // stream seed is the key hash): two fresh services replaying the same
+  // request sequence must agree outcome-for-outcome, byte-for-byte.
+  const auto run = [] {
+    ServiceConfig cfg;
+    cfg.faults.seed = 11;
+    cfg.faults.solver_exception_prob = 0.5;
+    PlannerService service(cfg);
+    sre::srv::InProcessClient client(service);
+    std::string transcript;
+    for (const char* spec :
+         {"exponential:lambda=1", "uniform:a=1,b=9", "weibull",
+          "lognormal:mu=3,sigma=0.5", "gamma", "pareto"}) {
+      auto req = cheap_request();
+      req.dist_spec = spec;
+      const auto resp = client.call(req);
+      transcript += resp.ok ? resp.result : resp.message;
+      transcript += '\n';
+    }
+    return transcript;
+  };
+  const std::string first = run();
+  EXPECT_EQ(first, run());
+  EXPECT_NE(first.find("injected solver fault"), std::string::npos)
+      << "expected at least one faulted key at p=0.5 over six keys";
+  EXPECT_NE(first.find("\"plan\""), std::string::npos)
+      << "expected at least one surviving key at p=0.5 over six keys";
+}
+
+TEST(ServiceFaults, RetriedRequestsNeverCorruptCachedBytes) {
+  // Interleave faulted attempts and successes on one key: the cached value
+  // must always be the bytes of a *successful* solve, and every later hit
+  // must return exactly those bytes.
+  PlannerService service(fails_n_then_succeeds(3));
+  sre::srv::InProcessClient client(service);
+  auto req = cheap_request();
+  req.no_cache = true;  // force solves (and thus fault checks) every call
+
+  req.attempt = 5;  // beyond the fault window: succeeds, result cached
+  const auto good = client.call(req);
+  ASSERT_TRUE(good.ok);
+
+  req.attempt = 0;  // inside the fault window: fails, cache untouched
+  EXPECT_FALSE(client.call(req).ok);
+
+  req.no_cache = false;
+  req.attempt = 0;  // cache read path: hit, identical bytes
+  const auto hit = client.call(req);
+  ASSERT_TRUE(hit.ok);
+  EXPECT_TRUE(hit.cached);
+  EXPECT_EQ(hit.result, good.result);
+}
+
+}  // namespace

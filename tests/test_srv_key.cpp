@@ -1,0 +1,138 @@
+// srv:: canonical request keys — the stability guarantee behind the plan
+// cache (CONTRIBUTING.md "Request-key stability"). Two requests that are
+// numerically the same query must produce byte-identical keys: -0.0
+// normalizes to 0.0, spec-string and (name, params) forms agree, parameter
+// order is irrelevant (ParamMap is ordered), solver aliases fold, and
+// knob-insensitive solvers omit the knobs. NaN anywhere is a typed
+// kDomainError *before* hashing, so a poisoned key can never enter the
+// cache.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/cost_model.hpp"
+#include "dist/factory.hpp"
+#include "srv/request.hpp"
+#include "stats/canonical.hpp"
+#include "stats/error.hpp"
+
+namespace {
+
+using sre::ErrorCode;
+using sre::ScenarioError;
+using sre::core::CostModel;
+using sre::stats::canonical_key_double;
+
+TEST(CanonicalKeyDouble, NegativeZeroCollapses) {
+  EXPECT_EQ(canonical_key_double(-0.0, "x"), canonical_key_double(0.0, "x"));
+  EXPECT_EQ(canonical_key_double(-0.0, "x"), "0");
+}
+
+TEST(CanonicalKeyDouble, IntegralValuesPrintBare) {
+  EXPECT_EQ(canonical_key_double(1.0, "x"), "1");
+  EXPECT_EQ(canonical_key_double(42.0, "x"), "42");
+}
+
+TEST(CanonicalKeyDouble, RoundTripsShortest) {
+  EXPECT_EQ(canonical_key_double(0.95, "x"), "0.95");
+  EXPECT_EQ(canonical_key_double(1e-7, "x"), "1e-07");
+}
+
+TEST(CanonicalKeyDouble, NonFiniteThrowsDomainError) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const double bad : {nan, inf, -inf}) {
+    try {
+      (void)canonical_key_double(bad, "alpha");
+      FAIL() << "expected ScenarioError";
+    } catch (const ScenarioError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kDomainError);
+      EXPECT_NE(std::string(e.what()).find("alpha"), std::string::npos)
+          << "message should name the offending field";
+    }
+  }
+}
+
+TEST(CostModelKey, NegativeZeroGammaAliases) {
+  const CostModel a{1.0, 0.0, 0.0};
+  const CostModel b{1.0, -0.0, -0.0};
+  EXPECT_EQ(a.to_key(), b.to_key());
+  EXPECT_EQ(a.to_key(), "cost(alpha=1,beta=0,gamma=0)");
+}
+
+TEST(CostModelKey, NanThrowsBeforeHashing) {
+  CostModel m{1.0, 1.0, std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_THROW((void)m.to_key(), ScenarioError);
+}
+
+TEST(DistKey, AllPaperDistributionsHaveStableKeys) {
+  for (const auto& inst : sre::dist::paper_distributions()) {
+    const std::string key = inst.dist->to_key();
+    EXPECT_FALSE(key.empty()) << inst.label;
+    // Keys must be reproducible from a second call (no hidden state).
+    EXPECT_EQ(key, inst.dist->to_key()) << inst.label;
+  }
+}
+
+TEST(DistKey, SpecAndParamFormsAgree) {
+  sre::srv::PlanRequest spec_form;
+  spec_form.dist_spec = "lognormal:mu=3,sigma=0.5";
+  spec_form.model = {1.0, 1.0, 0.0};
+
+  sre::srv::PlanRequest param_form;
+  param_form.dist_name = "lognormal";
+  param_form.dist_params = {{"sigma", 0.5}, {"mu", 3.0}};  // reversed order
+  param_form.model = {1.0, 1.0, 0.0};
+
+  const auto a = sre::srv::prepare(spec_form);
+  const auto b = sre::srv::prepare(param_form);
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.key_hash, b.key_hash);
+}
+
+TEST(SolverKey, AliasesFold) {
+  EXPECT_EQ(sre::srv::solver_key("bf", 500, 1e-7),
+            sre::srv::solver_key("brute-force", 500, 1e-7));
+  EXPECT_EQ(sre::srv::solver_key("equal-prob", 500, 1e-7),
+            sre::srv::solver_key("Equal-Probability", 500, 1e-7));
+}
+
+TEST(SolverKey, KnobInsensitiveSolversOmitKnobs) {
+  // Moment heuristics ignore n / epsilon, so different knob values must
+  // still share one cache entry.
+  EXPECT_EQ(sre::srv::solver_key("mean-doubling", 100, 1e-3),
+            sre::srv::solver_key("mean-doubling", 5000, 1e-9));
+  EXPECT_EQ(sre::srv::solver_key("mean-doubling", 100, 1e-3),
+            "solver(name=mean-doubling)");
+  // Knob-sensitive solvers must not.
+  EXPECT_NE(sre::srv::solver_key("refined-dp", 100, 1e-3),
+            sre::srv::solver_key("refined-dp", 5000, 1e-3));
+}
+
+TEST(SolverKey, UnknownSolverThrows) {
+  try {
+    (void)sre::srv::solver_key("definitely-not-a-solver", 500, 1e-7);
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDomainError);
+  }
+}
+
+TEST(RequestKey, CarriesVersionPrefix) {
+  sre::srv::PlanRequest req;
+  req.dist_spec = "exponential:lambda=1";
+  req.model = CostModel::reservation_only();
+  const auto prep = sre::srv::prepare(req);
+  EXPECT_EQ(prep.key.rfind("v1|", 0), 0u) << prep.key;
+}
+
+TEST(RequestKey, Fnv1a64MatchesReferenceVector) {
+  // FNV-1a 64-bit test vectors; the hash must stay platform-stable because
+  // it selects the cache shard and seeds the fault stream of a key.
+  EXPECT_EQ(sre::srv::fnv1a64(""), 14695981039346656037ull);
+  EXPECT_EQ(sre::srv::fnv1a64("a"), 12638187200555641996ull);
+}
+
+}  // namespace

@@ -1,0 +1,158 @@
+// srv:: NDJSON protocol: request parsing (spec-string and object forms,
+// nested and top-level cost fields, id normalization), typed error lines
+// for malformed input (echoing the id when one was recoverable), control
+// commands, and the hit-equals-cold byte identity observed at the wire
+// level.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/minijson.hpp"
+#include "srv/protocol.hpp"
+#include "srv/service.hpp"
+#include "stats/error.hpp"
+
+namespace {
+
+using sre::srv::handle_line;
+using sre::srv::parse_request_line;
+using sre::srv::PlannerService;
+using sre::srv::ServiceConfig;
+
+TEST(Protocol, ParsesFullRequest) {
+  const auto req = parse_request_line(
+      R"({"id":"q1","dist":{"name":"lognormal","params":{"mu":3,"sigma":0.5}},)"
+      R"("cost":{"alpha":0.95,"beta":1,"gamma":1.05},"solver":"refined-dp",)"
+      R"("n":500,"epsilon":1e-6,"deadline_ms":250,"attempt":2,"no_cache":true})");
+  EXPECT_EQ(req.id, "q1");
+  EXPECT_EQ(req.dist_name, "lognormal");
+  EXPECT_DOUBLE_EQ(req.dist_params.at("mu"), 3.0);
+  EXPECT_DOUBLE_EQ(req.dist_params.at("sigma"), 0.5);
+  EXPECT_DOUBLE_EQ(req.model.alpha, 0.95);
+  EXPECT_DOUBLE_EQ(req.model.beta, 1.0);
+  EXPECT_DOUBLE_EQ(req.model.gamma, 1.05);
+  EXPECT_EQ(req.solver, "refined-dp");
+  EXPECT_EQ(req.n, 500u);
+  EXPECT_DOUBLE_EQ(req.epsilon, 1e-6);
+  EXPECT_DOUBLE_EQ(req.deadline_ms, 250.0);
+  EXPECT_EQ(req.attempt, 2);
+  EXPECT_TRUE(req.no_cache);
+}
+
+TEST(Protocol, TopLevelCostFieldsWork) {
+  const auto req = parse_request_line(
+      R"({"dist":"exponential:lambda=1","alpha":2,"beta":1,"gamma":0.5})");
+  EXPECT_EQ(req.dist_spec, "exponential:lambda=1");
+  EXPECT_DOUBLE_EQ(req.model.alpha, 2.0);
+  EXPECT_DOUBLE_EQ(req.model.beta, 1.0);
+  EXPECT_DOUBLE_EQ(req.model.gamma, 0.5);
+}
+
+TEST(Protocol, NumericIdNormalizes) {
+  const auto req = parse_request_line(R"({"id":7,"dist":"exponential"})");
+  EXPECT_EQ(req.id, "7");
+}
+
+TEST(Protocol, UnknownFieldsAreIgnored) {
+  const auto req = parse_request_line(
+      R"({"dist":"exponential","x-trace-id":"abc","priority":3})");
+  EXPECT_EQ(req.dist_spec, "exponential");
+}
+
+TEST(Protocol, MalformedJsonThrowsDomainError) {
+  try {
+    (void)parse_request_line("{not json");
+    FAIL() << "expected ScenarioError";
+  } catch (const sre::ScenarioError& e) {
+    EXPECT_EQ(e.code(), sre::ErrorCode::kDomainError);
+  }
+}
+
+TEST(Protocol, HandleLineServesARequest) {
+  PlannerService service(ServiceConfig{});
+  const auto outcome = handle_line(
+      service,
+      R"({"id":"job-1","dist":"exponential:lambda=1","solver":"mean-doubling"})");
+  EXPECT_FALSE(outcome.shutdown);
+  const auto parsed = sre::obs::minijson::parse(outcome.line);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.value.find("id")->string, "job-1");
+  EXPECT_TRUE(parsed.value.find("ok")->boolean);
+  ASSERT_NE(parsed.value.find("result"), nullptr);
+  EXPECT_NE(parsed.value.find("result")->find("plan"), nullptr);
+}
+
+TEST(Protocol, HandleLineEchoesIdOnErrors) {
+  PlannerService service(ServiceConfig{});
+  const auto outcome = handle_line(
+      service, R"({"id":"q9","dist":"exponential","solver":"nope"})");
+  const auto parsed = sre::obs::minijson::parse(outcome.line);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(parsed.value.find("id")->string, "q9");
+  EXPECT_FALSE(parsed.value.find("ok")->boolean);
+  const auto* error = parsed.value.find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->find("code")->string, "domain_error");
+  EXPECT_FALSE(error->find("retryable")->boolean);
+}
+
+TEST(Protocol, HandleLineSurvivesGarbage) {
+  PlannerService service(ServiceConfig{});
+  const auto outcome = handle_line(service, "][ nonsense");
+  const auto parsed = sre::obs::minijson::parse(outcome.line);
+  ASSERT_TRUE(parsed.ok) << "error lines must still be valid JSON";
+  EXPECT_FALSE(parsed.value.find("ok")->boolean);
+}
+
+TEST(Protocol, WireHitBytesMatchColdBytes) {
+  PlannerService service(ServiceConfig{});
+  const std::string line =
+      R"({"id":"a","dist":"uniform:a=1,b=9","solver":"equal-probability","n":32})";
+  const auto cold = handle_line(service, line);
+  const auto hit = handle_line(service, line);
+  const auto cold_json = sre::obs::minijson::parse(cold.line);
+  const auto hit_json = sre::obs::minijson::parse(hit.line);
+  ASSERT_TRUE(cold_json.ok && hit_json.ok);
+  EXPECT_FALSE(cold_json.value.find("cached")->boolean);
+  EXPECT_TRUE(hit_json.value.find("cached")->boolean);
+  // The "result" objects are the cache value verbatim: strip the envelope
+  // difference ("cached") and the raw bytes must agree.
+  const auto result_of = [](const std::string& s) {
+    const auto pos = s.find("\"result\":");
+    return s.substr(pos);
+  };
+  EXPECT_EQ(result_of(cold.line), result_of(hit.line));
+}
+
+TEST(Protocol, StatsCommandReturnsServiceStats) {
+  PlannerService service(ServiceConfig{});
+  (void)handle_line(
+      service, R"({"dist":"exponential","solver":"mean-doubling"})");
+  const auto outcome = handle_line(service, R"({"cmd":"stats"})");
+  EXPECT_FALSE(outcome.shutdown);
+  EXPECT_EQ(outcome.line, service.stats_json());
+  const auto parsed = sre::obs::minijson::parse(outcome.line);
+  ASSERT_TRUE(parsed.ok);
+  EXPECT_DOUBLE_EQ(parsed.value.find("requests")->number, 1.0);
+}
+
+TEST(Protocol, ShutdownCommandSetsFlag) {
+  PlannerService service(ServiceConfig{});
+  const auto outcome = handle_line(service, R"({"cmd":"shutdown"})");
+  EXPECT_TRUE(outcome.shutdown);
+  const auto parsed = sre::obs::minijson::parse(outcome.line);
+  ASSERT_TRUE(parsed.ok);
+  EXPECT_TRUE(parsed.value.find("ok")->boolean);
+}
+
+TEST(Protocol, UnknownCommandIsATypedError) {
+  PlannerService service(ServiceConfig{});
+  const auto outcome = handle_line(service, R"({"cmd":"reboot"})");
+  EXPECT_FALSE(outcome.shutdown);
+  const auto parsed = sre::obs::minijson::parse(outcome.line);
+  ASSERT_TRUE(parsed.ok);
+  EXPECT_FALSE(parsed.value.find("ok")->boolean);
+}
+
+}  // namespace

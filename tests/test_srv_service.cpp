@@ -1,0 +1,273 @@
+// srv::PlannerService end to end (in process): cache hits return the cold
+// solve's exact bytes, identical concurrent requests coalesce into one
+// solve, admission control sheds overflow as retryable kOverloaded before
+// any solver work, deadlines surface as kTimeout, malformed queries as
+// kDomainError, and the stats JSON is byte-stable across identical runs.
+//
+// Tests that need a deterministically *slow* solve occupy the single
+// worker with an injected-latency fault (SRE_FAULT-style spec, probability
+// one), then observe the queue from outside — no timing races on the
+// assertion side, only generous windows.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "srv/service.hpp"
+#include "stats/error.hpp"
+
+namespace {
+
+using sre::ErrorCode;
+using sre::srv::PlanRequest;
+using sre::srv::PlannerService;
+using sre::srv::ServiceConfig;
+
+PlanRequest lognormal_request() {
+  PlanRequest req;
+  req.dist_spec = "lognormal:mu=3,sigma=0.5";
+  req.model = {1.0, 1.0, 1.0};
+  req.solver = "equal-probability";
+  req.n = 64;
+  req.epsilon = 1e-6;
+  return req;
+}
+
+/// Spins until the service has started `target` batch solves (the counter
+/// increments when a worker *enters* execute_batch, before any fault
+/// latency), or the generous timeout elapses.
+bool wait_for_solves(const PlannerService& service, std::uint64_t target) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (service.counters().solves < target) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+TEST(PlannerService, CacheHitIsByteIdenticalToColdSolve) {
+  PlannerService service(ServiceConfig{});
+  sre::srv::InProcessClient client(service);
+  const auto req = lognormal_request();
+
+  const auto cold = client.call(req);
+  ASSERT_TRUE(cold.ok) << cold.message;
+  EXPECT_FALSE(cold.cached);
+  EXPECT_FALSE(cold.result.empty());
+
+  const auto hit = client.call(req);
+  ASSERT_TRUE(hit.ok);
+  EXPECT_TRUE(hit.cached);
+  EXPECT_EQ(hit.result, cold.result);
+
+  const auto cc = service.cache_counters();
+  EXPECT_EQ(cc.hits, 1u);
+  EXPECT_EQ(cc.misses, 1u);
+  EXPECT_EQ(cc.inserts, 1u);
+}
+
+TEST(PlannerService, NoCacheFlagBypassesReadButStillStores) {
+  PlannerService service(ServiceConfig{});
+  sre::srv::InProcessClient client(service);
+  auto req = lognormal_request();
+  req.no_cache = true;
+
+  const auto first = client.call(req);
+  ASSERT_TRUE(first.ok) << first.message;
+  const auto second = client.call(req);  // still bypasses the read
+  ASSERT_TRUE(second.ok);
+  EXPECT_FALSE(second.cached);
+  EXPECT_EQ(second.result, first.result);
+
+  req.no_cache = false;  // the solves above populated the cache
+  const auto third = client.call(req);
+  ASSERT_TRUE(third.ok);
+  EXPECT_TRUE(third.cached);
+  EXPECT_EQ(third.result, first.result);
+}
+
+TEST(PlannerService, CacheDisabledStillServesDeterministically) {
+  ServiceConfig cfg;
+  cfg.cache_enabled = false;
+  PlannerService service(cfg);
+  sre::srv::InProcessClient client(service);
+  const auto req = lognormal_request();
+
+  const auto a = client.call(req);
+  const auto b = client.call(req);
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_FALSE(a.cached);
+  EXPECT_FALSE(b.cached);
+  EXPECT_EQ(a.result, b.result) << "solves must be deterministic";
+  EXPECT_EQ(service.cache_counters().inserts, 0u);
+}
+
+TEST(PlannerService, IdenticalConcurrentRequestsCoalesce) {
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.faults.seed = 1;
+  cfg.faults.latency_prob = 1.0;     // every batch sleeps before solving,
+  cfg.faults.latency_seconds = 0.5;  // keeping the single worker busy
+  PlannerService service(cfg);
+
+  // Occupy the worker with key A...
+  std::thread blocker([&service] {
+    auto req = lognormal_request();
+    const auto resp = service.call(req);
+    EXPECT_TRUE(resp.ok) << resp.message;
+  });
+  ASSERT_TRUE(wait_for_solves(service, 1));
+
+  // ...then race identical key-B requests into the queue. They all land
+  // while the worker sleeps in A's latency fault, so the first opens a
+  // batch and the rest join it.
+  constexpr int kClients = 4;
+  std::vector<std::string> results(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&service, &results, i] {
+      auto req = lognormal_request();
+      req.dist_spec = "exponential:lambda=0.1";  // key B
+      req.solver = "mean-doubling";
+      const auto resp = service.call(req);
+      ASSERT_TRUE(resp.ok) << resp.message;
+      results[static_cast<std::size_t>(i)] = resp.result;
+    });
+  }
+  for (auto& t : clients) t.join();
+  blocker.join();
+
+  const auto counters = service.counters();
+  // Every request belongs to exactly one batch: members partition requests.
+  EXPECT_EQ(counters.solves + counters.coalesced, 1u + kClients);
+  EXPECT_EQ(counters.solves, 2u) << "A's batch plus one coalesced B batch";
+  EXPECT_EQ(counters.coalesced, static_cast<std::uint64_t>(kClients - 1));
+  for (int i = 1; i < kClients; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)], results[0])
+        << "coalesced members must receive identical bytes";
+  }
+}
+
+TEST(PlannerService, OverflowShedsAsRetryableOverloaded) {
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 1;
+  cfg.faults.seed = 1;
+  cfg.faults.latency_prob = 1.0;
+  cfg.faults.latency_seconds = 0.5;
+  PlannerService service(cfg);
+
+  std::thread blocker([&service] {
+    auto req = lognormal_request();
+    const auto resp = service.call(req);
+    EXPECT_TRUE(resp.ok) << resp.message;
+  });
+  ASSERT_TRUE(wait_for_solves(service, 1));
+
+  // The worker is busy and the in-flight budget (1) is spent: this request
+  // must be shed immediately, typed and retryable, without queueing.
+  auto req = lognormal_request();
+  req.dist_spec = "exponential:lambda=2";
+  const auto shed = service.call(req);
+  EXPECT_FALSE(shed.ok);
+  EXPECT_EQ(shed.code, ErrorCode::kOverloaded);
+  EXPECT_TRUE(shed.retryable);
+  blocker.join();
+
+  const auto counters = service.counters();
+  EXPECT_EQ(counters.rejected, 1u);
+  EXPECT_EQ(counters.rejected_by_code[static_cast<std::size_t>(
+                ErrorCode::kOverloaded)],
+            1u);
+}
+
+TEST(PlannerService, DeadlineExpiresAsTimeout) {
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.faults.seed = 1;
+  cfg.faults.latency_prob = 1.0;
+  cfg.faults.latency_seconds = 0.5;  // far beyond the request deadline
+  PlannerService service(cfg);
+
+  auto req = lognormal_request();
+  req.deadline_ms = 50.0;
+  const auto resp = service.call(req);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, ErrorCode::kTimeout);
+  EXPECT_FALSE(resp.retryable);
+  // The timed-out solve unwinds in the worker too (the latency fault polls
+  // the request's cancel token) and must never populate the cache.
+  service.stop();
+  EXPECT_EQ(service.cache_counters().inserts, 0u);
+}
+
+TEST(PlannerService, MalformedQueriesAreTypedDomainErrors) {
+  PlannerService service(ServiceConfig{});
+  sre::srv::InProcessClient client(service);
+
+  PlanRequest no_dist;
+  no_dist.model = {1.0, 0.0, 0.0};
+  const auto a = client.call(no_dist);
+  EXPECT_FALSE(a.ok);
+  EXPECT_EQ(a.code, ErrorCode::kDomainError);
+  EXPECT_FALSE(a.retryable);
+
+  auto bad_solver = lognormal_request();
+  bad_solver.solver = "no-such-solver";
+  EXPECT_EQ(client.call(bad_solver).code, ErrorCode::kDomainError);
+
+  auto bad_model = lognormal_request();
+  bad_model.model = {0.0, 1.0, 0.0};  // alpha must be positive
+  EXPECT_EQ(client.call(bad_model).code, ErrorCode::kDomainError);
+
+  auto bad_epsilon = lognormal_request();
+  bad_epsilon.epsilon = 1.5;
+  EXPECT_EQ(client.call(bad_epsilon).code, ErrorCode::kDomainError);
+
+  const auto counters = service.counters();
+  EXPECT_EQ(counters.rejected, 4u);
+  EXPECT_EQ(counters.rejected_by_code[static_cast<std::size_t>(
+                ErrorCode::kDomainError)],
+            4u);
+  EXPECT_EQ(counters.solves, 0u) << "rejections must cost no solver work";
+}
+
+TEST(PlannerService, StatsJsonIsByteStableAcrossIdenticalRuns) {
+  const auto run = [] {
+    PlannerService service(ServiceConfig{});
+    sre::srv::InProcessClient client(service);
+    (void)client.call(lognormal_request());  // miss + solve
+    (void)client.call(lognormal_request());  // hit
+    auto bad = lognormal_request();
+    bad.solver = "no-such-solver";
+    (void)client.call(bad);  // domain_error rejection
+    return service.stats_json();
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("\"domain_error\":1"), std::string::npos) << first;
+}
+
+#ifndef STOCHRES_OBS_DISABLE
+TEST(PlannerService, RequestSpansBalanceRequestCounter) {
+  const auto before = sre::obs::spans_snapshot()["srv.request"].count;
+  PlannerService service(ServiceConfig{});
+  sre::srv::InProcessClient client(service);
+  for (int i = 0; i < 3; ++i) (void)client.call(lognormal_request());
+  service.stop();
+  const auto after = sre::obs::spans_snapshot()["srv.request"].count;
+  EXPECT_EQ(after - before, 3u);
+  EXPECT_EQ(sre::obs::active_span_depth(), 0) << "unbalanced span";
+}
+#endif
+
+}  // namespace

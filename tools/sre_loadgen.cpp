@@ -1,0 +1,348 @@
+// sre_loadgen — seeded load generator for the srv:: planner service.
+//
+// Drives an in-process PlannerService (the full queue / batch / cache path,
+// no sockets) with a reproducible request stream drawn from the paper's
+// workload: the nine Table 1 distributions crossed with four cost models.
+// Two modes:
+//
+//   closed loop (default): --clients C threads each keep one request in
+//     flight, until --requests N have been issued;
+//   open loop: --rate R schedules request i at start + i/R seconds and
+//     fires late when behind, measuring latency under a fixed offered load.
+//
+// The summary lands in BENCH_serve.json (override with --out): counters
+// from the service's plain atomics (exact in every build, including
+// obs-off), latency quantiles via obs::HistogramSnapshot::quantile over
+// duration_bounds_seconds() buckets, throughput, cache hit rate, rejection
+// rate. A fixed --seed and --clients 1 makes every field but the timings
+// deterministic, which is what the committed bench/baselines/BENCH_serve.json
+// gates in CI (obsdiff: counts exact, times banded).
+//
+//   sre_loadgen [--requests N] [--clients C] [--seed S] [--rate R]
+//               [--population P] [--solver NAME] [--n N] [--epsilon F]
+//               [--deadline-ms F] [--no-cache] [--threads N] [--queue N]
+//               [--batch N] [--out FILE]
+//
+// --no-cache disables the service's plan cache (same as SRE_SRV_CACHE=0);
+// comparing a cached against a --no-cache run of the same stream is the
+// repeated-query speedup measurement from the acceptance checklist.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "dist/factory.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/report.hpp"
+#include "sim/rng.hpp"
+#include "srv/service.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr const char* kUsage =
+    "usage: sre_loadgen [--requests N] [--clients C] [--seed S] [--rate R]\n"
+    "                   [--population P] [--solver NAME] [--n N]\n"
+    "                   [--epsilon F] [--deadline-ms F] [--no-cache]\n"
+    "                   [--threads N] [--queue N] [--batch N] [--out FILE]\n";
+
+struct Options {
+  std::size_t requests = 2000;
+  std::size_t clients = 1;
+  std::uint64_t seed = 42;
+  double rate = 0.0;  ///< requests/second; 0 = closed loop
+  std::size_t population = 0;  ///< distinct queries; 0 = full 9 x 4 grid
+  std::string solver = "refined-dp";
+  std::size_t n = 500;
+  double epsilon = 1e-7;
+  double deadline_ms = 0.0;
+  bool no_cache = false;
+  std::string out = "BENCH_serve.json";
+  sre::srv::ServiceConfig service = sre::srv::ServiceConfig::from_env();
+};
+
+/// The workload population: Table 1 laws x the evaluation cost models.
+std::vector<sre::srv::PlanRequest> build_population(const Options& opt) {
+  const std::vector<sre::core::CostModel> models = {
+      sre::core::CostModel::reservation_only(),
+      {1.0, 1.0, 0.0},
+      {1.0, 1.0, 1.0},
+      {0.95, 1.0, 1.05},
+  };
+  std::vector<sre::srv::PlanRequest> population;
+  for (const auto& inst : sre::dist::paper_distributions()) {
+    for (const auto& model : models) {
+      sre::srv::PlanRequest req;
+      req.dist_spec = inst.label;
+      req.model = model;
+      req.solver = opt.solver;
+      req.n = opt.n;
+      req.epsilon = opt.epsilon;
+      req.deadline_ms = opt.deadline_ms;
+      population.push_back(std::move(req));
+    }
+  }
+  if (opt.population > 0 && opt.population < population.size()) {
+    population.resize(opt.population);
+  }
+  return population;
+}
+
+/// Latency accounting that works in every build (obs-off included): a
+/// hand-filled HistogramSnapshot over the standard duration buckets, whose
+/// quantile() does the interpolation.
+struct LatencyRecorder {
+  explicit LatencyRecorder(std::vector<double> bounds)
+      : snapshot_{std::move(bounds), {}, 0, 0.0, 0.0} {
+    snapshot_.buckets.assign(snapshot_.bounds.size() + 1, 0);
+  }
+
+  void observe(double seconds) {
+    const auto it = std::lower_bound(snapshot_.bounds.begin(),
+                                     snapshot_.bounds.end(), seconds);
+    ++snapshot_.buckets[static_cast<std::size_t>(
+        it - snapshot_.bounds.begin())];
+    ++snapshot_.count;
+    snapshot_.sum += seconds;
+    snapshot_.max = std::max(snapshot_.max, seconds);
+  }
+
+  void merge(const LatencyRecorder& other) {
+    for (std::size_t i = 0; i < snapshot_.buckets.size(); ++i) {
+      snapshot_.buckets[i] += other.snapshot_.buckets[i];
+    }
+    snapshot_.count += other.snapshot_.count;
+    snapshot_.sum += other.snapshot_.sum;
+    snapshot_.max = std::max(snapshot_.max, other.snapshot_.max);
+  }
+
+  sre::obs::HistogramSnapshot snapshot_;
+};
+
+bool parse_size(const char* text, std::size_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+bool parse_double(const char* text, double& out) {
+  char* end = nullptr;
+  out = std::strtod(text, &end);
+  return end != text && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "sre_loadgen: " << flag << " needs a value\n" << kUsage;
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    std::size_t n = 0;
+    double f = 0.0;
+    if (arg == "--requests" && parse_size(need_value(arg.c_str()), n)) {
+      opt.requests = n;
+    } else if (arg == "--clients" && parse_size(need_value(arg.c_str()), n)) {
+      opt.clients = n == 0 ? 1 : n;
+    } else if (arg == "--seed" && parse_size(need_value(arg.c_str()), n)) {
+      opt.seed = n;
+    } else if (arg == "--rate" && parse_double(need_value(arg.c_str()), f)) {
+      opt.rate = f;
+    } else if (arg == "--population" &&
+               parse_size(need_value(arg.c_str()), n)) {
+      opt.population = n;
+    } else if (arg == "--solver") {
+      opt.solver = need_value(arg.c_str());
+    } else if (arg == "--n" && parse_size(need_value(arg.c_str()), n)) {
+      opt.n = n;
+    } else if (arg == "--epsilon" &&
+               parse_double(need_value(arg.c_str()), f)) {
+      opt.epsilon = f;
+    } else if (arg == "--deadline-ms" &&
+               parse_double(need_value(arg.c_str()), f)) {
+      opt.deadline_ms = f;
+    } else if (arg == "--no-cache") {
+      opt.no_cache = true;
+    } else if (arg == "--threads" && parse_size(need_value(arg.c_str()), n)) {
+      opt.service.workers = static_cast<unsigned>(n);
+    } else if (arg == "--queue" && parse_size(need_value(arg.c_str()), n)) {
+      opt.service.queue_capacity = n;
+    } else if (arg == "--batch" && parse_size(need_value(arg.c_str()), n)) {
+      opt.service.max_batch = n;
+    } else if (arg == "--out") {
+      opt.out = need_value(arg.c_str());
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else {
+      std::cerr << "sre_loadgen: unknown or malformed option '" << arg
+                << "'\n" << kUsage;
+      return 2;
+    }
+  }
+  if (opt.no_cache) opt.service.cache_enabled = false;
+
+  // SRE_TRACE=path captures the service's srv.request/srv.solve span
+  // timeline as Chrome Trace JSON (same contract as the bench binaries);
+  // CI validates the capture balances per thread.
+  sre::obs::recorder::arm_from_env();
+
+  const auto population = build_population(opt);
+  if (population.empty()) {
+    std::cerr << "sre_loadgen: empty workload population\n";
+    return 2;
+  }
+
+  sre::srv::PlannerService service(opt.service);
+  sre::srv::InProcessClient client(service);
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> ok_count{0};
+  std::atomic<std::uint64_t> rejected_count{0};
+  std::vector<LatencyRecorder> recorders(
+      opt.clients, LatencyRecorder(sre::obs::duration_bounds_seconds()));
+
+  const auto start = Clock::now();
+  auto run_client = [&](std::size_t client_index) {
+    LatencyRecorder& recorder = recorders[client_index];
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= opt.requests) return;
+      if (opt.rate > 0.0) {
+        // Open loop: request i is due at start + i/rate; fire late when
+        // behind rather than silently rescheduling.
+        const auto due =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(
+                            static_cast<double>(i) / opt.rate));
+        std::this_thread::sleep_until(due);
+      }
+      // Seeded pick: request i always maps to the same population entry,
+      // independent of client count and interleaving.
+      std::uint64_t stream = sre::sim::substream_seed(opt.seed, i);
+      const std::size_t pick = static_cast<std::size_t>(
+          sre::sim::splitmix64(stream) % population.size());
+      sre::srv::PlanRequest req = population[pick];
+      req.id = std::to_string(i);
+      const auto t0 = Clock::now();
+      const auto resp = client.call(req);
+      recorder.observe(std::chrono::duration<double>(Clock::now() - t0)
+                           .count());
+      if (resp.ok) {
+        ok_count.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        rejected_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  if (opt.clients == 1) {
+    run_client(0);
+  } else {
+    std::vector<std::thread> clients;
+    clients.reserve(opt.clients);
+    for (std::size_t c = 0; c < opt.clients; ++c) {
+      clients.emplace_back(run_client, c);
+    }
+    for (auto& t : clients) t.join();
+  }
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  LatencyRecorder merged(sre::obs::duration_bounds_seconds());
+  for (const auto& r : recorders) merged.merge(r);
+  const auto& lat = merged.snapshot_;
+
+  const auto counters = service.counters();
+  const auto cache = service.cache_counters();
+  const std::uint64_t lookups = cache.hits + cache.misses;
+  const double hit_rate =
+      lookups > 0 ? static_cast<double>(cache.hits) /
+                        static_cast<double>(lookups)
+                  : 0.0;
+  const double rejection_rate =
+      counters.requests > 0
+          ? static_cast<double>(counters.rejected) /
+                static_cast<double>(counters.requests)
+          : 0.0;
+  const double throughput =
+      wall_s > 0.0 ? static_cast<double>(counters.completed) / wall_s : 0.0;
+
+  using sre::obs::format_double;
+  std::string json = "{\n";
+  json += "  \"config\": {\"requests\": " + std::to_string(opt.requests);
+  json += ", \"clients\": " + std::to_string(opt.clients);
+  json += ", \"seed\": " + std::to_string(opt.seed);
+  json += ", \"rate\": " + format_double(opt.rate);
+  json += ", \"population\": " + std::to_string(population.size());
+  json += ", \"solver\": \"" + opt.solver + "\"";
+  json += ", \"n\": " + std::to_string(opt.n);
+  json += ", \"cache_enabled\": ";
+  json += opt.service.cache_enabled ? "true" : "false";
+  json += "},\n";
+  json += "  \"requests\": " + std::to_string(counters.requests);
+  json += ",\n  \"completed\": " + std::to_string(counters.completed);
+  json += ",\n  \"rejected\": " + std::to_string(counters.rejected);
+  json += ",\n  \"rejection_rate\": " + format_double(rejection_rate);
+  json += ",\n  \"throughput_rps\": " + format_double(throughput);
+  json += ",\n  \"wall_seconds\": " + format_double(wall_s);
+  json += ",\n  \"latency_seconds\": {\"p50\": " +
+          format_double(lat.quantile(0.50));
+  json += ", \"p95\": " + format_double(lat.quantile(0.95));
+  json += ", \"p99\": " + format_double(lat.quantile(0.99));
+  json += ", \"max\": " + format_double(lat.max);
+  json += ", \"mean\": " +
+          format_double(lat.count > 0
+                            ? lat.sum / static_cast<double>(lat.count)
+                            : 0.0);
+  json += "},\n";
+  json += "  \"cache\": {\"hits\": " + std::to_string(cache.hits);
+  json += ", \"misses\": " + std::to_string(cache.misses);
+  json += ", \"inserts\": " + std::to_string(cache.inserts);
+  json += ", \"evictions\": " + std::to_string(cache.evictions);
+  json += ", \"hit_rate\": " + format_double(hit_rate);
+  json += "},\n";
+  json += "  \"batch\": {\"solves\": " + std::to_string(counters.solves);
+  json += ", \"coalesced\": " + std::to_string(counters.coalesced);
+  json += "},\n";
+  json += "  \"stats\": " + service.stats_json();
+  json += "\n}\n";
+
+  std::ofstream out(opt.out);
+  if (!out) {
+    std::cerr << "sre_loadgen: cannot write " << opt.out << "\n";
+    return 2;
+  }
+  out << json;
+  out.close();
+
+  if (sre::obs::recorder::armed() &&
+      !sre::obs::recorder::stop_and_write()) {
+    std::cerr << "sre_loadgen: cannot write trace (is SRE_TRACE set?)\n";
+    return 2;
+  }
+
+  std::cout << "sre_loadgen: " << counters.completed << "/" << opt.requests
+            << " ok, " << counters.rejected << " rejected, "
+            << format_double(throughput) << " req/s, cache hit rate "
+            << format_double(hit_rate) << " -> " << opt.out << "\n";
+  return 0;
+}

@@ -1,0 +1,209 @@
+// sre_serve — the planner service as a process.
+//
+//   sre_serve [options]             NDJSON over stdin/stdout (default)
+//   sre_serve --tcp PORT [options]  same protocol over a TCP socket
+//
+// One JSON request per line, one response line per request, in order (see
+// src/srv/protocol.hpp for the schema). {"cmd":"stats"} reports the
+// service's byte-stable counters; {"cmd":"shutdown"} exits cleanly.
+//
+// Options (defaults come from ServiceConfig::from_env, so the SRE_SRV_*
+// and SRE_FAULT_* environment knobs apply; flags win over environment):
+//   --threads N         solver worker threads
+//   --queue N           admission limit (max in-flight requests)
+//   --batch N           max requests coalesced into one solve
+//   --cache-capacity N  plan-cache entries (0 disables the cache)
+//   --shards N          plan-cache shards (rounded up to a power of two)
+//   --deadline-ms F     default per-request deadline (0 = none)
+//   --no-cache          disable the plan cache entirely
+//   --tcp PORT          listen on 127.0.0.1:PORT instead of stdin/stdout
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include "srv/protocol.hpp"
+#include "srv/service.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: sre_serve [--threads N] [--queue N] [--batch N]\n"
+    "                 [--cache-capacity N] [--shards N] [--deadline-ms F]\n"
+    "                 [--no-cache] [--tcp PORT]\n";
+
+bool parse_size(const char* text, std::size_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+bool parse_double(const char* text, double& out) {
+  char* end = nullptr;
+  out = std::strtod(text, &end);
+  return end != text && *end == '\0';
+}
+
+int run_stdio(sre::srv::PlannerService& service) {
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    const auto outcome = sre::srv::handle_line(service, line);
+    std::cout << outcome.line << "\n" << std::flush;
+    if (outcome.shutdown) break;
+  }
+  return 0;
+}
+
+#ifndef _WIN32
+
+/// One connection: buffered line reads, one response line per request.
+/// Returns true when the client asked the whole server to shut down.
+bool serve_connection(sre::srv::PlannerService& service, int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool shutdown = false;
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      const std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (line.empty()) continue;
+      const auto outcome = sre::srv::handle_line(service, line);
+      const std::string reply = outcome.line + "\n";
+      std::size_t sent = 0;
+      while (sent < reply.size()) {
+        const ssize_t w = ::write(fd, reply.data() + sent,
+                                  reply.size() - sent);
+        if (w <= 0) { shutdown = outcome.shutdown; ::close(fd); return shutdown; }
+        sent += static_cast<std::size_t>(w);
+      }
+      if (outcome.shutdown) {
+        ::close(fd);
+        return true;
+      }
+    }
+    buffer.erase(0, start);
+  }
+  ::close(fd);
+  return shutdown;
+}
+
+int run_tcp(sre::srv::PlannerService& service, unsigned short port) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::cerr << "sre_serve: socket: " << std::strerror(errno) << "\n";
+    return 2;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd, 16) != 0) {
+    std::cerr << "sre_serve: bind/listen on port " << port << ": "
+              << std::strerror(errno) << "\n";
+    ::close(listen_fd);
+    return 2;
+  }
+  std::cerr << "sre_serve: listening on 127.0.0.1:" << port << "\n";
+  // Connections are served sequentially: the service itself is the
+  // concurrent part (worker pool + admission), and one in-order protocol
+  // stream per client keeps responses matched to requests.
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (serve_connection(service, fd)) break;
+  }
+  ::close(listen_fd);
+  return 0;
+}
+
+#endif  // !_WIN32
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sre::srv::ServiceConfig cfg = sre::srv::ServiceConfig::from_env();
+  long tcp_port = -1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "sre_serve: " << flag << " needs a value\n" << kUsage;
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    std::size_t n = 0;
+    double f = 0.0;
+    if (arg == "--threads" && parse_size(need_value("--threads"), n)) {
+      cfg.workers = static_cast<unsigned>(n);
+    } else if (arg == "--queue" && parse_size(need_value("--queue"), n)) {
+      cfg.queue_capacity = n;
+    } else if (arg == "--batch" && parse_size(need_value("--batch"), n)) {
+      cfg.max_batch = n;
+    } else if (arg == "--cache-capacity" &&
+               parse_size(need_value("--cache-capacity"), n)) {
+      cfg.cache.capacity = n;
+      cfg.cache_enabled = n > 0;
+    } else if (arg == "--shards" && parse_size(need_value("--shards"), n)) {
+      cfg.cache.shards = n;
+    } else if (arg == "--deadline-ms" &&
+               parse_double(need_value("--deadline-ms"), f)) {
+      cfg.default_deadline_s = f / 1e3;
+    } else if (arg == "--no-cache") {
+      cfg.cache_enabled = false;
+    } else if (arg == "--tcp") {
+      const char* v = need_value("--tcp");
+      char* end = nullptr;
+      tcp_port = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || tcp_port < 1 || tcp_port > 65535) {
+        std::cerr << "sre_serve: bad port '" << v << "'\n" << kUsage;
+        return 2;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else {
+      std::cerr << "sre_serve: unknown or malformed option '" << arg << "'\n"
+                << kUsage;
+      return 2;
+    }
+  }
+
+  sre::srv::PlannerService service(cfg);
+  if (tcp_port > 0) {
+#ifndef _WIN32
+    return run_tcp(service, static_cast<unsigned short>(tcp_port));
+#else
+    std::cerr << "sre_serve: --tcp is not supported on this platform\n";
+    return 2;
+#endif
+  }
+  return run_stdio(service);
+}
