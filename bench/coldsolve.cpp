@@ -1,0 +1,224 @@
+// Cold-solve acceleration measurement: the Theorem 5 DP's divide-and-conquer
+// (monotone row-minima) variant against the O(n^2) reference, on the same
+// instances the serving tier solves cold. Writes machine-readable
+// BENCH_coldsolve.json (set SRE_BENCH_JSON to change the path) that CI gates
+// with tools/obsdiff:
+//
+//  * counters.* — dp.rows / dp.argmin_evals deltas around single solves of
+//    an integer-valued deterministic instance. Every input is an exact small
+//    integer and both fills evaluate one noinline transition expression, so
+//    the counts are bit-deterministic across machines and gate *exactly*:
+//    any change to the envelope pruning (or an accidental fallback to the
+//    quadratic scan) shifts them.
+//  * scaling.* — the argmin_evals growth from n=500 to n=1000. Quadratic
+//    doubling multiplies evaluations by ~4; the monotone fill must stay
+//    under 3.0 (subquadratic=true is an exact bool gate).
+//  * timing.* — best-of-reps wall times for both variants on the paper's
+//    Lognormal(3, 0.5) at n=1000 plus the end-to-end cold solve
+//    (discretize + DP through the batched CDF path). Time-banded in CI;
+//    the exact gate is the meets_3x_target bool.
+//  * dnc_matches_reference / discretize_uses_batch_path — exact bools: the
+//    fast path agrees bit-for-bit, and discretization actually routes
+//    through the batch evaluation API (counter deltas are nonzero).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+#include "core/heuristics/dp_discretization.hpp"
+#include "dist/discrete.hpp"
+#include "dist/factory.hpp"
+#include "obs/metrics.hpp"
+#include "sim/discretize.hpp"
+
+using namespace sre;
+
+namespace {
+
+// splitmix64: tiny, reproducible, and integer-only — no libm in sight.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// A discrete law whose values and masses are small exact integers:
+/// irregular spacing and colliding suffix masses (envelope stress), yet
+/// every transition cost is a deterministic IEEE computation on every
+/// machine, making the evaluation counts safe to gate exactly.
+dist::DiscreteDistribution deterministic_instance(std::size_t n) {
+  std::uint64_t state = 0x5eedc01d501fe5ull;
+  std::vector<double> values, masses;
+  double cur = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cur += static_cast<double>(1 + (splitmix64(state) % 7));
+    values.push_back(cur);
+    masses.push_back(static_cast<double>(1 + (splitmix64(state) % 4)));
+  }
+  return dist::DiscreteDistribution(std::move(values), std::move(masses));
+}
+
+struct CounterDeltas {
+  std::uint64_t rows = 0;
+  std::uint64_t argmin_evals = 0;
+};
+
+CounterDeltas counted_solve(const dist::DiscreteDistribution& d,
+                            const core::CostModel& m, sim::DpVariant variant) {
+  obs::Counter& rows = obs::counter("core.dp.rows");
+  obs::Counter& evals = obs::counter("core.dp.argmin_evals");
+  const std::uint64_t r0 = rows.value();
+  const std::uint64_t e0 = evals.value();
+  (void)core::dp_optimal_sequence(d, m, {}, variant);
+  return {rows.value() - r0, evals.value() - e0};
+}
+
+template <typename Fn>
+double best_of_seconds(int reps, Fn&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (r == 0 || elapsed.count() < best) best = elapsed.count();
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const bench::BenchConfig cfg = bench::BenchConfig::from_env();
+  (void)cfg;  // applies SRE_OBS / SRE_TRACE; sizes here are fixed by design
+  const bool fast = []() {
+    const char* v = std::getenv("SRE_FAST");
+    return v != nullptr && v[0] == '1';
+  }();
+  const int reps = fast ? 3 : 10;
+  const core::CostModel model{1.0, 1.0, 1.0};
+
+  // --- Count-exact section: deterministic integer instances. -------------
+  const auto small = deterministic_instance(500);
+  const auto large = deterministic_instance(1000);
+  const auto ref_large =
+      counted_solve(large, model, sim::DpVariant::kReference);
+  const auto dnc_small =
+      counted_solve(small, model, sim::DpVariant::kDivideAndConquer);
+  const auto dnc_large =
+      counted_solve(large, model, sim::DpVariant::kDivideAndConquer);
+  const double growth =
+      dnc_small.argmin_evals > 0
+          ? static_cast<double>(dnc_large.argmin_evals) /
+                static_cast<double>(dnc_small.argmin_evals)
+          : 0.0;
+  // Doubling n multiplies a quadratic scan's evaluations by ~4; the
+  // monotone fill must stay well under that.
+  const bool subquadratic = growth > 0.0 && growth < 3.0;
+
+  // --- Differential spot check on the timing instance. -------------------
+  const auto inst = dist::paper_distribution("Lognormal");
+  if (!inst.has_value()) {
+    std::cerr << "coldsolve: Lognormal missing from the paper table\n";
+    return 1;
+  }
+  sim::DiscretizationOptions opts;
+  opts.n = 1000;
+  opts.epsilon = 1e-7;
+  opts.scheme = sim::DiscretizationScheme::kEqualProbability;
+
+  obs::Counter& cdf_calls = obs::counter("dist.cdf.batch_calls");
+  obs::Counter& quantile_calls = obs::counter("dist.quantile.batch_calls");
+  const std::uint64_t c0 = cdf_calls.value();
+  const std::uint64_t q0 = quantile_calls.value();
+  const dist::DiscreteDistribution disc = sim::discretize(*inst->dist, opts);
+  const std::uint64_t batch_cdf_calls = cdf_calls.value() - c0;
+  const std::uint64_t batch_quantile_calls = quantile_calls.value() - q0;
+  const bool uses_batch_path = batch_cdf_calls + batch_quantile_calls > 0;
+
+  const auto ref = core::dp_optimal_sequence(disc, model, {},
+                                             sim::DpVariant::kReference);
+  const auto dnc = core::dp_optimal_sequence(
+      disc, model, {}, sim::DpVariant::kDivideAndConquer);
+  bool identical = ref.indices == dnc.indices &&
+                   ref.expected_cost == dnc.expected_cost &&
+                   ref.sequence.values() == dnc.sequence.values();
+
+  // --- Timing section: best-of-reps cold solves at the paper scale. ------
+  const double ref_seconds = best_of_seconds(reps, [&] {
+    (void)core::dp_optimal_sequence(disc, model, {},
+                                    sim::DpVariant::kReference);
+  });
+  const double dnc_seconds = best_of_seconds(reps, [&] {
+    (void)core::dp_optimal_sequence(disc, model, {},
+                                    sim::DpVariant::kDivideAndConquer);
+  });
+  const double end_to_end_seconds = best_of_seconds(reps, [&] {
+    (void)core::DiscretizedDp(opts).generate(*inst->dist, model);
+  });
+  const double speedup = dnc_seconds > 0.0 ? ref_seconds / dnc_seconds : 0.0;
+  const bool meets_target = speedup >= 3.0;
+
+  const char* path_env = std::getenv("SRE_BENCH_JSON");
+  const std::string path =
+      path_env != nullptr ? path_env : "BENCH_coldsolve.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "coldsolve: cannot write " << path << "\n";
+  }
+  out << "{\n"
+      << "  \"counters\": {\n"
+      << "    \"dp.rows.reference_n1000\": " << ref_large.rows << ",\n"
+      << "    \"dp.rows.dnc_n1000\": " << dnc_large.rows << ",\n"
+      << "    \"dp.argmin_evals.reference_n1000\": " << ref_large.argmin_evals
+      << ",\n"
+      << "    \"dp.argmin_evals.dnc_n500\": " << dnc_small.argmin_evals
+      << ",\n"
+      << "    \"dp.argmin_evals.dnc_n1000\": " << dnc_large.argmin_evals
+      << ",\n"
+      << "    \"cdf.batch_calls_discretize_n1000\": " << batch_cdf_calls
+      << ",\n"
+      << "    \"quantile.batch_calls_discretize_n1000\": "
+      << batch_quantile_calls << "\n"
+      << "  },\n"
+      << "  \"scaling\": {\n"
+      << "    \"dnc_evals_growth_500_to_1000\": " << bench::fmt(growth, 4)
+      << ",\n"
+      << "    \"subquadratic\": " << (subquadratic ? "true" : "false") << "\n"
+      << "  },\n"
+      << "  \"timing\": {\n"
+      << "    \"reference_solve_ns\": " << bench::fmt(ref_seconds * 1e9, 0)
+      << ",\n"
+      << "    \"dnc_solve_ns\": " << bench::fmt(dnc_seconds * 1e9, 0) << ",\n"
+      << "    \"end_to_end_cold_solve_ns\": "
+      << bench::fmt(end_to_end_seconds * 1e9, 0) << ",\n"
+      << "    \"speedup_dnc_vs_reference\": " << bench::fmt(speedup, 2)
+      << "\n"
+      << "  },\n"
+      << "  \"dnc_matches_reference\": " << (identical ? "true" : "false")
+      << ",\n"
+      << "  \"discretize_uses_batch_path\": "
+      << (uses_batch_path ? "true" : "false") << ",\n"
+      << "  \"meets_3x_target\": " << (meets_target ? "true" : "false")
+      << "\n}\n";
+  out.close();
+
+  std::cout << "cold solve at n=1000: reference "
+            << bench::fmt(ref_seconds * 1e6, 1) << " us ("
+            << ref_large.argmin_evals << " evals), d&c "
+            << bench::fmt(dnc_seconds * 1e6, 1) << " us ("
+            << dnc_large.argmin_evals << " evals), speedup "
+            << bench::fmt(speedup, 2) << "x, evals growth x2 n -> "
+            << bench::fmt(growth, 2) << ", identical="
+            << (identical ? "true" : "false") << " -> "
+            << (out.fail() ? "(write failed: " + path + ")" : path) << "\n";
+
+  bench::write_metrics_sidecar("coldsolve");
+  bench::write_trace_sidecar();
+  return identical && subquadratic ? 0 : 1;
+}

@@ -1,6 +1,7 @@
 #include "core/heuristics/dp_discretization.hpp"
 
 #include <cassert>
+#include <deque>
 #include <limits>
 
 #include "obs/metrics.hpp"
@@ -8,16 +9,204 @@
 
 namespace sre::core {
 
+namespace {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SRE_DP_NOINLINE __attribute__((noinline))
+#else
+#define SRE_DP_NOINLINE
+#endif
+
+/// Read-only view of the Theorem 5 table state shared by both fills. E is
+/// the array being filled; entries at indices > the current row are final.
+struct DpTable {
+  const CostModel& m;
+  const std::vector<double>& v;
+  const std::vector<double>& S;
+  const std::vector<double>& W;
+  const std::vector<double>& E;
+};
+
+/// The Theorem 5 transition:
+///   c(i,j) = alpha v_j + gamma + beta (W[i] - W[j+1]) / S[i]
+///          + S[j+1]/S[i] * (beta v_j + E[j+1])
+/// noinline so every call site — the O(n^2) scan, the envelope comparisons
+/// of the monotone fill, and the final row evaluations — computes the
+/// byte-identical expression (no per-site fusion or FP contraction), which
+/// is what makes the two variants' outputs bitwise comparable.
+SRE_DP_NOINLINE double transition_cost(const DpTable& t, std::size_t i,
+                                       std::size_t j) {
+  double cost = t.m.alpha * t.v[j] + t.m.gamma +
+                t.m.beta * (t.W[i] - t.W[j + 1]) / t.S[i];
+  if (t.S[j + 1] > 0.0) {
+    cost += t.S[j + 1] / t.S[i] * (t.m.beta * t.v[j] + t.E[j + 1]);
+  }
+  return cost;
+}
+
+/// Counts transition evaluations and polls cancellation every
+/// kDpCancelPollBudget of them — a *work* budget, not a row stride: a
+/// reference row costs O(n) evaluations and a monotone row O(log n), yet
+/// both variants poll equally often per unit of work, so a deadline expires
+/// promptly even at n = 100k (see Dp.CancelPollingIsWorkBudgeted).
+struct PollBudget {
+  const sim::CancelToken& cancel;
+  std::uint64_t evals = 0;
+
+  void tick() {
+    static_assert((kDpCancelPollBudget & (kDpCancelPollBudget - 1)) == 0,
+                  "poll budget must be a power of two");
+    if ((++evals & (kDpCancelPollBudget - 1)) == 0u) {
+      cancel.check("core.dp.table_fill");
+    }
+  }
+};
+
+/// The O(n^2) reference: scan every admissible split, first minimum wins.
+void fill_reference(const DpTable& t, std::size_t n, PollBudget& poll,
+                    std::vector<double>& E, std::vector<std::size_t>& choice,
+                    std::uint64_t& rows) {
+  for (std::size_t i = n; i-- > 0;) {
+    if ((i & 63u) == 0u) poll.cancel.check("core.dp.table_fill");
+    if (t.S[i] <= 0.0) {
+      // No mass at or above v_i: never reached with positive probability.
+      E[i] = 0.0;
+      choice[i] = i;
+      continue;
+    }
+    ++rows;
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_j = i;
+    for (std::size_t j = i; j < n; ++j) {
+      poll.tick();
+      const double cost = transition_cost(t, i, j);
+      if (cost < best) {
+        best = cost;
+        best_j = j;
+      }
+      // Once the tail past j is empty, larger j only raises alpha v_j.
+      if (t.S[j + 1] <= 0.0) break;
+    }
+    E[i] = best;
+    choice[i] = best_j;
+  }
+}
+
+/// Monotone row-minima (divide-and-conquer on row intervals). Row i's
+/// candidate costs are affine in the suffix mass,
+///   S[i] c(i,j) = (terms in i only) + alpha v_j S[i] + h(j),
+/// a lower envelope of lines with strictly increasing slopes alpha v_j
+/// queried at x = S[i]; x grows as i falls, so the optimal split index is
+/// nondecreasing in i. Rows are processed descending; the deque partitions
+/// the not-yet-answered rows [0, i] into (candidate, interval) segments,
+/// best candidate per row, front covering the lowest rows. A new candidate
+/// j = i has the smallest slope seen, so it can only take over a *prefix*
+/// [0, r*] of future rows: whole segments are popped from the front and the
+/// boundary inside the last partial segment is found by divide and conquer.
+/// Every comparison evaluates the original transition at two candidates and
+/// breaks ties toward the smaller index — exactly the reference scan's
+/// first-minimum rule — so the fill is byte-identical to fill_reference.
+void fill_monotone(const DpTable& t, std::size_t n, PollBudget& poll,
+                   std::vector<double>& E, std::vector<std::size_t>& choice,
+                   std::uint64_t& rows) {
+  struct Segment {
+    std::size_t j;   ///< owning candidate
+    std::size_t lo;  ///< lowest row of the segment
+  };
+  std::deque<Segment> segs;
+
+  // True when candidate c is at least as good as owner o for row r (ties go
+  // to c, the smaller index, matching the reference's first-minimum rule).
+  const auto beats = [&](std::size_t c, std::size_t o, std::size_t r) {
+    poll.tick();
+    const double cost_c = transition_cost(t, r, c);
+    poll.tick();
+    const double cost_o = transition_cost(t, r, o);
+    return cost_c <= cost_o;
+  };
+
+  for (std::size_t i = n; i-- > 0;) {
+    if ((i & 63u) == 0u) poll.cancel.check("core.dp.table_fill");
+    if (t.S[i] <= 0.0) {
+      E[i] = 0.0;
+      choice[i] = i;
+      continue;
+    }
+    ++rows;
+
+    // Insert candidate j = i (its tail term uses E[i+1], already final).
+    if (segs.empty()) {
+      segs.push_front({i, 0});
+    } else {
+      // Pop whole segments the candidate dominates. Beating a segment's
+      // owner at the segment's hi (the smallest query point in its range)
+      // means the smaller-slope candidate beats it on the entire segment —
+      // and, by the envelope ordering, every owner of a previously popped
+      // segment too. hi of the front segment is one below its upper
+      // neighbour's lo, or the current row when it is the only segment.
+      bool popped = false;
+      while (!segs.empty()) {
+        const std::size_t hi_front =
+            segs.size() > 1 ? segs[1].lo - 1 : i;
+        if (beats(i, segs.front().j, hi_front)) {
+          segs.pop_front();
+          popped = true;
+        } else {
+          break;
+        }
+      }
+      if (segs.empty()) {
+        segs.push_front({i, 0});
+      } else {
+        Segment& front = segs.front();
+        const std::size_t hi_front = segs.size() > 1 ? segs[1].lo - 1 : i;
+        if (beats(i, front.j, front.lo)) {
+          // Boundary r* in [front.lo, hi_front): beats at lo, not at hi.
+          std::size_t lo = front.lo, hi = hi_front;
+          while (hi - lo > 1) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            if (beats(i, front.j, mid)) {
+              lo = mid;
+            } else {
+              hi = mid;
+            }
+          }
+          front.lo = lo + 1;
+          segs.push_front({i, 0});
+        } else if (popped) {
+          // The candidate lost at front.lo but already dominated every
+          // popped segment: it owns exactly the popped prefix
+          // [0, front.lo - 1]. Dropping it here would orphan those rows.
+          segs.push_front({i, 0});
+        }
+        // Otherwise (nothing popped, loses at row 0, the largest query
+        // point): with the smallest slope, losing at the largest x means
+        // losing at every smaller x too — dominated forever, drop it.
+      }
+    }
+
+    // Answer row i: the back segment covers the highest unanswered row.
+    const std::size_t owner = segs.back().j;
+    poll.tick();
+    E[i] = transition_cost(t, i, owner);
+    choice[i] = owner;
+    if (segs.back().lo == i) segs.pop_back();  // segment exhausted
+  }
+}
+
+}  // namespace
+
 DpResult dp_optimal_sequence(const dist::DiscreteDistribution& d,
-                             const CostModel& m,
-                             const sim::CancelToken& cancel) {
+                             const CostModel& m, const sim::CancelToken& cancel,
+                             sim::DpVariant variant) {
   assert(m.valid());
   static obs::SpanStats& fill_span = obs::span_series("core.dp.table_fill");
   obs::Span span(fill_span);
   static obs::Counter& fills = obs::counter("core.dp.table_fills");
   static obs::Counter& cell_count = obs::counter("core.dp.cells");
+  static obs::Counter& row_count = obs::counter("core.dp.rows");
+  static obs::Counter& argmin_evals = obs::counter("core.dp.argmin_evals");
   fills.add();
-  std::uint64_t cells = 0;  // inner-loop transitions, flushed once at exit
   const auto& v = d.values();
   const auto& f = d.probabilities();
   const std::size_t n = v.size();
@@ -35,34 +224,20 @@ DpResult dp_optimal_sequence(const dist::DiscreteDistribution& d,
 
   std::vector<double> E(n + 1, 0.0);
   std::vector<std::size_t> choice(n, n);
-  for (std::size_t i = n; i-- > 0;) {
-    if ((i & 63u) == 0u) cancel.check("core.dp.table_fill");
-    if (S[i] <= 0.0) {
-      // No mass at or above v_i: never reached with positive probability.
-      E[i] = 0.0;
-      choice[i] = i;
-      continue;
-    }
-    double best = std::numeric_limits<double>::infinity();
-    std::size_t best_j = i;
-    for (std::size_t j = i; j < n; ++j) {
-      ++cells;
-      double cost = m.alpha * v[j] + m.gamma + m.beta * (W[i] - W[j + 1]) / S[i];
-      if (S[j + 1] > 0.0) {
-        cost += S[j + 1] / S[i] * (m.beta * v[j] + E[j + 1]);
-      }
-      if (cost < best) {
-        best = cost;
-        best_j = j;
-      }
-      // Once the tail past j is empty, larger j only raises alpha v_j.
-      if (S[j + 1] <= 0.0) break;
-    }
-    E[i] = best;
-    choice[i] = best_j;
+  const DpTable table{m, v, S, W, E};
+  PollBudget poll{cancel};
+  std::uint64_t rows = 0;
+  switch (variant) {
+    case sim::DpVariant::kReference:
+      fill_reference(table, n, poll, E, choice, rows);
+      break;
+    case sim::DpVariant::kDivideAndConquer:
+      fill_monotone(table, n, poll, E, choice, rows);
+      break;
   }
-
-  cell_count.add(cells);
+  cell_count.add(poll.evals);
+  argmin_evals.add(poll.evals);
+  row_count.add(rows);
 
   DpResult out;
   out.expected_cost = E[0];
@@ -105,7 +280,7 @@ ReservationSequence DiscretizedDp::generate(const dist::Distribution& d,
     tab = ctx.cdf_cache->table(opts_.n, opts_.epsilon);
   }
   const dist::DiscreteDistribution disc = sim::discretize(d, opts_, tab.get());
-  DpResult dp = dp_optimal_sequence(disc, m, ctx.cancel);
+  DpResult dp = dp_optimal_sequence(disc, m, ctx.cancel, opts_.dp_variant);
   // Tail extension for unbounded laws: double past v_n until covered.
   const dist::Support s = d.support();
   std::vector<double> values = dp.sequence.values();

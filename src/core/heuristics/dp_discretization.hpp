@@ -3,8 +3,26 @@
 // Discretization-based dynamic programming (Section 4.2): truncate the
 // continuous law at b = Q(1 - epsilon), discretize it into n points
 // (EQUAL-TIME or EQUAL-PROBABILITY), solve the resulting discrete instance
-// exactly by the Theorem 5 O(n^2) dynamic program, and -- for unbounded
-// laws -- extend the sequence past v_n so it covers the full distribution.
+// exactly by the Theorem 5 dynamic program, and -- for unbounded laws --
+// extend the sequence past v_n so it covers the full distribution.
+//
+// Two inner solvers share the transition expression (sim::DpVariant):
+// the O(n^2) reference table fill, and a monotone row-minima variant.
+// Multiplying the Theorem 5 transition by the suffix mass S[i] shows row i's
+// candidate costs are affine in S[i]:
+//   S[i]*c(i,j) = (j-independent terms) + alpha*v_j*S[i] + h(j),
+// with slopes alpha*v_j strictly increasing in j. The row minimum is a lower
+// envelope of lines queried at x = S[i], so the optimal split index is
+// nondecreasing in i (the quadrangle-inequality/total-monotonicity argument
+// of the matrix-searching literature). The fast variant maintains the
+// envelope as a deque of (candidate, row-interval) segments — each new
+// candidate takes over a prefix of future rows, located by divide and
+// conquer on the interval — for O(n log n) cost evaluations total. Both
+// variants evaluate the *same* noinline transition expression and break
+// ties toward the smaller index, so sequences, costs, and choice indices
+// are byte-identical (tests/test_dp_differential.cpp enforces this).
+
+#include <cstdint>
 
 #include "core/heuristics/heuristic.hpp"
 #include "dist/discrete.hpp"
@@ -22,11 +40,20 @@ struct DpResult {
   double expected_cost = 0.0;
 };
 
-/// `cancel` is polled every 64 rows of the O(n^2) table fill; an expired
-/// deadline unwinds with ScenarioError(kTimeout).
-DpResult dp_optimal_sequence(const dist::DiscreteDistribution& d,
-                             const CostModel& m,
-                             const sim::CancelToken& cancel = {});
+/// `cancel` is polled on a work-count budget (every
+/// kDpCancelPollBudget transition evaluations, in both variants, so large
+/// rows cannot stretch the polling interval); an expired deadline unwinds
+/// with ScenarioError(kTimeout). The defaulted `variant` keeps direct
+/// callers on the reference oracle; the discretized heuristics select the
+/// fast path through DiscretizationOptions::dp_variant.
+DpResult dp_optimal_sequence(
+    const dist::DiscreteDistribution& d, const CostModel& m,
+    const sim::CancelToken& cancel = {},
+    sim::DpVariant variant = sim::DpVariant::kReference);
+
+/// Transition evaluations between consecutive cancellation polls. Public so
+/// the promptness regression test (test_dp.cpp) can assert against it.
+inline constexpr std::uint64_t kDpCancelPollBudget = 4096;
 
 /// Heuristic adapter: discretize a continuous law, run the DP, extend the
 /// tail by doubling past v_n for unbounded support (Section 4.2.2 notes that

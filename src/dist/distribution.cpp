@@ -1,13 +1,28 @@
 #include "dist/distribution.hpp"
 
+#include <cassert>
 #include <cmath>
 #include <limits>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "stats/error.hpp"
 #include "stats/integrate.hpp"
 
 namespace sre::dist {
+
+namespace {
+
+/// Batch-size histogram shared by the three wrappers: the buckets tell
+/// whether callers actually batch (discretization grids land in the
+/// hundreds-to-thousands buckets) or degenerate to scalar calls.
+obs::Histogram& batch_size_histogram() {
+  static obs::Histogram& h = obs::histogram(
+      "dist.cdf.batch_size", {1.0, 8.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0});
+  return h;
+}
+
+}  // namespace
 
 namespace detail {
 
@@ -28,6 +43,50 @@ bool Support::contains(double t) const noexcept {
 }
 
 double Distribution::sf(double t) const { return 1.0 - cdf(t); }
+
+void Distribution::cdf_batch(std::span<const double> t,
+                             std::span<double> out) const {
+  assert(t.size() == out.size());
+  static obs::Counter& calls = obs::counter("dist.cdf.batch_calls");
+  calls.add();
+  batch_size_histogram().observe(static_cast<double>(t.size()));
+  do_cdf_batch(t, out);
+}
+
+void Distribution::sf_batch(std::span<const double> t,
+                            std::span<double> out) const {
+  assert(t.size() == out.size());
+  static obs::Counter& calls = obs::counter("dist.sf.batch_calls");
+  calls.add();
+  batch_size_histogram().observe(static_cast<double>(t.size()));
+  do_sf_batch(t, out);
+}
+
+void Distribution::quantile_batch(std::span<const double> p,
+                                  std::span<double> out) const {
+  assert(p.size() == out.size());
+  static obs::Counter& calls = obs::counter("dist.quantile.batch_calls");
+  calls.add();
+  batch_size_histogram().observe(static_cast<double>(p.size()));
+  do_quantile_batch(p, out);
+}
+
+void Distribution::do_cdf_batch(std::span<const double> t,
+                                std::span<double> out) const {
+  // Generic scalar-loop fallback: correct for any law, one virtual call per
+  // element. Laws with closed forms override to strip the dispatch.
+  for (std::size_t i = 0; i < t.size(); ++i) out[i] = cdf(t[i]);
+}
+
+void Distribution::do_sf_batch(std::span<const double> t,
+                               std::span<double> out) const {
+  for (std::size_t i = 0; i < t.size(); ++i) out[i] = sf(t[i]);
+}
+
+void Distribution::do_quantile_batch(std::span<const double> p,
+                                     std::span<double> out) const {
+  for (std::size_t i = 0; i < p.size(); ++i) out[i] = quantile(p[i]);
+}
 
 double Distribution::stddev() const { return std::sqrt(variance()); }
 

@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <random>
+#include <span>
 #include <string>
 
 namespace sre::dist {
@@ -46,6 +47,21 @@ class Distribution {
 
   /// Quantile Q(p) = inf { t : F(t) >= p }, p in [0, 1].
   [[nodiscard]] virtual double quantile(double p) const = 0;
+
+  /// Batched SoA evaluation (the Section 4.2.1 discretization hot path).
+  /// `out` must be exactly as long as the input span; input and output may
+  /// not overlap. The wrappers record `dist.cdf.batch_size` and dispatch to
+  /// the do_*_batch hooks below; results are bit-identical to calling the
+  /// scalar virtuals point by point — the generic hooks do exactly that,
+  /// and per-law overrides replicate the scalar bodies branch for branch
+  /// (tests/test_batch_eval.cpp enforces the equivalence for every law).
+  void cdf_batch(std::span<const double> t, std::span<double> out) const;
+  void sf_batch(std::span<const double> t, std::span<double> out) const;
+  /// Validates every probability exactly like the scalar quantile does:
+  /// throws ScenarioError(kDomainError) at the first offending element,
+  /// with earlier outputs already written — the same observable prefix a
+  /// per-point loop leaves behind.
+  void quantile_batch(std::span<const double> p, std::span<double> out) const;
 
   [[nodiscard]] virtual double mean() const = 0;
   [[nodiscard]] virtual double variance() const = 0;
@@ -90,6 +106,19 @@ class Distribution {
   /// Numeric fallback for conditional_mean_above (exposed so overrides can
   /// delegate when their closed form loses precision deep in the tail).
   [[nodiscard]] double conditional_mean_above_numeric(double tau) const;
+
+  /// Batch hooks behind the public wrappers. The defaults are the generic
+  /// scalar-loop fallback (one virtual call per element), correct for every
+  /// law. Overrides exist to strip the per-element virtual dispatch and
+  /// keep the loop body vectorization-friendly; they MUST evaluate the same
+  /// branches and expressions as the scalar member so outputs stay
+  /// bit-identical (see CONTRIBUTING.md "Adding a distribution").
+  virtual void do_cdf_batch(std::span<const double> t,
+                            std::span<double> out) const;
+  virtual void do_sf_batch(std::span<const double> t,
+                           std::span<double> out) const;
+  virtual void do_quantile_batch(std::span<const double> p,
+                                 std::span<double> out) const;
 };
 
 using DistributionPtr = std::shared_ptr<const Distribution>;

@@ -48,6 +48,33 @@ double Exponential::conditional_mean_above(double tau) const {
   return std::fmax(tau, 0.0) + 1.0 / lambda_;
 }
 
+void Exponential::do_cdf_batch(std::span<const double> t,
+                               std::span<double> out) const {
+  const double lambda = lambda_;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    out[i] = t[i] <= 0.0 ? 0.0 : -std::expm1(-lambda * t[i]);
+  }
+}
+
+void Exponential::do_sf_batch(std::span<const double> t,
+                              std::span<double> out) const {
+  const double lambda = lambda_;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    out[i] = t[i] <= 0.0 ? 1.0 : std::exp(-lambda * t[i]);
+  }
+}
+
+void Exponential::do_quantile_batch(std::span<const double> p,
+                                    std::span<double> out) const {
+  const double lambda = lambda_;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    detail::require_probability(p[i], "Exponential.quantile");
+    out[i] = p[i] <= 0.0   ? 0.0
+             : p[i] >= 1.0 ? std::numeric_limits<double>::infinity()
+                           : -std::log1p(-p[i]) / lambda;
+  }
+}
+
 std::string Exponential::name() const { return "Exponential"; }
 
 std::string Exponential::describe() const {

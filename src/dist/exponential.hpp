@@ -27,6 +27,16 @@ class Exponential final : public Distribution {
   [[nodiscard]] std::string describe() const override;
   [[nodiscard]] std::string to_key() const override;
 
+ protected:
+  /// SoA kernels: same branches and libm expressions as the scalar members,
+  /// minus the per-element virtual dispatch.
+  void do_cdf_batch(std::span<const double> t,
+                    std::span<double> out) const override;
+  void do_sf_batch(std::span<const double> t,
+                   std::span<double> out) const override;
+  void do_quantile_batch(std::span<const double> p,
+                         std::span<double> out) const override;
+
  private:
   double lambda_;
 };

@@ -72,6 +72,38 @@ double LogNormal::conditional_mean_above(double tau) const {
   return conditional_mean_above_numeric(tau);
 }
 
+void LogNormal::do_cdf_batch(std::span<const double> t,
+                             std::span<double> out) const {
+  const double mu = mu_, sigma = sigma_;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    out[i] = t[i] <= 0.0
+                 ? 0.0
+                 : stats::norm_cdf((std::log(t[i]) - mu) / sigma);
+  }
+}
+
+void LogNormal::do_sf_batch(std::span<const double> t,
+                            std::span<double> out) const {
+  const double mu = mu_, sigma = sigma_;
+  const double sqrt2 = std::sqrt(2.0);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    out[i] = t[i] <= 0.0
+                 ? 1.0
+                 : 0.5 * std::erfc((std::log(t[i]) - mu) / sigma / sqrt2);
+  }
+}
+
+void LogNormal::do_quantile_batch(std::span<const double> p,
+                                  std::span<double> out) const {
+  const double mu = mu_, sigma = sigma_;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    detail::require_probability(p[i], "LogNormal.quantile");
+    out[i] = p[i] <= 0.0   ? 0.0
+             : p[i] >= 1.0 ? std::numeric_limits<double>::infinity()
+                           : std::exp(mu + sigma * stats::norm_quantile(p[i]));
+  }
+}
+
 std::string LogNormal::name() const { return "LogNormal"; }
 
 std::string LogNormal::describe() const {

@@ -56,6 +56,33 @@ double Pareto::conditional_mean_above(double tau) const {
   return alpha_ / (alpha_ - 1.0) * t;
 }
 
+void Pareto::do_cdf_batch(std::span<const double> t,
+                          std::span<double> out) const {
+  const double nu = nu_, alpha = alpha_;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    out[i] = t[i] <= nu ? 0.0 : 1.0 - std::pow(nu / t[i], alpha);
+  }
+}
+
+void Pareto::do_sf_batch(std::span<const double> t,
+                         std::span<double> out) const {
+  const double nu = nu_, alpha = alpha_;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    out[i] = t[i] <= nu ? 1.0 : std::pow(nu / t[i], alpha);
+  }
+}
+
+void Pareto::do_quantile_batch(std::span<const double> p,
+                               std::span<double> out) const {
+  const double nu = nu_, inv_alpha = -1.0 / alpha_;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    detail::require_probability(p[i], "Pareto.quantile");
+    out[i] = p[i] <= 0.0   ? nu
+             : p[i] >= 1.0 ? std::numeric_limits<double>::infinity()
+                           : nu * std::pow(1.0 - p[i], inv_alpha);
+  }
+}
+
 std::string Pareto::name() const { return "Pareto"; }
 
 std::string Pareto::describe() const {

@@ -45,24 +45,24 @@ TabulatedCdf::TabulatedCdf(const Distribution& d, std::size_t n, double epsilon)
 
   // The probe expressions mirror sim::discretize() exactly — `f = mass/n`
   // then `k * f`, and `step = (b-a)/n` then `a + k * step` — so the
-  // discretizer's queries are bit-identical to the stored grid points.
+  // discretizer's queries are bit-identical to the stored grid points. Both
+  // grids are filled through the batched SoA kernels: one quantile_batch
+  // and one cdf_batch instead of 2n+1 virtual calls.
   const double f = mass_ / static_cast<double>(n_);
-  probs_.reserve(n_);
-  quantiles_.reserve(n_);
+  probs_.resize(n_);
+  quantiles_.resize(n_);
   for (std::size_t k = 1; k <= n_; ++k) {
-    const double p = static_cast<double>(k) * f;
-    probs_.push_back(p);
-    quantiles_.push_back(d.quantile(p));
+    probs_[k - 1] = static_cast<double>(k) * f;
   }
+  d.quantile_batch(probs_, quantiles_);
 
   const double step = (upper_ - lower_) / static_cast<double>(n_);
-  times_.reserve(n_ + 1);
-  cdfs_.reserve(n_ + 1);
+  times_.resize(n_ + 1);
+  cdfs_.resize(n_ + 1);
   for (std::size_t k = 0; k <= n_; ++k) {
-    const double t = lower_ + static_cast<double>(k) * step;
-    times_.push_back(t);
-    cdfs_.push_back(d.cdf(t));
+    times_[k] = lower_ + static_cast<double>(k) * step;
   }
+  d.cdf_batch(times_, cdfs_);
 }
 
 double TabulatedCdf::quantile_point(std::size_t k) const {

@@ -45,6 +45,23 @@ double Uniform::conditional_mean_above(double tau) const {
   return 0.5 * (b_ + t);
 }
 
+void Uniform::do_cdf_batch(std::span<const double> t,
+                           std::span<double> out) const {
+  const double a = a_, b = b_;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    out[i] = t[i] <= a ? 0.0 : t[i] >= b ? 1.0 : (t[i] - a) / (b - a);
+  }
+}
+
+void Uniform::do_quantile_batch(std::span<const double> p,
+                                std::span<double> out) const {
+  const double a = a_, b = b_;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    detail::require_probability(p[i], "Uniform.quantile");
+    out[i] = p[i] <= 0.0 ? a : p[i] >= 1.0 ? b : a + p[i] * (b - a);
+  }
+}
+
 std::string Uniform::name() const { return "Uniform"; }
 
 std::string Uniform::describe() const {

@@ -24,6 +24,14 @@ class Uniform final : public Distribution {
   [[nodiscard]] std::string describe() const override;
   [[nodiscard]] std::string to_key() const override;
 
+ protected:
+  /// No do_sf_batch override: Uniform has no scalar sf override either, so
+  /// both paths share the base-class 1 - F(t) composition.
+  void do_cdf_batch(std::span<const double> t,
+                    std::span<double> out) const override;
+  void do_quantile_batch(std::span<const double> p,
+                         std::span<double> out) const override;
+
  private:
   double a_;
   double b_;

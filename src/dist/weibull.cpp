@@ -74,6 +74,33 @@ double Weibull::conditional_mean_above(double tau) const {
   return conditional_mean_above_numeric(tau);
 }
 
+void Weibull::do_cdf_batch(std::span<const double> t,
+                           std::span<double> out) const {
+  const double lambda = lambda_, kappa = kappa_;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    out[i] = t[i] <= 0.0 ? 0.0 : -std::expm1(-std::pow(t[i] / lambda, kappa));
+  }
+}
+
+void Weibull::do_sf_batch(std::span<const double> t,
+                          std::span<double> out) const {
+  const double lambda = lambda_, kappa = kappa_;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    out[i] = t[i] <= 0.0 ? 1.0 : std::exp(-std::pow(t[i] / lambda, kappa));
+  }
+}
+
+void Weibull::do_quantile_batch(std::span<const double> p,
+                                std::span<double> out) const {
+  const double lambda = lambda_, inv_kappa = 1.0 / kappa_;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    detail::require_probability(p[i], "Weibull.quantile");
+    out[i] = p[i] <= 0.0   ? 0.0
+             : p[i] >= 1.0 ? std::numeric_limits<double>::infinity()
+                           : lambda * std::pow(-std::log1p(-p[i]), inv_kappa);
+  }
+}
+
 std::string Weibull::name() const { return "Weibull"; }
 
 std::string Weibull::describe() const {

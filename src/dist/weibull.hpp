@@ -29,6 +29,14 @@ class Weibull final : public Distribution {
   [[nodiscard]] std::string describe() const override;
   [[nodiscard]] std::string to_key() const override;
 
+ protected:
+  void do_cdf_batch(std::span<const double> t,
+                    std::span<double> out) const override;
+  void do_sf_batch(std::span<const double> t,
+                   std::span<double> out) const override;
+  void do_quantile_batch(std::span<const double> p,
+                         std::span<double> out) const override;
+
  private:
   double lambda_;
   double kappa_;

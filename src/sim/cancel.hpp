@@ -11,9 +11,12 @@
 // A default-constructed token is inert: armed() is false and check() is a
 // single pointer test, so APIs can take a CancelToken by value with zero
 // cost for callers that never cancel. Deadline checks read the steady clock,
-// so hot loops stride them (every ~64 iterations) rather than per element —
-// see the call sites in core/heuristics/dp_discretization.cpp,
-// core/recurrence.cpp, and sim/monte_carlo.cpp.
+// so hot loops amortize them over a *work budget* — a fixed count of inner
+// evaluations (e.g. kDpCancelPollBudget transition evaluations in
+// core/heuristics/dp_discretization.cpp) rather than an outer-loop stride,
+// which keeps the polling interval bounded even when per-iteration work
+// varies by orders of magnitude. Simpler fixed-work loops (core/recurrence.cpp,
+// sim/monte_carlo.cpp) still stride every ~64 iterations.
 
 #include <atomic>
 #include <chrono>

@@ -17,6 +17,16 @@ const char* to_string(DiscretizationScheme scheme) noexcept {
   return "?";
 }
 
+const char* to_string(DpVariant variant) noexcept {
+  switch (variant) {
+    case DpVariant::kReference:
+      return "reference-n2";
+    case DpVariant::kDivideAndConquer:
+      return "divide-and-conquer";
+  }
+  return "?";
+}
+
 double truncation_point(const dist::Distribution& d, double epsilon) {
   const dist::Support s = d.support();
   if (s.bounded()) return s.upper;
@@ -75,9 +85,22 @@ dist::DiscreteDistribution discretize(const dist::Distribution& d,
     probs.push_back(p);
   };
 
+  // With no table at all, the grid probes go through the batched SoA
+  // kernels (dist::Distribution::*_batch): one call for the whole grid
+  // instead of n virtual dispatches. The batch API is bit-identical to the
+  // per-point calls, so all three routes below produce the same bytes.
   switch (opts.scheme) {
     case DiscretizationScheme::kEqualProbability: {
       const double f = fb / static_cast<double>(opts.n);
+      if (tab == nullptr) {
+        std::vector<double> ps(opts.n), vs(opts.n);
+        for (std::size_t i = 1; i <= opts.n; ++i) {
+          ps[i - 1] = static_cast<double>(i) * f;
+        }
+        d.quantile_batch(ps, vs);
+        for (std::size_t i = 0; i < opts.n; ++i) push(vs[i], f);
+        break;
+      }
       for (std::size_t i = 1; i <= opts.n; ++i) {
         const double v = exact ? tab->quantile_point(i)
                                : quantile_at(static_cast<double>(i) * f);
@@ -86,8 +109,20 @@ dist::DiscreteDistribution discretize(const dist::Distribution& d,
       break;
     }
     case DiscretizationScheme::kEqualTime: {
-      double prev_cdf = exact ? tab->cdf_point(0) : cdf_at(a);
       const double step = (b - a) / static_cast<double>(opts.n);
+      if (tab == nullptr) {
+        std::vector<double> ts(opts.n + 1), cs(opts.n + 1);
+        ts[0] = a;
+        for (std::size_t i = 1; i <= opts.n; ++i) {
+          ts[i] = a + static_cast<double>(i) * step;
+        }
+        d.cdf_batch(ts, cs);
+        for (std::size_t i = 1; i <= opts.n; ++i) {
+          push(ts[i], cs[i] - cs[i - 1]);
+        }
+        break;
+      }
+      double prev_cdf = exact ? tab->cdf_point(0) : cdf_at(a);
       for (std::size_t i = 1; i <= opts.n; ++i) {
         const double v = a + static_cast<double>(i) * step;
         const double cv = exact ? tab->cdf_point(i) : cdf_at(v);

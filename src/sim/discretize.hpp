@@ -23,10 +23,28 @@ enum class DiscretizationScheme {
 /// Printable scheme name ("Equal-probability" / "Equal-time").
 const char* to_string(DiscretizationScheme scheme) noexcept;
 
+/// Inner solver for the Theorem 5 dynamic program on the discretized law.
+///  * kReference: the O(n^2) table fill — the correctness oracle.
+///  * kDivideAndConquer: monotone row-minima (the optimal split index is
+///    nondecreasing in the row, a quadrangle-inequality consequence of the
+///    transition being affine in the suffix mass), O(n log n). Byte-identical
+///    output to kReference — tests/test_dp_differential.cpp is the gate.
+enum class DpVariant {
+  kReference,
+  kDivideAndConquer,
+};
+
+/// Printable variant name ("reference-n2" / "divide-and-conquer").
+const char* to_string(DpVariant variant) noexcept;
+
 struct DiscretizationOptions {
   std::size_t n = 1000;    ///< number of samples; the paper uses 1000
   double epsilon = 1e-7;   ///< discarded tail quantile; the paper uses 1e-7
   DiscretizationScheme scheme = DiscretizationScheme::kEqualProbability;
+  /// DP used on the discretized instance. The fast path is the default; it
+  /// must stay byte-identical to the reference, so flipping this only
+  /// changes solve latency, never output.
+  DpVariant dp_variant = DpVariant::kDivideAndConquer;
 };
 
 /// b = Q(1 - epsilon) for unbounded support, else the support's upper end.

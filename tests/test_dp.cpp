@@ -7,11 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <random>
 
 #include "core/expected_cost.hpp"
 #include "dist/factory.hpp"
+#include "sim/cancel.hpp"
+#include "stats/error.hpp"
 
 using namespace sre::core;
 using sre::dist::DiscreteDistribution;
@@ -184,4 +187,48 @@ TEST(DiscretizedDp, ApproachesBruteForceOnExponentialAsNGrows) {
   const double cost_large = expected_cost_analytic(
       DiscretizedDp(large).generate(*inst->dist, m), *inst->dist, m);
   EXPECT_LE(cost_large, cost_small * (1.0 + 1e-6));
+}
+
+TEST(Dp, ExpiredDeadlineUnwindsAsTimeoutOnBothVariants) {
+  std::mt19937_64 rng(99);
+  const auto d = random_instance(rng, 5000);
+  const CostModel m{1.0, 1.0, 0.5};
+  for (const auto variant : {sim::DpVariant::kReference,
+                             sim::DpVariant::kDivideAndConquer}) {
+    const auto source = sre::sim::CancelSource::with_deadline(1e-9);
+    try {
+      dp_optimal_sequence(d, m, source.token(), variant);
+      FAIL() << "expired deadline did not cancel the "
+             << sim::to_string(variant) << " solve";
+    } catch (const sre::ScenarioError& e) {
+      EXPECT_EQ(e.code(), sre::ErrorCode::kTimeout)
+          << sim::to_string(variant);
+    }
+  }
+}
+
+TEST(Dp, WorkBudgetPollingCancelsHugeSolvePromptly) {
+  // Regression for the old every-64-rows polling: on the O(n log n) fill a
+  // row is only O(log n) work, so a row stride could stretch the polling
+  // interval far past the deadline. The work-count budget
+  // (kDpCancelPollBudget transition evaluations) bounds the overshoot: a
+  // 1 ms deadline must abort an n = 100k solve orders of magnitude sooner
+  // than the solve itself would finish — generously, within 2 s even under
+  // a sanitizer.
+  std::mt19937_64 rng(123);
+  const auto d = random_instance(rng, 100000);
+  const CostModel m{1.0, 1.0, 0.5};
+  const auto source = sre::sim::CancelSource::with_deadline(0.001);
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    dp_optimal_sequence(d, m, source.token(),
+                        sim::DpVariant::kDivideAndConquer);
+    FAIL() << "1 ms deadline did not cancel the n=100k solve";
+  } catch (const sre::ScenarioError& e) {
+    EXPECT_EQ(e.code(), sre::ErrorCode::kTimeout);
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed.count(), 2.0)
+      << "cancellation latency far exceeds the poll budget";
 }

@@ -1,0 +1,178 @@
+// Differential harness for the two Theorem 5 DP variants: the monotone
+// row-minima (divide-and-conquer) fill must be *byte-identical* to the
+// O(n^2) reference — same choice indices, same ReservationSequence values,
+// same expected cost, bit for bit — across the full paper grid and a set of
+// adversarial discrete laws hunting quadrangle-inequality edge cases (cost
+// ties, zero-mass atoms, single-point laws, heavy tails). Both fills
+// evaluate the same noinline transition expression, so any divergence here
+// is an argmin-selection bug, not floating-point noise.
+
+#include "core/heuristics/dp_discretization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <sstream>
+
+#include "dist/factory.hpp"
+#include "sim/discretize.hpp"
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define SRE_SANITIZED_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define SRE_SANITIZED_BUILD 1
+#endif
+#endif
+
+using namespace sre::core;
+using sre::dist::DiscreteDistribution;
+namespace sim = sre::sim;
+
+namespace {
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+std::vector<CostModel> cost_models() {
+  return {
+      CostModel::reservation_only(),
+      {1.0, 1.0, 0.0},
+      {1.0, 1.0, 1.0},
+      {0.95, 1.0, 1.05},
+  };
+}
+
+/// Runs both variants on the same discrete instance and requires bitwise
+/// agreement on every output field.
+void expect_identical(const DiscreteDistribution& d, const CostModel& m,
+                      const std::string& what) {
+  const DpResult ref =
+      dp_optimal_sequence(d, m, {}, sim::DpVariant::kReference);
+  const DpResult fast =
+      dp_optimal_sequence(d, m, {}, sim::DpVariant::kDivideAndConquer);
+  ASSERT_EQ(ref.indices, fast.indices) << what;
+  ASSERT_EQ(bits(ref.expected_cost), bits(fast.expected_cost))
+      << what << ": expected cost " << ref.expected_cost << " vs "
+      << fast.expected_cost;
+  const auto& rv = ref.sequence.values();
+  const auto& fv = fast.sequence.values();
+  ASSERT_EQ(rv.size(), fv.size()) << what;
+  for (std::size_t i = 0; i < rv.size(); ++i) {
+    ASSERT_EQ(bits(rv[i]), bits(fv[i]))
+        << what << ": sequence value " << i << " differs, " << rv[i] << " vs "
+        << fv[i];
+  }
+}
+
+}  // namespace
+
+// 9 Table 1 laws x 4 cost models x both discretization schemes x grid sizes
+// spanning trivial (n = 2) to the paper's production size (n = 1000).
+TEST(DpDifferential, PaperGridByteIdentical) {
+#ifdef SRE_SANITIZED_BUILD
+  const std::vector<std::size_t> sizes = {2, 3, 17, 256};
+#else
+  const std::vector<std::size_t> sizes = {2, 3, 17, 256, 1000};
+#endif
+  const std::vector<sim::DiscretizationScheme> schemes = {
+      sim::DiscretizationScheme::kEqualProbability,
+      sim::DiscretizationScheme::kEqualTime,
+  };
+  for (const auto& inst : sre::dist::paper_distributions()) {
+    for (const auto& m : cost_models()) {
+      for (const auto scheme : schemes) {
+        for (const std::size_t n : sizes) {
+          sim::DiscretizationOptions opts;
+          opts.n = n;
+          opts.epsilon = 1e-6;
+          opts.scheme = scheme;
+          const DiscreteDistribution disc = sim::discretize(*inst.dist, opts);
+          std::ostringstream what;
+          what << inst.label << " | " << m.describe() << " | "
+               << sim::to_string(scheme) << " | n=" << n;
+          expect_identical(disc, m, what.str());
+          if (HasFatalFailure()) return;
+        }
+      }
+    }
+  }
+}
+
+TEST(DpDifferential, SinglePointLaw) {
+  const DiscreteDistribution d({5.0}, {1.0});
+  for (const auto& m : cost_models()) {
+    expect_identical(d, m, "single point | " + m.describe());
+  }
+}
+
+// Support points one ulp apart produce near-identical envelope slopes; the
+// tie-break (first minimum / smaller candidate) must still match exactly.
+TEST(DpDifferential, TiesInSupport) {
+  const double a = 1.0, b = 2.0, c = 5.0;
+  const DiscreteDistribution d(
+      {a, std::nextafter(a, 2.0), b, std::nextafter(b, 3.0), c},
+      {0.2, 0.2, 0.2, 0.2, 0.2});
+  for (const auto& m : cost_models()) {
+    expect_identical(d, m, "ulp ties | " + m.describe());
+  }
+}
+
+// Zero-probability atoms (which discretize() legitimately produces) make
+// consecutive suffix masses equal — rows where the envelope query point does
+// not move — and a trailing zero atom exercises the S[j+1] <= 0 early exit
+// and the massless-row shortcut.
+TEST(DpDifferential, ZeroMassAtoms) {
+  const DiscreteDistribution d(
+      {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0},
+      {0.2, 0.0, 0.3, 0.0, 0.0, 0.1, 0.0, 0.2, 0.2, 0.0});
+  for (const auto& m : cost_models()) {
+    expect_identical(d, m, "zero-mass atoms | " + m.describe());
+  }
+}
+
+// Geometric support with geometric masses: the value range spans nine
+// decades while suffix masses shrink to ~2^-30, stressing the envelope far
+// from the well-conditioned regime.
+TEST(DpDifferential, HeavyTail) {
+  std::vector<double> v, f;
+  for (int k = 0; k <= 30; ++k) {
+    v.push_back(std::ldexp(1.0, k));
+    f.push_back(std::ldexp(1.0, -k));
+  }
+  const DiscreteDistribution d(std::move(v), std::move(f));
+  for (const auto& m : cost_models()) {
+    expect_identical(d, m, "heavy tail | " + m.describe());
+  }
+}
+
+// Integer values with small-integer masses collide constantly: equal suffix
+// masses, exactly tied transition costs, and repeated envelope takeovers.
+// 200 random instances is a deterministic fuzz of the tie-break rule.
+TEST(DpDifferential, AdversarialIntegerInstances) {
+  std::mt19937_64 rng(20260808u);
+  std::uniform_int_distribution<int> size_dist(1, 40);
+  std::uniform_int_distribution<int> mass_dist(0, 3);
+  const auto models = cost_models();
+  for (int iter = 0; iter < 200; ++iter) {
+    const int n = size_dist(rng);
+    std::vector<double> v, f;
+    int total = 0;
+    for (int i = 0; i < n; ++i) {
+      v.push_back(static_cast<double>(i + 1));
+      const int mass = mass_dist(rng);
+      total += mass;
+      f.push_back(static_cast<double>(mass));
+    }
+    if (total == 0) f[static_cast<std::size_t>(n) - 1] = 1.0;
+    const DiscreteDistribution d(std::move(v), std::move(f));
+    const CostModel& m = models[static_cast<std::size_t>(iter) % models.size()];
+    std::ostringstream what;
+    what << "integer instance " << iter << " (n=" << n << ") | "
+         << m.describe();
+    expect_identical(d, m, what.str());
+    if (HasFatalFailure()) return;
+  }
+}

@@ -7,12 +7,17 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "core/cost_model.hpp"
+#include "core/heuristics/dp_discretization.hpp"
 #include "dist/factory.hpp"
+#include "obs/minijson.hpp"
+#include "sim/discretize.hpp"
 #include "srv/service.hpp"
 
 namespace {
@@ -106,6 +111,48 @@ TEST(SrvProperty, EvictionUnderTinyCapacityNeverChangesResults) {
   // Residency stays within the configured budget (inserts net of
   // evictions is the current entry count).
   EXPECT_LE(cc.inserts - cc.evictions, 2u);
+}
+
+// The service's cold solves run the divide-and-conquer DP (the
+// DiscretizationOptions default). Re-derive every served plan with the
+// O(n^2) reference variant and require the response bytes to match bit for
+// bit, so the plan cache can never mask a fast-path divergence: a hit is
+// byte-identical to the cold solve (previous test), and the cold solve is
+// byte-identical to the reference oracle (this one). obs::format_double is
+// shortest-round-trip, so parsing the served plan back recovers the exact
+// doubles the solver produced.
+TEST(SrvProperty, AcceleratedColdSolveMatchesReferenceVariantPlan) {
+  PlannerService service(ServiceConfig{});
+  sre::srv::InProcessClient client(service);
+  for (const auto& req : paper_workload()) {
+    const auto resp = client.call(req);
+    ASSERT_TRUE(resp.ok) << req.dist_spec << ": " << resp.message;
+    EXPECT_FALSE(resp.cached) << req.dist_spec;
+    const auto parsed = sre::obs::minijson::parse(resp.result);
+    ASSERT_TRUE(parsed.ok) << req.dist_spec << ": " << parsed.error;
+    const auto* plan = parsed.value.find("plan");
+    ASSERT_NE(plan, nullptr) << req.dist_spec;
+    ASSERT_TRUE(plan->is_array()) << req.dist_spec;
+
+    const auto inst = sre::dist::paper_distribution(req.dist_spec);
+    ASSERT_TRUE(inst.has_value()) << req.dist_spec;
+    sre::sim::DiscretizationOptions opts;
+    opts.n = req.n;
+    opts.epsilon = req.epsilon;
+    opts.scheme = sre::sim::DiscretizationScheme::kEqualProbability;
+    opts.dp_variant = sre::sim::DpVariant::kReference;
+    const auto reference =
+        sre::core::DiscretizedDp(opts).generate(*inst->dist, req.model);
+
+    ASSERT_EQ(plan->array.size(), reference.size()) << req.dist_spec;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_EQ(std::bit_cast<std::uint64_t>(plan->array[i].number),
+                std::bit_cast<std::uint64_t>(reference[i]))
+          << req.dist_spec << " | " << req.model.describe()
+          << ": served plan[" << i << "] = " << plan->array[i].number
+          << " but the reference variant computed " << reference[i];
+    }
+  }
 }
 
 }  // namespace
