@@ -1,0 +1,639 @@
+#include "srv/eventloop.hpp"
+
+#include <stdexcept>
+
+#ifdef __linux__
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/metrics.hpp"
+#include "srv/framing.hpp"
+#include "srv/protocol.hpp"
+#include "stats/error.hpp"
+
+namespace sre::srv {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+obs::Counter& accepted_counter() {
+  static obs::Counter& c = obs::counter("srv.conn.accepted");
+  return c;
+}
+obs::Counter& closed_counter() {
+  static obs::Counter& c = obs::counter("srv.conn.closed");
+  return c;
+}
+obs::Counter& overload_counter() {
+  static obs::Counter& c = obs::counter("srv.conn.overload_rejects");
+  return c;
+}
+obs::Counter& framing_error_counter() {
+  static obs::Counter& c = obs::counter("srv.conn.framing_errors");
+  return c;
+}
+obs::Counter& backpressure_counter() {
+  static obs::Counter& c = obs::counter("srv.conn.backpressure_stalls");
+  return c;
+}
+obs::Gauge& active_gauge() {
+  static obs::Gauge& g = obs::gauge("srv.conn.active");
+  return g;
+}
+
+/// The overload line shed at accept time (connection/fd limits): the same
+/// typed, retryable rejection the admission queue emits, so clients treat
+/// both identically.
+std::string overload_line(const std::string& message) {
+  PlanResponse resp;
+  resp.ok = false;
+  resp.code = ErrorCode::kOverloaded;
+  resp.retryable = is_retryable(ErrorCode::kOverloaded);
+  resp.message = message;
+  return format_response("", resp) + "\n";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Impl
+
+struct EventLoop::Impl {
+  /// One finished solve headed back to a connection. Posted by worker
+  /// threads, drained on the loop thread.
+  struct Completion {
+    std::uint64_t conn = 0;
+    std::uint64_t seq = 0;
+    std::string line;
+  };
+
+  /// Worker-to-loop handoff. Held by shared_ptr from every in-flight
+  /// callback, so a completion arriving after the loop is gone lands in a
+  /// closed mailbox instead of freed memory.
+  struct Mailbox {
+    std::mutex m;
+    std::vector<Completion> items;
+    int wake_fd = -1;  ///< loop's eventfd; -1 once the loop shut down
+    void post(Completion c) {
+      std::lock_guard<std::mutex> lock(m);
+      if (wake_fd < 0) return;  // loop gone: drop (conn is gone too)
+      items.push_back(std::move(c));
+      const std::uint64_t one = 1;
+      (void)!::write(wake_fd, &one, sizeof one);
+    }
+  };
+
+  /// One queued response, in request order. `done` flips when the line is
+  /// ready (inline for control/error lines, via the mailbox for solves).
+  struct Slot {
+    bool done = false;
+    bool shutdown = false;  ///< {"cmd":"shutdown"}: drain once flushed
+    std::string line;       ///< response line, no terminator
+  };
+
+  struct Conn {
+    int fd = -1;
+    std::uint64_t id = 0;
+    LineFramer framer;
+    std::deque<Slot> slots;
+    std::uint64_t base_seq = 0;  ///< seq of slots.front()
+    std::uint64_t next_seq = 0;  ///< seq assigned to the next request
+    std::string wbuf;
+    std::size_t woff = 0;
+    bool peer_eof = false;  ///< read side closed; still flushing responses
+    bool paused = false;    ///< EPOLLIN off: write backlog past watermark
+    bool want_write = false;  ///< EPOLLOUT armed
+
+    explicit Conn(std::size_t max_line) : framer(max_line) {}
+    [[nodiscard]] std::size_t backlog() const noexcept {
+      return wbuf.size() - woff;
+    }
+  };
+
+  explicit Impl(EventLoop& outer) : loop(outer) {}
+
+  EventLoop& loop;
+  int epoll_fd = -1;
+  int listen_fd = -1;
+  int wake_fd = -1;
+  int reserve_fd = -1;  ///< sacrificed to shed accepts on EMFILE/ENFILE
+  std::shared_ptr<Mailbox> mailbox;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns;
+  std::uint64_t next_conn_id = kFirstConnId;
+  bool draining = false;
+  Clock::time_point drain_deadline{};
+
+  static constexpr std::uint64_t kListenId = 0;
+  static constexpr std::uint64_t kWakeId = 1;
+  static constexpr std::uint64_t kFirstConnId = 2;
+
+  // -- epoll plumbing -------------------------------------------------------
+
+  void epoll_add(int fd, std::uint64_t id, std::uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.u64 = id;
+    (void)::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev);
+  }
+
+  void update_interest(Conn& c) {
+    epoll_event ev{};
+    ev.events = 0;
+    const bool reading = !c.paused && !c.peer_eof && !draining;
+    if (reading) ev.events |= EPOLLIN;
+    if (c.want_write) ev.events |= EPOLLOUT;
+    ev.data.u64 = c.id;
+    (void)::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, c.fd, &ev);
+  }
+
+  // -- lifecycle ------------------------------------------------------------
+
+  void setup(unsigned short port) {
+    epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd < 0) throw std::runtime_error("EventLoop: epoll_create1 failed");
+    wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (wake_fd < 0) throw std::runtime_error("EventLoop: eventfd failed");
+    mailbox = std::make_shared<Mailbox>();
+    mailbox->wake_fd = wake_fd;
+    reserve_fd = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+
+    listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (listen_fd < 0) throw std::runtime_error("EventLoop: socket failed");
+    const int one = 1;
+    (void)::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listen_fd, loop.cfg_.backlog) != 0) {
+      throw std::runtime_error(std::string("EventLoop: bind/listen: ") +
+                               std::strerror(errno));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &len) ==
+        0) {
+      loop.port_ = ntohs(bound.sin_port);
+    }
+    epoll_add(listen_fd, kListenId, EPOLLIN);
+    epoll_add(wake_fd, kWakeId, EPOLLIN);
+  }
+
+  /// Closes the I/O side (idempotent). The wake eventfd stays open until
+  /// close_wake() so request_stop() — callable from a signal handler — can
+  /// keep writing to a valid descriptor without taking any lock; stray
+  /// post-run completions just bump an eventfd nobody reads.
+  void teardown_io() {
+    if (!conns.empty()) {
+      for (auto& [id, conn] : conns) {
+        if (conn->fd >= 0) ::close(conn->fd);
+      }
+      conns.clear();
+      active_gauge().set(0.0);
+    }
+    if (listen_fd >= 0) ::close(listen_fd), listen_fd = -1;
+    if (reserve_fd >= 0) ::close(reserve_fd), reserve_fd = -1;
+    if (epoll_fd >= 0) ::close(epoll_fd), epoll_fd = -1;
+  }
+
+  void close_wake() {
+    if (mailbox) {
+      std::lock_guard<std::mutex> lock(mailbox->m);
+      mailbox->wake_fd = -1;
+      mailbox->items.clear();
+    }
+    if (wake_fd >= 0) ::close(wake_fd), wake_fd = -1;
+  }
+
+  // -- accept path ----------------------------------------------------------
+
+  void shed_accept(int fd, const std::string& message) {
+    const std::string line = overload_line(message);
+    (void)!::write(fd, line.data(), line.size());  // best effort
+    ::close(fd);
+    loop.overload_rejects_.fetch_add(1, std::memory_order_relaxed);
+    overload_counter().add();
+  }
+
+  void accept_ready() {
+    for (;;) {
+      const int fd = ::accept4(listen_fd, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd >= 0) {
+        if (draining) {
+          ::close(fd);
+          continue;
+        }
+        if (conns.size() >= loop.cfg_.max_connections) {
+          shed_accept(fd, "connection limit reached (" +
+                              std::to_string(loop.cfg_.max_connections) +
+                              " active)");
+          continue;
+        }
+        const int one = 1;
+        (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        auto conn = std::make_unique<Conn>(loop.cfg_.max_line_bytes);
+        conn->fd = fd;
+        conn->id = next_conn_id++;
+        epoll_add(fd, conn->id, EPOLLIN);
+        conns.emplace(conn->id, std::move(conn));
+        loop.accepted_.fetch_add(1, std::memory_order_relaxed);
+        accepted_counter().add();
+        active_gauge().set(static_cast<double>(conns.size()));
+        continue;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == ECONNABORTED || errno == EPROTO) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        // Out of descriptors: give the reserve fd back, accept the pending
+        // connection, answer it with one retryable overload line, close,
+        // and re-arm the reserve — shed cleanly instead of dying.
+        if (reserve_fd >= 0) ::close(reserve_fd), reserve_fd = -1;
+        const int shed = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+        if (shed >= 0) {
+          shed_accept(shed, "file descriptors exhausted");
+        }
+        reserve_fd = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+        break;  // don't spin; epoll re-reports while connections queue
+      }
+      break;  // unexpected accept error: leave the listener armed
+    }
+  }
+
+  // -- connection close -----------------------------------------------------
+
+  void close_conn(std::uint64_t id) {
+    const auto it = conns.find(id);
+    if (it == conns.end()) return;
+    if (it->second->fd >= 0) {
+      (void)::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, it->second->fd, nullptr);
+      ::close(it->second->fd);
+    }
+    conns.erase(it);
+    loop.closed_.fetch_add(1, std::memory_order_relaxed);
+    closed_counter().add();
+    active_gauge().set(static_cast<double>(conns.size()));
+  }
+
+  // -- request side ---------------------------------------------------------
+
+  /// Handles one complete line: control and malformed lines complete their
+  /// slot inline; plan requests go to the service's async path and complete
+  /// through the mailbox.
+  void handle_conn_line(Conn& c, std::string_view line, bool truncated) {
+    loop.requests_.fetch_add(1, std::memory_order_relaxed);
+    if (truncated) {
+      loop.framing_errors_.fetch_add(1, std::memory_order_relaxed);
+      framing_error_counter().add();
+      PlanResponse resp;
+      resp.ok = false;
+      resp.code = ErrorCode::kDomainError;
+      resp.retryable = is_retryable(ErrorCode::kDomainError);
+      resp.message = "line exceeds " + std::to_string(c.framer.max_line_bytes()) +
+                     " bytes";
+      c.slots.push_back(Slot{true, false, format_response("", resp)});
+      ++c.next_seq;
+      return;
+    }
+
+    ClassifiedLine parsed = classify_line(line);
+    switch (parsed.kind) {
+      case ClassifiedLine::Kind::kStats:
+        c.slots.push_back(Slot{true, false, loop.service_.stats_json()});
+        ++c.next_seq;
+        return;
+      case ClassifiedLine::Kind::kShutdown:
+        c.slots.push_back(Slot{true, true, std::move(parsed.response)});
+        ++c.next_seq;
+        return;
+      case ClassifiedLine::Kind::kError:
+        c.slots.push_back(Slot{true, false, std::move(parsed.response)});
+        ++c.next_seq;
+        return;
+      case ClassifiedLine::Kind::kRequest:
+        break;
+    }
+
+    const std::uint64_t seq = c.next_seq++;
+    c.slots.push_back(Slot{});
+    // The callback runs on a worker thread (or inline right here for cache
+    // hits and rejections): serialize there, post, never touch Conn state.
+    std::string id = parsed.request.id;
+    auto box = mailbox;
+    const std::uint64_t conn_id = c.id;
+    loop.service_.submit(
+        parsed.request,
+        [box, conn_id, seq, id = std::move(id)](PlanResponse&& resp) {
+          box->post(Completion{conn_id, seq, format_response(id, resp)});
+        });
+  }
+
+  void on_readable(Conn& c) {
+    const std::uint64_t id = c.id;  // c dies if flush() closes the conn
+    char chunk[65536];
+    // A few chunks per wakeup: level-triggered epoll re-reports a fd that
+    // still has bytes, so capping the batch keeps one fast client from
+    // starving its neighbours.
+    for (int batch = 0; batch < 4; ++batch) {
+      const ssize_t n = ::read(c.fd, chunk, sizeof chunk);
+      if (n > 0) {
+        loop.bytes_in_.fetch_add(static_cast<std::uint64_t>(n),
+                                 std::memory_order_relaxed);
+        c.framer.feed(std::string_view(chunk, static_cast<std::size_t>(n)),
+                      [&](std::string_view line, bool truncated) {
+                        if (line.empty() && !truncated) return;  // blank keepalive
+                        handle_conn_line(c, line, truncated);
+                      });
+        flush(c);
+        if (conns.find(id) == conns.end()) return;  // closed during flush
+        if (c.paused || draining) return;
+        continue;
+      }
+      if (n == 0) {
+        c.peer_eof = true;
+        if (c.slots.empty() && c.backlog() == 0) {
+          close_conn(c.id);
+        } else {
+          update_interest(c);  // keep flushing what the client pipelined
+        }
+        return;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      close_conn(c.id);  // ECONNRESET and friends: drop mid-request work
+      return;
+    }
+  }
+
+  // -- response side --------------------------------------------------------
+
+  /// Moves completed slots (in request order) into the write buffer and
+  /// pushes bytes to the socket; manages EPOLLOUT arming, backpressure
+  /// pausing, and shutdown-after-flush.
+  void flush(Conn& c) {
+    bool saw_shutdown = false;
+    while (!c.slots.empty() && c.slots.front().done) {
+      c.wbuf += c.slots.front().line;
+      c.wbuf += '\n';
+      loop.responses_.fetch_add(1, std::memory_order_relaxed);
+      if (c.slots.front().shutdown) saw_shutdown = true;
+      c.slots.pop_front();
+      ++c.base_seq;
+      if (saw_shutdown) break;  // later pipelined requests die with the server
+    }
+
+    while (c.backlog() > 0) {
+      const ssize_t n =
+          ::write(c.fd, c.wbuf.data() + c.woff, c.wbuf.size() - c.woff);
+      if (n > 0) {
+        c.woff += static_cast<std::size_t>(n);
+        loop.bytes_out_.fetch_add(static_cast<std::uint64_t>(n),
+                                  std::memory_order_relaxed);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      close_conn(c.id);  // EPIPE/ECONNRESET: the client is gone
+      return;
+    }
+    if (c.woff == c.wbuf.size()) {
+      c.wbuf.clear();
+      c.woff = 0;
+    } else if (c.woff > (1u << 16) && c.woff > c.wbuf.size() / 2) {
+      c.wbuf.erase(0, c.woff);
+      c.woff = 0;
+    }
+
+    if (saw_shutdown && c.backlog() == 0) {
+      close_conn(c.id);
+      begin_drain();
+      return;
+    }
+    if (saw_shutdown) {
+      // Response not fully written yet: keep the connection write-only
+      // until it drains, then exit via the drain path.
+      c.peer_eof = true;
+      begin_drain();
+    }
+
+    const bool need_write = c.backlog() > 0;
+    bool changed = false;
+    if (need_write != c.want_write) {
+      c.want_write = need_write;
+      changed = true;
+    }
+    if (!c.paused && c.backlog() > loop.cfg_.write_high_watermark) {
+      c.paused = true;
+      changed = true;
+      loop.backpressure_stalls_.fetch_add(1, std::memory_order_relaxed);
+      backpressure_counter().add();
+    } else if (c.paused && c.backlog() <= loop.cfg_.write_low_watermark) {
+      c.paused = false;
+      changed = true;
+    }
+    if (changed && conns.find(c.id) != conns.end()) update_interest(c);
+    if (c.peer_eof && c.slots.empty() && c.backlog() == 0) close_conn(c.id);
+  }
+
+  void on_writable(Conn& c) { flush(c); }
+
+  // -- completions + shutdown ----------------------------------------------
+
+  void drain_mailbox() {
+    std::uint64_t discard = 0;
+    (void)!::read(wake_fd, &discard, sizeof discard);
+    std::vector<Completion> items;
+    {
+      std::lock_guard<std::mutex> lock(mailbox->m);
+      items.swap(mailbox->items);
+    }
+    for (auto& done : items) {
+      const auto it = conns.find(done.conn);
+      if (it == conns.end()) continue;  // died mid-request: drop
+      Conn& c = *it->second;
+      const std::uint64_t index = done.seq - c.base_seq;
+      if (index >= c.slots.size()) continue;  // already abandoned
+      c.slots[index].done = true;
+      c.slots[index].line = std::move(done.line);
+      if (index == 0) flush(c);
+    }
+  }
+
+  void begin_drain() {
+    if (draining) return;
+    draining = true;
+    drain_deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(
+                               loop.cfg_.drain_timeout_s > 0.0
+                                   ? loop.cfg_.drain_timeout_s
+                                   : 0.0));
+    if (listen_fd >= 0) {
+      (void)::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, listen_fd, nullptr);
+      ::close(listen_fd);
+      listen_fd = -1;
+    }
+    // Stop reading everywhere; finish writing what is owed.
+    std::vector<std::uint64_t> idle;
+    for (auto& [id, conn] : conns) {
+      if (conn->slots.empty() && conn->backlog() == 0) {
+        idle.push_back(id);
+      } else {
+        update_interest(*conn);
+      }
+    }
+    for (const std::uint64_t id : idle) close_conn(id);
+  }
+
+  [[nodiscard]] bool drained() const {
+    if (!draining) return false;
+    if (conns.empty()) return true;
+    return Clock::now() >= drain_deadline;
+  }
+
+  // -- main loop ------------------------------------------------------------
+
+  void run() {
+    epoll_event events[64];
+    for (;;) {
+      if (loop.stop_requested_.load(std::memory_order_relaxed)) begin_drain();
+      if (drained()) break;
+      int timeout_ms = -1;
+      if (draining) {
+        const auto left = drain_deadline - Clock::now();
+        const auto ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(left)
+                .count();
+        timeout_ms = ms < 0 ? 0 : static_cast<int>(ms) + 1;
+      }
+      const int n = ::epoll_wait(epoll_fd, events, 64, timeout_ms);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      for (int i = 0; i < n; ++i) {
+        const std::uint64_t id = events[i].data.u64;
+        if (id == kListenId) {
+          accept_ready();
+          continue;
+        }
+        if (id == kWakeId) {
+          drain_mailbox();
+          continue;
+        }
+        const auto it = conns.find(id);
+        if (it == conns.end()) continue;  // closed earlier this wakeup
+        Conn& c = *it->second;
+        const std::uint32_t ev = events[i].events;
+        if (ev & (EPOLLERR | EPOLLHUP)) {
+          if (c.backlog() > 0 && !(ev & EPOLLERR)) {
+            on_writable(c);  // half-close: try to flush what is owed
+          } else {
+            close_conn(id);
+          }
+          continue;
+        }
+        if (ev & EPOLLOUT) {
+          on_writable(c);
+          if (conns.find(id) == conns.end()) continue;
+        }
+        if (ev & EPOLLIN) on_readable(c);
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Public surface
+
+EventLoop::EventLoop(PlannerService& service, EventLoopConfig cfg)
+    : service_(service), cfg_(cfg), impl_(std::make_unique<Impl>(*this)) {
+  if (cfg_.max_line_bytes == 0) cfg_.max_line_bytes = 1;
+  if (cfg_.write_low_watermark > cfg_.write_high_watermark) {
+    cfg_.write_low_watermark = cfg_.write_high_watermark / 2;
+  }
+  try {
+    impl_->setup(cfg_.port);
+  } catch (...) {
+    impl_->teardown_io();
+    impl_->close_wake();
+    throw;
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (impl_) {
+    impl_->teardown_io();
+    impl_->close_wake();
+  }
+}
+
+void EventLoop::run() {
+  impl_->run();
+  impl_->teardown_io();
+}
+
+void EventLoop::request_stop() noexcept {
+  stop_requested_.store(true, std::memory_order_relaxed);
+  if (impl_ && impl_->wake_fd >= 0) {
+    const std::uint64_t one = 1;
+    (void)!::write(impl_->wake_fd, &one, sizeof one);
+  }
+}
+
+EventLoopCounters EventLoop::counters() const {
+  EventLoopCounters c;
+  c.accepted = accepted_.load(std::memory_order_relaxed);
+  c.closed = closed_.load(std::memory_order_relaxed);
+  c.overload_rejects = overload_rejects_.load(std::memory_order_relaxed);
+  c.framing_errors = framing_errors_.load(std::memory_order_relaxed);
+  c.backpressure_stalls =
+      backpressure_stalls_.load(std::memory_order_relaxed);
+  c.requests = requests_.load(std::memory_order_relaxed);
+  c.responses = responses_.load(std::memory_order_relaxed);
+  c.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  c.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace sre::srv
+
+#else  // !__linux__
+
+namespace sre::srv {
+
+struct EventLoop::Impl {};
+
+EventLoop::EventLoop(PlannerService& service, EventLoopConfig cfg)
+    : service_(service), cfg_(cfg) {
+  throw std::runtime_error("srv::EventLoop requires Linux (epoll)");
+}
+
+EventLoop::~EventLoop() = default;
+void EventLoop::run() {}
+void EventLoop::request_stop() noexcept {}
+EventLoopCounters EventLoop::counters() const { return {}; }
+
+}  // namespace sre::srv
+
+#endif  // __linux__

@@ -1,0 +1,117 @@
+#pragma once
+
+// srv::EventLoop — the C10K front end for the planner service. One epoll
+// thread owns every connection; solver work runs on the PlannerService's
+// existing worker pool via the async submit() path, so the loop never
+// blocks on a solve. Per connection:
+//
+//   non-blocking reads -> LineFramer (bounded incremental NDJSON framing,
+//   partial reads welcome, oversized lines answered with a typed
+//   kDomainError response instead of unbounded buffering)
+//     -> protocol classify (control command / malformed line / PlanRequest)
+//       -> PlannerService::submit (admission control, micro-batching,
+//          sim::CancelSource::at_deadline budgets — identical semantics and
+//          bytes to InProcessClient::call at a fixed seed)
+//         -> ordered response slots (responses stay in *request order* per
+//            connection no matter how batches complete out of order)
+//           -> buffered non-blocking writes; a slow client's backlog past
+//              the high watermark pauses its reads (EPOLLIN off,
+//              EPOLLOUT armed) until the buffer drains — backpressure
+//              instead of memory growth.
+//
+// Workers deliver completions through a mailbox (mutex + eventfd wake);
+// completions for a connection that died mid-request are dropped. Accept
+// handles EINTR, transient errors, and fd exhaustion (EMFILE/ENFILE): a
+// reserve descriptor is sacrificed so the pending connection can be
+// accepted, answered with one retryable kOverloaded line, and closed —
+// shed cleanly instead of dying or spinning. {"cmd":"shutdown"} and
+// request_stop() (SIGTERM in sre_serve) both drain: stop accepting, stop
+// reading, flush every pending response within the drain budget, exit.
+//
+// Observability: srv.conn.* counters (accepted, closed, overload_rejects,
+// framing_errors, backpressure_stalls) and the srv.conn.active gauge,
+// mirrored in plain atomics (EventLoopCounters) so BENCH_serve_c10k.json
+// stays exact under obs-off builds.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "srv/service.hpp"
+
+namespace sre::srv {
+
+struct EventLoopConfig {
+  unsigned short port = 0;    ///< 0 = kernel-assigned (see EventLoop::port())
+  int backlog = 1024;         ///< listen(2) backlog (the old loop used 16)
+  std::size_t max_line_bytes = 1 << 20;        ///< framer cap per connection
+  std::size_t max_connections = 10000;         ///< shed accepts beyond this
+  std::size_t write_high_watermark = 1 << 20;  ///< pause reads above
+  std::size_t write_low_watermark = 1 << 18;   ///< resume reads below
+  double drain_timeout_s = 5.0;  ///< shutdown drain budget (seconds)
+};
+
+/// Monotonic loop totals (plain atomics; exact in every build).
+struct EventLoopCounters {
+  std::uint64_t accepted = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t overload_rejects = 0;  ///< shed at accept (conn/fd limits)
+  std::uint64_t framing_errors = 0;    ///< oversized lines, typed response
+  std::uint64_t backpressure_stalls = 0;  ///< reads paused on a slow writer
+  std::uint64_t requests = 0;   ///< complete lines handed to the protocol
+  std::uint64_t responses = 0;  ///< response lines fully written
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+class EventLoop {
+ public:
+  /// Binds 127.0.0.1:port and prepares the epoll set; throws
+  /// std::runtime_error when the socket cannot be set up (port in use,
+  /// unsupported platform). The service must outlive the loop.
+  EventLoop(PlannerService& service, EventLoopConfig cfg = {});
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// The bound port (resolves config port 0 to the kernel's choice).
+  [[nodiscard]] unsigned short port() const noexcept { return port_; }
+
+  /// Runs the loop on the calling thread until a {"cmd":"shutdown"} line
+  /// completes or request_stop() is called, then drains and returns.
+  void run();
+
+  /// Requests a drain-and-exit. Thread-safe and async-signal-safe (an
+  /// atomic store plus one write(2) to an eventfd), so sre_serve calls it
+  /// straight from its SIGTERM handler.
+  void request_stop() noexcept;
+
+  [[nodiscard]] EventLoopCounters counters() const;
+  [[nodiscard]] const EventLoopConfig& config() const noexcept {
+    return cfg_;
+  }
+
+ private:
+  struct Impl;
+  friend struct Impl;
+
+  PlannerService& service_;
+  EventLoopConfig cfg_;
+  unsigned short port_ = 0;
+  std::unique_ptr<Impl> impl_;
+
+  std::atomic<bool> stop_requested_{false};
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> closed_{0};
+  std::atomic<std::uint64_t> overload_rejects_{0};
+  std::atomic<std::uint64_t> framing_errors_{0};
+  std::atomic<std::uint64_t> backpressure_stalls_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> responses_{0};
+  std::atomic<std::uint64_t> bytes_in_{0};
+  std::atomic<std::uint64_t> bytes_out_{0};
+};
+
+}  // namespace sre::srv

@@ -1,0 +1,59 @@
+#include "srv/framing.hpp"
+
+namespace sre::srv {
+
+void LineFramer::emit(std::string_view line, bool truncated,
+                      const LineSink& sink) {
+  if (!truncated && !line.empty() && line.back() == '\r') {
+    line.remove_suffix(1);  // CRLF clients frame identically to LF
+  }
+  ++lines_;
+  if (truncated) ++truncated_;
+  if (sink) sink(line, truncated);
+}
+
+void LineFramer::feed(std::string_view chunk, const LineSink& sink) {
+  while (!chunk.empty()) {
+    const std::size_t nl = chunk.find('\n');
+    const bool complete = nl != std::string_view::npos;
+    const std::string_view segment =
+        complete ? chunk.substr(0, nl) : chunk;
+    chunk = complete ? chunk.substr(nl + 1) : std::string_view{};
+
+    if (overflow_) {
+      // Swallowing an overlong line: nothing accumulates past the cap.
+      if (complete) {
+        emit(buffer_, /*truncated=*/true, sink);
+        buffer_.clear();
+        overflow_ = false;
+      }
+      continue;
+    }
+
+    if (buffer_.size() + segment.size() > max_line_bytes_) {
+      // Keep only the line's head for the error message, drop the rest.
+      buffer_.append(segment.substr(0, max_line_bytes_ - buffer_.size()));
+      if (complete) {
+        emit(buffer_, /*truncated=*/true, sink);
+        buffer_.clear();
+      } else {
+        overflow_ = true;
+      }
+      continue;
+    }
+
+    if (complete) {
+      if (buffer_.empty()) {
+        emit(segment, /*truncated=*/false, sink);  // zero-copy fast path
+      } else {
+        buffer_.append(segment);
+        emit(buffer_, /*truncated=*/false, sink);
+        buffer_.clear();
+      }
+    } else {
+      buffer_.append(segment);
+    }
+  }
+}
+
+}  // namespace sre::srv

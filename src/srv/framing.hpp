@@ -1,0 +1,68 @@
+#pragma once
+
+// Incremental NDJSON line framing for the srv:: event loop. A LineFramer
+// accumulates bytes exactly as they arrive off a non-blocking socket —
+// partial lines, many lines per chunk, chunk boundaries anywhere (including
+// mid-CRLF) — and emits one complete line per '\n'. A single trailing '\r'
+// is stripped so CRLF and LF clients frame identically; embedded NUL bytes
+// are preserved (the JSON parser rejects them later with a typed error, the
+// framer is transport-only).
+//
+// The buffer is hard-capped at `max_line_bytes`: a line that exceeds the
+// cap is *discarded* — the framer drops into overflow mode, swallows bytes
+// until the terminating newline, then emits one truncated-line event so the
+// connection can answer with a typed kDomainError response and keep its
+// stream in request order. Memory for one connection therefore never grows
+// past the cap, no matter what the peer sends (tests/test_srv_framing.cpp
+// fuzzes this with seeded random chunking over valid/invalid corpora).
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace sre::srv {
+
+class LineFramer {
+ public:
+  /// One framing event: a complete line (without its terminator), or — when
+  /// `truncated` — a line that overflowed the cap and was discarded (the
+  /// view then holds only the line's first `max_line_bytes` bytes).
+  using LineSink = std::function<void(std::string_view line, bool truncated)>;
+
+  explicit LineFramer(std::size_t max_line_bytes)
+      : max_line_bytes_(max_line_bytes == 0 ? 1 : max_line_bytes) {}
+
+  /// Feeds a chunk; invokes `sink` once per completed line, in order. The
+  /// views are valid only for the duration of the callback.
+  void feed(std::string_view chunk, const LineSink& sink);
+
+  /// Bytes currently buffered for the (incomplete) line in progress. Never
+  /// exceeds max_line_bytes().
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buffer_.size();
+  }
+  [[nodiscard]] std::size_t max_line_bytes() const noexcept {
+    return max_line_bytes_;
+  }
+  /// True while swallowing an overlong line (cleared at its newline).
+  [[nodiscard]] bool in_overflow() const noexcept { return overflow_; }
+
+  /// Lines emitted (including truncated ones) and overflow events.
+  [[nodiscard]] std::uint64_t lines() const noexcept { return lines_; }
+  [[nodiscard]] std::uint64_t truncated_lines() const noexcept {
+    return truncated_;
+  }
+
+ private:
+  void emit(std::string_view line, bool truncated, const LineSink& sink);
+
+  std::size_t max_line_bytes_;
+  std::string buffer_;
+  bool overflow_ = false;
+  std::uint64_t lines_ = 0;
+  std::uint64_t truncated_ = 0;
+};
+
+}  // namespace sre::srv

@@ -144,8 +144,8 @@ std::string format_response(const std::string& id, const PlanResponse& resp) {
   return out;
 }
 
-LineOutcome handle_line(PlannerService& service, std::string_view line) {
-  LineOutcome outcome;
+ClassifiedLine classify_line(std::string_view line) {
+  ClassifiedLine out;
   std::string id;
   try {
     const auto parsed = obs::minijson::parse(line);
@@ -153,25 +153,47 @@ LineOutcome handle_line(PlannerService& service, std::string_view line) {
     if (const Value* cmd = parsed.value.find("cmd")) {
       if (!cmd->is_string()) bad("field 'cmd' must be a string");
       if (cmd->string == "stats") {
-        outcome.line = service.stats_json();
-        return outcome;
+        out.kind = ClassifiedLine::Kind::kStats;
+        return out;
       }
       if (cmd->string == "shutdown") {
-        outcome.line = "{\"ok\":true,\"shutdown\":true}";
-        outcome.shutdown = true;
-        return outcome;
+        out.kind = ClassifiedLine::Kind::kShutdown;
+        out.response = "{\"ok\":true,\"shutdown\":true}";
+        return out;
       }
       bad("unknown command '" + cmd->string + "'");
     }
-    const PlanRequest req = build_request(parsed.value, &id);
-    outcome.line = format_response(req.id, service.call(req));
+    out.request = build_request(parsed.value, &id);
+    out.kind = ClassifiedLine::Kind::kRequest;
   } catch (const ScenarioError& e) {
     PlanResponse resp;
     resp.ok = false;
     resp.code = e.code();
     resp.retryable = is_retryable(e.code());
     resp.message = e.what();
-    outcome.line = format_response(id, resp);
+    out.kind = ClassifiedLine::Kind::kError;
+    out.response = format_response(id, resp);
+  }
+  return out;
+}
+
+LineOutcome handle_line(PlannerService& service, std::string_view line) {
+  LineOutcome outcome;
+  ClassifiedLine c = classify_line(line);
+  switch (c.kind) {
+    case ClassifiedLine::Kind::kStats:
+      outcome.line = service.stats_json();
+      break;
+    case ClassifiedLine::Kind::kShutdown:
+      outcome.line = std::move(c.response);
+      outcome.shutdown = true;
+      break;
+    case ClassifiedLine::Kind::kError:
+      outcome.line = std::move(c.response);
+      break;
+    case ClassifiedLine::Kind::kRequest:
+      outcome.line = format_response(c.request.id, service.call(c.request));
+      break;
   }
   return outcome;
 }

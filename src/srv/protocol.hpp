@@ -38,6 +38,26 @@ struct LineOutcome {
   bool shutdown = false;  ///< true after {"cmd":"shutdown"}
 };
 
+/// One request line, classified without touching the service — the shared
+/// front half of handle_line() and the event loop's per-connection state
+/// machine (srv/eventloop.*), so the blocking and async transports emit
+/// byte-identical lines for the same input.
+struct ClassifiedLine {
+  enum class Kind {
+    kRequest,   ///< `request` holds the parsed PlanRequest (not yet prepared)
+    kStats,     ///< {"cmd":"stats"}: respond with service.stats_json()
+    kShutdown,  ///< {"cmd":"shutdown"}: `response` ready, then drain
+    kError,     ///< malformed line: `response` is the typed error line
+  };
+  Kind kind = Kind::kError;
+  PlanRequest request;
+  std::string response;
+};
+
+/// Parses and classifies one line. Never throws — malformed input becomes
+/// Kind::kError with a ready response echoing whatever id was recoverable.
+[[nodiscard]] ClassifiedLine classify_line(std::string_view line);
+
 /// Parses one request line into a PlanRequest. Throws
 /// ScenarioError(kDomainError) on malformed JSON or wrong field types;
 /// `id_out` receives the request id when one was extractable (for error

@@ -75,15 +75,22 @@ obs::Histogram& latency_histogram() {
 // ---------------------------------------------------------------------------
 // Private aggregates
 
-/// One blocked caller. The worker fulfills it; wait_for() abandons it when
-/// the request deadline expires first (the late fulfill is then dropped, so
-/// exactly one response is ever delivered).
+/// One blocked caller (blocking path) or one pending callback (async
+/// path). The worker fulfills it; a blocking wait_for() abandons it when
+/// the request deadline expires first (the late fulfill is then dropped),
+/// so exactly one response is ever delivered. Async waiters carry their
+/// admission timestamp so terminal accounting happens at delivery, and a
+/// flag noting they were charged against in_flight_ (fulfill() refunds it;
+/// blocking callers refund in call() themselves).
 struct PlannerService::Waiter {
   std::mutex m;
   std::condition_variable cv;
   bool done = false;
   PlanResponse resp;
   Clock::time_point deadline = Clock::time_point::max();
+  ResponseCallback callback;  ///< set = async waiter
+  Clock::time_point start{};
+  bool counted_in_flight = false;
 };
 
 /// One queued solve. Members join under the service mutex while the batch is
@@ -164,6 +171,66 @@ void PlannerService::stop() {
 // ---------------------------------------------------------------------------
 // Request path
 
+void PlannerService::account(const PlanResponse& resp,
+                             Clock::time_point start) {
+  if (resp.ok) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    completed_counter().add();
+  } else {
+    rejected_by_code_[static_cast<std::size_t>(resp.code)].fetch_add(
+        1, std::memory_order_relaxed);
+    rejection_counter(resp.code).add();
+  }
+  latency_histogram().observe(
+      std::chrono::duration<double>(Clock::now() - start).count());
+}
+
+void PlannerService::enqueue_locked(PreparedRequest& prep,
+                                    const std::shared_ptr<Waiter>& waiter,
+                                    Clock::time_point deadline) {
+  const auto it = open_batches_.find(prep.key);
+  if (it != open_batches_.end() &&
+      it->second->members.size() < cfg_.max_batch) {
+    Batch& batch = *it->second;
+    batch.members.push_back(waiter);
+    if (deadline == Clock::time_point::max()) {
+      batch.unbounded = true;
+    } else if (deadline > batch.deadline) {
+      batch.deadline = deadline;
+    }
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    coalesced_counter().add();
+  } else {
+    auto batch = std::make_shared<Batch>();
+    batch->key = prep.key;
+    batch->key_hash = prep.key_hash;
+    batch->dist = std::move(prep.dist);
+    batch->solver = std::move(prep.solver);
+    batch->model = prep.req.model;
+    batch->attempt = prep.req.attempt;
+    batch->unbounded = deadline == Clock::time_point::max();
+    if (!batch->unbounded) batch->deadline = deadline;
+    batch->members.push_back(waiter);
+    open_batches_[batch->key] = batch;
+    queue_.push_back(std::move(batch));
+    cv_work_.notify_one();
+  }
+}
+
+namespace {
+
+/// The absolute deadline for a request admitted at `start`: queueing time
+/// spends the budget, it does not reset it.
+Clock::time_point admission_deadline(double request_ms, double default_s,
+                                     Clock::time_point start) {
+  const double deadline_s = request_ms > 0.0 ? request_ms / 1e3 : default_s;
+  if (deadline_s <= 0.0) return Clock::time_point::max();
+  return start + std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double>(deadline_s));
+}
+
+}  // namespace
+
 PlanResponse PlannerService::call(const PlanRequest& req) {
   static obs::SpanStats& request_series = obs::span_series("srv.request");
   obs::Span span(request_series);
@@ -173,16 +240,7 @@ PlanResponse PlannerService::call(const PlanRequest& req) {
 
   PlanResponse resp;
   const auto finish = [&](PlanResponse r) {
-    if (r.ok) {
-      completed_.fetch_add(1, std::memory_order_relaxed);
-      completed_counter().add();
-    } else {
-      rejected_by_code_[static_cast<std::size_t>(r.code)].fetch_add(
-          1, std::memory_order_relaxed);
-      rejection_counter(r.code).add();
-    }
-    latency_histogram().observe(
-        std::chrono::duration<double>(Clock::now() - start).count());
+    account(r, start);
     return r;
   };
 
@@ -197,15 +255,8 @@ PlanResponse PlannerService::call(const PlanRequest& req) {
     return finish(std::move(resp));
   }
 
-  // The deadline is absolute from admission: queueing time spends it.
-  const double deadline_s = prep.req.deadline_ms > 0.0
-                                ? prep.req.deadline_ms / 1e3
-                                : cfg_.default_deadline_s;
   const auto deadline =
-      deadline_s > 0.0
-          ? start + std::chrono::duration_cast<Clock::duration>(
-                        std::chrono::duration<double>(deadline_s))
-          : Clock::time_point::max();
+      admission_deadline(prep.req.deadline_ms, cfg_.default_deadline_s, start);
 
   if (cfg_.cache_enabled && !prep.req.no_cache) {
     if (auto value = cache_.lookup(prep.key, prep.key_hash)) {
@@ -231,33 +282,7 @@ PlanResponse PlannerService::call(const PlanRequest& req) {
       return finish(std::move(resp));
     }
     ++in_flight_;
-    const auto it = open_batches_.find(prep.key);
-    if (it != open_batches_.end() &&
-        it->second->members.size() < cfg_.max_batch) {
-      Batch& batch = *it->second;
-      batch.members.push_back(waiter);
-      if (deadline == Clock::time_point::max()) {
-        batch.unbounded = true;
-      } else if (deadline > batch.deadline) {
-        batch.deadline = deadline;
-      }
-      coalesced_.fetch_add(1, std::memory_order_relaxed);
-      coalesced_counter().add();
-    } else {
-      auto batch = std::make_shared<Batch>();
-      batch->key = prep.key;
-      batch->key_hash = prep.key_hash;
-      batch->dist = std::move(prep.dist);
-      batch->solver = std::move(prep.solver);
-      batch->model = prep.req.model;
-      batch->attempt = prep.req.attempt;
-      batch->unbounded = deadline == Clock::time_point::max();
-      if (!batch->unbounded) batch->deadline = deadline;
-      batch->members.push_back(waiter);
-      open_batches_[batch->key] = batch;
-      queue_.push_back(std::move(batch));
-      cv_work_.notify_one();
-    }
+    enqueue_locked(prep, waiter, deadline);
   }
 
   resp = wait_for(waiter);
@@ -266,6 +291,73 @@ PlanResponse PlannerService::call(const PlanRequest& req) {
     --in_flight_;
   }
   return finish(std::move(resp));
+}
+
+void PlannerService::submit(const PlanRequest& req, ResponseCallback done) {
+  static obs::SpanStats& request_series = obs::span_series("srv.request");
+  obs::Span span(request_series);
+  const auto start = Clock::now();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  request_counter().add();
+
+  PlanResponse resp;
+  const auto deliver_inline = [&](PlanResponse r) {
+    account(r, start);
+    done(std::move(r));
+  };
+
+  PreparedRequest prep;
+  try {
+    prep = prepare(req);
+  } catch (const ScenarioError& e) {
+    reject(resp, e.code(), e.what());
+    deliver_inline(std::move(resp));
+    return;
+  } catch (const std::exception& e) {
+    reject(resp, ErrorCode::kDomainError, e.what());
+    deliver_inline(std::move(resp));
+    return;
+  }
+
+  const auto deadline =
+      admission_deadline(prep.req.deadline_ms, cfg_.default_deadline_s, start);
+
+  if (cfg_.cache_enabled && !prep.req.no_cache) {
+    if (auto value = cache_.lookup(prep.key, prep.key_hash)) {
+      resp.ok = true;
+      resp.cached = true;
+      resp.result = *value;
+      deliver_inline(std::move(resp));
+      return;
+    }
+  }
+
+  auto waiter = std::make_shared<Waiter>();
+  waiter->deadline = deadline;
+  waiter->start = start;
+  waiter->callback = std::move(done);
+  bool queued = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      reject(resp, ErrorCode::kCancelled, "service is stopping");
+    } else if (in_flight_ >= cfg_.queue_capacity) {
+      reject(resp, ErrorCode::kOverloaded,
+             "queue full (" + std::to_string(cfg_.queue_capacity) +
+                 " requests in flight)");
+    } else {
+      ++in_flight_;
+      waiter->counted_in_flight = true;
+      enqueue_locked(prep, waiter, deadline);
+      queued = true;
+    }
+  }
+  if (!queued) {
+    // Reclaim the callback: the waiter never entered a batch.
+    ResponseCallback cb = std::move(waiter->callback);
+    account(resp, start);
+    cb(std::move(resp));
+  }
 }
 
 void PlannerService::reject(PlanResponse& out, ErrorCode code,
@@ -294,11 +386,33 @@ PlanResponse PlannerService::wait_for(const std::shared_ptr<Waiter>& waiter) {
 
 void PlannerService::fulfill(const std::shared_ptr<Waiter>& waiter,
                              const PlanResponse& resp) {
-  std::lock_guard<std::mutex> lock(waiter->m);
-  if (waiter->done) return;  // waiter timed out, composed its own response
-  waiter->resp = resp;
-  waiter->done = true;
-  waiter->cv.notify_one();
+  ResponseCallback cb;
+  PlanResponse delivered;
+  {
+    std::lock_guard<std::mutex> lock(waiter->m);
+    if (waiter->done) return;  // waiter timed out, composed its own response
+    waiter->done = true;
+    if (!waiter->callback) {
+      waiter->resp = resp;
+      waiter->cv.notify_one();
+      return;
+    }
+    cb = std::move(waiter->callback);
+    delivered = resp;
+  }
+  // Blocking waiters compose their own kTimeout the instant the deadline
+  // passes; async waiters mirror that at delivery so both paths serve the
+  // same response for a request whose budget ran out in queue or mid-solve.
+  if (waiter->deadline != Clock::time_point::max() &&
+      Clock::now() > waiter->deadline) {
+    reject(delivered, ErrorCode::kTimeout, "request deadline expired");
+  }
+  if (waiter->counted_in_flight) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --in_flight_;
+  }
+  account(delivered, waiter->start);
+  cb(std::move(delivered));
 }
 
 namespace {

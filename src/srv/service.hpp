@@ -26,9 +26,11 @@
 // exact under obs-off builds.
 
 #include <array>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -95,6 +97,20 @@ class PlannerService {
   /// throws on bad input — every failure is a typed PlanResponse.
   [[nodiscard]] PlanResponse call(const PlanRequest& req);
 
+  /// Delivered exactly once per submit(). Runs on the submitting thread for
+  /// inline outcomes (validation failure, cache hit, admission rejection)
+  /// and on a worker thread for queued solves — keep it cheap and
+  /// non-blocking (the event loop posts to a mailbox and returns).
+  using ResponseCallback = std::function<void(PlanResponse&&)>;
+
+  /// Async twin of call() for the event-loop front end: same validation,
+  /// cache, admission, batching, counters, and response bytes, but the
+  /// caller's thread never blocks on a solve. A queued request whose
+  /// deadline expires before its batch completes is delivered as the same
+  /// kTimeout rejection the blocking path composes (the solve itself is
+  /// cancelled cooperatively via sim::CancelSource::at_deadline).
+  void submit(const PlanRequest& req, ResponseCallback done);
+
   /// Rejects queued work with kCancelled and joins the workers. Idempotent;
   /// the destructor calls it. Calls in flight complete with kCancelled.
   void stop();
@@ -115,13 +131,22 @@ class PlannerService {
  private:
   struct Waiter;
   struct Batch;
+  using Clock = std::chrono::steady_clock;
 
   void worker_loop();
   void execute_batch(const std::shared_ptr<Batch>& batch);
   PlanResponse wait_for(const std::shared_ptr<Waiter>& waiter);
   void reject(PlanResponse& out, ErrorCode code, std::string message);
-  static void fulfill(const std::shared_ptr<Waiter>& waiter,
-                      const PlanResponse& resp);
+  void fulfill(const std::shared_ptr<Waiter>& waiter,
+               const PlanResponse& resp);
+  /// Terminal accounting shared by both paths: completion/rejection
+  /// counters plus the latency histogram, measured from admission.
+  void account(const PlanResponse& resp, Clock::time_point start);
+  /// Joins an open batch for `key` or enqueues a new one. Caller holds
+  /// mutex_ and has already charged in_flight_.
+  void enqueue_locked(PreparedRequest& prep,
+                      const std::shared_ptr<Waiter>& waiter,
+                      Clock::time_point deadline);
 
   ServiceConfig cfg_;
   PlanCache cache_;

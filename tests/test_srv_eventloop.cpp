@@ -1,0 +1,532 @@
+// Loopback-socket integration tests for srv::EventLoop — the concurrent
+// protocol harness behind the C10K front end. Every test drives a real
+// epoll loop (own thread, ephemeral 127.0.0.1 port) through plain blocking
+// client sockets:
+//
+//   * framing independence: a request delivered one byte at a time parses
+//     identically to one delivered in a single write;
+//   * per-connection ordering: pipelined requests — including inline-
+//     completing malformed lines sandwiched between real solves — come
+//     back strictly in request order;
+//   * lifecycle: a mid-request disconnect drops the orphaned completion
+//     without disturbing the loop or its other connections;
+//   * bounded framing: an oversized line is answered with a typed,
+//     non-fatal kDomainError and the connection keeps serving;
+//   * byte identity: 64 concurrent client connections receive exactly the
+//     bytes InProcessClient + format_response produce for the same
+//     requests (the "cached" flag, legitimately interleaving-dependent,
+//     is normalized on both sides);
+//   * overload + deadline: admission sheds with retryable kOverloaded,
+//     queue-expired deadlines surface as kTimeout, and neither corrupts
+//     the neighbouring slots of its own or any other connection;
+//   * accept-side shedding: connections beyond max_connections get one
+//     retryable overload line and a clean close, counted in srv.conn.*;
+//   * drain: {"cmd":"shutdown"} answers, closes, stops the loop; pipelined
+//     requests behind the shutdown die with the server.
+
+#include <gtest/gtest.h>
+
+#ifdef __linux__
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "srv/eventloop.hpp"
+#include "srv/protocol.hpp"
+#include "srv/service.hpp"
+
+namespace {
+
+using sre::srv::EventLoop;
+using sre::srv::EventLoopConfig;
+using sre::srv::PlannerService;
+using sre::srv::ServiceConfig;
+
+// -- client-side socket plumbing --------------------------------------------
+
+int connect_loopback(unsigned short port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // A stuck server should fail the test, not hang it until the CTest
+  // timeout: every read gives up after 30 s.
+  timeval tv{30, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  return fd;
+}
+
+bool send_all(int fd, std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+struct LineReader {
+  int fd;
+  std::string buf;
+
+  bool next(std::string& out) {
+    for (;;) {
+      const auto nl = buf.find('\n');
+      if (nl != std::string::npos) {
+        out.assign(buf, 0, nl);
+        buf.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[65536];
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        buf.append(chunk, static_cast<std::size_t>(n));
+      } else if (n == 0) {
+        return false;
+      } else if (errno != EINTR) {
+        return false;
+      }
+    }
+  }
+
+  /// True iff the peer closes without sending more complete lines.
+  bool eof() {
+    std::string line;
+    return !next(line);
+  }
+};
+
+/// Owns a client connection for the duration of a scope.
+struct Client {
+  int fd = -1;
+  LineReader reader{-1, {}};
+
+  explicit Client(unsigned short port) : fd(connect_loopback(port)) {
+    reader.fd = fd;
+  }
+  ~Client() {
+    if (fd >= 0) ::close(fd);
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  [[nodiscard]] bool ok() const { return fd >= 0; }
+  bool send(std::string_view bytes) { return send_all(fd, bytes); }
+  bool read_line(std::string& out) { return reader.next(out); }
+};
+
+// -- server harness ----------------------------------------------------------
+
+struct Harness {
+  PlannerService service;
+  EventLoop loop;
+  std::thread thread;
+
+  explicit Harness(ServiceConfig scfg = fast_config(),
+                   EventLoopConfig ecfg = {})
+      : service(scfg), loop(service, ecfg), thread([this] { loop.run(); }) {}
+
+  ~Harness() { stop(); }
+
+  void stop() {
+    loop.request_stop();
+    if (thread.joinable()) thread.join();
+  }
+
+  [[nodiscard]] unsigned short port() const { return loop.port(); }
+
+  static ServiceConfig fast_config() {
+    ServiceConfig cfg;
+    cfg.workers = 2;
+    cfg.queue_capacity = 65536;
+    return cfg;
+  }
+};
+
+/// A valid request line with a key that varies with `variant` (distinct
+/// lambda => distinct canonical key => distinct solve).
+std::string request_line(const std::string& id, int variant = 0) {
+  return "{\"id\":\"" + id + "\",\"dist\":\"exponential:lambda=" +
+         std::to_string(1 + (variant % 7)) +
+         "\",\"cost\":{\"alpha\":1,\"beta\":0,\"gamma\":0},"
+         "\"solver\":\"refined-dp\",\"n\":64}\n";
+}
+
+std::string normalize_cached(std::string line) {
+  const auto pos = line.find("\"cached\":true");
+  if (pos != std::string::npos) line.replace(pos, 13, "\"cached\":false");
+  return line;
+}
+
+bool has_id(const std::string& line, const std::string& id) {
+  return line.find("\"id\":\"" + id + "\"") != std::string::npos;
+}
+
+// -- tests -------------------------------------------------------------------
+
+TEST(SrvEventLoop, ByteAtATimeWritesParseIdentically) {
+  Harness h;
+  Client one_shot(h.port());
+  Client dribble(h.port());
+  ASSERT_TRUE(one_shot.ok());
+  ASSERT_TRUE(dribble.ok());
+
+  const std::string line = request_line("q", 3);
+  ASSERT_TRUE(one_shot.send(line));
+  std::string expected;
+  ASSERT_TRUE(one_shot.read_line(expected));
+
+  for (const char b : line) {
+    ASSERT_TRUE(dribble.send(std::string_view(&b, 1)));
+  }
+  std::string got;
+  ASSERT_TRUE(dribble.read_line(got));
+  EXPECT_EQ(normalize_cached(got), normalize_cached(expected));
+  EXPECT_NE(got.find("\"ok\":true"), std::string::npos);
+}
+
+TEST(SrvEventLoop, PipelinedRequestsComeBackInRequestOrder) {
+  Harness h;
+  Client c(h.port());
+  ASSERT_TRUE(c.ok());
+
+  // Interleave async-completing solves with inline-completing malformed
+  // lines: the inline ones are ready first but must wait their turn.
+  std::string burst;
+  constexpr int kCount = 24;
+  for (int i = 0; i < kCount; ++i) {
+    if (i % 3 == 2) {
+      burst += "{\"id\":\"" + std::to_string(i) + "\",\"dist\":12}\n";
+    } else {
+      burst += request_line(std::to_string(i), i);
+    }
+  }
+  ASSERT_TRUE(c.send(burst));
+
+  for (int i = 0; i < kCount; ++i) {
+    std::string line;
+    ASSERT_TRUE(c.read_line(line)) << "response " << i;
+    EXPECT_TRUE(has_id(line, std::to_string(i)))
+        << "out of order at " << i << ": " << line;
+    if (i % 3 == 2) {
+      EXPECT_NE(line.find("\"code\":\"domain_error\""), std::string::npos);
+    } else {
+      EXPECT_NE(line.find("\"ok\":true"), std::string::npos);
+    }
+  }
+}
+
+TEST(SrvEventLoop, MidRequestDisconnectLeavesTheLoopServing) {
+  Harness h;
+  {
+    Client half(h.port());
+    ASSERT_TRUE(half.ok());
+    // A partial line (no terminator) and a full request whose completion
+    // will arrive after the connection is gone.
+    ASSERT_TRUE(half.send(request_line("orphan", 5)));
+    ASSERT_TRUE(half.send("{\"id\":\"partial\",\"dist\":"));
+  }  // close with one request in flight and one line unterminated
+
+  Client after(h.port());
+  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE(after.send(request_line("alive", 1)));
+  std::string line;
+  ASSERT_TRUE(after.read_line(line));
+  EXPECT_TRUE(has_id(line, "alive"));
+  EXPECT_NE(line.find("\"ok\":true"), std::string::npos);
+}
+
+TEST(SrvEventLoop, OversizedLineGetsTypedErrorAndStreamContinues) {
+  EventLoopConfig ecfg;
+  ecfg.max_line_bytes = 128;
+  Harness h(Harness::fast_config(), ecfg);
+  Client c(h.port());
+  ASSERT_TRUE(c.ok());
+
+  const std::string big(1000, 'x');
+  ASSERT_TRUE(c.send(big + "\n" + request_line("next", 2)));
+
+  std::string line;
+  ASSERT_TRUE(c.read_line(line));
+  EXPECT_NE(line.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(line.find("\"code\":\"domain_error\""), std::string::npos);
+  EXPECT_NE(line.find("exceeds 128 bytes"), std::string::npos);
+
+  ASSERT_TRUE(c.read_line(line));
+  EXPECT_TRUE(has_id(line, "next"));
+  EXPECT_NE(line.find("\"ok\":true"), std::string::npos);
+
+  h.stop();
+  EXPECT_EQ(h.loop.counters().framing_errors, 1u);
+}
+
+TEST(SrvEventLoop, SixtyFourConcurrentClientsMatchInProcessBytes) {
+  constexpr int kClients = 64;
+  constexpr int kPerClient = 4;
+  Harness h;
+
+  std::vector<std::vector<std::string>> request_lines(kClients);
+  std::vector<std::vector<std::string>> served(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    for (int j = 0; j < kPerClient; ++j) {
+      request_lines[c].push_back(request_line(
+          std::to_string(c) + "-" + std::to_string(j), c + j));
+    }
+    served[c].resize(kPerClient);
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client(h.port());
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      std::string burst;
+      for (const auto& l : request_lines[c]) burst += l;
+      if (!client.send(burst)) {
+        ++failures;
+        return;
+      }
+      for (int j = 0; j < kPerClient; ++j) {
+        std::string line;
+        if (!client.read_line(line)) {
+          ++failures;
+          return;
+        }
+        served[c][static_cast<std::size_t>(j)] = normalize_cached(line);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+  h.stop();
+
+  // The no-IO reference path: same service config, same requests (parsed
+  // from the same wire bytes), fresh cache.
+  PlannerService reference(Harness::fast_config());
+  sre::srv::InProcessClient ref_client(reference);
+  for (int c = 0; c < kClients; ++c) {
+    for (int j = 0; j < kPerClient; ++j) {
+      const auto& wire = request_lines[c][static_cast<std::size_t>(j)];
+      const auto req = sre::srv::parse_request_line(
+          std::string_view(wire).substr(0, wire.size() - 1));
+      const auto resp = ref_client.call(req);
+      const std::string expected =
+          normalize_cached(sre::srv::format_response(req.id, resp));
+      EXPECT_EQ(served[c][static_cast<std::size_t>(j)], expected)
+          << "client " << c << " request " << j;
+    }
+  }
+}
+
+TEST(SrvEventLoop, OverloadShedsTypedRetryableWithoutCorruptingStreams) {
+  ServiceConfig scfg;
+  scfg.workers = 1;
+  scfg.queue_capacity = 2;  // force admission shedding under the flood
+  Harness h(scfg);
+
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 6;
+  std::atomic<int> failures{0};
+  std::atomic<int> overloaded{0};
+  std::atomic<int> out_of_order{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client(h.port());
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      std::string burst;
+      for (int j = 0; j < kPerClient; ++j) {
+        // no_cache forces a real solve per admitted request, so the
+        // 1-worker queue actually fills.
+        burst += "{\"id\":\"" + std::to_string(c) + "-" + std::to_string(j) +
+                 "\",\"dist\":\"exponential:lambda=" + std::to_string(c + 1) +
+                 "\",\"alpha\":1,\"solver\":\"refined-dp\",\"n\":400," +
+                 "\"no_cache\":true}\n";
+      }
+      if (!client.send(burst)) {
+        ++failures;
+        return;
+      }
+      for (int j = 0; j < kPerClient; ++j) {
+        std::string line;
+        if (!client.read_line(line)) {
+          ++failures;
+          return;
+        }
+        // Stream integrity: the j-th response on this connection answers
+        // the j-th request, ok or not.
+        if (!has_id(line, std::to_string(c) + "-" + std::to_string(j))) {
+          ++out_of_order;
+        }
+        if (line.find("\"code\":\"overloaded\"") != std::string::npos) {
+          ++overloaded;
+          if (line.find("\"retryable\":true") == std::string::npos) {
+            ++failures;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(out_of_order.load(), 0);
+  h.stop();
+
+  const auto counters = h.service.counters();
+  EXPECT_EQ(counters.requests,
+            static_cast<std::uint64_t>(kClients) * kPerClient);
+  // Every wire-visible overload rejection is accounted, and vice versa.
+  EXPECT_EQ(counters.rejected_by_code[static_cast<std::size_t>(
+                sre::ErrorCode::kOverloaded)],
+            static_cast<std::uint64_t>(overloaded.load()));
+  EXPECT_EQ(counters.completed + counters.rejected, counters.requests);
+}
+
+TEST(SrvEventLoop, QueueExpiredDeadlineSurfacesAsTimeoutInOrder) {
+  ServiceConfig scfg;
+  scfg.workers = 1;  // one worker: the big solve blocks the queue
+  scfg.queue_capacity = 65536;
+  Harness h(scfg);
+  Client c(h.port());
+  ASSERT_TRUE(c.ok());
+
+  // A: a slow uncached solve hogs the only worker. B: microscopically
+  // small deadline, guaranteed to expire while A runs. C: untouched.
+  const std::string burst =
+      "{\"id\":\"A\",\"dist\":\"exponential:lambda=1\",\"alpha\":1,"
+      "\"solver\":\"refined-dp\",\"n\":3000,\"no_cache\":true}\n"
+      "{\"id\":\"B\",\"dist\":\"exponential:lambda=2\",\"alpha\":1,"
+      "\"solver\":\"refined-dp\",\"n\":3000,\"no_cache\":true,"
+      "\"deadline_ms\":0.05}\n"
+      "{\"id\":\"C\",\"dist\":\"exponential:lambda=3\",\"alpha\":1,"
+      "\"solver\":\"refined-dp\",\"n\":64}\n";
+  ASSERT_TRUE(c.send(burst));
+
+  std::string line;
+  ASSERT_TRUE(c.read_line(line));
+  EXPECT_TRUE(has_id(line, "A"));
+  EXPECT_NE(line.find("\"ok\":true"), std::string::npos);
+
+  ASSERT_TRUE(c.read_line(line));
+  EXPECT_TRUE(has_id(line, "B"));
+  EXPECT_NE(line.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(line.find("\"code\":\"timeout\""), std::string::npos);
+
+  ASSERT_TRUE(c.read_line(line));
+  EXPECT_TRUE(has_id(line, "C"));
+  EXPECT_NE(line.find("\"ok\":true"), std::string::npos);
+}
+
+TEST(SrvEventLoop, ConnectionsBeyondMaxAreShedWithOneRetryableLine) {
+  EventLoopConfig ecfg;
+  ecfg.max_connections = 2;
+  Harness h(Harness::fast_config(), ecfg);
+
+  Client a(h.port());
+  Client b(h.port());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Round trips pin both connections as accepted before the third arrives.
+  std::string line;
+  ASSERT_TRUE(a.send(request_line("a", 0)));
+  ASSERT_TRUE(a.read_line(line));
+  ASSERT_TRUE(b.send(request_line("b", 1)));
+  ASSERT_TRUE(b.read_line(line));
+
+  Client shed(h.port());
+  ASSERT_TRUE(shed.ok());
+  ASSERT_TRUE(shed.read_line(line));
+  EXPECT_NE(line.find("\"code\":\"overloaded\""), std::string::npos);
+  EXPECT_NE(line.find("\"retryable\":true"), std::string::npos);
+  EXPECT_NE(line.find("connection limit"), std::string::npos);
+  EXPECT_TRUE(shed.reader.eof());
+
+  // The established connections keep serving.
+  ASSERT_TRUE(a.send(request_line("a2", 2)));
+  ASSERT_TRUE(a.read_line(line));
+  EXPECT_TRUE(has_id(line, "a2"));
+
+  h.stop();
+  EXPECT_EQ(h.loop.counters().overload_rejects, 1u);
+}
+
+TEST(SrvEventLoop, ShutdownCommandDrainsAndKillsPipelinedSuccessors) {
+  Harness h;
+  Client c(h.port());
+  ASSERT_TRUE(c.ok());
+
+  // request, shutdown, request: the first is answered, the shutdown is
+  // acknowledged, the third dies with the server (no response, EOF).
+  ASSERT_TRUE(c.send(request_line("last", 4) + "{\"cmd\":\"shutdown\"}\n" +
+                     request_line("dead", 5)));
+
+  std::string line;
+  ASSERT_TRUE(c.read_line(line));
+  EXPECT_TRUE(has_id(line, "last"));
+  ASSERT_TRUE(c.read_line(line));
+  EXPECT_NE(line.find("\"shutdown\":true"), std::string::npos);
+  EXPECT_TRUE(c.reader.eof());
+
+  // run() must return on its own — no request_stop needed.
+  h.thread.join();
+  EXPECT_LT(connect_loopback(h.port()), 0);  // listener is gone
+}
+
+TEST(SrvEventLoop, RequestStopDrainsIdleConnections) {
+  Harness h;
+  Client idle(h.port());
+  ASSERT_TRUE(idle.ok());
+  // Make sure the connection is registered before stopping.
+  std::string line;
+  ASSERT_TRUE(idle.send(request_line("ping", 0)));
+  ASSERT_TRUE(idle.read_line(line));
+
+  h.loop.request_stop();
+  h.thread.join();
+  EXPECT_TRUE(idle.reader.eof());  // drained: server closed it cleanly
+  const auto counters = h.loop.counters();
+  EXPECT_EQ(counters.accepted, counters.closed);
+}
+
+}  // namespace
+
+#else  // !__linux__
+
+TEST(SrvEventLoop, SkippedWithoutEpoll) {
+  GTEST_SKIP() << "srv::EventLoop is Linux-only (epoll)";
+}
+
+#endif  // __linux__

@@ -1,0 +1,253 @@
+// Deterministic seeded fuzz of srv::LineFramer, the transport half of the
+// event loop's per-connection state machine. The framer's contract:
+//
+//   * chunk boundaries are invisible — any partition of a byte stream
+//     emits exactly the lines of a one-shot feed, in order;
+//   * one trailing '\r' is stripped (CRLF == LF), embedded bytes — NULs
+//     included — pass through untouched;
+//   * the buffer never grows past max_line_bytes, no matter the input: an
+//     overlong line is swallowed to its newline and surfaced as one
+//     truncated event, and the *next* line frames normally;
+//   * malformed-but-framed lines are the protocol layer's problem, and
+//     classify_line turns every one of them into a typed kDomainError
+//     response (never a throw, never a dropped response slot).
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "srv/framing.hpp"
+#include "srv/protocol.hpp"
+
+namespace {
+
+using sre::srv::ClassifiedLine;
+using sre::srv::LineFramer;
+
+struct Event {
+  std::string line;
+  bool truncated = false;
+
+  bool operator==(const Event& other) const {
+    return line == other.line && truncated == other.truncated;
+  }
+};
+
+/// Feeds `stream` in one call and collects the emitted events.
+std::vector<Event> one_shot(std::string_view stream, std::size_t cap) {
+  LineFramer framer(cap);
+  std::vector<Event> events;
+  framer.feed(stream, [&](std::string_view line, bool truncated) {
+    events.push_back({std::string(line), truncated});
+  });
+  return events;
+}
+
+/// Feeds `stream` in random chunks (possibly empty) drawn from `rng`,
+/// asserting the buffered-bytes cap after every chunk.
+std::vector<Event> chunked(std::string_view stream, std::size_t cap,
+                           std::mt19937_64& rng) {
+  LineFramer framer(cap);
+  std::vector<Event> events;
+  const auto sink = [&](std::string_view line, bool truncated) {
+    events.push_back({std::string(line), truncated});
+  };
+  std::size_t pos = 0;
+  std::uniform_int_distribution<std::size_t> len(0, 17);
+  while (pos < stream.size()) {
+    const std::size_t take = std::min(len(rng), stream.size() - pos);
+    framer.feed(stream.substr(pos, take), sink);
+    pos += take;
+    EXPECT_LE(framer.buffered(), framer.max_line_bytes());
+  }
+  return events;
+}
+
+TEST(SrvFraming, SplitsLinesAndStripsOneTrailingCr) {
+  const auto events = one_shot("a\nbb\r\nccc\n\r\n", 64);
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].line, "a");
+  EXPECT_EQ(events[1].line, "bb");
+  EXPECT_EQ(events[2].line, "ccc");
+  EXPECT_EQ(events[3].line, "");  // a bare CRLF frames an empty line
+  for (const auto& e : events) EXPECT_FALSE(e.truncated);
+}
+
+TEST(SrvFraming, OnlyTheTrailingCrIsStripped) {
+  const auto events = one_shot("a\rb\r\r\n", 64);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].line, "a\rb\r");  // interior and doubled \r survive
+}
+
+TEST(SrvFraming, PartialLineStaysBufferedAcrossFeeds) {
+  LineFramer framer(64);
+  std::vector<Event> events;
+  const auto sink = [&](std::string_view line, bool truncated) {
+    events.push_back({std::string(line), truncated});
+  };
+  framer.feed("{\"id\":", sink);
+  EXPECT_TRUE(events.empty());
+  EXPECT_EQ(framer.buffered(), 6u);
+  framer.feed("\"x\"}\n", sink);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].line, "{\"id\":\"x\"}");
+  EXPECT_EQ(framer.buffered(), 0u);
+}
+
+TEST(SrvFraming, ChunkBoundaryInsideCrlfFramesIdentically) {
+  for (std::size_t split = 0; split <= 6; ++split) {
+    LineFramer framer(64);
+    std::vector<Event> events;
+    const auto sink = [&](std::string_view line, bool truncated) {
+      events.push_back({std::string(line), truncated});
+    };
+    const std::string stream = "ab\r\ncd\n";
+    framer.feed(stream.substr(0, split), sink);
+    framer.feed(stream.substr(split), sink);
+    ASSERT_EQ(events.size(), 2u) << "split=" << split;
+    EXPECT_EQ(events[0].line, "ab") << "split=" << split;
+    EXPECT_EQ(events[1].line, "cd") << "split=" << split;
+  }
+}
+
+TEST(SrvFraming, EmbeddedNulBytesPassThrough) {
+  const std::string line_with_nul{"a\0b", 3};
+  const std::string stream = line_with_nul + "\n";
+  const auto events = one_shot(stream, 64);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].line, line_with_nul);
+  EXPECT_FALSE(events[0].truncated);
+}
+
+TEST(SrvFraming, OverlongLineIsTruncatedAndNextLineSurvives) {
+  const std::string big(100, 'x');
+  const std::string stream = big + "\n{\"ok\":1}\n";
+  const auto events = one_shot(stream, 16);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_TRUE(events[0].truncated);
+  EXPECT_EQ(events[0].line, big.substr(0, 16));  // first cap bytes kept
+  EXPECT_FALSE(events[1].truncated);
+  EXPECT_EQ(events[1].line, "{\"ok\":1}");
+}
+
+TEST(SrvFraming, OverflowModeIsVisibleAndClearsAtNewline) {
+  LineFramer framer(8);
+  const auto sink = [](std::string_view, bool) {};
+  framer.feed(std::string(30, 'y'), sink);
+  EXPECT_TRUE(framer.in_overflow());
+  EXPECT_LE(framer.buffered(), framer.max_line_bytes());
+  framer.feed("\n", sink);
+  EXPECT_FALSE(framer.in_overflow());
+  EXPECT_EQ(framer.truncated_lines(), 1u);
+}
+
+/// The corpus the fuzz rounds draw from: valid requests, control lines,
+/// malformed JSON, empty lines, NUL-bearing and CRLF-terminated lines, and
+/// (for the capped rounds) lines longer than any cap used below.
+std::vector<std::string> fuzz_corpus() {
+  return {
+      R"({"id":"q1","dist":"exponential:lambda=1","alpha":1})",
+      R"({"cmd":"stats"})",
+      R"({"cmd":"shutdown"})",
+      R"({"id":"q2","dist":)",            // malformed: cut mid-value
+      "not json at all",
+      "",                                 // blank line
+      std::string("nul\0inside", 9),      // embedded NUL
+      R"({"id":"q3","dist":"exponential","alpha":})",
+      std::string(200, 'z'),              // overlong for cap 64
+      R"({"id":"q4","dist":{"name":"exponential","params":{"lambda":2}}})",
+  };
+}
+
+TEST(SrvFraming, FuzzChunkingNeverChangesTheEmittedLines) {
+  const auto corpus = fuzz_corpus();
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    std::mt19937_64 rng(seed);
+    // Random document: 1..40 corpus lines, LF or CRLF terminators.
+    std::uniform_int_distribution<std::size_t> n_lines(1, 40);
+    std::uniform_int_distribution<std::size_t> pick(0, corpus.size() - 1);
+    std::uniform_int_distribution<int> crlf(0, 1);
+    std::string stream;
+    const std::size_t n = n_lines(rng);
+    for (std::size_t i = 0; i < n; ++i) {
+      stream += corpus[pick(rng)];
+      stream += crlf(rng) != 0 ? "\r\n" : "\n";
+    }
+    for (const std::size_t cap : {std::size_t{64}, std::size_t{1u << 20}}) {
+      const auto reference = one_shot(stream, cap);
+      const auto fuzzed = chunked(stream, cap, rng);
+      EXPECT_EQ(fuzzed, reference) << "seed=" << seed << " cap=" << cap;
+    }
+  }
+}
+
+TEST(SrvFraming, FuzzCapHoldsAndTruncationCountsMatch) {
+  std::mt19937_64 rng(2026);
+  const std::size_t cap = 32;
+  for (int round = 0; round < 50; ++round) {
+    std::uniform_int_distribution<std::size_t> line_len(0, 90);
+    std::uniform_int_distribution<int> n_lines(1, 20);
+    std::string stream;
+    std::uint64_t expect_truncated = 0;
+    std::vector<std::string> expect_ok;
+    const int n = n_lines(rng);
+    for (int i = 0; i < n; ++i) {
+      const std::size_t len = line_len(rng);
+      std::string line(len, static_cast<char>('a' + (i % 26)));
+      if (len > cap) {
+        ++expect_truncated;
+      } else {
+        expect_ok.push_back(line);
+      }
+      stream += line;
+      stream += "\n";
+    }
+    const auto events = chunked(stream, cap, rng);
+    std::uint64_t truncated = 0;
+    std::vector<std::string> ok;
+    for (const auto& e : events) {
+      if (e.truncated) {
+        ++truncated;
+        EXPECT_LE(e.line.size(), cap);
+      } else {
+        ok.push_back(e.line);
+      }
+    }
+    EXPECT_EQ(truncated, expect_truncated) << "round=" << round;
+    EXPECT_EQ(ok, expect_ok) << "round=" << round;
+  }
+}
+
+TEST(SrvFraming, ClassifyTurnsEveryMalformedCorpusLineIntoATypedError) {
+  for (const auto& line : fuzz_corpus()) {
+    const auto c = sre::srv::classify_line(line);
+    if (c.kind != ClassifiedLine::Kind::kError) continue;
+    // A typed error response: ok=false, snake_case code, echoed verbatim to
+    // the client — never an exception, never an empty slot.
+    EXPECT_NE(c.response.find("\"ok\":false"), std::string::npos) << line;
+    EXPECT_NE(c.response.find("\"code\":\"domain_error\""), std::string::npos)
+        << line;
+  }
+  // And the NUL / cut-JSON entries specifically must be errors.
+  EXPECT_EQ(sre::srv::classify_line(std::string("nul\0inside", 9)).kind,
+            ClassifiedLine::Kind::kError);
+  EXPECT_EQ(sre::srv::classify_line(R"({"id":"q2","dist":)").kind,
+            ClassifiedLine::Kind::kError);
+}
+
+TEST(SrvFraming, LineAndTruncationCountersAreMonotoneTotals) {
+  LineFramer framer(16);
+  const auto sink = [](std::string_view, bool) {};
+  framer.feed("one\ntwo\n", sink);
+  EXPECT_EQ(framer.lines(), 2u);
+  EXPECT_EQ(framer.truncated_lines(), 0u);
+  framer.feed(std::string(40, 'x') + "\nthree\n", sink);
+  EXPECT_EQ(framer.lines(), 4u);  // truncated lines count as lines
+  EXPECT_EQ(framer.truncated_lines(), 1u);
+}
+
+}  // namespace

@@ -1,41 +1,66 @@
 // sre_loadgen — seeded load generator for the srv:: planner service.
 //
-// Drives an in-process PlannerService (the full queue / batch / cache path,
-// no sockets) with a reproducible request stream drawn from the paper's
-// workload: the nine Table 1 distributions crossed with four cost models.
-// Two modes:
+// Drives the planner with a reproducible request stream drawn from the
+// paper's workload: the nine Table 1 distributions crossed with four cost
+// models. Three modes:
 //
 //   closed loop (default): --clients C threads each keep one request in
-//     flight, until --requests N have been issued;
+//     flight against an in-process PlannerService (no sockets), until
+//     --requests N have been issued;
 //   open loop: --rate R schedules request i at start + i/R seconds and
-//     fires late when behind, measuring latency under a fixed offered load.
+//     fires late when behind, measuring latency under a fixed offered load;
+//   c10k socket mode: --connections N drives the srv::EventLoop front end
+//     over real loopback sockets. Three phases: a warmup pass (one strict
+//     round trip per distinct query, so both measured phases serve from a
+//     warm cache), a blocking baseline (one connection, strict round trips
+//     — the old front end's serving discipline), and the c10k phase (N
+//     concurrent connections, request i pinned to connection i mod N so
+//     the seeded mix is split deterministically, each connection keeping
+//     up to --window W requests pipelined). Every c10k response line is
+//     then replayed through a fresh InProcessClient and compared byte for
+//     byte (the volatile "cached" flag normalized on both sides), which is
+//     the acceptance gate that the async transport serves exactly the
+//     bytes the no-IO reference path does.
 //
-// The summary lands in BENCH_serve.json (override with --out): counters
-// from the service's plain atomics (exact in every build, including
-// obs-off), latency quantiles via obs::HistogramSnapshot::quantile over
-// duration_bounds_seconds() buckets, throughput, cache hit rate, rejection
-// rate. A fixed --seed and --clients 1 makes every field but the timings
-// deterministic, which is what the committed bench/baselines/BENCH_serve.json
-// gates in CI (obsdiff: counts exact, times banded).
+// The summary lands in BENCH_serve.json (BENCH_serve_c10k.json in socket
+// mode; override with --out): counters from plain atomics (exact in every
+// build, including obs-off), latency quantiles via
+// obs::HistogramSnapshot::quantile over duration_bounds_seconds() buckets,
+// throughput, cache hit rate, rejection rate — plus, in socket mode,
+// per-connection and aggregate quantiles, the srv.conn.* loop counters,
+// the blocking-vs-c10k speedup and the replay verdict. A fixed --seed
+// makes every count field deterministic (socket mode needs a --queue large
+// enough that admission never sheds), which is what the committed
+// bench/baselines/*.json gate in CI (obsdiff: counts exact, times banded).
 //
 //   sre_loadgen [--requests N] [--clients C] [--seed S] [--rate R]
-//               [--population P] [--solver NAME] [--n N] [--epsilon F]
-//               [--deadline-ms F] [--no-cache] [--threads N] [--queue N]
-//               [--batch N] [--out FILE]
+//               [--connections N] [--window W] [--baseline N]
+//               [--connect PORT] [--population P] [--solver NAME] [--n N]
+//               [--epsilon F] [--deadline-ms F] [--no-cache] [--threads N]
+//               [--queue N] [--batch N] [--out FILE]
 //
-// --no-cache disables the service's plan cache (same as SRE_SRV_CACHE=0);
-// comparing a cached against a --no-cache run of the same stream is the
-// repeated-query speedup measurement from the acceptance checklist.
+// --connect PORT skips the in-process EventLoop and aims the socket phases
+// at an already-running sre_serve --tcp on 127.0.0.1 (CI's smoke test);
+// loop counters and the replay gate are skipped since the server's state
+// is not observable from here. --no-cache disables the service's plan
+// cache (same as SRE_SRV_CACHE=0); comparing a cached against a
+// --no-cache run of the same stream is the repeated-query speedup
+// measurement from the acceptance checklist.
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/cost_model.hpp"
@@ -44,7 +69,17 @@
 #include "obs/recorder.hpp"
 #include "obs/report.hpp"
 #include "sim/rng.hpp"
+#include "srv/eventloop.hpp"
+#include "srv/protocol.hpp"
 #include "srv/service.hpp"
+
+#ifdef __linux__
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
 
 namespace {
 
@@ -52,8 +87,9 @@ using Clock = std::chrono::steady_clock;
 
 constexpr const char* kUsage =
     "usage: sre_loadgen [--requests N] [--clients C] [--seed S] [--rate R]\n"
-    "                   [--population P] [--solver NAME] [--n N]\n"
-    "                   [--epsilon F] [--deadline-ms F] [--no-cache]\n"
+    "                   [--connections N] [--window W] [--baseline N]\n"
+    "                   [--connect PORT] [--population P] [--solver NAME]\n"
+    "                   [--n N] [--epsilon F] [--deadline-ms F] [--no-cache]\n"
     "                   [--threads N] [--queue N] [--batch N] [--out FILE]\n";
 
 struct Options {
@@ -61,13 +97,17 @@ struct Options {
   std::size_t clients = 1;
   std::uint64_t seed = 42;
   double rate = 0.0;  ///< requests/second; 0 = closed loop
+  std::size_t connections = 0;  ///< >0 switches to c10k socket mode
+  std::size_t window = 16;      ///< per-connection pipelining depth
+  std::size_t baseline = 0;     ///< blocking-phase requests; 0 = min(N,500)
+  long connect_port = -1;       ///< >=0: external server, no in-process loop
   std::size_t population = 0;  ///< distinct queries; 0 = full 9 x 4 grid
   std::string solver = "refined-dp";
   std::size_t n = 500;
   double epsilon = 1e-7;
   double deadline_ms = 0.0;
   bool no_cache = false;
-  std::string out = "BENCH_serve.json";
+  std::string out;  ///< default depends on mode; see main()
   sre::srv::ServiceConfig service = sre::srv::ServiceConfig::from_env();
 };
 
@@ -96,6 +136,15 @@ std::vector<sre::srv::PlanRequest> build_population(const Options& opt) {
     population.resize(opt.population);
   }
   return population;
+}
+
+/// Seeded pick: request i always maps to the same population entry,
+/// independent of client/connection count and interleaving.
+std::size_t pick_index(const Options& opt, std::size_t i,
+                       std::size_t population_size) {
+  std::uint64_t stream = sre::sim::substream_seed(opt.seed, i);
+  return static_cast<std::size_t>(sre::sim::splitmix64(stream) %
+                                  population_size);
 }
 
 /// Latency accounting that works in every build (obs-off included): a
@@ -129,6 +178,20 @@ struct LatencyRecorder {
   sre::obs::HistogramSnapshot snapshot_;
 };
 
+std::string latency_json(const sre::obs::HistogramSnapshot& lat) {
+  using sre::obs::format_double;
+  std::string json = "{\"p50\": " + format_double(lat.quantile(0.50));
+  json += ", \"p95\": " + format_double(lat.quantile(0.95));
+  json += ", \"p99\": " + format_double(lat.quantile(0.99));
+  json += ", \"max\": " + format_double(lat.max);
+  json += ", \"mean\": " +
+          format_double(lat.count > 0
+                            ? lat.sum / static_cast<double>(lat.count)
+                            : 0.0);
+  json += "}";
+  return json;
+}
+
 bool parse_size(const char* text, std::size_t& out) {
   char* end = nullptr;
   const unsigned long long v = std::strtoull(text, &end, 10);
@@ -142,6 +205,14 @@ bool parse_double(const char* text, double& out) {
   out = std::strtod(text, &end);
   return end != text && *end == '\0';
 }
+
+int run_inprocess(const Options& opt,
+                  const std::vector<sre::srv::PlanRequest>& population);
+
+#ifdef __linux__
+int run_sockets(const Options& opt,
+                const std::vector<sre::srv::PlanRequest>& population);
+#endif
 
 }  // namespace
 
@@ -166,6 +237,17 @@ int main(int argc, char** argv) {
       opt.seed = n;
     } else if (arg == "--rate" && parse_double(need_value(arg.c_str()), f)) {
       opt.rate = f;
+    } else if (arg == "--connections" &&
+               parse_size(need_value(arg.c_str()), n)) {
+      opt.connections = n;
+    } else if (arg == "--window" && parse_size(need_value(arg.c_str()), n)) {
+      opt.window = n == 0 ? 1 : n;
+    } else if (arg == "--baseline" &&
+               parse_size(need_value(arg.c_str()), n)) {
+      opt.baseline = n;
+    } else if (arg == "--connect" &&
+               parse_size(need_value(arg.c_str()), n) && n <= 65535) {
+      opt.connect_port = static_cast<long>(n);
     } else if (arg == "--population" &&
                parse_size(need_value(arg.c_str()), n)) {
       opt.population = n;
@@ -199,6 +281,11 @@ int main(int argc, char** argv) {
     }
   }
   if (opt.no_cache) opt.service.cache_enabled = false;
+  if (opt.out.empty()) {
+    opt.out = opt.connections > 0 ? "BENCH_serve_c10k.json"
+                                  : "BENCH_serve.json";
+  }
+  if (opt.baseline == 0) opt.baseline = std::min<std::size_t>(opt.requests, 500);
 
   // SRE_TRACE=path captures the service's srv.request/srv.solve span
   // timeline as Chrome Trace JSON (same contract as the bench binaries);
@@ -211,6 +298,21 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (opt.connections > 0) {
+#ifdef __linux__
+    return run_sockets(opt, population);
+#else
+    std::cerr << "sre_loadgen: --connections needs the Linux event loop\n";
+    return 2;
+#endif
+  }
+  return run_inprocess(opt, population);
+}
+
+namespace {
+
+int run_inprocess(const Options& opt,
+                  const std::vector<sre::srv::PlanRequest>& population) {
   sre::srv::PlannerService service(opt.service);
   sre::srv::InProcessClient client(service);
 
@@ -235,12 +337,8 @@ int main(int argc, char** argv) {
                             static_cast<double>(i) / opt.rate));
         std::this_thread::sleep_until(due);
       }
-      // Seeded pick: request i always maps to the same population entry,
-      // independent of client count and interleaving.
-      std::uint64_t stream = sre::sim::substream_seed(opt.seed, i);
-      const std::size_t pick = static_cast<std::size_t>(
-          sre::sim::splitmix64(stream) % population.size());
-      sre::srv::PlanRequest req = population[pick];
+      sre::srv::PlanRequest req =
+          population[pick_index(opt, i, population.size())];
       req.id = std::to_string(i);
       const auto t0 = Clock::now();
       const auto resp = client.call(req);
@@ -304,16 +402,8 @@ int main(int argc, char** argv) {
   json += ",\n  \"rejection_rate\": " + format_double(rejection_rate);
   json += ",\n  \"throughput_rps\": " + format_double(throughput);
   json += ",\n  \"wall_seconds\": " + format_double(wall_s);
-  json += ",\n  \"latency_seconds\": {\"p50\": " +
-          format_double(lat.quantile(0.50));
-  json += ", \"p95\": " + format_double(lat.quantile(0.95));
-  json += ", \"p99\": " + format_double(lat.quantile(0.99));
-  json += ", \"max\": " + format_double(lat.max);
-  json += ", \"mean\": " +
-          format_double(lat.count > 0
-                            ? lat.sum / static_cast<double>(lat.count)
-                            : 0.0);
-  json += "},\n";
+  json += ",\n  \"latency_seconds\": " + latency_json(lat);
+  json += ",\n";
   json += "  \"cache\": {\"hits\": " + std::to_string(cache.hits);
   json += ", \"misses\": " + std::to_string(cache.misses);
   json += ", \"inserts\": " + std::to_string(cache.inserts);
@@ -346,3 +436,443 @@ int main(int argc, char** argv) {
             << format_double(hit_rate) << " -> " << opt.out << "\n";
   return 0;
 }
+
+#ifdef __linux__
+
+/// Serializes a population request as the protocol's wire form (trailing
+/// newline included). format_double is shortest-round-trip, so the parsed
+/// request rebuilds the exact canonical key of the in-memory one.
+std::string wire_line(const sre::srv::PlanRequest& req) {
+  using sre::obs::format_double;
+  std::string l = "{\"id\":\"" + req.id + "\",\"dist\":\"" + req.dist_spec;
+  l += "\",\"cost\":{\"alpha\":" + format_double(req.model.alpha);
+  l += ",\"beta\":" + format_double(req.model.beta);
+  l += ",\"gamma\":" + format_double(req.model.gamma);
+  l += "},\"solver\":\"" + req.solver + "\"";
+  l += ",\"n\":" + std::to_string(req.n);
+  l += ",\"epsilon\":" + format_double(req.epsilon);
+  if (req.deadline_ms > 0.0) {
+    l += ",\"deadline_ms\":" + format_double(req.deadline_ms);
+  }
+  l += "}\n";
+  return l;
+}
+
+/// The "cached" flag is the one legitimately interleaving-dependent byte
+/// span of a response line; both sides of the replay comparison are run
+/// through this before comparing.
+std::string normalize_cached(std::string line) {
+  const auto pos = line.find("\"cached\":true");
+  if (pos != std::string::npos) line.replace(pos, 13, "\"cached\":false");
+  return line;
+}
+
+int connect_loopback(unsigned short port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool send_all(int fd, std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Blocking client-side line reader (the server side has the real framer).
+struct LineReader {
+  int fd;
+  std::string buf;
+
+  bool next(std::string& out) {
+    for (;;) {
+      const auto nl = buf.find('\n');
+      if (nl != std::string::npos) {
+        out.assign(buf, 0, nl);
+        buf.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[65536];
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        buf.append(chunk, static_cast<std::size_t>(n));
+      } else if (n == 0) {
+        return false;  // server closed
+      } else if (errno != EINTR) {
+        return false;
+      }
+    }
+  }
+};
+
+/// One strict round trip; returns false on any transport failure.
+bool round_trip(int fd, LineReader& reader, const std::string& line,
+                std::string* response_out = nullptr) {
+  if (!send_all(fd, line)) return false;
+  std::string resp;
+  if (!reader.next(resp)) return false;
+  if (response_out != nullptr) *response_out = std::move(resp);
+  return true;
+}
+
+int run_sockets(const Options& opt,
+                const std::vector<sre::srv::PlanRequest>& population) {
+  using sre::obs::format_double;
+
+  // The in-process server (unless --connect aims us at an external one).
+  // The EventLoop runs on its own thread; this thread and the connection
+  // threads below are pure socket clients.
+  std::unique_ptr<sre::srv::PlannerService> service;
+  std::unique_ptr<sre::srv::EventLoop> loop;
+  std::thread loop_thread;
+  unsigned short port = 0;
+  if (opt.connect_port >= 0) {
+    port = static_cast<unsigned short>(opt.connect_port);
+  } else {
+    service = std::make_unique<sre::srv::PlannerService>(opt.service);
+    try {
+      loop = std::make_unique<sre::srv::EventLoop>(*service);
+    } catch (const std::exception& e) {
+      std::cerr << "sre_loadgen: " << e.what() << "\n";
+      return 2;
+    }
+    port = loop->port();
+    loop_thread = std::thread([&loop] { loop->run(); });
+  }
+
+  // Pre-serialized wire lines: request i's bytes are identical in the
+  // blocking and c10k phases, so the two phases serve the same stream.
+  std::vector<std::string> wire(opt.requests);
+  for (std::size_t i = 0; i < opt.requests; ++i) {
+    sre::srv::PlanRequest req =
+        population[pick_index(opt, i, population.size())];
+    req.id = std::to_string(i);
+    wire[i] = wire_line(req);
+  }
+
+  std::atomic<bool> transport_failed{false};
+  const auto fail = [&](const char* what) {
+    if (!transport_failed.exchange(true)) {
+      std::cerr << "sre_loadgen: transport failure during " << what << "\n";
+    }
+  };
+
+  // Phase 0 — warmup: one strict round trip per distinct query, so both
+  // measured phases compare warm-cache serving (front-end cost, not
+  // solver cost).
+  {
+    const int fd = connect_loopback(port);
+    if (fd < 0) {
+      std::cerr << "sre_loadgen: cannot connect to 127.0.0.1:" << port
+                << "\n";
+      return 2;
+    }
+    LineReader reader{fd, {}};
+    for (std::size_t k = 0; k < population.size(); ++k) {
+      sre::srv::PlanRequest req = population[k];
+      req.id = "warm-" + std::to_string(k);
+      if (!round_trip(fd, reader, wire_line(req))) {
+        fail("warmup");
+        break;
+      }
+    }
+    ::close(fd);
+  }
+
+  // Phase 1 — blocking baseline: one connection, strict round trips. This
+  // is exactly the serving discipline of the old blocking front end (one
+  // request in flight, full write-solve-read turnaround each).
+  LatencyRecorder baseline_lat(sre::obs::duration_bounds_seconds());
+  double baseline_wall = 0.0;
+  if (!transport_failed.load()) {
+    const int fd = connect_loopback(port);
+    if (fd < 0) {
+      fail("baseline connect");
+    } else {
+      LineReader reader{fd, {}};
+      const auto t_start = Clock::now();
+      for (std::size_t i = 0; i < opt.baseline; ++i) {
+        const auto t0 = Clock::now();
+        if (!round_trip(fd, reader, wire[i])) {
+          fail("baseline");
+          break;
+        }
+        baseline_lat.observe(
+            std::chrono::duration<double>(Clock::now() - t0).count());
+      }
+      baseline_wall =
+          std::chrono::duration<double>(Clock::now() - t_start).count();
+      ::close(fd);
+    }
+  }
+
+  // Phase 2 — c10k: N concurrent connections, request i on connection
+  // i mod N, up to `window` requests pipelined per connection. Responses
+  // arrive in request order per connection (a protocol guarantee the
+  // event loop's ordered slots provide), so the front of the in-flight
+  // queue always matches the next response line.
+  const std::size_t conns = opt.connections;
+  std::vector<LatencyRecorder> conn_lat(
+      conns, LatencyRecorder(sre::obs::duration_bounds_seconds()));
+  std::vector<std::string> responses(opt.requests);
+  std::atomic<std::uint64_t> ok_count{0};
+  std::atomic<std::uint64_t> error_count{0};
+
+  auto run_conn = [&](std::size_t c) {
+    const int fd = connect_loopback(port);
+    if (fd < 0) {
+      fail("c10k connect");
+      return;
+    }
+    LineReader reader{fd, {}};
+    std::deque<std::pair<std::size_t, Clock::time_point>> inflight;
+    std::size_t send_pos = c;
+    std::size_t received = 0;
+    std::size_t assigned = 0;
+    for (std::size_t i = c; i < opt.requests; i += conns) ++assigned;
+    std::string line;
+    while (received < assigned && !transport_failed.load()) {
+      while (inflight.size() < opt.window && send_pos < opt.requests) {
+        if (!send_all(fd, wire[send_pos])) {
+          fail("c10k send");
+          break;
+        }
+        inflight.emplace_back(send_pos, Clock::now());
+        send_pos += conns;
+      }
+      if (inflight.empty()) break;
+      if (!reader.next(line)) {
+        fail("c10k recv");
+        break;
+      }
+      const auto [idx, t0] = inflight.front();
+      inflight.pop_front();
+      conn_lat[c].observe(
+          std::chrono::duration<double>(Clock::now() - t0).count());
+      if (line.find("\"ok\":true") != std::string::npos) {
+        ok_count.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        error_count.fetch_add(1, std::memory_order_relaxed);
+      }
+      responses[idx] = normalize_cached(line);
+      ++received;
+    }
+    ::close(fd);
+  };
+
+  double c10k_wall = 0.0;
+  if (!transport_failed.load()) {
+    std::vector<std::thread> threads;
+    threads.reserve(conns);
+    const auto t_start = Clock::now();
+    for (std::size_t c = 0; c < conns; ++c) threads.emplace_back(run_conn, c);
+    for (auto& t : threads) t.join();
+    c10k_wall = std::chrono::duration<double>(Clock::now() - t_start).count();
+  }
+
+  // Server stats, then shutdown (in-process mode only; an external server
+  // is left running for its own lifecycle test).
+  std::string stats_line = "{}";
+  if (opt.connect_port < 0) {
+    const int fd = connect_loopback(port);
+    if (fd >= 0) {
+      LineReader reader{fd, {}};
+      std::string resp;
+      if (round_trip(fd, reader, "{\"cmd\":\"stats\"}\n", &resp)) {
+        stats_line = resp;
+      }
+      if (!round_trip(fd, reader, "{\"cmd\":\"shutdown\"}\n", &resp)) {
+        fail("shutdown");
+      }
+      ::close(fd);
+    } else {
+      // Connection refused can only mean the loop already stopped; make
+      // sure it drains either way.
+      fail("stats connect");
+    }
+    if (loop) loop->request_stop();
+    if (loop_thread.joinable()) loop_thread.join();
+  } else {
+    const int fd = connect_loopback(port);
+    if (fd >= 0) {
+      LineReader reader{fd, {}};
+      std::string resp;
+      if (round_trip(fd, reader, "{\"cmd\":\"stats\"}\n", &resp)) {
+        stats_line = resp;
+      }
+      ::close(fd);
+    }
+  }
+
+  // Phase 3 — byte-identity replay: the same stream through a fresh
+  // service with the same config, no sockets. Every line the event loop
+  // served must match what InProcessClient + format_response produce.
+  std::uint64_t compared = 0;
+  std::uint64_t mismatches = 0;
+  if (opt.connect_port < 0 && !transport_failed.load()) {
+    sre::srv::PlannerService replay_service(opt.service);
+    sre::srv::InProcessClient replay(replay_service);
+    for (std::size_t i = 0; i < opt.requests; ++i) {
+      sre::srv::PlanRequest req =
+          population[pick_index(opt, i, population.size())];
+      req.id = std::to_string(i);
+      const auto resp = replay.call(req);
+      const std::string expected =
+          normalize_cached(sre::srv::format_response(req.id, resp));
+      ++compared;
+      if (expected != responses[i]) {
+        if (++mismatches <= 3) {
+          std::cerr << "sre_loadgen: byte mismatch at request " << i
+                    << "\n  served:   " << responses[i]
+                    << "\n  expected: " << expected << "\n";
+        }
+      }
+    }
+  }
+  const bool byte_identical =
+      opt.connect_port < 0 && !transport_failed.load() && mismatches == 0;
+
+  LatencyRecorder c10k_lat(sre::obs::duration_bounds_seconds());
+  for (const auto& r : conn_lat) c10k_lat.merge(r);
+
+  const double baseline_rps =
+      baseline_wall > 0.0
+          ? static_cast<double>(opt.baseline) / baseline_wall
+          : 0.0;
+  const double c10k_rps =
+      c10k_wall > 0.0 ? static_cast<double>(opt.requests) / c10k_wall : 0.0;
+  const double speedup = baseline_rps > 0.0 ? c10k_rps / baseline_rps : 0.0;
+
+  sre::srv::EventLoopCounters conn_counters{};
+  sre::srv::ServiceCounters service_counters{};
+  sre::srv::PlanCache::Counters cache_counters{};
+  if (loop) conn_counters = loop->counters();
+  if (service) {
+    service_counters = service->counters();
+    cache_counters = service->cache_counters();
+  }
+
+  std::string json = "{\n";
+  json += "  \"config\": {\"requests\": " + std::to_string(opt.requests);
+  json += ", \"connections\": " + std::to_string(conns);
+  json += ", \"window\": " + std::to_string(opt.window);
+  json += ", \"baseline_requests\": " + std::to_string(opt.baseline);
+  json += ", \"seed\": " + std::to_string(opt.seed);
+  json += ", \"population\": " + std::to_string(population.size());
+  json += ", \"solver\": \"" + opt.solver + "\"";
+  json += ", \"n\": " + std::to_string(opt.n);
+  json += ", \"workers\": " + std::to_string(opt.service.workers);
+  json += ", \"queue\": " + std::to_string(opt.service.queue_capacity);
+  json += ", \"cache_enabled\": ";
+  json += opt.service.cache_enabled ? "true" : "false";
+  json += ", \"external_server\": ";
+  json += opt.connect_port >= 0 ? "true" : "false";
+  json += "},\n";
+  json += "  \"ok_responses\": " + std::to_string(ok_count.load());
+  json += ",\n  \"error_responses\": " + std::to_string(error_count.load());
+  json += ",\n  \"transport_failed\": ";
+  json += transport_failed.load() ? "true" : "false";
+  json += ",\n  \"blocking\": {\"requests\": " + std::to_string(opt.baseline);
+  json += ", \"wall_seconds\": " + format_double(baseline_wall);
+  json += ", \"throughput_rps\": " + format_double(baseline_rps);
+  json += ", \"latency_seconds\": " + latency_json(baseline_lat.snapshot_);
+  json += "},\n";
+  json += "  \"c10k\": {\"requests\": " + std::to_string(opt.requests);
+  json += ", \"wall_seconds\": " + format_double(c10k_wall);
+  json += ", \"throughput_rps\": " + format_double(c10k_rps);
+  json += ", \"latency_seconds\": " + latency_json(c10k_lat.snapshot_);
+  json += ",\n    \"per_connection\": [";
+  for (std::size_t c = 0; c < conns; ++c) {
+    if (c > 0) json += ", ";
+    json += "{\"conn\": " + std::to_string(c);
+    json += ", \"requests\": " +
+            std::to_string(conn_lat[c].snapshot_.count);
+    json += ", \"latency_seconds\": " + latency_json(conn_lat[c].snapshot_);
+    json += "}";
+  }
+  json += "]},\n";
+  json += "  \"speedup_vs_blocking\": " + format_double(speedup);
+  json += ",\n  \"meets_4x_target\": ";
+  json += speedup >= 4.0 ? "true" : "false";
+  json += ",\n  \"replay\": {\"compared\": " + std::to_string(compared);
+  json += ", \"mismatches\": " + std::to_string(mismatches);
+  json += ", \"byte_identical\": ";
+  json += byte_identical ? "true" : "false";
+  json += "},\n";
+  json += "  \"conn\": {\"accepted\": " +
+          std::to_string(conn_counters.accepted);
+  json += ", \"closed\": " + std::to_string(conn_counters.closed);
+  json += ", \"overload_rejects\": " +
+          std::to_string(conn_counters.overload_rejects);
+  json += ", \"framing_errors\": " +
+          std::to_string(conn_counters.framing_errors);
+  json += ", \"backpressure_stalls\": " +
+          std::to_string(conn_counters.backpressure_stalls);
+  json += ", \"requests\": " + std::to_string(conn_counters.requests);
+  json += ", \"responses\": " + std::to_string(conn_counters.responses);
+  json += ", \"bytes_in\": " + std::to_string(conn_counters.bytes_in);
+  json += ", \"bytes_out\": " + std::to_string(conn_counters.bytes_out);
+  json += "},\n";
+  json += "  \"requests\": " + std::to_string(service_counters.requests);
+  json += ",\n  \"completed\": " + std::to_string(service_counters.completed);
+  json += ",\n  \"rejected\": " + std::to_string(service_counters.rejected);
+  json += ",\n  \"cache\": {\"hits\": " + std::to_string(cache_counters.hits);
+  json += ", \"misses\": " + std::to_string(cache_counters.misses);
+  json += ", \"inserts\": " + std::to_string(cache_counters.inserts);
+  json += ", \"evictions\": " + std::to_string(cache_counters.evictions);
+  json += "},\n";
+  json += "  \"batch\": {\"solves\": " +
+          std::to_string(service_counters.solves);
+  json += ", \"coalesced\": " + std::to_string(service_counters.coalesced);
+  json += "},\n";
+  json += "  \"stats\": " + stats_line;
+  json += "\n}\n";
+
+  std::ofstream out(opt.out);
+  if (!out) {
+    std::cerr << "sre_loadgen: cannot write " << opt.out << "\n";
+    return 2;
+  }
+  out << json;
+  out.close();
+
+  if (sre::obs::recorder::armed() &&
+      !sre::obs::recorder::stop_and_write()) {
+    std::cerr << "sre_loadgen: cannot write trace (is SRE_TRACE set?)\n";
+    return 2;
+  }
+
+  std::cout << "sre_loadgen: c10k " << conns << " conns, "
+            << ok_count.load() << "/" << opt.requests << " ok, blocking "
+            << format_double(baseline_rps) << " req/s vs c10k "
+            << format_double(c10k_rps) << " req/s (speedup "
+            << format_double(speedup) << "), replay "
+            << (compared == 0 ? "skipped"
+                              : (byte_identical ? "byte-identical"
+                                                : "MISMATCH"))
+            << " -> " << opt.out << "\n";
+  return transport_failed.load() ? 1 : 0;
+}
+
+#endif  // __linux__
+
+}  // namespace

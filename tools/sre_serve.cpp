@@ -5,7 +5,16 @@
 //
 // One JSON request per line, one response line per request, in order (see
 // src/srv/protocol.hpp for the schema). {"cmd":"stats"} reports the
-// service's byte-stable counters; {"cmd":"shutdown"} exits cleanly.
+// service's byte-stable counters; {"cmd":"shutdown"} drains and exits
+// cleanly, as does SIGTERM/SIGINT in TCP mode.
+//
+// TCP mode is the srv::EventLoop C10K front end: one epoll thread accepts
+// (EINTR-retried, EMFILE-shed with a retryable overload line, configurable
+// backlog) and multiplexes every connection through non-blocking bounded
+// NDJSON framing, while solver work runs on the service's worker pool.
+// Responses per connection stay in request order and match
+// srv::InProcessClient byte for byte. Port 0 binds an ephemeral port and
+// prints the kernel's choice.
 //
 // Options (defaults come from ServiceConfig::from_env, so the SRE_SRV_*
 // and SRE_FAULT_* environment knobs apply; flags win over environment):
@@ -16,22 +25,19 @@
 //   --shards N          plan-cache shards (rounded up to a power of two)
 //   --deadline-ms F     default per-request deadline (0 = none)
 //   --no-cache          disable the plan cache entirely
-//   --tcp PORT          listen on 127.0.0.1:PORT instead of stdin/stdout
+//   --tcp PORT          listen on 127.0.0.1:PORT (0 = ephemeral)
+//   --backlog N         listen(2) backlog                  [1024]
+//   --max-line BYTES    per-connection NDJSON line cap     [1 MiB]
+//   --max-conns N       concurrent connection cap          [10000]
+//   --drain-ms F        shutdown drain budget              [5000]
 
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
-#include <thread>
-#include <vector>
 
-#ifndef _WIN32
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-#endif
-
+#include "srv/eventloop.hpp"
 #include "srv/protocol.hpp"
 #include "srv/service.hpp"
 
@@ -40,7 +46,8 @@ namespace {
 constexpr const char* kUsage =
     "usage: sre_serve [--threads N] [--queue N] [--batch N]\n"
     "                 [--cache-capacity N] [--shards N] [--deadline-ms F]\n"
-    "                 [--no-cache] [--tcp PORT]\n";
+    "                 [--no-cache] [--tcp PORT] [--backlog N]\n"
+    "                 [--max-line BYTES] [--max-conns N] [--drain-ms F]\n";
 
 bool parse_size(const char* text, std::size_t& out) {
   char* end = nullptr;
@@ -67,87 +74,40 @@ int run_stdio(sre::srv::PlannerService& service) {
   return 0;
 }
 
-#ifndef _WIN32
+sre::srv::EventLoop* g_loop = nullptr;
 
-/// One connection: buffered line reads, one response line per request.
-/// Returns true when the client asked the whole server to shut down.
-bool serve_connection(sre::srv::PlannerService& service, int fd) {
-  std::string buffer;
-  char chunk[4096];
-  bool shutdown = false;
-  for (;;) {
-    const ssize_t n = ::read(fd, chunk, sizeof chunk);
-    if (n <= 0) break;
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    std::size_t start = 0;
-    for (;;) {
-      const std::size_t nl = buffer.find('\n', start);
-      if (nl == std::string::npos) break;
-      const std::string line = buffer.substr(start, nl - start);
-      start = nl + 1;
-      if (line.empty()) continue;
-      const auto outcome = sre::srv::handle_line(service, line);
-      const std::string reply = outcome.line + "\n";
-      std::size_t sent = 0;
-      while (sent < reply.size()) {
-        const ssize_t w = ::write(fd, reply.data() + sent,
-                                  reply.size() - sent);
-        if (w <= 0) { shutdown = outcome.shutdown; ::close(fd); return shutdown; }
-        sent += static_cast<std::size_t>(w);
-      }
-      if (outcome.shutdown) {
-        ::close(fd);
-        return true;
-      }
-    }
-    buffer.erase(0, start);
-  }
-  ::close(fd);
-  return shutdown;
+void on_signal(int) {
+  // request_stop() is an atomic store plus one write(2): signal-safe.
+  if (g_loop != nullptr) g_loop->request_stop();
 }
 
-int run_tcp(sre::srv::PlannerService& service, unsigned short port) {
-  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd < 0) {
-    std::cerr << "sre_serve: socket: " << std::strerror(errno) << "\n";
+int run_tcp(sre::srv::PlannerService& service,
+            sre::srv::EventLoopConfig cfg) {
+  try {
+    sre::srv::EventLoop loop(service, cfg);
+    std::cerr << "sre_serve: listening on 127.0.0.1:" << loop.port() << "\n";
+    g_loop = &loop;
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGPIPE, SIG_IGN);  // writes to dead clients report EPIPE
+    loop.run();  // returns after {"cmd":"shutdown"} or SIGTERM drain
+    g_loop = nullptr;
+    const auto c = loop.counters();
+    std::cerr << "sre_serve: drained (" << c.accepted << " connections, "
+              << c.requests << " requests, " << c.overload_rejects
+              << " shed)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "sre_serve: " << e.what() << "\n";
     return 2;
   }
-  const int one = 1;
-  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof addr) != 0 ||
-      ::listen(listen_fd, 16) != 0) {
-    std::cerr << "sre_serve: bind/listen on port " << port << ": "
-              << std::strerror(errno) << "\n";
-    ::close(listen_fd);
-    return 2;
-  }
-  std::cerr << "sre_serve: listening on 127.0.0.1:" << port << "\n";
-  // Connections are served sequentially: the service itself is the
-  // concurrent part (worker pool + admission), and one in-order protocol
-  // stream per client keeps responses matched to requests.
-  for (;;) {
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (serve_connection(service, fd)) break;
-  }
-  ::close(listen_fd);
-  return 0;
 }
-
-#endif  // !_WIN32
 
 }  // namespace
 
 int main(int argc, char** argv) {
   sre::srv::ServiceConfig cfg = sre::srv::ServiceConfig::from_env();
+  sre::srv::EventLoopConfig loop_cfg;
   long tcp_port = -1;
 
   for (int i = 1; i < argc; ++i) {
@@ -178,11 +138,22 @@ int main(int argc, char** argv) {
       cfg.default_deadline_s = f / 1e3;
     } else if (arg == "--no-cache") {
       cfg.cache_enabled = false;
+    } else if (arg == "--backlog" && parse_size(need_value("--backlog"), n)) {
+      loop_cfg.backlog = static_cast<int>(n);
+    } else if (arg == "--max-line" &&
+               parse_size(need_value("--max-line"), n)) {
+      loop_cfg.max_line_bytes = n;
+    } else if (arg == "--max-conns" &&
+               parse_size(need_value("--max-conns"), n)) {
+      loop_cfg.max_connections = n;
+    } else if (arg == "--drain-ms" &&
+               parse_double(need_value("--drain-ms"), f)) {
+      loop_cfg.drain_timeout_s = f / 1e3;
     } else if (arg == "--tcp") {
       const char* v = need_value("--tcp");
       char* end = nullptr;
       tcp_port = std::strtol(v, &end, 10);
-      if (end == v || *end != '\0' || tcp_port < 1 || tcp_port > 65535) {
+      if (end == v || *end != '\0' || tcp_port < 0 || tcp_port > 65535) {
         std::cerr << "sre_serve: bad port '" << v << "'\n" << kUsage;
         return 2;
       }
@@ -197,13 +168,9 @@ int main(int argc, char** argv) {
   }
 
   sre::srv::PlannerService service(cfg);
-  if (tcp_port > 0) {
-#ifndef _WIN32
-    return run_tcp(service, static_cast<unsigned short>(tcp_port));
-#else
-    std::cerr << "sre_serve: --tcp is not supported on this platform\n";
-    return 2;
-#endif
+  if (tcp_port >= 0) {
+    loop_cfg.port = static_cast<unsigned short>(tcp_port);
+    return run_tcp(service, loop_cfg);
   }
   return run_stdio(service);
 }
