@@ -47,6 +47,18 @@ bool is_time_like(std::string_view key) noexcept {
          contains("speedup") || contains("rate") || contains("gauges.");
 }
 
+bool is_drop_like(std::string_view key) noexcept {
+  const auto ends_with = [key](std::string_view suffix) {
+    return key.size() >= suffix.size() &&
+           key.substr(key.size() - suffix.size()) == suffix;
+  };
+  if (ends_with("_dropped") || ends_with("_drops")) return true;
+  const std::size_t dot = key.rfind('.');
+  const std::string_view last =
+      dot == std::string_view::npos ? key : key.substr(dot + 1);
+  return last == "dropped" || last == "drops";
+}
+
 namespace {
 
 void flatten_into(const minijson::Value& value, const std::string& prefix,
@@ -97,7 +109,13 @@ Result compare(const std::map<std::string, double>& baseline,
       }
     }
     const bool time_like = is_time_like(key);
-    if (!has_rule) tol = time_like ? opts.time_tol : opts.counter_tol;
+    if (!has_rule) {
+      if (opts.ignore_drop_counters && is_drop_like(key)) {
+        result.notes.push_back("ignored (drop counter): " + key);
+        continue;
+      }
+      tol = time_like ? opts.time_tol : opts.counter_tol;
+    }
     if (tol < 0.0) {
       result.notes.push_back("ignored: " + key);
       continue;

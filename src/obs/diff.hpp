@@ -13,7 +13,11 @@
 //    band — wall time shrinking is an improvement, not a regression;
 //  * per-key glob overrides (--tol/--ignore in the CLI) take precedence,
 //    first match wins, so intrinsically nondeterministic keys (steals,
-//    idle_ns) can be widened or dropped.
+//    idle_ns) can be widened or dropped;
+//  * drop counters (*.dropped, *.drops, *_dropped, *_drops) are ignored by
+//    default: they count lines shed under transient backpressure (the
+//    access-log sink, lossy rings), grow monotonically with load, and are
+//    expected to differ run to run. --strict-drops restores exact gating.
 //
 // A key present in the baseline but missing from the current run is a
 // regression by default: deleted instrumentation should be an intentional,
@@ -45,6 +49,9 @@ struct Options {
   double time_tol = 0.5;     ///< band for time-like keys (0.5 = +50%)
   double counter_tol = 0.0;  ///< band for count-like keys (0 = exact)
   bool fail_on_missing = true;
+  /// Auto-ignore is_drop_like() keys (noted, never gated). An explicit
+  /// matching rule always wins over the auto-ignore.
+  bool ignore_drop_counters = true;
   std::vector<Rule> rules;   ///< first matching pattern wins
 };
 
@@ -70,6 +77,13 @@ bool glob_match(std::string_view pattern, std::string_view key) noexcept;
 
 /// True when `key` is gated by the time band rather than the counter band.
 bool is_time_like(std::string_view key) noexcept;
+
+/// True for monotonically-growing shed/drop counters (last dotted segment
+/// "dropped"/"drops", or a "_dropped"/"_drops" suffix) — e.g.
+/// counters.obs.wide.dropped, wide.dropped, lines_dropped. These measure
+/// transient backpressure, not workload determinism, so compare() skips
+/// them when Options::ignore_drop_counters is set.
+bool is_drop_like(std::string_view key) noexcept;
 
 /// Flattens a parsed metrics document: nested object members join with '.',
 /// numbers keep their value, booleans map to 0/1, strings ("inf", "nan",

@@ -22,8 +22,9 @@ constexpr std::size_t kMinCapacity = 8;
 
 struct Event {
   std::uint64_t ts_ns = 0;
+  std::uint64_t flow_id = 0;  ///< nonzero only for flow phases
   std::uint32_t label = 0;
-  char phase = 0;  ///< 'B', 'E', or 'I'
+  char phase = 0;  ///< 'B', 'E', 'I', or flow 's'/'t'/'f'
 };
 
 // One buffer per thread, written only by its owner. The owner publishes
@@ -92,14 +93,15 @@ inline ThreadBuffer& local_buffer(std::uint64_t epoch) {
 /// Appends one event if `extra_reserve + 1` slots fit beside the already
 /// promised end-events; returns false (counting a drop) otherwise.
 inline bool append(ThreadBuffer& buf, char phase, std::uint32_t label,
-                   std::uint64_t ts_ns, std::size_t extra_reserve) {
+                   std::uint64_t ts_ns, std::size_t extra_reserve,
+                   std::uint64_t flow_id = 0) {
   const std::size_t size = buf.size.load(std::memory_order_relaxed);
   const std::size_t reserved = buf.reserved.load(std::memory_order_relaxed);
   if (size + reserved + extra_reserve + 1 > buf.events.size()) {
     buf.dropped.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  buf.events[size] = Event{ts_ns, label, phase};
+  buf.events[size] = Event{ts_ns, flow_id, label, phase};
   buf.reserved.store(reserved + extra_reserve, std::memory_order_relaxed);
   buf.size.store(size + 1, std::memory_order_release);
   return true;
@@ -234,6 +236,12 @@ std::string trace_json() {
         body << "\"ph\": \"E\", \"pid\": 1, \"tid\": " << buf->tid
              << ", \"ts\": " << fmt_us(e.ts_ns, origin)
              << ", \"name\": " << quote(label_name(label));
+      } else if (e.phase == 's' || e.phase == 't' || e.phase == 'f') {
+        body << "\"ph\": \"" << e.phase << "\", \"pid\": 1, \"tid\": "
+             << buf->tid << ", \"ts\": " << fmt_us(e.ts_ns, origin)
+             << ", \"cat\": \"flow\", \"id\": " << e.flow_id
+             << ", \"name\": " << quote(label_name(e.label));
+        if (e.phase == 'f') body << ", \"bp\": \"e\"";
       } else {
         body << "\"ph\": \"I\", \"pid\": 1, \"tid\": " << buf->tid
              << ", \"ts\": " << fmt_us(e.ts_ns, origin) << ", \"s\": \"t\""
@@ -312,6 +320,16 @@ void emit_instant(std::uint32_t label) noexcept {
   append(buf, 'I', label, obs::detail::now_ns(), /*extra_reserve=*/0);
 }
 
+void emit_flow(std::uint32_t label, std::uint64_t flow_id,
+               char phase) noexcept {
+  if (!armed()) return;
+  if (phase != 's' && phase != 't' && phase != 'f') return;
+  Registry& r = registry();
+  ThreadBuffer& buf = local_buffer(r.epoch.load(std::memory_order_relaxed));
+  append(buf, phase, label, obs::detail::now_ns(), /*extra_reserve=*/0,
+         flow_id);
+}
+
 std::uint64_t dropped_events() noexcept {
   Registry& r = registry();
   std::lock_guard lock(r.mutex);
@@ -354,6 +372,7 @@ void set_thread_capacity(std::size_t) {}
 std::uint64_t emit_begin(std::uint32_t) noexcept { return 0; }
 void emit_end(std::uint64_t, std::uint64_t) noexcept {}
 void emit_instant(std::uint32_t) noexcept {}
+void emit_flow(std::uint32_t, std::uint64_t, char) noexcept {}
 std::uint64_t dropped_events() noexcept { return 0; }
 std::uint64_t recorded_events() noexcept { return 0; }
 

@@ -104,6 +104,15 @@ void emit_end(std::uint64_t token, std::uint64_t ts_ns = 0) noexcept;
 /// Emits a thread-scoped instant event.
 void emit_instant(std::uint32_t label) noexcept;
 
+/// Emits a Chrome Trace *flow* event tying this point on the calling
+/// thread's timeline into the cross-thread flow `flow_id` (srv:: hashes the
+/// request's trace context, see COOKBOOK 21). `phase` is 's' (flow start),
+/// 't' (step), or 'f' (finish; serialized with "bp":"e" so it binds to the
+/// enclosing slice) — any other phase is ignored. Perfetto draws arrows
+/// s -> t... -> f across threads sharing one id.
+void emit_flow(std::uint32_t label, std::uint64_t flow_id,
+               char phase) noexcept;
+
 /// Events dropped (buffer full) in the current capture, across threads.
 std::uint64_t dropped_events() noexcept;
 

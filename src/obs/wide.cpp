@@ -1,0 +1,312 @@
+#include "obs/wide.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/minijson.hpp"
+#include "obs/report.hpp"
+
+#ifndef STOCHRES_OBS_DISABLE
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#endif
+
+namespace sre::obs::wide {
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::atomic<ClockFn> g_clock{nullptr};
+
+/// a - b, clamped at 0: a stage stamped "before" its predecessor (possible
+/// only through clock injection or a stage that never ran) yields a zero
+/// component instead of a 2^64 garbage duration.
+std::uint64_t sat_sub(std::uint64_t a, std::uint64_t b) noexcept {
+  return a > b ? a - b : 0;
+}
+
+void append_u64(std::string& out, std::uint64_t v) { out += std::to_string(v); }
+
+void append_str(std::string& out, std::string_view v) {
+  out += '"';
+  out += minijson::escape(v);
+  out += '"';
+}
+
+}  // namespace
+
+void set_clock(ClockFn fn) noexcept {
+  g_clock.store(fn, std::memory_order_relaxed);
+}
+
+std::uint64_t now_ns() noexcept {
+  const ClockFn fn = g_clock.load(std::memory_order_relaxed);
+  return fn ? fn() : steady_now_ns();
+}
+
+// -- format_event ------------------------------------------------------------
+
+std::string format_event(const Event& event) {
+  const std::uint64_t queue_ns = sat_sub(event.batched_ns, event.admitted_ns);
+  const std::uint64_t solve_ns = sat_sub(event.solved_ns, event.batched_ns);
+  const std::uint64_t write_ns = sat_sub(event.flushed_ns, event.slotted_ns);
+  const std::uint64_t total_ns = sat_sub(event.flushed_ns, event.accepted_ns);
+
+  std::string out;
+  out.reserve(320);
+  out += "{\"ts\":";
+  append_u64(out, event.flushed_ns);
+  out += ",\"id\":";
+  append_str(out, event.id);
+  out += ",\"conn\":";
+  append_u64(out, event.conn);
+  out += ",\"peer\":";
+  append_str(out, event.peer);
+  if (!event.trace.empty()) {
+    out += ",\"trace\":";
+    append_str(out, event.trace);
+  }
+  out += ",\"ok\":";
+  out += event.ok ? "true" : "false";
+  if (!event.ok) {
+    out += ",\"code\":";
+    append_str(out, event.code);
+  }
+  out += ",\"cached\":";
+  out += event.cached ? "true" : "false";
+  out += ",\"batch\":";
+  append_u64(out, event.batch);
+  out += ",\"bytes_in\":";
+  append_u64(out, event.bytes_in);
+  out += ",\"bytes_out\":";
+  append_u64(out, event.bytes_out);
+  out += ",\"queue_ns\":";
+  append_u64(out, queue_ns);
+  out += ",\"solve_ns\":";
+  append_u64(out, solve_ns);
+  out += ",\"write_ns\":";
+  append_u64(out, write_ns);
+  out += ",\"total_ns\":";
+  append_u64(out, total_ns);
+  out += ",\"accepted_ns\":";
+  append_u64(out, event.accepted_ns);
+  out += ",\"framed_ns\":";
+  append_u64(out, event.framed_ns);
+  out += ",\"admitted_ns\":";
+  append_u64(out, event.admitted_ns);
+  out += ",\"batched_ns\":";
+  append_u64(out, event.batched_ns);
+  out += ",\"solved_ns\":";
+  append_u64(out, event.solved_ns);
+  out += ",\"slotted_ns\":";
+  append_u64(out, event.slotted_ns);
+  out += ",\"flushed_ns\":";
+  append_u64(out, event.flushed_ns);
+  out += '}';
+  return out;
+}
+
+// -- Sink --------------------------------------------------------------------
+
+#ifndef STOCHRES_OBS_DISABLE
+
+struct Sink::Impl {
+  std::FILE* file = nullptr;
+  std::size_t capacity = 0;
+
+  std::mutex m;
+  std::condition_variable cv;  // wakes the flusher
+  std::deque<std::string> queue;
+  bool paused = false;
+  bool stop = false;
+
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> written{0};
+  std::atomic<std::uint64_t> dropped{0};
+
+  std::thread flusher;
+
+  void run() {
+    std::deque<std::string> batch;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(m);
+        // A paused flusher simulates a stalled disk — but shutdown always
+        // drains, so a test that forgets to unpause cannot lose events.
+        cv.wait(lock, [&] { return stop || (!queue.empty() && !paused); });
+        if (queue.empty() && stop) break;
+        if (queue.empty()) continue;
+        batch.swap(queue);
+      }
+      for (const auto& line : batch) {
+        std::fwrite(line.data(), 1, line.size(), file);
+        std::fputc('\n', file);
+      }
+      std::fflush(file);
+      written.fetch_add(batch.size(), std::memory_order_relaxed);
+      counter("obs.wide.written").add(batch.size());
+      batch.clear();
+    }
+  }
+};
+
+std::unique_ptr<Sink> Sink::open(const SinkConfig& config) {
+  if (config.path.empty()) return nullptr;
+  auto impl = std::make_unique<Impl>();
+  impl->capacity = config.capacity > 0 ? config.capacity : 1;
+  impl->file = std::fopen(config.path.c_str(), "wb");
+  if (impl->file == nullptr) {
+    throw std::runtime_error("obs::wide: cannot open access log: " +
+                             config.path);
+  }
+  impl->flusher = std::thread([raw = impl.get()] { raw->run(); });
+  return std::unique_ptr<Sink>(new Sink(std::move(impl)));
+}
+
+Sink::Sink(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+
+Sink::~Sink() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->m);
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  impl_->flusher.join();
+  std::fclose(impl_->file);
+}
+
+bool Sink::try_write(std::string line) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->m);
+    if (impl_->queue.size() >= impl_->capacity) {
+      impl_->dropped.fetch_add(1, std::memory_order_relaxed);
+      counter("obs.wide.dropped").add();
+      return false;
+    }
+    impl_->queue.push_back(std::move(line));
+    impl_->accepted.fetch_add(1, std::memory_order_relaxed);
+  }
+  impl_->cv.notify_one();
+  return true;
+}
+
+void Sink::set_paused(bool paused) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->m);
+    impl_->paused = paused;
+  }
+  impl_->cv.notify_all();
+}
+
+std::uint64_t Sink::accepted() const noexcept {
+  return impl_->accepted.load(std::memory_order_relaxed);
+}
+std::uint64_t Sink::written() const noexcept {
+  return impl_->written.load(std::memory_order_relaxed);
+}
+std::uint64_t Sink::dropped() const noexcept {
+  return impl_->dropped.load(std::memory_order_relaxed);
+}
+
+#else  // STOCHRES_OBS_DISABLE — the access log does not exist.
+
+struct Sink::Impl {};
+
+std::unique_ptr<Sink> Sink::open(const SinkConfig&) { return nullptr; }
+Sink::Sink(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+Sink::~Sink() = default;
+bool Sink::try_write(std::string) { return false; }
+void Sink::set_paused(bool) {}
+std::uint64_t Sink::accepted() const noexcept { return 0; }
+std::uint64_t Sink::written() const noexcept { return 0; }
+std::uint64_t Sink::dropped() const noexcept { return 0; }
+
+#endif  // STOCHRES_OBS_DISABLE
+
+// -- SnapshotRing ------------------------------------------------------------
+
+SnapshotRing::SnapshotRing(std::size_t capacity)
+    : ring_(capacity > 0 ? capacity : 1) {}
+
+void SnapshotRing::push(const Snapshot& snapshot) {
+  ring_[head_] = snapshot;
+  head_ = (head_ + 1) % ring_.size();
+  if (size_ < ring_.size()) ++size_;
+}
+
+const Snapshot& SnapshotRing::oldest() const {
+  if (size_ == 0) throw std::out_of_range("SnapshotRing::oldest: empty");
+  return size_ < ring_.size() ? ring_[0]
+                              : ring_[head_];  // head_ is the next overwrite
+}
+
+const Snapshot& SnapshotRing::newest() const {
+  if (size_ == 0) throw std::out_of_range("SnapshotRing::newest: empty");
+  return ring_[(head_ + ring_.size() - 1) % ring_.size()];
+}
+
+// -- prometheus_text ---------------------------------------------------------
+
+namespace {
+
+/// Dotted instrument name -> Prometheus metric name ("srv.conn.open" ->
+/// "sre_srv_conn_open"). Dots and any other non-[a-zA-Z0-9_] byte become
+/// underscores.
+std::string prom_name(const std::string& name) {
+  std::string out = "sre_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string prometheus_text() {
+  std::string out =
+      "# sre metrics registry, Prometheus text exposition (obs::wide)\n";
+  for (const auto& [name, value] : counters_snapshot()) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges_snapshot()) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + format_double(value) + "\n";
+  }
+  for (const auto& [name, h] : histograms_snapshot()) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + " summary\n";
+    for (const double q : {0.5, 0.95, 0.99}) {
+      out += p + "{quantile=\"" + format_double(q) + "\"} " +
+             format_double(h.count > 0 ? h.quantile(q) : 0.0) + "\n";
+    }
+    out += p + "_sum " + format_double(h.sum) + "\n";
+    out += p + "_count " + std::to_string(h.count) + "\n";
+  }
+  for (const auto& [name, s] : spans_snapshot()) {
+    const std::string p = prom_name(name);
+    out += "# TYPE " + p + "_count counter\n";
+    out += p + "_count " + std::to_string(s.count) + "\n";
+    out += "# TYPE " + p + "_total_ns counter\n";
+    out += p + "_total_ns " + std::to_string(s.total_ns) + "\n";
+  }
+  return out;
+}
+
+}  // namespace sre::obs::wide

@@ -1,0 +1,162 @@
+#pragma once
+
+// obs::wide — per-request "wide events" and live-introspection plumbing for
+// the serving stack (COOKBOOK recipe 21):
+//
+//   * a clock seam (`set_clock` / `now_ns`) so request-lifecycle stamps are
+//     monotonic in production and injectable in tests — every timeline test
+//     runs against a deterministic counter clock, never sleeps;
+//   * `Event` + `format_event`: one NDJSON line per served request with the
+//     full accepted→framed→admitted→batched→solved→slotted→flushed timeline
+//     and the derived queue/solve/write components. The field order is fixed
+//     and byte-stable (tests/test_obs_wide.cpp pins the exact bytes) — the
+//     schema is a contract, see CONTRIBUTING "Extending the wide-event
+//     schema";
+//   * `Sink`: a bounded, non-blocking access-log writer. The event loop
+//     thread only ever appends to an in-memory queue (`try_write`); a
+//     flusher thread owns the file. A full queue drops the event and counts
+//     it (`dropped()`, obs counter `obs.wide.dropped`) — the log never
+//     backpressures the serving path. Under STOCHRES_OBS_DISABLE `open()`
+//     returns nullptr and the whole writer compiles to stubs: the access
+//     log does not exist in obs-off builds;
+//   * `SnapshotRing`: a small ring of periodic counter snapshots backing the
+//     rate-over-window figures in the `{"stats":true}` verb. Plain data —
+//     like the `srv` counters it samples, it is exact in every build and is
+//     NOT compiled out;
+//   * `prometheus_text()`: the metrics registry rendered in Prometheus text
+//     exposition format for `sre_serve --prom`.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sre::obs::wide {
+
+// -- clock seam --------------------------------------------------------------
+
+/// Returns nanoseconds on a monotonic scale. Defaults to
+/// std::chrono::steady_clock; tests substitute an atomic counter so the
+/// recorded timelines are deterministic.
+std::uint64_t now_ns() noexcept;
+
+using ClockFn = std::uint64_t (*)();
+
+/// Installs `fn` as the clock behind now_ns(); nullptr restores the default
+/// steady clock. Takes effect process-wide (it is a test seam, not a
+/// per-server knob).
+void set_clock(ClockFn fn) noexcept;
+
+// -- the wide event ----------------------------------------------------------
+
+/// Everything known about one request by the time its response bytes hit the
+/// socket. Timestamps come from now_ns(); a stage that never happened for
+/// this request (e.g. batched for a cache hit) carries the stamp of the
+/// stage that subsumed it, so the derived components are zero, not garbage.
+struct Event {
+  std::string id;     ///< request id as echoed on the wire
+  std::string peer;   ///< client "ip:port"
+  std::string trace;  ///< optional trace context, empty when absent
+  std::uint64_t conn = 0;
+  bool ok = false;
+  bool cached = false;
+  std::string code;  ///< error_code_name() when !ok, ignored otherwise
+  std::uint32_t batch = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t accepted_ns = 0;  ///< request bytes arrived at the loop
+  std::uint64_t framed_ns = 0;    ///< framer produced the complete line
+  std::uint64_t admitted_ns = 0;  ///< service accepted (or rejected) it
+  std::uint64_t batched_ns = 0;   ///< a worker dequeued its batch
+  std::uint64_t solved_ns = 0;    ///< the solve (or inline outcome) finished
+  std::uint64_t slotted_ns = 0;   ///< completion landed in its response slot
+  std::uint64_t flushed_ns = 0;   ///< last response byte written to the fd
+};
+
+/// One NDJSON object (no trailing newline), fixed field order:
+/// ts,id,conn,peer[,trace],ok[,code],cached,batch,bytes_in,bytes_out,
+/// queue_ns,solve_ns,write_ns,total_ns, then the seven raw stamps.
+/// Derived components saturate at 0: queue = batched-admitted,
+/// solve = solved-batched, write = flushed-slotted, total = flushed-accepted.
+std::string format_event(const Event& event);
+
+// -- the bounded access-log sink ---------------------------------------------
+
+struct SinkConfig {
+  std::string path;
+  std::size_t capacity = 16384;  ///< queued-line bound before drops
+};
+
+class Sink {
+ public:
+  /// Opens the access log for writing (truncating) and starts the flusher
+  /// thread. Returns nullptr when `path` is empty or under
+  /// STOCHRES_OBS_DISABLE; throws std::runtime_error when the file cannot
+  /// be created.
+  static std::unique_ptr<Sink> open(const SinkConfig& config);
+
+  ~Sink();  ///< drains the queue, joins the flusher, closes the file
+  Sink(const Sink&) = delete;
+  Sink& operator=(const Sink&) = delete;
+
+  /// Queues one NDJSON line (newline appended by the writer). Never blocks:
+  /// returns false and counts a drop when the queue is at capacity.
+  bool try_write(std::string line);
+
+  /// Test seam: a paused flusher stops draining (simulating a stalled disk)
+  /// so try_write fills the queue and the drop accounting is observable.
+  /// Destruction drains regardless of pause.
+  void set_paused(bool paused);
+
+  [[nodiscard]] std::uint64_t accepted() const noexcept;
+  [[nodiscard]] std::uint64_t written() const noexcept;
+  [[nodiscard]] std::uint64_t dropped() const noexcept;
+
+  struct Impl;
+
+ private:
+  explicit Sink(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+// -- rate-over-window snapshots ----------------------------------------------
+
+/// One periodic sample of the loop's monotone counters.
+struct Snapshot {
+  std::uint64_t t_ns = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+/// Fixed-capacity ring of Snapshots; push overwrites the oldest once full.
+/// oldest()/newest() give the widest window currently held — the stats verb
+/// reports (newest - oldest) / dt as the rate.
+class SnapshotRing {
+ public:
+  explicit SnapshotRing(std::size_t capacity = 16);
+
+  void push(const Snapshot& snapshot);
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] const Snapshot& oldest() const;
+  [[nodiscard]] const Snapshot& newest() const;
+
+ private:
+  std::vector<Snapshot> ring_;
+  std::size_t head_ = 0;  // next write position
+  std::size_t size_ = 0;
+};
+
+// -- Prometheus text exposition ----------------------------------------------
+
+/// The metrics registry (counters, gauges, histogram summaries, span
+/// aggregates) in Prometheus text format. Names are the dotted instrument
+/// names with dots mapped to underscores under an `sre_` prefix; histograms
+/// render as summaries (quantile labels + _sum/_count). Deterministic for a
+/// fixed registry state (sorted snapshots). Empty registry (or obs-off)
+/// renders only the header comment.
+std::string prometheus_text();
+
+}  // namespace sre::obs::wide

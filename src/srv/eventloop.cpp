@@ -1,19 +1,102 @@
 #include "srv/eventloop.hpp"
 
 #include <stdexcept>
+#include <string>
+
+#include "obs/report.hpp"
+
+namespace sre::srv {
+
+// ---------------------------------------------------------------------------
+// Stats serialization — platform-independent (the snapshot struct is plain
+// data), so the byte-stable format is unit-testable even where the epoll
+// loop itself is unavailable.
+
+std::string format_server_stats(const ServerStatsSnapshot& snapshot) {
+  std::string out = "{\"ok\":true,\"loop\":{\"open\":";
+  out += std::to_string(snapshot.loop.open);
+  out += ",\"accepted\":";
+  out += std::to_string(snapshot.loop.accepted);
+  out += ",\"closed\":";
+  out += std::to_string(snapshot.loop.closed);
+  out += ",\"overload_rejects\":";
+  out += std::to_string(snapshot.loop.overload_rejects);
+  out += ",\"framing_errors\":";
+  out += std::to_string(snapshot.loop.framing_errors);
+  out += ",\"backpressure_pauses\":";
+  out += std::to_string(snapshot.loop.backpressure_pauses);
+  out += ",\"requests\":";
+  out += std::to_string(snapshot.loop.requests);
+  out += ",\"responses\":";
+  out += std::to_string(snapshot.loop.responses);
+  out += ",\"bytes_in\":";
+  out += std::to_string(snapshot.loop.bytes_in);
+  out += ",\"bytes_out\":";
+  out += std::to_string(snapshot.loop.bytes_out);
+  out += "},\"wide\":{\"written\":";
+  out += std::to_string(snapshot.loop.wide_written);
+  out += ",\"dropped\":";
+  out += std::to_string(snapshot.loop.wide_dropped);
+  out += "},\"rates\":{\"window_seconds\":";
+  out += obs::format_double(snapshot.window_seconds);
+  out += ",\"requests_per_sec\":";
+  out += obs::format_double(snapshot.requests_per_sec);
+  out += ",\"responses_per_sec\":";
+  out += obs::format_double(snapshot.responses_per_sec);
+  out += ",\"bytes_in_per_sec\":";
+  out += obs::format_double(snapshot.bytes_in_per_sec);
+  out += ",\"bytes_out_per_sec\":";
+  out += obs::format_double(snapshot.bytes_out_per_sec);
+  out += "},\"conns\":[";
+  bool first = true;
+  for (const ConnSnapshot& c : snapshot.conns) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"id\":";
+    out += std::to_string(c.id);
+    out += ",\"fd\":";
+    out += std::to_string(c.fd);
+    out += ",\"queued\":";
+    out += std::to_string(c.queued);
+    out += ",\"inflight\":";
+    out += std::to_string(c.inflight);
+    out += ",\"paused\":";
+    out += c.paused ? "true" : "false";
+    out += ",\"backlog\":";
+    out += std::to_string(c.backlog);
+    out += ",\"bytes_in\":";
+    out += std::to_string(c.bytes_in);
+    out += ",\"bytes_out\":";
+    out += std::to_string(c.bytes_out);
+    out += '}';
+  }
+  out += "],\"service\":";
+  if (snapshot.service_stats_json.empty()) {
+    out += "null";
+  } else {
+    out += snapshot.service_stats_json;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace sre::srv
 
 #ifdef __linux__
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <deque>
+#include <fstream>
 #include <mutex>
-#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -23,8 +106,11 @@
 #include <unistd.h>
 
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/wide.hpp"
 #include "srv/framing.hpp"
 #include "srv/protocol.hpp"
+#include "srv/request.hpp"
 #include "stats/error.hpp"
 
 namespace sre::srv {
@@ -50,12 +136,20 @@ obs::Counter& framing_error_counter() {
   return c;
 }
 obs::Counter& backpressure_counter() {
-  static obs::Counter& c = obs::counter("srv.conn.backpressure_stalls");
+  static obs::Counter& c = obs::counter("srv.conn.backpressure_pauses");
   return c;
 }
-obs::Gauge& active_gauge() {
-  static obs::Gauge& g = obs::gauge("srv.conn.active");
+obs::Gauge& open_gauge() {
+  static obs::Gauge& g = obs::gauge("srv.conn.open");
   return g;
+}
+
+/// The flow label every traced request shares: the same flow id ('s' at
+/// classify, 't' at solve, 'f' at flush) draws one arrow chain across the
+/// loop and worker threads in Perfetto.
+std::uint32_t flow_label() {
+  static const std::uint32_t label = obs::recorder::intern_label("srv.flow");
+  return label;
 }
 
 /// The overload line shed at accept time (connection/fd limits): the same
@@ -77,11 +171,17 @@ std::string overload_line(const std::string& message) {
 
 struct EventLoop::Impl {
   /// One finished solve headed back to a connection. Posted by worker
-  /// threads, drained on the loop thread.
+  /// threads, drained on the loop thread. Carries the outcome and the
+  /// service-side lifecycle stamps so the slot's wide-event draft can be
+  /// completed without re-parsing the serialized line.
   struct Completion {
     std::uint64_t conn = 0;
     std::uint64_t seq = 0;
     std::string line;
+    bool ok = false;
+    bool cached = false;
+    ErrorCode code = ErrorCode::kDomainError;
+    PlanTelemetry telem;
   };
 
   /// Worker-to-loop handoff. Held by shared_ptr from every in-flight
@@ -102,21 +202,40 @@ struct EventLoop::Impl {
 
   /// One queued response, in request order. `done` flips when the line is
   /// ready (inline for control/error lines, via the mailbox for solves).
+  /// `wide` marks slots that emit an access-log event once their bytes
+  /// clear the socket; `ev` is the draft, stamped stage by stage.
   struct Slot {
     bool done = false;
     bool shutdown = false;  ///< {"cmd":"shutdown"}: drain once flushed
     std::string line;       ///< response line, no terminator
+    bool wide = false;
+    obs::wide::Event ev;
+  };
+
+  /// A wide event whose response bytes are in the write buffer but not yet
+  /// on the wire: `mark` is the connection's cumulative enqueued-byte count
+  /// at the end of this response, so the event flushes exactly when
+  /// `wr_written` reaches it.
+  struct PendingWide {
+    std::uint64_t mark = 0;
+    obs::wide::Event ev;
   };
 
   struct Conn {
     int fd = -1;
     std::uint64_t id = 0;
+    std::string peer;  ///< client "ip:port", fixed at accept
     LineFramer framer;
     std::deque<Slot> slots;
     std::uint64_t base_seq = 0;  ///< seq of slots.front()
     std::uint64_t next_seq = 0;  ///< seq assigned to the next request
     std::string wbuf;
     std::size_t woff = 0;
+    std::uint64_t bytes_in = 0;     ///< read off this fd, total
+    std::uint64_t wr_enqueued = 0;  ///< appended to wbuf, total
+    std::uint64_t wr_written = 0;   ///< written to this fd, total
+    std::uint64_t read_ns = 0;  ///< stamp of the read feeding the framer
+    std::deque<PendingWide> pending_wide;  ///< enqueued, awaiting the wire
     bool peer_eof = false;  ///< read side closed; still flushing responses
     bool paused = false;    ///< EPOLLIN off: write backlog past watermark
     bool want_write = false;  ///< EPOLLOUT armed
@@ -139,6 +258,8 @@ struct EventLoop::Impl {
   std::uint64_t next_conn_id = kFirstConnId;
   bool draining = false;
   Clock::time_point drain_deadline{};
+  std::unique_ptr<obs::wide::Sink> sink;  ///< null: no access log
+  obs::wide::SnapshotRing ring;           ///< rate window for {"stats":true}
 
   static constexpr std::uint64_t kListenId = 0;
   static constexpr std::uint64_t kWakeId = 1;
@@ -208,7 +329,7 @@ struct EventLoop::Impl {
         if (conn->fd >= 0) ::close(conn->fd);
       }
       conns.clear();
-      active_gauge().set(0.0);
+      open_gauge().set(0.0);
     }
     if (listen_fd >= 0) ::close(listen_fd), listen_fd = -1;
     if (reserve_fd >= 0) ::close(reserve_fd), reserve_fd = -1;
@@ -236,8 +357,11 @@ struct EventLoop::Impl {
 
   void accept_ready() {
     for (;;) {
-      const int fd = ::accept4(listen_fd, nullptr, nullptr,
-                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      sockaddr_in peer{};
+      socklen_t peer_len = sizeof peer;
+      const int fd =
+          ::accept4(listen_fd, reinterpret_cast<sockaddr*>(&peer), &peer_len,
+                    SOCK_NONBLOCK | SOCK_CLOEXEC);
       if (fd >= 0) {
         if (draining) {
           ::close(fd);
@@ -254,11 +378,15 @@ struct EventLoop::Impl {
         auto conn = std::make_unique<Conn>(loop.cfg_.max_line_bytes);
         conn->fd = fd;
         conn->id = next_conn_id++;
+        char ip[INET_ADDRSTRLEN] = "?";
+        (void)::inet_ntop(AF_INET, &peer.sin_addr, ip, sizeof ip);
+        conn->peer =
+            std::string(ip) + ":" + std::to_string(ntohs(peer.sin_port));
         epoll_add(fd, conn->id, EPOLLIN);
         conns.emplace(conn->id, std::move(conn));
         loop.accepted_.fetch_add(1, std::memory_order_relaxed);
         accepted_counter().add();
-        active_gauge().set(static_cast<double>(conns.size()));
+        open_gauge().set(static_cast<double>(conns.size()));
         continue;
       }
       if (errno == EINTR) continue;
@@ -289,19 +417,113 @@ struct EventLoop::Impl {
       (void)::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, it->second->fd, nullptr);
       ::close(it->second->fd);
     }
+    // pending_wide dies with the Conn: a response the client never received
+    // has no flushed stamp, so it never becomes an access-log line.
     conns.erase(it);
     loop.closed_.fetch_add(1, std::memory_order_relaxed);
     closed_counter().add();
-    active_gauge().set(static_cast<double>(conns.size()));
+    open_gauge().set(static_cast<double>(conns.size()));
+  }
+
+  // -- telemetry ------------------------------------------------------------
+
+  /// Seeds a slot's wide-event draft with everything known at framing time.
+  /// No sink (unset path, or obs-off where Sink::open returns nullptr)
+  /// means no draft: the serving path carries zero telemetry state.
+  void draft_wide(Conn& c, Slot& s, std::string_view line,
+                  std::uint64_t framed_ns, std::string id, std::string trace) {
+    if (!sink) return;
+    s.wide = true;
+    s.ev.id = std::move(id);
+    s.ev.peer = c.peer;
+    s.ev.trace = std::move(trace);
+    s.ev.conn = c.id;
+    s.ev.bytes_in = line.size() + 1;  // +1: the newline the framer consumed
+    s.ev.accepted_ns = c.read_ns;
+    s.ev.framed_ns = framed_ns;
+  }
+
+  /// One periodic counter sample for the rate window, plus the Prometheus
+  /// dump when configured.
+  void tick() {
+    obs::wide::Snapshot s;
+    s.t_ns = obs::wide::now_ns();
+    s.requests = loop.requests_.load(std::memory_order_relaxed);
+    s.responses = loop.responses_.load(std::memory_order_relaxed);
+    s.bytes_in = loop.bytes_in_.load(std::memory_order_relaxed);
+    s.bytes_out = loop.bytes_out_.load(std::memory_order_relaxed);
+    ring.push(s);
+    write_prom();
+  }
+
+  /// Dumps the metrics registry in Prometheus text format, atomically
+  /// (write a sibling temp file, rename over) so a concurrent scraper
+  /// never reads a torn exposition.
+  void write_prom() {
+    if (loop.cfg_.prom_path.empty()) return;
+    const std::string tmp = loop.cfg_.prom_path + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) return;
+      out << obs::wide::prometheus_text();
+    }
+    (void)std::rename(tmp.c_str(), loop.cfg_.prom_path.c_str());
+  }
+
+  /// The {"stats":true} answer, built inline on the loop thread — the only
+  /// place the per-connection state is coherent. The caller pushes the
+  /// verb's own response slot *after* this runs, so a connection's queued
+  /// count never includes the stats request answering it.
+  std::string stats_line() {
+    ServerStatsSnapshot s;
+    s.loop = loop.counters();
+    if (ring.size() >= 2) {
+      const obs::wide::Snapshot& a = ring.oldest();
+      const obs::wide::Snapshot& b = ring.newest();
+      if (b.t_ns > a.t_ns) {
+        const double dt = static_cast<double>(b.t_ns - a.t_ns) * 1e-9;
+        s.window_seconds = dt;
+        s.requests_per_sec = static_cast<double>(b.requests - a.requests) / dt;
+        s.responses_per_sec =
+            static_cast<double>(b.responses - a.responses) / dt;
+        s.bytes_in_per_sec = static_cast<double>(b.bytes_in - a.bytes_in) / dt;
+        s.bytes_out_per_sec =
+            static_cast<double>(b.bytes_out - a.bytes_out) / dt;
+      }
+    }
+    s.conns.reserve(conns.size());
+    for (const auto& [id, conn] : conns) {
+      ConnSnapshot cs;
+      cs.id = id;
+      cs.fd = conn->fd;
+      cs.queued = conn->slots.size();
+      cs.inflight = 0;
+      for (const Slot& slot : conn->slots) {
+        if (!slot.done) ++cs.inflight;
+      }
+      cs.paused = conn->paused;
+      cs.backlog = conn->backlog();
+      cs.bytes_in = conn->bytes_in;
+      cs.bytes_out = conn->wr_written;
+      s.conns.push_back(cs);
+    }
+    std::sort(s.conns.begin(), s.conns.end(),
+              [](const ConnSnapshot& a, const ConnSnapshot& b) {
+                return a.id < b.id;
+              });
+    s.service_stats_json = loop.service_.stats_json();
+    return format_server_stats(s);
   }
 
   // -- request side ---------------------------------------------------------
 
   /// Handles one complete line: control and malformed lines complete their
   /// slot inline; plan requests go to the service's async path and complete
-  /// through the mailbox.
+  /// through the mailbox. Requests, typed errors, and oversized lines each
+  /// draft exactly one wide event; control verbs draft none.
   void handle_conn_line(Conn& c, std::string_view line, bool truncated) {
     loop.requests_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t framed_ns = sink ? obs::wide::now_ns() : 0;
     if (truncated) {
       loop.framing_errors_.fetch_add(1, std::memory_order_relaxed);
       framing_error_counter().add();
@@ -311,7 +533,14 @@ struct EventLoop::Impl {
       resp.retryable = is_retryable(ErrorCode::kDomainError);
       resp.message = "line exceeds " + std::to_string(c.framer.max_line_bytes()) +
                      " bytes";
-      c.slots.push_back(Slot{true, false, format_response("", resp)});
+      Slot s{true, false, format_response("", resp)};
+      draft_wide(c, s, line, framed_ns, "", "");
+      if (s.wide) {
+        s.ev.code = std::string(error_code_name(ErrorCode::kDomainError));
+        s.ev.admitted_ns = s.ev.batched_ns = s.ev.solved_ns = s.ev.slotted_ns =
+            framed_ns;
+      }
+      c.slots.push_back(std::move(s));
       ++c.next_seq;
       return;
     }
@@ -322,20 +551,38 @@ struct EventLoop::Impl {
         c.slots.push_back(Slot{true, false, loop.service_.stats_json()});
         ++c.next_seq;
         return;
+      case ClassifiedLine::Kind::kServerStats:
+        c.slots.push_back(Slot{true, false, stats_line()});
+        ++c.next_seq;
+        return;
       case ClassifiedLine::Kind::kShutdown:
         c.slots.push_back(Slot{true, true, std::move(parsed.response)});
         ++c.next_seq;
         return;
-      case ClassifiedLine::Kind::kError:
-        c.slots.push_back(Slot{true, false, std::move(parsed.response)});
+      case ClassifiedLine::Kind::kError: {
+        Slot s{true, false, std::move(parsed.response)};
+        draft_wide(c, s, line, framed_ns, std::move(parsed.id), "");
+        if (s.wide) {
+          s.ev.code = std::string(error_code_name(parsed.error_code));
+          s.ev.admitted_ns = s.ev.batched_ns = s.ev.solved_ns =
+              s.ev.slotted_ns = framed_ns;
+        }
+        c.slots.push_back(std::move(s));
         ++c.next_seq;
         return;
+      }
       case ClassifiedLine::Kind::kRequest:
         break;
     }
 
     const std::uint64_t seq = c.next_seq++;
-    c.slots.push_back(Slot{});
+    Slot s{};
+    draft_wide(c, s, line, framed_ns, parsed.request.id, parsed.request.trace);
+    c.slots.push_back(std::move(s));
+    if (!parsed.request.trace.empty() && obs::recorder::armed()) {
+      obs::recorder::emit_flow(flow_label(), fnv1a64(parsed.request.trace),
+                               's');
+    }
     // The callback runs on a worker thread (or inline right here for cache
     // hits and rejections): serialize there, post, never touch Conn state.
     std::string id = parsed.request.id;
@@ -344,7 +591,15 @@ struct EventLoop::Impl {
     loop.service_.submit(
         parsed.request,
         [box, conn_id, seq, id = std::move(id)](PlanResponse&& resp) {
-          box->post(Completion{conn_id, seq, format_response(id, resp)});
+          Completion done;
+          done.conn = conn_id;
+          done.seq = seq;
+          done.line = format_response(id, resp);
+          done.ok = resp.ok;
+          done.cached = resp.cached;
+          done.code = resp.code;
+          done.telem = resp.telem;
+          box->post(std::move(done));
         });
   }
 
@@ -359,6 +614,8 @@ struct EventLoop::Impl {
       if (n > 0) {
         loop.bytes_in_.fetch_add(static_cast<std::uint64_t>(n),
                                  std::memory_order_relaxed);
+        c.bytes_in += static_cast<std::uint64_t>(n);
+        if (sink) c.read_ns = obs::wide::now_ns();
         c.framer.feed(std::string_view(chunk, static_cast<std::size_t>(n)),
                       [&](std::string_view line, bool truncated) {
                         if (line.empty() && !truncated) return;  // blank keepalive
@@ -389,14 +646,22 @@ struct EventLoop::Impl {
 
   /// Moves completed slots (in request order) into the write buffer and
   /// pushes bytes to the socket; manages EPOLLOUT arming, backpressure
-  /// pausing, and shutdown-after-flush.
+  /// pausing, and shutdown-after-flush. Wide drafts ride along: enqueued
+  /// with the response bytes, emitted to the sink once the write offset
+  /// proves their last byte reached the socket.
   void flush(Conn& c) {
     bool saw_shutdown = false;
     while (!c.slots.empty() && c.slots.front().done) {
-      c.wbuf += c.slots.front().line;
+      Slot& s = c.slots.front();
+      c.wbuf += s.line;
       c.wbuf += '\n';
+      c.wr_enqueued += s.line.size() + 1;
       loop.responses_.fetch_add(1, std::memory_order_relaxed);
-      if (c.slots.front().shutdown) saw_shutdown = true;
+      if (s.wide) {
+        s.ev.bytes_out = s.line.size() + 1;
+        c.pending_wide.push_back(PendingWide{c.wr_enqueued, std::move(s.ev)});
+      }
+      if (s.shutdown) saw_shutdown = true;
       c.slots.pop_front();
       ++c.base_seq;
       if (saw_shutdown) break;  // later pipelined requests die with the server
@@ -407,6 +672,7 @@ struct EventLoop::Impl {
           ::write(c.fd, c.wbuf.data() + c.woff, c.wbuf.size() - c.woff);
       if (n > 0) {
         c.woff += static_cast<std::size_t>(n);
+        c.wr_written += static_cast<std::uint64_t>(n);
         loop.bytes_out_.fetch_add(static_cast<std::uint64_t>(n),
                                   std::memory_order_relaxed);
         continue;
@@ -416,6 +682,22 @@ struct EventLoop::Impl {
       close_conn(c.id);  // EPIPE/ECONNRESET: the client is gone
       return;
     }
+
+    if (sink) {
+      std::uint64_t flushed_ns = 0;
+      while (!c.pending_wide.empty() &&
+             c.pending_wide.front().mark <= c.wr_written) {
+        if (flushed_ns == 0) flushed_ns = obs::wide::now_ns();
+        obs::wide::Event ev = std::move(c.pending_wide.front().ev);
+        c.pending_wide.pop_front();
+        ev.flushed_ns = flushed_ns;
+        if (!ev.trace.empty() && obs::recorder::armed()) {
+          obs::recorder::emit_flow(flow_label(), fnv1a64(ev.trace), 'f');
+        }
+        (void)sink->try_write(obs::wide::format_event(ev));
+      }
+    }
+
     if (c.woff == c.wbuf.size()) {
       c.wbuf.clear();
       c.woff = 0;
@@ -445,7 +727,7 @@ struct EventLoop::Impl {
     if (!c.paused && c.backlog() > loop.cfg_.write_high_watermark) {
       c.paused = true;
       changed = true;
-      loop.backpressure_stalls_.fetch_add(1, std::memory_order_relaxed);
+      loop.backpressure_pauses_.fetch_add(1, std::memory_order_relaxed);
       backpressure_counter().add();
     } else if (c.paused && c.backlog() <= loop.cfg_.write_low_watermark) {
       c.paused = false;
@@ -467,14 +749,29 @@ struct EventLoop::Impl {
       std::lock_guard<std::mutex> lock(mailbox->m);
       items.swap(mailbox->items);
     }
+    const std::uint64_t slotted_ns =
+        (sink && !items.empty()) ? obs::wide::now_ns() : 0;
     for (auto& done : items) {
       const auto it = conns.find(done.conn);
       if (it == conns.end()) continue;  // died mid-request: drop
       Conn& c = *it->second;
       const std::uint64_t index = done.seq - c.base_seq;
       if (index >= c.slots.size()) continue;  // already abandoned
-      c.slots[index].done = true;
-      c.slots[index].line = std::move(done.line);
+      Slot& slot = c.slots[index];
+      slot.done = true;
+      slot.line = std::move(done.line);
+      if (slot.wide) {
+        slot.ev.ok = done.ok;
+        slot.ev.cached = done.cached;
+        if (!done.ok) {
+          slot.ev.code = std::string(error_code_name(done.code));
+        }
+        slot.ev.batch = done.telem.batch_size;
+        slot.ev.admitted_ns = done.telem.admitted_ns;
+        slot.ev.batched_ns = done.telem.batched_ns;
+        slot.ev.solved_ns = done.telem.solved_ns;
+        slot.ev.slotted_ns = slotted_ns;
+      }
       if (index == 0) flush(c);
     }
   }
@@ -515,9 +812,17 @@ struct EventLoop::Impl {
 
   void run() {
     epoll_event events[64];
+    const double interval = loop.cfg_.stats_interval_s;
+    auto next_tick = Clock::now();
     for (;;) {
       if (loop.stop_requested_.load(std::memory_order_relaxed)) begin_drain();
       if (drained()) break;
+      if (interval > 0.0 && Clock::now() >= next_tick) {
+        tick();
+        next_tick = Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(interval));
+      }
       int timeout_ms = -1;
       if (draining) {
         const auto left = drain_deadline - Clock::now();
@@ -525,6 +830,14 @@ struct EventLoop::Impl {
             std::chrono::duration_cast<std::chrono::milliseconds>(left)
                 .count();
         timeout_ms = ms < 0 ? 0 : static_cast<int>(ms) + 1;
+      }
+      if (interval > 0.0) {
+        const auto left = next_tick - Clock::now();
+        const auto ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(left)
+                .count();
+        const int tick_ms = ms < 0 ? 0 : static_cast<int>(ms) + 1;
+        if (timeout_ms < 0 || tick_ms < timeout_ms) timeout_ms = tick_ms;
       }
       const int n = ::epoll_wait(epoll_fd, events, 64, timeout_ms);
       if (n < 0) {
@@ -560,6 +873,7 @@ struct EventLoop::Impl {
         if (ev & EPOLLIN) on_readable(c);
       }
     }
+    if (interval > 0.0) tick();  // final sample so short runs still dump prom
   }
 };
 
@@ -573,6 +887,8 @@ EventLoop::EventLoop(PlannerService& service, EventLoopConfig cfg)
     cfg_.write_low_watermark = cfg_.write_high_watermark / 2;
   }
   try {
+    impl_->sink = obs::wide::Sink::open(
+        obs::wide::SinkConfig{cfg_.access_log, cfg_.access_log_capacity});
     impl_->setup(cfg_.port);
   } catch (...) {
     impl_->teardown_io();
@@ -605,15 +921,24 @@ EventLoopCounters EventLoop::counters() const {
   EventLoopCounters c;
   c.accepted = accepted_.load(std::memory_order_relaxed);
   c.closed = closed_.load(std::memory_order_relaxed);
+  c.open = c.accepted - c.closed;
   c.overload_rejects = overload_rejects_.load(std::memory_order_relaxed);
   c.framing_errors = framing_errors_.load(std::memory_order_relaxed);
-  c.backpressure_stalls =
-      backpressure_stalls_.load(std::memory_order_relaxed);
+  c.backpressure_pauses =
+      backpressure_pauses_.load(std::memory_order_relaxed);
   c.requests = requests_.load(std::memory_order_relaxed);
   c.responses = responses_.load(std::memory_order_relaxed);
   c.bytes_in = bytes_in_.load(std::memory_order_relaxed);
   c.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  if (impl_ && impl_->sink) {
+    c.wide_written = impl_->sink->written();
+    c.wide_dropped = impl_->sink->dropped();
+  }
   return c;
+}
+
+obs::wide::Sink* EventLoop::wide_sink() noexcept {
+  return impl_ ? impl_->sink.get() : nullptr;
 }
 
 }  // namespace sre::srv
@@ -633,6 +958,7 @@ EventLoop::~EventLoop() = default;
 void EventLoop::run() {}
 void EventLoop::request_stop() noexcept {}
 EventLoopCounters EventLoop::counters() const { return {}; }
+obs::wide::Sink* EventLoop::wide_sink() noexcept { return nullptr; }
 
 }  // namespace sre::srv
 

@@ -28,16 +28,35 @@
 // request_stop() (SIGTERM in sre_serve) both drain: stop accepting, stop
 // reading, flush every pending response within the drain budget, exit.
 //
+// Telemetry (COOKBOOK recipe 21): every request, error, and oversized line
+// carries a wide-event draft through its response slot — stamped at
+// accepted/framed on the loop thread, at admitted/batched/solved by the
+// service (PlanTelemetry), at slotted when the completion lands, and at
+// flushed once the last response byte clears the socket — then emitted as
+// one NDJSON line to the bounded obs::wide::Sink named by
+// `EventLoopConfig::access_log`. `{"stats":true}` is answered inline by
+// the loop thread with format_server_stats(): loop counters, per-connection
+// state, and rate-over-window figures from a periodic SnapshotRing; the
+// same tick dumps the metrics registry to `prom_path` in Prometheus text
+// format. Under obs-off builds the sink never opens, so the access log is
+// compiled out while counters and the stats verb stay exact.
+//
 // Observability: srv.conn.* counters (accepted, closed, overload_rejects,
-// framing_errors, backpressure_stalls) and the srv.conn.active gauge,
+// framing_errors, backpressure_pauses) and the srv.conn.open gauge,
 // mirrored in plain atomics (EventLoopCounters) so BENCH_serve_c10k.json
 // stays exact under obs-off builds.
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "srv/service.hpp"
+
+namespace sre::obs::wide {
+class Sink;
+}  // namespace sre::obs::wide
 
 namespace sre::srv {
 
@@ -49,26 +68,69 @@ struct EventLoopConfig {
   std::size_t write_high_watermark = 1 << 20;  ///< pause reads above
   std::size_t write_low_watermark = 1 << 18;   ///< resume reads below
   double drain_timeout_s = 5.0;  ///< shutdown drain budget (seconds)
+  std::string access_log;        ///< wide-event NDJSON path; empty = off
+  std::size_t access_log_capacity = 16384;  ///< sink queue bound (see drops)
+  std::string prom_path;         ///< Prometheus text dump path; empty = off
+  double stats_interval_s = 1.0;  ///< snapshot/prom tick period; <=0 = off
 };
 
 /// Monotonic loop totals (plain atomics; exact in every build).
 struct EventLoopCounters {
+  std::uint64_t open = 0;  ///< currently-open connections (accepted - closed)
   std::uint64_t accepted = 0;
   std::uint64_t closed = 0;
   std::uint64_t overload_rejects = 0;  ///< shed at accept (conn/fd limits)
   std::uint64_t framing_errors = 0;    ///< oversized lines, typed response
-  std::uint64_t backpressure_stalls = 0;  ///< reads paused on a slow writer
+  std::uint64_t backpressure_pauses = 0;  ///< reads paused on a slow writer
   std::uint64_t requests = 0;   ///< complete lines handed to the protocol
   std::uint64_t responses = 0;  ///< response lines fully written
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
+  std::uint64_t wide_written = 0;  ///< access-log lines flushed to disk
+  std::uint64_t wide_dropped = 0;  ///< access-log lines shed at capacity
 };
+
+/// Per-connection state as reported by the {"stats":true} verb.
+struct ConnSnapshot {
+  std::uint64_t id = 0;
+  int fd = -1;
+  std::size_t queued = 0;    ///< response slots pending (done or not)
+  std::size_t inflight = 0;  ///< slots still waiting on a worker
+  bool paused = false;       ///< reads off: write backlog past watermark
+  std::size_t backlog = 0;   ///< write-buffer bytes not yet on the wire
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+/// Everything the {"stats":true} verb reports, gathered on the loop thread
+/// (connection state is only coherent there). format_server_stats() is a
+/// pure serializer over this struct so tests can pin the exact bytes
+/// without a socket.
+struct ServerStatsSnapshot {
+  EventLoopCounters loop;
+  double window_seconds = 0.0;  ///< rate window span; 0 = no window yet
+  double requests_per_sec = 0.0;
+  double responses_per_sec = 0.0;
+  double bytes_in_per_sec = 0.0;
+  double bytes_out_per_sec = 0.0;
+  std::vector<ConnSnapshot> conns;  ///< sorted by connection id
+  std::string service_stats_json;   ///< PlannerService::stats_json() bytes
+};
+
+/// Byte-stable JSON for the {"stats":true} verb:
+///   {"ok":true,"loop":{...},"wide":{...},"rates":{...},
+///    "conns":[{...},...],"service":<stats_json>}
+/// Fixed field order, doubles via obs::format_double — two identical
+/// snapshots serialize identically.
+[[nodiscard]] std::string format_server_stats(
+    const ServerStatsSnapshot& snapshot);
 
 class EventLoop {
  public:
   /// Binds 127.0.0.1:port and prepares the epoll set; throws
   /// std::runtime_error when the socket cannot be set up (port in use,
-  /// unsupported platform). The service must outlive the loop.
+  /// unsupported platform) or the access log cannot be created. The
+  /// service must outlive the loop.
   EventLoop(PlannerService& service, EventLoopConfig cfg = {});
   ~EventLoop();
 
@@ -92,6 +154,11 @@ class EventLoop {
     return cfg_;
   }
 
+  /// The access-log sink, or nullptr when none is configured (or under
+  /// obs-off builds). Test seam: Sink::set_paused simulates a stalled disk
+  /// so the drop accounting is observable. Valid for the loop's lifetime.
+  [[nodiscard]] obs::wide::Sink* wide_sink() noexcept;
+
  private:
   struct Impl;
   friend struct Impl;
@@ -107,7 +174,7 @@ class EventLoop {
   std::atomic<std::uint64_t> closed_{0};
   std::atomic<std::uint64_t> overload_rejects_{0};
   std::atomic<std::uint64_t> framing_errors_{0};
-  std::atomic<std::uint64_t> backpressure_stalls_{0};
+  std::atomic<std::uint64_t> backpressure_pauses_{0};
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> responses_{0};
   std::atomic<std::uint64_t> bytes_in_{0};

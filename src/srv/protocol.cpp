@@ -111,6 +111,10 @@ PlanRequest build_request(const Value& root, std::string* id_out) {
     if (nc->kind != Value::Kind::kBool) bad("'no_cache' must be a boolean");
     req.no_cache = nc->boolean;
   }
+  if (const Value* trace = root.find("trace")) {
+    if (!trace->is_string()) bad("field 'trace' must be a string");
+    req.trace = trace->string;
+  }
   return req;
 }
 
@@ -163,6 +167,15 @@ ClassifiedLine classify_line(std::string_view line) {
       }
       bad("unknown command '" + cmd->string + "'");
     }
+    // {"stats":true} with no "dist" is the live-introspection verb; a plan
+    // request carrying a stray "stats" field stays a plan request.
+    if (const Value* stats = parsed.value.find("stats")) {
+      if (stats->kind == Value::Kind::kBool && stats->boolean &&
+          parsed.value.find("dist") == nullptr) {
+        out.kind = ClassifiedLine::Kind::kServerStats;
+        return out;
+      }
+    }
     out.request = build_request(parsed.value, &id);
     out.kind = ClassifiedLine::Kind::kRequest;
   } catch (const ScenarioError& e) {
@@ -172,6 +185,8 @@ ClassifiedLine classify_line(std::string_view line) {
     resp.retryable = is_retryable(e.code());
     resp.message = e.what();
     out.kind = ClassifiedLine::Kind::kError;
+    out.error_code = e.code();
+    out.id = id;
     out.response = format_response(id, resp);
   }
   return out;
@@ -183,6 +198,12 @@ LineOutcome handle_line(PlannerService& service, std::string_view line) {
   switch (c.kind) {
     case ClassifiedLine::Kind::kStats:
       outcome.line = service.stats_json();
+      break;
+    case ClassifiedLine::Kind::kServerStats:
+      // No event loop on the stdio transport: loop state is null, the
+      // service block is the same byte-stable stats JSON.
+      outcome.line = "{\"ok\":true,\"loop\":null,\"service\":" +
+                     service.stats_json() + "}";
       break;
     case ClassifiedLine::Kind::kShutdown:
       outcome.line = std::move(c.response);

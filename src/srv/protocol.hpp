@@ -12,10 +12,15 @@
 //
 // `dist` is either a CLI-style spec string (bare Table 1 labels work) or an
 // object {"name":...,"params":{...}}. `cost` may be replaced by top-level
-// "alpha"/"beta"/"gamma". Unknown fields are ignored, so clients can tag
-// requests freely. Control lines: {"cmd":"stats"} returns the service's
-// byte-stable stats JSON; {"cmd":"shutdown"} acknowledges and sets
-// `shutdown` so the transport loop can exit.
+// "alpha"/"beta"/"gamma". An optional string "trace" carries opaque trace
+// context into the access log and flight recorder (COOKBOOK 21). Unknown
+// fields are ignored, so clients can tag requests freely. Control lines:
+// {"cmd":"stats"} returns the service's byte-stable stats JSON;
+// {"cmd":"shutdown"} acknowledges and sets `shutdown` so the transport
+// loop can exit; {"stats":true} is the live-introspection verb — the event
+// loop answers it inline with format_server_stats() (loop counters,
+// per-connection state, rate window), while the stdio transport, having no
+// loop, answers {"ok":true,"loop":null,"service":<stats_json>}.
 //
 // Response lines:
 //   {"id":"q1","ok":true,"cached":false,"result":{...}}
@@ -30,6 +35,7 @@
 
 #include "srv/request.hpp"
 #include "srv/service.hpp"
+#include "stats/error.hpp"
 
 namespace sre::srv {
 
@@ -46,12 +52,19 @@ struct ClassifiedLine {
   enum class Kind {
     kRequest,   ///< `request` holds the parsed PlanRequest (not yet prepared)
     kStats,     ///< {"cmd":"stats"}: respond with service.stats_json()
+    kServerStats,  ///< {"stats":true}: live introspection, answered by the
+                   ///< transport (event loop: format_server_stats)
     kShutdown,  ///< {"cmd":"shutdown"}: `response` ready, then drain
     kError,     ///< malformed line: `response` is the typed error line
   };
   Kind kind = Kind::kError;
   PlanRequest request;
   std::string response;
+  /// For kError: the typed class behind `response` (access-log code field).
+  ErrorCode error_code = ErrorCode::kDomainError;
+  /// For kError: whatever id was recoverable from the line (echoed in
+  /// `response`), so the access log can still join the request.
+  std::string id;
 };
 
 /// Parses and classifies one line. Never throws — malformed input becomes

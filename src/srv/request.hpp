@@ -45,6 +45,11 @@ struct PlanRequest {
   double deadline_ms = 0.0;             ///< per-request deadline; 0 = none
   int attempt = 0;    ///< client retry counter (drives fault injection)
   bool no_cache = false;  ///< bypass the cache *read* (result still stored)
+  /// Opaque trace context, threaded through submit() into the wide-event
+  /// access log and the flight recorder as Chrome Trace flow events
+  /// (COOKBOOK 21). Never part of the cache key: two requests differing
+  /// only in `trace` are the same query.
+  std::string trace;
 };
 
 /// A validated, executable request.

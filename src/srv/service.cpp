@@ -8,8 +8,10 @@
 #include "core/omniscient.hpp"
 #include "obs/metrics.hpp"
 #include "obs/minijson.hpp"
+#include "obs/recorder.hpp"
 #include "obs/report.hpp"
 #include "obs/span.hpp"
+#include "obs/wide.hpp"
 #include "sim/cancel.hpp"
 
 namespace sre::srv {
@@ -91,6 +93,8 @@ struct PlannerService::Waiter {
   ResponseCallback callback;  ///< set = async waiter
   Clock::time_point start{};
   bool counted_in_flight = false;
+  std::uint64_t admitted_ns = 0;  ///< obs::wide clock stamp at admission
+  std::string trace;              ///< request trace context (flow events)
 };
 
 /// One queued solve. Members join under the service mutex while the batch is
@@ -302,6 +306,11 @@ void PlannerService::submit(const PlanRequest& req, ResponseCallback done) {
 
   PlanResponse resp;
   const auto deliver_inline = [&](PlanResponse r) {
+    // Inline outcome: one stamp in every slot, so queue/solve read as zero.
+    const std::uint64_t now = obs::wide::now_ns();
+    r.telem.admitted_ns = now;
+    r.telem.batched_ns = now;
+    r.telem.solved_ns = now;
     account(r, start);
     done(std::move(r));
   };
@@ -336,6 +345,8 @@ void PlannerService::submit(const PlanRequest& req, ResponseCallback done) {
   waiter->deadline = deadline;
   waiter->start = start;
   waiter->callback = std::move(done);
+  waiter->admitted_ns = obs::wide::now_ns();
+  waiter->trace = prep.req.trace;
   bool queued = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -355,6 +366,10 @@ void PlannerService::submit(const PlanRequest& req, ResponseCallback done) {
   if (!queued) {
     // Reclaim the callback: the waiter never entered a batch.
     ResponseCallback cb = std::move(waiter->callback);
+    const std::uint64_t now = obs::wide::now_ns();
+    resp.telem.admitted_ns = now;
+    resp.telem.batched_ns = now;
+    resp.telem.solved_ns = now;
     account(resp, start);
     cb(std::move(resp));
   }
@@ -399,6 +414,8 @@ void PlannerService::fulfill(const std::shared_ptr<Waiter>& waiter,
     }
     cb = std::move(waiter->callback);
     delivered = resp;
+    // Batch-shared stamps came with resp; admission is per member.
+    delivered.telem.admitted_ns = waiter->admitted_ns;
   }
   // Blocking waiters compose their own kTimeout the instant the deadline
   // passes; async waiters mirror that at delivery so both paths serve the
@@ -475,6 +492,7 @@ void PlannerService::worker_loop() {
 void PlannerService::execute_batch(const std::shared_ptr<Batch>& batch) {
   static obs::SpanStats& solve_series = obs::span_series("srv.solve");
   obs::Span span(solve_series);
+  const std::uint64_t batched_ns = obs::wide::now_ns();
   solves_.fetch_add(1, std::memory_order_relaxed);
   solve_counter().add();
 
@@ -515,6 +533,20 @@ void PlannerService::execute_batch(const std::shared_ptr<Batch>& batch) {
     reject(resp, e.code(), e.what());
   } catch (const std::exception& e) {
     reject(resp, ErrorCode::kDomainError, e.what());
+  }
+  resp.telem.batched_ns = batched_ns;
+  resp.telem.solved_ns = obs::wide::now_ns();
+  resp.telem.batch_size = static_cast<std::uint32_t>(batch->members.size());
+  if (obs::recorder::armed()) {
+    // Flow step on the worker thread: ties the solve into each traced
+    // member's loop-thread start/finish arrows (COOKBOOK 21).
+    static const std::uint32_t flow_label =
+        obs::recorder::intern_label("srv.flow");
+    for (const auto& w : batch->members) {
+      if (!w->trace.empty()) {
+        obs::recorder::emit_flow(flow_label, fnv1a64(w->trace), 't');
+      }
+    }
   }
   for (const auto& w : batch->members) fulfill(w, resp);
 }

@@ -61,6 +61,20 @@ struct ServiceConfig {
   static ServiceConfig from_env();
 };
 
+/// Request-lifecycle stamps recorded by the service on the obs::wide clock
+/// (injectable; see src/obs/wide.hpp). Inline outcomes — validation
+/// failures, cache hits, admission sheds — carry one stamp in all three
+/// slots, so the derived queue/solve components are zero. NEVER serialized:
+/// format_response ignores it, which is what keeps cache-hit byte identity
+/// and the replay phase intact; the event loop copies it into the request's
+/// wide event instead.
+struct PlanTelemetry {
+  std::uint64_t admitted_ns = 0;  ///< admission decision (or inline outcome)
+  std::uint64_t batched_ns = 0;   ///< a worker dequeued the request's batch
+  std::uint64_t solved_ns = 0;    ///< solve finished (== batched_ns inline)
+  std::uint32_t batch_size = 0;   ///< members fulfilled by the same solve
+};
+
 /// One response. On success `result` holds the serialized result fragment
 /// (identical bytes for a hit and the cold solve of the same key); on
 /// failure `code`/`retryable`/`message` carry the typed rejection.
@@ -71,6 +85,7 @@ struct PlanResponse {
   bool retryable = false;
   std::string message;
   std::string result;
+  PlanTelemetry telem;  ///< lifecycle stamps; not part of the wire bytes
 };
 
 /// Monotonic service totals (plain atomics; exact in every build).

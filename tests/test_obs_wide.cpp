@@ -1,0 +1,242 @@
+// obs::wide — the wide-event access-log layer behind srv::EventLoop
+// telemetry (COOKBOOK recipe 21): the injectable clock seam, the
+// byte-stable format_event schema (a contract — see CONTRIBUTING
+// "Extending the wide-event schema"), the bounded non-blocking Sink with
+// its drop accounting, the SnapshotRing behind the rate window, and the
+// Prometheus text exposition. The Sink tests gate on obs::compiled_in()
+// because open() returns nullptr under STOCHRES_OBS_DISABLE by design;
+// clock, formatting, and SnapshotRing run in every configuration.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/wide.hpp"
+
+namespace wide = sre::obs::wide;
+
+namespace {
+
+std::atomic<std::uint64_t> g_ticks{0};
+
+std::uint64_t fake_clock() {
+  return g_ticks.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+/// Installs the counter clock for a scope; always restores the steady
+/// default so later tests (and other binaries' assumptions) see real time.
+struct ScopedClock {
+  ScopedClock() {
+    g_ticks.store(0, std::memory_order_relaxed);
+    wide::set_clock(&fake_clock);
+  }
+  ~ScopedClock() { wide::set_clock(nullptr); }
+};
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string temp_path(const char* tag) {
+  return testing::TempDir() + "wide_" + tag + ".jsonl";
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- clock
+
+TEST(ObsWideClock, InjectedClockIsDeterministicAndRestorable) {
+  {
+    ScopedClock clock;
+    EXPECT_EQ(wide::now_ns(), 1u);
+    EXPECT_EQ(wide::now_ns(), 2u);
+    EXPECT_EQ(wide::now_ns(), 3u);
+  }
+  // Back on the steady clock: monotone and nowhere near the tiny counter.
+  const auto a = wide::now_ns();
+  const auto b = wide::now_ns();
+  EXPECT_LE(a, b);
+  EXPECT_GT(a, 1000u);
+}
+
+// ------------------------------------------------------------ format_event
+
+TEST(ObsWideFormat, SuccessEventPinsTheExactBytes) {
+  wide::Event e;
+  e.id = "q1";
+  e.peer = "127.0.0.1:4242";
+  e.conn = 7;
+  e.ok = true;
+  e.cached = false;
+  e.batch = 3;
+  e.bytes_in = 120;
+  e.bytes_out = 480;
+  e.accepted_ns = 100;
+  e.framed_ns = 110;
+  e.admitted_ns = 120;
+  e.batched_ns = 150;
+  e.solved_ns = 400;
+  e.slotted_ns = 410;
+  e.flushed_ns = 500;
+  EXPECT_EQ(wide::format_event(e),
+            "{\"ts\":500,\"id\":\"q1\",\"conn\":7,\"peer\":\"127.0.0.1:4242\","
+            "\"ok\":true,\"cached\":false,\"batch\":3,\"bytes_in\":120,"
+            "\"bytes_out\":480,\"queue_ns\":30,\"solve_ns\":250,"
+            "\"write_ns\":90,\"total_ns\":400,\"accepted_ns\":100,"
+            "\"framed_ns\":110,\"admitted_ns\":120,\"batched_ns\":150,"
+            "\"solved_ns\":400,\"slotted_ns\":410,\"flushed_ns\":500}");
+  // Identical input, identical bytes: the line is a schema, not a printf.
+  EXPECT_EQ(wide::format_event(e), wide::format_event(e));
+}
+
+TEST(ObsWideFormat, ErrorEventCarriesTraceAndCode) {
+  wide::Event e;
+  e.id = "bad";
+  e.peer = "127.0.0.1:1";
+  e.trace = "trace-\"x\"";  // escaping goes through minijson::escape
+  e.conn = 1;
+  e.ok = false;
+  e.code = "domain_error";
+  e.accepted_ns = 10;
+  e.framed_ns = 10;
+  e.admitted_ns = 10;
+  e.batched_ns = 10;
+  e.solved_ns = 10;
+  e.slotted_ns = 10;
+  e.flushed_ns = 12;
+  const std::string line = wide::format_event(e);
+  EXPECT_NE(line.find("\"trace\":\"trace-\\\"x\\\"\",\"ok\":false,"
+                      "\"code\":\"domain_error\""),
+            std::string::npos)
+      << line;
+  // Inline error: queue/solve components collapse to zero, write+total tick.
+  EXPECT_NE(line.find("\"queue_ns\":0,\"solve_ns\":0,\"write_ns\":2,"
+                      "\"total_ns\":2"),
+            std::string::npos)
+      << line;
+}
+
+TEST(ObsWideFormat, ComponentsSaturateAtZeroOnBackwardStamps) {
+  wide::Event e;
+  e.accepted_ns = 900;  // "after" every later stage: total must clamp
+  e.admitted_ns = 500;
+  e.batched_ns = 400;  // before admitted: queue clamps
+  e.solved_ns = 300;   // before batched: solve clamps
+  e.slotted_ns = 800;
+  e.flushed_ns = 700;  // before slotted: write clamps
+  const std::string line = wide::format_event(e);
+  EXPECT_NE(line.find("\"queue_ns\":0,\"solve_ns\":0,\"write_ns\":0,"
+                      "\"total_ns\":0"),
+            std::string::npos)
+      << line;
+}
+
+// -------------------------------------------------------------------- Sink
+
+TEST(ObsWideSink, EmptyPathMeansNoSink) {
+  EXPECT_EQ(wide::Sink::open(wide::SinkConfig{}), nullptr);
+}
+
+TEST(ObsWideSink, DrainsEveryAcceptedLineToTheFileInOrder) {
+  if (!sre::obs::compiled_in()) {
+    GTEST_SKIP() << "the access log does not exist under obs-off";
+  }
+  const std::string path = temp_path("drain");
+  {
+    auto sink = wide::Sink::open({path, 1024});
+    ASSERT_NE(sink, nullptr);
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_TRUE(sink->try_write("{\"i\":" + std::to_string(i) + "}"));
+    }
+    EXPECT_EQ(sink->accepted(), 100u);
+    EXPECT_EQ(sink->dropped(), 0u);
+  }  // destructor drains and joins the flusher
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(lines[static_cast<std::size_t>(i)],
+              "{\"i\":" + std::to_string(i) + "}");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ObsWideSink, StalledFlusherDropsAtCapacityAndCountsEveryLoss) {
+  if (!sre::obs::compiled_in()) {
+    GTEST_SKIP() << "the access log does not exist under obs-off";
+  }
+  const std::string path = temp_path("stall");
+  const auto dropped_before =
+      sre::obs::counter("obs.wide.dropped").value();
+  {
+    auto sink = wide::Sink::open({path, 4});
+    ASSERT_NE(sink, nullptr);
+    sink->set_paused(true);  // the "disk" stalls
+    int accepted = 0, rejected = 0;
+    for (int i = 0; i < 10; ++i) {
+      (sink->try_write("line") ? accepted : rejected)++;
+    }
+    // try_write never blocked: 4 queued, 6 shed, all accounted.
+    EXPECT_EQ(accepted, 4);
+    EXPECT_EQ(rejected, 6);
+    EXPECT_EQ(sink->accepted(), 4u);
+    EXPECT_EQ(sink->dropped(), 6u);
+    EXPECT_EQ(sre::obs::counter("obs.wide.dropped").value(),
+              dropped_before + 6);
+  }  // destruction drains despite the pause — queued lines are never lost
+  EXPECT_EQ(read_lines(path).size(), 4u);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------ SnapshotRing
+
+TEST(ObsWideRing, KeepsTheNewestCapacityAndThrowsWhenEmpty) {
+  wide::SnapshotRing ring(3);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_THROW((void)ring.oldest(), std::out_of_range);
+  EXPECT_THROW((void)ring.newest(), std::out_of_range);
+
+  for (std::uint64_t t = 1; t <= 5; ++t) {
+    ring.push({t, t * 10, t * 10, t * 100, t * 100});
+  }
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.oldest().t_ns, 3u);  // 1 and 2 were overwritten
+  EXPECT_EQ(ring.newest().t_ns, 5u);
+  EXPECT_EQ(ring.newest().requests, 50u);
+}
+
+TEST(ObsWideRing, SingleSnapshotIsBothEnds) {
+  wide::SnapshotRing ring;
+  ring.push({42, 1, 1, 1, 1});
+  EXPECT_EQ(ring.oldest().t_ns, 42u);
+  EXPECT_EQ(ring.newest().t_ns, 42u);
+}
+
+// --------------------------------------------------------- prometheus_text
+
+TEST(ObsWideProm, RendersRegisteredInstrumentsUnderSrePrefix) {
+  const std::string text = wide::prometheus_text();
+  EXPECT_EQ(text.rfind("# sre metrics registry", 0), 0u) << text;
+  if (!sre::obs::compiled_in()) {
+    return;  // obs-off: header only is the whole contract
+  }
+  sre::obs::counter("widetest.prom.hits").add(3);
+  const std::string after = wide::prometheus_text();
+  EXPECT_NE(after.find("# TYPE sre_widetest_prom_hits counter\n"
+                       "sre_widetest_prom_hits 3\n"),
+            std::string::npos)
+      << after;
+  // Deterministic for a fixed registry: two renders, identical bytes.
+  EXPECT_EQ(after, wide::prometheus_text());
+}

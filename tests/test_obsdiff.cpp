@@ -234,6 +234,61 @@ TEST(ObsDiffCompare, IgnoreRuleDropsKeyEntirely) {
   EXPECT_EQ(result.keys_compared, kBaseline.size() - 1);
 }
 
+// ------------------------------------------------------- drop-counter class
+
+TEST(ObsDiffClassify, DropLikeKeysAreRecognized) {
+  EXPECT_TRUE(od::is_drop_like("counters.obs.wide.dropped"));
+  EXPECT_TRUE(od::is_drop_like("wide.dropped"));
+  EXPECT_TRUE(od::is_drop_like("dropped"));
+  EXPECT_TRUE(od::is_drop_like("conn.drops"));
+  EXPECT_TRUE(od::is_drop_like("lines_dropped"));
+  EXPECT_TRUE(od::is_drop_like("ring_drops"));
+  EXPECT_FALSE(od::is_drop_like("wide.written"));
+  EXPECT_FALSE(od::is_drop_like("dropped_total"));  // suffix, not the metric
+  EXPECT_FALSE(od::is_drop_like("backdropped"));
+  EXPECT_FALSE(od::is_drop_like("drop_rate"));
+}
+
+TEST(ObsDiffCompare, DropCountersAutoIgnoredByDefault) {
+  // Log-drop counters grow with transient backpressure, not the workload:
+  // drift in them must not gate CI unless explicitly asked for.
+  auto baseline = kBaseline;
+  baseline["wide.dropped"] = 0.0;
+  auto current = baseline;
+  current["wide.dropped"] = 57.0;
+  const auto result = od::compare(baseline, current, od::Options{});
+  EXPECT_TRUE(result.ok()) << od::describe(result);
+  EXPECT_EQ(result.keys_compared, kBaseline.size());  // skipped, not compared
+  bool noted = false;
+  for (const auto& note : result.notes) {
+    noted = noted ||
+            note.find("ignored (drop counter): wide.dropped") != std::string::npos;
+  }
+  EXPECT_TRUE(noted) << od::describe(result);
+}
+
+TEST(ObsDiffCompare, StrictDropsGatesDropCounters) {
+  auto baseline = kBaseline;
+  baseline["wide.dropped"] = 0.0;
+  auto current = baseline;
+  current["wide.dropped"] = 57.0;
+  od::Options opts;
+  opts.ignore_drop_counters = false;  // obsdiff --strict-drops
+  const auto result = od::compare(baseline, current, opts);
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations[0].key, "wide.dropped");
+}
+
+TEST(ObsDiffCompare, ExplicitRuleBeatsDropAutoIgnore) {
+  auto baseline = kBaseline;
+  baseline["wide.dropped"] = 0.0;
+  auto current = baseline;
+  current["wide.dropped"] = 57.0;
+  od::Options opts;  // ignore_drop_counters stays true
+  opts.rules.push_back({"wide.dropped", 0.0});  // pin it exactly anyway
+  EXPECT_FALSE(od::compare(baseline, current, opts).ok());
+}
+
 TEST(ObsDiffCompare, NonFiniteMismatchIsARegression) {
   std::map<std::string, double> baseline = {{"gauges.rate", 2.0}};
   std::map<std::string, double> current = {

@@ -60,6 +60,15 @@ TEST(Protocol, UnknownFieldsAreIgnored) {
   EXPECT_EQ(req.dist_spec, "exponential");
 }
 
+TEST(Protocol, TraceFieldThreadsThroughAsOpaqueContext) {
+  const auto req = parse_request_line(
+      R"({"id":"t1","dist":"exponential","trace":"req-77/span-3"})");
+  EXPECT_EQ(req.trace, "req-77/span-3");
+  EXPECT_TRUE(parse_request_line(R"({"dist":"exponential"})").trace.empty());
+  EXPECT_THROW((void)parse_request_line(R"({"dist":"exponential","trace":5})"),
+               sre::ScenarioError);
+}
+
 TEST(Protocol, MalformedJsonThrowsDomainError) {
   try {
     (void)parse_request_line("{not json");
@@ -135,6 +144,38 @@ TEST(Protocol, StatsCommandReturnsServiceStats) {
   const auto parsed = sre::obs::minijson::parse(outcome.line);
   ASSERT_TRUE(parsed.ok);
   EXPECT_DOUBLE_EQ(parsed.value.find("requests")->number, 1.0);
+}
+
+TEST(Protocol, StatsVerbClassifiesAndAnswersWithNullLoopOnStdio) {
+  using sre::srv::ClassifiedLine;
+  // {"stats":true} with no "dist" is live introspection...
+  EXPECT_EQ(sre::srv::classify_line(R"({"stats":true})").kind,
+            ClassifiedLine::Kind::kServerStats);
+  // ...but a plan request carrying a stray "stats" field stays a request,
+  // and {"stats":false} is just an id-less malformed request.
+  EXPECT_EQ(sre::srv::classify_line(
+                R"({"dist":"exponential","stats":true})")
+                .kind,
+            ClassifiedLine::Kind::kRequest);
+  EXPECT_EQ(sre::srv::classify_line(R"({"stats":false})").kind,
+            ClassifiedLine::Kind::kError);
+
+  // The stdio transport has no event loop: loop is null, service is the
+  // same byte-stable stats JSON the {"cmd":"stats"} command returns.
+  PlannerService service(ServiceConfig{});
+  const auto outcome = handle_line(service, R"({"stats":true})");
+  EXPECT_FALSE(outcome.shutdown);
+  EXPECT_EQ(outcome.line,
+            "{\"ok\":true,\"loop\":null,\"service\":" + service.stats_json() +
+                "}");
+}
+
+TEST(Protocol, ClassifiedErrorsCarryCodeAndRecoveredId) {
+  const auto c = sre::srv::classify_line(R"({"id":"e1","dist":12})");
+  EXPECT_EQ(c.kind, sre::srv::ClassifiedLine::Kind::kError);
+  EXPECT_EQ(c.error_code, sre::ErrorCode::kDomainError);
+  EXPECT_EQ(c.id, "e1");  // recovered before the parse failed: log-joinable
+  EXPECT_NE(c.response.find("\"id\":\"e1\""), std::string::npos);
 }
 
 TEST(Protocol, ShutdownCommandSetsFlag) {

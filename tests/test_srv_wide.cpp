@@ -1,0 +1,505 @@
+// End-to-end telemetry for srv::EventLoop (COOKBOOK recipe 21): the
+// byte-stable format_server_stats() serializer, the {"stats":true} verb
+// answered inline by the loop thread, the one-wide-event-per-request
+// invariant under a concurrent client harness with an injected
+// deterministic clock (success, typed-error, and cache-hit paths), drop
+// accounting when the access-log sink stalls, trace-context flow events in
+// the flight recorder, and the obs-off guarantee that the access log does
+// not exist. The serializer tests run everywhere; the socket tests are
+// Linux-only like srv::EventLoop itself.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/minijson.hpp"
+#include "srv/eventloop.hpp"
+
+namespace {
+
+using sre::srv::ConnSnapshot;
+using sre::srv::ServerStatsSnapshot;
+
+// ------------------------------------------------- format_server_stats
+
+TEST(SrvWideStats, EmptySnapshotPinsTheExactBytes) {
+  const ServerStatsSnapshot snap;
+  EXPECT_EQ(sre::srv::format_server_stats(snap),
+            "{\"ok\":true,\"loop\":{\"open\":0,\"accepted\":0,\"closed\":0,"
+            "\"overload_rejects\":0,\"framing_errors\":0,"
+            "\"backpressure_pauses\":0,\"requests\":0,\"responses\":0,"
+            "\"bytes_in\":0,\"bytes_out\":0},"
+            "\"wide\":{\"written\":0,\"dropped\":0},"
+            "\"rates\":{\"window_seconds\":0,\"requests_per_sec\":0,"
+            "\"responses_per_sec\":0,\"bytes_in_per_sec\":0,"
+            "\"bytes_out_per_sec\":0},\"conns\":[],\"service\":null}");
+}
+
+TEST(SrvWideStats, PopulatedSnapshotIsByteStable) {
+  ServerStatsSnapshot snap;
+  snap.loop.open = 1;
+  snap.loop.accepted = 3;
+  snap.loop.closed = 2;
+  snap.loop.overload_rejects = 4;
+  snap.loop.framing_errors = 5;
+  snap.loop.backpressure_pauses = 6;
+  snap.loop.requests = 7;
+  snap.loop.responses = 8;
+  snap.loop.bytes_in = 9;
+  snap.loop.bytes_out = 10;
+  snap.loop.wide_written = 11;
+  snap.loop.wide_dropped = 12;
+  snap.window_seconds = 0.5;
+  snap.requests_per_sec = 2;
+  snap.responses_per_sec = 2;
+  snap.bytes_in_per_sec = 18;
+  snap.bytes_out_per_sec = 20;
+  snap.conns.push_back(ConnSnapshot{1, 9, 2, 1, true, 100, 9, 10});
+  snap.service_stats_json = "{\"requests\":7}";
+  const std::string expected =
+      "{\"ok\":true,\"loop\":{\"open\":1,\"accepted\":3,\"closed\":2,"
+      "\"overload_rejects\":4,\"framing_errors\":5,"
+      "\"backpressure_pauses\":6,\"requests\":7,\"responses\":8,"
+      "\"bytes_in\":9,\"bytes_out\":10},"
+      "\"wide\":{\"written\":11,\"dropped\":12},"
+      "\"rates\":{\"window_seconds\":0.5,\"requests_per_sec\":2,"
+      "\"responses_per_sec\":2,\"bytes_in_per_sec\":18,"
+      "\"bytes_out_per_sec\":20},"
+      "\"conns\":[{\"id\":1,\"fd\":9,\"queued\":2,\"inflight\":1,"
+      "\"paused\":true,\"backlog\":100,\"bytes_in\":9,\"bytes_out\":10}],"
+      "\"service\":{\"requests\":7}}";
+  EXPECT_EQ(sre::srv::format_server_stats(snap), expected);
+  // Identical snapshots serialize identically: it is a schema, not a dump.
+  EXPECT_EQ(sre::srv::format_server_stats(snap), expected);
+  // The verb's output must parse with our own reader.
+  const auto parsed = sre::obs::minijson::parse(expected);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_DOUBLE_EQ(parsed.value.find("loop")->find("requests")->number, 7.0);
+}
+
+}  // namespace
+
+#ifdef __linux__
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "obs/recorder.hpp"
+#include "obs/wide.hpp"
+#include "srv/protocol.hpp"
+#include "srv/service.hpp"
+
+namespace {
+
+using sre::srv::EventLoop;
+using sre::srv::EventLoopConfig;
+using sre::srv::PlannerService;
+using sre::srv::ServiceConfig;
+namespace mj = sre::obs::minijson;
+namespace wide = sre::obs::wide;
+
+// -- client plumbing (same shape as test_srv_eventloop.cpp) ------------------
+
+int connect_loopback(unsigned short port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  timeval tv{30, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  return fd;
+}
+
+bool send_all(int fd, std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+struct Client {
+  int fd = -1;
+  std::string buf;
+
+  explicit Client(unsigned short port) : fd(connect_loopback(port)) {}
+  ~Client() {
+    if (fd >= 0) ::close(fd);
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  [[nodiscard]] bool ok() const { return fd >= 0; }
+  bool send(std::string_view bytes) { return send_all(fd, bytes); }
+
+  bool read_line(std::string& out) {
+    for (;;) {
+      const auto nl = buf.find('\n');
+      if (nl != std::string::npos) {
+        out.assign(buf, 0, nl);
+        buf.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[65536];
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        buf.append(chunk, static_cast<std::size_t>(n));
+      } else if (n == 0) {
+        return false;
+      } else if (errno != EINTR) {
+        return false;
+      }
+    }
+  }
+};
+
+struct Harness {
+  PlannerService service;
+  EventLoop loop;
+  std::thread thread;
+
+  explicit Harness(ServiceConfig scfg = fast_config(),
+                   EventLoopConfig ecfg = {})
+      : service(scfg), loop(service, ecfg), thread([this] { loop.run(); }) {}
+
+  ~Harness() { stop(); }
+
+  void stop() {
+    loop.request_stop();
+    if (thread.joinable()) thread.join();
+  }
+
+  [[nodiscard]] unsigned short port() const { return loop.port(); }
+
+  static ServiceConfig fast_config() {
+    ServiceConfig cfg;
+    cfg.workers = 2;
+    cfg.queue_capacity = 65536;
+    return cfg;
+  }
+};
+
+std::string request_line(const std::string& id, int variant = 0) {
+  return "{\"id\":\"" + id + "\",\"dist\":\"exponential:lambda=" +
+         std::to_string(1 + (variant % 7)) +
+         "\",\"cost\":{\"alpha\":1,\"beta\":0,\"gamma\":0},"
+         "\"solver\":\"refined-dp\",\"n\":64}\n";
+}
+
+std::atomic<std::uint64_t> g_ticks{0};
+
+std::uint64_t fake_clock() {
+  return g_ticks.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+struct ScopedClock {
+  ScopedClock() {
+    g_ticks.store(0, std::memory_order_relaxed);
+    wide::set_clock(&fake_clock);
+  }
+  ~ScopedClock() { wide::set_clock(nullptr); }
+};
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string temp_path(const char* tag) {
+  return testing::TempDir() + "srv_wide_" + tag + ".jsonl";
+}
+
+double num(const mj::Value& v, const char* field) {
+  const auto* f = v.find(field);
+  EXPECT_NE(f, nullptr) << field;
+  return f != nullptr ? f->number : -1.0;
+}
+
+// -- tests -------------------------------------------------------------------
+
+TEST(SrvWideStats, StatsVerbIsAnsweredInlineAndParses) {
+  Harness h;
+  Client c(h.port());
+  ASSERT_TRUE(c.ok());
+  std::string line;
+  ASSERT_TRUE(c.send(request_line("warm", 1)));
+  ASSERT_TRUE(c.read_line(line));
+
+  ASSERT_TRUE(c.send("{\"stats\":true}\n"));
+  ASSERT_TRUE(c.read_line(line));
+  const auto parsed = mj::parse(line);
+  ASSERT_TRUE(parsed.ok) << parsed.error << " in " << line;
+  EXPECT_TRUE(parsed.value.find("ok")->boolean);
+  const auto* loop = parsed.value.find("loop");
+  ASSERT_NE(loop, nullptr);
+  // The stats line itself counts: warm + stats.
+  EXPECT_GE(num(*loop, "requests"), 2.0);
+  EXPECT_GE(num(*loop, "accepted"), 1.0);
+  EXPECT_DOUBLE_EQ(num(*loop, "open"), 1.0);  // this very connection
+  ASSERT_NE(parsed.value.find("wide"), nullptr);
+  const auto* conns = parsed.value.find("conns");
+  ASSERT_NE(conns, nullptr);
+  ASSERT_EQ(conns->array.size(), 1u);
+  EXPECT_GE(num(conns->array[0], "bytes_in"), 1.0);
+  // The service block is the planner's own stats document, not a copy of
+  // the loop's counters.
+  const auto* service = parsed.value.find("service");
+  ASSERT_NE(service, nullptr);
+  EXPECT_NE(service->find("requests"), nullptr);
+}
+
+TEST(SrvWideLog, EveryRequestEmitsExactlyOneSchemaValidEvent) {
+  if (!sre::obs::compiled_in()) {
+    GTEST_SKIP() << "the access log does not exist under obs-off";
+  }
+  constexpr int kClients = 64;
+  constexpr int kPerClient = 4;
+  const std::string path = temp_path("every");
+  {
+    ScopedClock clock;  // deterministic stamps for the component invariants
+    EventLoopConfig ecfg;
+    ecfg.access_log = path;
+    Harness h(Harness::fast_config(), ecfg);
+    ASSERT_NE(h.loop.wide_sink(), nullptr);
+
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        Client client(h.port());
+        if (!client.ok()) {
+          ++failures;
+          return;
+        }
+        std::string burst;
+        for (int j = 0; j < kPerClient; ++j) {
+          const std::string id = std::to_string(c) + "-" + std::to_string(j);
+          if (j == 2) {
+            // A typed error (dist must be a string or object): still one
+            // wide event, joinable by the recovered id.
+            burst += "{\"id\":\"" + id + "\",\"dist\":12}\n";
+          } else {
+            burst += request_line(id, c + j);
+          }
+        }
+        if (!client.send(burst)) {
+          ++failures;
+          return;
+        }
+        for (int j = 0; j < kPerClient; ++j) {
+          std::string line;
+          if (!client.read_line(line)) {
+            ++failures;
+            return;
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    ASSERT_EQ(failures.load(), 0);
+    h.stop();
+    EXPECT_EQ(h.loop.counters().wide_dropped, 0u);
+  }  // EventLoop destruction drains the sink: the log is complete
+
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(),
+            static_cast<std::size_t>(kClients) * kPerClient);
+  std::map<std::string, int> seen;
+  for (const auto& line : lines) {
+    const auto parsed = mj::parse(line);
+    ASSERT_TRUE(parsed.ok) << parsed.error << " in " << line;
+    const auto& e = parsed.value;
+    const std::string id = e.find("id")->string;
+    ++seen[id];
+    EXPECT_EQ(e.find("peer")->string.rfind("127.0.0.1:", 0), 0u) << line;
+    const bool ok = e.find("ok")->boolean;
+    const bool is_error = id.size() >= 2 && id.substr(id.size() - 2) == "-2";
+    EXPECT_EQ(ok, !is_error) << line;
+    if (is_error) {
+      EXPECT_EQ(e.find("code")->string, "domain_error") << line;
+    } else {
+      EXPECT_EQ(e.find("code"), nullptr) << line;
+    }
+    // Component identity under the injected clock: the derived parts never
+    // exceed the end-to-end total, and the raw stamps are monotone.
+    EXPECT_LE(num(e, "queue_ns") + num(e, "solve_ns") + num(e, "write_ns"),
+              num(e, "total_ns"))
+        << line;
+    const double stamps[] = {
+        num(e, "accepted_ns"), num(e, "framed_ns"),  num(e, "admitted_ns"),
+        num(e, "batched_ns"),  num(e, "solved_ns"),  num(e, "slotted_ns"),
+        num(e, "flushed_ns")};
+    for (int i = 1; i < 7; ++i) {
+      EXPECT_LE(stamps[i - 1], stamps[i]) << "stamp " << i << " in " << line;
+    }
+    EXPECT_GT(num(e, "bytes_in"), 0.0) << line;
+    EXPECT_GT(num(e, "bytes_out"), 0.0) << line;
+  }
+  // Exactly one event per request — no request unlogged, none double-logged.
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kClients) * kPerClient);
+  for (const auto& [id, count] : seen) {
+    EXPECT_EQ(count, 1) << id;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SrvWideLog, StalledSinkShedsWithExactDropAccounting) {
+  if (!sre::obs::compiled_in()) {
+    GTEST_SKIP() << "the access log does not exist under obs-off";
+  }
+  constexpr int kRequests = 12;
+  constexpr std::size_t kCapacity = 4;
+  const std::string path = temp_path("stall");
+  {
+    EventLoopConfig ecfg;
+    ecfg.access_log = path;
+    ecfg.access_log_capacity = kCapacity;
+    Harness h(Harness::fast_config(), ecfg);
+    wide::Sink* sink = h.loop.wide_sink();
+    ASSERT_NE(sink, nullptr);
+    sink->set_paused(true);  // the "disk" stalls; serving must not
+
+    Client c(h.port());
+    ASSERT_TRUE(c.ok());
+    std::string burst;
+    for (int i = 0; i < kRequests; ++i) {
+      burst += request_line(std::to_string(i), i);
+    }
+    ASSERT_TRUE(c.send(burst));
+    for (int i = 0; i < kRequests; ++i) {
+      std::string line;
+      ASSERT_TRUE(c.read_line(line)) << i;  // every response still arrives
+    }
+
+    // Emission trails the response bytes by one loop iteration: wait for
+    // the accounting to settle rather than sleeping blind.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (sink->accepted() + sink->dropped() <
+               static_cast<std::uint64_t>(kRequests) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // The queue held exactly kCapacity lines; the rest were shed, counted,
+    // and never blocked the loop.
+    EXPECT_EQ(sink->accepted(), kCapacity);
+    EXPECT_EQ(sink->dropped(), kRequests - kCapacity);
+    EXPECT_EQ(h.loop.counters().wide_dropped, kRequests - kCapacity);
+    sink->set_paused(false);
+  }  // destruction drains the surviving lines
+  EXPECT_EQ(read_lines(path).size(), kCapacity);
+  std::remove(path.c_str());
+}
+
+TEST(SrvWideLog, TraceContextBecomesFlowEventsAndLogFields) {
+  const std::string path = temp_path("trace");
+  sre::obs::recorder::start();
+  if (!sre::obs::recorder::armed()) {
+    GTEST_SKIP() << "flight recorder compiled out";
+  }
+  {
+    EventLoopConfig ecfg;
+    ecfg.access_log = path;
+    Harness h(Harness::fast_config(), ecfg);
+    Client c(h.port());
+    ASSERT_TRUE(c.ok());
+    ASSERT_TRUE(c.send(
+        "{\"id\":\"t1\",\"dist\":\"exponential:lambda=1\",\"alpha\":1,"
+        "\"solver\":\"refined-dp\",\"n\":64,\"no_cache\":true,"
+        "\"trace\":\"trace-abc\"}\n"));
+    std::string line;
+    ASSERT_TRUE(c.read_line(line));
+    EXPECT_NE(line.find("\"ok\":true"), std::string::npos);
+    h.stop();  // joins the loop thread: the 'f' flow event is published
+  }
+  sre::obs::recorder::stop();
+  const std::string trace = sre::obs::recorder::trace_json();
+  // One arrow chain across threads: start at classify, step at solve,
+  // finish at flush, all under the shared srv.flow label.
+  EXPECT_NE(trace.find("srv.flow"), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\": \"s\""), std::string::npos) << trace;
+  EXPECT_NE(trace.find("\"ph\": \"t\""), std::string::npos) << trace;
+  EXPECT_NE(trace.find("\"ph\": \"f\""), std::string::npos) << trace;
+
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"trace\":\"trace-abc\""), std::string::npos)
+      << lines[0];
+  std::remove(path.c_str());
+}
+
+TEST(SrvWideLog, NoSinkWithoutAPathAndNoneUnderObsOff) {
+  const std::string path = temp_path("off");
+  std::remove(path.c_str());
+  {
+    Harness plain;  // no access_log configured
+    EXPECT_EQ(plain.loop.wide_sink(), nullptr);
+  }
+  EventLoopConfig ecfg;
+  ecfg.access_log = path;
+  {
+    Harness h(Harness::fast_config(), ecfg);
+    Client c(h.port());
+    ASSERT_TRUE(c.ok());
+    std::string line;
+    ASSERT_TRUE(c.send(request_line("x", 1)));
+    ASSERT_TRUE(c.read_line(line));
+    if (sre::obs::compiled_in()) {
+      EXPECT_NE(h.loop.wide_sink(), nullptr);
+    } else {
+      // obs-off: the sink never opens, whatever the config says.
+      EXPECT_EQ(h.loop.wide_sink(), nullptr);
+    }
+  }
+  if (sre::obs::compiled_in()) {
+    EXPECT_EQ(read_lines(path).size(), 1u);
+    std::remove(path.c_str());
+  } else {
+    // The access log is compiled out: the file must not even exist.
+    EXPECT_FALSE(std::ifstream(path).good());
+  }
+}
+
+}  // namespace
+
+#else  // !__linux__
+
+TEST(SrvWideLog, SkippedWithoutEpoll) {
+  GTEST_SKIP() << "srv::EventLoop is Linux-only (epoll)";
+}
+
+#endif  // __linux__

@@ -13,6 +13,8 @@
 //   --counter-tol F   relative band for count-like keys (default 0 = exact)
 //   --tol GLOB=F      per-key override, first match wins ('*' wildcard)
 //   --ignore GLOB     drop matching keys from the comparison
+//   --strict-drops    gate drop counters (*.dropped, *_drops, ...) too;
+//                     by default they are auto-ignored as load-dependent
 //   --allow-missing   baseline keys absent from current are notes, not errors
 //   --quiet           print nothing on success
 
@@ -28,8 +30,8 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: obsdiff [--time-tol F] [--counter-tol F] [--tol GLOB=F]\n"
-    "               [--ignore GLOB] [--allow-missing] [--quiet]\n"
-    "               baseline.json current.json\n";
+    "               [--ignore GLOB] [--strict-drops] [--allow-missing]\n"
+    "               [--quiet] baseline.json current.json\n";
 
 bool load_flat(const std::string& path,
                std::map<std::string, double>& out) {
@@ -99,6 +101,8 @@ int main(int argc, char** argv) {
       const char* v = next("--ignore");
       if (v == nullptr) return 2;
       opts.rules.push_back({v, sre::obs::diff::kIgnore});
+    } else if (arg == "--strict-drops") {
+      opts.ignore_drop_counters = false;
     } else if (arg == "--allow-missing") {
       opts.fail_on_missing = false;
     } else if (arg == "--quiet") {

@@ -37,12 +37,24 @@
 //               [--connections N] [--window W] [--baseline N]
 //               [--connect PORT] [--population P] [--solver NAME] [--n N]
 //               [--epsilon F] [--deadline-ms F] [--no-cache] [--threads N]
-//               [--queue N] [--batch N] [--out FILE]
+//               [--queue N] [--batch N] [--out FILE] [--access-log FILE]
+//               [--wide-log FILE]
+//
+// Socket mode also exercises the telemetry layer: the in-process loop
+// writes a wide-event access log (--access-log; default <out>.access.jsonl)
+// which is joined back against the client's per-request ids — the summary's
+// "wide" block reports events, the c10k join count, sink drops, and the
+// max server-vs-client latency skew. The baseline phase uses "b-<i>" ids so
+// the c10k phase's numeric ids are unique join keys. A {"stats":true}
+// round trip after the measured phases verifies the live-introspection
+// verb ("server_stats_ok").
 //
 // --connect PORT skips the in-process EventLoop and aims the socket phases
 // at an already-running sre_serve --tcp on 127.0.0.1 (CI's smoke test);
 // loop counters and the replay gate are skipped since the server's state
-// is not observable from here. --no-cache disables the service's plan
+// is not observable from here — but --wide-log FILE (the server's
+// --access-log path) still joins the access log against client ids,
+// retrying briefly while the server's flusher catches up. --no-cache disables the service's plan
 // cache (same as SRE_SRV_CACHE=0); comparing a cached against a
 // --no-cache run of the same stream is the repeated-query speedup
 // measurement from the acceptance checklist.
@@ -51,6 +63,8 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
@@ -60,12 +74,14 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/cost_model.hpp"
 #include "dist/factory.hpp"
 #include "obs/metrics.hpp"
+#include "obs/minijson.hpp"
 #include "obs/recorder.hpp"
 #include "obs/report.hpp"
 #include "sim/rng.hpp"
@@ -90,7 +106,8 @@ constexpr const char* kUsage =
     "                   [--connections N] [--window W] [--baseline N]\n"
     "                   [--connect PORT] [--population P] [--solver NAME]\n"
     "                   [--n N] [--epsilon F] [--deadline-ms F] [--no-cache]\n"
-    "                   [--threads N] [--queue N] [--batch N] [--out FILE]\n";
+    "                   [--threads N] [--queue N] [--batch N] [--out FILE]\n"
+    "                   [--access-log FILE] [--wide-log FILE]\n";
 
 struct Options {
   std::size_t requests = 2000;
@@ -108,6 +125,8 @@ struct Options {
   double deadline_ms = 0.0;
   bool no_cache = false;
   std::string out;  ///< default depends on mode; see main()
+  std::string access_log;  ///< in-process loop's wide log; "" = <out>.access.jsonl
+  std::string wide_log;    ///< --connect: server's access log to join against
   sre::srv::ServiceConfig service = sre::srv::ServiceConfig::from_env();
 };
 
@@ -271,6 +290,10 @@ int main(int argc, char** argv) {
       opt.service.max_batch = n;
     } else if (arg == "--out") {
       opt.out = need_value(arg.c_str());
+    } else if (arg == "--access-log") {
+      opt.access_log = need_value(arg.c_str());
+    } else if (arg == "--wide-log") {
+      opt.wide_log = need_value(arg.c_str());
     } else if (arg == "--help" || arg == "-h") {
       std::cout << kUsage;
       return 0;
@@ -545,12 +568,21 @@ int run_sockets(const Options& opt,
   std::unique_ptr<sre::srv::EventLoop> loop;
   std::thread loop_thread;
   unsigned short port = 0;
+  // The access log to join after the run: the in-process loop's own sink,
+  // or (--connect) the external server's log named by --wide-log.
+  std::string access_log_path;
   if (opt.connect_port >= 0) {
     port = static_cast<unsigned short>(opt.connect_port);
+    access_log_path = opt.wide_log;
   } else {
+    access_log_path =
+        opt.access_log.empty() ? opt.out + ".access.jsonl" : opt.access_log;
+    (void)std::remove(access_log_path.c_str());
     service = std::make_unique<sre::srv::PlannerService>(opt.service);
+    sre::srv::EventLoopConfig loop_cfg;
+    loop_cfg.access_log = access_log_path;
     try {
-      loop = std::make_unique<sre::srv::EventLoop>(*service);
+      loop = std::make_unique<sre::srv::EventLoop>(*service, loop_cfg);
     } catch (const std::exception& e) {
       std::cerr << "sre_loadgen: " << e.what() << "\n";
       return 2;
@@ -559,14 +591,23 @@ int run_sockets(const Options& opt,
     loop_thread = std::thread([&loop] { loop->run(); });
   }
 
-  // Pre-serialized wire lines: request i's bytes are identical in the
-  // blocking and c10k phases, so the two phases serve the same stream.
+  // Pre-serialized wire lines: request i's *query* bytes are identical in
+  // the blocking and c10k phases, so the two phases serve the same stream.
+  // Ids differ — the baseline uses "b-<i>" so the c10k phase's bare
+  // numeric ids are unique join keys into the wide-event access log.
   std::vector<std::string> wire(opt.requests);
   for (std::size_t i = 0; i < opt.requests; ++i) {
     sre::srv::PlanRequest req =
         population[pick_index(opt, i, population.size())];
     req.id = std::to_string(i);
     wire[i] = wire_line(req);
+  }
+  std::vector<std::string> baseline_wire(opt.baseline);
+  for (std::size_t i = 0; i < opt.baseline; ++i) {
+    sre::srv::PlanRequest req =
+        population[pick_index(opt, i, population.size())];
+    req.id = "b-" + std::to_string(i);
+    baseline_wire[i] = wire_line(req);
   }
 
   std::atomic<bool> transport_failed{false};
@@ -612,7 +653,7 @@ int run_sockets(const Options& opt,
       const auto t_start = Clock::now();
       for (std::size_t i = 0; i < opt.baseline; ++i) {
         const auto t0 = Clock::now();
-        if (!round_trip(fd, reader, wire[i])) {
+        if (!round_trip(fd, reader, baseline_wire[i])) {
           fail("baseline");
           break;
         }
@@ -634,6 +675,10 @@ int run_sockets(const Options& opt,
   std::vector<LatencyRecorder> conn_lat(
       conns, LatencyRecorder(sre::obs::duration_bounds_seconds()));
   std::vector<std::string> responses(opt.requests);
+  // Per-request client-side latency (request i belongs to exactly one
+  // connection thread, so plain doubles are race-free): the client half of
+  // the server-vs-client skew join against the access log.
+  std::vector<double> lat_seconds(opt.requests, -1.0);
   std::atomic<std::uint64_t> ok_count{0};
   std::atomic<std::uint64_t> error_count{0};
 
@@ -666,8 +711,10 @@ int run_sockets(const Options& opt,
       }
       const auto [idx, t0] = inflight.front();
       inflight.pop_front();
-      conn_lat[c].observe(
-          std::chrono::duration<double>(Clock::now() - t0).count());
+      const double seconds =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      conn_lat[c].observe(seconds);
+      lat_seconds[idx] = seconds;
       if (line.find("\"ok\":true") != std::string::npos) {
         ok_count.fetch_add(1, std::memory_order_relaxed);
       } else {
@@ -689,9 +736,20 @@ int run_sockets(const Options& opt,
     c10k_wall = std::chrono::duration<double>(Clock::now() - t_start).count();
   }
 
-  // Server stats, then shutdown (in-process mode only; an external server
-  // is left running for its own lifecycle test).
+  // Server stats and the {"stats":true} introspection verb, then shutdown
+  // (in-process mode only; an external server is left running for its own
+  // lifecycle test). server_stats_ok checks the verb round-trips with the
+  // expected shape: ok=true plus "loop" and "service" blocks.
   std::string stats_line = "{}";
+  bool server_stats_ok = false;
+  const auto check_server_stats = [&](const std::string& resp) {
+    const auto parsed = sre::obs::minijson::parse(resp);
+    if (!parsed.ok) return false;
+    const auto* ok = parsed.value.find("ok");
+    return ok != nullptr && ok->kind == sre::obs::minijson::Value::Kind::kBool &&
+           ok->boolean && parsed.value.find("loop") != nullptr &&
+           parsed.value.find("service") != nullptr;
+  };
   if (opt.connect_port < 0) {
     const int fd = connect_loopback(port);
     if (fd >= 0) {
@@ -699,6 +757,9 @@ int run_sockets(const Options& opt,
       std::string resp;
       if (round_trip(fd, reader, "{\"cmd\":\"stats\"}\n", &resp)) {
         stats_line = resp;
+      }
+      if (round_trip(fd, reader, "{\"stats\":true}\n", &resp)) {
+        server_stats_ok = check_server_stats(resp);
       }
       if (!round_trip(fd, reader, "{\"cmd\":\"shutdown\"}\n", &resp)) {
         fail("shutdown");
@@ -718,6 +779,9 @@ int run_sockets(const Options& opt,
       std::string resp;
       if (round_trip(fd, reader, "{\"cmd\":\"stats\"}\n", &resp)) {
         stats_line = resp;
+      }
+      if (round_trip(fd, reader, "{\"stats\":true}\n", &resp)) {
+        server_stats_ok = check_server_stats(resp);
       }
       ::close(fd);
     }
@@ -765,10 +829,67 @@ int run_sockets(const Options& opt,
   sre::srv::EventLoopCounters conn_counters{};
   sre::srv::ServiceCounters service_counters{};
   sre::srv::PlanCache::Counters cache_counters{};
-  if (loop) conn_counters = loop->counters();
+  if (loop) {
+    conn_counters = loop->counters();
+    // Destroying the loop destroys its sink, which drains the queue and
+    // closes the file — only then is the access log complete on disk.
+    loop.reset();
+  }
   if (service) {
     service_counters = service->counters();
     cache_counters = service->cache_counters();
+  }
+
+  // Join the access log back against the request stream: every c10k id is
+  // a bare integer, so event "id" -> total_ns joins on request index. With
+  // an external server (--connect + --wide-log) the flusher may still be
+  // behind, so retry briefly until the join stops being short.
+  bool wide_log_found = false;
+  std::uint64_t wide_events = 0;
+  std::uint64_t wide_matched = 0;
+  double max_skew_seconds = 0.0;
+  if (!access_log_path.empty()) {
+    const int max_tries = opt.connect_port >= 0 ? 50 : 1;
+    for (int attempt = 0; attempt < max_tries; ++attempt) {
+      if (attempt > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+      std::ifstream log(access_log_path);
+      if (!log) continue;
+      wide_log_found = true;
+      std::unordered_map<std::string, double> total_ns_by_id;
+      std::string line;
+      std::uint64_t events = 0;
+      while (std::getline(log, line)) {
+        if (line.empty()) continue;
+        const auto parsed = sre::obs::minijson::parse(line);
+        if (!parsed.ok) continue;
+        ++events;
+        const auto* id = parsed.value.find("id");
+        const auto* total = parsed.value.find("total_ns");
+        if (id != nullptr && id->is_string() && total != nullptr &&
+            total->is_number()) {
+          total_ns_by_id[id->string] = total->number;
+        }
+      }
+      wide_events = events;
+      wide_matched = 0;
+      max_skew_seconds = 0.0;
+      for (std::size_t i = 0; i < opt.requests; ++i) {
+        const auto it = total_ns_by_id.find(std::to_string(i));
+        if (it == total_ns_by_id.end()) continue;
+        ++wide_matched;
+        if (lat_seconds[i] >= 0.0) {
+          // The server's total is framed-to-flushed; the client's spans
+          // send-to-receive. Server <= client always; the gap is transport
+          // plus loop scheduling, the "skew" this reports.
+          max_skew_seconds = std::max(
+              max_skew_seconds,
+              std::fabs(lat_seconds[i] - it->second * 1e-9));
+        }
+      }
+      if (wide_matched >= opt.requests) break;
+    }
   }
 
   std::string json = "{\n";
@@ -818,20 +939,30 @@ int run_sockets(const Options& opt,
   json += ", \"byte_identical\": ";
   json += byte_identical ? "true" : "false";
   json += "},\n";
-  json += "  \"conn\": {\"accepted\": " +
-          std::to_string(conn_counters.accepted);
+  json += "  \"conn\": {\"open\": " + std::to_string(conn_counters.open);
+  json += ", \"accepted\": " + std::to_string(conn_counters.accepted);
   json += ", \"closed\": " + std::to_string(conn_counters.closed);
   json += ", \"overload_rejects\": " +
           std::to_string(conn_counters.overload_rejects);
   json += ", \"framing_errors\": " +
           std::to_string(conn_counters.framing_errors);
-  json += ", \"backpressure_stalls\": " +
-          std::to_string(conn_counters.backpressure_stalls);
+  json += ", \"backpressure_pauses\": " +
+          std::to_string(conn_counters.backpressure_pauses);
   json += ", \"requests\": " + std::to_string(conn_counters.requests);
   json += ", \"responses\": " + std::to_string(conn_counters.responses);
   json += ", \"bytes_in\": " + std::to_string(conn_counters.bytes_in);
   json += ", \"bytes_out\": " + std::to_string(conn_counters.bytes_out);
   json += "},\n";
+  json += "  \"wide\": {\"log_found\": ";
+  json += wide_log_found ? "true" : "false";
+  json += ", \"events\": " + std::to_string(wide_events);
+  json += ", \"matched\": " + std::to_string(wide_matched);
+  json += ", \"dropped\": " + std::to_string(conn_counters.wide_dropped);
+  json += ", \"max_skew_seconds\": " + format_double(max_skew_seconds);
+  json += "},\n";
+  json += "  \"server_stats_ok\": ";
+  json += server_stats_ok ? "true" : "false";
+  json += ",\n";
   json += "  \"requests\": " + std::to_string(service_counters.requests);
   json += ",\n  \"completed\": " + std::to_string(service_counters.completed);
   json += ",\n  \"rejected\": " + std::to_string(service_counters.rejected);

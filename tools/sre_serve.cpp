@@ -30,6 +30,14 @@
 //   --max-line BYTES    per-connection NDJSON line cap     [1 MiB]
 //   --max-conns N       concurrent connection cap          [10000]
 //   --drain-ms F        shutdown drain budget              [5000]
+//   --access-log FILE   wide-event NDJSON access log (one line per request;
+//                       off by default, compiled out under obs-off builds)
+//   --prom FILE         periodic Prometheus text-exposition dump of the
+//                       metrics registry (rewritten every stats tick)
+//
+// TCP mode also answers the {"stats":true} introspection verb inline with
+// loop counters, per-connection state, and rate-over-window figures; see
+// docs/COOKBOOK.md recipe 21.
 
 #include <csignal>
 #include <cstdlib>
@@ -47,7 +55,8 @@ constexpr const char* kUsage =
     "usage: sre_serve [--threads N] [--queue N] [--batch N]\n"
     "                 [--cache-capacity N] [--shards N] [--deadline-ms F]\n"
     "                 [--no-cache] [--tcp PORT] [--backlog N]\n"
-    "                 [--max-line BYTES] [--max-conns N] [--drain-ms F]\n";
+    "                 [--max-line BYTES] [--max-conns N] [--drain-ms F]\n"
+    "                 [--access-log FILE] [--prom FILE]\n";
 
 bool parse_size(const char* text, std::size_t& out) {
   char* end = nullptr;
@@ -149,6 +158,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--drain-ms" &&
                parse_double(need_value("--drain-ms"), f)) {
       loop_cfg.drain_timeout_s = f / 1e3;
+    } else if (arg == "--access-log") {
+      loop_cfg.access_log = need_value("--access-log");
+    } else if (arg == "--prom") {
+      loop_cfg.prom_path = need_value("--prom");
     } else if (arg == "--tcp") {
       const char* v = need_value("--tcp");
       char* end = nullptr;
