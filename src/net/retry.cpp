@@ -1,0 +1,40 @@
+#include "net/retry.hpp"
+
+#include <algorithm>
+
+#include "sim/rng.hpp"
+
+namespace sre::net {
+
+double RetryPolicy::jitter_draw(std::uint64_t seed, std::uint64_t stream,
+                                std::uint64_t attempt) noexcept {
+  std::uint64_t state =
+      sim::substream_seed(sim::substream_seed(seed, stream), attempt);
+  return static_cast<double>(sim::splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+RetrySchedule::RetrySchedule(const RetryPolicy& policy,
+                             std::uint64_t stream) noexcept
+    : policy_(policy), stream_(stream), prev_sleep_(policy.base_seconds) {}
+
+double RetrySchedule::next(double server_hint_seconds) noexcept {
+  ++attempt_;
+  double sleep = 0.0;
+  if (policy_.base_seconds > 0.0) {
+    const double u = RetryPolicy::jitter_draw(
+        policy_.seed, stream_, static_cast<std::uint64_t>(attempt_));
+    const double hi = std::max(policy_.base_seconds, 3.0 * prev_sleep_);
+    sleep = policy_.base_seconds + u * (hi - policy_.base_seconds);
+    if (policy_.cap_seconds > 0.0) {
+      sleep = std::min(sleep, policy_.cap_seconds);
+    }
+    prev_sleep_ = sleep;
+  }
+  // The hint floors the jittered sleep but never feeds the recurrence:
+  // sleep_{k+1} decorrelates from the client's own sleep_k, not from the
+  // server's drain estimate.
+  if (server_hint_seconds > 0.0) sleep = std::max(sleep, server_hint_seconds);
+  return sleep;
+}
+
+}  // namespace sre::net

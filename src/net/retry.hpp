@@ -1,0 +1,71 @@
+#pragma once
+
+// sre::net::RetryPolicy — the repo's one decorrelated-jitter backoff.
+//
+// Extracted verbatim from sim/sweep.cpp's retry loop so that the sweep
+// engine and srv::Client share a single schedule generator: at a fixed
+// (seed, stream) the sequence of sleeps is bit-identical to what the sweep
+// produced before the extraction (tests/test_net_retry.cpp pins this
+// against an independent reimplementation of the original formula).
+//
+// The jitter draw is a pure function of (seed, stream, attempt) —
+// splitmix64 over nested substream seeds, the same derivation sim::fault
+// uses — so retry schedules replay identically in any interleaving. The
+// recurrence is AWS-style decorrelated jitter:
+//
+//   sleep_k = min(cap, base + u_k * (max(base, 3 * sleep_{k-1}) - base)),
+//   sleep_0 = base (the seed value, never slept)
+//
+// RetrySchedule adds the one piece of state (the previous sleep) plus the
+// server-hint contract: a kOverloaded response may carry retry_after_ms,
+// which *floors* the next computed sleep — the hint can exceed the cap,
+// because the server knows its own drain rate better than the client's
+// static policy does (CONTRIBUTING.md "Retry-after contract").
+//
+// This header lives in src/net/ but compiles into the sre_sim archive:
+// the jitter primitives (sim/rng.cpp) are below it and sim/sweep.cpp
+// consumes it, so a separate library between stats and sim would be
+// circular. srv::Client links it through the normal layer chain.
+
+#include <cstdint>
+
+namespace sre::net {
+
+/// Immutable backoff parameters. `base_seconds == 0` disables sleeping
+/// (retries are immediate); `cap_seconds <= 0` means uncapped.
+struct RetryPolicy {
+  int max_attempts = 1;        ///< total attempts (1 = no retry)
+  double base_seconds = 0.0;   ///< first sleep, and the jitter floor
+  double cap_seconds = 1.0;    ///< ceiling on any computed sleep
+  std::uint64_t seed = 0;      ///< master seed for the jitter stream
+
+  /// Deterministic uniform in [0, 1): pure in (seed, stream, attempt).
+  [[nodiscard]] static double jitter_draw(std::uint64_t seed,
+                                          std::uint64_t stream,
+                                          std::uint64_t attempt) noexcept;
+};
+
+/// One stream's stateful schedule. `next()` yields the sleep preceding
+/// retry attempt k (k = 1, 2, ...), advancing the decorrelated recurrence
+/// exactly as the sweep's inline loop did.
+class RetrySchedule {
+ public:
+  RetrySchedule(const RetryPolicy& policy, std::uint64_t stream) noexcept;
+
+  /// Sleep (seconds) before the next retry. `server_hint_seconds > 0`
+  /// (a retry_after_ms hint) floors the result after the cap is applied;
+  /// the hint does not perturb the jitter state, so a hinted schedule's
+  /// later sleeps still replay the unhinted recurrence.
+  [[nodiscard]] double next(double server_hint_seconds = 0.0) noexcept;
+
+  /// Retry attempts generated so far (== times next() was called).
+  [[nodiscard]] int attempts() const noexcept { return attempt_; }
+
+ private:
+  RetryPolicy policy_;
+  std::uint64_t stream_ = 0;
+  double prev_sleep_ = 0.0;
+  int attempt_ = 0;
+};
+
+}  // namespace sre::net

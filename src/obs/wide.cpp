@@ -83,6 +83,10 @@ std::string format_event(const Event& event) {
   if (!event.ok) {
     out += ",\"code\":";
     append_str(out, event.code);
+    if (event.retry_after_ms > 0.0) {
+      out += ",\"retry_after_ms\":";
+      out += format_double(event.retry_after_ms);
+    }
   }
   out += ",\"cached\":";
   out += event.cached ? "true" : "false";

@@ -62,6 +62,7 @@ struct Event {
   bool ok = false;
   bool cached = false;
   std::string code;  ///< error_code_name() when !ok, ignored otherwise
+  double retry_after_ms = 0.0;  ///< brownout backoff hint; 0 = none
   std::uint32_t batch = 0;
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
@@ -75,8 +76,10 @@ struct Event {
 };
 
 /// One NDJSON object (no trailing newline), fixed field order:
-/// ts,id,conn,peer[,trace],ok[,code],cached,batch,bytes_in,bytes_out,
-/// queue_ns,solve_ns,write_ns,total_ns, then the seven raw stamps.
+/// ts,id,conn,peer[,trace],ok[,code][,retry_after_ms],cached,batch,
+/// bytes_in,bytes_out,queue_ns,solve_ns,write_ns,total_ns, then the seven
+/// raw stamps. Optional fields only appear when set, so events without
+/// them keep their exact historical bytes.
 /// Derived components saturate at 0: queue = batched-admitted,
 /// solve = solved-batched, write = flushed-slotted, total = flushed-accepted.
 std::string format_event(const Event& event);

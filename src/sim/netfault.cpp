@@ -1,0 +1,104 @@
+#include "sim/netfault.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "sim/rng.hpp"
+
+namespace sre::sim {
+
+namespace {
+
+// Stream ids keep the fault classes statistically independent per
+// connection (same idiom as sim/fault.cpp's scenario streams).
+constexpr std::uint64_t kStreamConnect = 1;
+constexpr std::uint64_t kStreamAccept = 2;
+constexpr std::uint64_t kStreamReadReset = 3;
+constexpr std::uint64_t kStreamWriteReset = 4;
+constexpr std::uint64_t kStreamShortRead = 5;
+constexpr std::uint64_t kStreamShortWrite = 6;
+constexpr std::uint64_t kStreamDelay = 7;
+
+/// Random-access uniform draw in [0, 1): a pure function of
+/// (connection seed, stream, index), so replays agree in any query order.
+double unit_draw(std::uint64_t conn_seed, std::uint64_t stream,
+                 std::uint64_t index) noexcept {
+  std::uint64_t state = substream_seed(substream_seed(conn_seed, stream), index);
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end != v && std::isfinite(parsed)) ? parsed : fallback;
+}
+
+}  // namespace
+
+NetFaultSpec NetFaultSpec::from_env() {
+  NetFaultSpec spec;
+  spec.seed = static_cast<std::uint64_t>(env_double("SRE_FAULT_NET_SEED", 0.0));
+  spec.connect_refuse_prob = env_double("SRE_FAULT_NET_REFUSE", 0.0);
+  spec.accept_drop_prob = env_double("SRE_FAULT_NET_ACCEPT_DROP", 0.0);
+  spec.read_reset_prob = env_double("SRE_FAULT_NET_RESET_READ", 0.0);
+  spec.write_reset_prob = env_double("SRE_FAULT_NET_RESET_WRITE", 0.0);
+  spec.short_read_prob = env_double("SRE_FAULT_NET_SHORT_READ", 0.0);
+  spec.short_write_prob = env_double("SRE_FAULT_NET_SHORT_WRITE", 0.0);
+  spec.delay_prob = env_double("SRE_FAULT_NET_DELAY_PROB", 0.0);
+  spec.delay_seconds = env_double("SRE_FAULT_NET_DELAY_S", 0.0);
+  return spec;
+}
+
+NetConnFaults::NetConnFaults(const NetFaultSpec& spec,
+                             std::uint64_t conn_stream) noexcept
+    : spec_(spec), conn_seed_(substream_seed(spec.seed, conn_stream)) {}
+
+bool NetConnFaults::connect_refused(std::uint64_t attempt) const noexcept {
+  if (spec_.connect_refuse_prob <= 0.0) return false;
+  return unit_draw(conn_seed_, kStreamConnect, attempt) <
+         spec_.connect_refuse_prob;
+}
+
+bool NetConnFaults::accept_dropped() const noexcept {
+  if (spec_.accept_drop_prob <= 0.0) return false;
+  return unit_draw(conn_seed_, kStreamAccept, 0) < spec_.accept_drop_prob;
+}
+
+bool NetConnFaults::read_reset(std::uint64_t op) const noexcept {
+  if (spec_.read_reset_prob <= 0.0) return false;
+  return unit_draw(conn_seed_, kStreamReadReset, op) < spec_.read_reset_prob;
+}
+
+bool NetConnFaults::write_reset(std::uint64_t op) const noexcept {
+  if (spec_.write_reset_prob <= 0.0) return false;
+  return unit_draw(conn_seed_, kStreamWriteReset, op) < spec_.write_reset_prob;
+}
+
+double NetConnFaults::short_read_fraction(std::uint64_t op) const noexcept {
+  if (spec_.short_read_prob <= 0.0) return 1.0;
+  const double u = unit_draw(conn_seed_, kStreamShortRead, op);
+  if (u >= spec_.short_read_prob) return 1.0;
+  // Rescale the hit's sub-uniform into (0, 1]: the truncation point is as
+  // deterministic as the hit itself.
+  const double frac = u / spec_.short_read_prob;
+  return frac <= 0.0 ? 0.5 : frac;
+}
+
+double NetConnFaults::short_write_fraction(std::uint64_t op) const noexcept {
+  if (spec_.short_write_prob <= 0.0) return 1.0;
+  const double u = unit_draw(conn_seed_, kStreamShortWrite, op);
+  if (u >= spec_.short_write_prob) return 1.0;
+  const double frac = u / spec_.short_write_prob;
+  return frac <= 0.0 ? 0.5 : frac;
+}
+
+double NetConnFaults::delay_seconds(std::uint64_t op) const noexcept {
+  if (spec_.delay_prob <= 0.0 || spec_.delay_seconds <= 0.0) return 0.0;
+  return unit_draw(conn_seed_, kStreamDelay, op) < spec_.delay_prob
+             ? spec_.delay_seconds
+             : 0.0;
+}
+
+}  // namespace sre::sim

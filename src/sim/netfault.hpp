@@ -1,0 +1,115 @@
+#pragma once
+
+// Deterministic *network* fault injection — the wire-level sibling of
+// sim/fault.hpp's solver chaos. A NetFaultSpec describes the fault classes
+// and rates (connection refusal, accept-time drops, mid-read/mid-write
+// resets, short reads/writes, per-op delays); a NetFaultPlan hands out
+// per-connection views whose every decision is a pure function of
+// (seed, connection stream, fault class, op index). Two runs with the same
+// seed therefore inject the same schedule — which op of which connection
+// resets — regardless of thread interleaving, and a chaos failure seen in
+// CI replays locally from the seed alone.
+//
+// The knobs extend the SRE_FAULT_* family (from_env):
+//
+//   SRE_FAULT_NET_SEED         master seed (0 = default stream)
+//   SRE_FAULT_NET_REFUSE       P(client connect() attempt is refused)
+//   SRE_FAULT_NET_ACCEPT_DROP  P(server drops a connection at accept)
+//   SRE_FAULT_NET_RESET_READ   P(a read op fails with ECONNRESET)
+//   SRE_FAULT_NET_RESET_WRITE  P(a write op fails with ECONNRESET)
+//   SRE_FAULT_NET_SHORT_READ   P(a read op delivers a truncated chunk)
+//   SRE_FAULT_NET_SHORT_WRITE  P(a write op accepts a truncated chunk)
+//   SRE_FAULT_NET_DELAY_PROB   P(an op sleeps first)
+//   SRE_FAULT_NET_DELAY_S      the sleep, in seconds
+//
+// All probabilities default to 0 (disabled). Consumers: srv::ChaosSocket
+// wraps both sides' fds with a NetConnFaults view; srv::EventLoop applies
+// accept_dropped() at its accept seam; srv::Client applies
+// connect_refused() before dialing. Stream-id convention: the server uses
+// its connection ids (which start at srv::EventLoop's kFirstConnId), the
+// client offsets its own connection index by NetFaultPlan::kClientStreamBase
+// — so a single in-process chaos run (loadgen) injects independent
+// schedules on the two sides of every socket.
+
+#include <cstdint>
+
+namespace sre::sim {
+
+struct NetFaultSpec {
+  std::uint64_t seed = 0;
+  double connect_refuse_prob = 0.0;
+  double accept_drop_prob = 0.0;
+  double read_reset_prob = 0.0;
+  double write_reset_prob = 0.0;
+  double short_read_prob = 0.0;
+  double short_write_prob = 0.0;
+  double delay_prob = 0.0;
+  double delay_seconds = 0.0;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return connect_refuse_prob > 0.0 || accept_drop_prob > 0.0 ||
+           read_reset_prob > 0.0 || write_reset_prob > 0.0 ||
+           short_read_prob > 0.0 || short_write_prob > 0.0 ||
+           (delay_prob > 0.0 && delay_seconds > 0.0);
+  }
+
+  /// Reads the SRE_FAULT_NET_* knobs; unset variables keep the defaults.
+  [[nodiscard]] static NetFaultSpec from_env();
+};
+
+/// One connection's fault schedule. Every query is random-access in the op
+/// index (reads and writes count their ops independently), so decisions
+/// replay identically whatever order the socket layer asks in.
+class NetConnFaults {
+ public:
+  NetConnFaults() = default;
+  NetConnFaults(const NetFaultSpec& spec, std::uint64_t conn_stream) noexcept;
+
+  [[nodiscard]] bool enabled() const noexcept { return spec_.enabled(); }
+
+  /// True when connect attempt `attempt` (0-based) should be refused.
+  [[nodiscard]] bool connect_refused(std::uint64_t attempt) const noexcept;
+  /// True when the server should drop this connection at accept time.
+  [[nodiscard]] bool accept_dropped() const noexcept;
+  /// True when read op `op` should fail with an injected ECONNRESET.
+  [[nodiscard]] bool read_reset(std::uint64_t op) const noexcept;
+  /// True when write op `op` should fail with an injected ECONNRESET.
+  [[nodiscard]] bool write_reset(std::uint64_t op) const noexcept;
+  /// Fraction (0, 1] of the requested bytes read op `op` may deliver;
+  /// 1.0 = not shortened. Never rounds to zero bytes (the wrapper clamps
+  /// to >= 1), so a short read is indistinguishable from TCP segmentation.
+  [[nodiscard]] double short_read_fraction(std::uint64_t op) const noexcept;
+  /// Fraction (0, 1] of the requested bytes write op `op` may accept.
+  [[nodiscard]] double short_write_fraction(std::uint64_t op) const noexcept;
+  /// Injected latency (seconds) before op `op`; 0 = none.
+  [[nodiscard]] double delay_seconds(std::uint64_t op) const noexcept;
+
+ private:
+  NetFaultSpec spec_{};
+  std::uint64_t conn_seed_ = 0;
+};
+
+/// The per-run plan: spec plus the seed; connections get independent
+/// substreams keyed by their stream id.
+class NetFaultPlan {
+ public:
+  /// Client-side streams live far above any realistic server conn-id range
+  /// so one in-process run never aliases the two sides' schedules.
+  static constexpr std::uint64_t kClientStreamBase = 1ull << 32;
+
+  NetFaultPlan() = default;
+  explicit NetFaultPlan(NetFaultSpec spec) noexcept : spec_(spec) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return spec_.enabled(); }
+  [[nodiscard]] const NetFaultSpec& spec() const noexcept { return spec_; }
+
+  [[nodiscard]] NetConnFaults for_connection(
+      std::uint64_t conn_stream) const noexcept {
+    return NetConnFaults(spec_, conn_stream);
+  }
+
+ private:
+  NetFaultSpec spec_{};
+};
+
+}  // namespace sre::sim

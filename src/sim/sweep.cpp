@@ -5,6 +5,7 @@
 #include <optional>
 #include <thread>
 
+#include "net/retry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/minijson.hpp"
 #include "obs/report.hpp"
@@ -85,33 +86,22 @@ void SweepRunner::run_indexed(std::size_t n,
 
 namespace {
 
-/// Deterministic uniform in [0, 1) for the backoff jitter, pure in
-/// (seed, scenario, attempt) so sleeps replay identically.
-double backoff_draw(std::uint64_t seed, std::uint64_t scenario,
-                    std::uint64_t attempt) noexcept {
-  std::uint64_t state = substream_seed(substream_seed(seed, scenario), attempt);
-  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
-}
-
 /// One scenario's retry loop. Returns the number of attempts consumed and,
 /// on failure, fills code/message. All exceptions are absorbed here —
-/// nothing escapes into run_indexed's first-exception-wins path.
+/// nothing escapes into run_indexed's first-exception-wins path. Backoff
+/// comes from the shared net::RetrySchedule, whose recurrence is the exact
+/// formula this loop used to inline (bit-identical schedules at a fixed
+/// seed; tests/test_net_retry.cpp holds the equivalence proof).
 int run_attempts(const std::function<void(std::size_t, const AttemptContext&)>& fn,
                  std::size_t i, const ResilienceOptions& res, int max_attempts,
                  bool& succeeded, ErrorCode& code, std::string& message) {
-  double prev_sleep = res.backoff_base_seconds;
+  const net::RetryPolicy policy{max_attempts, res.backoff_base_seconds,
+                                res.backoff_cap_seconds, res.backoff_seed};
+  net::RetrySchedule schedule(policy, i);
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     if (attempt > 0 && res.backoff_base_seconds > 0.0) {
-      const double u = backoff_draw(res.backoff_seed, i,
-                                    static_cast<std::uint64_t>(attempt));
-      const double hi = std::max(res.backoff_base_seconds, 3.0 * prev_sleep);
-      double sleep = res.backoff_base_seconds +
-                     u * (hi - res.backoff_base_seconds);
-      if (res.backoff_cap_seconds > 0.0) {
-        sleep = std::min(sleep, res.backoff_cap_seconds);
-      }
-      std::this_thread::sleep_for(std::chrono::duration<double>(sleep));
-      prev_sleep = sleep;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(schedule.next()));
     }
     AttemptContext ctx;
     ctx.attempt = attempt;

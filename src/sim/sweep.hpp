@@ -62,7 +62,8 @@ struct ResilienceOptions {
   /// ScenarioError(kTimeout) at their next stride check.
   double scenario_deadline_seconds = 0.0;
 
-  /// Decorrelated-jitter backoff before retry k:
+  /// Decorrelated-jitter backoff before retry k (net::RetryPolicy, shared
+  /// with srv::Client):
   ///   sleep = min(cap, base + u * (max(base, 3 * prev) - base)),
   /// u drawn deterministically from (backoff_seed, scenario, attempt).
   /// base = 0 disables sleeping (retries are immediate).

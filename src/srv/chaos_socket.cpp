@@ -1,0 +1,124 @@
+#include "srv/chaos_socket.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/metrics.hpp"
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0  // non-Linux POSIX: rely on the caller's SIGPIPE guard
+#endif
+
+namespace sre::srv {
+
+namespace {
+
+std::atomic<std::uint64_t> g_read_resets{0};
+std::atomic<std::uint64_t> g_write_resets{0};
+std::atomic<std::uint64_t> g_short_reads{0};
+std::atomic<std::uint64_t> g_short_writes{0};
+std::atomic<std::uint64_t> g_delays{0};
+std::atomic<std::uint64_t> g_accept_drops{0};
+std::atomic<std::uint64_t> g_connect_refusals{0};
+
+obs::Counter& injected_counter(const char* name) {
+  // Registered lazily, so clean (chaos-off) runs keep their obsdiff
+  // baselines free of zero-noise srv.chaos.* keys.
+  return obs::counter(name);
+}
+
+void count(std::atomic<std::uint64_t>& total, const char* counter_name) {
+  total.fetch_add(1, std::memory_order_relaxed);
+  injected_counter(counter_name).add();
+}
+
+/// Truncates an op's length by the schedule's fraction, never below one
+/// byte (zero would read as EOF / a stuck write).
+std::size_t truncate_len(std::size_t len, double fraction) noexcept {
+  if (fraction >= 1.0 || len <= 1) return len;
+  auto cut = static_cast<std::size_t>(static_cast<double>(len) * fraction);
+  return cut == 0 ? 1 : cut;
+}
+
+/// An injected reset: half-close both directions so the peer observes a
+/// real connection teardown, then report ECONNRESET to the caller.
+ssize_t inject_reset(int fd) noexcept {
+  (void)::shutdown(fd, SHUT_RDWR);
+  errno = ECONNRESET;
+  return -1;
+}
+
+}  // namespace
+
+ssize_t ChaosSocket::read(int fd, void* buf, std::size_t len) noexcept {
+  if (!enabled_) return ::read(fd, buf, len);
+  const std::uint64_t op = read_ops_++;
+  const double delay = faults_.delay_seconds(op);
+  if (delay > 0.0) {
+    count(g_delays, "srv.chaos.delays");
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+  }
+  if (faults_.read_reset(op)) {
+    count(g_read_resets, "srv.chaos.read_resets");
+    return inject_reset(fd);
+  }
+  const double fraction = faults_.short_read_fraction(op);
+  const std::size_t want = truncate_len(len, fraction);
+  if (want != len) count(g_short_reads, "srv.chaos.short_reads");
+  return ::read(fd, buf, want);
+}
+
+ssize_t ChaosSocket::send(int fd, const void* buf, std::size_t len) noexcept {
+  if (!enabled_) return ::send(fd, buf, len, MSG_NOSIGNAL);
+  const std::uint64_t op = write_ops_++;
+  const double delay = faults_.delay_seconds(op);
+  if (delay > 0.0) {
+    count(g_delays, "srv.chaos.delays");
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+  }
+  if (faults_.write_reset(op)) {
+    count(g_write_resets, "srv.chaos.write_resets");
+    return inject_reset(fd);
+  }
+  const double fraction = faults_.short_write_fraction(op);
+  const std::size_t want = truncate_len(len, fraction);
+  if (want != len) count(g_short_writes, "srv.chaos.short_writes");
+  return ::send(fd, buf, want, MSG_NOSIGNAL);
+}
+
+void ChaosSocket::count_accept_drop() noexcept {
+  count(g_accept_drops, "srv.chaos.accept_drops");
+}
+
+void ChaosSocket::count_connect_refusal() noexcept {
+  count(g_connect_refusals, "srv.chaos.connect_refusals");
+}
+
+ChaosTotals ChaosSocket::totals() noexcept {
+  ChaosTotals t;
+  t.read_resets = g_read_resets.load(std::memory_order_relaxed);
+  t.write_resets = g_write_resets.load(std::memory_order_relaxed);
+  t.short_reads = g_short_reads.load(std::memory_order_relaxed);
+  t.short_writes = g_short_writes.load(std::memory_order_relaxed);
+  t.delays = g_delays.load(std::memory_order_relaxed);
+  t.accept_drops = g_accept_drops.load(std::memory_order_relaxed);
+  t.connect_refusals = g_connect_refusals.load(std::memory_order_relaxed);
+  return t;
+}
+
+void ChaosSocket::reset_totals() noexcept {
+  g_read_resets.store(0, std::memory_order_relaxed);
+  g_write_resets.store(0, std::memory_order_relaxed);
+  g_short_reads.store(0, std::memory_order_relaxed);
+  g_short_writes.store(0, std::memory_order_relaxed);
+  g_delays.store(0, std::memory_order_relaxed);
+  g_accept_drops.store(0, std::memory_order_relaxed);
+  g_connect_refusals.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace sre::srv

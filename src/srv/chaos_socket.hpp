@@ -1,0 +1,85 @@
+#pragma once
+
+// srv::ChaosSocket — a deterministic fault-injecting shim over socket I/O.
+//
+// Wraps the read/send syscalls the event loop and srv::Client issue with a
+// sim::NetConnFaults schedule: per-op injected ECONNRESETs (the fd is also
+// shutdown(2) so the peer observes a real half-close), short reads/writes
+// (the op's byte count is truncated before the syscall — indistinguishable
+// from TCP segmentation, which is exactly what makes them a framing test),
+// and per-op delays. The shim never fabricates data: a non-faulted op is
+// the raw syscall, and a chaos-disabled shim compiles down to it.
+//
+// All sockets here are nonblocking-or-not agnostic; the shim passes the
+// syscall result through untouched (EAGAIN, EINTR, real resets). Writes
+// always use send(2) with MSG_NOSIGNAL — the repo-wide SIGPIPE policy
+// (ISSUE 9 satellite): a peer closing mid-response must surface as EPIPE,
+// never as a process-killing signal, even in embedders that don't ignore
+// SIGPIPE.
+//
+// Injection totals are process-wide atomics (exact in every build) plus
+// srv.chaos.* obs counters, so a chaos loadgen run can assert "faults were
+// actually injected" and obsdiff baselines can pin them at zero for clean
+// runs.
+
+#include <cstddef>
+#include <cstdint>
+
+#include <sys/types.h>
+
+#include "sim/netfault.hpp"
+
+namespace sre::srv {
+
+/// Process-wide injection totals (monotonic; see ChaosSocket::totals()).
+struct ChaosTotals {
+  std::uint64_t read_resets = 0;
+  std::uint64_t write_resets = 0;
+  std::uint64_t short_reads = 0;
+  std::uint64_t short_writes = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t accept_drops = 0;
+  std::uint64_t connect_refusals = 0;
+
+  [[nodiscard]] std::uint64_t injected() const noexcept {
+    return read_resets + write_resets + short_reads + short_writes + delays +
+           accept_drops + connect_refusals;
+  }
+};
+
+class ChaosSocket {
+ public:
+  ChaosSocket() = default;
+  explicit ChaosSocket(sim::NetConnFaults faults) noexcept
+      : faults_(faults), enabled_(faults.enabled()) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// read(2) with fault injection. Injected resets return -1 with
+  /// errno = ECONNRESET after shutting the socket down (the peer sees the
+  /// close); short reads truncate the requested length to >= 1 byte.
+  [[nodiscard]] ssize_t read(int fd, void* buf, std::size_t len) noexcept;
+
+  /// send(2) with MSG_NOSIGNAL and fault injection (resets, short writes).
+  [[nodiscard]] ssize_t send(int fd, const void* buf,
+                             std::size_t len) noexcept;
+
+  /// Counts an accept-time drop / an injected connect refusal against the
+  /// process totals (the decision itself is the caller's, from
+  /// NetConnFaults::accept_dropped / connect_refused).
+  static void count_accept_drop() noexcept;
+  static void count_connect_refusal() noexcept;
+
+  /// Process-wide injection totals since start (or the last reset_totals).
+  [[nodiscard]] static ChaosTotals totals() noexcept;
+  /// Test seam: zero the totals so assertions see one run's injections.
+  static void reset_totals() noexcept;
+
+ private:
+  sim::NetConnFaults faults_{};
+  bool enabled_ = false;
+  std::uint64_t read_ops_ = 0;   ///< read ops issued on this shim
+  std::uint64_t write_ops_ = 0;  ///< write ops issued on this shim
+};
+
+}  // namespace sre::srv

@@ -1,0 +1,391 @@
+#include "srv/client.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/metrics.hpp"
+#include "obs/minijson.hpp"
+
+namespace sre::srv {
+
+namespace {
+
+using MonoClock = std::chrono::steady_clock;
+
+double mono_s() {
+  return std::chrono::duration<double>(MonoClock::now().time_since_epoch())
+      .count();
+}
+
+void sleep_s(double seconds) {
+  if (seconds > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+}
+
+// srv.client.* counters register on first use, keeping clean baselines
+// free of zero-noise keys (same policy as srv.chaos.* / srv.brownout.*).
+obs::Counter& client_counter(const char* name) { return obs::counter(name); }
+
+/// What a wire response says about itself. `parsed` is false for a line
+/// the client cannot interpret (treated as a non-retryable protocol error
+/// rather than retried blindly).
+struct WireVerdict {
+  bool parsed = false;
+  bool ok = false;
+  ErrorCode code = ErrorCode::kDomainError;
+  bool retryable = false;
+  std::string message;
+  double retry_after_ms = 0.0;
+};
+
+ErrorCode code_from_name(const std::string& name) {
+  for (std::size_t i = 0; i < kErrorCodeCount; ++i) {
+    const auto code = static_cast<ErrorCode>(i);
+    if (name == error_code_name(code)) return code;
+  }
+  return ErrorCode::kDomainError;
+}
+
+WireVerdict judge_line(const std::string& line) {
+  WireVerdict v;
+  const auto parsed = obs::minijson::parse(line);
+  if (!parsed.ok || !parsed.value.is_object()) return v;
+  const auto* ok = parsed.value.find("ok");
+  if (ok == nullptr || ok->kind != obs::minijson::Value::Kind::kBool) return v;
+  v.parsed = true;
+  v.ok = ok->boolean;
+  if (v.ok) return v;
+  if (const auto* err = parsed.value.find("error"); err && err->is_object()) {
+    if (const auto* code = err->find("code"); code && code->is_string()) {
+      v.code = code_from_name(code->string);
+    }
+    if (const auto* r = err->find("retryable");
+        r && r->kind == obs::minijson::Value::Kind::kBool) {
+      v.retryable = r->boolean;
+    }
+    if (const auto* msg = err->find("message"); msg && msg->is_string()) {
+      v.message = msg->string;
+    }
+    if (const auto* hint = err->find("retry_after_ms");
+        hint && hint->is_number()) {
+      v.retry_after_ms = hint->number;
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+Client::Client(ClientConfig cfg) : cfg_(std::move(cfg)) {}
+
+Client::~Client() { close(); }
+
+void Client::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Breaker
+
+bool Client::breaker_blocks() {
+  if (cfg_.breaker_threshold <= 0 || !breaker_open_) return false;
+  if (mono_s() >= breaker_reopen_monotonic_s_) {
+    // Half-open: let exactly this attempt probe. Success closes the
+    // breaker (note_transport_success); failure re-arms the cooldown.
+    return false;
+  }
+  ++counters_.breaker_fast_fails;
+  client_counter("srv.client.breaker_fast_fails").add();
+  return true;
+}
+
+void Client::note_transport_error() {
+  ++counters_.transport_errors;
+  client_counter("srv.client.transport_errors").add();
+  if (cfg_.breaker_threshold <= 0) return;
+  if (++consecutive_transport_failures_ >= cfg_.breaker_threshold) {
+    if (!breaker_open_) {
+      ++counters_.breaker_opens;
+      client_counter("srv.client.breaker_opens").add();
+    }
+    breaker_open_ = true;
+    breaker_reopen_monotonic_s_ = mono_s() + cfg_.breaker_cooldown_s;
+  }
+}
+
+void Client::note_transport_success() {
+  consecutive_transport_failures_ = 0;
+  breaker_open_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Socket plumbing
+
+int Client::ensure_connected() {
+  if (fd_ >= 0) return fd_;
+  const std::uint64_t stream = cfg_.fault_stream + dial_count_++;
+  sim::NetConnFaults faults(cfg_.net_faults, stream);
+  if (cfg_.net_faults.enabled() && faults.connect_refused(0)) {
+    ChaosSocket::count_connect_refusal();
+    note_transport_error();
+    return -1;
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    note_transport_error();
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg_.port);
+  if (::inet_pton(AF_INET, cfg_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    note_transport_error();
+    return -1;
+  }
+  while (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd);
+    if (err == EINTR) {
+      // A connect(2) cut short by a signal may complete asynchronously;
+      // redialing a fresh socket is the portable safe recovery.
+      fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd >= 0) continue;
+    }
+    note_transport_error();
+    return -1;
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  fd_ = fd;
+  ever_connected_ = true;
+  sock_ = cfg_.net_faults.enabled() ? ChaosSocket(faults) : ChaosSocket();
+  rbuf_.clear();
+  return fd_;
+}
+
+bool Client::send_all(const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = sock_.send(fd_, data.data() + off, data.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EPIPE / ECONNRESET / injected reset
+  }
+  return true;
+}
+
+bool Client::read_line(std::string& out) {
+  for (;;) {
+    const std::size_t nl = rbuf_.find('\n');
+    if (nl != std::string::npos) {
+      out.assign(rbuf_, 0, nl);
+      rbuf_.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[16384];
+    const ssize_t n = sock_.read(fd_, chunk, sizeof chunk);
+    if (n > 0) {
+      rbuf_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EOF or reset mid-frame
+  }
+}
+
+// ---------------------------------------------------------------------------
+// call(): one request, full retry discipline
+
+CallResult Client::call(const std::string& request_line) {
+  ++counters_.calls;
+  client_counter("srv.client.calls").add();
+  CallResult res;
+  const bool bounded = cfg_.request_deadline_s > 0.0;
+  const double deadline_s = mono_s() + cfg_.request_deadline_s;
+  const int max_attempts = cfg_.retry.max_attempts > 1
+                               ? cfg_.retry.max_attempts
+                               : 1;
+  // Each call gets its own jitter stream so concurrent clients (and
+  // successive calls) never sleep in lockstep.
+  net::RetrySchedule schedule(cfg_.retry, call_stream_++);
+  const std::string wire = request_line + "\n";
+
+  WireVerdict last_wire;
+  bool have_wire = false;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      const double hint_s =
+          have_wire ? last_wire.retry_after_ms / 1e3 : 0.0;
+      const double sleep = schedule.next(hint_s);
+      if (bounded && mono_s() + sleep >= deadline_s) {
+        res.code = ErrorCode::kTimeout;
+        res.retryable = false;
+        res.message = "request deadline budget exhausted while backing off";
+        return res;
+      }
+      if (hint_s > 0.0 && sleep >= hint_s) {
+        ++counters_.hints_honored;
+        client_counter("srv.client.hints_honored").add();
+      }
+      sleep_s(sleep);
+      res.slept_s += sleep;
+      ++counters_.retries;
+      client_counter("srv.client.retries").add();
+    }
+    if (breaker_blocks()) {
+      res.code = ErrorCode::kOverloaded;
+      res.retryable = true;
+      res.message = "circuit breaker open";
+      continue;  // the cooldown may lapse before a later attempt
+    }
+    const bool redial = fd_ < 0 && ever_connected_;
+    if (ensure_connected() < 0) continue;  // counted as transport error
+    if (redial) {
+      ++counters_.reconnects;
+      client_counter("srv.client.reconnects").add();
+    }
+    ++res.attempts;
+    if (!send_all(wire)) {
+      note_transport_error();
+      close();
+      continue;
+    }
+    std::string line;
+    if (!read_line(line)) {
+      note_transport_error();
+      close();
+      rbuf_.clear();
+      continue;
+    }
+    note_transport_success();
+    const WireVerdict v = judge_line(line);
+    res.line = std::move(line);
+    if (v.parsed && v.ok) {
+      res.ok = true;
+      res.code = ErrorCode::kDomainError;
+      res.retryable = false;
+      ++counters_.responses_ok;
+      return res;
+    }
+    ++counters_.wire_errors;
+    client_counter("srv.client.wire_errors").add();
+    if (!v.parsed) {
+      // A line the client cannot interpret is a protocol bug, not load:
+      // retrying the same bytes cannot help.
+      res.code = ErrorCode::kDomainError;
+      res.retryable = false;
+      res.message = "unparseable response line";
+      return res;
+    }
+    res.code = v.code;
+    res.retryable = v.retryable;
+    res.message = v.message;
+    res.retry_after_ms = v.retry_after_ms;
+    if (!v.retryable) return res;  // kDomainError & co: never retried
+    last_wire = v;
+    have_wire = true;
+  }
+  if (!have_wire && res.message.empty()) {
+    res.code = ErrorCode::kTransport;
+    res.retryable = true;
+    res.message = "connection failed after " +
+                  std::to_string(max_attempts) + " attempt(s)";
+  }
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined mode
+
+bool Client::post(const std::string& request_line) {
+  unacked_.push_back(request_line);
+  if (breaker_blocks()) return false;  // queued; recv_line will replay
+  if (fd_ < 0) {
+    // Replay the whole owed tail (this request included) on the fresh
+    // connection so ordering is preserved.
+    return reconnect_and_replay();
+  }
+  if (!send_all(request_line + "\n")) {
+    note_transport_error();
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::recv_line(std::string& out) {
+  if (unacked_.empty()) return false;  // nothing owed
+  for (;;) {
+    if (fd_ < 0 && !reconnect_and_replay()) return false;
+    if (read_line(out)) {
+      unacked_.pop_front();
+      note_transport_success();
+      return true;
+    }
+    note_transport_error();
+    close();
+    // A partial line in rbuf_ belonged to a response the reset killed; the
+    // replay below re-elicits it in full.
+    rbuf_.clear();
+    if (!reconnect_and_replay()) return false;
+  }
+}
+
+bool Client::reconnect_and_replay() {
+  const int max_attempts = cfg_.retry.max_attempts > 1
+                               ? cfg_.retry.max_attempts
+                               : 1;
+  // A distinct stream per reconnect episode keeps replay sleeps jittered.
+  net::RetrySchedule schedule(cfg_.retry, call_stream_++);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      sleep_s(schedule.next());
+      ++counters_.retries;
+      client_counter("srv.client.retries").add();
+    }
+    if (breaker_blocks()) continue;  // cooldown may lapse before retry
+    const bool redial = ever_connected_;
+    if (ensure_connected() < 0) continue;
+    std::string batch;
+    for (const std::string& line : unacked_) {
+      batch += line;
+      batch += '\n';
+    }
+    if (batch.empty() || send_all(batch)) {
+      if (redial) {
+        // The first-ever dial just sends the queued tail; only re-dials
+        // after a live connection died count as reconnect + replay.
+        ++counters_.reconnects;
+        client_counter("srv.client.reconnects").add();
+        counters_.replayed += unacked_.size();
+        if (!unacked_.empty()) {
+          client_counter("srv.client.replayed").add(unacked_.size());
+        }
+      }
+      return true;
+    }
+    note_transport_error();
+    close();
+  }
+  return false;
+}
+
+}  // namespace sre::srv

@@ -1,0 +1,165 @@
+#pragma once
+
+// srv::Client — the resilient NDJSON client for sre_serve.
+//
+// Extracted from sre_loadgen's socket plumbing so every consumer of the
+// wire protocol shares one hardened dial/retry/reconnect path instead of
+// re-growing ad-hoc loops. The pieces:
+//
+//   * EINTR-safe connect/send/recv with MSG_NOSIGNAL on every send (the
+//     repo-wide SIGPIPE policy: a dead peer costs EPIPE, never a signal);
+//   * the shared net::RetryPolicy (decorrelated jitter, the same schedule
+//     SweepRunner::run_resilient uses) between attempts of call();
+//   * typed retry discipline: only *retryable* failures are retried —
+//     transport errors (reset, refusal, EOF mid-frame -> kTransport) and
+//     retryable wire rejections (kOverloaded, kInjectedFault). A
+//     kDomainError response is never retried: a malformed request does not
+//     become well-formed by asking again;
+//   * server backoff hints: a rejection carrying "retry_after_ms" floors
+//     the next jittered sleep (RetrySchedule::next(hint)) — the client half
+//     of the brownout feedback loop;
+//   * a per-request deadline budget that *shrinks across attempts*: when
+//     the next sleep would outlive the remaining budget the call fails
+//     with kTimeout instead of sleeping past its own deadline;
+//   * a half-open circuit breaker on consecutive transport failures:
+//     while open, calls fail fast with kOverloaded (no dial, no sleep);
+//     after the cooldown one probe call is let through — success closes
+//     the breaker, failure re-opens it;
+//   * a pipelined mode (post()/recv_line()) for C10K-style load: requests
+//     stream without waiting, responses arrive in request order, and a
+//     mid-stream transport failure reconnects and *replays the unacked
+//     tail* — requests are idempotent queries, so a survivor's bytes are
+//     identical to a fault-free run;
+//   * optional client-side chaos: a sim::NetFaultSpec dials the client's
+//     own sockets through srv::ChaosSocket (streams offset by
+//     NetFaultPlan::kClientStreamBase so in-process runs never alias the
+//     server's schedules) and injects connect refusals before dialing.
+//
+// Counters are per-instance plain structs (loadgen sums its workers) plus
+// lazily-registered srv.client.* obs counters.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "net/retry.hpp"
+#include "sim/netfault.hpp"
+#include "srv/chaos_socket.hpp"
+#include "stats/error.hpp"
+
+namespace sre::srv {
+
+struct ClientConfig {
+  std::string host = "127.0.0.1";
+  unsigned short port = 0;
+  net::RetryPolicy retry{};     ///< attempts + jittered backoff for call()
+  double request_deadline_s = 0.0;  ///< per-call budget across attempts; 0 = off
+  int breaker_threshold = 0;        ///< consecutive transport failures; 0 = off
+  double breaker_cooldown_s = 1.0;  ///< open -> half-open probe delay
+  sim::NetFaultSpec net_faults{};   ///< client-side chaos (off by default)
+  /// Fault stream id of this client's first connection; reconnects use
+  /// consecutive ids. Offset client instances (base + k) so each has an
+  /// independent schedule.
+  std::uint64_t fault_stream = sim::NetFaultPlan::kClientStreamBase;
+};
+
+/// The outcome of one call(). `ok` means a response line arrived and its
+/// wire "ok" field is true; otherwise `code` holds the typed failure — a
+/// wire rejection's code verbatim, kTransport when the connection died
+/// with no final response, kTimeout when the budget ran out, kOverloaded
+/// when the breaker refused to dial.
+struct CallResult {
+  bool ok = false;
+  std::string line;  ///< last response line received ("" on pure transport)
+  ErrorCode code = ErrorCode::kTransport;
+  bool retryable = false;
+  std::string message;
+  int attempts = 0;         ///< wire attempts actually made
+  double slept_s = 0.0;     ///< total backoff slept
+  double retry_after_ms = 0.0;  ///< last server hint seen (0 = none)
+};
+
+/// Monotonic per-instance totals.
+struct ClientCounters {
+  std::uint64_t calls = 0;
+  std::uint64_t responses_ok = 0;
+  std::uint64_t wire_errors = 0;       ///< final {"ok":false} responses
+  std::uint64_t transport_errors = 0;  ///< resets/refusals/EOF observed
+  std::uint64_t retries = 0;           ///< extra attempts after the first
+  std::uint64_t reconnects = 0;        ///< successful re-dials after failure
+  std::uint64_t hints_honored = 0;     ///< sleeps floored by retry_after_ms
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t breaker_fast_fails = 0;
+  std::uint64_t replayed = 0;  ///< pipelined requests resent after reconnect
+};
+
+class Client {
+ public:
+  explicit Client(ClientConfig cfg);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One request/response round trip with the full retry discipline.
+  /// `request_line` must be a single NDJSON object without the newline.
+  /// Retried attempts resend the same bytes (requests are idempotent
+  /// queries keyed by their canonical content).
+  [[nodiscard]] CallResult call(const std::string& request_line);
+
+  // -- pipelined mode --------------------------------------------------------
+
+  /// Queues and sends one request without waiting for its response. False
+  /// when the connection cannot be (re)established; the request is still
+  /// queued and a later post/recv will replay it.
+  bool post(const std::string& request_line);
+
+  /// Next response line, in request order. A mid-stream transport failure
+  /// reconnects and replays every unacked request before reading on.
+  /// False only when reconnect attempts are exhausted.
+  [[nodiscard]] bool recv_line(std::string& out);
+
+  /// Requests posted whose responses have not been received yet.
+  [[nodiscard]] std::size_t unacked() const noexcept {
+    return unacked_.size();
+  }
+
+  /// Closes the connection (idempotent); the next call()/post() re-dials.
+  void close() noexcept;
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] const ClientCounters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const ClientConfig& config() const noexcept { return cfg_; }
+
+ private:
+  /// Dials (or returns the live fd). Applies injected connect refusals,
+  /// EINTR-safe connect, breaker accounting. -1 on failure.
+  int ensure_connected();
+  /// Sends the whole buffer through the chaos shim, EINTR/short-write safe.
+  bool send_all(const std::string& data);
+  /// Reads one newline-terminated line into `out` (newline stripped).
+  /// Returns false on EOF/reset; leftover bytes stay in rbuf_.
+  bool read_line(std::string& out);
+  /// Reconnects and replays the unacked tail (pipelined mode).
+  bool reconnect_and_replay();
+  void note_transport_error();
+  void note_transport_success();
+  [[nodiscard]] bool breaker_blocks();
+
+  ClientConfig cfg_;
+  ClientCounters counters_{};
+  int fd_ = -1;
+  bool ever_connected_ = false;  ///< distinguishes first dial from reconnect
+  std::uint64_t dial_count_ = 0;  ///< connections attempted (stream offset)
+  std::uint64_t call_stream_ = 0;  ///< jitter substream per call/reconnect
+  ChaosSocket sock_;              ///< shim for the current connection
+  std::string rbuf_;              ///< bytes read, not yet consumed as lines
+  std::deque<std::string> unacked_;  ///< pipelined lines awaiting responses
+  int consecutive_transport_failures_ = 0;
+  bool breaker_open_ = false;
+  double breaker_reopen_monotonic_s_ = 0.0;  ///< half-open probe time
+};
+
+}  // namespace sre::srv

@@ -108,6 +108,7 @@ std::string format_server_stats(const ServerStatsSnapshot& snapshot) {
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 #include "obs/wide.hpp"
+#include "srv/chaos_socket.hpp"
 #include "srv/framing.hpp"
 #include "srv/protocol.hpp"
 #include "srv/request.hpp"
@@ -181,6 +182,7 @@ struct EventLoop::Impl {
     bool ok = false;
     bool cached = false;
     ErrorCode code = ErrorCode::kDomainError;
+    double retry_after_ms = 0.0;
     PlanTelemetry telem;
   };
 
@@ -225,6 +227,7 @@ struct EventLoop::Impl {
     int fd = -1;
     std::uint64_t id = 0;
     std::string peer;  ///< client "ip:port", fixed at accept
+    ChaosSocket sock;  ///< fault-injecting read/send shim (default: raw I/O)
     LineFramer framer;
     std::deque<Slot> slots;
     std::uint64_t base_seq = 0;  ///< seq of slots.front()
@@ -256,6 +259,7 @@ struct EventLoop::Impl {
   std::shared_ptr<Mailbox> mailbox;
   std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns;
   std::uint64_t next_conn_id = kFirstConnId;
+  sim::NetFaultPlan net_faults;  ///< server-side chaos; conn id = stream id
   bool draining = false;
   Clock::time_point drain_deadline{};
   std::unique_ptr<obs::wide::Sink> sink;  ///< null: no access log
@@ -349,7 +353,9 @@ struct EventLoop::Impl {
 
   void shed_accept(int fd, const std::string& message) {
     const std::string line = overload_line(message);
-    (void)!::write(fd, line.data(), line.size());  // best effort
+    // MSG_NOSIGNAL: a peer that already hung up must cost EPIPE, not a
+    // process-killing SIGPIPE (the write is best-effort either way).
+    (void)!::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
     ::close(fd);
     loop.overload_rejects_.fetch_add(1, std::memory_order_relaxed);
     overload_counter().add();
@@ -367,6 +373,15 @@ struct EventLoop::Impl {
           ::close(fd);
           continue;
         }
+        if (net_faults.enabled() &&
+            net_faults.for_connection(next_conn_id).accept_dropped()) {
+          // Injected accept-time drop. The would-be connection still
+          // consumes its id, so later connections keep their schedules.
+          ++next_conn_id;
+          ChaosSocket::count_accept_drop();
+          ::close(fd);
+          continue;
+        }
         if (conns.size() >= loop.cfg_.max_connections) {
           shed_accept(fd, "connection limit reached (" +
                               std::to_string(loop.cfg_.max_connections) +
@@ -378,6 +393,9 @@ struct EventLoop::Impl {
         auto conn = std::make_unique<Conn>(loop.cfg_.max_line_bytes);
         conn->fd = fd;
         conn->id = next_conn_id++;
+        if (net_faults.enabled()) {
+          conn->sock = ChaosSocket(net_faults.for_connection(conn->id));
+        }
         char ip[INET_ADDRSTRLEN] = "?";
         (void)::inet_ntop(AF_INET, &peer.sin_addr, ip, sizeof ip);
         conn->peer =
@@ -598,6 +616,7 @@ struct EventLoop::Impl {
           done.ok = resp.ok;
           done.cached = resp.cached;
           done.code = resp.code;
+          done.retry_after_ms = resp.retry_after_ms;
           done.telem = resp.telem;
           box->post(std::move(done));
         });
@@ -610,7 +629,7 @@ struct EventLoop::Impl {
     // still has bytes, so capping the batch keeps one fast client from
     // starving its neighbours.
     for (int batch = 0; batch < 4; ++batch) {
-      const ssize_t n = ::read(c.fd, chunk, sizeof chunk);
+      const ssize_t n = c.sock.read(c.fd, chunk, sizeof chunk);
       if (n > 0) {
         loop.bytes_in_.fetch_add(static_cast<std::uint64_t>(n),
                                  std::memory_order_relaxed);
@@ -668,8 +687,10 @@ struct EventLoop::Impl {
     }
 
     while (c.backlog() > 0) {
+      // ChaosSocket::send is send(2)+MSG_NOSIGNAL underneath: a peer that
+      // closed mid-response surfaces as EPIPE below, never as SIGPIPE.
       const ssize_t n =
-          ::write(c.fd, c.wbuf.data() + c.woff, c.wbuf.size() - c.woff);
+          c.sock.send(c.fd, c.wbuf.data() + c.woff, c.wbuf.size() - c.woff);
       if (n > 0) {
         c.woff += static_cast<std::size_t>(n);
         c.wr_written += static_cast<std::uint64_t>(n);
@@ -765,6 +786,7 @@ struct EventLoop::Impl {
         slot.ev.cached = done.cached;
         if (!done.ok) {
           slot.ev.code = std::string(error_code_name(done.code));
+          slot.ev.retry_after_ms = done.retry_after_ms;
         }
         slot.ev.batch = done.telem.batch_size;
         slot.ev.admitted_ns = done.telem.admitted_ns;
@@ -886,6 +908,7 @@ EventLoop::EventLoop(PlannerService& service, EventLoopConfig cfg)
   if (cfg_.write_low_watermark > cfg_.write_high_watermark) {
     cfg_.write_low_watermark = cfg_.write_high_watermark / 2;
   }
+  impl_->net_faults = sim::NetFaultPlan(cfg_.net_faults);
   try {
     impl_->sink = obs::wide::Sink::open(
         obs::wide::SinkConfig{cfg_.access_log, cfg_.access_log_capacity});

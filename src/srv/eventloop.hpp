@@ -52,6 +52,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/netfault.hpp"
 #include "srv/service.hpp"
 
 namespace sre::obs::wide {
@@ -72,6 +73,11 @@ struct EventLoopConfig {
   std::size_t access_log_capacity = 16384;  ///< sink queue bound (see drops)
   std::string prom_path;         ///< Prometheus text dump path; empty = off
   double stats_interval_s = 1.0;  ///< snapshot/prom tick period; <=0 = off
+  /// Server-side network chaos (srv::ChaosSocket over every accepted fd,
+  /// accept-time drops at the accept seam). Connection ids are the fault
+  /// stream ids, so a seeded run replays the same injection schedule.
+  /// Disabled by default; sre_serve wires sim::NetFaultSpec::from_env().
+  sim::NetFaultSpec net_faults{};
 };
 
 /// Monotonic loop totals (plain atomics; exact in every build).

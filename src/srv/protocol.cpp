@@ -142,7 +142,14 @@ std::string format_response(const std::string& id, const PlanResponse& resp) {
     out += resp.retryable ? "true" : "false";
     out += ",\"message\":\"";
     out += obs::minijson::escape(resp.message);
-    out += "\"}";
+    out += '"';
+    // Hint is conditional so hint-free rejections keep their exact
+    // historical bytes (replay/obsdiff depend on that).
+    if (resp.retry_after_ms > 0.0) {
+      out += ",\"retry_after_ms\":";
+      out += obs::format_double(resp.retry_after_ms);
+    }
+    out += '}';
   }
   out += '}';
   return out;

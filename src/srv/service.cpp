@@ -1,5 +1,6 @@
 #include "srv/service.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <utility>
@@ -72,6 +73,27 @@ obs::Histogram& latency_histogram() {
   return h;
 }
 
+// Brownout counters register on first shed, so clean runs keep their
+// obsdiff baselines free of zero-noise srv.brownout.* keys.
+obs::Counter& brownout_shed_counter() {
+  static obs::Counter& c = obs::counter("srv.brownout.shed");
+  return c;
+}
+obs::Counter& brownout_doomed_counter() {
+  static obs::Counter& c = obs::counter("srv.brownout.doomed");
+  return c;
+}
+
+/// The retry_after_ms hint for a shed observed at queue age `age_ms`:
+/// grows linearly with the excess sojourn, clamped to the configured band.
+/// A deeper brownout therefore tells clients to back off longer — the
+/// feedback loop that bounds tail latency instead of amplifying the storm.
+double brownout_hint_ms(const ServiceConfig& cfg, double age_ms) noexcept {
+  const double lo = cfg.retry_after_min_ms;
+  const double hi = std::max(cfg.retry_after_max_ms, lo);
+  return std::clamp(age_ms - cfg.brownout_sojourn_ms + lo, lo, hi);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -108,6 +130,7 @@ struct PlannerService::Batch {
   core::CostModel model{};
   int attempt = 0;  ///< leader's retry counter (drives fault injection)
   bool unbounded = false;  ///< some member has no deadline
+  Clock::time_point enqueued{};  ///< queue entry; drives brownout sojourn
   Clock::time_point deadline = Clock::time_point::min();
   std::vector<std::shared_ptr<Waiter>> members;
 };
@@ -126,6 +149,12 @@ ServiceConfig ServiceConfig::from_env() {
       static_cast<unsigned>(env_size("SRE_SRV_WORKERS", cfg.workers));
   cfg.default_deadline_s =
       env_double("SRE_SRV_DEADLINE_MS", cfg.default_deadline_s * 1e3) / 1e3;
+  cfg.brownout_sojourn_ms =
+      env_double("SRE_SRV_BROWNOUT_MS", cfg.brownout_sojourn_ms);
+  cfg.retry_after_min_ms =
+      env_double("SRE_SRV_RETRY_AFTER_MIN_MS", cfg.retry_after_min_ms);
+  cfg.retry_after_max_ms =
+      env_double("SRE_SRV_RETRY_AFTER_MAX_MS", cfg.retry_after_max_ms);
   cfg.faults = sim::FaultSpec::from_env();
   return cfg;
 }
@@ -212,6 +241,7 @@ void PlannerService::enqueue_locked(PreparedRequest& prep,
     batch->solver = std::move(prep.solver);
     batch->model = prep.req.model;
     batch->attempt = prep.req.attempt;
+    batch->enqueued = Clock::now();
     batch->unbounded = deadline == Clock::time_point::max();
     if (!batch->unbounded) batch->deadline = deadline;
     batch->members.push_back(waiter);
@@ -274,6 +304,7 @@ PlanResponse PlannerService::call(const PlanRequest& req) {
   auto waiter = std::make_shared<Waiter>();
   waiter->deadline = deadline;
   {
+    const auto admit_now = Clock::now();
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) {
       reject(resp, ErrorCode::kCancelled, "service is stopping");
@@ -283,6 +314,13 @@ PlanResponse PlannerService::call(const PlanRequest& req) {
       reject(resp, ErrorCode::kOverloaded,
              "queue full (" + std::to_string(cfg_.queue_capacity) +
                  " requests in flight)");
+      if (cfg_.brownout_sojourn_ms > 0.0) {
+        resp.retry_after_ms =
+            brownout_hint_ms(cfg_, queue_age_ms_locked(admit_now));
+      }
+      return finish(std::move(resp));
+    }
+    if (brownout_shed_locked(resp, admit_now, deadline)) {
       return finish(std::move(resp));
     }
     ++in_flight_;
@@ -349,6 +387,7 @@ void PlannerService::submit(const PlanRequest& req, ResponseCallback done) {
   waiter->trace = prep.req.trace;
   bool queued = false;
   {
+    const auto admit_now = Clock::now();
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) {
       reject(resp, ErrorCode::kCancelled, "service is stopping");
@@ -356,6 +395,12 @@ void PlannerService::submit(const PlanRequest& req, ResponseCallback done) {
       reject(resp, ErrorCode::kOverloaded,
              "queue full (" + std::to_string(cfg_.queue_capacity) +
                  " requests in flight)");
+      if (cfg_.brownout_sojourn_ms > 0.0) {
+        resp.retry_after_ms =
+            brownout_hint_ms(cfg_, queue_age_ms_locked(admit_now));
+      }
+    } else if (brownout_shed_locked(resp, admit_now, deadline)) {
+      // resp already carries the typed shed + retry_after_ms hint.
     } else {
       ++in_flight_;
       waiter->counted_in_flight = true;
@@ -382,6 +427,48 @@ void PlannerService::reject(PlanResponse& out, ErrorCode code,
   out.code = code;
   out.retryable = is_retryable(code);
   out.message = std::move(message);
+}
+
+double PlannerService::queue_age_ms_locked(Clock::time_point now) const {
+  if (queue_.empty()) return 0.0;
+  const double age =
+      std::chrono::duration<double, std::milli>(now - queue_.front()->enqueued)
+          .count();
+  return age > 0.0 ? age : 0.0;
+}
+
+bool PlannerService::brownout_shed_locked(PlanResponse& resp,
+                                          Clock::time_point now,
+                                          Clock::time_point deadline) {
+  if (cfg_.brownout_sojourn_ms <= 0.0) return false;
+  const double age_ms = queue_age_ms_locked(now);
+  if (age_ms > cfg_.brownout_sojourn_ms) {
+    brownout_shed_.fetch_add(1, std::memory_order_relaxed);
+    brownout_shed_counter().add();
+    reject(resp, ErrorCode::kOverloaded,
+           "brownout: queue sojourn above " +
+               obs::format_double(cfg_.brownout_sojourn_ms) + " ms");
+    resp.retry_after_ms = brownout_hint_ms(cfg_, age_ms);
+    return true;
+  }
+  // Doomed-request shed: a budget that cannot outlive the sojourn already
+  // ahead of it would only expire in queue — rejecting now is free and, as
+  // a *retryable* overload (unlike the kTimeout it would become), it tells
+  // the client to come back instead of giving up. Requests that arrive
+  // already expired (age 0) keep their historical kTimeout path.
+  if (age_ms > 0.0 && deadline != Clock::time_point::max()) {
+    const double remaining_ms =
+        std::chrono::duration<double, std::milli>(deadline - now).count();
+    if (remaining_ms <= age_ms) {
+      brownout_doomed_.fetch_add(1, std::memory_order_relaxed);
+      brownout_doomed_counter().add();
+      reject(resp, ErrorCode::kOverloaded,
+             "brownout: deadline budget below current queue sojourn");
+      resp.retry_after_ms = brownout_hint_ms(cfg_, age_ms);
+      return true;
+    }
+  }
+  return false;
 }
 
 PlanResponse PlannerService::wait_for(const std::shared_ptr<Waiter>& waiter) {
@@ -566,6 +653,8 @@ ServiceCounters PlannerService::counters() const {
         std::memory_order_relaxed);
     c.rejected += c.rejected_by_code[i];
   }
+  c.brownout_shed = brownout_shed_.load(std::memory_order_relaxed);
+  c.brownout_doomed = brownout_doomed_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -593,7 +682,15 @@ std::string PlannerService::stats_json() const {
     out += std::string(error_code_name(static_cast<ErrorCode>(i)));
     out += "\":" + std::to_string(c.rejected_by_code[i]);
   }
-  out += "}}}";
+  out += "}}";
+  // Brownout block only when it actually fired (same nonzero-only policy
+  // as by_code): baselines of non-brownout runs keep their exact bytes.
+  if (c.brownout_shed != 0 || c.brownout_doomed != 0) {
+    out += ",\"brownout\":{\"shed\":" + std::to_string(c.brownout_shed);
+    out += ",\"doomed\":" + std::to_string(c.brownout_doomed);
+    out += '}';
+  }
+  out += '}';
   return out;
 }
 

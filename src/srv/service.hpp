@@ -54,10 +54,25 @@ struct ServiceConfig {
   double default_deadline_s = 0.0;   ///< applied when a request has none
   sim::FaultSpec faults{};           ///< chaos injection for served requests
 
+  /// Adaptive brownout (CoDel-style sojourn admission). When > 0, a request
+  /// is shed with a retryable kOverloaded *before* the hard in-flight cap
+  /// bites whenever the oldest queued batch has waited longer than this —
+  /// queue age, not queue length, is the overload signal, so a burst that
+  /// the workers are absorbing quickly is admitted while a stalled queue
+  /// sheds early. Sheds (and capacity overloads, while brownout is active)
+  /// carry a retry_after_ms hint that grows with the excess sojourn;
+  /// srv::Client floors its backoff with it. 0 (the default) disables
+  /// brownout and keeps every response byte identical to earlier releases.
+  double brownout_sojourn_ms = 0.0;
+  double retry_after_min_ms = 5.0;     ///< hint floor when shedding
+  double retry_after_max_ms = 1000.0;  ///< hint ceiling
+
   /// Reads the service environment knobs: SRE_SRV_CACHE (0 disables),
   /// SRE_SRV_CACHE_CAPACITY, SRE_SRV_SHARDS, SRE_SRV_QUEUE, SRE_SRV_BATCH,
-  /// SRE_SRV_WORKERS, SRE_SRV_DEADLINE_MS, plus the SRE_FAULT_* chaos knobs
-  /// via sim::FaultSpec::from_env(). Unset variables keep the defaults.
+  /// SRE_SRV_WORKERS, SRE_SRV_DEADLINE_MS, SRE_SRV_BROWNOUT_MS,
+  /// SRE_SRV_RETRY_AFTER_MIN_MS, SRE_SRV_RETRY_AFTER_MAX_MS, plus the
+  /// SRE_FAULT_* chaos knobs via sim::FaultSpec::from_env(). Unset
+  /// variables keep the defaults.
   static ServiceConfig from_env();
 };
 
@@ -83,6 +98,11 @@ struct PlanResponse {
   bool cached = false;
   ErrorCode code = ErrorCode::kDomainError;
   bool retryable = false;
+  /// Backoff hint for retryable rejections (0 = none). Emitted on the wire
+  /// inside the error object only when > 0, so responses without a hint
+  /// keep their exact historical bytes. srv::Client uses it as a floor on
+  /// its decorrelated-jitter sleep.
+  double retry_after_ms = 0.0;
   std::string message;
   std::string result;
   PlanTelemetry telem;  ///< lifecycle stamps; not part of the wire bytes
@@ -97,6 +117,8 @@ struct ServiceCounters {
   std::uint64_t coalesced = 0;  ///< requests that joined an existing batch
   std::uint64_t rejected = 0;   ///< sum of by_code
   std::array<std::uint64_t, kErrorCodeCount> rejected_by_code{};
+  std::uint64_t brownout_shed = 0;    ///< kOverloaded from queue-age admission
+  std::uint64_t brownout_doomed = 0;  ///< shed: budget < current queue age
 };
 
 class PlannerService {
@@ -152,6 +174,14 @@ class PlannerService {
   void execute_batch(const std::shared_ptr<Batch>& batch);
   PlanResponse wait_for(const std::shared_ptr<Waiter>& waiter);
   void reject(PlanResponse& out, ErrorCode code, std::string message);
+  /// Queue sojourn of the oldest *queued* batch, in ms (0 = queue empty).
+  /// Caller holds mutex_.
+  [[nodiscard]] double queue_age_ms_locked(Clock::time_point now) const;
+  /// The brownout admission decision. Caller holds mutex_; returns true
+  /// when the request must be shed (resp filled with the typed kOverloaded
+  /// rejection + retry_after_ms hint) and false when it may be admitted.
+  bool brownout_shed_locked(PlanResponse& resp, Clock::time_point now,
+                            Clock::time_point deadline);
   void fulfill(const std::shared_ptr<Waiter>& waiter,
                const PlanResponse& resp);
   /// Terminal accounting shared by both paths: completion/rejection
@@ -183,6 +213,8 @@ class PlannerService {
   std::atomic<std::uint64_t> solves_{0};
   std::atomic<std::uint64_t> coalesced_{0};
   std::array<std::atomic<std::uint64_t>, kErrorCodeCount> rejected_by_code_{};
+  std::atomic<std::uint64_t> brownout_shed_{0};
+  std::atomic<std::uint64_t> brownout_doomed_{0};
 };
 
 /// In-process client: the full queue/batch/cache path without sockets.

@@ -16,12 +16,15 @@ std::string_view error_code_name(ErrorCode code) noexcept {
       return "cancelled";
     case ErrorCode::kOverloaded:
       return "overloaded";
+    case ErrorCode::kTransport:
+      return "transport";
   }
   return "domain_error";  // unreachable; keeps -Wreturn-type quiet
 }
 
 bool is_retryable(ErrorCode code) noexcept {
-  return code == ErrorCode::kInjectedFault || code == ErrorCode::kOverloaded;
+  return code == ErrorCode::kInjectedFault || code == ErrorCode::kOverloaded ||
+         code == ErrorCode::kTransport;
 }
 
 }  // namespace sre

@@ -28,17 +28,19 @@ enum class ErrorCode {
   kInjectedFault = 3, ///< deterministic chaos injection (sim::FaultPlan)
   kCancelled = 4,     ///< cooperative cancellation requested
   kOverloaded = 5,    ///< admission control refused the request (srv::)
+  kTransport = 6,     ///< wire-level failure (reset, refusal, EOF mid-frame)
 };
 
-inline constexpr std::size_t kErrorCodeCount = 6;
+inline constexpr std::size_t kErrorCodeCount = 7;
 
 /// Stable snake_case wire name ("domain_error", "injected_fault", ...).
 [[nodiscard]] std::string_view error_code_name(ErrorCode code) noexcept;
 
 /// True for classes worth retrying: transient, platform-side conditions
-/// qualify (kInjectedFault, and kOverloaded — the planner service sheds the
+/// qualify (kInjectedFault, kOverloaded — the planner service sheds the
 /// request *before* spending any solver budget, so backing off and retrying
-/// is exactly the intended client response). Deterministic solver failures
+/// is exactly the intended client response — and kTransport, a connection
+/// that died underneath an idempotent query). Deterministic solver failures
 /// (domain error, non-convergence) reproduce on retry, and a timed-out or
 /// cancelled scenario already consumed its budget. See CONTRIBUTING.md.
 [[nodiscard]] bool is_retryable(ErrorCode code) noexcept;

@@ -1,0 +1,174 @@
+// sim::NetFaultSpec / NetConnFaults / NetFaultPlan — deterministic
+// network-fault schedules. Every decision must be a pure random-access
+// function of (seed, connection stream, fault class, op index): the same
+// plan asked twice, or asked out of order, answers identically, which is
+// what lets a chaos failure seen in CI replay locally from the seed alone.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "sim/netfault.hpp"
+
+namespace {
+
+using sre::sim::NetConnFaults;
+using sre::sim::NetFaultPlan;
+using sre::sim::NetFaultSpec;
+
+TEST(NetFaultSpec, DisabledByDefaultAndPassesEverythingThrough) {
+  const NetFaultSpec spec;
+  EXPECT_FALSE(spec.enabled());
+  const NetConnFaults conn(spec, 7);
+  for (std::uint64_t op = 0; op < 64; ++op) {
+    EXPECT_FALSE(conn.connect_refused(op));
+    EXPECT_FALSE(conn.read_reset(op));
+    EXPECT_FALSE(conn.write_reset(op));
+    EXPECT_EQ(conn.short_read_fraction(op), 1.0);
+    EXPECT_EQ(conn.short_write_fraction(op), 1.0);
+    EXPECT_EQ(conn.delay_seconds(op), 0.0);
+  }
+  EXPECT_FALSE(conn.accept_dropped());
+}
+
+TEST(NetFaultSpec, DelayNeedsBothProbabilityAndDuration) {
+  NetFaultSpec spec;
+  spec.delay_prob = 1.0;
+  EXPECT_FALSE(spec.enabled());  // zero-second delays are not faults
+  spec.delay_seconds = 0.001;
+  EXPECT_TRUE(spec.enabled());
+}
+
+TEST(NetConnFaults, DecisionsAreRandomAccessAndReplayIdentically) {
+  NetFaultSpec spec;
+  spec.seed = 11;
+  spec.read_reset_prob = 0.3;
+  spec.write_reset_prob = 0.3;
+  spec.short_read_prob = 0.5;
+  spec.delay_prob = 0.2;
+  spec.delay_seconds = 0.001;
+
+  const NetConnFaults conn(spec, 42);
+  std::vector<bool> forward;
+  forward.reserve(256);
+  for (std::uint64_t op = 0; op < 256; ++op) {
+    forward.push_back(conn.read_reset(op));
+  }
+  // Backwards, interleaved with other classes, and through a second
+  // instance: the answers never change.
+  const NetConnFaults again(spec, 42);
+  for (std::uint64_t op = 256; op-- > 0;) {
+    (void)conn.write_reset(op);
+    (void)conn.delay_seconds(op);
+    EXPECT_EQ(conn.read_reset(op), forward[op]) << "op " << op;
+    EXPECT_EQ(again.read_reset(op), forward[op]) << "op " << op;
+    EXPECT_EQ(again.short_read_fraction(op), conn.short_read_fraction(op));
+  }
+}
+
+TEST(NetConnFaults, StreamsAreIndependent) {
+  NetFaultSpec spec;
+  spec.seed = 5;
+  spec.read_reset_prob = 0.5;
+  const NetFaultPlan plan(spec);
+  const NetConnFaults a = plan.for_connection(2);
+  const NetConnFaults b = plan.for_connection(3);
+  bool any_diff = false;
+  for (std::uint64_t op = 0; op < 128 && !any_diff; ++op) {
+    any_diff = a.read_reset(op) != b.read_reset(op);
+  }
+  EXPECT_TRUE(any_diff) << "adjacent connection streams never diverged";
+}
+
+TEST(NetConnFaults, SeedChangesTheSchedule) {
+  NetFaultSpec a;
+  a.seed = 1;
+  a.read_reset_prob = 0.5;
+  NetFaultSpec b = a;
+  b.seed = 2;
+  const NetConnFaults ca(a, 7);
+  const NetConnFaults cb(b, 7);
+  bool any_diff = false;
+  for (std::uint64_t op = 0; op < 128 && !any_diff; ++op) {
+    any_diff = ca.read_reset(op) != cb.read_reset(op);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(NetConnFaults, ProbabilityOneAlwaysFiresAndZeroNeverDoes) {
+  NetFaultSpec spec;
+  spec.seed = 3;
+  spec.read_reset_prob = 1.0;
+  spec.short_write_prob = 1.0;
+  spec.accept_drop_prob = 1.0;
+  spec.connect_refuse_prob = 1.0;
+  const NetConnFaults conn(spec, 9);
+  EXPECT_TRUE(conn.accept_dropped());
+  for (std::uint64_t op = 0; op < 64; ++op) {
+    EXPECT_TRUE(conn.connect_refused(op));
+    EXPECT_TRUE(conn.read_reset(op));
+    EXPECT_FALSE(conn.write_reset(op));  // untouched class stays silent
+    const double f = conn.short_write_fraction(op);
+    EXPECT_GT(f, 0.0);  // never rounds an op down to zero bytes
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+TEST(NetConnFaults, HitRateTracksTheConfiguredProbability) {
+  NetFaultSpec spec;
+  spec.seed = 1234;
+  spec.read_reset_prob = 0.3;
+  const NetConnFaults conn(spec, 1);
+  std::uint64_t hits = 0;
+  const std::uint64_t ops = 20000;
+  for (std::uint64_t op = 0; op < ops; ++op) {
+    hits += conn.read_reset(op) ? 1 : 0;
+  }
+  const double rate = static_cast<double>(hits) / static_cast<double>(ops);
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(NetFaultSpec, FromEnvReadsEveryKnob) {
+  ::setenv("SRE_FAULT_NET_SEED", "77", 1);
+  ::setenv("SRE_FAULT_NET_REFUSE", "0.01", 1);
+  ::setenv("SRE_FAULT_NET_ACCEPT_DROP", "0.02", 1);
+  ::setenv("SRE_FAULT_NET_RESET_READ", "0.03", 1);
+  ::setenv("SRE_FAULT_NET_RESET_WRITE", "0.04", 1);
+  ::setenv("SRE_FAULT_NET_SHORT_READ", "0.05", 1);
+  ::setenv("SRE_FAULT_NET_SHORT_WRITE", "0.06", 1);
+  ::setenv("SRE_FAULT_NET_DELAY_PROB", "0.07", 1);
+  ::setenv("SRE_FAULT_NET_DELAY_S", "0.125", 1);
+  const NetFaultSpec spec = NetFaultSpec::from_env();
+  ::unsetenv("SRE_FAULT_NET_SEED");
+  ::unsetenv("SRE_FAULT_NET_REFUSE");
+  ::unsetenv("SRE_FAULT_NET_ACCEPT_DROP");
+  ::unsetenv("SRE_FAULT_NET_RESET_READ");
+  ::unsetenv("SRE_FAULT_NET_RESET_WRITE");
+  ::unsetenv("SRE_FAULT_NET_SHORT_READ");
+  ::unsetenv("SRE_FAULT_NET_SHORT_WRITE");
+  ::unsetenv("SRE_FAULT_NET_DELAY_PROB");
+  ::unsetenv("SRE_FAULT_NET_DELAY_S");
+
+  EXPECT_EQ(spec.seed, 77u);
+  EXPECT_DOUBLE_EQ(spec.connect_refuse_prob, 0.01);
+  EXPECT_DOUBLE_EQ(spec.accept_drop_prob, 0.02);
+  EXPECT_DOUBLE_EQ(spec.read_reset_prob, 0.03);
+  EXPECT_DOUBLE_EQ(spec.write_reset_prob, 0.04);
+  EXPECT_DOUBLE_EQ(spec.short_read_prob, 0.05);
+  EXPECT_DOUBLE_EQ(spec.short_write_prob, 0.06);
+  EXPECT_DOUBLE_EQ(spec.delay_prob, 0.07);
+  EXPECT_DOUBLE_EQ(spec.delay_seconds, 0.125);
+  EXPECT_TRUE(spec.enabled());
+
+  EXPECT_FALSE(NetFaultSpec::from_env().enabled());  // knobs cleared
+}
+
+TEST(NetFaultPlan, ClientStreamsLiveFarAboveServerConnIds) {
+  // The loadgen runs both sides of the chaos drill in one process; the
+  // offset guarantees the client's dial streams never alias the server's
+  // connection-id streams.
+  EXPECT_EQ(NetFaultPlan::kClientStreamBase, 1ull << 32);
+}
+
+}  // namespace

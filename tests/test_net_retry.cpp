@@ -1,0 +1,146 @@
+// net::RetryPolicy / net::RetrySchedule — the shared decorrelated-jitter
+// backoff extracted from sim/sweep.cpp's retry loop.
+//
+// The load-bearing test is bitwise equivalence: an independent
+// reimplementation of the *original* inline sweep formula (copied from the
+// pre-extraction sim/sweep.cpp, not from net/retry.cpp) must produce the
+// exact same double for every (seed, stream, attempt, base, cap) — the
+// extraction changed call sites, not schedules. test_sweep_resilience
+// covers the sweep-side integration on top of this.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "net/retry.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using sre::net::RetryPolicy;
+using sre::net::RetrySchedule;
+
+// The original sim/sweep.cpp backoff, reimplemented verbatim and
+// independently of net/retry.cpp (same primitives, original structure).
+double original_backoff_draw(std::uint64_t seed, std::uint64_t scenario,
+                             std::uint64_t attempt) {
+  std::uint64_t state =
+      sre::sim::substream_seed(sre::sim::substream_seed(seed, scenario),
+                               attempt);
+  return static_cast<double>(sre::sim::splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+std::vector<double> original_sleep_sequence(std::uint64_t seed,
+                                            std::uint64_t scenario,
+                                            double base, double cap,
+                                            int retries) {
+  std::vector<double> sleeps;
+  double prev_sleep = base;
+  for (int attempt = 1; attempt <= retries; ++attempt) {
+    if (base <= 0.0) {
+      sleeps.push_back(0.0);
+      continue;
+    }
+    const double u = original_backoff_draw(
+        seed, scenario, static_cast<std::uint64_t>(attempt));
+    const double hi = std::max(base, 3.0 * prev_sleep);
+    double sleep = base + u * (hi - base);
+    if (cap > 0.0) sleep = std::min(sleep, cap);
+    sleeps.push_back(sleep);
+    prev_sleep = sleep;
+  }
+  return sleeps;
+}
+
+TEST(RetrySchedule, BitwiseEquivalentToOriginalSweepFormula) {
+  const std::uint64_t seeds[] = {0, 1, 42, 0xdeadbeefULL};
+  const std::uint64_t streams[] = {0, 1, 17, 1ULL << 40};
+  const struct {
+    double base;
+    double cap;
+  } shapes[] = {{0.05, 1.0}, {0.05, 0.0}, {0.001, 0.01}, {2.0, 1.0}};
+  for (const auto seed : seeds) {
+    for (const auto stream : streams) {
+      for (const auto& shape : shapes) {
+        RetryPolicy policy;
+        policy.max_attempts = 13;
+        policy.base_seconds = shape.base;
+        policy.cap_seconds = shape.cap;
+        policy.seed = seed;
+        RetrySchedule schedule(policy, stream);
+        const auto expected =
+            original_sleep_sequence(seed, stream, shape.base, shape.cap, 12);
+        for (int k = 0; k < 12; ++k) {
+          // EXPECT_EQ on doubles is exact — bit-for-bit, not approximate.
+          EXPECT_EQ(schedule.next(), expected[static_cast<std::size_t>(k)])
+              << "seed=" << seed << " stream=" << stream
+              << " base=" << shape.base << " cap=" << shape.cap
+              << " attempt=" << (k + 1);
+        }
+      }
+    }
+  }
+}
+
+TEST(RetrySchedule, DeterministicPerStreamAndIndependentAcrossStreams) {
+  RetryPolicy policy{8, 0.01, 1.0, 99};
+  RetrySchedule a1(policy, 5);
+  RetrySchedule a2(policy, 5);
+  RetrySchedule b(policy, 6);
+  bool any_diff = false;
+  for (int k = 0; k < 8; ++k) {
+    const double s1 = a1.next();
+    const double s2 = a2.next();
+    const double sb = b.next();
+    EXPECT_EQ(s1, s2);
+    any_diff = any_diff || s1 != sb;
+  }
+  EXPECT_TRUE(any_diff) << "streams 5 and 6 produced identical schedules";
+}
+
+TEST(RetrySchedule, HintFloorsSleepWithoutPerturbingTheRecurrence) {
+  RetryPolicy policy{8, 0.002, 1.0, 7};
+  RetrySchedule hinted(policy, 0);
+  RetrySchedule plain(policy, 0);
+
+  EXPECT_EQ(hinted.next(), plain.next());
+  const double plain_second = plain.next();
+  const double hinted_second = hinted.next(0.5);  // 500 ms server hint
+  EXPECT_EQ(hinted_second, std::max(plain_second, 0.5));
+  EXPECT_GE(hinted_second, 0.5);
+  // The hint floored the *returned* sleep only: the recurrence state keeps
+  // following the unhinted path, so later sleeps match exactly.
+  EXPECT_EQ(hinted.next(), plain.next());
+  EXPECT_EQ(hinted.next(), plain.next());
+}
+
+TEST(RetrySchedule, HintMayExceedTheCap) {
+  // The server knows its own drain rate; retry_after_ms is allowed to push
+  // past the client's static ceiling (CONTRIBUTING.md retry-after contract).
+  RetryPolicy policy{4, 0.001, 0.005, 3};
+  RetrySchedule schedule(policy, 0);
+  EXPECT_LE(schedule.next(), 0.005);
+  EXPECT_EQ(schedule.next(2.5), 2.5);
+}
+
+TEST(RetrySchedule, ZeroBaseMeansImmediateRetriesButHintsStillApply) {
+  RetryPolicy policy{4, 0.0, 1.0, 3};
+  RetrySchedule schedule(policy, 9);
+  EXPECT_EQ(schedule.next(), 0.0);
+  EXPECT_EQ(schedule.next(0.25), 0.25);
+  EXPECT_EQ(schedule.next(), 0.0);
+  EXPECT_EQ(schedule.attempts(), 3);
+}
+
+TEST(RetryPolicy, JitterDrawIsPureAndInUnitInterval) {
+  for (std::uint64_t attempt = 1; attempt <= 64; ++attempt) {
+    const double u = RetryPolicy::jitter_draw(42, 7, attempt);
+    EXPECT_EQ(u, RetryPolicy::jitter_draw(42, 7, attempt));
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+}  // namespace

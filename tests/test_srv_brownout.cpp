@@ -1,0 +1,190 @@
+// Adaptive brownout in srv::PlannerService: when the oldest queued batch
+// has waited longer than the configured sojourn threshold, new arrivals
+// are shed *at admission* with retryable kOverloaded plus a retry_after_ms
+// hint that grows with the excess sojourn — CoDel's insight applied to the
+// solver queue. A second seam sheds "doomed" requests whose deadline
+// budget cannot outlive the sojourn already ahead of them. Both are off by
+// default (brownout_sojourn_ms == 0), keeping every historical byte
+// stream and baseline intact.
+//
+// Tests occupy the single worker with an injected-latency fault
+// (probability one), exactly like test_srv_service's overload tests, so
+// the queue state is deterministic and assertions only need generous
+// windows — no timing races on the shed decision itself.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "srv/protocol.hpp"
+#include "srv/service.hpp"
+#include "stats/error.hpp"
+
+namespace {
+
+using sre::ErrorCode;
+using sre::srv::PlanRequest;
+using sre::srv::PlanResponse;
+using sre::srv::PlannerService;
+using sre::srv::ServiceConfig;
+
+PlanRequest request(const char* dist = "lognormal:mu=3,sigma=0.5") {
+  PlanRequest req;
+  req.dist_spec = dist;
+  req.model = {1.0, 1.0, 1.0};
+  req.solver = "equal-probability";
+  req.n = 64;
+  req.epsilon = 1e-6;
+  return req;
+}
+
+/// One worker, kept busy half a second per batch by an injected-latency
+/// fault; brownout armed with threshold `sojourn_ms`.
+ServiceConfig slow_config(double sojourn_ms) {
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.faults.seed = 1;
+  cfg.faults.latency_prob = 1.0;
+  cfg.faults.latency_seconds = 0.5;
+  cfg.brownout_sojourn_ms = sojourn_ms;
+  return cfg;
+}
+
+bool wait_for_solves(const PlannerService& service, std::uint64_t target) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (service.counters().solves < target) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+/// Occupies the worker with one solve (key A) and parks a second batch
+/// (key B) in the queue, then sleeps long enough for B's sojourn to
+/// clearly exceed `ms`. Returns the joinable blocker thread.
+std::thread occupy_and_age_queue(PlannerService& service, double ms) {
+  std::thread blocker([&service] {
+    auto req = request();
+    const auto resp = service.call(req);
+    EXPECT_TRUE(resp.ok) << resp.message;
+  });
+  EXPECT_TRUE(wait_for_solves(service, 1));
+  service.submit(request("exponential:lambda=0.25"),
+                 [](PlanResponse) {});  // queued behind the busy worker
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(ms + 20.0));
+  return blocker;
+}
+
+TEST(SrvBrownout, ShedsAtAdmissionWhenSojournExceedsThreshold) {
+  PlannerService service(slow_config(1.0));
+  std::thread blocker = occupy_and_age_queue(service, 1.0);
+
+  auto req = request("uniform:a=1,b=2");
+  const auto resp = service.call(req);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, ErrorCode::kOverloaded);
+  EXPECT_TRUE(resp.retryable);
+  EXPECT_EQ(resp.message.rfind("brownout: queue sojourn above", 0), 0u)
+      << resp.message;
+  // The hint is clamped to [retry_after_min_ms, retry_after_max_ms].
+  EXPECT_GE(resp.retry_after_ms, service.config().retry_after_min_ms);
+  EXPECT_LE(resp.retry_after_ms, service.config().retry_after_max_ms);
+  EXPECT_EQ(service.counters().brownout_shed, 1u);
+  EXPECT_EQ(service.counters().brownout_doomed, 0u);
+
+  // The stats JSON now carries the brownout block (nonzero-only, like
+  // by_code), and the wire response carries the hint.
+  EXPECT_NE(service.stats_json().find("\"brownout\""), std::string::npos);
+  const std::string wire = sre::srv::format_response("x", resp);
+  EXPECT_NE(wire.find("\"retry_after_ms\":"), std::string::npos);
+
+  blocker.join();
+}
+
+TEST(SrvBrownout, HintSaturatesAtTheConfiguredMaximum) {
+  ServiceConfig cfg = slow_config(1.0);
+  cfg.retry_after_min_ms = 5.0;
+  cfg.retry_after_max_ms = 7.0;
+  PlannerService service(cfg);
+  // Sojourn ages ~70 ms; raw hint = age - 1 + 5 >> 7, so it clamps.
+  std::thread blocker = occupy_and_age_queue(service, 50.0);
+
+  auto req = request("uniform:a=1,b=2");
+  const auto resp = service.call(req);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_DOUBLE_EQ(resp.retry_after_ms, 7.0);
+  blocker.join();
+}
+
+TEST(SrvBrownout, DoomedRequestsShedAsRetryableInsteadOfTimingOut) {
+  // Threshold high enough that the sojourn shed never fires; the doomed
+  // seam must catch a request whose 1 ms budget cannot outlive the ~70 ms
+  // sojourn already ahead of it.
+  PlannerService service(slow_config(1e6));
+  std::thread blocker = occupy_and_age_queue(service, 50.0);
+
+  auto req = request("uniform:a=1,b=2");
+  req.deadline_ms = 1.0;
+  const auto resp = service.call(req);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, ErrorCode::kOverloaded);  // NOT kTimeout: retryable
+  EXPECT_TRUE(resp.retryable);
+  EXPECT_EQ(resp.message, "brownout: deadline budget below current queue sojourn");
+  EXPECT_GE(resp.retry_after_ms, service.config().retry_after_min_ms);
+  EXPECT_EQ(service.counters().brownout_doomed, 1u);
+  EXPECT_EQ(service.counters().brownout_shed, 0u);
+  blocker.join();
+}
+
+TEST(SrvBrownout, DisabledByDefaultKeepsHistoricalBehavior) {
+  // Same overload shape, brownout off: the late arrival queues and (with
+  // a deadline) times out exactly as before — and neither the stats JSON
+  // nor the wire response grows any new bytes.
+  PlannerService service(slow_config(0.0));
+  std::thread blocker = occupy_and_age_queue(service, 10.0);
+
+  auto req = request("uniform:a=1,b=2");
+  req.deadline_ms = 20.0;
+  const auto resp = service.call(req);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, ErrorCode::kTimeout);  // the historical path
+  EXPECT_EQ(resp.retry_after_ms, 0.0);
+  EXPECT_EQ(service.counters().brownout_shed, 0u);
+  EXPECT_EQ(service.counters().brownout_doomed, 0u);
+  EXPECT_EQ(service.stats_json().find("\"brownout\""), std::string::npos);
+  EXPECT_EQ(sre::srv::format_response("x", resp).find("retry_after_ms"),
+            std::string::npos);
+  blocker.join();
+}
+
+TEST(SrvBrownout, QueueEmptyNeverSheds) {
+  ServiceConfig cfg;
+  cfg.brownout_sojourn_ms = 0.001;  // hair trigger — but no queue, no age
+  PlannerService service(cfg);
+  auto req = request();
+  const auto resp = service.call(req);
+  EXPECT_TRUE(resp.ok) << resp.message;
+  EXPECT_EQ(service.counters().brownout_shed, 0u);
+}
+
+TEST(SrvBrownout, FromEnvReadsTheKnobs) {
+  ::setenv("SRE_SRV_BROWNOUT_MS", "12.5", 1);
+  ::setenv("SRE_SRV_RETRY_AFTER_MIN_MS", "2.5", 1);
+  ::setenv("SRE_SRV_RETRY_AFTER_MAX_MS", "250", 1);
+  const ServiceConfig cfg = ServiceConfig::from_env();
+  ::unsetenv("SRE_SRV_BROWNOUT_MS");
+  ::unsetenv("SRE_SRV_RETRY_AFTER_MIN_MS");
+  ::unsetenv("SRE_SRV_RETRY_AFTER_MAX_MS");
+  EXPECT_DOUBLE_EQ(cfg.brownout_sojourn_ms, 12.5);
+  EXPECT_DOUBLE_EQ(cfg.retry_after_min_ms, 2.5);
+  EXPECT_DOUBLE_EQ(cfg.retry_after_max_ms, 250.0);
+  EXPECT_DOUBLE_EQ(ServiceConfig::from_env().brownout_sojourn_ms, 0.0);
+}
+
+}  // namespace

@@ -22,6 +22,20 @@
 //     the acceptance gate that the async transport serves exactly the
 //     bytes the no-IO reference path does.
 //
+// All socket phases ride srv::Client — the resilient shared client
+// (EINTR-safe I/O, MSG_NOSIGNAL sends, reconnect, jittered typed retries
+// via net::RetryPolicy, retry_after_ms brownout hints honored, optional
+// circuit breaker). Under network chaos (the SRE_FAULT_NET_* knobs, which
+// the in-process EventLoop and the clients both read) the c10k phase
+// reconnects and replays through injected resets/short ops; requests that
+// still produced an ok response ("survivors") must replay byte-identical,
+// reported as "chaos_survivors_byte_identical". The report's "chaos"
+// block carries the process-wide injection totals (nonzero proves the
+// drill actually injected), "client" the summed srv::Client counters, and
+// "failures_by_code" the typed outcome of every failed c10k response —
+// under chaos every failure must be typed, never a crash or a garbled
+// line.
+//
 // The summary lands in BENCH_serve.json (BENCH_serve_c10k.json in socket
 // mode; override with --out): counters from plain atomics (exact in every
 // build, including obs-off), latency quantiles via
@@ -37,8 +51,9 @@
 //               [--connections N] [--window W] [--baseline N]
 //               [--connect PORT] [--population P] [--solver NAME] [--n N]
 //               [--epsilon F] [--deadline-ms F] [--no-cache] [--threads N]
-//               [--queue N] [--batch N] [--out FILE] [--access-log FILE]
-//               [--wide-log FILE]
+//               [--queue N] [--batch N] [--retries N] [--backoff-ms F]
+//               [--backoff-cap-ms F] [--budget-ms F] [--breaker N]
+//               [--out FILE] [--access-log FILE] [--wide-log FILE]
 //
 // Socket mode also exercises the telemetry layer: the in-process loop
 // writes a wide-event access log (--access-log; default <out>.access.jsonl)
@@ -61,9 +76,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <array>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -71,6 +88,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -80,22 +98,18 @@
 
 #include "core/cost_model.hpp"
 #include "dist/factory.hpp"
+#include "net/retry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/minijson.hpp"
 #include "obs/recorder.hpp"
 #include "obs/report.hpp"
+#include "sim/netfault.hpp"
 #include "sim/rng.hpp"
+#include "srv/chaos_socket.hpp"
+#include "srv/client.hpp"
 #include "srv/eventloop.hpp"
 #include "srv/protocol.hpp"
 #include "srv/service.hpp"
-
-#ifdef __linux__
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/socket.h>
-#include <unistd.h>
-#endif
 
 namespace {
 
@@ -106,8 +120,10 @@ constexpr const char* kUsage =
     "                   [--connections N] [--window W] [--baseline N]\n"
     "                   [--connect PORT] [--population P] [--solver NAME]\n"
     "                   [--n N] [--epsilon F] [--deadline-ms F] [--no-cache]\n"
-    "                   [--threads N] [--queue N] [--batch N] [--out FILE]\n"
-    "                   [--access-log FILE] [--wide-log FILE]\n";
+    "                   [--threads N] [--queue N] [--batch N] [--retries N]\n"
+    "                   [--backoff-ms F] [--backoff-cap-ms F] [--budget-ms F]\n"
+    "                   [--breaker N] [--out FILE] [--access-log FILE]\n"
+    "                   [--wide-log FILE]\n";
 
 struct Options {
   std::size_t requests = 2000;
@@ -124,6 +140,11 @@ struct Options {
   double epsilon = 1e-7;
   double deadline_ms = 0.0;
   bool no_cache = false;
+  int retries = 4;             ///< srv::Client attempts per call/reconnect
+  double backoff_ms = 1.0;     ///< decorrelated-jitter base
+  double backoff_cap_ms = 100.0;
+  double budget_ms = 0.0;      ///< per-call deadline budget; 0 = off
+  int breaker = 0;             ///< breaker threshold; 0 = off
   std::string out;  ///< default depends on mode; see main()
   std::string access_log;  ///< in-process loop's wide log; "" = <out>.access.jsonl
   std::string wide_log;    ///< --connect: server's access log to join against
@@ -236,6 +257,11 @@ int run_sockets(const Options& opt,
 }  // namespace
 
 int main(int argc, char** argv) {
+#ifdef SIGPIPE
+  // Belt to srv::Client's MSG_NOSIGNAL braces: nothing in this process —
+  // including the in-process EventLoop — may die to a peer closing early.
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
   Options opt;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -288,6 +314,19 @@ int main(int argc, char** argv) {
       opt.service.queue_capacity = n;
     } else if (arg == "--batch" && parse_size(need_value(arg.c_str()), n)) {
       opt.service.max_batch = n;
+    } else if (arg == "--retries" && parse_size(need_value(arg.c_str()), n)) {
+      opt.retries = n == 0 ? 1 : static_cast<int>(n);
+    } else if (arg == "--backoff-ms" &&
+               parse_double(need_value(arg.c_str()), f)) {
+      opt.backoff_ms = f;
+    } else if (arg == "--backoff-cap-ms" &&
+               parse_double(need_value(arg.c_str()), f)) {
+      opt.backoff_cap_ms = f;
+    } else if (arg == "--budget-ms" &&
+               parse_double(need_value(arg.c_str()), f)) {
+      opt.budget_ms = f;
+    } else if (arg == "--breaker" && parse_size(need_value(arg.c_str()), n)) {
+      opt.breaker = static_cast<int>(n);
     } else if (arg == "--out") {
       opt.out = need_value(arg.c_str());
     } else if (arg == "--access-log") {
@@ -462,9 +501,10 @@ int run_inprocess(const Options& opt,
 
 #ifdef __linux__
 
-/// Serializes a population request as the protocol's wire form (trailing
-/// newline included). format_double is shortest-round-trip, so the parsed
-/// request rebuilds the exact canonical key of the in-memory one.
+/// Serializes a population request as the protocol's wire form (no
+/// newline; srv::Client frames it). format_double is shortest-round-trip,
+/// so the parsed request rebuilds the exact canonical key of the
+/// in-memory one.
 std::string wire_line(const sre::srv::PlanRequest& req) {
   using sre::obs::format_double;
   std::string l = "{\"id\":\"" + req.id + "\",\"dist\":\"" + req.dist_spec;
@@ -477,7 +517,7 @@ std::string wire_line(const sre::srv::PlanRequest& req) {
   if (req.deadline_ms > 0.0) {
     l += ",\"deadline_ms\":" + format_double(req.deadline_ms);
   }
-  l += "}\n";
+  l += "}";
   return l;
 }
 
@@ -490,76 +530,76 @@ std::string normalize_cached(std::string line) {
   return line;
 }
 
-int connect_loopback(unsigned short port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) return -1;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    ::close(fd);
-    return -1;
-  }
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return fd;
-}
-
-bool send_all(int fd, std::string_view bytes) {
-  std::size_t off = 0;
-  while (off < bytes.size()) {
-    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-/// Blocking client-side line reader (the server side has the real framer).
-struct LineReader {
-  int fd;
-  std::string buf;
-
-  bool next(std::string& out) {
-    for (;;) {
-      const auto nl = buf.find('\n');
-      if (nl != std::string::npos) {
-        out.assign(buf, 0, nl);
-        buf.erase(0, nl + 1);
-        return true;
-      }
-      char chunk[65536];
-      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-      if (n > 0) {
-        buf.append(chunk, static_cast<std::size_t>(n));
-      } else if (n == 0) {
-        return false;  // server closed
-      } else if (errno != EINTR) {
-        return false;
+/// The typed class of a failed response line (for failures_by_code);
+/// kDomainError for anything unparseable.
+sre::ErrorCode line_error_code(const std::string& line) {
+  const auto parsed = sre::obs::minijson::parse(line);
+  if (parsed.ok && parsed.value.is_object()) {
+    if (const auto* err = parsed.value.find("error");
+        err != nullptr && err->is_object()) {
+      if (const auto* code = err->find("code");
+          code != nullptr && code->is_string()) {
+        for (std::size_t i = 0; i < sre::kErrorCodeCount; ++i) {
+          const auto c = static_cast<sre::ErrorCode>(i);
+          if (code->string == sre::error_code_name(c)) return c;
+        }
       }
     }
+  }
+  return sre::ErrorCode::kDomainError;
+}
+
+/// Summed srv::Client counters across every client the run created.
+struct ClientAggregate {
+  std::mutex m;
+  sre::srv::ClientCounters total{};
+
+  void add(const sre::srv::ClientCounters& c) {
+    std::lock_guard<std::mutex> lock(m);
+    total.calls += c.calls;
+    total.responses_ok += c.responses_ok;
+    total.wire_errors += c.wire_errors;
+    total.transport_errors += c.transport_errors;
+    total.retries += c.retries;
+    total.reconnects += c.reconnects;
+    total.hints_honored += c.hints_honored;
+    total.breaker_opens += c.breaker_opens;
+    total.breaker_fast_fails += c.breaker_fast_fails;
+    total.replayed += c.replayed;
   }
 };
-
-/// One strict round trip; returns false on any transport failure.
-bool round_trip(int fd, LineReader& reader, const std::string& line,
-                std::string* response_out = nullptr) {
-  if (!send_all(fd, line)) return false;
-  std::string resp;
-  if (!reader.next(resp)) return false;
-  if (response_out != nullptr) *response_out = std::move(resp);
-  return true;
-}
 
 int run_sockets(const Options& opt,
                 const std::vector<sre::srv::PlanRequest>& population) {
   using sre::obs::format_double;
+
+  // One spec drives both sides of the chaos drill: the in-process loop
+  // wraps every accepted fd, and each client wraps its own dials with a
+  // stream block far above the server's connection ids.
+  const sre::sim::NetFaultSpec net_spec = sre::sim::NetFaultSpec::from_env();
+  const bool chaos = net_spec.enabled();
+  sre::srv::ChaosSocket::reset_totals();
+
+  ClientAggregate client_totals;
+  // Fault-stream blocks per client: each dial consumes one stream, so a
+  // block leaves room for any realistic reconnect count. Block 0 warmup,
+  // 1 baseline, 2 control (chaos-free), 3+c for c10k connection c.
+  constexpr std::uint64_t kStreamBlock = 1ull << 16;
+  const auto client_config = [&](std::uint64_t block,
+                                 bool with_chaos) {
+    sre::srv::ClientConfig cfg;
+    cfg.host = "127.0.0.1";
+    cfg.retry.max_attempts = opt.retries;
+    cfg.retry.base_seconds = opt.backoff_ms / 1e3;
+    cfg.retry.cap_seconds = opt.backoff_cap_ms / 1e3;
+    cfg.retry.seed = sre::sim::substream_seed(opt.seed, 0x636c69656e74ull);
+    cfg.request_deadline_s = opt.budget_ms / 1e3;
+    cfg.breaker_threshold = opt.breaker;
+    if (with_chaos) cfg.net_faults = net_spec;
+    cfg.fault_stream =
+        sre::sim::NetFaultPlan::kClientStreamBase + block * kStreamBlock;
+    return cfg;
+  };
 
   // The in-process server (unless --connect aims us at an external one).
   // The EventLoop runs on its own thread; this thread and the connection
@@ -581,6 +621,7 @@ int run_sockets(const Options& opt,
     service = std::make_unique<sre::srv::PlannerService>(opt.service);
     sre::srv::EventLoopConfig loop_cfg;
     loop_cfg.access_log = access_log_path;
+    loop_cfg.net_faults = net_spec;
     try {
       loop = std::make_unique<sre::srv::EventLoop>(*service, loop_cfg);
     } catch (const std::exception& e) {
@@ -610,6 +651,10 @@ int run_sockets(const Options& opt,
     baseline_wire[i] = wire_line(req);
   }
 
+  // "transport_failed" now means an *unexplained* failure: srv::Client
+  // exhausted its reconnect/retry budget, or (chaos off) any transport
+  // hiccup at all. Injected faults the client rode through do not set it
+  // — that recovery is exactly what a chaos run asserts.
   std::atomic<bool> transport_failed{false};
   const auto fail = [&](const char* what) {
     if (!transport_failed.exchange(true)) {
@@ -621,22 +666,22 @@ int run_sockets(const Options& opt,
   // measured phases compare warm-cache serving (front-end cost, not
   // solver cost).
   {
-    const int fd = connect_loopback(port);
-    if (fd < 0) {
-      std::cerr << "sre_loadgen: cannot connect to 127.0.0.1:" << port
-                << "\n";
-      return 2;
-    }
-    LineReader reader{fd, {}};
+    sre::srv::ClientConfig cfg = client_config(0, chaos);
+    cfg.port = port;
+    sre::srv::Client warm_client(cfg);
+    bool warmed_any = false;
     for (std::size_t k = 0; k < population.size(); ++k) {
       sre::srv::PlanRequest req = population[k];
       req.id = "warm-" + std::to_string(k);
-      if (!round_trip(fd, reader, wire_line(req))) {
+      const auto r = warm_client.call(wire_line(req));
+      if (r.ok) warmed_any = true;
+      if (!r.ok && !chaos) {
         fail("warmup");
         break;
       }
     }
-    ::close(fd);
+    if (!warmed_any) fail("warmup");
+    client_totals.add(warm_client.counters());
   }
 
   // Phase 1 — blocking baseline: one connection, strict round trips. This
@@ -645,50 +690,51 @@ int run_sockets(const Options& opt,
   LatencyRecorder baseline_lat(sre::obs::duration_bounds_seconds());
   double baseline_wall = 0.0;
   if (!transport_failed.load()) {
-    const int fd = connect_loopback(port);
-    if (fd < 0) {
-      fail("baseline connect");
-    } else {
-      LineReader reader{fd, {}};
-      const auto t_start = Clock::now();
-      for (std::size_t i = 0; i < opt.baseline; ++i) {
-        const auto t0 = Clock::now();
-        if (!round_trip(fd, reader, baseline_wire[i])) {
-          fail("baseline");
-          break;
-        }
-        baseline_lat.observe(
-            std::chrono::duration<double>(Clock::now() - t0).count());
+    sre::srv::ClientConfig cfg = client_config(1, chaos);
+    cfg.port = port;
+    sre::srv::Client base_client(cfg);
+    const auto t_start = Clock::now();
+    for (std::size_t i = 0; i < opt.baseline; ++i) {
+      const auto t0 = Clock::now();
+      const auto r = base_client.call(baseline_wire[i]);
+      if (!r.ok && !r.line.empty() && chaos) {
+        // Typed wire rejection under chaos: counted, not fatal.
+      } else if (!r.ok) {
+        fail("baseline");
+        break;
       }
-      baseline_wall =
-          std::chrono::duration<double>(Clock::now() - t_start).count();
-      ::close(fd);
+      baseline_lat.observe(
+          std::chrono::duration<double>(Clock::now() - t0).count());
     }
+    baseline_wall =
+        std::chrono::duration<double>(Clock::now() - t_start).count();
+    client_totals.add(base_client.counters());
   }
 
   // Phase 2 — c10k: N concurrent connections, request i on connection
-  // i mod N, up to `window` requests pipelined per connection. Responses
-  // arrive in request order per connection (a protocol guarantee the
-  // event loop's ordered slots provide), so the front of the in-flight
-  // queue always matches the next response line.
+  // i mod N, up to `window` requests pipelined per connection via
+  // srv::Client's post/recv mode. Responses arrive in request order per
+  // connection (the event loop's ordered slots plus the client's
+  // replay-in-order reconnect), so the front of the in-flight queue
+  // always matches the next response line.
   const std::size_t conns = opt.connections;
   std::vector<LatencyRecorder> conn_lat(
       conns, LatencyRecorder(sre::obs::duration_bounds_seconds()));
   std::vector<std::string> responses(opt.requests);
+  std::vector<char> resp_ok(opt.requests, 0);
   // Per-request client-side latency (request i belongs to exactly one
   // connection thread, so plain doubles are race-free): the client half of
   // the server-vs-client skew join against the access log.
   std::vector<double> lat_seconds(opt.requests, -1.0);
   std::atomic<std::uint64_t> ok_count{0};
   std::atomic<std::uint64_t> error_count{0};
+  std::array<std::atomic<std::uint64_t>, sre::kErrorCodeCount>
+      failures_by_code{};
 
   auto run_conn = [&](std::size_t c) {
-    const int fd = connect_loopback(port);
-    if (fd < 0) {
-      fail("c10k connect");
-      return;
-    }
-    LineReader reader{fd, {}};
+    sre::srv::ClientConfig cfg = client_config(3 + c, chaos);
+    cfg.port = port;
+    sre::srv::Client client(cfg);
     std::deque<std::pair<std::size_t, Clock::time_point>> inflight;
     std::size_t send_pos = c;
     std::size_t received = 0;
@@ -697,15 +743,14 @@ int run_sockets(const Options& opt,
     std::string line;
     while (received < assigned && !transport_failed.load()) {
       while (inflight.size() < opt.window && send_pos < opt.requests) {
-        if (!send_all(fd, wire[send_pos])) {
-          fail("c10k send");
-          break;
-        }
+        // A false return queues the request anyway; recv_line's
+        // reconnect-and-replay resends the owed tail in order.
+        (void)client.post(wire[send_pos]);
         inflight.emplace_back(send_pos, Clock::now());
         send_pos += conns;
       }
       if (inflight.empty()) break;
-      if (!reader.next(line)) {
+      if (!client.recv_line(line)) {
         fail("c10k recv");
         break;
       }
@@ -717,13 +762,16 @@ int run_sockets(const Options& opt,
       lat_seconds[idx] = seconds;
       if (line.find("\"ok\":true") != std::string::npos) {
         ok_count.fetch_add(1, std::memory_order_relaxed);
+        resp_ok[idx] = 1;
       } else {
         error_count.fetch_add(1, std::memory_order_relaxed);
+        failures_by_code[static_cast<std::size_t>(line_error_code(line))]
+            .fetch_add(1, std::memory_order_relaxed);
       }
       responses[idx] = normalize_cached(line);
       ++received;
     }
-    ::close(fd);
+    client_totals.add(client.counters());
   };
 
   double c10k_wall = 0.0;
@@ -738,8 +786,10 @@ int run_sockets(const Options& opt,
 
   // Server stats and the {"stats":true} introspection verb, then shutdown
   // (in-process mode only; an external server is left running for its own
-  // lifecycle test). server_stats_ok checks the verb round-trips with the
-  // expected shape: ok=true plus "loop" and "service" blocks.
+  // lifecycle test). The control client dials chaos-free on its own side
+  // — the control plane is not the experiment — but the server may still
+  // inject on its half, so under chaos a lost control exchange is
+  // tolerated (request_stop() guarantees the drain regardless).
   std::string stats_line = "{}";
   bool server_stats_ok = false;
   const auto check_server_stats = [&](const std::string& resp) {
@@ -750,52 +800,48 @@ int run_sockets(const Options& opt,
            ok->boolean && parsed.value.find("loop") != nullptr &&
            parsed.value.find("service") != nullptr;
   };
-  if (opt.connect_port < 0) {
-    const int fd = connect_loopback(port);
-    if (fd >= 0) {
-      LineReader reader{fd, {}};
-      std::string resp;
-      if (round_trip(fd, reader, "{\"cmd\":\"stats\"}\n", &resp)) {
-        stats_line = resp;
-      }
-      if (round_trip(fd, reader, "{\"stats\":true}\n", &resp)) {
-        server_stats_ok = check_server_stats(resp);
-      }
-      if (!round_trip(fd, reader, "{\"cmd\":\"shutdown\"}\n", &resp)) {
-        fail("shutdown");
-      }
-      ::close(fd);
-    } else {
-      // Connection refused can only mean the loop already stopped; make
-      // sure it drains either way.
-      fail("stats connect");
+  {
+    sre::srv::ClientConfig cfg = client_config(2, false);
+    cfg.port = port;
+    sre::srv::Client control(cfg);
+    // The control verbs ride the pipelined path: {"cmd":"stats"} answers
+    // with the raw service-stats object (no ok-envelope), which call()'s
+    // wire judgment would misread as a protocol error.
+    std::string resp;
+    (void)control.post("{\"cmd\":\"stats\"}");
+    if (control.recv_line(resp)) {
+      stats_line = resp;
+    } else if (!chaos) {
+      fail("stats");
     }
-    if (loop) loop->request_stop();
-    if (loop_thread.joinable()) loop_thread.join();
-  } else {
-    const int fd = connect_loopback(port);
-    if (fd >= 0) {
-      LineReader reader{fd, {}};
-      std::string resp;
-      if (round_trip(fd, reader, "{\"cmd\":\"stats\"}\n", &resp)) {
-        stats_line = resp;
-      }
-      if (round_trip(fd, reader, "{\"stats\":true}\n", &resp)) {
-        server_stats_ok = check_server_stats(resp);
-      }
-      ::close(fd);
+    (void)control.post("{\"stats\":true}");
+    if (control.recv_line(resp)) server_stats_ok = check_server_stats(resp);
+    if (opt.connect_port < 0) {
+      (void)control.post("{\"cmd\":\"shutdown\"}");
+      if (!control.recv_line(resp) && !chaos) fail("shutdown");
+      if (loop) loop->request_stop();
+      if (loop_thread.joinable()) loop_thread.join();
     }
+    client_totals.add(control.counters());
   }
 
   // Phase 3 — byte-identity replay: the same stream through a fresh
-  // service with the same config, no sockets. Every line the event loop
-  // served must match what InProcessClient + format_response produce.
+  // service with the same config, no sockets. Every *survivor* (a c10k
+  // request that got an ok response, possibly through reconnects and
+  // replays) must match what InProcessClient + format_response produce —
+  // chaos may fail a request, but it must never corrupt one. In a clean
+  // run every request is a survivor, so compared == requests.
+  std::uint64_t survivors = 0;
+  for (std::size_t i = 0; i < opt.requests; ++i) {
+    if (resp_ok[i] != 0) ++survivors;
+  }
   std::uint64_t compared = 0;
   std::uint64_t mismatches = 0;
   if (opt.connect_port < 0 && !transport_failed.load()) {
     sre::srv::PlannerService replay_service(opt.service);
     sre::srv::InProcessClient replay(replay_service);
     for (std::size_t i = 0; i < opt.requests; ++i) {
+      if (resp_ok[i] == 0) continue;
       sre::srv::PlanRequest req =
           population[pick_index(opt, i, population.size())];
       req.id = std::to_string(i);
@@ -814,6 +860,8 @@ int run_sockets(const Options& opt,
   }
   const bool byte_identical =
       opt.connect_port < 0 && !transport_failed.load() && mismatches == 0;
+  const bool survivors_identical =
+      byte_identical && compared == survivors;
 
   LatencyRecorder c10k_lat(sre::obs::duration_bounds_seconds());
   for (const auto& r : conn_lat) c10k_lat.merge(r);
@@ -839,6 +887,7 @@ int run_sockets(const Options& opt,
     service_counters = service->counters();
     cache_counters = service->cache_counters();
   }
+  const sre::srv::ChaosTotals chaos_totals = sre::srv::ChaosSocket::totals();
 
   // Join the access log back against the request stream: every c10k id is
   // a bare integer, so event "id" -> total_ns joins on request index. With
@@ -903,8 +952,11 @@ int run_sockets(const Options& opt,
   json += ", \"n\": " + std::to_string(opt.n);
   json += ", \"workers\": " + std::to_string(opt.service.workers);
   json += ", \"queue\": " + std::to_string(opt.service.queue_capacity);
+  json += ", \"retries\": " + std::to_string(opt.retries);
   json += ", \"cache_enabled\": ";
   json += opt.service.cache_enabled ? "true" : "false";
+  json += ", \"chaos_enabled\": ";
+  json += chaos ? "true" : "false";
   json += ", \"external_server\": ";
   json += opt.connect_port >= 0 ? "true" : "false";
   json += "},\n";
@@ -912,7 +964,22 @@ int run_sockets(const Options& opt,
   json += ",\n  \"error_responses\": " + std::to_string(error_count.load());
   json += ",\n  \"transport_failed\": ";
   json += transport_failed.load() ? "true" : "false";
-  json += ",\n  \"blocking\": {\"requests\": " + std::to_string(opt.baseline);
+  json += ",\n  \"failures_by_code\": {";
+  {
+    bool first = true;
+    for (std::size_t i = 0; i < sre::kErrorCodeCount; ++i) {
+      const std::uint64_t v =
+          failures_by_code[i].load(std::memory_order_relaxed);
+      if (v == 0) continue;
+      if (!first) json += ", ";
+      first = false;
+      json += "\"";
+      json += std::string(sre::error_code_name(static_cast<sre::ErrorCode>(i)));
+      json += "\": " + std::to_string(v);
+    }
+  }
+  json += "},\n";
+  json += "  \"blocking\": {\"requests\": " + std::to_string(opt.baseline);
   json += ", \"wall_seconds\": " + format_double(baseline_wall);
   json += ", \"throughput_rps\": " + format_double(baseline_rps);
   json += ", \"latency_seconds\": " + latency_json(baseline_lat.snapshot_);
@@ -935,10 +1002,42 @@ int run_sockets(const Options& opt,
   json += ",\n  \"meets_4x_target\": ";
   json += speedup >= 4.0 ? "true" : "false";
   json += ",\n  \"replay\": {\"compared\": " + std::to_string(compared);
+  json += ", \"survivors\": " + std::to_string(survivors);
   json += ", \"mismatches\": " + std::to_string(mismatches);
   json += ", \"byte_identical\": ";
   json += byte_identical ? "true" : "false";
   json += "},\n";
+  json += "  \"chaos_survivors_byte_identical\": ";
+  json += survivors_identical ? "true" : "false";
+  json += ",\n";
+  json += "  \"chaos\": {\"enabled\": ";
+  json += chaos ? "true" : "false";
+  json += ", \"read_resets\": " + std::to_string(chaos_totals.read_resets);
+  json += ", \"write_resets\": " + std::to_string(chaos_totals.write_resets);
+  json += ", \"short_reads\": " + std::to_string(chaos_totals.short_reads);
+  json += ", \"short_writes\": " + std::to_string(chaos_totals.short_writes);
+  json += ", \"delays\": " + std::to_string(chaos_totals.delays);
+  json += ", \"accept_drops\": " + std::to_string(chaos_totals.accept_drops);
+  json += ", \"connect_refusals\": " +
+          std::to_string(chaos_totals.connect_refusals);
+  json += ", \"injected\": " + std::to_string(chaos_totals.injected());
+  json += "},\n";
+  {
+    std::lock_guard<std::mutex> lock(client_totals.m);
+    const auto& ct = client_totals.total;
+    json += "  \"client\": {\"calls\": " + std::to_string(ct.calls);
+    json += ", \"responses_ok\": " + std::to_string(ct.responses_ok);
+    json += ", \"wire_errors\": " + std::to_string(ct.wire_errors);
+    json += ", \"transport_errors\": " + std::to_string(ct.transport_errors);
+    json += ", \"retries\": " + std::to_string(ct.retries);
+    json += ", \"reconnects\": " + std::to_string(ct.reconnects);
+    json += ", \"hints_honored\": " + std::to_string(ct.hints_honored);
+    json += ", \"breaker_opens\": " + std::to_string(ct.breaker_opens);
+    json += ", \"breaker_fast_fails\": " +
+            std::to_string(ct.breaker_fast_fails);
+    json += ", \"replayed\": " + std::to_string(ct.replayed);
+    json += "},\n";
+  }
   json += "  \"conn\": {\"open\": " + std::to_string(conn_counters.open);
   json += ", \"accepted\": " + std::to_string(conn_counters.accepted);
   json += ", \"closed\": " + std::to_string(conn_counters.closed);
@@ -1000,6 +1099,9 @@ int run_sockets(const Options& opt,
             << (compared == 0 ? "skipped"
                               : (byte_identical ? "byte-identical"
                                                 : "MISMATCH"))
+            << (chaos ? (", chaos injected " +
+                         std::to_string(chaos_totals.injected()))
+                      : "")
             << " -> " << opt.out << "\n";
   return transport_failed.load() ? 1 : 0;
 }

@@ -38,6 +38,12 @@
 // TCP mode also answers the {"stats":true} introspection verb inline with
 // loop counters, per-connection state, and rate-over-window figures; see
 // docs/COOKBOOK.md recipe 21.
+//
+// Network chaos: the SRE_FAULT_NET_* knobs (sim::NetFaultSpec::from_env)
+// arm srv::ChaosSocket over every accepted connection — seeded injected
+// resets, short reads/writes, delays, and accept-time drops for fault
+// drills (docs/COOKBOOK.md recipe 22). Off unless SRE_FAULT_NET_SEED (or a
+// probability knob) is set.
 
 #include <csignal>
 #include <cstdlib>
@@ -45,6 +51,7 @@
 #include <iostream>
 #include <string>
 
+#include "sim/netfault.hpp"
 #include "srv/eventloop.hpp"
 #include "srv/protocol.hpp"
 #include "srv/service.hpp"
@@ -115,8 +122,14 @@ int run_tcp(sre::srv::PlannerService& service,
 }  // namespace
 
 int main(int argc, char** argv) {
+#ifdef SIGPIPE
+  // Stdio mode writes to a pipe that may close first; TCP mode re-asserts
+  // this in run_tcp. Either way a dead peer is an error code, not a death.
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
   sre::srv::ServiceConfig cfg = sre::srv::ServiceConfig::from_env();
   sre::srv::EventLoopConfig loop_cfg;
+  loop_cfg.net_faults = sre::sim::NetFaultSpec::from_env();
   long tcp_port = -1;
 
   for (int i = 1; i < argc; ++i) {
