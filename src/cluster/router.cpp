@@ -1,0 +1,157 @@
+#include "cluster/router.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "obs/minijson.hpp"
+#include "srv/hash.hpp"
+
+namespace sre::cluster {
+
+Router::Router(RouterConfig cfg) : cfg_(std::move(cfg)) {
+  ring_.reserve(cfg_.replicas.size() * cfg_.vnodes);
+  clients_.reserve(cfg_.replicas.size());
+  for (std::size_t r = 0; r < cfg_.replicas.size(); ++r) {
+    const ReplicaEndpoint& ep = cfg_.replicas[r];
+    const std::string ring_id = ep.ring_id();
+    for (std::size_t v = 0; v < cfg_.vnodes; ++v) {
+      ring_.push_back(RingEntry{ring_point(ring_id, v), r});
+    }
+    srv::ClientConfig ccfg = cfg_.client;
+    ccfg.host = ep.host;
+    ccfg.port = ep.port;
+    ccfg.fault_stream = cfg_.client.fault_stream + (r << 8);
+    clients_.push_back(std::make_unique<srv::Client>(std::move(ccfg)));
+  }
+  // Stable tie-break on replica index: a (vanishingly unlikely) digest
+  // collision still yields one deterministic ring.
+  std::sort(ring_.begin(), ring_.end(),
+            [](const RingEntry& a, const RingEntry& b) {
+              return a.point != b.point ? a.point < b.point
+                                        : a.replica < b.replica;
+            });
+  counters_.first_choice.assign(cfg_.replicas.size(), 0);
+  counters_.delivered_by.assign(cfg_.replicas.size(), 0);
+}
+
+std::uint64_t Router::ring_point(const std::string& ring_id,
+                                 std::size_t vnode) {
+  std::string label = "v1|ring|";
+  label += ring_id;
+  label += '|';
+  label += std::to_string(vnode);
+  return srv::fnv1a64(label);
+}
+
+std::size_t Router::replica_for(std::string_view key) const {
+  const std::uint64_t h = srv::fnv1a64(key);
+  auto it = std::lower_bound(ring_.begin(), ring_.end(), h,
+                             [](const RingEntry& e, std::uint64_t v) {
+                               return e.point < v;
+                             });
+  if (it == ring_.end()) it = ring_.begin();  // wrap: the ring is circular
+  return it->replica;
+}
+
+std::vector<std::size_t> Router::hop_order(std::string_view key) const {
+  const std::uint64_t h = srv::fnv1a64(key);
+  auto it = std::lower_bound(ring_.begin(), ring_.end(), h,
+                             [](const RingEntry& e, std::uint64_t v) {
+                               return e.point < v;
+                             });
+  std::vector<std::size_t> order;
+  std::vector<bool> seen(cfg_.replicas.size(), false);
+  for (std::size_t steps = 0; steps < ring_.size() &&
+                              order.size() < cfg_.replicas.size();
+       ++steps) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (!seen[it->replica]) {
+      seen[it->replica] = true;
+      order.push_back(it->replica);
+    }
+    ++it;
+  }
+  return order;
+}
+
+srv::CallResult Router::route(const std::string& key,
+                              const std::string& line) {
+  ++counters_.calls;
+  srv::CallResult last;
+  if (clients_.empty()) {
+    last.code = ErrorCode::kTransport;
+    last.message = "router has no replicas";
+    ++counters_.failures;
+    return last;
+  }
+  const auto order = hop_order(key);
+  ++counters_.first_choice[order[0]];
+
+  const int sweeps = std::max(1, cfg_.sweep_retry.max_attempts);
+  net::RetrySchedule schedule(cfg_.sweep_retry, sweep_stream_++);
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    double hint_s = 0.0;
+    for (std::size_t hop = 0; hop < order.size(); ++hop) {
+      if (sweep > 0 || hop > 0) ++counters_.failovers;
+      const std::size_t r = order[hop];
+      last = clients_[r]->call(line);
+      if (last.ok) {
+        ++counters_.delivered;
+        ++counters_.delivered_by[r];
+        return last;
+      }
+      if (last.retry_after_ms > 0.0) {
+        hint_s = std::max(hint_s, last.retry_after_ms / 1e3);
+      }
+      // A rejection no replica can do better on: stop the walk. Everything
+      // else (transport loss, shed, injected fault, budget timeout) is
+      // worth the next replica.
+      if (!last.retryable && last.code == ErrorCode::kDomainError) {
+        ++counters_.failures;
+        return last;
+      }
+    }
+    if (sweep + 1 < sweeps) {
+      const double sleep_s = schedule.next(hint_s);
+      if (sleep_s > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+        counters_.slept_s += sleep_s;
+      }
+      ++counters_.sweeps_slept;
+    }
+  }
+  ++counters_.failures;
+  return last;
+}
+
+std::string Router::stats_fanout() {
+  std::string out = "{\"ok\":true,\"replicas\":[";
+  for (std::size_t r = 0; r < clients_.size(); ++r) {
+    if (r > 0) out += ',';
+    const ReplicaEndpoint& ep = cfg_.replicas[r];
+    out += "{\"name\":\"";
+    out += obs::minijson::escape(ep.ring_id());
+    out += "\",\"host\":\"";
+    out += obs::minijson::escape(ep.host);
+    out += "\",\"port\":";
+    out += std::to_string(ep.port);
+    const auto res = clients_[r]->call("{\"stats\":true}");
+    if (res.ok) {
+      // The stats response is itself a JSON object: splice it verbatim so
+      // no field is lost (or reordered) in transit.
+      out += ",\"ok\":true,\"stats\":";
+      out += res.line;
+    } else {
+      out += ",\"ok\":false,\"error\":\"";
+      out += obs::minijson::escape(res.message);
+      out += '"';
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace sre::cluster

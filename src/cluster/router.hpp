@@ -1,0 +1,132 @@
+#pragma once
+
+// cluster::Router — consistent-hash routing across sre_serve replicas.
+//
+// The ring is the classic Karger construction: every replica contributes
+// `vnodes` points, each the FNV-1a 64 digest of a versioned label
+// ("v1|ring|<ring_id>|<vnode>", ring_id defaulting to host:port), sorted
+// once at construction. A plan
+// request routes by the digest of its canonical request key
+// (srv::request_key bytes — the same key the server's cache shards on), to
+// the first ring point clockwise. Adding or removing a replica only remaps
+// the keys whose arcs that replica's points covered (~1/N of the space);
+// everything else keeps its owner, so replica caches stay warm across
+// fleet resizes.
+//
+// route() is the availability half: it walks the ring from the key's
+// point, collecting every *distinct* replica in ring order, and tries them
+// through per-replica srv::Clients (each with its own circuit breaker and
+// chaos stream). A retryable failure — transport loss, a brownout shed
+// (kOverloaded, usually carrying retry_after_ms) — fails over to the next
+// replica in the walk *immediately*: with more than one replica, the
+// router converts a shed into work for an idler peer instead of a sleep.
+// Only when a full sweep of the ring fails does the router back off, on
+// its own net::RetryPolicy schedule with the largest retry_after_ms hint
+// seen that sweep flooring the sleep (the hint contract, one level up from
+// srv::Client). A non-retryable rejection (kDomainError) returns
+// immediately: a malformed query is malformed on every replica.
+//
+// Not thread-safe: srv::Client owns per-connection state, so give each
+// driving thread its own Router (sre_loadgen does) and sum the counters.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/retry.hpp"
+#include "srv/client.hpp"
+
+namespace sre::cluster {
+
+struct ReplicaEndpoint {
+  std::string host = "127.0.0.1";
+  unsigned short port = 0;
+  /// Stable ring identity. Empty means "<host>:<port>" — fine for fixed
+  /// fleets, but a replica dialed on an ephemeral port would reshuffle the
+  /// ring every restart, so fleets with OS-assigned ports (the in-process
+  /// bench, CI) name replicas explicitly ("replica-0", ...): the ring then
+  /// depends only on the fleet roster, never on what bind(2) handed out.
+  std::string name;
+
+  [[nodiscard]] std::string ring_id() const {
+    return name.empty() ? host + ":" + std::to_string(port) : name;
+  }
+};
+
+struct RouterConfig {
+  std::vector<ReplicaEndpoint> replicas;
+  /// Ring points per replica. 128 keeps the max/min key-share imbalance
+  /// low (the acceptance gate asks <= 1.5x) without a measurable ring cost.
+  std::size_t vnodes = 128;
+  /// Template for every per-replica client; host/port are overridden, and
+  /// replica k's fault stream is `client.fault_stream + (k << 8)` so chaos
+  /// schedules never alias across replicas.
+  srv::ClientConfig client{};
+  /// Backoff *between full ring sweeps* (max_attempts = sweeps total).
+  /// Within a sweep failover is immediate; the sleep between sweeps is
+  /// floored by the largest retry_after_ms hint the sweep collected.
+  net::RetryPolicy sweep_retry{};
+};
+
+/// Monotonic totals over one Router instance.
+struct RouterCounters {
+  std::uint64_t calls = 0;      ///< route() invocations
+  std::uint64_t delivered = 0;  ///< calls that returned an ok response
+  std::uint64_t failovers = 0;  ///< hops past a key's first-choice replica
+  std::uint64_t sweeps_slept = 0;  ///< backoffs after a full failed sweep
+  std::uint64_t failures = 0;   ///< calls that exhausted every sweep
+  double slept_s = 0.0;         ///< total inter-sweep backoff
+  std::vector<std::uint64_t> first_choice;  ///< per replica: keys owned
+  std::vector<std::uint64_t> delivered_by;  ///< per replica: responses served
+};
+
+class Router {
+ public:
+  explicit Router(RouterConfig cfg);
+
+  /// The ring point for one (replica, vnode) pair:
+  /// fnv1a64("v1|ring|<ring_id>|<vnode>"). Pure; pinned by tests.
+  [[nodiscard]] static std::uint64_t ring_point(const std::string& ring_id,
+                                                std::size_t vnode);
+
+  /// Index (into config().replicas) of the replica owning `key`. Pure
+  /// function of the ring — callable without any replica listening.
+  [[nodiscard]] std::size_t replica_for(std::string_view key) const;
+
+  /// The full failover order for `key`: every distinct replica in ring
+  /// order starting at the owner. Size == replicas.size().
+  [[nodiscard]] std::vector<std::size_t> hop_order(std::string_view key) const;
+
+  /// Routes one request line by its canonical key. The returned
+  /// CallResult is the first ok response, the first non-retryable
+  /// rejection, or the last failure after every sweep is exhausted.
+  [[nodiscard]] srv::CallResult route(const std::string& key,
+                                      const std::string& line);
+
+  /// Fans {"stats":true} out to every replica and merges the responses:
+  ///   {"ok":true,"replicas":[{"host":...,"port":...,"ok":true,
+  ///    "stats":<verbatim response object>} | {"ok":false,"error":"..."}]}
+  [[nodiscard]] std::string stats_fanout();
+
+  [[nodiscard]] const RouterCounters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const RouterConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct RingEntry {
+    std::uint64_t point;
+    std::size_t replica;
+  };
+
+  RouterConfig cfg_;
+  std::vector<RingEntry> ring_;  ///< sorted by point
+  std::vector<std::unique_ptr<srv::Client>> clients_;
+  RouterCounters counters_;
+  std::uint64_t sweep_stream_ = 0;  ///< jitter substream per route() call
+};
+
+}  // namespace sre::cluster

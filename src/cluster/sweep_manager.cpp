@@ -1,0 +1,299 @@
+#include "cluster/sweep_manager.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "srv/client.hpp"
+#include "srv/protocol.hpp"
+
+namespace sre::cluster {
+
+namespace {
+
+constexpr const char* kPingRequest = "{\"ping\":true}";
+
+/// Idle-heartbeat throttle: a waiting thread pings at most this often.
+constexpr std::chrono::seconds kHeartbeatPeriod{1};
+
+}  // namespace
+
+std::string SweepManagerReport::merged() const {
+  std::string out;
+  for (const auto& line : outcomes) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+struct SweepManager::State {
+  std::mutex m;
+  std::condition_variable cv;
+  std::deque<std::size_t> pending;  ///< shard indices awaiting dispatch
+  std::vector<int> attempts;
+  std::vector<int> inflight;  ///< concurrent dispatches per shard
+  std::vector<bool> filled;
+  std::vector<bool> abandoned;
+  std::size_t done = 0;  ///< filled + abandoned shards
+  std::size_t shard_count = 0;
+  std::size_t total = 0;
+  std::size_t shard_size = 1;
+  int max_attempts = 4;
+  std::size_t speculate_cursor = 0;
+  SweepManagerReport report;
+
+  [[nodiscard]] std::size_t shard_begin(std::size_t s) const noexcept {
+    return s * shard_size;
+  }
+  [[nodiscard]] std::size_t shard_end(std::size_t s) const noexcept {
+    return std::min(total, (s + 1) * shard_size);
+  }
+
+  /// Caller holds m. Retires a shard that can no longer complete.
+  void abandon_shard(std::size_t s, const std::string& why) {
+    if (filled[s] || abandoned[s]) return;
+    abandoned[s] = true;
+    ++done;
+    ++report.counters.shards_abandoned;
+    report.errors.push_back("shard " + std::to_string(s) + " [" +
+                            std::to_string(shard_begin(s)) + ", " +
+                            std::to_string(shard_end(s)) + ") abandoned: " +
+                            why);
+    cv.notify_all();
+  }
+};
+
+SweepManager::SweepManager(SweepManagerConfig cfg) : cfg_(std::move(cfg)) {}
+
+SweepManagerReport SweepManager::run(const SweepSpec& spec) {
+  State state;
+  state.total = spec.total();
+  state.shard_size = std::max<std::size_t>(1, cfg_.shard_size);
+  state.shard_count =
+      (state.total + state.shard_size - 1) / state.shard_size;
+  state.max_attempts =
+      cfg_.max_shard_attempts > 0
+          ? cfg_.max_shard_attempts
+          : std::max<int>(4, 2 * static_cast<int>(cfg_.workers.size()));
+  state.attempts.assign(state.shard_count, 0);
+  state.inflight.assign(state.shard_count, 0);
+  state.filled.assign(state.shard_count, false);
+  state.abandoned.assign(state.shard_count, false);
+  state.report.outcomes.assign(state.total, std::string());
+  state.report.counters.shards = state.shard_count;
+  for (std::size_t s = 0; s < state.shard_count; ++s) {
+    state.pending.push_back(s);
+  }
+
+  if (cfg_.workers.empty()) {
+    state.report.errors.push_back("no worker endpoints configured");
+    state.report.complete = state.shard_count == 0;
+    return std::move(state.report);
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(cfg_.workers.size());
+  for (std::size_t w = 0; w < cfg_.workers.size(); ++w) {
+    threads.emplace_back(
+        [this, &state, &spec, w] { worker_thread(state, spec, w); });
+  }
+  for (auto& t : threads) t.join();
+
+  state.report.complete = true;
+  for (std::size_t s = 0; s < state.shard_count; ++s) {
+    if (!state.filled[s]) state.report.complete = false;
+  }
+  if (!state.report.complete && state.report.errors.empty()) {
+    state.report.errors.push_back("sweep incomplete: every worker abandoned");
+  }
+  return std::move(state.report);
+}
+
+void SweepManager::worker_thread(State& state, const SweepSpec& spec,
+                                 std::size_t index) {
+  using Clock = std::chrono::steady_clock;
+  const WorkerEndpoint& endpoint = cfg_.workers[index];
+  srv::ClientConfig ccfg;
+  ccfg.host = endpoint.host;
+  ccfg.port = endpoint.port;
+  ccfg.retry = cfg_.retry;
+  ccfg.request_deadline_s = cfg_.task_deadline_s;
+  ccfg.net_faults = cfg_.net_faults;
+  ccfg.fault_stream = cfg_.fault_stream_base + (index << 8);
+  srv::Client client(ccfg);
+
+  auto note_worker_abandoned = [&](const std::string& why) {
+    std::lock_guard<std::mutex> lock(state.m);
+    ++state.report.counters.workers_abandoned;
+    state.report.errors.push_back("worker " + endpoint.host + ":" +
+                                  std::to_string(endpoint.port) +
+                                  " abandoned: " + why);
+    state.cv.notify_all();
+  };
+
+  // Connect-time liveness gate: a worker that cannot pong costs nothing
+  // beyond this probe — no shard is dispatched to it.
+  {
+    const auto pong = client.call(kPingRequest);
+    std::unique_lock<std::mutex> lock(state.m);
+    if (pong.ok && pong.line == srv::kPongLine) {
+      ++state.report.counters.heartbeats_ok;
+    } else {
+      ++state.report.counters.heartbeats_failed;
+      lock.unlock();
+      note_worker_abandoned("liveness probe failed (" + pong.message + ")");
+      return;
+    }
+  }
+
+  int consecutive_failures = 0;
+  auto last_heartbeat = Clock::now();
+  for (;;) {
+    std::size_t shard = 0;
+    bool speculative_dispatch = false;
+    {
+      std::unique_lock<std::mutex> lock(state.m);
+      for (;;) {
+        if (state.done == state.shard_count) return;
+        if (!state.pending.empty()) {
+          shard = state.pending.front();
+          state.pending.pop_front();
+          if (state.filled[shard] || state.abandoned[shard]) continue;
+          break;
+        }
+        if (cfg_.speculative) {
+          // Straggler mitigation: nothing queued, something in flight —
+          // race the slowpoke on a second worker; first result wins.
+          bool found = false;
+          for (std::size_t k = 0; k < state.shard_count; ++k) {
+            const std::size_t s =
+                (state.speculate_cursor + k) % state.shard_count;
+            if (state.inflight[s] > 0 && !state.filled[s] &&
+                !state.abandoned[s] &&
+                state.attempts[s] < state.max_attempts) {
+              shard = s;
+              state.speculate_cursor = s + 1;
+              speculative_dispatch = true;
+              found = true;
+              break;
+            }
+          }
+          if (found) break;
+        }
+        // Idle but the sweep is not done: heartbeat (throttled) so a
+        // healthy-but-unused worker still proves liveness, then wait for
+        // a requeue or completion.
+        if (Clock::now() - last_heartbeat >= kHeartbeatPeriod) {
+          lock.unlock();
+          const auto pong = client.call(kPingRequest);
+          last_heartbeat = Clock::now();
+          lock.lock();
+          if (pong.ok && pong.line == srv::kPongLine) {
+            ++state.report.counters.heartbeats_ok;
+          } else {
+            ++state.report.counters.heartbeats_failed;
+          }
+          continue;
+        }
+        state.cv.wait_for(lock, std::chrono::milliseconds(50));
+      }
+      ++state.attempts[shard];
+      ++state.inflight[shard];
+      ++state.report.counters.dispatches;
+      if (state.attempts[shard] > 1) ++state.report.counters.redispatches;
+      if (speculative_dispatch) ++state.report.counters.speculative;
+    }
+
+    TaskFrame frame;
+    frame.begin = state.shard_begin(shard);
+    frame.end = state.shard_end(shard);
+    frame.key = task_key(spec, frame.begin, frame.end);
+    frame.spec = spec;
+    const std::string line = format_task(frame);
+    const auto res = client.call(line);
+
+    bool failed = false;
+    bool requeueable = true;
+    std::string why;
+    {
+      std::unique_lock<std::mutex> lock(state.m);
+      --state.inflight[shard];
+      if (res.ok) {
+        try {
+          TaskResult task = parse_result(res.line);
+          if (task.ok && task.key == frame.key &&
+              task.outcomes.size() == frame.end - frame.begin) {
+            if (state.filled[shard]) {
+              ++state.report.counters.duplicates;
+            } else {
+              for (std::size_t i = 0; i < task.outcomes.size(); ++i) {
+                state.report.outcomes[frame.begin + i] =
+                    std::move(task.outcomes[i]);
+              }
+              state.filled[shard] = true;
+              ++state.done;
+              ++state.report.counters.completions;
+              state.cv.notify_all();
+            }
+          } else if (task.ok) {
+            failed = true;
+            why = "result key/shape mismatch for " + frame.key;
+            ++state.report.counters.task_failures;
+          } else {
+            failed = true;
+            requeueable = task.retryable;
+            why = task.message;
+            ++state.report.counters.task_failures;
+          }
+        } catch (const ScenarioError& e) {
+          failed = true;
+          why = std::string("unparseable result: ") + e.what();
+          ++state.report.counters.task_failures;
+        }
+      } else {
+        failed = true;
+        // The straggler cutoff (kTimeout) re-queues even though the class
+        // is not client-retryable: the same shard on a healthy worker is
+        // exactly the remedy. kDomainError stays fatal — every worker
+        // would reject the same frame.
+        requeueable = res.retryable || res.code == ErrorCode::kTimeout ||
+                      res.code == ErrorCode::kTransport;
+        why = res.message.empty() ? std::string("transport failure")
+                                  : res.message;
+        if (res.line.empty() || res.code == ErrorCode::kTransport) {
+          ++state.report.counters.transport_failures;
+        } else {
+          ++state.report.counters.task_failures;
+        }
+      }
+
+      if (failed && !state.filled[shard] && !state.abandoned[shard]) {
+        if (!requeueable) {
+          state.abandon_shard(shard, why);
+        } else if (state.attempts[shard] >= state.max_attempts) {
+          state.abandon_shard(shard, "attempt budget exhausted (" + why + ")");
+        } else {
+          state.pending.push_back(shard);
+          state.cv.notify_all();
+        }
+      }
+    }
+
+    if (failed) {
+      if (++consecutive_failures >= cfg_.max_worker_failures) {
+        note_worker_abandoned("too many consecutive task failures (" + why +
+                              ")");
+        return;
+      }
+    } else {
+      consecutive_failures = 0;
+    }
+  }
+}
+
+}  // namespace sre::cluster

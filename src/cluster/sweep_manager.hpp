@@ -1,0 +1,121 @@
+#pragma once
+
+// cluster::SweepManager — the manager half of the distributed sweep.
+//
+// The grid is cut into contiguous shards; one dispatch thread per worker
+// endpoint pulls shards from a shared queue and round-trips them as
+// versioned task frames through srv::Client (decorrelated-jitter redial via
+// net::RetryPolicy, typed retry discipline, optional per-task deadline —
+// the straggler cutoff). The merge is first-result-wins on the per-shard
+// idempotency key: results land in grid order, late duplicates from
+// speculative or re-dispatched shards are dropped, and merged() is
+// byte-identical to cluster::local_sweep_bytes at the same spec —
+// regardless of worker count, completion order, or mid-sweep worker death.
+//
+// Failure policy mirrors sim::SweepRunner::run_resilient's taxonomy split:
+// retryable failures (kTransport — a worker died mid-task, kOverloaded,
+// kInjectedFault, kTimeout from the straggler cutoff) re-queue the shard
+// for any worker; non-retryable rejections (kDomainError: version
+// mismatch, malformed spec) fail the shard immediately — redialing cannot
+// fix a frame every worker will reject. A worker that fails several tasks
+// consecutively is abandoned (its thread exits; surviving workers drain
+// the queue); a shard that exhausts its attempt budget is abandoned too,
+// and the report comes back complete=false with the failure noted instead
+// of hanging.
+//
+// Heartbeats: each dispatch thread proves liveness with the {"ping":true}
+// verb — once at connect (a worker that cannot pong is abandoned before it
+// costs a shard dispatch) and again whenever it goes idle-but-waiting.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/task.hpp"
+#include "net/retry.hpp"
+#include "sim/netfault.hpp"
+
+namespace sre::cluster {
+
+struct WorkerEndpoint {
+  std::string host = "127.0.0.1";
+  unsigned short port = 0;
+};
+
+struct SweepManagerConfig {
+  std::vector<WorkerEndpoint> workers;
+  /// Scenarios per task frame. Small shards re-dispatch cheaply; large
+  /// shards amortize frame overhead.
+  std::size_t shard_size = 4;
+  /// Redial/backoff between call() attempts (srv::Client's schedule).
+  net::RetryPolicy retry{};
+  /// Straggler cutoff: per-dispatch budget across that call's attempts.
+  /// A shard still running when it expires fails with kTimeout and
+  /// re-queues for any worker. 0 = no cutoff.
+  double task_deadline_s = 0.0;
+  /// Dispatch budget per shard (re-dispatches included). 0 resolves to
+  /// max(4, 2 * workers) — enough to survive one worker dying with every
+  /// shard once, without spinning forever when all workers are gone.
+  int max_shard_attempts = 0;
+  /// Consecutive task failures before a worker's thread gives up on it.
+  int max_worker_failures = 3;
+  /// Straggler mitigation: an idle thread whose queue is empty
+  /// speculatively re-dispatches a shard that is still in flight
+  /// elsewhere; first result wins, the loser is dropped as a duplicate.
+  /// Off keeps dispatch counts deterministic for benches.
+  bool speculative = false;
+  /// Client-side chaos for drills (srv::Client's NetFaultSpec).
+  sim::NetFaultSpec net_faults{};
+  /// Fault stream of worker 0's client; worker k uses base + (k << 8) so
+  /// every dispatch thread replays an independent schedule.
+  std::uint64_t fault_stream_base = 1ull << 32;  // NetFaultPlan client base
+};
+
+/// Monotonic totals over one run().
+struct SweepManagerCounters {
+  std::uint64_t shards = 0;        ///< grid shards (dispatch units)
+  std::uint64_t dispatches = 0;    ///< task calls attempted (all workers)
+  std::uint64_t redispatches = 0;  ///< dispatches beyond a shard's first
+  std::uint64_t speculative = 0;   ///< of those, idle-thread speculation
+  std::uint64_t completions = 0;   ///< ok results merged
+  std::uint64_t duplicates = 0;    ///< late results dropped (key already in)
+  std::uint64_t task_failures = 0; ///< typed {"ok":false} results
+  std::uint64_t transport_failures = 0;  ///< call() died with no response
+  std::uint64_t heartbeats_ok = 0;
+  std::uint64_t heartbeats_failed = 0;
+  std::uint64_t workers_abandoned = 0;
+  std::uint64_t shards_abandoned = 0;  ///< attempt budget exhausted
+};
+
+struct SweepManagerReport {
+  /// True when every scenario outcome arrived. False: see errors, and
+  /// outcomes holds "" at the missing grid indices.
+  bool complete = false;
+  /// One serialized outcome per scenario, grid order (cluster::format_outcome
+  /// bytes, verbatim from the first winning shard result).
+  std::vector<std::string> outcomes;
+  SweepManagerCounters counters;
+  std::vector<std::string> errors;  ///< human-readable failure notes
+
+  /// The canonical merged artifact: every outcome line '\n'-terminated, in
+  /// grid order — byte-identical to local_sweep_bytes(spec) when complete.
+  [[nodiscard]] std::string merged() const;
+};
+
+class SweepManager {
+ public:
+  explicit SweepManager(SweepManagerConfig cfg);
+
+  /// Runs one campaign to completion (or to exhaustion). Blocking; spawns
+  /// one dispatch thread per worker endpoint and joins them all.
+  [[nodiscard]] SweepManagerReport run(const SweepSpec& spec);
+
+ private:
+  struct State;
+  void worker_thread(State& state, const SweepSpec& spec, std::size_t index);
+
+  SweepManagerConfig cfg_;
+};
+
+}  // namespace sre::cluster

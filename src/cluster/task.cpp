@@ -1,0 +1,352 @@
+#include "cluster/task.hpp"
+
+#include <cmath>
+
+#include "dist/factory.hpp"
+#include "obs/minijson.hpp"
+#include "obs/report.hpp"
+#include "srv/hash.hpp"
+#include "srv/request.hpp"
+
+namespace sre::cluster {
+
+namespace {
+
+using obs::minijson::Value;
+
+[[noreturn]] void bad(const std::string& message) {
+  throw ScenarioError(ErrorCode::kDomainError, message);
+}
+
+double number_field(const Value& v, const char* field) {
+  if (!v.is_number()) bad(std::string("field '") + field + "' must be a number");
+  return v.number;
+}
+
+std::size_t index_field(const Value& v, const char* field) {
+  const double d = number_field(v, field);
+  if (d < 0.0 || d != std::floor(d)) {
+    bad(std::string("field '") + field + "' must be a nonnegative integer");
+  }
+  return static_cast<std::size_t>(d);
+}
+
+const Value& require(const Value& root, const char* field) {
+  const Value* v = root.find(field);
+  if (v == nullptr) bad(std::string("frame has no '") + field + "' field");
+  return *v;
+}
+
+std::string string_field(const Value& v, const char* field) {
+  if (!v.is_string()) bad(std::string("field '") + field + "' must be a string");
+  return v.string;
+}
+
+/// Fixed-width lowercase hex, so task keys sort and align predictably.
+std::string hex16(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+void append_double(std::string& out, double v) { out += obs::format_double(v); }
+
+}  // namespace
+
+std::string SweepSpec::to_json() const {
+  std::string out = "{\"v\":1,\"dists\":[";
+  bool first = true;
+  for (const auto& d : dists) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += obs::minijson::escape(d);
+    out += '"';
+  }
+  out += "],\"models\":[";
+  first = true;
+  for (const auto& m : models) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"label\":\"";
+    out += obs::minijson::escape(m.label);
+    out += "\",\"alpha\":";
+    append_double(out, m.alpha);
+    out += ",\"beta\":";
+    append_double(out, m.beta);
+    out += ",\"gamma\":";
+    append_double(out, m.gamma);
+    out += '}';
+  }
+  out += "],\"solvers\":[";
+  first = true;
+  for (const auto& s : solvers) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += obs::minijson::escape(s);
+    out += '"';
+  }
+  out += "],\"n\":";
+  out += std::to_string(n);
+  out += ",\"epsilon\":";
+  append_double(out, epsilon);
+  out += ",\"mc_samples\":";
+  out += std::to_string(mc_samples);
+  out += ",\"mc_seed\":";
+  out += std::to_string(mc_seed);
+  out += '}';
+  return out;
+}
+
+std::uint64_t SweepSpec::hash() const { return srv::fnv1a64(to_json()); }
+
+std::vector<core::SweepScenario> SweepSpec::grid() const {
+  if (dists.empty() || models.empty() || solvers.empty()) {
+    bad("sweep spec needs at least one distribution, model, and solver");
+  }
+  std::vector<dist::PaperInstance> instances;
+  instances.reserve(dists.size());
+  for (const auto& label : dists) {
+    auto inst = dist::paper_distribution(label);
+    if (!inst) bad("unknown paper distribution '" + label + "'");
+    instances.push_back(std::move(*inst));
+  }
+  std::vector<std::pair<std::string, core::CostModel>> cost_models;
+  cost_models.reserve(models.size());
+  for (const auto& m : models) {
+    cost_models.emplace_back(m.label,
+                             core::CostModel{m.alpha, m.beta, m.gamma});
+  }
+  std::vector<core::HeuristicPtr> heuristics;
+  heuristics.reserve(solvers.size());
+  for (const auto& name : solvers) {
+    heuristics.push_back(srv::make_solver(name, n, epsilon));
+  }
+  return core::make_scenario_grid(instances, cost_models, heuristics);
+}
+
+core::EvaluationOptions SweepSpec::eval_options() const {
+  core::EvaluationOptions eval;
+  eval.mc.samples = mc_samples;
+  eval.mc.seed = mc_seed;
+  return eval;
+}
+
+namespace {
+
+SweepSpec spec_from_value(const Value& root) {
+  if (!root.is_object()) bad("spec must be a JSON object");
+  if (index_field(require(root, "v"), "v") != 1) {
+    bad("unsupported spec version");
+  }
+  SweepSpec spec;
+  const Value& dists = require(root, "dists");
+  if (!dists.is_array()) bad("field 'dists' must be an array");
+  for (const Value& d : dists.array) {
+    spec.dists.push_back(string_field(d, "dists[]"));
+  }
+  const Value& models = require(root, "models");
+  if (!models.is_array()) bad("field 'models' must be an array");
+  for (const Value& m : models.array) {
+    if (!m.is_object()) bad("models[] must be objects");
+    SweepSpec::Model model;
+    model.label = string_field(require(m, "label"), "label");
+    model.alpha = number_field(require(m, "alpha"), "alpha");
+    model.beta = number_field(require(m, "beta"), "beta");
+    model.gamma = number_field(require(m, "gamma"), "gamma");
+    spec.models.push_back(std::move(model));
+  }
+  const Value& solvers = require(root, "solvers");
+  if (!solvers.is_array()) bad("field 'solvers' must be an array");
+  for (const Value& s : solvers.array) {
+    spec.solvers.push_back(string_field(s, "solvers[]"));
+  }
+  spec.n = index_field(require(root, "n"), "n");
+  spec.epsilon = number_field(require(root, "epsilon"), "epsilon");
+  spec.mc_samples = index_field(require(root, "mc_samples"), "mc_samples");
+  spec.mc_seed =
+      static_cast<std::uint64_t>(index_field(require(root, "mc_seed"),
+                                             "mc_seed"));
+  return spec;
+}
+
+}  // namespace
+
+SweepSpec parse_spec(std::string_view json) {
+  const auto parsed = obs::minijson::parse(json);
+  if (!parsed.ok) bad("malformed spec JSON: " + parsed.error);
+  return spec_from_value(parsed.value);
+}
+
+std::string task_key(const SweepSpec& spec, std::size_t begin,
+                     std::size_t end) {
+  return "v1|sweep|" + hex16(spec.hash()) + "|" + std::to_string(begin) + "-" +
+         std::to_string(end);
+}
+
+std::string format_task(const TaskFrame& frame) {
+  std::string out = "{\"task\":\"sweep\",\"v\":";
+  out += std::to_string(frame.version);
+  out += ",\"key\":\"";
+  out += obs::minijson::escape(frame.key);
+  out += "\",\"begin\":";
+  out += std::to_string(frame.begin);
+  out += ",\"end\":";
+  out += std::to_string(frame.end);
+  out += ",\"spec\":";
+  out += frame.spec.to_json();
+  out += '}';
+  return out;
+}
+
+TaskFrame parse_task(std::string_view line) {
+  const auto parsed = obs::minijson::parse(line);
+  if (!parsed.ok) bad("malformed task JSON: " + parsed.error);
+  const Value& root = parsed.value;
+  if (!root.is_object()) bad("task line must be a JSON object");
+  if (string_field(require(root, "task"), "task") != "sweep") {
+    bad("unknown task type");
+  }
+  TaskFrame frame;
+  frame.version = static_cast<int>(index_field(require(root, "v"), "v"));
+  if (frame.version != kTaskVersion) {
+    bad("unsupported task frame version " + std::to_string(frame.version) +
+        " (this worker speaks v" + std::to_string(kTaskVersion) + ")");
+  }
+  frame.key = string_field(require(root, "key"), "key");
+  frame.begin = index_field(require(root, "begin"), "begin");
+  frame.end = index_field(require(root, "end"), "end");
+  frame.spec = spec_from_value(require(root, "spec"));
+  if (frame.begin >= frame.end || frame.end > frame.spec.total()) {
+    bad("shard [" + std::to_string(frame.begin) + ", " +
+        std::to_string(frame.end) + ") out of range for a grid of " +
+        std::to_string(frame.spec.total()));
+  }
+  return frame;
+}
+
+std::string format_result(const TaskResult& result) {
+  std::string out = result.ok ? "{\"ok\":true,\"v\":" : "{\"ok\":false,\"v\":";
+  out += std::to_string(result.version);
+  out += ",\"key\":\"";
+  out += obs::minijson::escape(result.key);
+  out += '"';
+  if (result.ok) {
+    out += ",\"begin\":";
+    out += std::to_string(result.begin);
+    out += ",\"end\":";
+    out += std::to_string(result.end);
+    out += ",\"outcomes\":[";
+    bool first = true;
+    for (const auto& o : result.outcomes) {
+      if (!first) out += ',';
+      first = false;
+      out += '"';
+      out += obs::minijson::escape(o);
+      out += '"';
+    }
+    out += ']';
+  } else {
+    out += ",\"error\":{\"code\":\"";
+    out += std::string(error_code_name(result.code));
+    out += "\",\"retryable\":";
+    out += result.retryable ? "true" : "false";
+    out += ",\"message\":\"";
+    out += obs::minijson::escape(result.message);
+    out += "\"}";
+  }
+  out += '}';
+  return out;
+}
+
+TaskResult parse_result(std::string_view line) {
+  const auto parsed = obs::minijson::parse(line);
+  if (!parsed.ok) bad("malformed result JSON: " + parsed.error);
+  const Value& root = parsed.value;
+  if (!root.is_object()) bad("result line must be a JSON object");
+  const Value& ok = require(root, "ok");
+  if (ok.kind != Value::Kind::kBool) bad("field 'ok' must be a boolean");
+  TaskResult result;
+  result.ok = ok.boolean;
+  result.version = static_cast<int>(index_field(require(root, "v"), "v"));
+  result.key = string_field(require(root, "key"), "key");
+  if (result.ok) {
+    result.begin = index_field(require(root, "begin"), "begin");
+    result.end = index_field(require(root, "end"), "end");
+    const Value& outcomes = require(root, "outcomes");
+    if (!outcomes.is_array()) bad("field 'outcomes' must be an array");
+    result.outcomes.reserve(outcomes.array.size());
+    for (const Value& o : outcomes.array) {
+      result.outcomes.push_back(string_field(o, "outcomes[]"));
+    }
+  } else {
+    const Value& err = require(root, "error");
+    if (!err.is_object()) bad("field 'error' must be an object");
+    const std::string code = string_field(require(err, "code"), "code");
+    for (std::size_t i = 0; i < kErrorCodeCount; ++i) {
+      if (code == error_code_name(static_cast<ErrorCode>(i))) {
+        result.code = static_cast<ErrorCode>(i);
+        break;
+      }
+    }
+    const Value& retryable = require(err, "retryable");
+    if (retryable.kind != Value::Kind::kBool) {
+      bad("field 'retryable' must be a boolean");
+    }
+    result.retryable = retryable.boolean;
+    result.message = string_field(require(err, "message"), "message");
+  }
+  return result;
+}
+
+std::string format_outcome(const core::ScenarioOutcome& outcome) {
+  std::string out = "{\"dist\":\"";
+  out += obs::minijson::escape(outcome.dist_label);
+  out += "\",\"model\":\"";
+  out += obs::minijson::escape(outcome.model_label);
+  out += "\",\"solver\":\"";
+  out += obs::minijson::escape(outcome.solver);
+  out += "\",\"ok\":";
+  out += outcome.ok ? "true" : "false";
+  out += ",\"t1\":";
+  append_double(out, outcome.eval.t1);
+  out += ",\"mc\":";
+  append_double(out, outcome.eval.expected_cost_mc);
+  out += ",\"se\":";
+  append_double(out, outcome.eval.mc_std_error);
+  out += ",\"analytic\":";
+  append_double(out, outcome.eval.expected_cost_analytic);
+  out += ",\"norm_mc\":";
+  append_double(out, outcome.eval.normalized_mc);
+  out += ",\"norm_analytic\":";
+  append_double(out, outcome.eval.normalized_analytic);
+  out += ",\"seq\":[";
+  bool first = true;
+  for (const double t : outcome.eval.sequence.values()) {
+    if (!first) out += ',';
+    first = false;
+    append_double(out, t);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string local_sweep_bytes(const SweepSpec& spec,
+                              const sim::SweepOptions& opts) {
+  const auto scenarios = spec.grid();
+  const auto report = core::run_scenario_sweep(scenarios, spec.eval_options(),
+                                               opts);
+  std::string out;
+  for (const auto& outcome : report.outcomes) {
+    out += format_outcome(outcome);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sre::cluster

@@ -1,0 +1,150 @@
+#pragma once
+
+// Versioned NDJSON task frames for the distributed sweep (the manager half
+// is src/cluster/sweep_manager.hpp, the worker half src/cluster/worker.hpp).
+// A task is one contiguous shard [begin, end) of the row-major scenario
+// grid that core::make_scenario_grid builds from a SweepSpec; the worker
+// rebuilds the identical grid from the spec, evaluates its slice with the
+// existing core::run_scenario_sweep machinery, and answers with the
+// scenarios' canonical serializations. Because every scenario outcome is a
+// pure function of (spec, grid index) — run_scenario_sweep is bit-identical
+// across pool sizes, and format_outcome serializes through
+// obs::format_double — an index-ordered merge of shard results is
+// byte-identical to a single-process sweep, whatever the worker count,
+// dispatch order, or mid-sweep failures.
+//
+// Wire shape (one line each; "v" is the frame version, bumped on any
+// incompatible change — a worker rejects other versions with a typed,
+// non-retryable kDomainError instead of guessing):
+//
+//   task:   {"task":"sweep","v":1,"key":"v1|sweep|<hex16>|<begin>-<end>",
+//            "begin":B,"end":E,"spec":{...}}
+//   result: {"ok":true,"v":1,"key":"...","begin":B,"end":E,
+//            "outcomes":["<json string per scenario>",...]}
+//   error:  {"ok":false,"v":1,"key":"...","error":{"code":"...",
+//            "retryable":...,"message":"..."}}
+//
+// Outcomes travel as JSON *strings* (escaped), not nested objects, so the
+// manager recovers each scenario's exact bytes from the parser instead of
+// re-serializing — the byte-identity guarantee never depends on a
+// parse/print round trip. The task key is the idempotency key: a pure
+// function of (spec bytes, shard), so a re-dispatched shard — straggler
+// speculation, a worker death mid-task — produces the same key and the
+// manager's first-result-wins merge drops late duplicates.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/scenario_sweep.hpp"
+#include "sim/sweep.hpp"
+#include "stats/error.hpp"
+
+namespace sre::cluster {
+
+/// Frame version of both task and result lines.
+inline constexpr int kTaskVersion = 1;
+
+/// A self-contained description of one scenario-grid campaign: everything a
+/// worker needs to rebuild the exact grid. Distributions are the paper's
+/// Table 1 labels (dist::paper_distribution), solvers are the serving
+/// layer's canonical names (srv::make_solver), so spec validation reuses
+/// the same typed kDomainError paths as plan requests.
+struct SweepSpec {
+  std::vector<std::string> dists;  ///< paper labels, grid-outermost axis
+  struct Model {
+    std::string label;
+    double alpha = 1.0;
+    double beta = 1.0;
+    double gamma = 0.0;
+  };
+  std::vector<Model> models;
+  std::vector<std::string> solvers;  ///< canonical names, grid-innermost
+  std::size_t n = 400;               ///< solver discretization knob
+  double epsilon = 1e-6;             ///< solver truncation quantile
+  std::size_t mc_samples = 200;      ///< Eq. (13) sample count per scenario
+  std::uint64_t mc_seed = 42;        ///< fixed seed: outcomes reproducible
+
+  /// Grid size; index of (d, m, s) is (d*models+m)*solvers + s, matching
+  /// core::make_scenario_grid's row-major order.
+  [[nodiscard]] std::size_t total() const noexcept {
+    return dists.size() * models.size() * solvers.size();
+  }
+
+  /// Canonical bytes: fixed field order, doubles via obs::format_double.
+  /// Two equal specs serialize identically, so the spec hash (and every
+  /// task key derived from it) is stable.
+  [[nodiscard]] std::string to_json() const;
+
+  /// fnv1a64 over to_json() — the fleet-wide identity of this campaign.
+  [[nodiscard]] std::uint64_t hash() const;
+
+  /// Instantiates the full grid (labels -> laws, names -> solvers). Throws
+  /// ScenarioError(kDomainError) on an unknown label/name or an empty axis.
+  [[nodiscard]] std::vector<core::SweepScenario> grid() const;
+
+  [[nodiscard]] core::EvaluationOptions eval_options() const;
+};
+
+/// Parses canonical (or hand-written) spec JSON. Throws
+/// ScenarioError(kDomainError) on malformed input.
+[[nodiscard]] SweepSpec parse_spec(std::string_view json);
+
+/// Idempotency key of one shard dispatch: "v1|sweep|<hex16 spec>|<b>-<e>".
+[[nodiscard]] std::string task_key(const SweepSpec& spec, std::size_t begin,
+                                   std::size_t end);
+
+struct TaskFrame {
+  int version = kTaskVersion;
+  std::string key;  ///< task_key(spec, begin, end); echoed by the worker
+  std::size_t begin = 0;
+  std::size_t end = 0;  ///< exclusive
+  SweepSpec spec;
+};
+
+/// One task line (no trailing newline).
+[[nodiscard]] std::string format_task(const TaskFrame& frame);
+
+/// Parses and validates a task line: frame shape, version (a mismatch is a
+/// typed kDomainError naming both versions), shard bounds. Throws
+/// ScenarioError(kDomainError); never partially fills the result.
+[[nodiscard]] TaskFrame parse_task(std::string_view line);
+
+struct TaskResult {
+  bool ok = false;
+  int version = kTaskVersion;
+  std::string key;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  /// Serialized scenario outcomes, grid order within the shard; exactly
+  /// end - begin entries when ok.
+  std::vector<std::string> outcomes;
+  ErrorCode code = ErrorCode::kDomainError;  ///< when !ok
+  bool retryable = false;
+  std::string message;
+};
+
+/// One result line (no trailing newline).
+[[nodiscard]] std::string format_result(const TaskResult& result);
+
+/// Parses a result line. Throws ScenarioError(kDomainError) when the line
+/// is not a well-formed result frame (the manager treats that like a task
+/// failure and re-dispatches); a well-formed {"ok":false,...} parses fine.
+[[nodiscard]] TaskResult parse_result(std::string_view line);
+
+/// Canonical bytes of one scenario outcome: fixed field order, doubles via
+/// obs::format_double, the reservation sequence in full. This is the unit
+/// of the byte-identity guarantee — local and distributed sweeps both
+/// serialize through here.
+[[nodiscard]] std::string format_outcome(const core::ScenarioOutcome& outcome);
+
+/// The single-process reference: runs the full grid with
+/// core::run_scenario_sweep and returns one outcome line per scenario
+/// (each '\n'-terminated) — the exact bytes SweepManagerReport::merged()
+/// must reproduce. Deterministic for any `opts` (serial or any pool size).
+[[nodiscard]] std::string local_sweep_bytes(const SweepSpec& spec,
+                                            const sim::SweepOptions& opts = {});
+
+}  // namespace sre::cluster

@@ -1,0 +1,140 @@
+#include "cluster/worker.hpp"
+
+#include <utility>
+
+#include "obs/minijson.hpp"
+
+namespace sre::cluster {
+
+namespace {
+
+/// Best-effort key recovery from a line that failed full parsing, so even
+/// a rejection can echo the idempotency key it was answering.
+std::string recover_key(const std::string& line) {
+  const auto parsed = obs::minijson::parse(line);
+  if (!parsed.ok || !parsed.value.is_object()) return {};
+  const auto* key = parsed.value.find("key");
+  if (key == nullptr || !key->is_string()) return {};
+  return key->string;
+}
+
+}  // namespace
+
+std::string execute_task(const std::string& line, const WorkerConfig& cfg) {
+  TaskResult result;
+  try {
+    const TaskFrame frame = parse_task(line);
+    const auto grid = frame.spec.grid();
+    const std::vector<core::SweepScenario> shard(
+        grid.begin() + static_cast<std::ptrdiff_t>(frame.begin),
+        grid.begin() + static_cast<std::ptrdiff_t>(frame.end));
+    sim::SweepOptions opts;
+    opts.threads = cfg.sweep_threads;
+    opts.serial = cfg.sweep_threads == 0;
+    const auto report =
+        core::run_scenario_sweep(shard, frame.spec.eval_options(), opts);
+    result.ok = true;
+    result.key = frame.key;
+    result.begin = frame.begin;
+    result.end = frame.end;
+    result.outcomes.reserve(report.outcomes.size());
+    for (const auto& outcome : report.outcomes) {
+      result.outcomes.push_back(format_outcome(outcome));
+    }
+  } catch (const ScenarioError& e) {
+    result.ok = false;
+    result.key = recover_key(line);
+    result.code = e.code();
+    result.retryable = is_retryable(e.code());
+    result.message = e.what();
+  }
+  return format_result(result);
+}
+
+TaskExecutor::TaskExecutor(WorkerConfig cfg) : cfg_(cfg) {
+  thread_ = std::thread([this] { run(); });
+}
+
+TaskExecutor::~TaskExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    // Abandoned jobs still answer: the loop owns an ordered slot per task,
+    // and a slot that never completes would wedge its connection's queue.
+    for (Job& job : queue_) {
+      TaskResult result;
+      result.ok = false;
+      result.key = recover_key(job.line);
+      result.code = ErrorCode::kCancelled;
+      result.retryable = is_retryable(ErrorCode::kCancelled);
+      result.message = "worker stopping";
+      job.done(format_result(result));
+    }
+    queue_.clear();
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void TaskExecutor::submit(std::string line,
+                          std::function<void(std::string)> done) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++tasks_;
+    if (!stopping_) {
+      queue_.push_back(Job{std::move(line), std::move(done)});
+      cv_.notify_one();
+      return;
+    }
+    ++rejected_;
+  }
+  TaskResult result;
+  result.ok = false;
+  result.code = ErrorCode::kCancelled;
+  result.retryable = is_retryable(ErrorCode::kCancelled);
+  result.message = "worker stopping";
+  done(format_result(result));
+}
+
+srv::EventLoopConfig::TaskHandler TaskExecutor::handler() {
+  return [this](std::string line, std::function<void(std::string)> done) {
+    submit(std::move(line), std::move(done));
+  };
+}
+
+WorkerCounters TaskExecutor::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  WorkerCounters c;
+  c.tasks = tasks_;
+  c.ok = ok_;
+  c.rejected = rejected_;
+  return c;
+}
+
+void TaskExecutor::run() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    std::string response = execute_task(job.line, cfg_);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      // "ok" in the first 12 bytes distinguishes the two frame shapes
+      // without reparsing: format_result always starts {"ok":true or
+      // {"ok":false.
+      if (response.compare(0, 11, "{\"ok\":true,") == 0) {
+        ++ok_;
+      } else {
+        ++rejected_;
+      }
+    }
+    job.done(std::move(response));
+  }
+}
+
+}  // namespace sre::cluster

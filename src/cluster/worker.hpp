@@ -1,0 +1,93 @@
+#pragma once
+
+// The worker half of the distributed sweep: execute_task() turns one task
+// line into one result line (pure, synchronous — unit tests drive it
+// directly), and TaskExecutor hosts it behind srv::EventLoop's async
+// task-handler seam so the epoll thread never blocks on a shard. sre_worker
+// is TaskExecutor + PlannerService + EventLoop as a process.
+//
+// Execution reuses the existing sweep stack end to end: the spec rebuilds
+// the row-major grid (core::make_scenario_grid via SweepSpec::grid()), the
+// shard slice runs through core::run_scenario_sweep — sim::SweepRunner
+// underneath, so in-task parallelism keeps the same submission-order
+// determinism as a local campaign — and outcomes serialize through
+// format_outcome. Failures stay typed: a ScenarioError surfaces as an
+// {"ok":false,...} result carrying its taxonomy code and retryability, so
+// the manager's re-dispatch policy mirrors run_resilient's (retry injected
+// faults and transport losses, never domain errors).
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "cluster/task.hpp"
+#include "srv/eventloop.hpp"
+
+namespace sre::cluster {
+
+struct WorkerConfig {
+  /// sim::SweepOptions::threads for the in-task sweep; 0 runs the shard
+  /// serially on the executor thread (outcomes are identical either way).
+  unsigned sweep_threads = 0;
+};
+
+/// Monotonic executor totals.
+struct WorkerCounters {
+  std::uint64_t tasks = 0;     ///< task lines received
+  std::uint64_t ok = 0;        ///< shards completed
+  std::uint64_t rejected = 0;  ///< typed failures (bad frame, bad spec, ...)
+};
+
+/// One task line -> one result line. Never throws: every failure becomes a
+/// typed {"ok":false,...} frame (echoing the task key when it was
+/// recoverable from the line).
+[[nodiscard]] std::string execute_task(const std::string& line,
+                                       const WorkerConfig& cfg = {});
+
+/// Single-threaded task queue behind the event loop. One dispatch thread
+/// drains submitted lines in order — the manager round-trips one task per
+/// connection at a time, so per-worker task concurrency buys nothing, while
+/// a serial executor keeps shard execution (and its CPU footprint) easy to
+/// reason about. Pings stay responsive throughout: the loop answers them
+/// inline without touching this queue.
+class TaskExecutor {
+ public:
+  explicit TaskExecutor(WorkerConfig cfg = {});
+  ~TaskExecutor();  ///< drains nothing: pending tasks are abandoned, joined
+
+  TaskExecutor(const TaskExecutor&) = delete;
+  TaskExecutor& operator=(const TaskExecutor&) = delete;
+
+  /// EventLoopConfig::task_handler adapter. `done` is invoked exactly once
+  /// from the dispatch thread (or inline after stop) with the result line.
+  void submit(std::string line, std::function<void(std::string)> done);
+
+  /// The handler to plug into srv::EventLoopConfig::task_handler.
+  [[nodiscard]] srv::EventLoopConfig::TaskHandler handler();
+
+  [[nodiscard]] WorkerCounters counters() const;
+
+ private:
+  struct Job {
+    std::string line;
+    std::function<void(std::string)> done;
+  };
+
+  void run();
+
+  WorkerConfig cfg_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  std::uint64_t tasks_ = 0;
+  std::uint64_t ok_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace sre::cluster

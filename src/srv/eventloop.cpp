@@ -573,6 +573,43 @@ struct EventLoop::Impl {
         c.slots.push_back(Slot{true, false, stats_line()});
         ++c.next_seq;
         return;
+      case ClassifiedLine::Kind::kPing:
+        // Inline on the loop thread: a heartbeat must answer even while
+        // every worker is deep in a shard, which is exactly when the
+        // manager most wants to know the process is alive.
+        c.slots.push_back(Slot{true, false, std::move(parsed.response)});
+        ++c.next_seq;
+        return;
+      case ClassifiedLine::Kind::kTask: {
+        if (!loop.cfg_.task_handler) {
+          PlanResponse resp;
+          resp.ok = false;
+          resp.code = ErrorCode::kDomainError;
+          resp.retryable = is_retryable(ErrorCode::kDomainError);
+          resp.message = "no task handler on this transport";
+          c.slots.push_back(Slot{true, false, format_response("", resp)});
+          ++c.next_seq;
+          return;
+        }
+        // Same async shape as a plan request: reserve the ordered slot now,
+        // let the executor call back from its own thread via the mailbox.
+        // Tasks draft no wide event (they are fleet plumbing, not served
+        // requests), mirroring the control verbs.
+        const std::uint64_t task_seq = c.next_seq++;
+        c.slots.push_back(Slot{});
+        auto box = mailbox;
+        const std::uint64_t task_conn = c.id;
+        loop.cfg_.task_handler(
+            std::string(line), [box, task_conn, task_seq](std::string resp) {
+              Completion done;
+              done.conn = task_conn;
+              done.seq = task_seq;
+              done.line = std::move(resp);
+              done.ok = true;
+              box->post(std::move(done));
+            });
+        return;
+      }
       case ClassifiedLine::Kind::kShutdown:
         c.slots.push_back(Slot{true, true, std::move(parsed.response)});
         ++c.next_seq;

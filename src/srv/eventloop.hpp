@@ -48,6 +48,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -78,6 +79,17 @@ struct EventLoopConfig {
   /// stream ids, so a seeded run replays the same injection schedule.
   /// Disabled by default; sre_serve wires sim::NetFaultSpec::from_env().
   sim::NetFaultSpec net_faults{};
+  /// Async verb handler for cluster task lines ({"task":...}). Called on
+  /// the loop thread with the raw line; implementations must run the work
+  /// elsewhere (cluster::TaskExecutor owns a dispatch thread) and call
+  /// done(response_line) from any thread — the completion rides the same
+  /// mailbox/ordered-slot path as solver responses, so task responses
+  /// interleave correctly with pipelined plan requests and the loop thread
+  /// never blocks on a shard. Unset (the default, sre_serve): task lines
+  /// are answered inline with a typed, non-retryable kDomainError.
+  using TaskHandler =
+      std::function<void(std::string line, std::function<void(std::string)>)>;
+  TaskHandler task_handler;
 };
 
 /// Monotonic loop totals (plain atomics; exact in every build).

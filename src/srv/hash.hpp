@@ -1,0 +1,34 @@
+#pragma once
+
+// FNV-1a 64-bit, the one content hash of the serving stack. The plan cache
+// shards on it, the wide-event flow ids derive from it, and the cluster
+// router's consistent-hash ring places both its virtual nodes and every
+// canonical plan key with it — extracting it here is what makes "the router
+// and the cache hash identically" a provable property (tests/test_srv_hash
+// pins the digests) instead of a convention.
+//
+// The constants are the standard Fowler–Noll–Vo offset basis and prime;
+// the digest of "" is the offset basis itself. Stable across platforms:
+// the fold is over unsigned bytes and all arithmetic is mod 2^64.
+
+#include <cstdint>
+#include <string_view>
+
+namespace sre::srv {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// FNV-1a 64-bit over the key bytes. Used for cache shard selection, the
+/// deterministic fault-stream id of a served key, and cluster::Router ring
+/// placement.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = kFnvOffsetBasis;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace sre::srv

@@ -175,11 +175,29 @@ ClassifiedLine classify_line(std::string_view line) {
       bad("unknown command '" + cmd->string + "'");
     }
     // {"stats":true} with no "dist" is the live-introspection verb; a plan
-    // request carrying a stray "stats" field stays a plan request.
+    // request carrying a stray "stats" field stays a plan request. The same
+    // guard applies to the ping and task verbs below.
     if (const Value* stats = parsed.value.find("stats")) {
       if (stats->kind == Value::Kind::kBool && stats->boolean &&
           parsed.value.find("dist") == nullptr) {
         out.kind = ClassifiedLine::Kind::kServerStats;
+        return out;
+      }
+    }
+    if (const Value* ping = parsed.value.find("ping")) {
+      if (ping->kind == Value::Kind::kBool && ping->boolean &&
+          parsed.value.find("dist") == nullptr) {
+        out.kind = ClassifiedLine::Kind::kPing;
+        out.response = std::string(kPongLine);
+        return out;
+      }
+    }
+    if (const Value* task = parsed.value.find("task")) {
+      if (task->is_string() && parsed.value.find("dist") == nullptr) {
+        // The frame itself (version, key, shard, spec) is cluster::'s
+        // concern; classification only routes the raw line to whichever
+        // task handler the transport wires up.
+        out.kind = ClassifiedLine::Kind::kTask;
         return out;
       }
     }
@@ -212,6 +230,21 @@ LineOutcome handle_line(PlannerService& service, std::string_view line) {
       outcome.line = "{\"ok\":true,\"loop\":null,\"service\":" +
                      service.stats_json() + "}";
       break;
+    case ClassifiedLine::Kind::kPing:
+      outcome.line = std::move(c.response);
+      break;
+    case ClassifiedLine::Kind::kTask: {
+      // The stdio transport has no task executor; tasks need a worker
+      // front end (sre_worker --tcp). Non-retryable: redialing the same
+      // transport cannot make a handler appear.
+      PlanResponse resp;
+      resp.ok = false;
+      resp.code = ErrorCode::kDomainError;
+      resp.retryable = is_retryable(ErrorCode::kDomainError);
+      resp.message = "no task handler on this transport";
+      outcome.line = format_response("", resp);
+      break;
+    }
     case ClassifiedLine::Kind::kShutdown:
       outcome.line = std::move(c.response);
       outcome.shutdown = true;

@@ -21,6 +21,12 @@
 // loop answers it inline with format_server_stats() (loop counters,
 // per-connection state, rate window), while the stdio transport, having no
 // loop, answers {"ok":true,"loop":null,"service":<stats_json>}.
+// {"ping":true} is the liveness verb: answered inline with kPongLine on
+// every transport, so heartbeats and readiness probes never queue behind
+// solver work. {"task":"..."} lines are cluster:: task frames (versioned
+// shard dispatches, src/cluster/task.hpp); the event loop forwards the raw
+// line to EventLoopConfig::task_handler while transports without one answer
+// with a typed kDomainError.
 //
 // Response lines:
 //   {"id":"q1","ok":true,"cached":false,"result":{...}}
@@ -54,6 +60,10 @@ struct ClassifiedLine {
     kStats,     ///< {"cmd":"stats"}: respond with service.stats_json()
     kServerStats,  ///< {"stats":true}: live introspection, answered by the
                    ///< transport (event loop: format_server_stats)
+    kPing,      ///< {"ping":true}: liveness probe, answered inline with
+                ///< kPongLine on every transport (heartbeats, readiness)
+    kTask,      ///< {"task":...}: a cluster:: task frame; the transport owns
+                ///< the raw line (event loop: EventLoopConfig::task_handler)
     kShutdown,  ///< {"cmd":"shutdown"}: `response` ready, then drain
     kError,     ///< malformed line: `response` is the typed error line
   };
@@ -66,6 +76,11 @@ struct ClassifiedLine {
   /// `response`), so the access log can still join the request.
   std::string id;
 };
+
+/// The {"ping":true} answer, identical on every transport. Liveness only:
+/// it proves the loop thread is dispatching, not that solvers are healthy
+/// ({"stats":true} is the deep probe).
+inline constexpr std::string_view kPongLine = "{\"ok\":true,\"pong\":true}";
 
 /// Parses and classifies one line. Never throws — malformed input becomes
 /// Kind::kError with a ready response echoing whatever id was recoverable.

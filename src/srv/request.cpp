@@ -48,15 +48,6 @@ bool knob_sensitive(const std::string& canonical) {
 
 }  // namespace
 
-std::uint64_t fnv1a64(std::string_view bytes) noexcept {
-  std::uint64_t h = 14695981039346656037ull;
-  for (const char c : bytes) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
 std::string solver_key(const std::string& solver, std::size_t n,
                        double epsilon) {
   const std::string canonical = canonical_solver(solver);

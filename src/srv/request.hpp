@@ -24,6 +24,7 @@
 #include "core/cost_model.hpp"
 #include "core/heuristics/heuristic.hpp"
 #include "dist/factory.hpp"
+#include "srv/hash.hpp"
 
 namespace sre::srv {
 
@@ -61,10 +62,8 @@ struct PreparedRequest {
   std::uint64_t key_hash = 0;   ///< fnv1a64(key): shard + fault stream id
 };
 
-/// FNV-1a 64-bit over the key bytes. Stable across platforms; used for
-/// cache shard selection and as the deterministic fault-stream id of a
-/// served key.
-[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+// fnv1a64 moved to srv/hash.hpp (shared with cluster::Router's ring) and is
+// re-exported here via the include above.
 
 /// Canonical solver-key fragment: "solver(name=refined-dp,n=500,eps=1e-07)"
 /// for knob-sensitive solvers, "solver(name=mean-doubling)" for the moment

@@ -1,0 +1,158 @@
+// cluster::Router's consistent-hash ring — the pure half, no sockets.
+// Pinned ring points (the committed bench baselines depend on them),
+// deterministic ownership, balance over a realistic key population,
+// minimal remapping under fleet resizes, and the failover hop order.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/router.hpp"
+#include "srv/hash.hpp"
+#include "srv/request.hpp"
+
+namespace {
+
+using sre::cluster::ReplicaEndpoint;
+using sre::cluster::Router;
+using sre::cluster::RouterConfig;
+
+Router make_router(std::size_t replicas, std::size_t vnodes) {
+  RouterConfig cfg;
+  for (std::size_t r = 0; r < replicas; ++r) {
+    cfg.replicas.push_back(
+        {"127.0.0.1", 0, "replica-" + std::to_string(r)});
+  }
+  cfg.vnodes = vnodes;
+  return Router(std::move(cfg));
+}
+
+/// The canonical plan keys the bench routes on: K distinct exponential
+/// laws through srv::prepare, so the test and the serving tier hash the
+/// same bytes.
+std::vector<std::string> bench_keys(std::size_t count) {
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    sre::srv::PlanRequest req;
+    req.dist_spec =
+        "exponential:lambda=" + std::to_string(1.0 + 0.01 * double(k));
+    req.solver = "refined-dp";
+    req.n = 400;
+    keys.push_back(sre::srv::prepare(req).key);
+  }
+  return keys;
+}
+
+TEST(Ring, PinnedRingPoints) {
+  // The versioned label digests. A change here reshuffles every deployed
+  // ring and invalidates the committed cluster bench baselines — it must
+  // be a deliberate version bump (v2), never an accident.
+  EXPECT_EQ(Router::ring_point("127.0.0.1:9000", 0),
+            sre::srv::fnv1a64("v1|ring|127.0.0.1:9000|0"));
+  EXPECT_EQ(Router::ring_point("127.0.0.1:9000", 0), 14920761542655123534ull);
+  EXPECT_EQ(Router::ring_point("replica-0", 0), 12956543930304644023ull);
+  EXPECT_EQ(Router::ring_point("replica-1", 0), 12424209878094607468ull);
+}
+
+TEST(Ring, RingIdDefaultsToHostPortAndNameOverrides) {
+  ReplicaEndpoint anon{"10.0.0.7", 9000, ""};
+  EXPECT_EQ(anon.ring_id(), "10.0.0.7:9000");
+  ReplicaEndpoint named{"10.0.0.7", 9000, "shard-a"};
+  EXPECT_EQ(named.ring_id(), "shard-a");
+}
+
+TEST(Ring, OwnershipIsDeterministicAndPortIndependent) {
+  // Same roster, different ports: named replicas place identically — the
+  // property that keeps the bench's key->owner split stable even though
+  // every run binds fresh ephemeral ports.
+  RouterConfig a;
+  a.replicas = {{"127.0.0.1", 1111, "replica-0"},
+                {"127.0.0.1", 2222, "replica-1"}};
+  a.vnodes = 64;
+  RouterConfig b;
+  b.replicas = {{"127.0.0.1", 7777, "replica-0"},
+                {"127.0.0.1", 8888, "replica-1"}};
+  b.vnodes = 64;
+  const Router ra{std::move(a)};
+  const Router rb{std::move(b)};
+  for (const auto& key : bench_keys(64)) {
+    EXPECT_EQ(ra.replica_for(key), rb.replica_for(key)) << key;
+  }
+}
+
+TEST(Ring, BalanceOverTheBenchPopulation) {
+  // The acceptance gate: max/min owned keys <= 1.5 over >= 64 distinct
+  // keys. 256 vnodes is the bench default.
+  const auto keys = bench_keys(96);
+  const Router router = make_router(2, 256);
+  std::vector<std::size_t> owned(2, 0);
+  for (const auto& key : keys) ++owned[router.replica_for(key)];
+  const auto mx = std::max(owned[0], owned[1]);
+  const auto mn = std::min(owned[0], owned[1]);
+  ASSERT_GT(mn, 0u);
+  EXPECT_LE(double(mx) / double(mn), 1.5)
+      << "owned: " << owned[0] << "/" << owned[1];
+}
+
+TEST(Ring, ResizeRemapsOnlyTheMovedArcs) {
+  // Karger's guarantee: growing 3 -> 4 replicas only remaps keys whose
+  // arcs the new replica's points captured (~1/4 of the space); every
+  // other key keeps its owner, so surviving replica caches stay warm.
+  const auto keys = bench_keys(96);
+  const Router three = make_router(3, 128);
+  const Router four = make_router(4, 128);
+  std::size_t moved = 0;
+  for (const auto& key : keys) {
+    const std::size_t before = three.replica_for(key);
+    const std::size_t after = four.replica_for(key);
+    if (after != before) {
+      // A key may only move *to* the new replica, never between survivors.
+      EXPECT_EQ(after, 3u) << key;
+      ++moved;
+    }
+  }
+  // ~96/4 = 24 expected; generous envelope, but far below "reshuffled".
+  EXPECT_GT(moved, 0u);
+  EXPECT_LT(moved, 48u);
+}
+
+TEST(Ring, HopOrderIsDistinctCompleteAndOwnerFirst) {
+  const Router router = make_router(4, 64);
+  for (const auto& key : bench_keys(32)) {
+    const auto order = router.hop_order(key);
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], router.replica_for(key));
+    std::vector<bool> seen(4, false);
+    for (const auto r : order) {
+      ASSERT_LT(r, 4u);
+      EXPECT_FALSE(seen[r]) << "replica repeated in hop order";
+      seen[r] = true;
+    }
+  }
+}
+
+TEST(Ring, SingleReplicaOwnsEverything) {
+  const Router router = make_router(1, 8);
+  for (const auto& key : bench_keys(16)) {
+    EXPECT_EQ(router.replica_for(key), 0u);
+    EXPECT_EQ(router.hop_order(key).size(), 1u);
+  }
+}
+
+TEST(Ring, VnodeCountScalesTheRingNotTheSemantics) {
+  // More vnodes refine balance but ownership stays a pure function of the
+  // (roster, vnodes) pair: two identically-configured routers agree on
+  // every key (replica_for is usable without any replica listening).
+  const Router a = make_router(2, 256);
+  const Router b = make_router(2, 256);
+  for (const auto& key : bench_keys(48)) {
+    EXPECT_EQ(a.replica_for(key), b.replica_for(key));
+  }
+}
+
+}  // namespace

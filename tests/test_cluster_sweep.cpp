@@ -1,0 +1,262 @@
+// cluster::SweepManager against real in-process sre_worker stacks
+// (TaskExecutor behind srv::EventLoop on loopback sockets). The one
+// property everything else serves: the merged artifact is byte-identical
+// to the single-process sweep at the same spec — for any worker count,
+// with a worker killed mid-sweep (seeded sim::netfault chaos), and with
+// stragglers cut off and re-dispatched. Plus the failure edges: dead
+// endpoints are abandoned at the liveness gate, non-retryable shards fail
+// fast, and a destroyed executor answers its queue instead of wedging it.
+
+#include <gtest/gtest.h>
+
+#ifdef __linux__
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/sweep_manager.hpp"
+#include "cluster/task.hpp"
+#include "cluster/worker.hpp"
+#include "sim/netfault.hpp"
+#include "srv/eventloop.hpp"
+#include "srv/service.hpp"
+#include "stats/error.hpp"
+
+namespace {
+
+using sre::cluster::SweepManager;
+using sre::cluster::SweepManagerConfig;
+using sre::cluster::SweepSpec;
+using sre::cluster::WorkerEndpoint;
+
+/// One in-process sre_worker: planner service + task executor behind the
+/// epoll front end, on an ephemeral loopback port.
+struct LocalWorker {
+  sre::srv::PlannerService service;
+  sre::cluster::TaskExecutor executor;
+  std::unique_ptr<sre::srv::EventLoop> loop;
+  std::thread thread;
+
+  explicit LocalWorker(const sre::sim::NetFaultSpec& faults = {})
+      : service(sre::srv::ServiceConfig{}) {
+    sre::srv::EventLoopConfig cfg;
+    cfg.max_line_bytes = 4u << 20;
+    cfg.task_handler = executor.handler();
+    cfg.net_faults = faults;
+    loop = std::make_unique<sre::srv::EventLoop>(service, cfg);
+    thread = std::thread([this] { loop->run(); });
+  }
+  ~LocalWorker() {
+    loop->request_stop();
+    if (thread.joinable()) thread.join();
+  }
+  [[nodiscard]] WorkerEndpoint endpoint() const {
+    return {"127.0.0.1", loop->port()};
+  }
+};
+
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.dists = {"exponential", "uniform"};
+  spec.models.push_back({"reservation-only", 1.0, 0.0, 0.0});
+  spec.models.push_back({"full", 1.0, 1.0, 1.0});
+  spec.solvers = {"mean-doubling", "equal-time"};
+  spec.n = 120;
+  spec.epsilon = 1e-6;
+  spec.mc_samples = 50;
+  spec.mc_seed = 7;
+  return spec;
+}
+
+SweepManagerConfig manager_config(const std::vector<WorkerEndpoint>& workers) {
+  SweepManagerConfig cfg;
+  cfg.workers = workers;
+  cfg.shard_size = 2;
+  cfg.retry.max_attempts = 3;
+  cfg.retry.base_seconds = 1e-3;
+  cfg.retry.cap_seconds = 0.02;
+  cfg.retry.seed = 99;
+  return cfg;
+}
+
+TEST(SweepManager, ByteIdenticalAcrossWorkerCounts) {
+  const SweepSpec spec = small_spec();
+  const std::string reference = sre::cluster::local_sweep_bytes(spec);
+
+  for (const std::size_t count : {1u, 2u, 4u}) {
+    std::vector<std::unique_ptr<LocalWorker>> fleet;
+    std::vector<WorkerEndpoint> endpoints;
+    for (std::size_t w = 0; w < count; ++w) {
+      fleet.push_back(std::make_unique<LocalWorker>());
+      endpoints.push_back(fleet.back()->endpoint());
+    }
+    SweepManager manager(manager_config(endpoints));
+    const auto report = manager.run(spec);
+    ASSERT_TRUE(report.complete) << count << " workers";
+    EXPECT_EQ(report.merged(), reference) << count << " workers";
+    EXPECT_EQ(report.counters.completions, 4u);  // 8 scenarios / shard 2
+    EXPECT_EQ(report.counters.shards, 4u);
+    EXPECT_EQ(report.counters.heartbeats_failed, 0u);
+    EXPECT_EQ(report.counters.workers_abandoned, 0u);
+  }
+}
+
+TEST(SweepManager, KilledWorkerMidSweepKeepsBytesIdentical) {
+  // The chaos drill (COOKBOOK 23): worker 0's socket layer resets every
+  // write — accepted tasks execute but their results die on the wire, the
+  // textbook "worker killed mid-task". Seeded, so the drill replays. The
+  // survivor drains the queue and the merge must not show a scar.
+  const SweepSpec spec = small_spec();
+  const std::string reference = sre::cluster::local_sweep_bytes(spec);
+
+  sre::sim::NetFaultSpec chaos;
+  chaos.seed = 2026;
+  chaos.write_reset_prob = 1.0;  // every response write dies mid-flight
+  std::vector<std::unique_ptr<LocalWorker>> fleet;
+  fleet.push_back(std::make_unique<LocalWorker>(chaos));  // the victim
+  fleet.push_back(std::make_unique<LocalWorker>());       // the survivor
+  const std::vector<WorkerEndpoint> endpoints = {fleet[0]->endpoint(),
+                                                 fleet[1]->endpoint()};
+
+  SweepManager manager(manager_config(endpoints));
+  const auto report = manager.run(spec);
+  ASSERT_TRUE(report.complete)
+      << (report.errors.empty() ? "" : report.errors.front());
+  EXPECT_EQ(report.merged(), reference);
+  // The victim cost something — a failed liveness probe or failed
+  // dispatches — and the counters say so; first-result-wins absorbed any
+  // task that raced its own re-dispatch.
+  EXPECT_GT(report.counters.heartbeats_failed +
+                report.counters.transport_failures,
+            0u);
+}
+
+TEST(SweepManager, DeadEndpointIsAbandonedAtTheLivenessGate) {
+  // Nothing listens on the dead endpoint: the connect-time ping fails and
+  // the worker is abandoned before any shard is wasted on it.
+  std::vector<std::unique_ptr<LocalWorker>> fleet;
+  fleet.push_back(std::make_unique<LocalWorker>());
+  unsigned short dead_port = 0;
+  {
+    LocalWorker ephemeral;  // bind + close: a port with nobody behind it
+    dead_port = ephemeral.endpoint().port;
+  }
+  const SweepSpec spec = small_spec();
+  const std::vector<WorkerEndpoint> endpoints = {
+      {"127.0.0.1", dead_port}, fleet[0]->endpoint()};
+
+  auto cfg = manager_config(endpoints);
+  cfg.retry.max_attempts = 1;  // don't redial the corpse three times
+  SweepManager manager(cfg);
+  const auto report = manager.run(spec);
+  ASSERT_TRUE(report.complete);
+  EXPECT_EQ(report.merged(), sre::cluster::local_sweep_bytes(spec));
+  EXPECT_EQ(report.counters.workers_abandoned, 1u);
+  EXPECT_GE(report.counters.heartbeats_failed, 1u);
+  EXPECT_EQ(report.counters.dispatches, report.counters.completions);
+}
+
+TEST(SweepManager, AllWorkersDeadReportsIncompleteInsteadOfHanging) {
+  unsigned short dead_port = 0;
+  {
+    LocalWorker ephemeral;
+    dead_port = ephemeral.endpoint().port;
+  }
+  auto cfg = manager_config({{"127.0.0.1", dead_port}});
+  cfg.retry.max_attempts = 1;
+  SweepManager manager(cfg);
+  const auto report = manager.run(small_spec());
+  EXPECT_FALSE(report.complete);
+  EXPECT_EQ(report.counters.completions, 0u);
+  EXPECT_EQ(report.counters.workers_abandoned, 1u);
+  EXPECT_FALSE(report.errors.empty());
+  // The incomplete artifact is shaped (one slot per scenario), not partial.
+  EXPECT_EQ(report.outcomes.size(), small_spec().total());
+}
+
+TEST(SweepManager, NonRetryableSpecFailsFastWithoutRedispatch) {
+  // An unknown solver is a kDomainError on every worker: the manager must
+  // fail the shards immediately (no attempt budget burned on redials).
+  LocalWorker worker;
+  SweepSpec bad = small_spec();
+  bad.solvers = {"no-such-solver"};
+  SweepManager manager(manager_config({worker.endpoint()}));
+  const auto report = manager.run(bad);
+  EXPECT_FALSE(report.complete);
+  EXPECT_EQ(report.counters.completions, 0u);
+  EXPECT_EQ(report.counters.redispatches, 0u);
+  EXPECT_EQ(report.counters.task_failures, report.counters.shards);
+  EXPECT_EQ(report.counters.shards_abandoned, report.counters.shards);
+}
+
+TEST(SweepManager, StragglerCutoffRequeuesAndStillMerges) {
+  // Worker 0 sleeps on (seeded) half its socket ops for far longer than
+  // the task deadline: dispatches to it time out, re-queue, and the sweep
+  // still converges byte-identically — the straggler never blocks the
+  // campaign, only its own thread.
+  const SweepSpec spec = small_spec();
+  const std::string reference = sre::cluster::local_sweep_bytes(spec);
+
+  sre::sim::NetFaultSpec slow;
+  slow.seed = 11;
+  slow.delay_prob = 0.5;
+  slow.delay_seconds = 2.0;  // >> deadline: a hit is a guaranteed timeout
+  std::vector<std::unique_ptr<LocalWorker>> fleet;
+  fleet.push_back(std::make_unique<LocalWorker>(slow));
+  fleet.push_back(std::make_unique<LocalWorker>());
+
+  auto cfg = manager_config({fleet[0]->endpoint(), fleet[1]->endpoint()});
+  cfg.task_deadline_s = 0.5;
+  cfg.retry.max_attempts = 1;  // the cutoff is the experiment, not redial
+  cfg.max_shard_attempts = 32;
+  cfg.max_worker_failures = 2;
+  SweepManager manager(cfg);
+  const auto report = manager.run(spec);
+  ASSERT_TRUE(report.complete)
+      << (report.errors.empty() ? "" : report.errors.front());
+  EXPECT_EQ(report.merged(), reference);
+}
+
+TEST(TaskExecutor, DestructionAnswersQueuedJobsWithCancelled) {
+  // Jobs still queued when the executor dies must be answered (typed
+  // kCancelled), not leaked: in the worker process each pending `done`
+  // owns an event-loop completion slot, and a dropped slot would wedge
+  // that connection's response pipeline forever.
+  const SweepSpec spec = small_spec();
+  sre::cluster::TaskFrame frame;
+  frame.begin = 0;
+  frame.end = spec.total();
+  frame.key = sre::cluster::task_key(spec, frame.begin, frame.end);
+  frame.spec = spec;
+  const std::string line = sre::cluster::format_task(frame);
+
+  std::atomic<int> answered{0};
+  std::atomic<int> cancelled{0};
+  {
+    sre::cluster::TaskExecutor executor;
+    for (int i = 0; i < 8; ++i) {
+      executor.submit(line, [&](std::string result) {
+        ++answered;
+        const auto parsed = sre::cluster::parse_result(result);
+        if (!parsed.ok) {
+          EXPECT_EQ(parsed.code, sre::ErrorCode::kCancelled);
+          ++cancelled;
+        }
+      });
+    }
+  }  // destructor: joins the dispatch thread, answers the queue
+  EXPECT_EQ(answered.load(), 8);
+  EXPECT_GE(cancelled.load(), 0);  // timing decides how many ran to ok
+}
+
+}  // namespace
+
+#else  // !__linux__
+
+TEST(SweepManager, SkippedOnNonLinux) { GTEST_SKIP(); }
+
+#endif

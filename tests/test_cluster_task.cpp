@@ -1,0 +1,253 @@
+// cluster:: task frames — the versioned NDJSON wire of the distributed
+// sweep. What matters here is byte-level stability: the spec's canonical
+// serialization (task keys derive from its hash), frame round-trips that
+// preserve outcome bytes exactly, version rejection as a typed
+// non-retryable kDomainError, and execute_task() agreeing byte-for-byte
+// with the single-process sweep on the same shard.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "cluster/task.hpp"
+#include "cluster/worker.hpp"
+#include "obs/minijson.hpp"
+#include "stats/error.hpp"
+
+namespace {
+
+using sre::cluster::format_result;
+using sre::cluster::format_task;
+using sre::cluster::parse_result;
+using sre::cluster::parse_spec;
+using sre::cluster::parse_task;
+using sre::cluster::SweepSpec;
+using sre::cluster::task_key;
+using sre::cluster::TaskFrame;
+using sre::cluster::TaskResult;
+
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.dists = {"exponential", "uniform"};
+  spec.models.push_back({"reservation-only", 1.0, 0.0, 0.0});
+  spec.models.push_back({"full", 1.0, 1.0, 1.0});
+  spec.solvers = {"mean-doubling", "equal-time"};
+  spec.n = 120;
+  spec.epsilon = 1e-6;
+  spec.mc_samples = 50;
+  spec.mc_seed = 7;
+  return spec;
+}
+
+TEST(SweepSpec, CanonicalJsonRoundTripsByteIdentically) {
+  const SweepSpec spec = small_spec();
+  const std::string bytes = spec.to_json();
+  const SweepSpec back = parse_spec(bytes);
+  // Canonical means parse/print is the identity on canonical input — the
+  // property that keeps the spec hash (and every task key) stable across a
+  // manager -> worker -> manager trip.
+  EXPECT_EQ(back.to_json(), bytes);
+  EXPECT_EQ(back.hash(), spec.hash());
+  EXPECT_EQ(back.total(), 8u);
+}
+
+TEST(SweepSpec, HashCoversEveryField) {
+  const SweepSpec base = small_spec();
+  SweepSpec tweaked = base;
+  tweaked.mc_seed += 1;
+  EXPECT_NE(tweaked.hash(), base.hash());
+  tweaked = base;
+  tweaked.n += 1;
+  EXPECT_NE(tweaked.hash(), base.hash());
+  tweaked = base;
+  tweaked.models[0].gamma = 0.5;
+  EXPECT_NE(tweaked.hash(), base.hash());
+}
+
+TEST(SweepSpec, TaskKeyIsThePinnedShape) {
+  const SweepSpec spec = small_spec();
+  const std::string key = task_key(spec, 2, 4);
+  // "v1|sweep|<hex16 of spec.hash()>|<begin>-<end>": version first so a
+  // frame bump invalidates every outstanding key at once.
+  EXPECT_EQ(key.rfind("v1|sweep|", 0), 0u);
+  EXPECT_EQ(key.substr(key.size() - 4), "|2-4");
+  EXPECT_EQ(key.size(), 9u + 16u + 4u);
+  // Same spec, same shard, same key — the idempotency property.
+  EXPECT_EQ(key, task_key(parse_spec(spec.to_json()), 2, 4));
+  EXPECT_NE(key, task_key(spec, 0, 2));
+}
+
+TEST(TaskFrame, RoundTripsThroughTheWire) {
+  const SweepSpec spec = small_spec();
+  TaskFrame frame;
+  frame.key = task_key(spec, 0, 3);
+  frame.begin = 0;
+  frame.end = 3;
+  frame.spec = spec;
+  const TaskFrame back = parse_task(format_task(frame));
+  EXPECT_EQ(back.version, sre::cluster::kTaskVersion);
+  EXPECT_EQ(back.key, frame.key);
+  EXPECT_EQ(back.begin, 0u);
+  EXPECT_EQ(back.end, 3u);
+  EXPECT_EQ(back.spec.to_json(), spec.to_json());
+}
+
+TEST(TaskFrame, VersionMismatchIsATypedDomainError) {
+  const SweepSpec spec = small_spec();
+  TaskFrame frame;
+  frame.version = sre::cluster::kTaskVersion + 1;
+  frame.key = "v2|sweep|test|0-1";
+  frame.begin = 0;
+  frame.end = 1;
+  frame.spec = spec;
+  try {
+    (void)parse_task(format_task(frame));
+    FAIL() << "expected ScenarioError";
+  } catch (const sre::ScenarioError& e) {
+    EXPECT_EQ(e.code(), sre::ErrorCode::kDomainError);
+    EXPECT_FALSE(sre::is_retryable(e.code()));
+  }
+}
+
+TEST(TaskResult, ResultRoundTripPreservesOutcomeBytes) {
+  TaskResult result;
+  result.ok = true;
+  result.key = "v1|sweep|0123456789abcdef|0-2";
+  result.begin = 0;
+  result.end = 2;
+  // Outcomes travel as escaped JSON strings; the exact bytes — including
+  // characters JSON must escape — survive the trip untouched.
+  result.outcomes = {R"({"dist":"exponential","cost":1.25})",
+                     "weird \"bytes\" with \\ and \n inside"};
+  const TaskResult back = parse_result(format_result(result));
+  EXPECT_TRUE(back.ok);
+  EXPECT_EQ(back.key, result.key);
+  EXPECT_EQ(back.outcomes, result.outcomes);
+}
+
+TEST(TaskResult, ErrorFrameCarriesTheTaxonomy) {
+  TaskResult result;
+  result.ok = false;
+  result.key = "v1|sweep|0123456789abcdef|4-6";
+  result.begin = 4;
+  result.end = 6;
+  result.code = sre::ErrorCode::kOverloaded;
+  result.retryable = true;
+  result.message = "worker busy";
+  const TaskResult back = parse_result(format_result(result));
+  EXPECT_FALSE(back.ok);
+  EXPECT_EQ(back.code, sre::ErrorCode::kOverloaded);
+  EXPECT_TRUE(back.retryable);
+  EXPECT_EQ(back.message, "worker busy");
+}
+
+TEST(TaskResult, GarbageLinesThrow) {
+  EXPECT_THROW((void)parse_result("{not json"), sre::ScenarioError);
+  EXPECT_THROW((void)parse_result(R"({"ok":true})"), sre::ScenarioError);
+  EXPECT_THROW((void)parse_task("{}"), sre::ScenarioError);
+}
+
+// -- execute_task: the worker's half, driven synchronously ------------------
+
+TEST(ExecuteTask, ShardBytesMatchTheLocalSweep) {
+  const SweepSpec spec = small_spec();
+  const std::string reference = sre::cluster::local_sweep_bytes(spec);
+
+  TaskFrame frame;
+  frame.begin = 3;
+  frame.end = 6;
+  frame.key = task_key(spec, frame.begin, frame.end);
+  frame.spec = spec;
+  const TaskResult result =
+      parse_result(sre::cluster::execute_task(format_task(frame)));
+  ASSERT_TRUE(result.ok) << result.message;
+  ASSERT_EQ(result.outcomes.size(), 3u);
+
+  // The local reference is one '\n'-terminated line per scenario in grid
+  // order; the shard's outcomes must be those exact slices.
+  std::size_t line = 0;
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < frame.end; ++i) {
+    const std::size_t next = reference.find('\n', pos);
+    ASSERT_NE(next, std::string::npos);
+    if (i >= frame.begin) {
+      EXPECT_EQ(result.outcomes[line], reference.substr(pos, next - pos))
+          << "scenario " << i;
+      ++line;
+    }
+    pos = next + 1;
+  }
+}
+
+TEST(ExecuteTask, RejectsWrongVersionWithoutRetry) {
+  const SweepSpec spec = small_spec();
+  TaskFrame frame;
+  frame.version = 99;
+  frame.key = "v99|sweep|x|0-1";
+  frame.begin = 0;
+  frame.end = 1;
+  frame.spec = spec;
+  const TaskResult result =
+      parse_result(sre::cluster::execute_task(format_task(frame)));
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.code, sre::ErrorCode::kDomainError);
+  EXPECT_FALSE(result.retryable);
+  EXPECT_NE(result.message.find("version"), std::string::npos);
+}
+
+TEST(ExecuteTask, RejectsOutOfRangeShard) {
+  const SweepSpec spec = small_spec();  // total() == 8
+  TaskFrame frame;
+  frame.begin = 6;
+  frame.end = 10;
+  frame.key = task_key(spec, frame.begin, frame.end);
+  frame.spec = spec;
+  const TaskResult result =
+      parse_result(sre::cluster::execute_task(format_task(frame)));
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.code, sre::ErrorCode::kDomainError);
+}
+
+TEST(ExecuteTask, RejectsUnknownSolverAsDomainError) {
+  SweepSpec spec = small_spec();
+  spec.solvers = {"no-such-solver"};
+  TaskFrame frame;
+  frame.begin = 0;
+  frame.end = 1;
+  frame.key = task_key(spec, 0, 1);
+  frame.spec = spec;
+  const TaskResult result =
+      parse_result(sre::cluster::execute_task(format_task(frame)));
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.code, sre::ErrorCode::kDomainError);
+  EXPECT_FALSE(result.retryable);
+  // The key was recoverable from the frame, so the error echoes it — the
+  // manager can still route the failure to the right shard.
+  EXPECT_EQ(result.key, frame.key);
+}
+
+TEST(ExecuteTask, GarbageIsARejectionNotACrash) {
+  const TaskResult result = parse_result(sre::cluster::execute_task("{nope"));
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.code, sre::ErrorCode::kDomainError);
+}
+
+TEST(ExecuteTask, InTaskParallelismKeepsBytes) {
+  const SweepSpec spec = small_spec();
+  TaskFrame frame;
+  frame.begin = 0;
+  frame.end = spec.total();
+  frame.key = task_key(spec, frame.begin, frame.end);
+  frame.spec = spec;
+  const std::string line = format_task(frame);
+  sre::cluster::WorkerConfig serial;
+  sre::cluster::WorkerConfig pooled;
+  pooled.sweep_threads = 4;
+  // Same submission-order determinism as sim::SweepRunner: thread count is
+  // a throughput knob, never an output knob.
+  EXPECT_EQ(sre::cluster::execute_task(line, serial),
+            sre::cluster::execute_task(line, pooled));
+}
+
+}  // namespace

@@ -1,0 +1,63 @@
+// srv::fnv1a64 — the one content hash of the serving stack (cache shard
+// selection, wide-event flow ids, cluster ring placement). The digests are
+// pinned to absolute values: the consistent-hash ring and the committed
+// cluster bench baselines both depend on these exact bytes, so an
+// "innocent" reimplementation that changes any digest must fail here, not
+// as a silent full-cache-miss + full-ring-reshuffle in production.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "srv/hash.hpp"
+#include "srv/request.hpp"
+
+namespace {
+
+using sre::srv::fnv1a64;
+
+TEST(Fnv1a64, PinnedReferenceVectors) {
+  // Offset basis itself for the empty string, then the standard FNV-1a
+  // 64-bit test values.
+  EXPECT_EQ(fnv1a64(""), 14695981039346656037ull);
+  EXPECT_EQ(fnv1a64("a"), 12638187200555641996ull);
+  EXPECT_EQ(fnv1a64("hello"), 11831194018420276491ull);
+}
+
+TEST(Fnv1a64, PinnedClusterLabelDigests) {
+  // The versioned label families the cluster layer hashes: ring points
+  // ("v1|ring|<ring_id>|<vnode>") and sweep idempotency-key prefixes.
+  EXPECT_EQ(fnv1a64("v1|ring|127.0.0.1:9000|0"), 14920761542655123534ull);
+  EXPECT_EQ(fnv1a64("v1|ring|replica-0|0"), 12956543930304644023ull);
+  EXPECT_EQ(fnv1a64("v1|ring|replica-1|0"), 12424209878094607468ull);
+  EXPECT_EQ(fnv1a64("v1|sweep|"), 5868360036032121304ull);
+}
+
+TEST(Fnv1a64, ConstantsAreTheStandardPair) {
+  EXPECT_EQ(sre::srv::kFnvOffsetBasis, 14695981039346656037ull);
+  EXPECT_EQ(sre::srv::kFnvPrime, 1099511628211ull);
+}
+
+TEST(Fnv1a64, IsConstexprAndByteSensitive) {
+  // Compile-time evaluation is part of the contract (shard masks and ring
+  // labels in constant expressions).
+  static_assert(fnv1a64("hello") == 11831194018420276491ull);
+  // Every byte matters, including embedded NULs and order.
+  EXPECT_NE(fnv1a64(std::string("a\0b", 3)), fnv1a64(std::string("ab", 2)));
+  EXPECT_NE(fnv1a64("ab"), fnv1a64("ba"));
+}
+
+TEST(Fnv1a64, RequestKeyHashMatchesFreeFunction) {
+  // The request layer's precomputed key_hash is this exact function over
+  // the canonical key bytes — the property that lets the router and the
+  // cache agree on placement.
+  sre::srv::PlanRequest req;
+  req.dist_spec = "exponential:lambda=1";
+  req.solver = "refined-dp";
+  req.n = 400;
+  const auto prep = sre::srv::prepare(req);
+  EXPECT_EQ(prep.key_hash, fnv1a64(prep.key));
+}
+
+}  // namespace

@@ -196,4 +196,50 @@ TEST(Protocol, UnknownCommandIsATypedError) {
   EXPECT_FALSE(parsed.value.find("ok")->boolean);
 }
 
+TEST(Protocol, PingClassifiesAsLivenessAndAnswersWithPong) {
+  using sre::srv::ClassifiedLine;
+  EXPECT_EQ(sre::srv::classify_line(R"({"ping":true})").kind,
+            ClassifiedLine::Kind::kPing);
+  // Extra fields ride along (probers tag their pings); only ping:true is
+  // the verb — ping:false is not a liveness probe.
+  EXPECT_EQ(sre::srv::classify_line(R"({"ping":true,"probe":"hb-3"})").kind,
+            ClassifiedLine::Kind::kPing);
+  EXPECT_EQ(sre::srv::classify_line(R"({"ping":false})").kind,
+            ClassifiedLine::Kind::kError);
+
+  // Every transport answers with the same pinned pong line — heartbeats
+  // must never depend on which front end they hit.
+  PlannerService service(ServiceConfig{});
+  const auto outcome = handle_line(service, R"({"ping":true})");
+  EXPECT_FALSE(outcome.shutdown);
+  EXPECT_EQ(outcome.line, std::string(sre::srv::kPongLine));
+}
+
+TEST(Protocol, TaskFramesClassifyAsTasks) {
+  using sre::srv::ClassifiedLine;
+  // Classification is transport routing, not validation: the frame body is
+  // the task layer's problem (cluster::parse_task), so even a nonsense
+  // task value classifies as kTask and carries the raw line onward.
+  EXPECT_EQ(sre::srv::classify_line(R"({"task":"sweep","v":1})").kind,
+            ClassifiedLine::Kind::kTask);
+  EXPECT_EQ(sre::srv::classify_line(R"({"task":"unknown"})").kind,
+            ClassifiedLine::Kind::kTask);
+}
+
+TEST(Protocol, TaskOnStdioIsATypedDomainError) {
+  // The stdio transport has no task handler: a task frame is answered with
+  // a typed, non-retryable kDomainError instead of silently vanishing.
+  PlannerService service(ServiceConfig{});
+  const auto outcome = handle_line(service, R"({"task":"sweep","v":1})");
+  EXPECT_FALSE(outcome.shutdown);
+  const auto parsed = sre::obs::minijson::parse(outcome.line);
+  ASSERT_TRUE(parsed.ok);
+  EXPECT_FALSE(parsed.value.find("ok")->boolean);
+  const auto* error = parsed.value.find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->find("code")->string,
+            sre::error_code_name(sre::ErrorCode::kDomainError));
+  EXPECT_FALSE(error->find("retryable")->boolean);
+}
+
 }  // namespace

@@ -105,6 +105,7 @@
 #include "obs/report.hpp"
 #include "sim/netfault.hpp"
 #include "sim/rng.hpp"
+#include "sre_loadgen_cluster.hpp"
 #include "srv/chaos_socket.hpp"
 #include "srv/client.hpp"
 #include "srv/eventloop.hpp"
@@ -262,6 +263,13 @@ int main(int argc, char** argv) {
   // including the in-process EventLoop — may die to a peer closing early.
   std::signal(SIGPIPE, SIG_IGN);
 #endif
+  // --cluster switches to the fleet driver (replica routing + distributed
+  // sweep benches); it owns its own flag set, so hand the whole argv over.
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--cluster") {
+      return sre_loadgen_cluster_main(argc, argv);
+    }
+  }
   Options opt;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];

@@ -1,0 +1,718 @@
+// sre_loadgen --cluster — drives a replica fleet and a worker fleet, and
+// emits the two cluster baselines:
+//
+//   BENCH_serve_cluster.json — sharded serving. Phase "single" routes a
+//   cache-miss-heavy stream (distinct canonical keys, no_cache:true) at ONE
+//   sre_serve replica through cluster::Router; phase "cluster" routes the
+//   identical stream across the whole fleet. The replicas run with a small
+//   brownout sojourn budget, so the single replica sheds with
+//   retry_after_ms hints — every shed costs the driving client a hinted
+//   sleep. With two replicas the router converts the shed into an immediate
+//   failover to the peer's (shorter) queue instead, which is where the
+//   >= 1.5x speedup comes from even on one core: phase "single" pays
+//   hint-sleeps while the server idles, phase "cluster" keeps the CPU fed.
+//   The report carries per-replica first-choice routing counts (a pure
+//   function of the ring — exact-gated in CI), the max/min routing
+//   imbalance over >= 64 distinct keys, latency quantiles attributed to
+//   each key's owner replica, a {"stats":true} fan-out probe, and the
+//   speedup gate.
+//
+//   BENCH_sweep_cluster.json — distributed sweep. A fixed SweepSpec is
+//   sharded through cluster::SweepManager against worker fleets of size
+//   {1, N}; each run's merged bytes are compared against
+//   cluster::local_sweep_bytes (the single-process sweep at the same
+//   seed). byte_identical is the acceptance gate; dispatch/completion
+//   counters are exact for a fault-free run.
+//
+// With no --replica/--worker flags the fleets are in-process (each replica
+// an EventLoop + PlannerService on its own thread; each worker the same
+// plus a cluster::TaskExecutor). CI's serve-cluster job passes --replica
+// and --worker PORTs of externally spawned sre_serve/sre_worker processes
+// instead — same driver, real process boundaries.
+//
+// Nondeterministic pressure readings (failovers taken, hinted sleeps,
+// which replica ultimately served) live under "pressure" blocks; CI
+// ignores them (obsdiff --ignore 'pressure.*' '*.pressure.*').
+
+#include "sre_loadgen_cluster.hpp"
+
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#ifdef __linux__
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cluster/router.hpp"
+#include "cluster/sweep_manager.hpp"
+#include "cluster/task.hpp"
+#include "cluster/worker.hpp"
+#include "dist/factory.hpp"
+#include "obs/minijson.hpp"
+#include "obs/report.hpp"
+#include "sim/rng.hpp"
+#include "srv/eventloop.hpp"
+#include "srv/request.hpp"
+#include "srv/service.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr const char* kUsage =
+    "usage: sre_loadgen --cluster [--requests N] [--clients C] [--seed S]\n"
+    "                   [--keys K] [--vnodes V] [--solver NAME] [--n N]\n"
+    "                   [--brownout-ms F] [--cache-capacity N]\n"
+    "                   [--replica PORT]... \n"
+    "                   [--worker PORT]... [--sweep-workers N]\n"
+    "                   [--out FILE] [--sweep-out FILE]\n";
+
+struct ClusterOptions {
+  std::size_t requests = 384;  ///< per measured phase
+  std::size_t clients = 8;     ///< driving threads (each owns a Router)
+  std::uint64_t seed = 42;
+  std::size_t keys = 96;    ///< distinct canonical keys (acceptance: >= 64)
+  std::size_t vnodes = 256;  ///< ring points per replica (balance knob)
+  std::string solver = "refined-dp";
+  std::size_t n = 2000;
+  double brownout_ms = 12.0;       ///< replica queue-sojourn shed budget
+  double retry_after_min_ms = 20.0;
+  std::size_t cache_capacity = 64;  ///< per-replica LRU entries (< keys)
+  std::size_t sweep_workers = 2;   ///< in-process worker fleet size
+  std::vector<unsigned short> replica_ports;  ///< external replicas
+  std::vector<unsigned short> worker_ports;   ///< external workers
+  std::string out = "BENCH_serve_cluster.json";
+  std::string sweep_out = "BENCH_sweep_cluster.json";
+};
+
+// ---------------------------------------------------------------------------
+// in-process fleets
+
+/// One in-process sre_serve replica: service + event loop on its own thread.
+struct LocalReplica {
+  std::unique_ptr<sre::srv::PlannerService> service;
+  std::unique_ptr<sre::srv::EventLoop> loop;
+  std::thread thread;
+
+  explicit LocalReplica(const sre::srv::ServiceConfig& cfg) {
+    service = std::make_unique<sre::srv::PlannerService>(cfg);
+    loop = std::make_unique<sre::srv::EventLoop>(*service);
+    thread = std::thread([this] { loop->run(); });
+  }
+  ~LocalReplica() {
+    loop->request_stop();
+    if (thread.joinable()) thread.join();
+  }
+  [[nodiscard]] unsigned short port() const { return loop->port(); }
+};
+
+/// One in-process sre_worker: the replica stack plus the task executor.
+struct LocalWorker {
+  std::unique_ptr<sre::srv::PlannerService> service;
+  std::unique_ptr<sre::cluster::TaskExecutor> executor;
+  std::unique_ptr<sre::srv::EventLoop> loop;
+  std::thread thread;
+
+  LocalWorker() {
+    sre::srv::ServiceConfig svc;
+    svc.workers = 1;
+    service = std::make_unique<sre::srv::PlannerService>(svc);
+    executor = std::make_unique<sre::cluster::TaskExecutor>();
+    sre::srv::EventLoopConfig cfg;
+    cfg.max_line_bytes = 4u << 20;  // result frames carry whole shards
+    cfg.task_handler = executor->handler();
+    loop = std::make_unique<sre::srv::EventLoop>(*service, cfg);
+    thread = std::thread([this] { loop->run(); });
+  }
+  ~LocalWorker() {
+    loop->request_stop();
+    if (thread.joinable()) thread.join();
+  }
+  [[nodiscard]] unsigned short port() const { return loop->port(); }
+};
+
+// ---------------------------------------------------------------------------
+// small report helpers
+
+double quantile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+std::string latency_json(const std::vector<double>& v) {
+  using sre::obs::format_double;
+  double sum = 0.0;
+  double mx = 0.0;
+  for (const double x : v) {
+    sum += x;
+    mx = std::max(mx, x);
+  }
+  std::string json = "{\"p50\": " + format_double(quantile(v, 0.50));
+  json += ", \"p95\": " + format_double(quantile(v, 0.95));
+  json += ", \"p99\": " + format_double(quantile(v, 0.99));
+  json += ", \"max\": " + format_double(mx);
+  json += ", \"mean\": " +
+          format_double(v.empty() ? 0.0
+                                  : sum / static_cast<double>(v.size()));
+  json += "}";
+  return json;
+}
+
+bool parse_size(const char* text, std::size_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+bool parse_double(const char* text, double& out) {
+  char* end = nullptr;
+  out = std::strtod(text, &end);
+  return end != text && *end == '\0';
+}
+
+// ---------------------------------------------------------------------------
+// serve bench
+
+/// The cache-miss-heavy workload: K distinct exponential laws (distinct
+/// canonical keys) driven cyclically. Each replica holds a strict-LRU plan
+/// cache *smaller than the key population*, so the single replica thrashes
+/// — cyclic reuse distance K > capacity means every lookup misses and pays
+/// the cold solve — while the sharded tier keeps each replica's ~K/2 owned
+/// keys fully resident. The measured speedup is the capacity win of
+/// consistent hashing, not a scheduling artifact (the whole bench runs on
+/// however few cores the host has).
+struct KeyedRequest {
+  std::string key;   ///< canonical request key (the routing key)
+  std::string wire;  ///< serialized request line
+};
+
+std::vector<KeyedRequest> build_keyed_requests(const ClusterOptions& opt) {
+  using sre::obs::format_double;
+  std::vector<KeyedRequest> out;
+  out.reserve(opt.keys);
+  for (std::size_t k = 0; k < opt.keys; ++k) {
+    sre::srv::PlanRequest req;
+    const double lambda = 1.0 + 0.01 * static_cast<double>(k);
+    req.dist_spec = "exponential:lambda=" + format_double(lambda);
+    req.model = {1.0, 1.0, 1.0};
+    req.solver = opt.solver;
+    req.n = opt.n;
+    req.epsilon = 1e-7;
+    const auto prep = sre::srv::prepare(req);  // throws on a bad config
+    std::string wire = "{\"id\":\"k" + std::to_string(k) + "\",\"dist\":\"" +
+                       req.dist_spec + "\",\"cost\":{\"alpha\":1,\"beta\":1," +
+                       "\"gamma\":1},\"solver\":\"" + req.solver +
+                       "\",\"n\":" + std::to_string(req.n) +
+                       ",\"epsilon\":" + format_double(req.epsilon) + "}";
+    out.push_back(KeyedRequest{prep.key, std::move(wire)});
+  }
+  return out;
+}
+
+struct PhaseOut {
+  double wall_s = 0.0;
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t sweeps_slept = 0;
+  double slept_s = 0.0;
+  std::vector<std::uint64_t> first_choice;
+  std::vector<std::uint64_t> delivered_by;
+  std::vector<std::vector<double>> lat_by_owner;  ///< per first-choice replica
+  std::vector<double> lat_all;
+};
+
+sre::cluster::RouterConfig router_config(
+    const ClusterOptions& opt,
+    const std::vector<sre::cluster::ReplicaEndpoint>& endpoints,
+    std::uint64_t stream) {
+  sre::cluster::RouterConfig rc;
+  rc.replicas = endpoints;
+  rc.vnodes = opt.vnodes;
+  // One wire attempt per hop: failover (and the inter-sweep hinted sleep)
+  // is the router's job, not the per-replica client's.
+  rc.client.retry.max_attempts = 1;
+  rc.client.breaker_threshold = 4;
+  rc.client.breaker_cooldown_s = 0.05;
+  rc.sweep_retry.max_attempts = 64;
+  rc.sweep_retry.base_seconds = 1e-3;
+  rc.sweep_retry.cap_seconds = 0.05;
+  rc.sweep_retry.seed = sre::sim::substream_seed(opt.seed, stream);
+  return rc;
+}
+
+PhaseOut run_phase(const ClusterOptions& opt,
+                   const std::vector<sre::cluster::ReplicaEndpoint>& endpoints,
+                   const std::vector<KeyedRequest>& keyed,
+                   std::uint64_t phase_stream) {
+  PhaseOut out;
+  const std::size_t nrep = endpoints.size();
+  out.first_choice.assign(nrep, 0);
+  out.delivered_by.assign(nrep, 0);
+  out.lat_by_owner.assign(nrep, {});
+  std::mutex merge_m;
+
+  auto drive = [&](std::size_t t) {
+    sre::cluster::Router router(
+        router_config(opt, endpoints, phase_stream + t));
+    std::vector<std::vector<double>> lat(nrep);
+    std::uint64_t ok = 0;
+    std::uint64_t failed = 0;
+    for (std::size_t i = t; i < opt.requests; i += opt.clients) {
+      const KeyedRequest& kr = keyed[i % keyed.size()];
+      const std::size_t owner = router.replica_for(kr.key);
+      const auto t0 = Clock::now();
+      const auto res = router.route(kr.key, kr.wire);
+      lat[owner].push_back(
+          std::chrono::duration<double>(Clock::now() - t0).count());
+      if (res.ok) {
+        ++ok;
+      } else {
+        ++failed;
+      }
+    }
+    const auto& c = router.counters();
+    std::lock_guard<std::mutex> lock(merge_m);
+    out.ok += ok;
+    out.failed += failed;
+    out.failovers += c.failovers;
+    out.sweeps_slept += c.sweeps_slept;
+    out.slept_s += c.slept_s;
+    for (std::size_t r = 0; r < nrep; ++r) {
+      out.first_choice[r] += c.first_choice[r];
+      out.delivered_by[r] += c.delivered_by[r];
+      out.lat_by_owner[r].insert(out.lat_by_owner[r].end(), lat[r].begin(),
+                                 lat[r].end());
+    }
+  };
+
+  // Untimed warmup: one sequential pass over the key population through a
+  // throwaway router (its counters never reach the report). Both phases get
+  // the identical pass; only the sharded tier can *retain* it — the single
+  // replica evicts every key before its next use.
+  {
+    sre::cluster::Router warm(
+        router_config(opt, endpoints, phase_stream + 0xfff));
+    for (const auto& kr : keyed) warm.route(kr.key, kr.wire);
+  }
+
+  const auto t_start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(opt.clients);
+  for (std::size_t t = 0; t < opt.clients; ++t) threads.emplace_back(drive, t);
+  for (auto& th : threads) th.join();
+  out.wall_s = std::chrono::duration<double>(Clock::now() - t_start).count();
+  for (const auto& v : out.lat_by_owner) {
+    out.lat_all.insert(out.lat_all.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
+/// One {"stats":true} fan-out through a fresh router; true when every
+/// replica answered with a well-formed stats object.
+bool check_stats_fanout(
+    const ClusterOptions& opt,
+    const std::vector<sre::cluster::ReplicaEndpoint>& endpoints) {
+  sre::cluster::Router router(router_config(opt, endpoints, 0x57a75));
+  const std::string fanout = router.stats_fanout();
+  const auto parsed = sre::obs::minijson::parse(fanout);
+  if (!parsed.ok || !parsed.value.is_object()) return false;
+  const auto* replicas = parsed.value.find("replicas");
+  if (replicas == nullptr || !replicas->is_array() ||
+      replicas->array.size() != endpoints.size()) {
+    return false;
+  }
+  for (const auto& entry : replicas->array) {
+    if (!entry.is_object()) return false;
+    const auto* ok = entry.find("ok");
+    if (ok == nullptr || ok->kind != sre::obs::minijson::Value::Kind::kBool ||
+        !ok->boolean) {
+      return false;
+    }
+    const auto* stats = entry.find("stats");
+    if (stats == nullptr || !stats->is_object() ||
+        stats->find("loop") == nullptr) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// sweep bench
+
+sre::cluster::SweepSpec bench_spec(const ClusterOptions& opt) {
+  sre::cluster::SweepSpec spec;
+  const auto paper = sre::dist::paper_distributions();
+  for (std::size_t i = 0; i < paper.size() && i < 3; ++i) {
+    spec.dists.push_back(paper[i].label);
+  }
+  spec.models.push_back({"reservation-only", 1.0, 0.0, 0.0});
+  spec.models.push_back({"full", 1.0, 1.0, 1.0});
+  spec.solvers = {"mean-doubling", "refined-dp"};
+  spec.n = 300;
+  spec.epsilon = 1e-6;
+  spec.mc_samples = 200;
+  spec.mc_seed = opt.seed;
+  return spec;
+}
+
+struct SweepRun {
+  std::size_t workers = 0;
+  bool complete = false;
+  bool byte_identical = false;
+  double elapsed_s = 0.0;
+  sre::cluster::SweepManagerCounters counters;
+};
+
+SweepRun run_sweep(const sre::cluster::SweepSpec& spec,
+                   const std::string& reference,
+                   const std::vector<sre::cluster::WorkerEndpoint>& endpoints,
+                   std::uint64_t seed) {
+  sre::cluster::SweepManagerConfig cfg;
+  cfg.workers = endpoints;
+  cfg.shard_size = 2;
+  cfg.retry.max_attempts = 3;
+  cfg.retry.base_seconds = 1e-3;
+  cfg.retry.cap_seconds = 0.05;
+  cfg.retry.seed = seed;
+  sre::cluster::SweepManager manager(cfg);
+  const auto t0 = Clock::now();
+  const auto report = manager.run(spec);
+  SweepRun run;
+  run.workers = endpoints.size();
+  run.elapsed_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  run.complete = report.complete;
+  run.byte_identical = report.complete && report.merged() == reference;
+  run.counters = report.counters;
+  return run;
+}
+
+// ---------------------------------------------------------------------------
+
+int run_cluster(const ClusterOptions& opt) {
+  using sre::obs::format_double;
+
+  // ---- fleets (in-process unless external ports were given) ----
+  const bool external_replicas = !opt.replica_ports.empty();
+  const bool external_workers = !opt.worker_ports.empty();
+  std::vector<std::unique_ptr<LocalReplica>> local_replicas;
+  std::vector<std::unique_ptr<LocalWorker>> local_workers;
+  std::vector<sre::cluster::ReplicaEndpoint> replicas;
+  std::vector<sre::cluster::WorkerEndpoint> workers;
+  // Replicas carry index-stable ring names: both fleets run on ephemeral
+  // ports, and the bench's key->owner split (first_choice, the imbalance
+  // gate) must depend on the roster, not on what bind(2) handed out.
+  if (external_replicas) {
+    for (const auto p : opt.replica_ports) {
+      replicas.push_back({"127.0.0.1", p,
+                          "replica-" + std::to_string(replicas.size())});
+    }
+  } else {
+    sre::srv::ServiceConfig svc;
+    svc.workers = 1;  // serving capacity = queueing, so brownout governs
+    svc.queue_capacity = 1024;
+    svc.brownout_sojourn_ms = opt.brownout_ms;
+    svc.retry_after_min_ms = opt.retry_after_min_ms;
+    // A bounded strict-LRU (one shard = exact global recency) smaller than
+    // the key population: one replica thrashes on the cyclic workload, two
+    // sharded replicas keep their owned keys resident. External replicas
+    // mirror this via SRE_SRV_CACHE_CAPACITY / SRE_SRV_SHARDS.
+    svc.cache_enabled = true;
+    svc.cache.capacity = opt.cache_capacity;
+    svc.cache.shards = 1;
+    for (int r = 0; r < 2; ++r) {
+      local_replicas.push_back(std::make_unique<LocalReplica>(svc));
+      replicas.push_back({"127.0.0.1", local_replicas.back()->port(),
+                          "replica-" + std::to_string(r)});
+    }
+  }
+  if (external_workers) {
+    for (const auto p : opt.worker_ports) {
+      workers.push_back({"127.0.0.1", p});
+    }
+  } else {
+    for (std::size_t w = 0; w < std::max<std::size_t>(1, opt.sweep_workers);
+         ++w) {
+      local_workers.push_back(std::make_unique<LocalWorker>());
+      workers.push_back({"127.0.0.1", local_workers.back()->port()});
+    }
+  }
+  if (replicas.size() < 2) {
+    std::cerr << "sre_loadgen: --cluster needs at least 2 replicas\n";
+    return 2;
+  }
+
+  // ---- serve bench ----
+  const auto keyed = build_keyed_requests(opt);
+  const std::vector<sre::cluster::ReplicaEndpoint> single(
+      replicas.begin(), replicas.begin() + 1);
+  const auto phase_single = run_phase(opt, single, keyed, 0x1000);
+  const auto phase_cluster = run_phase(opt, replicas, keyed, 0x2000);
+  const bool fanout_ok = check_stats_fanout(opt, replicas);
+
+  const double single_rps =
+      phase_single.wall_s > 0.0
+          ? static_cast<double>(phase_single.ok) / phase_single.wall_s
+          : 0.0;
+  const double cluster_rps =
+      phase_cluster.wall_s > 0.0
+          ? static_cast<double>(phase_cluster.ok) / phase_cluster.wall_s
+          : 0.0;
+  const double speedup = single_rps > 0.0 ? cluster_rps / single_rps : 0.0;
+
+  std::uint64_t fc_max = 0;
+  std::uint64_t fc_min = ~0ull;
+  for (const auto v : phase_cluster.first_choice) {
+    fc_max = std::max(fc_max, v);
+    fc_min = std::min(fc_min, v);
+  }
+  const double imbalance =
+      fc_min > 0 ? static_cast<double>(fc_max) / static_cast<double>(fc_min)
+                 : 0.0;
+
+  std::string json = "{\n";
+  json += "  \"config\": {\"requests\": " + std::to_string(opt.requests);
+  json += ", \"clients\": " + std::to_string(opt.clients);
+  json += ", \"distinct_keys\": " + std::to_string(opt.keys);
+  json += ", \"vnodes\": " + std::to_string(opt.vnodes);
+  json += ", \"replicas\": " + std::to_string(replicas.size());
+  json += ", \"seed\": " + std::to_string(opt.seed);
+  json += ", \"solver\": \"" + opt.solver + "\"";
+  json += ", \"n\": " + std::to_string(opt.n);
+  json += ", \"brownout_ms\": " + format_double(opt.brownout_ms);
+  json += ", \"cache_capacity\": " + std::to_string(opt.cache_capacity);
+  json += ", \"external_replicas\": ";
+  json += external_replicas ? "true" : "false";
+  json += "},\n";
+  json += "  \"single\": {\"ok_responses\": " +
+          std::to_string(phase_single.ok);
+  json += ", \"wall_seconds\": " + format_double(phase_single.wall_s);
+  json += ", \"throughput_rps\": " + format_double(single_rps);
+  json += ", \"latency_seconds\": " + latency_json(phase_single.lat_all);
+  json += "},\n";
+  json += "  \"cluster\": {\"ok_responses\": " +
+          std::to_string(phase_cluster.ok);
+  json += ", \"wall_seconds\": " + format_double(phase_cluster.wall_s);
+  json += ", \"throughput_rps\": " + format_double(cluster_rps);
+  json += ", \"latency_seconds\": " + latency_json(phase_cluster.lat_all);
+  json += ",\n    \"per_replica\": {";
+  for (std::size_t r = 0; r < replicas.size(); ++r) {
+    if (r > 0) json += ", ";
+    json += "\"replica_" + std::to_string(r) + "\": {\"first_choice\": " +
+            std::to_string(phase_cluster.first_choice[r]);
+    json += ", \"latency_seconds\": " +
+            latency_json(phase_cluster.lat_by_owner[r]);
+    json += "}";
+  }
+  json += "}},\n";
+  json += "  \"routing\": {\"distinct_keys\": " + std::to_string(opt.keys);
+  json += ", \"imbalance_max_min\": " + format_double(imbalance);
+  json += ", \"meets_imbalance_target\": ";
+  json += (imbalance > 0.0 && imbalance <= 1.5) ? "true" : "false";
+  json += "},\n";
+  json += "  \"speedup_vs_single\": " + format_double(speedup);
+  json += ",\n  \"meets_speedup_target\": ";
+  json += speedup >= 1.5 ? "true" : "false";
+  json += ",\n  \"stats_fanout_ok\": ";
+  json += fanout_ok ? "true" : "false";
+  json += ",\n";
+  // Interleaving-dependent readings: how hard the feedback loop worked.
+  json += "  \"pressure\": {\"failed_single\": " +
+          std::to_string(phase_single.failed);
+  json += ", \"failed_cluster\": " + std::to_string(phase_cluster.failed);
+  json += ", \"failovers_single\": " +
+          std::to_string(phase_single.failovers);
+  json += ", \"failovers_cluster\": " +
+          std::to_string(phase_cluster.failovers);
+  json += ", \"sweeps_slept_single\": " +
+          std::to_string(phase_single.sweeps_slept);
+  json += ", \"sweeps_slept_cluster\": " +
+          std::to_string(phase_cluster.sweeps_slept);
+  json += ", \"slept_seconds_single\": " +
+          format_double(phase_single.slept_s);
+  json += ", \"slept_seconds_cluster\": " +
+          format_double(phase_cluster.slept_s);
+  json += ", \"delivered_by\": {";
+  for (std::size_t r = 0; r < replicas.size(); ++r) {
+    if (r > 0) json += ", ";
+    json += "\"replica_" + std::to_string(r) + "\": " +
+            std::to_string(phase_cluster.delivered_by[r]);
+  }
+  json += "}}\n}\n";
+
+  std::ofstream out(opt.out);
+  if (!out) {
+    std::cerr << "sre_loadgen: cannot write " << opt.out << "\n";
+    return 2;
+  }
+  out << json;
+  out.close();
+
+  // ---- sweep bench ----
+  const auto spec = bench_spec(opt);
+  const std::string reference = sre::cluster::local_sweep_bytes(spec);
+  std::vector<std::size_t> fleet_sizes = {1};
+  if (workers.size() > 1) fleet_sizes.push_back(workers.size());
+  std::vector<SweepRun> runs;
+  for (const std::size_t w : fleet_sizes) {
+    const std::vector<sre::cluster::WorkerEndpoint> fleet(
+        workers.begin(), workers.begin() + static_cast<std::ptrdiff_t>(w));
+    runs.push_back(run_sweep(spec, reference, fleet,
+                             sre::sim::substream_seed(opt.seed, 0x3000 + w)));
+  }
+  bool identical_all = true;
+  for (const auto& run : runs) identical_all &= run.byte_identical;
+
+  const std::size_t shards = (spec.total() + 1) / 2;
+  std::string sj = "{\n";
+  sj += "  \"config\": {\"scenarios\": " + std::to_string(spec.total());
+  sj += ", \"shards\": " + std::to_string(shards);
+  sj += ", \"shard_size\": 2";
+  sj += ", \"mc_samples\": " + std::to_string(spec.mc_samples);
+  sj += ", \"seed\": " + std::to_string(opt.seed);
+  sj += ", \"external_workers\": ";
+  sj += external_workers ? "true" : "false";
+  sj += "},\n  \"runs\": {";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& run = runs[i];
+    if (i > 0) sj += ", ";
+    sj += "\"workers_" + std::to_string(run.workers) + "\": {";
+    sj += "\"complete\": ";
+    sj += run.complete ? "true" : "false";
+    sj += ", \"byte_identical\": ";
+    sj += run.byte_identical ? "true" : "false";
+    sj += ", \"elapsed_seconds\": " + format_double(run.elapsed_s);
+    sj += ", \"dispatches\": " + std::to_string(run.counters.dispatches);
+    sj += ", \"completions\": " + std::to_string(run.counters.completions);
+    sj += ", \"duplicates\": " + std::to_string(run.counters.duplicates);
+    sj += ", \"task_failures\": " +
+          std::to_string(run.counters.task_failures);
+    sj += ", \"transport_failures\": " +
+          std::to_string(run.counters.transport_failures);
+    sj += ", \"workers_abandoned\": " +
+          std::to_string(run.counters.workers_abandoned);
+    sj += ", \"shards_abandoned\": " +
+          std::to_string(run.counters.shards_abandoned);
+    sj += "}";
+  }
+  sj += "},\n  \"byte_identical_all\": ";
+  sj += identical_all ? "true" : "false";
+  sj += "\n}\n";
+
+  std::ofstream sout(opt.sweep_out);
+  if (!sout) {
+    std::cerr << "sre_loadgen: cannot write " << opt.sweep_out << "\n";
+    return 2;
+  }
+  sout << sj;
+  sout.close();
+
+  std::cout << "sre_loadgen: cluster serve " << format_double(single_rps)
+            << " -> " << format_double(cluster_rps) << " req/s (speedup "
+            << format_double(speedup) << ", imbalance "
+            << format_double(imbalance) << ") -> " << opt.out
+            << "; sweep byte-identical "
+            << (identical_all ? "yes" : "NO") << " -> " << opt.sweep_out
+            << "\n";
+  const bool ok = identical_all && phase_single.failed == 0 &&
+                  phase_cluster.failed == 0 && fanout_ok;
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int sre_loadgen_cluster_main(int argc, char** argv) {
+#ifdef SIGPIPE
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
+  ClusterOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "sre_loadgen: " << flag << " needs a value\n" << kUsage;
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    std::size_t n = 0;
+    double f = 0.0;
+    if (arg == "--cluster") {
+      continue;
+    } else if (arg == "--requests" && parse_size(need_value(arg.c_str()), n)) {
+      opt.requests = n;
+    } else if (arg == "--clients" && parse_size(need_value(arg.c_str()), n)) {
+      opt.clients = n == 0 ? 1 : n;
+    } else if (arg == "--seed" && parse_size(need_value(arg.c_str()), n)) {
+      opt.seed = n;
+    } else if (arg == "--keys" && parse_size(need_value(arg.c_str()), n)) {
+      opt.keys = n == 0 ? 1 : n;
+    } else if (arg == "--vnodes" && parse_size(need_value(arg.c_str()), n)) {
+      opt.vnodes = n == 0 ? 1 : n;
+    } else if (arg == "--solver") {
+      opt.solver = need_value(arg.c_str());
+    } else if (arg == "--n" && parse_size(need_value(arg.c_str()), n)) {
+      opt.n = n;
+    } else if (arg == "--brownout-ms" &&
+               parse_double(need_value(arg.c_str()), f)) {
+      opt.brownout_ms = f;
+    } else if (arg == "--cache-capacity" &&
+               parse_size(need_value(arg.c_str()), n)) {
+      opt.cache_capacity = n;
+    } else if (arg == "--sweep-workers" &&
+               parse_size(need_value(arg.c_str()), n)) {
+      opt.sweep_workers = n;
+    } else if (arg == "--replica" && parse_size(need_value(arg.c_str()), n) &&
+               n > 0 && n <= 65535) {
+      opt.replica_ports.push_back(static_cast<unsigned short>(n));
+    } else if (arg == "--worker" && parse_size(need_value(arg.c_str()), n) &&
+               n > 0 && n <= 65535) {
+      opt.worker_ports.push_back(static_cast<unsigned short>(n));
+    } else if (arg == "--out") {
+      opt.out = need_value(arg.c_str());
+    } else if (arg == "--sweep-out") {
+      opt.sweep_out = need_value(arg.c_str());
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else {
+      std::cerr << "sre_loadgen: unknown or malformed cluster option '" << arg
+                << "'\n" << kUsage;
+      return 2;
+    }
+  }
+  try {
+    return run_cluster(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "sre_loadgen: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+#else  // !__linux__
+
+int sre_loadgen_cluster_main(int, char**) {
+  std::cerr << "sre_loadgen: --cluster needs the Linux event loop\n";
+  return 2;
+}
+
+#endif

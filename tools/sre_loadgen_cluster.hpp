@@ -1,0 +1,7 @@
+#pragma once
+
+// sre_loadgen --cluster: the fleet driver (see sre_loadgen_cluster.cpp).
+// Split out of sre_loadgen.cpp so the single-process benches and the
+// cluster benches stay independently readable; main() delegates the whole
+// argv here when --cluster is present.
+int sre_loadgen_cluster_main(int argc, char** argv);

@@ -14,7 +14,8 @@
 // NDJSON framing, while solver work runs on the service's worker pool.
 // Responses per connection stay in request order and match
 // srv::InProcessClient byte for byte. Port 0 binds an ephemeral port and
-// prints the kernel's choice.
+// prints the kernel's choice: a machine-readable "PORT <n>" line on stdout
+// plus the human "listening on" line on stderr.
 //
 // Options (defaults come from ServiceConfig::from_env, so the SRE_SRV_*
 // and SRE_FAULT_* environment knobs apply; flags win over environment):
@@ -102,6 +103,9 @@ int run_tcp(sre::srv::PlannerService& service,
   try {
     sre::srv::EventLoop loop(service, cfg);
     std::cerr << "sre_serve: listening on 127.0.0.1:" << loop.port() << "\n";
+    // Machine-readable bound-port line (resolves --tcp 0's ephemeral pick):
+    // cluster scripts and CI read stdout instead of racing on fixed ports.
+    std::cout << "PORT " << loop.port() << "\n" << std::flush;
     g_loop = &loop;
     std::signal(SIGTERM, on_signal);
     std::signal(SIGINT, on_signal);

@@ -1,0 +1,153 @@
+// sre_worker — a distributed-sweep worker as a process.
+//
+//   sre_worker [--tcp PORT] [options]
+//
+// The cluster::TaskExecutor behind the srv::EventLoop C10K front end: it
+// speaks the full NDJSON protocol (plan requests, {"stats":true},
+// {"ping":true} liveness probes answered inline by the loop thread) plus
+// the v1 {"task":"sweep",...} frames — each frame's shard runs through the
+// existing core::run_scenario_sweep stack on the executor's dispatch
+// thread and answers with an {"ok":true,...,"outcomes":[...]} result line
+// (or a typed {"ok":false,...} rejection carrying the error taxonomy).
+//
+// Port 0 (the default) binds an ephemeral port and prints the kernel's
+// choice: a machine-readable "PORT <n>" line on stdout plus a human
+// "listening on" line on stderr — cluster scripts and CI read stdout
+// instead of racing on fixed ports. SIGTERM/SIGINT drain like sre_serve.
+//
+// Options:
+//   --tcp PORT          listen on 127.0.0.1:PORT (0 = ephemeral)  [0]
+//   --sweep-threads N   in-task sweep parallelism (0 = serial)    [0]
+//   --backlog N         listen(2) backlog                         [1024]
+//   --max-line BYTES    per-connection NDJSON line cap            [4 MiB]
+//   --max-conns N       concurrent connection cap                 [10000]
+//   --drain-ms F        shutdown drain budget                     [5000]
+//
+// Network chaos: the SRE_FAULT_NET_* knobs (sim::NetFaultSpec::from_env)
+// apply exactly as in sre_serve — seeded resets/short IO/delays over every
+// accepted connection, for kill-a-worker drills (docs/COOKBOOK.md 23).
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "cluster/worker.hpp"
+#include "sim/netfault.hpp"
+#include "srv/eventloop.hpp"
+#include "srv/service.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: sre_worker [--tcp PORT] [--sweep-threads N] [--backlog N]\n"
+    "                  [--max-line BYTES] [--max-conns N] [--drain-ms F]\n";
+
+bool parse_size(const char* text, std::size_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+bool parse_double(const char* text, double& out) {
+  char* end = nullptr;
+  out = std::strtod(text, &end);
+  return end != text && *end == '\0';
+}
+
+sre::srv::EventLoop* g_loop = nullptr;
+
+void on_signal(int) {
+  if (g_loop != nullptr) g_loop->request_stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+#ifdef SIGPIPE
+  std::signal(SIGPIPE, SIG_IGN);  // a dead peer is an error code, not a death
+#endif
+  sre::cluster::WorkerConfig worker_cfg;
+  sre::srv::EventLoopConfig loop_cfg;
+  // Task frames embed the whole spec; results embed every outcome of the
+  // shard. Both are far larger than a plan request, so the framing cap
+  // starts higher than sre_serve's 1 MiB default.
+  loop_cfg.max_line_bytes = 4u << 20;
+  loop_cfg.net_faults = sre::sim::NetFaultSpec::from_env();
+  long tcp_port = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "sre_worker: " << flag << " needs a value\n" << kUsage;
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    std::size_t n = 0;
+    double f = 0.0;
+    if (arg == "--tcp") {
+      const char* v = need_value("--tcp");
+      char* end = nullptr;
+      tcp_port = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || tcp_port < 0 || tcp_port > 65535) {
+        std::cerr << "sre_worker: bad port '" << v << "'\n" << kUsage;
+        return 2;
+      }
+    } else if (arg == "--sweep-threads" &&
+               parse_size(need_value("--sweep-threads"), n)) {
+      worker_cfg.sweep_threads = static_cast<unsigned>(n);
+    } else if (arg == "--backlog" && parse_size(need_value("--backlog"), n)) {
+      loop_cfg.backlog = static_cast<int>(n);
+    } else if (arg == "--max-line" &&
+               parse_size(need_value("--max-line"), n)) {
+      loop_cfg.max_line_bytes = n;
+    } else if (arg == "--max-conns" &&
+               parse_size(need_value("--max-conns"), n)) {
+      loop_cfg.max_connections = n;
+    } else if (arg == "--drain-ms" &&
+               parse_double(need_value("--drain-ms"), f)) {
+      loop_cfg.drain_timeout_s = f / 1e3;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else {
+      std::cerr << "sre_worker: unknown or malformed option '" << arg << "'\n"
+                << kUsage;
+      return 2;
+    }
+  }
+
+  // A small planner service rides along so the worker answers plan
+  // requests and {"cmd":"stats"} too — one protocol, every process.
+  sre::srv::ServiceConfig svc_cfg = sre::srv::ServiceConfig::from_env();
+  sre::srv::PlannerService service(svc_cfg);
+  sre::cluster::TaskExecutor executor(worker_cfg);
+  loop_cfg.port = static_cast<unsigned short>(tcp_port);
+  loop_cfg.task_handler = executor.handler();
+
+  try {
+    sre::srv::EventLoop loop(service, loop_cfg);
+    std::cerr << "sre_worker: listening on 127.0.0.1:" << loop.port() << "\n";
+    std::cout << "PORT " << loop.port() << "\n" << std::flush;
+    g_loop = &loop;
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGPIPE, SIG_IGN);
+    loop.run();
+    g_loop = nullptr;
+    const auto c = loop.counters();
+    const auto w = executor.counters();
+    std::cerr << "sre_worker: drained (" << c.accepted << " connections, "
+              << w.tasks << " tasks, " << w.ok << " ok, " << w.rejected
+              << " rejected)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "sre_worker: " << e.what() << "\n";
+    return 2;
+  }
+}
